@@ -1,0 +1,81 @@
+//! Criterion ablations over YOUTIAO's design choices (runtime side):
+//! whole-chip vs partitioned planning, frequency swap passes, and the
+//! weight-grid resolution of the crosstalk fit. Quality-side ablations
+//! live in the `ablation` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use youtiao_chip::topology;
+use youtiao_core::partition::PartitionConfig;
+use youtiao_core::{FreqConfig, PlannerConfig, YoutiaoPlanner};
+use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+
+fn bench_partitioned_vs_whole(c: &mut Criterion) {
+    let chip = topology::square_grid(10, 10);
+    let mut group = c.benchmark_group("planner/100q");
+    group.sample_size(10);
+    group.bench_function("whole-chip", |b| {
+        b.iter(|| YoutiaoPlanner::new(&chip).plan().unwrap())
+    });
+    group.bench_function("partitioned", |b| {
+        let config = PlannerConfig {
+            partition: Some(PartitionConfig::for_target_size(&chip, 25)),
+            ..Default::default()
+        };
+        b.iter(|| {
+            YoutiaoPlanner::new(&chip)
+                .with_config(config.clone())
+                .plan()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_swap_passes(c: &mut Criterion) {
+    let chip = topology::square_grid(6, 6);
+    let mut group = c.benchmark_group("freq-swap-passes/6x6");
+    for passes in [0usize, 2, 4] {
+        group.bench_function(format!("passes-{passes}"), |b| {
+            let config = PlannerConfig {
+                freq: FreqConfig {
+                    swap_passes: passes,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            b.iter(|| {
+                YoutiaoPlanner::new(&chip)
+                    .with_config(config.clone())
+                    .plan()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_grid(c: &mut Criterion) {
+    let chip = topology::square_grid(5, 5);
+    let samples = synthesize(&chip, CrosstalkKind::Xy, &SynthConfig::xy(), 3);
+    let mut group = c.benchmark_group("fit-weight-grid/5x5");
+    group.sample_size(10);
+    for steps in [2usize, 4, 10] {
+        group.bench_function(format!("steps-{steps}"), |b| {
+            let config = FitConfig {
+                weight_steps: steps,
+                ..FitConfig::fast()
+            };
+            b.iter(|| fit_crosstalk_model(&samples, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_partitioned_vs_whole,
+    bench_swap_passes,
+    bench_fit_grid
+);
+criterion_main!(ablations);

@@ -1,0 +1,230 @@
+//! Quality-side ablations of YOUTIAO's design choices (DESIGN.md §5):
+//!
+//! 1. equivalent distance: multi-shortest-path `n·l` vs plain hop count;
+//! 2. FDM grouping: equivalent-graph greedy vs local clustering;
+//! 3. frequency allocation: two-level (zones + cells + swaps) vs
+//!    in-line-only;
+//! 4. TDM grouping: non-parallelism-aware vs legal-only clustering;
+//! 5. two-level DEMUX split (θ) vs all-1:4 / all-1:2;
+//! 6. activity budget: perfectly disjoint vs one shared window.
+//!
+//! Run with `cargo run --release -p youtiao-bench --bin ablation`.
+
+use youtiao_bench::fdm_eval::{default_simulator, mean_gate_fidelity, FdmScenario};
+use youtiao_bench::report::Table;
+use youtiao_bench::tdm_eval::evaluate_benchmark;
+use youtiao_bench::{fitted_xy_model, target_chip_36, DEFAULT_SEED};
+use youtiao_chip::distance::{equivalent_matrix, topological_distance, DistanceMatrix};
+use youtiao_chip::surface::SurfaceCode;
+use youtiao_circuit::benchmarks::Benchmark;
+use youtiao_circuit::schedule::{schedule_asap, schedule_with_tdm_strict};
+use youtiao_circuit::surface_cycle::{cycle_activity, cycles_circuit};
+use youtiao_circuit::FidelityEstimator;
+use youtiao_core::baselines::NaiveFdm;
+use youtiao_core::fdm::{group_fdm, group_fdm_local};
+use youtiao_core::freq::{allocate_frequencies, allocate_in_line_only, FreqConfig};
+use youtiao_core::plan::crosstalk_matrix;
+use youtiao_core::{AcharyaTdm, PlannerConfig, TdmConfig, YoutiaoPlanner};
+use youtiao_cost::WiringTally;
+
+fn main() {
+    let chip = target_chip_36();
+    let model = fitted_xy_model(&chip, DEFAULT_SEED);
+    let eq = equivalent_matrix(&chip, model.weights());
+    let xtalk = crosstalk_matrix(&chip, &eq, Some(&model));
+    let sim = default_simulator();
+
+    println!("== Ablation 1: multi-path topological distance vs plain hops ==\n");
+    // Replace d_top = n*l with plain l in the equivalent matrix and
+    // compare the frequency-allocation objective.
+    let mut plain = DistanceMatrix::zeros(chip.num_qubits());
+    for a in chip.qubit_ids() {
+        for b in chip.qubit_ids() {
+            if a < b {
+                let hops = topological_distance(&chip, a, b)
+                    .map(|d| d.hops() as f64)
+                    .unwrap_or(f64::INFINITY);
+                let w = model.weights();
+                plain.set(a, b, w.combine(chip.physical_distance(a, b), hops));
+            }
+        }
+    }
+    let objective = |lines: &[youtiao_core::fdm::FdmLine]| -> f64 {
+        allocate_frequencies(&chip, lines, &xtalk, &FreqConfig::default())
+            .expect("allocation succeeds")
+            .objective(&xtalk)
+    };
+    let multi = objective(&group_fdm(&chip, &eq, 4));
+    let single = objective(&group_fdm(&chip, &plain, 4));
+    println!("crosstalk objective with n*l metric: {multi:.3e}");
+    println!("crosstalk objective with plain hops: {single:.3e}");
+    println!(
+        "multi-path metric is {}\n",
+        if multi <= single {
+            "better or equal"
+        } else {
+            "worse here"
+        }
+    );
+
+    println!("== Ablation 2+3: FDM grouping and allocation variants ==\n");
+    let mut t = Table::new(vec!["grouping", "allocation", "mean gate fidelity"]);
+    let variants: Vec<(&str, &str, f64)> = {
+        let yt_lines = group_fdm(&chip, &eq, 4);
+        let yt_freqs =
+            allocate_frequencies(&chip, &yt_lines, &xtalk, &FreqConfig::default()).unwrap();
+        let local_lines = group_fdm_local(&chip, 4);
+        let local_two =
+            allocate_frequencies(&chip, &local_lines, &xtalk, &FreqConfig::default()).unwrap();
+        let naive = NaiveFdm::for_chip(&chip, 4, &FreqConfig::default());
+        let f = |lines: &[youtiao_core::fdm::FdmLine],
+                 freqs: &youtiao_core::freq::FrequencyPlan| {
+            mean_gate_fidelity(
+                &FdmScenario {
+                    chip: &chip,
+                    lines,
+                    freqs,
+                    model: &model,
+                },
+                &sim,
+            )
+        };
+        vec![
+            ("equivalent-graph", "two-level", f(&yt_lines, &yt_freqs)),
+            ("local clusters", "two-level", f(&local_lines, &local_two)),
+            (
+                "local clusters",
+                "in-line only",
+                f(naive.fdm_lines(), naive.frequency_plan()),
+            ),
+            (
+                "equivalent-graph",
+                "in-line only",
+                f(
+                    &yt_lines,
+                    &allocate_in_line_only(&chip, &yt_lines, &FreqConfig::default()),
+                ),
+            ),
+        ]
+    };
+    for (g, a, fid) in variants {
+        t.row(vec![g.into(), a.into(), format!("{:.4}%", fid * 100.0)]);
+    }
+    t.print();
+
+    println!("\n== Ablation 4: TDM grouping awareness (VQC depth) ==\n");
+    let est = FidelityEstimator::paper();
+    let aware = YoutiaoPlanner::new(&chip).plan().unwrap();
+    let legal_only = AcharyaTdm::for_chip(&chip);
+    let d_aware = evaluate_benchmark(Benchmark::Vqc, &chip, &aware, &est, None).two_qubit_depth;
+    let d_legal =
+        evaluate_benchmark(Benchmark::Vqc, &chip, &legal_only, &est, None).two_qubit_depth;
+    println!("non-parallelism-aware: {d_aware} CZ layers");
+    println!(
+        "legal-only clustering: {d_legal} CZ layers ({:.2}x)\n",
+        d_legal as f64 / d_aware as f64
+    );
+
+    println!("== Ablation 5: DEMUX level policy (theta) on the 36-qubit chip ==\n");
+    let mut t = Table::new(vec!["policy", "Z lines", "select lines", "wiring cost"]);
+    for (name, theta) in [
+        ("all 1:2 (theta=0)", 0.0),
+        ("two-level (theta=4)", 4.0),
+        ("all 1:4 (theta=inf)", f64::INFINITY),
+    ] {
+        let config = PlannerConfig {
+            tdm: TdmConfig {
+                theta,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(config)
+            .plan()
+            .unwrap();
+        let tally = WiringTally::youtiao(&plan);
+        t.row(vec![
+            name.into(),
+            tally.z_lines.to_string(),
+            tally.demux_select_lines.to_string(),
+            format!("${:.0}K", tally.cost_kusd()),
+        ]);
+    }
+    t.print();
+
+    println!("\n== Ablation 6: greedy vs refined TDM grouping ==\n");
+    {
+        let mut t = Table::new(vec!["chip", "greedy Z lines", "refined Z lines"]);
+        for n in [4usize, 6, 8] {
+            // theta = inf: everything on 1:4 DEMUXes, where the greedy
+            // leaves singletons that refinement can absorb.
+            let grid = youtiao_chip::topology::square_grid(n, n);
+            let tdm = TdmConfig {
+                theta: f64::INFINITY,
+                ..Default::default()
+            };
+            let greedy = YoutiaoPlanner::new(&grid)
+                .with_config(PlannerConfig {
+                    tdm,
+                    ..Default::default()
+                })
+                .plan()
+                .unwrap();
+            let refined = YoutiaoPlanner::new(&grid)
+                .with_config(PlannerConfig {
+                    tdm,
+                    refine: Some(youtiao_core::refine::RefineConfig::default()),
+                    ..Default::default()
+                })
+                .plan()
+                .unwrap();
+            t.row(vec![
+                format!("{n}x{n}"),
+                greedy.num_z_lines().to_string(),
+                refined.num_z_lines().to_string(),
+            ]);
+        }
+        t.print();
+        println!(
+            "\n(the greedy grouping is already within a line or two of a local\n\
+             optimum on uniform grids; refinement matters for irregular chips)"
+        );
+    }
+
+    println!("\n== Ablation 7: activity budget on the surface code (d=5) ==\n");
+    let code = SurfaceCode::rotated(5);
+    let activity = cycle_activity(&code);
+    let circuit = cycles_circuit(&code, 25).unwrap();
+    let base = schedule_asap(&circuit, code.chip())
+        .unwrap()
+        .two_qubit_depth();
+    let mut t = Table::new(vec![
+        "max shared windows",
+        "Z lines",
+        "2q depth (25 cycles)",
+    ]);
+    for budget in [0u32, 1, 2, 4] {
+        let config = PlannerConfig {
+            tdm: TdmConfig {
+                max_shared_slots: budget,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let plan = YoutiaoPlanner::new(code.chip())
+            .with_config(config)
+            .with_activity(&activity)
+            .plan()
+            .unwrap();
+        let depth = schedule_with_tdm_strict(&circuit, code.chip(), &plan)
+            .unwrap()
+            .two_qubit_depth();
+        t.row(vec![
+            budget.to_string(),
+            plan.num_z_lines().to_string(),
+            format!("{depth} ({:.2}x)", depth as f64 / base as f64),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,61 @@
+//! Reproduces **Figure 14**: two-qubit gate depth across the five
+//! benchmarks under three wiring schemes.
+//!
+//! Paper: YOUTIAO incurs only 1.05× depth over Google's dedicated wiring
+//! and achieves a 1.23× depth reduction vs Acharya et al.'s local-cluster
+//! TDM (up to 1.36× on VQC).
+//!
+//! Run with `cargo run --release -p youtiao-bench --bin fig14`.
+
+use youtiao_bench::report::{ratio, Table};
+use youtiao_bench::target_chip_36;
+use youtiao_bench::tdm_eval::{evaluate_benchmark, geomean};
+use youtiao_circuit::benchmarks::Benchmark;
+use youtiao_circuit::schedule::DedicatedLines;
+use youtiao_circuit::FidelityEstimator;
+use youtiao_core::{AcharyaTdm, YoutiaoPlanner};
+
+fn main() {
+    let chip = target_chip_36();
+    let plan = YoutiaoPlanner::new(&chip)
+        .plan()
+        .expect("36-qubit plan succeeds");
+    let acharya = AcharyaTdm::for_chip(&chip);
+    let est = FidelityEstimator::paper();
+
+    println!("== Figure 14: two-qubit gate depth across benchmarks (36-qubit chip) ==\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "Google",
+        "YOUTIAO",
+        "Acharya",
+        "YOUTIAO/Google",
+        "Acharya/YOUTIAO",
+    ]);
+    let mut vs_google = Vec::new();
+    let mut vs_acharya = Vec::new();
+    for b in Benchmark::ALL {
+        let g = evaluate_benchmark(b, &chip, &DedicatedLines, &est, None);
+        let y = evaluate_benchmark(b, &chip, &plan, &est, None);
+        let a = evaluate_benchmark(b, &chip, &acharya, &est, None);
+        t.row(vec![
+            b.name().into(),
+            g.two_qubit_depth.to_string(),
+            y.two_qubit_depth.to_string(),
+            a.two_qubit_depth.to_string(),
+            ratio(y.two_qubit_depth as f64, g.two_qubit_depth as f64),
+            ratio(a.two_qubit_depth as f64, y.two_qubit_depth as f64),
+        ]);
+        vs_google.push(y.two_qubit_depth as f64 / g.two_qubit_depth as f64);
+        vs_acharya.push(a.two_qubit_depth as f64 / y.two_qubit_depth as f64);
+    }
+    t.print();
+    println!(
+        "\ngeomean YOUTIAO/Google depth:  {:.2}x (paper: 1.05x)",
+        geomean(&vs_google)
+    );
+    println!(
+        "geomean Acharya/YOUTIAO depth: {:.2}x (paper: 1.23x, up to 1.36x on VQC)",
+        geomean(&vs_acharya)
+    );
+}

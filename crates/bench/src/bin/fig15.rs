@@ -1,0 +1,66 @@
+//! Reproduces **Figure 15**: circuit fidelity across the five benchmarks
+//! under three wiring schemes.
+//!
+//! Paper: YOUTIAO achieves 1.23× better fidelity than Acharya et al.'s
+//! local-cluster TDM while staying within 1.06× of Google's dedicated
+//! wiring.
+//!
+//! Run with `cargo run --release -p youtiao-bench --bin fig15`.
+
+use youtiao_bench::report::{pct, Table};
+use youtiao_bench::tdm_eval::{evaluate_benchmark_width, geomean};
+use youtiao_bench::{fitted_xy_model, target_chip_36, DEFAULT_SEED};
+use youtiao_circuit::benchmarks::Benchmark;
+use youtiao_circuit::schedule::DedicatedLines;
+use youtiao_circuit::FidelityEstimator;
+use youtiao_core::{AcharyaTdm, YoutiaoPlanner};
+
+fn main() {
+    let chip = target_chip_36();
+    let model = fitted_xy_model(&chip, DEFAULT_SEED);
+    let plan = YoutiaoPlanner::new(&chip)
+        .with_crosstalk_model(&model)
+        .plan()
+        .expect("36-qubit plan succeeds");
+    let acharya = AcharyaTdm::for_chip(&chip);
+    let est = FidelityEstimator::paper();
+
+    println!("== Figure 15: circuit fidelity across benchmarks (36-qubit chip) ==\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "Google",
+        "YOUTIAO",
+        "Acharya",
+        "Google/YOUTIAO",
+        "YOUTIAO/Acharya",
+    ]);
+    let mut vs_google = Vec::new();
+    let mut vs_acharya = Vec::new();
+    for b in Benchmark::ALL {
+        // Fidelity runs use 24-qubit benchmark instances mapped onto the
+        // 36-qubit chip; full-width QFT/QKNN decohere to ~0 under every
+        // scheme and carry no signal.
+        let g = evaluate_benchmark_width(b, 24, &chip, &DedicatedLines, &est, Some(&model));
+        let y = evaluate_benchmark_width(b, 24, &chip, &plan, &est, Some(&model));
+        let a = evaluate_benchmark_width(b, 24, &chip, &acharya, &est, Some(&model));
+        t.row(vec![
+            b.name().into(),
+            pct(g.fidelity),
+            pct(y.fidelity),
+            pct(a.fidelity),
+            format!("{:.2}x", g.fidelity / y.fidelity),
+            format!("{:.2}x", y.fidelity / a.fidelity),
+        ]);
+        vs_google.push(g.fidelity / y.fidelity);
+        vs_acharya.push(y.fidelity / a.fidelity);
+    }
+    t.print();
+    println!(
+        "\ngeomean Google/YOUTIAO fidelity:  {:.2}x (paper: 1.06x)",
+        geomean(&vs_google)
+    );
+    println!(
+        "geomean YOUTIAO/Acharya fidelity: {:.2}x (paper: 1.23x)",
+        geomean(&vs_acharya)
+    );
+}

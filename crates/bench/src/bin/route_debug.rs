@@ -1,0 +1,56 @@
+//! Developer utility: routes the Table-2 net lists one net at a time and
+//! reports where routing fails. Not part of the paper reproduction.
+
+use youtiao_bench::nets::{google_nets, scaled_for_routing, sort_inside_out};
+use youtiao_chip::topology;
+use youtiao_route::router::{route_chip, route_chip_with_retries, RouteConfig};
+
+fn main() {
+    let chip = topology::square_grid(3, 3);
+    let rchip = scaled_for_routing(&chip, 2.0);
+    let mut nets = google_nets(&rchip, 8);
+    sort_inside_out(&rchip, &mut nets);
+    let cfg = RouteConfig::default();
+    let t0 = std::time::Instant::now();
+    match route_chip_with_retries(&rchip, &nets, &cfg, 300) {
+        Ok(r) => println!(
+            "retry router: OK in {:?}, area {:.2} mm^2, drc clean: {}",
+            t0.elapsed(),
+            r.routing_area_mm2,
+            r.drc.is_clean()
+        ),
+        Err(e) => println!("retry router: FAILED after {:?}: {e}", t0.elapsed()),
+    }
+    println!(
+        "order: {:?}",
+        nets.iter().map(|n| n.name.clone()).collect::<Vec<_>>()
+    );
+    for k in 1..=nets.len() {
+        match route_chip(&rchip, &nets[..k], &cfg) {
+            Ok(r) => println!(
+                "{k:2} nets ok, last={} len={:.2}mm",
+                nets[k - 1].name,
+                r.nets.last().unwrap().length_mm
+            ),
+            Err(e) => {
+                println!("{k:2} nets FAILED: {e}");
+                // Probe: route ONLY the failing net on an otherwise
+                // stub-reserved grid to separate congestion from setup.
+                let solo = vec![nets[k - 1].clone()];
+                match route_chip(&rchip, &solo, &cfg) {
+                    Ok(_) => println!("   (net routes fine alone)"),
+                    Err(e2) => println!("   (net fails even alone: {e2})"),
+                }
+                // And with all nets' reservations but only this net routed:
+                let mut reordered = nets[..k].to_vec();
+                let failed = reordered.remove(k - 1);
+                reordered.insert(0, failed);
+                match route_chip(&rchip, &reordered, &cfg) {
+                    Ok(_) => println!("   (routes when promoted to front)"),
+                    Err(e2) => println!("   (still fails promoted: {e2})"),
+                }
+                break;
+            }
+        }
+    }
+}

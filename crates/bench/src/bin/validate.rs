@@ -1,0 +1,81 @@
+//! Cross-validates the analytic fidelity estimator against Monte-Carlo
+//! state-vector trajectories, and confirms that the scheme ordering of
+//! Figures 14–15 (Google ≥ YOUTIAO ≥ Acharya) survives full trajectory
+//! simulation rather than first-order estimation.
+//!
+//! Run with `cargo run --release -p youtiao-bench --bin validate`.
+
+use youtiao_bench::report::{pct, Table};
+use youtiao_bench::DEFAULT_SEED;
+use youtiao_chip::topology;
+use youtiao_circuit::benchmarks::Benchmark;
+use youtiao_circuit::schedule::{schedule_with_tdm, DedicatedLines, SharedLineConstraint};
+use youtiao_circuit::transpile::transpile_snake;
+use youtiao_circuit::FidelityEstimator;
+use youtiao_core::{AcharyaTdm, YoutiaoPlanner};
+use youtiao_sim::{simulate_fidelity_mc, NoiseParams};
+
+const TRIALS: usize = 300;
+
+fn main() {
+    let chip = topology::square_grid(4, 4);
+    let plan = YoutiaoPlanner::new(&chip)
+        .plan()
+        .expect("16-qubit plan succeeds");
+    let acharya = AcharyaTdm::for_chip(&chip);
+    let est = FidelityEstimator::paper();
+    let noise = NoiseParams::from_estimator(&est);
+
+    println!("== Estimator validation: analytic vs {TRIALS}-trajectory Monte Carlo ==");
+    println!("(16-qubit chip, 12-qubit benchmark instances)\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "scheme",
+        "analytic",
+        "monte carlo",
+        "gap",
+    ]);
+    let mut max_gap = 0.0f64;
+    for b in [Benchmark::Vqc, Benchmark::Ising, Benchmark::Dj] {
+        let logical = b.generate(12);
+        let physical = transpile_snake(&logical, &chip)
+            .expect("benchmarks fit")
+            .circuit;
+        let schemes: [(&str, &dyn SharedLineConstraint); 3] = [
+            ("Google", &DedicatedLines),
+            ("YOUTIAO", &plan),
+            ("Acharya", &acharya),
+        ];
+        let mut last = f64::INFINITY;
+        for (name, constraint) in schemes {
+            let schedule = schedule_with_tdm(&physical, &chip, constraint).expect("plans schedule");
+            let analytic = est.estimate(&schedule, &chip).total();
+            let mc =
+                simulate_fidelity_mc(&schedule, chip.num_qubits(), &noise, TRIALS, DEFAULT_SEED);
+            let gap = (mc - analytic).abs();
+            max_gap = max_gap.max(gap);
+            t.row(vec![
+                b.name().into(),
+                name.into(),
+                pct(analytic),
+                pct(mc),
+                format!("{gap:.3}"),
+            ]);
+            // Ordering check: each scheme should not beat the previous
+            // (Google >= YOUTIAO >= Acharya) under MC as well — small MC
+            // noise tolerated.
+            assert!(
+                mc <= last + 0.03,
+                "{}: ordering violated ({mc} > {last})",
+                b.name()
+            );
+            last = mc;
+        }
+    }
+    t.print();
+    println!(
+        "\nlargest analytic-vs-MC gap: {max_gap:.3} (expect < ~0.1: the product model\n\
+         slightly underestimates deep circuits, where some Pauli errors cancel)"
+    );
+    println!("scheme ordering Google >= YOUTIAO >= Acharya holds under trajectory simulation.");
+}

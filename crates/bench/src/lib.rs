@@ -1,0 +1,47 @@
+//! Shared experiment harness for the paper-reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see EXPERIMENTS.md at the workspace root). The modules here
+//! hold the evaluation logic they share:
+//!
+//! * [`fdm_eval`] — per-qubit gate-error evaluation for FDM wiring
+//!   schemes (pulse-level in-line leakage + model-predicted cross-line
+//!   crosstalk), used by Figures 12–13 and 17 (b);
+//! * [`tdm_eval`] — benchmark depth/fidelity evaluation across wiring
+//!   schemes, used by Figures 14–15, Table 1 and the motivation demo;
+//! * [`nets`] — chip-level net lists for the router, used by Table 2;
+//! * [`report`] — plain-text table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fdm_eval;
+pub mod nets;
+pub mod report;
+pub mod tdm_eval;
+
+/// The default random seed used across experiment binaries.
+pub const DEFAULT_SEED: u64 = 20250705;
+
+/// Builds the 36-qubit (6×6) evaluation chip of §5.1.
+pub fn target_chip_36() -> youtiao_chip::Chip {
+    youtiao_chip::topology::square_grid(6, 6)
+}
+
+/// Builds the 64-qubit (8×8) generality chip of §5.4.
+pub fn target_chip_64() -> youtiao_chip::Chip {
+    youtiao_chip::topology::square_grid(8, 8)
+}
+
+/// Fits the XY crosstalk model for a chip from synthesized measurements,
+/// using the paper's 5-fold CV procedure.
+pub fn fitted_xy_model(chip: &youtiao_chip::Chip, seed: u64) -> youtiao_noise::CrosstalkModel {
+    let samples = youtiao_noise::data::synthesize(
+        chip,
+        youtiao_noise::data::CrosstalkKind::Xy,
+        &youtiao_noise::data::SynthConfig::xy(),
+        seed,
+    );
+    youtiao_noise::fit::fit_crosstalk_model(&samples, &youtiao_noise::fit::FitConfig::paper())
+        .expect("synthesized data always fits")
+}

@@ -1,0 +1,179 @@
+//! Chip-level net lists for the on-chip router (Table 2, chip level).
+
+use youtiao_chip::chip::QUBIT_DIAMETER_MM;
+use youtiao_chip::{Chip, Position, QubitId};
+use youtiao_core::WiringPlan;
+use youtiao_route::router::NetSpec;
+
+/// Pad offset from the qubit centre: each control line lands on its own
+/// pad on the transmon perimeter (XY west, Z east, readout north).
+const PAD_OFFSET_MM: f64 = QUBIT_DIAMETER_MM / 2.0 + 0.02;
+
+/// Rebuilds `chip` with all device positions scaled by `factor`,
+/// preserving ids and couplers. Used for chip-level routing: the paper's
+/// devices include ~4.3 mm readout resonators, so the effective routing
+/// pitch is about twice the logical qubit pitch.
+pub fn scaled_for_routing(chip: &Chip, factor: f64) -> Chip {
+    let mut b = youtiao_chip::ChipBuilder::new(format!("{}-routing", chip.name()), chip.kind());
+    for q in chip.qubits() {
+        let p = q.position();
+        b = b.qubit(Position::new(p.x * factor, p.y * factor));
+    }
+    for c in chip.couplers() {
+        let (a, z) = c.endpoints();
+        b = b.coupler(a, z);
+    }
+    b.build().expect("scaling preserves validity")
+}
+
+/// Sorts nets into a congestion-friendly routing order: heavily
+/// constrained multi-terminal chains first, then singles innermost-first
+/// (deep terminals claim scarce inner corridors before the flexible
+/// perimeter nets).
+pub fn sort_inside_out(chip: &Chip, nets: &mut [NetSpec]) {
+    let bb = chip.bounding_box();
+    let center = Position::new((bb.min.x + bb.max.x) / 2.0, (bb.min.y + bb.max.y) / 2.0);
+    nets.sort_by(|a, b| {
+        let depth = |n: &NetSpec| {
+            n.terminals
+                .iter()
+                .map(|t| t.distance_to(center))
+                .fold(f64::INFINITY, f64::min)
+        };
+        // Singles route innermost-first; long chains go last so their
+        // snaking paths never enclose an unrouted inner pad.
+        a.terminals
+            .len()
+            .cmp(&b.terminals.len())
+            .then(depth(a).total_cmp(&depth(b)))
+    });
+}
+
+/// Reorders a terminal list into a greedy nearest-neighbour chain so
+/// chained nets do not zig-zag across the die.
+fn chain_order(mut terminals: Vec<Position>) -> Vec<Position> {
+    if terminals.len() <= 2 {
+        return terminals;
+    }
+    let mut ordered = vec![terminals.remove(0)];
+    while !terminals.is_empty() {
+        let last = *ordered.last().expect("ordered is non-empty");
+        let (i, _) = terminals
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| last.distance_to(**a).total_cmp(&last.distance_to(**b)))
+            .expect("terminals is non-empty");
+        ordered.push(terminals.remove(i));
+    }
+    ordered
+}
+
+fn xy_pad(chip: &Chip, q: QubitId) -> Position {
+    let p = chip.qubit(q).expect("qubit id in range").position();
+    Position::new(p.x - PAD_OFFSET_MM, p.y)
+}
+
+fn z_pad(chip: &Chip, q: QubitId) -> Position {
+    let p = chip.qubit(q).expect("qubit id in range").position();
+    Position::new(p.x + PAD_OFFSET_MM, p.y)
+}
+
+fn readout_pad(chip: &Chip, q: QubitId) -> Position {
+    let p = chip.qubit(q).expect("qubit id in range").position();
+    Position::new(p.x, p.y + PAD_OFFSET_MM)
+}
+
+/// Nets for the Google baseline: a dedicated XY and Z net per qubit, a
+/// dedicated Z net per coupler, and readout feedlines chaining groups of
+/// `readout_capacity` qubits.
+pub fn google_nets(chip: &Chip, readout_capacity: usize) -> Vec<NetSpec> {
+    let mut nets = Vec::new();
+    for q in chip.qubit_ids() {
+        nets.push(NetSpec::chain(format!("xy-{q}"), vec![xy_pad(chip, q)]));
+    }
+    for q in chip.qubit_ids() {
+        nets.push(NetSpec::chain(format!("z-{q}"), vec![z_pad(chip, q)]));
+    }
+    for c in chip.couplers() {
+        nets.push(NetSpec::chain(format!("z-{}", c.id()), vec![c.position()]));
+    }
+    let qubits: Vec<QubitId> = chip.qubit_ids().collect();
+    for (i, group) in qubits.chunks(readout_capacity).enumerate() {
+        let terminals = chain_order(group.iter().map(|&q| readout_pad(chip, q)).collect());
+        nets.push(NetSpec::chain(format!("ro-{i}"), terminals));
+    }
+    nets
+}
+
+/// Nets for a YOUTIAO plan: one chained net per FDM line, one chained
+/// net per TDM group (interface → DEMUX → devices), per-group DEMUX
+/// select nets, and the readout feedlines.
+pub fn youtiao_nets(chip: &Chip, plan: &WiringPlan) -> Vec<NetSpec> {
+    let mut nets = Vec::new();
+    for (i, line) in plan.fdm_lines().iter().enumerate() {
+        let terminals = chain_order(line.qubits().iter().map(|&q| xy_pad(chip, q)).collect());
+        nets.push(NetSpec::chain(format!("xy-{i}"), terminals));
+    }
+    for (i, group) in plan.tdm_groups().iter().enumerate() {
+        let terminals: Vec<Position> = group
+            .devices()
+            .iter()
+            .map(|&d| match d {
+                youtiao_chip::DeviceId::Qubit(q) => z_pad(chip, q),
+                youtiao_chip::DeviceId::Coupler(_) => chip.device_position(d),
+            })
+            .collect();
+        let terminals = chain_order(terminals);
+        // Select lines terminate at the DEMUX, placed just south of the
+        // group's first device (each select pin on its own pad).
+        let demux_at = terminals[0];
+        nets.push(NetSpec::chain(format!("z-{i}"), terminals));
+        for s in 0..group.level().select_lines() {
+            let pad = Position::new(demux_at.x + 0.08 + 0.08 * s as f64, demux_at.y - 0.15);
+            nets.push(NetSpec::chain(format!("sel-{i}-{s}"), vec![pad]));
+        }
+    }
+    for (i, line) in plan.readout_lines().iter().enumerate() {
+        let terminals = chain_order(line.iter().map(|&q| readout_pad(chip, q)).collect());
+        nets.push(NetSpec::chain(format!("ro-{i}"), terminals));
+    }
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+    use youtiao_core::YoutiaoPlanner;
+    use youtiao_cost::WiringTally;
+
+    #[test]
+    fn google_net_count_matches_interfaces() {
+        let chip = topology::square_grid(3, 3);
+        let nets = google_nets(&chip, 8);
+        let tally = WiringTally::google(&chip);
+        assert_eq!(nets.len(), tally.interfaces());
+    }
+
+    #[test]
+    fn youtiao_net_count_matches_interfaces() {
+        let chip = topology::square_grid(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let nets = youtiao_nets(&chip, &plan);
+        let tally = WiringTally::youtiao(&plan);
+        assert_eq!(nets.len(), tally.interfaces());
+        assert!(nets.len() < google_nets(&chip, 8).len());
+    }
+
+    #[test]
+    fn nets_have_terminals() {
+        let chip = topology::heavy_square(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        for net in youtiao_nets(&chip, &plan)
+            .iter()
+            .chain(&google_nets(&chip, 8))
+        {
+            assert!(!net.terminals.is_empty(), "{} empty", net.name);
+        }
+    }
+}

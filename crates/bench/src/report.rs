@@ -1,0 +1,121 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// A simple aligned-column table printer.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_bench::report::Table;
+/// let mut t = Table::new(vec!["topology", "#XY", "#Z"]);
+/// t.row(vec!["square".into(), "9".into(), "21".into()]);
+/// let s = t.render();
+/// assert!(s.contains("square"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fidelity as a percentage with two decimals.
+pub fn pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.2}x", a / b)
+}
+
+/// Formats thousands of USD as `$NK` / `$N.NNM`.
+pub fn kusd(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("${:.2}M", v / 1000.0)
+    } else {
+        format!("${v:.0}K")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("x"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.9998), "99.98%");
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+        assert_eq!(kusd(470.0), "$470K");
+        assert_eq!(kusd(6430.0), "$6.43M");
+    }
+}

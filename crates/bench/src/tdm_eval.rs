@@ -1,0 +1,157 @@
+//! Benchmark depth/fidelity evaluation across wiring schemes.
+
+use youtiao_chip::Chip;
+use youtiao_circuit::benchmarks::Benchmark;
+use youtiao_circuit::schedule::{schedule_with_tdm, Schedule, SharedLineConstraint};
+use youtiao_circuit::transpile::transpile_snake;
+use youtiao_circuit::{Circuit, FidelityEstimator};
+use youtiao_noise::CrosstalkModel;
+
+/// Depth and fidelity of one circuit under one wiring scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeOutcome {
+    /// Layers containing at least one CZ (the paper's depth metric).
+    pub two_qubit_depth: usize,
+    /// Total depth in layers.
+    pub depth: usize,
+    /// Wall-clock makespan in nanoseconds.
+    pub makespan_ns: f64,
+    /// Estimated circuit fidelity.
+    pub fidelity: f64,
+}
+
+/// Schedules a physical circuit under `constraint` and scores it.
+///
+/// # Panics
+///
+/// Panics if scheduling fails (unrealizable gates indicate a broken
+/// grouping, which the planner is supposed to prevent).
+pub fn evaluate_physical<C: SharedLineConstraint + ?Sized>(
+    physical: &Circuit,
+    chip: &Chip,
+    constraint: &C,
+    estimator: &FidelityEstimator,
+    model: Option<&CrosstalkModel>,
+) -> SchemeOutcome {
+    let schedule = schedule_with_tdm(physical, chip, constraint)
+        .expect("plans produced by the planners contain no unrealizable gates");
+    score(&schedule, chip, estimator, model)
+}
+
+/// Transpiles `benchmark` at the chip's full width, then evaluates it.
+///
+/// # Panics
+///
+/// Panics if transpilation or scheduling fails.
+pub fn evaluate_benchmark<C: SharedLineConstraint + ?Sized>(
+    benchmark: Benchmark,
+    chip: &Chip,
+    constraint: &C,
+    estimator: &FidelityEstimator,
+    model: Option<&CrosstalkModel>,
+) -> SchemeOutcome {
+    evaluate_benchmark_width(
+        benchmark,
+        chip.num_qubits(),
+        chip,
+        constraint,
+        estimator,
+        model,
+    )
+}
+
+/// Like [`evaluate_benchmark`] at an explicit logical width (placed on
+/// the chip's snake path).
+///
+/// # Panics
+///
+/// Panics if transpilation or scheduling fails.
+pub fn evaluate_benchmark_width<C: SharedLineConstraint + ?Sized>(
+    benchmark: Benchmark,
+    width: usize,
+    chip: &Chip,
+    constraint: &C,
+    estimator: &FidelityEstimator,
+    model: Option<&CrosstalkModel>,
+) -> SchemeOutcome {
+    let logical = benchmark.generate(width);
+    let physical = transpile_snake(&logical, chip)
+        .map(|t| t.circuit)
+        .expect("benchmarks fit the chip");
+    evaluate_physical(&physical, chip, constraint, estimator, model)
+}
+
+fn score(
+    schedule: &Schedule,
+    chip: &Chip,
+    estimator: &FidelityEstimator,
+    model: Option<&CrosstalkModel>,
+) -> SchemeOutcome {
+    let report = match model {
+        Some(m) => estimator.estimate_with_crosstalk(schedule, chip, m),
+        None => estimator.estimate(schedule, chip),
+    };
+    SchemeOutcome {
+        two_qubit_depth: schedule.two_qubit_depth(),
+        depth: schedule.depth(),
+        makespan_ns: schedule.makespan_ns(),
+        fidelity: report.total(),
+    }
+}
+
+/// Geometric mean of a slice of positive ratios.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of zero values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+    use youtiao_circuit::schedule::DedicatedLines;
+    use youtiao_core::{AcharyaTdm, YoutiaoPlanner};
+
+    #[test]
+    fn depth_ordering_google_youtiao_acharya() {
+        let chip = topology::square_grid(4, 4);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let acharya = AcharyaTdm::for_chip(&chip);
+        let est = FidelityEstimator::paper();
+        let mut wins = 0usize;
+        for b in Benchmark::ALL {
+            let g = evaluate_benchmark(b, &chip, &DedicatedLines, &est, None);
+            let y = evaluate_benchmark(b, &chip, &plan, &est, None);
+            let a = evaluate_benchmark(b, &chip, &acharya, &est, None);
+            assert!(g.two_qubit_depth <= y.two_qubit_depth, "{}", b.name());
+            if y.two_qubit_depth <= a.two_qubit_depth {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 4,
+            "youtiao should beat acharya on most benchmarks: {wins}/5"
+        );
+    }
+
+    #[test]
+    fn fidelity_tracks_depth() {
+        let chip = topology::square_grid(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let est = FidelityEstimator::paper();
+        let g = evaluate_benchmark(Benchmark::Vqc, &chip, &DedicatedLines, &est, None);
+        let y = evaluate_benchmark(Benchmark::Vqc, &chip, &plan, &est, None);
+        assert!(g.fidelity >= y.fidelity);
+        assert!(y.fidelity > 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for chip construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::{CouplerId, QubitId};
+
+/// Errors produced while building or querying a [`Chip`](crate::Chip).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// A coupler referenced a qubit id that does not exist on the chip.
+    UnknownQubit(QubitId),
+    /// A coupler id was referenced that does not exist on the chip.
+    UnknownCoupler(CouplerId),
+    /// Two couplers were declared between the same pair of qubits.
+    DuplicateCoupler(QubitId, QubitId),
+    /// A coupler connected a qubit to itself.
+    SelfCoupling(QubitId),
+    /// The chip has no qubits.
+    Empty,
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::UnknownQubit(q) => write!(f, "unknown qubit {q}"),
+            ChipError::UnknownCoupler(c) => write!(f, "unknown coupler {c}"),
+            ChipError::DuplicateCoupler(a, b) => {
+                write!(f, "duplicate coupler between {a} and {b}")
+            }
+            ChipError::SelfCoupling(q) => write!(f, "coupler connects {q} to itself"),
+            ChipError::Empty => write!(f, "chip has no qubits"),
+        }
+    }
+}
+
+impl Error for ChipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msgs = [
+            ChipError::UnknownQubit(QubitId::new(3)).to_string(),
+            ChipError::UnknownCoupler(CouplerId::new(1)).to_string(),
+            ChipError::DuplicateCoupler(QubitId::new(0), QubitId::new(1)).to_string(),
+            ChipError::SelfCoupling(QubitId::new(2)).to_string(),
+            ChipError::Empty.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChipError>();
+    }
+}

@@ -1,0 +1,207 @@
+//! Planar geometry for on-chip device placement.
+//!
+//! All coordinates are in **millimetres** on the sapphire die, matching the
+//! scales quoted in the paper (transmon diameter ≈ 0.65 mm, wafer ≤ 300 mm).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the chip plane, in millimetres.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::Position;
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate in millimetres.
+    pub x: f64,
+    /// Vertical coordinate in millimetres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from `x`/`y` coordinates in millimetres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, in millimetres.
+    ///
+    /// This is the physical distance `d_phy` of §4.1 of the paper.
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Midpoint between this position and another.
+    pub fn midpoint(self, other: Position) -> Position {
+        Position::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl Add for Position {
+    type Output = Position;
+
+    fn add(self, rhs: Position) -> Position {
+        Position::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Position {
+    type Output = Position;
+
+    fn sub(self, rhs: Position) -> Position {
+        Position::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl From<(f64, f64)> for Position {
+    fn from((x, y): (f64, f64)) -> Self {
+        Position::new(x, y)
+    }
+}
+
+/// Axis-aligned bounding box of a set of positions, in millimetres.
+///
+/// Used by the router to size the routing grid and by the partitioner to
+/// seed regions.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::geometry::BoundingBox;
+/// use youtiao_chip::Position;
+///
+/// let bb = BoundingBox::of([Position::new(0.0, 1.0), Position::new(2.0, 5.0)]).unwrap();
+/// assert_eq!(bb.width(), 2.0);
+/// assert_eq!(bb.height(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub min: Position,
+    /// Upper-right corner.
+    pub max: Position,
+}
+
+impl BoundingBox {
+    /// Computes the bounding box of an iterator of positions.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn of<I>(positions: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = Position>,
+    {
+        let mut iter = positions.into_iter();
+        let first = iter.next()?;
+        let mut bb = BoundingBox {
+            min: first,
+            max: first,
+        };
+        for p in iter {
+            bb.min.x = bb.min.x.min(p.x);
+            bb.min.y = bb.min.y.min(p.y);
+            bb.max.x = bb.max.x.max(p.x);
+            bb.max.y = bb.max.y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// Width of the box in millimetres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the box in millimetres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Grows the box outward by `margin` millimetres on each side.
+    pub fn expanded(&self, margin: f64) -> BoundingBox {
+        BoundingBox {
+            min: Position::new(self.min.x - margin, self.min.y - margin),
+            max: Position::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Returns `true` when the position lies inside (or on the edge of) the box.
+    pub fn contains(&self, p: Position) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(4.0, 6.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(-1.0, 0.5);
+        let b = Position::new(2.5, -3.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(2.0, 6.0);
+        assert_eq!(a.midpoint(b), Position::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Position::new(1.5, -2.0);
+        let b = Position::new(0.25, 4.0);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let bb = BoundingBox::of([
+            Position::new(1.0, 5.0),
+            Position::new(-2.0, 3.0),
+            Position::new(4.0, -1.0),
+        ])
+        .unwrap();
+        assert_eq!(bb.min, Position::new(-2.0, -1.0));
+        assert_eq!(bb.max, Position::new(4.0, 5.0));
+        assert_eq!(bb.width(), 6.0);
+        assert_eq!(bb.height(), 6.0);
+    }
+
+    #[test]
+    fn bounding_box_empty_is_none() {
+        assert!(BoundingBox::of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bounding_box_expand_and_contains() {
+        let bb = BoundingBox::of([Position::new(0.0, 0.0), Position::new(1.0, 1.0)])
+            .unwrap()
+            .expanded(0.5);
+        assert!(bb.contains(Position::new(-0.5, -0.5)));
+        assert!(bb.contains(Position::new(1.5, 1.5)));
+        assert!(!bb.contains(Position::new(2.0, 0.0)));
+    }
+}

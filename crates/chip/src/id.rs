@@ -1,0 +1,226 @@
+//! Strongly-typed identifiers for on-chip devices.
+//!
+//! Qubits and couplers are both Z-controlled devices from the wiring
+//! system's point of view, so a unifying [`DeviceId`] is provided for code
+//! (TDM grouping, DEMUX assignment) that treats them uniformly, while
+//! [`QubitId`] / [`CouplerId`] keep the two namespaces statically distinct
+//! everywhere else.
+
+use std::fmt;
+
+/// Index of a qubit on a chip.
+///
+/// Identifiers are dense: a chip with `n` qubits uses ids `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::QubitId;
+/// let q = QubitId::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QubitId(u32);
+
+impl QubitId {
+    /// Creates a qubit id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        QubitId(index)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for QubitId {
+    fn from(v: u32) -> Self {
+        QubitId(v)
+    }
+}
+
+impl From<usize> for QubitId {
+    fn from(v: usize) -> Self {
+        QubitId(v as u32)
+    }
+}
+
+/// Index of a tunable coupler on a chip.
+///
+/// Identifiers are dense: a chip with `m` couplers uses ids `0..m`.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::CouplerId;
+/// let c = CouplerId::new(1);
+/// assert_eq!(c.to_string(), "c1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CouplerId(u32);
+
+impl CouplerId {
+    /// Creates a coupler id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        CouplerId(index)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CouplerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for CouplerId {
+    fn from(v: u32) -> Self {
+        CouplerId(v)
+    }
+}
+
+impl From<usize> for CouplerId {
+    fn from(v: usize) -> Self {
+        CouplerId(v as u32)
+    }
+}
+
+/// A Z-controlled device: either a qubit or a coupler.
+///
+/// The TDM grouping stage of YOUTIAO assigns *both* qubits and couplers to
+/// cryo-DEMUX channels, so it operates on `DeviceId`s.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::{DeviceId, QubitId};
+/// let d = DeviceId::from(QubitId::new(0));
+/// assert!(d.as_qubit().is_some());
+/// assert!(d.as_coupler().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceId {
+    /// A qubit device.
+    Qubit(QubitId),
+    /// A coupler device.
+    Coupler(CouplerId),
+}
+
+impl DeviceId {
+    /// Returns the qubit id if this device is a qubit.
+    pub fn as_qubit(self) -> Option<QubitId> {
+        match self {
+            DeviceId::Qubit(q) => Some(q),
+            DeviceId::Coupler(_) => None,
+        }
+    }
+
+    /// Returns the coupler id if this device is a coupler.
+    pub fn as_coupler(self) -> Option<CouplerId> {
+        match self {
+            DeviceId::Coupler(c) => Some(c),
+            DeviceId::Qubit(_) => None,
+        }
+    }
+
+    /// Returns `true` when the device is a qubit.
+    pub fn is_qubit(self) -> bool {
+        matches!(self, DeviceId::Qubit(_))
+    }
+
+    /// Returns `true` when the device is a coupler.
+    pub fn is_coupler(self) -> bool {
+        matches!(self, DeviceId::Coupler(_))
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceId::Qubit(q) => write!(f, "{q}"),
+            DeviceId::Coupler(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<QubitId> for DeviceId {
+    fn from(q: QubitId) -> Self {
+        DeviceId::Qubit(q)
+    }
+}
+
+impl From<CouplerId> for DeviceId {
+    fn from(c: CouplerId) -> Self {
+        DeviceId::Coupler(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_id_roundtrip() {
+        let q = QubitId::new(17);
+        assert_eq!(q.index(), 17);
+        assert_eq!(q.value(), 17);
+        assert_eq!(QubitId::from(17u32), q);
+        assert_eq!(QubitId::from(17usize), q);
+    }
+
+    #[test]
+    fn coupler_id_roundtrip() {
+        let c = CouplerId::new(5);
+        assert_eq!(c.index(), 5);
+        assert_eq!(c.value(), 5);
+        assert_eq!(CouplerId::from(5u32), c);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QubitId::new(2).to_string(), "q2");
+        assert_eq!(CouplerId::new(9).to_string(), "c9");
+        assert_eq!(DeviceId::from(QubitId::new(2)).to_string(), "q2");
+        assert_eq!(DeviceId::from(CouplerId::new(9)).to_string(), "c9");
+    }
+
+    #[test]
+    fn device_id_projection() {
+        let dq = DeviceId::from(QubitId::new(1));
+        let dc = DeviceId::from(CouplerId::new(2));
+        assert_eq!(dq.as_qubit(), Some(QubitId::new(1)));
+        assert_eq!(dq.as_coupler(), None);
+        assert_eq!(dc.as_coupler(), Some(CouplerId::new(2)));
+        assert_eq!(dc.as_qubit(), None);
+        assert!(dq.is_qubit() && !dq.is_coupler());
+        assert!(dc.is_coupler() && !dc.is_qubit());
+    }
+
+    #[test]
+    fn ordering_is_by_index_within_kind() {
+        assert!(QubitId::new(1) < QubitId::new(2));
+        assert!(CouplerId::new(0) < CouplerId::new(10));
+    }
+}

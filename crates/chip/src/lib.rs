@@ -1,0 +1,53 @@
+//! Superconducting quantum chip model for YOUTIAO.
+//!
+//! This crate is the hardware substrate of the YOUTIAO reproduction: it
+//! models a superconducting quantum processor as a set of [`Qubit`]s placed
+//! on a 2-D sapphire die, pairwise connected through tunable [`Coupler`]s.
+//! Every higher-level YOUTIAO stage (crosstalk fitting, FDM/TDM grouping,
+//! chip partitioning, on-chip routing, cost accounting) consumes the types
+//! defined here.
+//!
+//! # Highlights
+//!
+//! * [`Chip`] — validated, immutable device description with adjacency
+//!   queries, built through [`ChipBuilder`].
+//! * [`topology`] — generators for the five qubit arrangements evaluated in
+//!   the paper (square, hexagon, heavy square, heavy hexagon, low density)
+//!   plus the 6×6 / 8×8 Xmon grids used for crosstalk fitting.
+//! * [`distance`] — physical, multi-shortest-path topological, and
+//!   *equivalent* distances (§4.1 of the paper).
+//! * [`surface`] — rotated surface-code layouts for the fault-tolerant chip
+//!   case study (§5.2, Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use youtiao_chip::topology;
+//! use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+//!
+//! let chip = topology::square_grid(6, 6);
+//! assert_eq!(chip.num_qubits(), 36);
+//! let weights = EquivalentWeights::new(0.5, 0.5).unwrap();
+//! let matrix = equivalent_matrix(&chip, weights);
+//! assert!(matrix.get(0u32.into(), 35u32.into()) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod distance;
+pub mod error;
+pub mod geometry;
+pub mod id;
+pub mod spec;
+pub mod surface;
+pub mod topology;
+
+pub use crate::chip::{Chip, ChipBuilder, Coupler, Qubit, QubitRole};
+pub use crate::distance::{DistanceMatrix, EquivalentWeights, TopologicalDistance};
+pub use crate::error::ChipError;
+pub use crate::geometry::Position;
+pub use crate::id::{CouplerId, DeviceId, QubitId};
+pub use crate::spec::ChipSpec;
+pub use crate::topology::TopologyKind;

@@ -1,0 +1,326 @@
+//! Rotated surface-code chip layouts for the fault-tolerant case study
+//! (§5.2, Table 1 of the paper).
+//!
+//! A distance-`d` rotated surface code uses `d²` data qubits and `d² − 1`
+//! parity-check (ancilla) qubits, for `2d² − 1` qubits total — exactly the
+//! `#XY line` column of Table 1 — and `4(d−1)² + 4(d−1)` data–ancilla
+//! couplers, which together with the qubits reproduce the `#Z line` column.
+
+use crate::chip::{Chip, ChipBuilder, QubitRole};
+use crate::geometry::Position;
+use crate::id::QubitId;
+use crate::topology::{TopologyKind, DEFAULT_PITCH_MM};
+
+/// Stabilizer type of a parity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StabilizerKind {
+    /// X-type (detects phase flips).
+    X,
+    /// Z-type (detects bit flips).
+    Z,
+}
+
+/// One parity check: an ancilla qubit plus its CZ interaction schedule.
+///
+/// `schedule[t]` names the data qubit the ancilla interacts with in CZ time
+/// step `t ∈ 0..4` of an error-correction cycle (`None` for weight-2
+/// boundary checks in the steps they sit idle). The standard zig-zag
+/// ordering is used so that within each time step every qubit participates
+/// in at most one CZ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// The ancilla (parity-check) qubit.
+    pub ancilla: QubitId,
+    /// X- or Z-type.
+    pub kind: StabilizerKind,
+    /// Data-qubit interaction schedule over the 4 CZ steps.
+    pub schedule: [Option<QubitId>; 4],
+}
+
+impl Stabilizer {
+    /// The stabilizer weight (number of data qubits it checks: 2 or 4).
+    pub fn weight(&self) -> usize {
+        self.schedule.iter().flatten().count()
+    }
+
+    /// Iterates over the data qubits this stabilizer checks.
+    pub fn data_qubits(&self) -> impl Iterator<Item = QubitId> + '_ {
+        self.schedule.iter().flatten().copied()
+    }
+}
+
+/// A distance-`d` rotated surface-code patch: the chip plus the stabilizer
+/// structure needed to generate error-correction cycle circuits.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::surface::SurfaceCode;
+///
+/// let code = SurfaceCode::rotated(3);
+/// assert_eq!(code.chip().num_qubits(), 17);     // 2d^2 - 1
+/// assert_eq!(code.chip().num_couplers(), 24);   // 4(d-1)^2 + 4(d-1)
+/// assert_eq!(code.distance(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceCode {
+    chip: Chip,
+    distance: usize,
+    data: Vec<QubitId>,
+    stabilizers: Vec<Stabilizer>,
+}
+
+impl SurfaceCode {
+    /// Builds the rotated surface-code layout of odd code distance `d ≥ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 3` or `d` is even.
+    pub fn rotated(d: usize) -> Self {
+        assert!(d >= 3 && d % 2 == 1, "code distance must be odd and >= 3");
+        let mut b = ChipBuilder::new(format!("surface-d{d}"), TopologyKind::SurfaceCode);
+
+        // Data qubits at integer grid points (c, r), ids r*d + c.
+        let mut data = Vec::with_capacity(d * d);
+        for r in 0..d {
+            for c in 0..d {
+                b = b.qubit_with_role(
+                    Position::new(c as f64 * DEFAULT_PITCH_MM, r as f64 * DEFAULT_PITCH_MM),
+                    QubitRole::Data,
+                );
+                data.push(QubitId::from(r * d + c));
+            }
+        }
+        let data_at = |r: i64, c: i64| -> Option<QubitId> {
+            if r >= 0 && c >= 0 && (r as usize) < d && (c as usize) < d {
+                Some(QubitId::from(r as usize * d + c as usize))
+            } else {
+                None
+            }
+        };
+
+        // Plaquette inclusion rules for the rotated layout.
+        let included = |pr: i64, pc: i64| -> bool {
+            let dd = d as i64;
+            let interior = (0..dd - 1).contains(&pr) && (0..dd - 1).contains(&pc);
+            if interior {
+                return true;
+            }
+            let in_span = |x: i64| (0..dd - 1).contains(&x);
+            (pr == -1 && in_span(pc) && pc % 2 == 1)
+                || (pr == dd - 1 && in_span(pc) && pc % 2 == 0)
+                || (pc == -1 && in_span(pr) && pr % 2 == 0)
+                || (pc == dd - 1 && in_span(pr) && pr % 2 == 1)
+        };
+
+        let mut plaquettes = Vec::new();
+        for pr in -1..(d as i64) {
+            for pc in -1..(d as i64) {
+                if included(pr, pc) {
+                    plaquettes.push((pr, pc));
+                }
+            }
+        }
+
+        // Ancilla qubits at plaquette centres.
+        let mut stabilizers = Vec::with_capacity(plaquettes.len());
+        for (next_id, &(pr, pc)) in (d * d..).zip(plaquettes.iter()) {
+            let kind = if (pr + pc).rem_euclid(2) == 0 {
+                StabilizerKind::X
+            } else {
+                StabilizerKind::Z
+            };
+            let role = match kind {
+                StabilizerKind::X => QubitRole::AncillaX,
+                StabilizerKind::Z => QubitRole::AncillaZ,
+            };
+            b = b.qubit_with_role(
+                Position::new(
+                    (pc as f64 + 0.5) * DEFAULT_PITCH_MM,
+                    (pr as f64 + 0.5) * DEFAULT_PITCH_MM,
+                ),
+                role,
+            );
+            let ancilla = QubitId::from(next_id);
+
+            // Corners: a=(pr,pc) b=(pr,pc+1) c=(pr+1,pc) d=(pr+1,pc+1).
+            let ca = data_at(pr, pc);
+            let cb = data_at(pr, pc + 1);
+            let cc = data_at(pr + 1, pc);
+            let cd = data_at(pr + 1, pc + 1);
+            // Standard zig-zag schedules keep simultaneous CZs disjoint:
+            // Z-type: N-shape (a, b, c, d); X-type: Z-shape (a, c, b, d).
+            let schedule = match kind {
+                StabilizerKind::Z => [ca, cb, cc, cd],
+                StabilizerKind::X => [ca, cc, cb, cd],
+            };
+            for dq in schedule.iter().flatten() {
+                b = b.coupler(ancilla, *dq);
+            }
+            stabilizers.push(Stabilizer {
+                ancilla,
+                kind,
+                schedule,
+            });
+        }
+
+        let chip = b.build().expect("surface layout is internally consistent");
+        SurfaceCode {
+            chip,
+            distance: d,
+            data,
+            stabilizers,
+        }
+    }
+
+    /// The underlying chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// The code distance.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// The data qubits, in row-major order.
+    pub fn data_qubits(&self) -> &[QubitId] {
+        &self.data
+    }
+
+    /// The stabilizers (parity checks) of the patch.
+    pub fn stabilizers(&self) -> &[Stabilizer] {
+        &self.stabilizers
+    }
+
+    /// Ancilla qubits of the given stabilizer type.
+    pub fn ancillas(&self, kind: StabilizerKind) -> Vec<QubitId> {
+        self.stabilizers
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.ancilla)
+            .collect()
+    }
+
+    /// Consumes the layout, returning the chip.
+    pub fn into_chip(self) -> Chip {
+        self.chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table1_qubit_counts() {
+        for d in [3usize, 5, 7, 9, 11] {
+            let code = SurfaceCode::rotated(d);
+            assert_eq!(code.chip().num_qubits(), 2 * d * d - 1, "qubits at d={d}");
+            assert_eq!(
+                code.chip().num_couplers(),
+                4 * (d - 1) * (d - 1) + 4 * (d - 1),
+                "couplers at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_z_line_counts() {
+        // #Z(Google) = qubits + couplers: 41, 129, 265, 449, 681.
+        let expect = [41usize, 129, 265, 449, 681];
+        for (d, want) in [3usize, 5, 7, 9, 11].into_iter().zip(expect) {
+            let code = SurfaceCode::rotated(d);
+            assert_eq!(code.chip().num_z_devices(), want, "z-lines at d={d}");
+        }
+    }
+
+    #[test]
+    fn stabilizer_counts_and_weights() {
+        for d in [3usize, 5, 7] {
+            let code = SurfaceCode::rotated(d);
+            assert_eq!(code.stabilizers().len(), d * d - 1);
+            let w4 = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.weight() == 4)
+                .count();
+            let w2 = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.weight() == 2)
+                .count();
+            assert_eq!(w4, (d - 1) * (d - 1));
+            assert_eq!(w2, 2 * (d - 1));
+        }
+    }
+
+    #[test]
+    fn x_and_z_ancilla_split() {
+        let code = SurfaceCode::rotated(3);
+        let x = code.ancillas(StabilizerKind::X);
+        let z = code.ancillas(StabilizerKind::Z);
+        assert_eq!(x.len() + z.len(), 8);
+        assert_eq!(x.len(), 4);
+        assert_eq!(z.len(), 4);
+    }
+
+    #[test]
+    fn schedule_steps_are_conflict_free() {
+        // Within each CZ time step, every qubit (data or ancilla) must
+        // participate in at most one interaction.
+        for d in [3usize, 5] {
+            let code = SurfaceCode::rotated(d);
+            for t in 0..4 {
+                let mut busy: HashSet<QubitId> = HashSet::new();
+                for s in code.stabilizers() {
+                    if let Some(dq) = s.schedule[t] {
+                        assert!(busy.insert(s.ancilla), "ancilla reused at t={t} d={d}");
+                        assert!(busy.insert(dq), "data qubit reused at t={t} d={d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chip_is_connected_and_bipartite_roles() {
+        let code = SurfaceCode::rotated(5);
+        assert!(code.chip().is_connected());
+        // Couplers only join data qubits to ancillas.
+        for c in code.chip().couplers() {
+            let (a, b) = c.endpoints();
+            let ra = code.chip().qubit(a).unwrap().role();
+            let rb = code.chip().qubit(b).unwrap().role();
+            assert_ne!(ra.is_ancilla(), rb.is_ancilla());
+        }
+    }
+
+    #[test]
+    fn every_data_qubit_checked_by_both_types() {
+        let code = SurfaceCode::rotated(5);
+        for &dq in code.data_qubits() {
+            let kinds: HashSet<_> = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.data_qubits().any(|q| q == dq))
+                .map(|s| s.kind)
+                .collect();
+            assert!(
+                kinds.contains(&StabilizerKind::X),
+                "data {dq} missing X check"
+            );
+            assert!(
+                kinds.contains(&StabilizerKind::Z),
+                "data {dq} missing Z check"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distance_rejected() {
+        let _ = SurfaceCode::rotated(4);
+    }
+}

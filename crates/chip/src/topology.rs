@@ -1,0 +1,603 @@
+//! Generators for the qubit arrangements evaluated in the paper.
+//!
+//! Table 2 of the paper evaluates five topologies. The concrete instances
+//! used there are reconstructed here with matching qubit/coupler counts:
+//!
+//! | topology | qubits | couplers | generator |
+//! |---|---|---|---|
+//! | square (3×3) | 9 | 12 | [`square_grid`]`(3, 3)` |
+//! | hexagon (2×2 cells) | 16 | 19 | [`hexagon_patch`]`(2, 2)` |
+//! | heavy square (3×3) | 21 | 24 | [`heavy_square`]`(3, 3)` |
+//! | heavy hexagon (1×2 cells) | 21 | 22 | [`heavy_hexagon`]`(1, 2)` |
+//! | low density (3×6) | 18 | 18 | [`low_density`]`(3, 6)` |
+//!
+//! The 6×6 and 8×8 Xmon grids used for crosstalk-model fitting (§5.1) come
+//! from [`square_grid`].
+
+use crate::chip::{Chip, ChipBuilder};
+use crate::geometry::Position;
+use crate::id::QubitId;
+
+/// Default qubit pitch (centre-to-centre spacing) in millimetres.
+///
+/// Derived from the §2.1 figures: a 0.65 mm transmon plus resonator keep-out
+/// yields roughly a 1 mm pitch on published Xmon devices.
+pub const DEFAULT_PITCH_MM: f64 = 1.0;
+
+/// The topology family a chip was generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum TopologyKind {
+    /// Rectangular grid with nearest-neighbour couplers.
+    Square,
+    /// Square grid with an extra qubit on every edge.
+    HeavySquare,
+    /// Honeycomb (hexagonal) lattice patch.
+    Hexagon,
+    /// Honeycomb patch with an extra qubit on every edge.
+    HeavyHexagon,
+    /// Sparse, path-like arrangement with average degree ≈ 2.
+    LowDensity,
+    /// Rotated surface-code layout (see [`crate::surface`]).
+    SurfaceCode,
+    /// 1-D chain.
+    Linear,
+    /// Hand-built chip.
+    #[default]
+    Custom,
+}
+
+/// Builds a `rows × cols` square grid with nearest-neighbour couplers.
+///
+/// This is the paper's *square* topology and also the 6×6 / 36-qubit and
+/// 8×8 / 64-qubit Xmon devices of §5.1.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+///
+/// # Example
+///
+/// ```
+/// let chip = youtiao_chip::topology::square_grid(3, 3);
+/// assert_eq!(chip.num_qubits(), 9);
+/// assert_eq!(chip.num_couplers(), 12);
+/// ```
+pub fn square_grid(rows: usize, cols: usize) -> Chip {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = ChipBuilder::new(format!("square-{rows}x{cols}"), TopologyKind::Square);
+    for r in 0..rows {
+        for c in 0..cols {
+            b = b.qubit(Position::new(
+                c as f64 * DEFAULT_PITCH_MM,
+                r as f64 * DEFAULT_PITCH_MM,
+            ));
+        }
+    }
+    let at = |r: usize, c: usize| QubitId::from(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b = b.coupler(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b = b.coupler(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    b.build()
+        .expect("square grid generation is internally consistent")
+}
+
+/// Builds a 1-D chain of `n` qubits.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn linear(n: usize) -> Chip {
+    assert!(n > 0, "chain length must be positive");
+    let mut b = ChipBuilder::new(format!("linear-{n}"), TopologyKind::Linear);
+    for i in 0..n {
+        b = b.qubit(Position::new(i as f64 * DEFAULT_PITCH_MM, 0.0));
+    }
+    for i in 0..n.saturating_sub(1) {
+        b = b.coupler(QubitId::from(i), QubitId::from(i + 1));
+    }
+    b.build()
+        .expect("linear generation is internally consistent")
+}
+
+/// Builds a honeycomb patch of `hex_rows × hex_cols` hexagonal cells
+/// (rhombus arrangement in axial coordinates).
+///
+/// Vertex/edge counts follow `V = 2(RC + R + C)`, `E = 3RC + 2R + 2C − 1`;
+/// the paper's 16-qubit hexagon instance is `hexagon_patch(2, 2)`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// let chip = youtiao_chip::topology::hexagon_patch(2, 2);
+/// assert_eq!(chip.num_qubits(), 16);
+/// assert_eq!(chip.num_couplers(), 19);
+/// ```
+pub fn hexagon_patch(hex_rows: usize, hex_cols: usize) -> Chip {
+    let (positions, edges) = honeycomb_graph(hex_rows, hex_cols);
+    let mut b = ChipBuilder::new(
+        format!("hexagon-{hex_rows}x{hex_cols}"),
+        TopologyKind::Hexagon,
+    );
+    for p in &positions {
+        b = b.qubit(*p);
+    }
+    for &(u, v) in &edges {
+        b = b.coupler(QubitId::from(u), QubitId::from(v));
+    }
+    b.build()
+        .expect("hexagon generation is internally consistent")
+}
+
+/// Builds the heavy-square topology: a `rows × cols` grid with one extra
+/// qubit inserted on every edge (IBM-style "heavy" lattice).
+///
+/// The paper's 21-qubit heavy-square instance is `heavy_square(3, 3)`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+///
+/// # Example
+///
+/// ```
+/// let chip = youtiao_chip::topology::heavy_square(3, 3);
+/// assert_eq!(chip.num_qubits(), 21);
+/// assert_eq!(chip.num_couplers(), 24);
+/// ```
+pub fn heavy_square(rows: usize, cols: usize) -> Chip {
+    let base = square_grid(rows, cols);
+    heavied(
+        &base,
+        format!("heavy-square-{rows}x{cols}"),
+        TopologyKind::HeavySquare,
+    )
+}
+
+/// Builds the heavy-hexagon topology: a honeycomb patch with one extra
+/// qubit on every edge.
+///
+/// The paper's 21-qubit heavy-hexagon instance is `heavy_hexagon(1, 2)`
+/// (10 vertices + 11 edge qubits).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// let chip = youtiao_chip::topology::heavy_hexagon(1, 2);
+/// assert_eq!(chip.num_qubits(), 21);
+/// assert_eq!(chip.num_couplers(), 22);
+/// ```
+pub fn heavy_hexagon(hex_rows: usize, hex_cols: usize) -> Chip {
+    let base = hexagon_patch(hex_rows, hex_cols);
+    heavied(
+        &base,
+        format!("heavy-hexagon-{hex_rows}x{hex_cols}"),
+        TopologyKind::HeavyHexagon,
+    )
+}
+
+/// Builds the low-density topology: qubits on a `rows × cols` grid joined
+/// by a boustrophedon (snake) path plus one central rung, giving exactly
+/// `rows * cols` couplers and average degree ≈ 2.
+///
+/// The paper's 18-qubit low-density instance is `low_density(3, 6)`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols < 2`.
+///
+/// # Example
+///
+/// ```
+/// let chip = youtiao_chip::topology::low_density(3, 6);
+/// assert_eq!(chip.num_qubits(), 18);
+/// assert_eq!(chip.num_couplers(), 18);
+/// ```
+pub fn low_density(rows: usize, cols: usize) -> Chip {
+    assert!(
+        rows > 0 && cols >= 2,
+        "low-density grid needs rows > 0, cols >= 2"
+    );
+    let mut b = ChipBuilder::new(
+        format!("low-density-{rows}x{cols}"),
+        TopologyKind::LowDensity,
+    );
+    // Spread qubits at 1.5× pitch to reflect the sparse placement the paper
+    // depicts for this arrangement.
+    let pitch = DEFAULT_PITCH_MM * 1.5;
+    for r in 0..rows {
+        for c in 0..cols {
+            b = b.qubit(Position::new(c as f64 * pitch, r as f64 * pitch));
+        }
+    }
+    let at = |r: usize, c: usize| QubitId::from(r * cols + c);
+    // Snake path: row 0 left-to-right, row 1 right-to-left, ...
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            b = b.coupler(at(r, c), at(r, c + 1));
+        }
+        if r + 1 < rows {
+            let join_col = if r % 2 == 0 { cols - 1 } else { 0 };
+            b = b.coupler(at(r, join_col), at(r + 1, join_col));
+        }
+    }
+    // Snake uses rows*(cols-1) + (rows-1) edges; add central rungs until the
+    // coupler count equals the qubit count (average degree exactly 2).
+    let snake_edges = rows * (cols - 1) + (rows - 1);
+    let want = rows * cols;
+    let mut added = 0usize;
+    'outer: for r in 0..rows.saturating_sub(1) {
+        for c in 1..cols - 1 {
+            if snake_edges + added >= want {
+                break 'outer;
+            }
+            let join_col = if r % 2 == 0 { cols - 1 } else { 0 };
+            if c == join_col {
+                continue;
+            }
+            b = b.coupler(at(r, c), at(r + 1, c));
+            added += 1;
+        }
+    }
+    b.build()
+        .expect("low-density generation is internally consistent")
+}
+
+/// Inserts an extra qubit on every coupler of `base`, replacing each
+/// coupler with two series couplers.
+fn heavied(base: &Chip, name: String, kind: TopologyKind) -> Chip {
+    let mut b = ChipBuilder::new(name, kind);
+    for q in base.qubits() {
+        b = b.qubit(q.position());
+    }
+    let n = base.num_qubits();
+    for (i, c) in base.couplers().enumerate() {
+        let (a, z) = c.endpoints();
+        let mid = c.position();
+        b = b.qubit(mid);
+        let mid_id = QubitId::from(n + i);
+        b = b.coupler(a, mid_id).coupler(mid_id, z);
+    }
+    b.build()
+        .expect("heavy generation is internally consistent")
+}
+
+/// Generates the honeycomb rhombus-patch graph as positions + edge list.
+fn honeycomb_graph(rows: usize, cols: usize) -> (Vec<Position>, Vec<(usize, usize)>) {
+    assert!(
+        rows > 0 && cols > 0,
+        "hexagon patch dimensions must be positive"
+    );
+    let side = DEFAULT_PITCH_MM / 2.0;
+    let sqrt3 = 3f64.sqrt();
+    let mut positions: Vec<Position> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut index_of = std::collections::HashMap::new();
+    let key = |p: Position| {
+        (
+            ((p.x / side) * 1e4).round() as i64,
+            ((p.y / side) * 1e4).round() as i64,
+        )
+    };
+
+    for r in 0..rows {
+        for q in 0..cols {
+            // pointy-top hexagon centre in axial coordinates (q, r)
+            let cx = side * sqrt3 * (q as f64 + r as f64 / 2.0);
+            let cy = side * 1.5 * r as f64;
+            let mut corner_ids = [0usize; 6];
+            for (k, slot) in corner_ids.iter_mut().enumerate() {
+                let angle = std::f64::consts::PI / 180.0 * (60.0 * k as f64 + 30.0);
+                let p = Position::new(cx + side * angle.cos(), cy + side * angle.sin());
+                let id = *index_of.entry(key(p)).or_insert_with(|| {
+                    positions.push(p);
+                    positions.len() - 1
+                });
+                *slot = id;
+            }
+            for k in 0..6 {
+                let (u, v) = (corner_ids[k], corner_ids[(k + 1) % 6]);
+                let e = if u < v { (u, v) } else { (v, u) };
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+        }
+    }
+    (positions, edges)
+}
+
+/// Builds a Sycamore-style diagonal grid: qubits on the black squares of
+/// a `rows × cols` checkerboard, each coupled to its four diagonal
+/// neighbours (half the checkerboard cells host qubits, so Google's
+/// 54-qubit device is `sycamore(12, 9)`).
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+///
+/// # Example
+///
+/// ```
+/// let chip = youtiao_chip::topology::sycamore(12, 9);
+/// assert_eq!(chip.num_qubits(), 54);
+/// ```
+pub fn sycamore(rows: usize, cols: usize) -> Chip {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = ChipBuilder::new(format!("sycamore-{rows}x{cols}"), TopologyKind::Square);
+    // Checkerboard placement: cell (r, c) hosts a qubit when (r + c) is
+    // even; index within the chip is dense.
+    let mut index: Vec<Vec<Option<usize>>> = vec![vec![None; cols]; rows];
+    let mut count = 0usize;
+    for (r, row) in index.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            if (r + c) % 2 == 0 {
+                b = b.qubit(Position::new(
+                    c as f64 * DEFAULT_PITCH_MM,
+                    r as f64 * DEFAULT_PITCH_MM,
+                ));
+                *slot = Some(count);
+                count += 1;
+            }
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let Some(q) = index[r][c] else { continue };
+            for (dr, dc) in [(1isize, 1isize), (1, -1)] {
+                let nr = r as isize + dr;
+                let nc = c as isize + dc;
+                if nr < 0 || nc < 0 || nr >= rows as isize || nc >= cols as isize {
+                    continue;
+                }
+                if let Some(n) = index[nr as usize][nc as usize] {
+                    b = b.coupler(QubitId::from(q), QubitId::from(n));
+                }
+            }
+        }
+    }
+    b.build()
+        .expect("sycamore generation is internally consistent")
+}
+
+/// Builds a ring of `n` qubits (each coupled to two neighbours).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Chip {
+    assert!(n >= 3, "ring needs at least 3 qubits");
+    let mut b = ChipBuilder::new(format!("ring-{n}"), TopologyKind::LowDensity);
+    let radius = DEFAULT_PITCH_MM * n as f64 / (2.0 * std::f64::consts::PI);
+    for i in 0..n {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        b = b.qubit(Position::new(radius * angle.cos(), radius * angle.sin()));
+    }
+    for i in 0..n {
+        b = b.coupler(QubitId::from(i), QubitId::from((i + 1) % n));
+    }
+    b.build().expect("ring generation is internally consistent")
+}
+
+/// Builds an IBM Heron-class heavy-hexagon device of approximately
+/// `target_qubits` qubits (the closest heavy-hexagon patch our generator
+/// produces; 133 → a 135-qubit 4×5-cell patch).
+///
+/// # Panics
+///
+/// Panics if `target_qubits < 12` (smaller than one heavy hexagon).
+pub fn ibm_heavy_hex(target_qubits: usize) -> Chip {
+    assert!(
+        target_qubits >= 12,
+        "need at least one heavy hexagon (12 qubits)"
+    );
+    // Search small patch shapes for the closest qubit count.
+    let mut best: Option<(usize, usize, usize)> = None;
+    for r in 1..=12usize {
+        for c in 1..=12usize {
+            let v = 2 * (r * c + r + c);
+            let e = 3 * r * c + 2 * r + 2 * c - 1;
+            let q = v + e;
+            let gap = q.abs_diff(target_qubits);
+            if best.is_none_or(|(bg, _, _)| gap < bg) {
+                best = Some((gap, r, c));
+            }
+        }
+    }
+    let (_, r, c) = best.expect("search space is non-empty");
+    heavy_hexagon(r, c)
+}
+
+/// Returns the five Table-2 chip instances in the paper's column order:
+/// square, hexagon, heavy square, heavy hexagon, low density.
+pub fn paper_suite() -> Vec<Chip> {
+    vec![
+        square_grid(3, 3),
+        hexagon_patch(2, 2),
+        heavy_square(3, 3),
+        heavy_hexagon(1, 2),
+        low_density(3, 6),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_counts() {
+        let chip = square_grid(3, 3);
+        assert_eq!(chip.num_qubits(), 9);
+        assert_eq!(chip.num_couplers(), 12);
+        assert!(chip.is_connected());
+        let big = square_grid(6, 6);
+        assert_eq!(big.num_qubits(), 36);
+        assert_eq!(big.num_couplers(), 60);
+    }
+
+    #[test]
+    fn square_interior_degree_is_four() {
+        let chip = square_grid(5, 5);
+        // centre qubit of a 5x5 grid is index 12
+        assert_eq!(chip.connectivity(QubitId::from(12usize)), 4);
+        // corner
+        assert_eq!(chip.connectivity(QubitId::from(0usize)), 2);
+    }
+
+    #[test]
+    fn hexagon_counts_match_formula() {
+        for (r, c) in [(1, 1), (1, 2), (2, 2), (2, 3), (3, 3)] {
+            let chip = hexagon_patch(r, c);
+            assert_eq!(chip.num_qubits(), 2 * (r * c + r + c), "V for {r}x{c}");
+            assert_eq!(
+                chip.num_couplers(),
+                3 * r * c + 2 * r + 2 * c - 1,
+                "E for {r}x{c}"
+            );
+            assert!(chip.is_connected());
+        }
+    }
+
+    #[test]
+    fn hexagon_degree_bounded_by_three() {
+        let chip = hexagon_patch(2, 2);
+        for q in chip.qubit_ids() {
+            assert!(chip.connectivity(q) <= 3);
+        }
+    }
+
+    #[test]
+    fn heavy_square_counts() {
+        let chip = heavy_square(3, 3);
+        assert_eq!(chip.num_qubits(), 21);
+        assert_eq!(chip.num_couplers(), 24);
+        assert!(chip.is_connected());
+    }
+
+    #[test]
+    fn heavy_hexagon_counts() {
+        let chip = heavy_hexagon(1, 2);
+        assert_eq!(chip.num_qubits(), 21);
+        assert_eq!(chip.num_couplers(), 22);
+        assert!(chip.is_connected());
+    }
+
+    #[test]
+    fn heavy_edge_qubits_have_degree_two() {
+        let base = square_grid(3, 3);
+        let chip = heavy_square(3, 3);
+        for q in chip.qubit_ids().skip(base.num_qubits()) {
+            assert_eq!(chip.connectivity(q), 2);
+        }
+    }
+
+    #[test]
+    fn low_density_counts() {
+        let chip = low_density(3, 6);
+        assert_eq!(chip.num_qubits(), 18);
+        assert_eq!(chip.num_couplers(), 18);
+        assert!(chip.is_connected());
+        let avg: f64 = chip
+            .qubit_ids()
+            .map(|q| chip.connectivity(q) as f64)
+            .sum::<f64>()
+            / chip.num_qubits() as f64;
+        assert!((avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_counts() {
+        let chip = linear(8);
+        assert_eq!(chip.num_qubits(), 8);
+        assert_eq!(chip.num_couplers(), 7);
+        assert!(chip.is_connected());
+    }
+
+    #[test]
+    fn paper_suite_matches_table2_qubit_counts() {
+        let suite = paper_suite();
+        let qubits: Vec<_> = suite.iter().map(Chip::num_qubits).collect();
+        assert_eq!(qubits, vec![9, 16, 21, 21, 18]);
+        // #Z(Google) = qubits + couplers; reproduces the self-consistent
+        // Table 2 row (see EXPERIMENTS.md on the square-column typo).
+        let z: Vec<_> = suite.iter().map(Chip::num_z_devices).collect();
+        assert_eq!(z, vec![21, 35, 45, 43, 36]);
+    }
+
+    #[test]
+    fn sycamore_counts_and_degrees() {
+        let chip = sycamore(12, 9);
+        assert_eq!(chip.num_qubits(), 54);
+        assert!(chip.is_connected());
+        for q in chip.qubit_ids() {
+            assert!(chip.connectivity(q) <= 4);
+        }
+        // Interior qubits of the diagonal grid have degree 4.
+        let interior = chip
+            .qubit_ids()
+            .filter(|&q| chip.connectivity(q) == 4)
+            .count();
+        assert!(interior > 10);
+    }
+
+    #[test]
+    fn sycamore_small_cases() {
+        let one = sycamore(1, 1);
+        assert_eq!(one.num_qubits(), 1);
+        assert_eq!(one.num_couplers(), 0);
+        let strip = sycamore(2, 2);
+        assert_eq!(strip.num_qubits(), 2);
+        assert_eq!(strip.num_couplers(), 1);
+    }
+
+    #[test]
+    fn ring_counts() {
+        let chip = ring(18);
+        assert_eq!(chip.num_qubits(), 18);
+        assert_eq!(chip.num_couplers(), 18);
+        assert!(chip.is_connected());
+        for q in chip.qubit_ids() {
+            assert_eq!(chip.connectivity(q), 2);
+        }
+    }
+
+    #[test]
+    fn ibm_heavy_hex_close_to_target() {
+        let chip = ibm_heavy_hex(133);
+        assert!(
+            chip.num_qubits().abs_diff(133) <= 5,
+            "{}",
+            chip.num_qubits()
+        );
+        assert!(chip.is_connected());
+        let small = ibm_heavy_hex(12);
+        assert_eq!(small.num_qubits(), 12);
+    }
+
+    #[test]
+    fn generated_positions_are_distinct() {
+        for chip in paper_suite() {
+            let mut seen = std::collections::HashSet::new();
+            for q in chip.qubits() {
+                let p = q.position();
+                let k = ((p.x * 1e6).round() as i64, (p.y * 1e6).round() as i64);
+                assert!(seen.insert(k), "duplicate position in {}", chip.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests over chip construction and distance metrics.
+
+use proptest::prelude::*;
+use youtiao_chip::distance::{equivalent_matrix, topological_distance, EquivalentWeights};
+use youtiao_chip::surface::SurfaceCode;
+use youtiao_chip::topology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Grid generators produce connected chips with the expected counts
+    /// for any dimensions.
+    #[test]
+    fn grids_are_connected_with_exact_counts(rows in 1usize..7, cols in 1usize..7) {
+        let chip = topology::square_grid(rows, cols);
+        prop_assert_eq!(chip.num_qubits(), rows * cols);
+        prop_assert_eq!(chip.num_couplers(), rows * (cols - 1) + cols * (rows - 1));
+        prop_assert!(chip.is_connected());
+    }
+
+    /// Topological distance is symmetric and bounded by the qubit count.
+    #[test]
+    fn topological_distance_symmetric(rows in 2usize..6, cols in 2usize..6, seed in 0u32..100) {
+        let chip = topology::square_grid(rows, cols);
+        let n = chip.num_qubits() as u32;
+        let a = (seed % n).into();
+        let b = ((seed / 7) % n).into();
+        let dab = topological_distance(&chip, a, b).unwrap();
+        let dba = topological_distance(&chip, b, a).unwrap();
+        prop_assert_eq!(dab.hops(), dba.hops());
+        prop_assert_eq!(dab.path_count(), dba.path_count());
+        prop_assert!((dab.hops() as usize) < chip.num_qubits());
+    }
+
+    /// The equivalent-distance matrix is symmetric with a zero diagonal
+    /// and strictly positive off-diagonal entries on connected chips.
+    #[test]
+    fn equivalent_matrix_is_well_formed(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        w in 0.01f64..0.99,
+    ) {
+        let chip = topology::square_grid(rows, cols);
+        let weights = EquivalentWeights::new(w, 1.0 - w).unwrap();
+        let m = equivalent_matrix(&chip, weights);
+        for a in chip.qubit_ids() {
+            prop_assert_eq!(m.get(a, a), 0.0);
+            for b in chip.qubit_ids() {
+                prop_assert_eq!(m.get(a, b), m.get(b, a));
+                if a != b {
+                    prop_assert!(m.get(a, b) > 0.0);
+                }
+            }
+        }
+    }
+
+    /// Hexagon patches obey the closed-form vertex/edge counts.
+    #[test]
+    fn hexagon_patch_counts(r in 1usize..4, c in 1usize..4) {
+        let chip = topology::hexagon_patch(r, c);
+        prop_assert_eq!(chip.num_qubits(), 2 * (r * c + r + c));
+        prop_assert_eq!(chip.num_couplers(), 3 * r * c + 2 * r + 2 * c - 1);
+        for q in chip.qubit_ids() {
+            prop_assert!(chip.connectivity(q) <= 3);
+        }
+    }
+
+    /// Heavy variants add exactly one qubit per base coupler and double
+    /// the coupler count.
+    #[test]
+    fn heavy_square_counts(rows in 2usize..5, cols in 2usize..5) {
+        let base = topology::square_grid(rows, cols);
+        let heavy = topology::heavy_square(rows, cols);
+        prop_assert_eq!(heavy.num_qubits(), base.num_qubits() + base.num_couplers());
+        prop_assert_eq!(heavy.num_couplers(), 2 * base.num_couplers());
+    }
+
+    /// Rotated surface codes always satisfy the Table-1 closed forms.
+    #[test]
+    fn surface_code_closed_forms(k in 1usize..6) {
+        let d = 2 * k + 1;
+        let code = SurfaceCode::rotated(d);
+        prop_assert_eq!(code.chip().num_qubits(), 2 * d * d - 1);
+        prop_assert_eq!(code.chip().num_couplers(), 4 * (d - 1) * (d - 1) + 4 * (d - 1));
+        prop_assert_eq!(code.stabilizers().len(), d * d - 1);
+        prop_assert!(code.chip().is_connected());
+    }
+}

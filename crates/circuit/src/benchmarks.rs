@@ -1,0 +1,378 @@
+//! Benchmark circuit generators (§5.1 of the paper).
+//!
+//! The paper evaluates on five algorithms: Variational Quantum Classifier
+//! (VQC), linear Ising model evolution (ISING), Deutsch–Jozsa (DJ),
+//! Quantum Fourier Transform (QFT), and Quantum K-Nearest-Neighbours
+//! (QKNN). All generators emit logical circuits in the device basis
+//! (RX/RY/RZ/CZ plus H/X); multi-qubit primitives (CX, Toffoli, CSWAP,
+//! controlled-phase) are decomposed on the spot.
+
+use std::f64::consts::PI;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use youtiao_chip::QubitId;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// The benchmark suite used throughout the paper's §5.4–§5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Variational quantum classifier ansatz.
+    Vqc,
+    /// Trotterized linear (chain) Ising evolution.
+    Ising,
+    /// Deutsch–Jozsa with a balanced oracle.
+    Dj,
+    /// Quantum Fourier transform.
+    Qft,
+    /// Quantum k-nearest-neighbours (swap-test core).
+    Qknn,
+}
+
+impl Benchmark {
+    /// All five benchmarks in the paper's order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Vqc,
+        Benchmark::Ising,
+        Benchmark::Dj,
+        Benchmark::Qft,
+        Benchmark::Qknn,
+    ];
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Vqc => "VQC",
+            Benchmark::Ising => "ISING",
+            Benchmark::Dj => "DJ",
+            Benchmark::Qft => "QFT",
+            Benchmark::Qknn => "QKNN",
+        }
+    }
+
+    /// Generates the benchmark circuit at width `n` with default depth
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is below the benchmark's minimum width (2 for most,
+    /// 3 for QKNN).
+    pub fn generate(self, n: usize) -> Circuit {
+        match self {
+            Benchmark::Vqc => vqc(n, 4),
+            Benchmark::Ising => ising(n, 3),
+            Benchmark::Dj => dj(n),
+            Benchmark::Qft => qft(n),
+            Benchmark::Qknn => qknn(n),
+        }
+    }
+}
+
+fn q(i: usize) -> QubitId {
+    QubitId::from(i)
+}
+
+/// Appends `CX(control, target)` decomposed as `H(t) · CZ · H(t)`.
+pub fn push_cx(c: &mut Circuit, control: QubitId, target: QubitId) {
+    c.push1(Gate::H, target).expect("validated operand");
+    c.push2(Gate::Cz, control, target)
+        .expect("validated operands");
+    c.push1(Gate::H, target).expect("validated operand");
+}
+
+/// Appends a controlled-phase `CP(theta)` decomposed into two CX and
+/// virtual RZ rotations.
+pub fn push_cp(c: &mut Circuit, control: QubitId, target: QubitId, theta: f64) {
+    c.push1(Gate::Rz(theta / 2.0), control)
+        .expect("validated operand");
+    push_cx(c, control, target);
+    c.push1(Gate::Rz(-theta / 2.0), target)
+        .expect("validated operand");
+    push_cx(c, control, target);
+    c.push1(Gate::Rz(theta / 2.0), target)
+        .expect("validated operand");
+}
+
+/// Appends a Toffoli gate in the standard 6-CX decomposition with T
+/// rotations expressed as virtual RZ(±π/4).
+pub fn push_toffoli(c: &mut Circuit, c0: QubitId, c1: QubitId, target: QubitId) {
+    let t = PI / 4.0;
+    c.push1(Gate::H, target).expect("validated operand");
+    push_cx(c, c1, target);
+    c.push1(Gate::Rz(-t), target).expect("validated operand");
+    push_cx(c, c0, target);
+    c.push1(Gate::Rz(t), target).expect("validated operand");
+    push_cx(c, c1, target);
+    c.push1(Gate::Rz(-t), target).expect("validated operand");
+    push_cx(c, c0, target);
+    c.push1(Gate::Rz(t), c1).expect("validated operand");
+    c.push1(Gate::Rz(t), target).expect("validated operand");
+    c.push1(Gate::H, target).expect("validated operand");
+    push_cx(c, c0, c1);
+    c.push1(Gate::Rz(t), c0).expect("validated operand");
+    c.push1(Gate::Rz(-t), c1).expect("validated operand");
+    push_cx(c, c0, c1);
+}
+
+/// Appends a controlled-SWAP (Fredkin) gate via CX + Toffoli + CX.
+pub fn push_cswap(c: &mut Circuit, control: QubitId, a: QubitId, b: QubitId) {
+    push_cx(c, b, a);
+    push_toffoli(c, control, a, b);
+    push_cx(c, b, a);
+}
+
+/// Hardware-efficient VQC ansatz: `layers` repetitions of per-qubit RY
+/// rotations followed by a brickwork CZ entangler.
+///
+/// Highly parallelizable — the benchmark where the paper reports
+/// YOUTIAO's largest depth advantage over local-cluster TDM (1.36×).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn vqc(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2, "vqc needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        for i in 0..n {
+            let theta = 0.37 + 0.61 * layer as f64 + 0.13 * i as f64;
+            c.push1(Gate::Ry(theta % (2.0 * PI)), q(i))
+                .expect("validated operand");
+        }
+        for i in (0..n - 1).step_by(2) {
+            c.push2(Gate::Cz, q(i), q(i + 1))
+                .expect("validated operands");
+        }
+        for i in (1..n - 1).step_by(2) {
+            c.push2(Gate::Cz, q(i), q(i + 1))
+                .expect("validated operands");
+        }
+    }
+    for i in 0..n {
+        c.push1(Gate::Measure, q(i)).expect("validated operand");
+    }
+    c
+}
+
+/// Trotterized transverse-field Ising chain: `steps` repetitions of ZZ
+/// interactions along the chain plus a transverse RX field.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ising(n: usize, steps: usize) -> Circuit {
+    assert!(n >= 2, "ising needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    let dt = 0.1;
+    for _ in 0..steps {
+        // exp(-i J dt Z_i Z_{i+1}) = CX · RZ(2 J dt) · CX on each edge,
+        // brickwork order for parallelism.
+        for parity in 0..2 {
+            for i in (parity..n - 1).step_by(2) {
+                push_cx(&mut c, q(i), q(i + 1));
+                c.push1(Gate::Rz(2.0 * dt), q(i + 1))
+                    .expect("validated operand");
+                push_cx(&mut c, q(i), q(i + 1));
+            }
+        }
+        for i in 0..n {
+            c.push1(Gate::Rx(2.0 * dt), q(i))
+                .expect("validated operand");
+        }
+    }
+    for i in 0..n {
+        c.push1(Gate::Measure, q(i)).expect("validated operand");
+    }
+    c
+}
+
+/// Deutsch–Jozsa with a balanced oracle (parity of all inputs): `n − 1`
+/// input qubits plus one ancilla.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn dj(n: usize) -> Circuit {
+    assert!(n >= 2, "dj needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    let ancilla = q(n - 1);
+    c.push1(Gate::X, ancilla).expect("validated operand");
+    for i in 0..n {
+        c.push1(Gate::H, q(i)).expect("validated operand");
+    }
+    // Balanced oracle: f(x) = x_0 XOR x_1 XOR ...
+    for i in 0..n - 1 {
+        push_cx(&mut c, q(i), ancilla);
+    }
+    for i in 0..n - 1 {
+        c.push1(Gate::H, q(i)).expect("validated operand");
+        c.push1(Gate::Measure, q(i)).expect("validated operand");
+    }
+    c
+}
+
+/// Quantum Fourier transform over `n` qubits (without the final qubit
+/// reversal, as is standard for depth studies).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qft(n: usize) -> Circuit {
+    assert!(n >= 2, "qft needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.push1(Gate::H, q(i)).expect("validated operand");
+        for j in (i + 1)..n {
+            let theta = PI / (1 << (j - i)) as f64;
+            push_cp(&mut c, q(j), q(i), theta);
+        }
+    }
+    for i in 0..n {
+        c.push1(Gate::Measure, q(i)).expect("validated operand");
+    }
+    c
+}
+
+/// Quantum k-nearest-neighbours distance kernel: a swap test between two
+/// `(n − 1) / 2`-qubit registers with one ancilla.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn qknn(n: usize) -> Circuit {
+    assert!(n >= 3, "qknn needs at least 3 qubits");
+    let m = (n - 1) / 2;
+    let mut c = Circuit::new(n);
+    let ancilla = q(0);
+    // Load simple feature states.
+    for k in 0..m {
+        c.push1(Gate::Ry(0.4 + 0.2 * k as f64), q(1 + k))
+            .expect("validated operand");
+        c.push1(Gate::Ry(0.9 - 0.1 * k as f64), q(1 + m + k))
+            .expect("validated operand");
+    }
+    c.push1(Gate::H, ancilla).expect("validated operand");
+    for k in 0..m {
+        push_cswap(&mut c, ancilla, q(1 + k), q(1 + m + k));
+    }
+    c.push1(Gate::H, ancilla).expect("validated operand");
+    c.push1(Gate::Measure, ancilla).expect("validated operand");
+    c
+}
+
+/// `layers` layers of uniformly random RX/RY gates on every qubit —
+/// the workload of the paper's FDM fidelity experiments (Figures 12–13).
+pub fn random_xy_layers(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for i in 0..n {
+            let theta = rng.gen_range(0.0..2.0 * PI);
+            let gate = if rng.gen_bool(0.5) {
+                Gate::Rx(theta)
+            } else {
+                Gate::Ry(theta)
+            };
+            c.push1(gate, q(i)).expect("validated operand");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vqc_structure() {
+        let c = vqc(6, 4);
+        assert_eq!(c.num_qubits(), 6);
+        // 5 CZ per layer (3 even + 2 odd) * 4 layers
+        assert_eq!(c.two_qubit_count(), 20);
+    }
+
+    #[test]
+    fn ising_structure() {
+        let c = ising(5, 3);
+        // 4 edges, each uses 2 CX = 2 CZ, 3 steps -> 24 CZ
+        assert_eq!(c.two_qubit_count(), 24);
+    }
+
+    #[test]
+    fn dj_structure() {
+        let c = dj(8);
+        // 7 CX to the ancilla
+        assert_eq!(c.two_qubit_count(), 7);
+        assert_eq!(c.num_qubits(), 8);
+    }
+
+    #[test]
+    fn qft_structure() {
+        let c = qft(5);
+        // C(5,2) = 10 controlled-phases, 2 CZ each
+        assert_eq!(c.two_qubit_count(), 20);
+    }
+
+    #[test]
+    fn qknn_structure() {
+        let c = qknn(7);
+        // m = 3 cswaps, each = 2 CX + toffoli(6 CX) = 8 CX = 8 CZ
+        assert_eq!(c.two_qubit_count(), 24);
+        assert_eq!(c.num_qubits(), 7);
+    }
+
+    #[test]
+    fn all_benchmarks_generate_at_standard_widths() {
+        for b in Benchmark::ALL {
+            let c = b.generate(9);
+            assert!(!c.is_empty(), "{} is empty", b.name());
+            assert!(c.two_qubit_count() > 0, "{} has no 2q gates", b.name());
+        }
+    }
+
+    #[test]
+    fn benchmark_names() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["VQC", "ISING", "DJ", "QFT", "QKNN"]);
+    }
+
+    #[test]
+    fn random_layers_deterministic_per_seed() {
+        let a = random_xy_layers(4, 10, 3);
+        let b = random_xy_layers(4, 10, 3);
+        assert_eq!(a, b);
+        let c = random_xy_layers(4, 10, 4);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.two_qubit_count(), 0);
+    }
+
+    #[test]
+    fn decompositions_only_use_basis_gates() {
+        for b in Benchmark::ALL {
+            let c = b.generate(8);
+            for op in c.operations() {
+                match op.gate {
+                    Gate::Rx(_)
+                    | Gate::Ry(_)
+                    | Gate::Rz(_)
+                    | Gate::H
+                    | Gate::X
+                    | Gate::Cz
+                    | Gate::Measure => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cx_is_self_inverse_in_gate_count() {
+        let mut c = Circuit::new(2);
+        push_cx(&mut c, q(0), q(1));
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.one_qubit_count(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Gate-level circuit IR.
+
+use std::fmt;
+
+use youtiao_chip::QubitId;
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// One gate application with its operands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Operation {
+    /// The gate applied.
+    pub gate: Gate,
+    /// First operand.
+    pub q0: QubitId,
+    /// Second operand for two-qubit gates.
+    pub q1: Option<QubitId>,
+}
+
+impl Operation {
+    /// Builds a single-qubit operation.
+    pub fn one(gate: Gate, q: QubitId) -> Self {
+        debug_assert_eq!(gate.arity(), 1);
+        Operation {
+            gate,
+            q0: q,
+            q1: None,
+        }
+    }
+
+    /// Builds a two-qubit operation.
+    pub fn two(gate: Gate, a: QubitId, b: QubitId) -> Self {
+        debug_assert_eq!(gate.arity(), 2);
+        Operation {
+            gate,
+            q0: a,
+            q1: Some(b),
+        }
+    }
+
+    /// Iterates over the operand qubits.
+    pub fn qubits(&self) -> impl Iterator<Item = QubitId> + '_ {
+        std::iter::once(self.q0).chain(self.q1)
+    }
+
+    /// Returns `true` for two-qubit operations.
+    pub fn is_two_qubit(&self) -> bool {
+        self.q1.is_some()
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.q1 {
+            Some(q1) => write!(f, "{} {} {}", self.gate, self.q0, q1),
+            None => write!(f, "{} {}", self.gate, self.q0),
+        }
+    }
+}
+
+/// An ordered list of gate applications over a fixed qubit count.
+///
+/// Construction validates operand ranges eagerly, so a `Circuit` is always
+/// internally consistent.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push1(Gate::H, 0u32.into())?;
+/// c.push2(Gate::Cz, 0u32.into(), 1u32.into())?;
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// # Ok::<(), youtiao_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Operation>,
+    /// Positions in `ops` before which a global barrier applies: all
+    /// operations at index >= the position start after every earlier
+    /// operation finishes.
+    barriers: Vec<usize>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+            barriers: Vec::new(),
+        }
+    }
+
+    /// Inserts a global synchronization barrier: every later operation
+    /// starts only after every earlier operation finishes. Used to align
+    /// error-correction cycles the way hardware sequencers do.
+    pub fn push_barrier(&mut self) {
+        // Coalesce duplicate barriers at the same position.
+        if self.barriers.last() != Some(&self.ops.len()) {
+            self.barriers.push(self.ops.len());
+        }
+    }
+
+    /// Barrier positions (indices into [`operations`](Circuit::operations)
+    /// before which each barrier applies).
+    pub fn barriers(&self) -> &[usize] {
+        &self.barriers
+    }
+
+    /// The circuit width (number of qubits).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Appends a single-qubit gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] for an out-of-range
+    /// operand.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when called with a two-qubit gate.
+    pub fn push1(&mut self, gate: Gate, q: QubitId) -> Result<(), CircuitError> {
+        self.check(q)?;
+        self.ops.push(Operation::one(gate, q));
+        Ok(())
+    }
+
+    /// Appends a two-qubit gate.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::QubitOutOfRange`] for out-of-range operands.
+    /// * [`CircuitError::DuplicateOperand`] when `a == b`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when called with a single-qubit gate.
+    pub fn push2(&mut self, gate: Gate, a: QubitId, b: QubitId) -> Result<(), CircuitError> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(CircuitError::DuplicateOperand(a));
+        }
+        self.ops.push(Operation::two(gate, a, b));
+        Ok(())
+    }
+
+    /// Appends an already-built operation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`push1`](Circuit::push1) / [`push2`](Circuit::push2).
+    pub fn push(&mut self, op: Operation) -> Result<(), CircuitError> {
+        match op.q1 {
+            Some(q1) => self.push2(op.gate, op.q0, q1),
+            None => self.push1(op.gate, op.q0),
+        }
+    }
+
+    /// Appends every operation of `other` (widths must be compatible),
+    /// preserving its barriers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if `other` is wider.
+    pub fn extend_from(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        let offset = self.ops.len();
+        for op in other.operations() {
+            self.push(*op)?;
+        }
+        for &b in other.barriers() {
+            let pos = offset + b;
+            if self.barriers.last() != Some(&pos) {
+                self.barriers.push(pos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total two-qubit (CZ) gate count.
+    pub fn two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_two_qubit()).count()
+    }
+
+    /// Total single-qubit, non-virtual gate count.
+    pub fn one_qubit_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| !o.is_two_qubit() && !o.gate.is_virtual())
+            .count()
+    }
+
+    fn check(&self, q: QubitId) -> Result<(), CircuitError> {
+        if q.index() >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: q,
+                width: self.num_qubits,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit on {} qubits, {} ops:",
+            self.num_qubits,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_counts() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0u32.into()).unwrap();
+        c.push1(Gate::Rz(0.3), 1u32.into()).unwrap();
+        c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        c.push2(Gate::Cz, 1u32.into(), 2u32.into()).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.two_qubit_count(), 2);
+        assert_eq!(c.one_qubit_count(), 1); // RZ is virtual
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = Circuit::new(2);
+        let err = c.push1(Gate::X, 5u32.into()).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+        let err = c.push2(Gate::Cz, 0u32.into(), 2u32.into()).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn duplicate_operand_rejected() {
+        let mut c = Circuit::new(2);
+        let err = c.push2(Gate::Cz, 1u32.into(), 1u32.into()).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateOperand(QubitId::new(1)));
+    }
+
+    #[test]
+    fn extend_from_checks_width() {
+        let mut small = Circuit::new(2);
+        let mut big = Circuit::new(4);
+        big.push2(Gate::Cz, 2u32.into(), 3u32.into()).unwrap();
+        assert!(small.extend_from(&big).is_err());
+        let mut other = Circuit::new(2);
+        other.push1(Gate::H, 1u32.into()).unwrap();
+        small.extend_from(&other).unwrap();
+        assert_eq!(small.len(), 1);
+    }
+
+    #[test]
+    fn operation_qubits_iterates_operands() {
+        let op = Operation::two(Gate::Cz, 0u32.into(), 1u32.into());
+        let qs: Vec<_> = op.qubits().collect();
+        assert_eq!(qs, vec![QubitId::new(0), QubitId::new(1)]);
+        assert!(op.is_two_qubit());
+        let op1 = Operation::one(Gate::X, 2u32.into());
+        assert_eq!(op1.qubits().count(), 1);
+        assert!(!op1.is_two_qubit());
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("CZ q0 q1"));
+    }
+}

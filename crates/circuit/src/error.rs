@@ -1,0 +1,111 @@
+//! Error type shared by circuit construction, transpilation and
+//! scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use youtiao_chip::QubitId;
+
+/// Errors produced by the circuit subsystem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An operation referenced a qubit index outside the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// The circuit width.
+        width: usize,
+    },
+    /// A two-qubit operation named the same qubit twice.
+    DuplicateOperand(QubitId),
+    /// The logical circuit is wider than the target chip.
+    ChipTooSmall {
+        /// Logical circuit width.
+        needed: usize,
+        /// Physical qubits available.
+        available: usize,
+    },
+    /// No routing path exists between two qubits on the chip.
+    NoRoute(QubitId, QubitId),
+    /// A CZ gate requires two Z-controlled devices that share the same
+    /// cryo-DEMUX, so its pulses can never be applied simultaneously
+    /// (the paper's "unrealizable two-qubit gate", §3.2 case 2).
+    UnrealizableGate {
+        /// The two qubits of the CZ.
+        qubits: (QubitId, QubitId),
+    },
+    /// A CZ gate acts on qubits that share no coupler (transpile first).
+    MissingCoupler(QubitId, QubitId),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(
+                    f,
+                    "qubit {qubit} is out of range for a {width}-qubit circuit"
+                )
+            }
+            CircuitError::DuplicateOperand(q) => {
+                write!(f, "two-qubit gate names {q} twice")
+            }
+            CircuitError::ChipTooSmall { needed, available } => write!(
+                f,
+                "circuit needs {needed} qubits but the chip provides {available}"
+            ),
+            CircuitError::NoRoute(a, b) => {
+                write!(f, "no routing path between {a} and {b}")
+            }
+            CircuitError::UnrealizableGate { qubits: (a, b) } => write!(
+                f,
+                "cz between {a} and {b} is unrealizable: its devices share one demux"
+            ),
+            CircuitError::MissingCoupler(a, b) => {
+                write!(
+                    f,
+                    "no coupler between {a} and {b}; transpile the circuit first"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_well_formed() {
+        let errs: Vec<CircuitError> = vec![
+            CircuitError::QubitOutOfRange {
+                qubit: QubitId::new(9),
+                width: 4,
+            },
+            CircuitError::DuplicateOperand(QubitId::new(1)),
+            CircuitError::ChipTooSmall {
+                needed: 10,
+                available: 9,
+            },
+            CircuitError::NoRoute(QubitId::new(0), QubitId::new(1)),
+            CircuitError::UnrealizableGate {
+                qubits: (QubitId::new(0), QubitId::new(1)),
+            },
+            CircuitError::MissingCoupler(QubitId::new(0), QubitId::new(5)),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

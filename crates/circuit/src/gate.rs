@@ -1,0 +1,132 @@
+//! The device gate set.
+//!
+//! The paper's chips calibrate RX, RY, RZ and CZ as basis gates (§5.1).
+//! H and X are kept as named gates for readability of the benchmark
+//! generators; they lower to the same XY-drive hardware as RX/RY and share
+//! their duration. RZ is a virtual frame update (zero duration, no pulse).
+
+use std::fmt;
+
+/// Duration of an XY-drive single-qubit gate, in nanoseconds.
+pub const ONE_QUBIT_GATE_NS: f64 = 25.0;
+
+/// Duration of a CZ two-qubit gate, in nanoseconds.
+///
+/// Chosen so that two CZ layers take ≈120 ns, matching the §3.2 example
+/// ("five two-qubit gates … in just two layers in around 120 ns").
+pub const TWO_QUBIT_GATE_NS: f64 = 60.0;
+
+/// Duration of a dispersive readout, in nanoseconds.
+pub const MEASUREMENT_NS: f64 = 600.0;
+
+/// A gate in the device basis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Rotation about X by the given angle (radians). XY drive.
+    Rx(f64),
+    /// Rotation about Y by the given angle (radians). XY drive.
+    Ry(f64),
+    /// Virtual rotation about Z (frame update, zero duration).
+    Rz(f64),
+    /// Hadamard (one XY pulse on hardware).
+    H,
+    /// Pauli-X (π rotation, one XY pulse).
+    X,
+    /// Controlled-Z between two coupled qubits. Z pulses on both qubits
+    /// and their coupler.
+    Cz,
+    /// Dispersive readout on one qubit via its readout resonator.
+    Measure,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::Cz => 2,
+            _ => 1,
+        }
+    }
+
+    /// Wall-clock duration of the gate in nanoseconds.
+    pub fn duration_ns(self) -> f64 {
+        match self {
+            Gate::Rz(_) => 0.0,
+            Gate::Rx(_) | Gate::Ry(_) | Gate::H | Gate::X => ONE_QUBIT_GATE_NS,
+            Gate::Cz => TWO_QUBIT_GATE_NS,
+            Gate::Measure => MEASUREMENT_NS,
+        }
+    }
+
+    /// Returns `true` for gates realized by an XY-line microwave pulse.
+    pub fn uses_xy_line(self) -> bool {
+        matches!(self, Gate::Rx(_) | Gate::Ry(_) | Gate::H | Gate::X)
+    }
+
+    /// Returns `true` for gates that require Z (flux) pulses — on the
+    /// paper's chips, only the CZ gate (both qubits and the coupler are
+    /// flux-tuned to resonance).
+    pub fn uses_z_line(self) -> bool {
+        matches!(self, Gate::Cz)
+    }
+
+    /// Returns `true` for virtual gates that consume no hardware time.
+    pub fn is_virtual(self) -> bool {
+        matches!(self, Gate::Rz(_))
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Rx(a) => write!(f, "RX({a:.3})"),
+            Gate::Ry(a) => write!(f, "RY({a:.3})"),
+            Gate::Rz(a) => write!(f, "RZ({a:.3})"),
+            Gate::H => write!(f, "H"),
+            Gate::X => write!(f, "X"),
+            Gate::Cz => write!(f, "CZ"),
+            Gate::Measure => write!(f, "M"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity() {
+        assert_eq!(Gate::Cz.arity(), 2);
+        assert_eq!(Gate::H.arity(), 1);
+        assert_eq!(Gate::Rx(0.1).arity(), 1);
+        assert_eq!(Gate::Measure.arity(), 1);
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(Gate::Rz(1.0).duration_ns(), 0.0);
+        assert_eq!(Gate::H.duration_ns(), ONE_QUBIT_GATE_NS);
+        assert_eq!(Gate::Cz.duration_ns(), TWO_QUBIT_GATE_NS);
+        assert!(Gate::Measure.duration_ns() > Gate::Cz.duration_ns());
+        // Two CZ layers ≈ 120 ns, as in the paper's motivating example.
+        assert!((2.0 * TWO_QUBIT_GATE_NS - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn line_usage() {
+        assert!(Gate::Rx(0.5).uses_xy_line());
+        assert!(Gate::H.uses_xy_line());
+        assert!(!Gate::Cz.uses_xy_line());
+        assert!(Gate::Cz.uses_z_line());
+        assert!(!Gate::Rz(0.2).uses_z_line());
+        assert!(Gate::Rz(0.2).is_virtual());
+        assert!(!Gate::X.is_virtual());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Gate::Cz.to_string(), "CZ");
+        assert_eq!(Gate::Rx(0.5).to_string(), "RX(0.500)");
+        assert_eq!(Gate::Measure.to_string(), "M");
+    }
+}

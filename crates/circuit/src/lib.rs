@@ -1,0 +1,57 @@
+//! Quantum circuit substrate for YOUTIAO.
+//!
+//! The paper evaluates its TDM grouping on five benchmark circuits (VQC,
+//! ISING, DJ, QFT, QKNN — §5.1) and on surface-code error-correction
+//! cycles (§5.2). This crate provides everything those experiments need:
+//!
+//! * [`gate`]/[`circuit`] — a gate-level IR over the device basis the
+//!   paper's chips expose (RX, RY, RZ, CZ, plus H/X conveniences).
+//! * [`benchmarks`] — generators for the five benchmark algorithms and
+//!   random gate layers.
+//! * [`transpile`] — greedy swap-insertion mapping of logical circuits
+//!   onto a chip's coupling graph.
+//! * [`schedule`] — ASAP layer scheduling, both unconstrained
+//!   (Google-style dedicated wiring) and under shared-line TDM
+//!   constraints (one device per cryo-DEMUX per time window).
+//! * [`fidelity`] — first-order fidelity estimation combining calibrated
+//!   gate errors, T1 decoherence over the schedule makespan, and
+//!   crosstalk penalties between simultaneous two-qubit gates.
+//! * [`surface_cycle`] — error-correction cycle circuits for
+//!   [`SurfaceCode`](youtiao_chip::surface::SurfaceCode) layouts.
+//!
+//! # Example
+//!
+//! ```
+//! use youtiao_chip::topology;
+//! use youtiao_circuit::benchmarks;
+//! use youtiao_circuit::schedule::schedule_asap;
+//! use youtiao_circuit::transpile::transpile;
+//!
+//! let chip = topology::square_grid(3, 3);
+//! let logical = benchmarks::qft(6);
+//! let physical = transpile(&logical, &chip)?;
+//! let schedule = schedule_asap(&physical, &chip)?;
+//! assert!(schedule.two_qubit_depth() > 0);
+//! # Ok::<(), youtiao_circuit::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod circuit;
+pub mod error;
+pub mod fidelity;
+pub mod gate;
+pub mod schedule;
+pub mod surface_cycle;
+pub mod transpile;
+
+pub use crate::circuit::{Circuit, Operation};
+pub use crate::error::CircuitError;
+pub use crate::fidelity::{FidelityEstimator, FidelityReport};
+pub use crate::gate::Gate;
+pub use crate::schedule::{
+    schedule_asap, schedule_with_crosstalk_avoidance, schedule_with_tdm, schedule_with_tdm_strict,
+    CzPulseModel, Schedule, SharedLineConstraint,
+};

@@ -1,0 +1,562 @@
+//! ASAP layer scheduling, with and without TDM shared-line constraints.
+//!
+//! The paper's latency experiments (Figures 14–15, Table 1) compare the
+//! circuit depth achieved by three wiring schemes:
+//!
+//! * **Google-style dedicated wiring** — only qubit exclusivity limits
+//!   parallelism ([`schedule_asap`]);
+//! * **TDM wiring** — Z-pulsed devices (both qubits and the coupler of
+//!   every CZ) that share a cryo-DEMUX cannot be pulsed in the same time
+//!   window, so gates serialize ([`schedule_with_tdm`]).
+//!
+//! A CZ whose *own* devices share a DEMUX can never execute — the paper's
+//! "unrealizable two-qubit gate" (§3.2 case 2) — and is reported as
+//! [`CircuitError::UnrealizableGate`].
+
+use std::collections::HashSet;
+
+use youtiao_chip::{Chip, DeviceId};
+
+use crate::circuit::{Circuit, Operation};
+use crate::error::CircuitError;
+
+/// Maps each Z-controlled device to the cryo-DEMUX (TDM group) that owns
+/// its line, or `None` for a dedicated line.
+///
+/// Implemented by `youtiao_core`'s wiring plans; any grouping source can
+/// plug in.
+pub trait SharedLineConstraint {
+    /// The TDM group id of `device`, or `None` when the device has a
+    /// dedicated Z line.
+    fn group_of(&self, device: DeviceId) -> Option<usize>;
+}
+
+/// Which devices a CZ gate dynamically flux-pulses.
+///
+/// The paper describes both readings: §4.3 says "the qubits q1, q2, and
+/// coupler c1 receive square pulses", while §3.1 observes that *qubit*
+/// Z-line traffic "is relatively sparse in temporal" (the qubit lines
+/// mostly hold DC bias). Operationally, coupler-activated CZs only need
+/// the coupler pulse per gate, with qubit biases static — the default
+/// here — while the conservative model pulses all three devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CzPulseModel {
+    /// Only the coupler is pulsed per CZ; qubit Z lines hold bias.
+    #[default]
+    CouplerOnly,
+    /// Both qubits and the coupler are pulsed per CZ.
+    ThreeDevice,
+    /// Every control pulse — XY drives and readout included — shares the
+    /// TDM fabric. This is the unoptimized full-TDM baseline of the
+    /// paper's motivation (§1, §3.2): a 1:4 DEMUX serializes even
+    /// naturally parallel single-qubit layers and measurements.
+    AllControl,
+}
+
+/// The trivial constraint: every device has a dedicated line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DedicatedLines;
+
+impl SharedLineConstraint for DedicatedLines {
+    fn group_of(&self, _device: DeviceId) -> Option<usize> {
+        None
+    }
+}
+
+/// One time window of the schedule: the operations executing in parallel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Layer {
+    ops: Vec<Operation>,
+}
+
+impl Layer {
+    /// The operations in this layer.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Wall-clock duration: the longest gate in the layer.
+    pub fn duration_ns(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| o.gate.duration_ns())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when the layer contains at least one CZ.
+    pub fn has_two_qubit(&self) -> bool {
+        self.ops.iter().any(Operation::is_two_qubit)
+    }
+}
+
+/// A layered execution schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    layers: Vec<Layer>,
+    virtual_count: usize,
+}
+
+impl Schedule {
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total depth (number of layers).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Two-qubit gate depth: the number of layers containing a CZ — the
+    /// paper's primary latency metric.
+    pub fn two_qubit_depth(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_two_qubit()).count()
+    }
+
+    /// Total wall-clock makespan in nanoseconds.
+    pub fn makespan_ns(&self) -> f64 {
+        self.layers.iter().map(Layer::duration_ns).sum()
+    }
+
+    /// Number of virtual (zero-duration RZ) operations elided from layers.
+    pub fn virtual_count(&self) -> usize {
+        self.virtual_count
+    }
+
+    /// Total scheduled (non-virtual) operation count.
+    pub fn op_count(&self) -> usize {
+        self.layers.iter().map(|l| l.ops.len()).sum()
+    }
+}
+
+/// Schedules `circuit` on `chip` with dedicated control lines (the
+/// Google-baseline latency reference).
+///
+/// # Errors
+///
+/// * [`CircuitError::QubitOutOfRange`] — an operand exceeds the chip.
+/// * [`CircuitError::MissingCoupler`] — a CZ acts on uncoupled qubits.
+pub fn schedule_asap(circuit: &Circuit, chip: &Chip) -> Result<Schedule, CircuitError> {
+    schedule_with_tdm(circuit, chip, &DedicatedLines)
+}
+
+/// Schedules `circuit` on `chip` under TDM shared-line constraints with
+/// the default coupler-only pulse model: within one layer, each
+/// cryo-DEMUX group contributes at most one pulsed device.
+///
+/// # Errors
+///
+/// * [`CircuitError::QubitOutOfRange`] — an operand exceeds the chip.
+/// * [`CircuitError::MissingCoupler`] — a CZ acts on uncoupled qubits.
+/// * [`CircuitError::UnrealizableGate`] — a CZ's own devices share a
+///   group.
+pub fn schedule_with_tdm<C: SharedLineConstraint + ?Sized>(
+    circuit: &Circuit,
+    chip: &Chip,
+    constraint: &C,
+) -> Result<Schedule, CircuitError> {
+    schedule_with_tdm_pulse(circuit, chip, constraint, CzPulseModel::CouplerOnly)
+}
+
+/// Like [`schedule_with_tdm`] with the conservative three-device pulse
+/// model (both qubits and the coupler pulsed per CZ) — appropriate for
+/// workloads such as surface-code cycles where every device is pulsed in
+/// every period.
+///
+/// # Errors
+///
+/// Same as [`schedule_with_tdm`].
+pub fn schedule_with_tdm_strict<C: SharedLineConstraint + ?Sized>(
+    circuit: &Circuit,
+    chip: &Chip,
+    constraint: &C,
+) -> Result<Schedule, CircuitError> {
+    schedule_with_tdm_pulse(circuit, chip, constraint, CzPulseModel::ThreeDevice)
+}
+
+/// Schedules `circuit` under TDM constraints with an explicit CZ pulse
+/// model.
+///
+/// # Errors
+///
+/// Same as [`schedule_with_tdm`].
+pub fn schedule_with_tdm_pulse<C: SharedLineConstraint + ?Sized>(
+    circuit: &Circuit,
+    chip: &Chip,
+    constraint: &C,
+    pulse_model: CzPulseModel,
+) -> Result<Schedule, CircuitError> {
+    schedule_full(circuit, chip, constraint, pulse_model, None)
+}
+
+/// Schedules `circuit` under TDM constraints *and* crosstalk avoidance:
+/// two CZ gates whose operand qubits crosstalk above `threshold`
+/// (according to the symmetric `xtalk` matrix) never share a layer — the
+/// schedule-level counterpart of §4.3's noisy non-parallelism.
+///
+/// # Errors
+///
+/// Same as [`schedule_with_tdm`].
+///
+/// # Panics
+///
+/// Panics if the matrix dimension mismatches the chip.
+pub fn schedule_with_crosstalk_avoidance<C: SharedLineConstraint + ?Sized>(
+    circuit: &Circuit,
+    chip: &Chip,
+    constraint: &C,
+    pulse_model: CzPulseModel,
+    xtalk: &youtiao_chip::distance::DistanceMatrix,
+    threshold: f64,
+) -> Result<Schedule, CircuitError> {
+    assert_eq!(
+        xtalk.len(),
+        chip.num_qubits(),
+        "crosstalk matrix size mismatch"
+    );
+    schedule_full(
+        circuit,
+        chip,
+        constraint,
+        pulse_model,
+        Some((xtalk, threshold)),
+    )
+}
+
+fn schedule_full<C: SharedLineConstraint + ?Sized>(
+    circuit: &Circuit,
+    chip: &Chip,
+    constraint: &C,
+    pulse_model: CzPulseModel,
+    avoidance: Option<(&youtiao_chip::distance::DistanceMatrix, f64)>,
+) -> Result<Schedule, CircuitError> {
+    let n = chip.num_qubits();
+    let mut qubit_ready = vec![0usize; n];
+    let mut layers: Vec<Layer> = Vec::new();
+    // Per-layer occupancy: qubits in use, and TDM groups in use.
+    let mut layer_qubits: Vec<HashSet<usize>> = Vec::new();
+    let mut layer_groups: Vec<HashSet<usize>> = Vec::new();
+    // Qubits of CZ gates per layer, for crosstalk avoidance.
+    let mut layer_cz_qubits: Vec<Vec<youtiao_chip::QubitId>> = Vec::new();
+    let mut virtual_count = 0usize;
+    // Global barriers: operations at index >= a barrier position start no
+    // earlier than the layer count reached when the barrier is crossed.
+    let mut floor = 0usize;
+    let mut barrier_iter = circuit.barriers().iter().copied().peekable();
+
+    for (idx, op) in circuit.operations().iter().enumerate() {
+        while barrier_iter.peek() == Some(&idx) {
+            barrier_iter.next();
+            floor = layers.len();
+        }
+        for q in op.qubits() {
+            if q.index() >= n {
+                return Err(CircuitError::QubitOutOfRange { qubit: q, width: n });
+            }
+        }
+        if op.gate.is_virtual() {
+            virtual_count += 1;
+            continue;
+        }
+
+        // Z-pulsed devices of this operation, with their TDM groups.
+        let mut groups: Vec<usize> = Vec::new();
+        if pulse_model == CzPulseModel::AllControl && !op.gate.uses_z_line() {
+            if let Some(g) = constraint.group_of(DeviceId::Qubit(op.q0)) {
+                groups.push(g);
+            }
+        }
+        if op.gate.uses_z_line() {
+            let q1 = op.q1.expect("z-line gates are two-qubit");
+            let coupler = chip
+                .coupler_between(op.q0, q1)
+                .ok_or(CircuitError::MissingCoupler(op.q0, q1))?;
+            let all = [
+                DeviceId::Qubit(op.q0),
+                DeviceId::Qubit(q1),
+                DeviceId::Coupler(coupler),
+            ];
+            let devices = match pulse_model {
+                CzPulseModel::CouplerOnly => &all[2..],
+                CzPulseModel::ThreeDevice | CzPulseModel::AllControl => &all[..],
+            };
+            for &d in devices {
+                if let Some(g) = constraint.group_of(d) {
+                    if groups.contains(&g) {
+                        return Err(CircuitError::UnrealizableGate {
+                            qubits: (op.q0, q1),
+                        });
+                    }
+                    groups.push(g);
+                }
+            }
+        }
+
+        let earliest = op
+            .qubits()
+            .map(|q| qubit_ready[q.index()])
+            .max()
+            .unwrap_or(0)
+            .max(floor);
+
+        // Find the first layer >= earliest with no qubit or group clash.
+        let mut target = earliest;
+        loop {
+            if target >= layers.len() {
+                layers.push(Layer::default());
+                layer_qubits.push(HashSet::new());
+                layer_groups.push(HashSet::new());
+                layer_cz_qubits.push(Vec::new());
+            }
+            let qubit_clash = op
+                .qubits()
+                .any(|q| layer_qubits[target].contains(&q.index()));
+            let group_clash = groups.iter().any(|g| layer_groups[target].contains(g));
+            let noisy_clash = match (&avoidance, op.gate.uses_z_line()) {
+                (Some((xtalk, threshold)), true) => op.qubits().any(|a| {
+                    layer_cz_qubits[target]
+                        .iter()
+                        .any(|&b| a != b && xtalk.get(a, b) >= *threshold)
+                }),
+                _ => false,
+            };
+            if !qubit_clash && !group_clash && !noisy_clash {
+                break;
+            }
+            target += 1;
+        }
+
+        for q in op.qubits() {
+            layer_qubits[target].insert(q.index());
+            qubit_ready[q.index()] = target + 1;
+        }
+        for g in &groups {
+            layer_groups[target].insert(*g);
+        }
+        if op.gate.uses_z_line() {
+            layer_cz_qubits[target].extend(op.qubits());
+        }
+        layers[target].ops.push(*op);
+    }
+
+    Ok(Schedule {
+        layers,
+        virtual_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::gate::Gate;
+    use crate::transpile::transpile;
+    use youtiao_chip::topology;
+    use youtiao_chip::QubitId;
+
+    /// A constraint defined by an explicit device -> group table.
+    struct TableConstraint(Vec<(DeviceId, usize)>);
+
+    impl SharedLineConstraint for TableConstraint {
+        fn group_of(&self, device: DeviceId) -> Option<usize> {
+            self.0.iter().find(|(d, _)| *d == device).map(|(_, g)| *g)
+        }
+    }
+
+    fn cz_pair_circuit(pairs: &[(u32, u32)], width: usize) -> Circuit {
+        let mut c = Circuit::new(width);
+        for &(a, b) in pairs {
+            c.push2(Gate::Cz, a.into(), b.into()).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn independent_gates_share_a_layer() {
+        let chip = topology::linear(4);
+        let c = cz_pair_circuit(&[(0, 1), (2, 3)], 4);
+        let s = schedule_asap(&c, &chip).unwrap();
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.two_qubit_depth(), 1);
+        assert_eq!(s.op_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_gates_serialize() {
+        let chip = topology::linear(3);
+        let c = cz_pair_circuit(&[(0, 1), (1, 2)], 3);
+        let s = schedule_asap(&c, &chip).unwrap();
+        assert_eq!(s.depth(), 2);
+    }
+
+    #[test]
+    fn virtual_gates_cost_nothing() {
+        let chip = topology::linear(2);
+        let mut c = Circuit::new(2);
+        c.push1(Gate::Rz(0.5), 0u32.into()).unwrap();
+        c.push1(Gate::Rz(0.2), 0u32.into()).unwrap();
+        c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        let s = schedule_asap(&c, &chip).unwrap();
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.virtual_count(), 2);
+    }
+
+    #[test]
+    fn makespan_accumulates_layer_maxima() {
+        let chip = topology::linear(2);
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0u32.into()).unwrap();
+        c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        let s = schedule_asap(&c, &chip).unwrap();
+        assert_eq!(s.depth(), 2);
+        assert!((s.makespan_ns() - (25.0 + 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tdm_group_serializes_parallel_gates() {
+        let chip = topology::linear(4);
+        // Two disjoint CZs, but their couplers share a DEMUX.
+        let c0 = chip.coupler_between(0u32.into(), 1u32.into()).unwrap();
+        let c2 = chip.coupler_between(2u32.into(), 3u32.into()).unwrap();
+        let table = TableConstraint(vec![(DeviceId::Coupler(c0), 7), (DeviceId::Coupler(c2), 7)]);
+        let c = cz_pair_circuit(&[(0, 1), (2, 3)], 4);
+        let s = schedule_with_tdm(&c, &chip, &table).unwrap();
+        assert_eq!(s.depth(), 2, "shared DEMUX must serialize");
+    }
+
+    #[test]
+    fn unrealizable_gate_detected() {
+        let chip = topology::linear(2);
+        // Both qubits of the CZ on the same DEMUX: can never fire.
+        let table = TableConstraint(vec![
+            (DeviceId::Qubit(QubitId::new(0)), 1),
+            (DeviceId::Qubit(QubitId::new(1)), 1),
+        ]);
+        let c = cz_pair_circuit(&[(0, 1)], 2);
+        let err = schedule_with_tdm_strict(&c, &chip, &table).unwrap_err();
+        assert!(matches!(err, CircuitError::UnrealizableGate { .. }));
+        // Under the coupler-only pulse model the gate schedules (qubit
+        // lines only hold bias).
+        assert!(schedule_with_tdm(&c, &chip, &table).is_ok());
+    }
+
+    #[test]
+    fn one_qubit_gates_ignore_tdm_groups() {
+        let chip = topology::linear(2);
+        let table = TableConstraint(vec![
+            (DeviceId::Qubit(QubitId::new(0)), 1),
+            (DeviceId::Qubit(QubitId::new(1)), 1),
+        ]);
+        let mut c = Circuit::new(2);
+        c.push1(Gate::X, 0u32.into()).unwrap();
+        c.push1(Gate::X, 1u32.into()).unwrap();
+        // XY drives are FDM-controlled; same-DEMUX Z grouping is irrelevant.
+        let s = schedule_with_tdm(&c, &chip, &table).unwrap();
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn missing_coupler_reported() {
+        let chip = topology::linear(3);
+        let c = cz_pair_circuit(&[(0, 2)], 3);
+        let err = schedule_asap(&c, &chip).unwrap_err();
+        assert!(matches!(err, CircuitError::MissingCoupler(_, _)));
+    }
+
+    #[test]
+    fn qubit_out_of_range_reported() {
+        let chip = topology::linear(2);
+        let c = cz_pair_circuit(&[(0, 1)], 8);
+        let mut c2 = c.clone();
+        c2.push1(Gate::X, 7u32.into()).unwrap();
+        let err = schedule_asap(&c2, &chip).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn benchmark_depth_ordering_under_tdm() {
+        // TDM with all couplers in one group must not reduce depth.
+        let chip = topology::square_grid(3, 3);
+        let logical = benchmarks::vqc(9, 3);
+        let physical = transpile(&logical, &chip).unwrap();
+        let baseline = schedule_asap(&physical, &chip).unwrap();
+        let table = TableConstraint(
+            chip.coupler_ids()
+                .map(|c| (DeviceId::Coupler(c), 0))
+                .collect(),
+        );
+        let constrained = schedule_with_tdm(&physical, &chip, &table).unwrap();
+        assert!(constrained.two_qubit_depth() >= baseline.two_qubit_depth());
+        assert!(constrained.makespan_ns() >= baseline.makespan_ns());
+    }
+
+    #[test]
+    fn crosstalk_avoidance_serializes_noisy_pairs() {
+        use youtiao_chip::distance::DistanceMatrix;
+        let chip = topology::linear(4);
+        let c = cz_pair_circuit(&[(0, 1), (2, 3)], 4);
+        // Without avoidance the two disjoint CZs share a layer.
+        assert_eq!(schedule_asap(&c, &chip).unwrap().depth(), 1);
+        // Declare q1-q2 as a high-crosstalk pair: the gates must split.
+        let mut xtalk = DistanceMatrix::zeros(4);
+        xtalk.set(1u32.into(), 2u32.into(), 0.5);
+        let s = schedule_with_crosstalk_avoidance(
+            &c,
+            &chip,
+            &DedicatedLines,
+            CzPulseModel::CouplerOnly,
+            &xtalk,
+            0.1,
+        )
+        .unwrap();
+        assert_eq!(s.depth(), 2, "noisy pair must serialize");
+        // A higher threshold tolerates the pair.
+        let s2 = schedule_with_crosstalk_avoidance(
+            &c,
+            &chip,
+            &DedicatedLines,
+            CzPulseModel::CouplerOnly,
+            &xtalk,
+            0.9,
+        )
+        .unwrap();
+        assert_eq!(s2.depth(), 1);
+    }
+
+    #[test]
+    fn crosstalk_avoidance_ignores_one_qubit_gates() {
+        use youtiao_chip::distance::DistanceMatrix;
+        let chip = topology::linear(2);
+        let mut c = Circuit::new(2);
+        c.push1(Gate::X, 0u32.into()).unwrap();
+        c.push1(Gate::X, 1u32.into()).unwrap();
+        let mut xtalk = DistanceMatrix::zeros(2);
+        xtalk.set(0u32.into(), 1u32.into(), 1.0);
+        let s = schedule_with_crosstalk_avoidance(
+            &c,
+            &chip,
+            &DedicatedLines,
+            CzPulseModel::CouplerOnly,
+            &xtalk,
+            0.1,
+        )
+        .unwrap();
+        // XY drives are FDM-isolated; only CZ pairs are constrained.
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn op_counts_preserved() {
+        let chip = topology::square_grid(3, 3);
+        let logical = benchmarks::qft(9);
+        let physical = transpile(&logical, &chip).unwrap();
+        let s = schedule_asap(&physical, &chip).unwrap();
+        let non_virtual = physical
+            .operations()
+            .iter()
+            .filter(|o| !o.gate.is_virtual())
+            .count();
+        assert_eq!(s.op_count(), non_virtual);
+        assert_eq!(s.virtual_count(), physical.len() - non_virtual);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error-correction cycle circuits for surface-code layouts (§5.2).
+//!
+//! One cycle follows the standard hardware sequence (Figure 11 (b) of the
+//! paper, after Google's surface-code experiments): Hadamards on all
+//! parity-check qubits, four CZ steps following the stabilizer zig-zag
+//! schedule, closing Hadamards, and ancilla readout. Under dedicated
+//! wiring the cycle's two-qubit depth is exactly 4; TDM wiring may stretch
+//! it, which is what Table 1's depth column quantifies.
+
+use youtiao_chip::surface::SurfaceCode;
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// Builds the circuit for `cycles` consecutive error-correction cycles on
+/// `code`.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] if the layout and circuit disagree (cannot
+/// happen for layouts produced by [`SurfaceCode::rotated`]).
+pub fn cycles_circuit(code: &SurfaceCode, cycles: usize) -> Result<Circuit, CircuitError> {
+    let mut c = Circuit::new(code.chip().num_qubits());
+    for cycle in 0..cycles {
+        if cycle > 0 {
+            // Hardware sequencers align cycles globally.
+            c.push_barrier();
+        }
+        append_cycle(code, &mut c)?;
+    }
+    Ok(c)
+}
+
+/// Builds a single error-correction cycle circuit on `code`.
+///
+/// # Errors
+///
+/// Propagates [`CircuitError`] if the layout and circuit disagree.
+pub fn cycle_circuit(code: &SurfaceCode) -> Result<Circuit, CircuitError> {
+    cycles_circuit(code, 1)
+}
+
+/// Per-device activity masks over the 4 CZ steps of an error-correction
+/// cycle: bit `t` is set when the device is flux-pulsed in step `t`.
+///
+/// This is the workload profile YOUTIAO's activity-aware TDM grouping
+/// consumes for the fault-tolerant case study (§5.2): couplers are busy
+/// in exactly one step, data qubits in the steps of their adjacent
+/// checks, ancillas in every step of their weight.
+pub fn cycle_activity(
+    code: &SurfaceCode,
+) -> std::collections::HashMap<youtiao_chip::DeviceId, u32> {
+    use youtiao_chip::DeviceId;
+    let mut masks: std::collections::HashMap<DeviceId, u32> = std::collections::HashMap::new();
+    for s in code.stabilizers() {
+        for (t, slot) in s.schedule.iter().enumerate() {
+            if let Some(dq) = slot {
+                let bit = 1u32 << t;
+                *masks.entry(DeviceId::Qubit(s.ancilla)).or_insert(0) |= bit;
+                *masks.entry(DeviceId::Qubit(*dq)).or_insert(0) |= bit;
+                if let Some(c) = code.chip().coupler_between(s.ancilla, *dq) {
+                    *masks.entry(DeviceId::Coupler(c)).or_insert(0) |= bit;
+                }
+            }
+        }
+    }
+    masks
+}
+
+fn append_cycle(code: &SurfaceCode, c: &mut Circuit) -> Result<(), CircuitError> {
+    for s in code.stabilizers() {
+        c.push1(Gate::H, s.ancilla)?;
+    }
+    for t in 0..4 {
+        for s in code.stabilizers() {
+            if let Some(dq) = s.schedule[t] {
+                c.push2(Gate::Cz, s.ancilla, dq)?;
+            }
+        }
+    }
+    for s in code.stabilizers() {
+        c.push1(Gate::H, s.ancilla)?;
+        c.push1(Gate::Measure, s.ancilla)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule_asap;
+
+    #[test]
+    fn cycle_gate_counts() {
+        let code = SurfaceCode::rotated(3);
+        let c = cycle_circuit(&code).unwrap();
+        // CZ count = total stabilizer weight = coupler count = 24 at d=3.
+        assert_eq!(c.two_qubit_count(), 24);
+        // 2 H per ancilla (8 ancillas) = 16 single-qubit gates + 8 measures.
+        assert_eq!(c.one_qubit_count(), 16 + 8);
+    }
+
+    #[test]
+    fn dedicated_wiring_cycle_has_cz_depth_four() {
+        for d in [3usize, 5] {
+            let code = SurfaceCode::rotated(d);
+            let c = cycle_circuit(&code).unwrap();
+            let s = schedule_asap(&c, code.chip()).unwrap();
+            assert_eq!(s.two_qubit_depth(), 4, "cz depth at d={d}");
+        }
+    }
+
+    #[test]
+    fn multi_cycle_depth_scales_linearly() {
+        let code = SurfaceCode::rotated(3);
+        let c = cycles_circuit(&code, 25).unwrap();
+        let s = schedule_asap(&c, code.chip()).unwrap();
+        assert_eq!(s.two_qubit_depth(), 100);
+        assert_eq!(c.two_qubit_count(), 24 * 25);
+    }
+
+    #[test]
+    fn zero_cycles_is_empty() {
+        let code = SurfaceCode::rotated(3);
+        let c = cycles_circuit(&code, 0).unwrap();
+        assert!(c.is_empty());
+    }
+}

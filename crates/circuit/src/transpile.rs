@@ -1,0 +1,324 @@
+//! Greedy swap-insertion transpilation onto a chip's coupling graph.
+//!
+//! Logical benchmark circuits assume all-to-all connectivity; real chips
+//! only support CZ between coupled neighbours. [`transpile`] lowers a
+//! logical circuit to a physical one using the identity initial layout and
+//! greedy SWAP chains along BFS shortest paths (each SWAP is decomposed
+//! into three CX, i.e. three CZ plus Hadamards).
+
+use std::collections::VecDeque;
+
+use youtiao_chip::{Chip, QubitId};
+
+use crate::benchmarks::push_cx;
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+
+/// Result of transpilation: the physical circuit plus the final
+/// logical→physical layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transpiled {
+    /// The physical circuit (width = chip qubit count, all CZs between
+    /// coupled neighbours).
+    pub circuit: Circuit,
+    /// `layout[logical] = physical` after all inserted SWAPs.
+    pub final_layout: Vec<QubitId>,
+    /// Number of SWAP gates inserted.
+    pub swap_count: usize,
+}
+
+/// Transpiles `logical` onto `chip` and returns only the physical circuit.
+///
+/// Convenience wrapper over [`transpile_with_layout`].
+///
+/// # Errors
+///
+/// Same as [`transpile_with_layout`].
+pub fn transpile(logical: &Circuit, chip: &Chip) -> Result<Circuit, CircuitError> {
+    transpile_with_layout(logical, chip).map(|t| t.circuit)
+}
+
+/// A boustrophedon ordering of a chip's qubits: rows sorted by `y`, with
+/// every other row reversed, so consecutive positions are physically
+/// adjacent on grid-like chips. The preferred initial layout for
+/// line-shaped logical circuits (VQC/ISING chains, QFT neighbours).
+pub fn snake_order(chip: &Chip) -> Vec<QubitId> {
+    let mut qubits: Vec<(QubitId, f64, f64)> = chip
+        .qubits()
+        .map(|q| (q.id(), q.position().x, q.position().y))
+        .collect();
+    qubits.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.1.total_cmp(&b.1)));
+    // Group into rows by y (1e-6 tolerance), reversing odd rows.
+    let mut out = Vec::with_capacity(qubits.len());
+    let mut row: Vec<QubitId> = Vec::new();
+    let mut row_y = f64::NAN;
+    let mut row_index = 0usize;
+    for (id, _, y) in qubits {
+        if row_y.is_nan() || (y - row_y).abs() < 1e-6 {
+            row_y = y;
+            row.push(id);
+        } else {
+            if row_index % 2 == 1 {
+                row.reverse();
+            }
+            out.append(&mut row);
+            row_index += 1;
+            row_y = y;
+            row.push(id);
+        }
+    }
+    if row_index % 2 == 1 {
+        row.reverse();
+    }
+    out.append(&mut row);
+    out
+}
+
+/// Transpiles `logical` onto `chip` with the snake initial layout
+/// (logical qubit `i` starts on the `i`-th qubit of [`snake_order`]),
+/// which keeps chain-shaped circuits swap-free on grid chips.
+///
+/// # Errors
+///
+/// Same as [`transpile_with_layout`].
+pub fn transpile_snake(logical: &Circuit, chip: &Chip) -> Result<Transpiled, CircuitError> {
+    let order = snake_order(chip);
+    transpile_with_initial_layout(
+        logical,
+        chip,
+        &order[..logical.num_qubits().min(order.len())],
+    )
+}
+
+/// Transpiles `logical` onto `chip` with the identity initial layout
+/// (logical qubit `i` starts on physical qubit `i`).
+///
+/// # Errors
+///
+/// * [`CircuitError::ChipTooSmall`] — the circuit is wider than the chip.
+/// * [`CircuitError::NoRoute`] — a CZ joins qubits in different connected
+///   components of the coupling graph.
+pub fn transpile_with_layout(logical: &Circuit, chip: &Chip) -> Result<Transpiled, CircuitError> {
+    let layout: Vec<QubitId> = (0..logical.num_qubits()).map(QubitId::from).collect();
+    transpile_with_initial_layout(logical, chip, &layout)
+}
+
+/// Transpiles `logical` onto `chip` starting from an explicit
+/// logical→physical layout.
+///
+/// # Errors
+///
+/// Same as [`transpile_with_layout`].
+///
+/// # Panics
+///
+/// Panics if `initial_layout` repeats a physical qubit.
+pub fn transpile_with_initial_layout(
+    logical: &Circuit,
+    chip: &Chip,
+    initial_layout: &[QubitId],
+) -> Result<Transpiled, CircuitError> {
+    if logical.num_qubits() > chip.num_qubits() || logical.num_qubits() > initial_layout.len() {
+        return Err(CircuitError::ChipTooSmall {
+            needed: logical.num_qubits(),
+            available: chip.num_qubits().min(initial_layout.len()),
+        });
+    }
+    let mut layout: Vec<QubitId> = initial_layout[..logical.num_qubits()].to_vec();
+    let mut inverse: Vec<Option<usize>> = vec![None; chip.num_qubits()];
+    for (l, &p) in layout.iter().enumerate() {
+        assert!(
+            inverse[p.index()].is_none(),
+            "initial layout repeats physical qubit {p}"
+        );
+        inverse[p.index()] = Some(l);
+    }
+
+    let mut out = Circuit::new(chip.num_qubits());
+    let mut swap_count = 0usize;
+
+    for op in logical.operations() {
+        match op.q1 {
+            None => {
+                out.push1(op.gate, layout[op.q0.index()])
+                    .expect("layout in range");
+            }
+            Some(q1) => {
+                let pa = layout[op.q0.index()];
+                let pb = layout[q1.index()];
+                if !chip.are_adjacent(pa, pb) {
+                    let path = shortest_path(chip, pa, pb).ok_or(CircuitError::NoRoute(pa, pb))?;
+                    // Walk q0's physical carrier along the path until it
+                    // neighbours q1's carrier.
+                    for hop in 1..path.len() - 1 {
+                        let from = path[hop - 1];
+                        let to = path[hop];
+                        emit_swap(&mut out, from, to);
+                        swap_count += 1;
+                        // Update layout/inverse for the swapped carriers.
+                        let lf = inverse[from.index()];
+                        let lt = inverse[to.index()];
+                        if let Some(l) = lf {
+                            layout[l] = to;
+                        }
+                        if let Some(l) = lt {
+                            layout[l] = from;
+                        }
+                        inverse.swap(from.index(), to.index());
+                    }
+                }
+                let pa = layout[op.q0.index()];
+                let pb = layout[q1.index()];
+                debug_assert!(chip.are_adjacent(pa, pb));
+                out.push2(op.gate, pa, pb).expect("layout in range");
+            }
+        }
+    }
+    Ok(Transpiled {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+    })
+}
+
+/// Emits SWAP(a, b) = CX(a,b)·CX(b,a)·CX(a,b) on adjacent physical qubits.
+fn emit_swap(out: &mut Circuit, a: QubitId, b: QubitId) {
+    push_cx(out, a, b);
+    push_cx(out, b, a);
+    push_cx(out, a, b);
+}
+
+/// BFS shortest path (inclusive of endpoints) on the coupling graph.
+fn shortest_path(chip: &Chip, from: QubitId, to: QubitId) -> Option<Vec<QubitId>> {
+    let mut prev: Vec<Option<QubitId>> = vec![None; chip.num_qubits()];
+    let mut seen = vec![false; chip.num_qubits()];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while let Some(p) = prev[cur.index()] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &v in chip.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                prev[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Verifies that every CZ of `circuit` acts on coupled neighbours of
+/// `chip` — the postcondition of [`transpile`].
+pub fn is_hardware_compatible(circuit: &Circuit, chip: &Chip) -> bool {
+    circuit.operations().iter().all(|op| match op.q1 {
+        Some(q1) if op.gate == Gate::Cz => chip.are_adjacent(op.q0, q1),
+        _ => op.q0.index() < chip.num_qubits(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use youtiao_chip::topology;
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let chip = topology::linear(4);
+        let mut c = Circuit::new(4);
+        c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        let t = transpile_with_layout(&c, &chip).unwrap();
+        assert_eq!(t.swap_count, 0);
+        assert_eq!(t.circuit.two_qubit_count(), 1);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let chip = topology::linear(4);
+        let mut c = Circuit::new(4);
+        c.push2(Gate::Cz, 0u32.into(), 3u32.into()).unwrap();
+        let t = transpile_with_layout(&c, &chip).unwrap();
+        // distance 3 -> move within 1 hop of target: 2 swaps
+        assert_eq!(t.swap_count, 2);
+        assert!(is_hardware_compatible(&t.circuit, &chip));
+    }
+
+    #[test]
+    fn layout_tracks_moves() {
+        let chip = topology::linear(3);
+        let mut c = Circuit::new(3);
+        c.push2(Gate::Cz, 0u32.into(), 2u32.into()).unwrap();
+        let t = transpile_with_layout(&c, &chip).unwrap();
+        // logical 0 moved to physical 1
+        assert_eq!(t.final_layout[0], QubitId::new(1));
+        // whoever was at 1 is now at 0
+        assert_eq!(t.final_layout[1], QubitId::new(0));
+    }
+
+    #[test]
+    fn all_benchmarks_become_hardware_compatible() {
+        let chip = topology::square_grid(4, 4);
+        for b in benchmarks::Benchmark::ALL {
+            let logical = b.generate(9);
+            let t = transpile_with_layout(&logical, &chip).unwrap();
+            assert!(
+                is_hardware_compatible(&t.circuit, &chip),
+                "{} not compatible",
+                b.name()
+            );
+            assert!(t.circuit.two_qubit_count() >= logical.two_qubit_count());
+        }
+    }
+
+    #[test]
+    fn chip_too_small_rejected() {
+        let chip = topology::linear(3);
+        let c = Circuit::new(5);
+        let err = transpile(&c, &chip).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::ChipTooSmall {
+                needed: 5,
+                available: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn disconnected_chip_reports_no_route() {
+        let chip = youtiao_chip::ChipBuilder::new("d", youtiao_chip::TopologyKind::Custom)
+            .qubit(youtiao_chip::Position::new(0.0, 0.0))
+            .qubit(youtiao_chip::Position::new(5.0, 0.0))
+            .build()
+            .unwrap();
+        let mut c = Circuit::new(2);
+        c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        assert!(matches!(
+            transpile(&c, &chip),
+            Err(CircuitError::NoRoute(_, _))
+        ));
+    }
+
+    #[test]
+    fn one_qubit_gates_follow_layout() {
+        let chip = topology::linear(3);
+        let mut c = Circuit::new(3);
+        c.push2(Gate::Cz, 0u32.into(), 2u32.into()).unwrap();
+        c.push1(Gate::X, 0u32.into()).unwrap();
+        let t = transpile_with_layout(&c, &chip).unwrap();
+        // X on logical 0 must land on physical 1 after the swap.
+        let last = t.circuit.operations().last().unwrap();
+        assert_eq!(last.gate, Gate::X);
+        assert_eq!(last.q0, QubitId::new(1));
+    }
+}

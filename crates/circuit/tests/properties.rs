@@ -1,0 +1,147 @@
+//! Property-based tests for circuit generation, transpilation and
+//! scheduling.
+
+use proptest::prelude::*;
+use youtiao_chip::topology;
+use youtiao_chip::DeviceId;
+use youtiao_circuit::benchmarks::{self, Benchmark};
+use youtiao_circuit::schedule::{schedule_asap, schedule_with_tdm_strict, SharedLineConstraint};
+use youtiao_circuit::transpile::{is_hardware_compatible, snake_order, transpile_snake};
+use youtiao_circuit::{Circuit, Gate};
+
+/// Groups every coupler by `id % k` — an arbitrary, legal-ish constraint
+/// for stress-testing the scheduler (qubits stay dedicated, so no gate
+/// is unrealizable).
+struct ModuloGroups(usize);
+
+impl SharedLineConstraint for ModuloGroups {
+    fn group_of(&self, device: DeviceId) -> Option<usize> {
+        match device {
+            DeviceId::Coupler(c) => Some(c.index() % self.0),
+            DeviceId::Qubit(_) => None,
+        }
+    }
+}
+
+fn random_circuit(n_qubits: usize, ops: &[(u8, u8, u8)]) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    for &(kind, a, b) in ops {
+        let qa = ((a as usize) % n_qubits).into();
+        let qb = ((b as usize) % n_qubits).into();
+        match kind % 4 {
+            0 => c.push1(Gate::H, qa).unwrap(),
+            1 => c.push1(Gate::Rx(0.3), qa).unwrap(),
+            2 => c.push1(Gate::Rz(0.7), qa).unwrap(),
+            _ => {
+                if qa != qb {
+                    c.push2(Gate::Cz, qa, qb).unwrap();
+                }
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transpilation makes any random circuit hardware-compatible and
+    /// preserves non-CZ gate counts.
+    #[test]
+    fn transpile_makes_compatible(ops in proptest::collection::vec((0u8..4, 0u8..16, 0u8..16), 1..40)) {
+        let chip = topology::square_grid(4, 4);
+        let logical = random_circuit(16, &ops);
+        let t = transpile_snake(&logical, &chip).unwrap();
+        prop_assert!(is_hardware_compatible(&t.circuit, &chip));
+        // Every logical CZ maps to >= 1 physical CZ; swaps only add CZs.
+        prop_assert!(t.circuit.two_qubit_count() >= logical.two_qubit_count());
+    }
+
+    /// Scheduling preserves the non-virtual operation count and never
+    /// reorders gates on the same qubit (depth >= per-qubit gate count).
+    #[test]
+    fn schedule_preserves_ops(ops in proptest::collection::vec((0u8..4, 0u8..9, 0u8..9), 1..60)) {
+        let chip = topology::square_grid(3, 3);
+        let logical = random_circuit(9, &ops);
+        let physical = transpile_snake(&logical, &chip).unwrap().circuit;
+        let s = schedule_asap(&physical, &chip).unwrap();
+        let non_virtual = physical.operations().iter().filter(|o| !o.gate.is_virtual()).count();
+        prop_assert_eq!(s.op_count(), non_virtual);
+        // Depth is at least the busiest qubit's gate count.
+        let mut per_qubit = [0usize; 9];
+        for op in physical.operations() {
+            if !op.gate.is_virtual() {
+                for q in op.qubits() {
+                    per_qubit[q.index()] += 1;
+                }
+            }
+        }
+        prop_assert!(s.depth() >= per_qubit.iter().copied().max().unwrap_or(0));
+    }
+
+    /// TDM constraints can only increase depth, never change op counts,
+    /// for arbitrary coupler groupings.
+    #[test]
+    fn tdm_monotone_in_depth(
+        ops in proptest::collection::vec((0u8..4, 0u8..9, 0u8..9), 1..50),
+        k in 1usize..5,
+    ) {
+        let chip = topology::square_grid(3, 3);
+        let physical = transpile_snake(&random_circuit(9, &ops), &chip).unwrap().circuit;
+        let base = schedule_asap(&physical, &chip).unwrap();
+        let constrained =
+            schedule_with_tdm_strict(&physical, &chip, &ModuloGroups(k)).unwrap();
+        prop_assert!(constrained.depth() >= base.depth());
+        prop_assert_eq!(constrained.op_count(), base.op_count());
+        // Note: makespan is NOT monotone — delaying a CZ can co-locate it
+        // with a long measurement layer and shrink the sum of layer
+        // maxima — so only depth and op counts are invariant.
+    }
+
+    /// Barriers never decrease depth.
+    #[test]
+    fn barriers_monotone(ops in proptest::collection::vec((0u8..4, 0u8..9, 0u8..9), 2..40), at in 0usize..40) {
+        let chip = topology::square_grid(3, 3);
+        let plain = transpile_snake(&random_circuit(9, &ops), &chip).unwrap().circuit;
+        // Rebuild with a barrier inserted mid-stream.
+        let mut with_barrier = Circuit::new(plain.num_qubits());
+        for (i, op) in plain.operations().iter().enumerate() {
+            if i == at % plain.operations().len().max(1) {
+                with_barrier.push_barrier();
+            }
+            with_barrier.push(*op).unwrap();
+        }
+        let d0 = schedule_asap(&plain, &chip).unwrap().depth();
+        let d1 = schedule_asap(&with_barrier, &chip).unwrap().depth();
+        prop_assert!(d1 >= d0);
+    }
+
+    /// Benchmark generators scale: gate counts grow with width and stay
+    /// in the declared basis.
+    #[test]
+    fn benchmarks_scale(n in 3usize..12) {
+        for b in Benchmark::ALL {
+            let small = b.generate(n);
+            let large = b.generate(n + 4);
+            prop_assert!(large.len() >= small.len(), "{}", b.name());
+        }
+        let r = benchmarks::random_xy_layers(n, 5, 1);
+        prop_assert_eq!(r.len(), 5 * n);
+    }
+
+    /// The snake order is always a permutation of the chip's qubits with
+    /// adjacent consecutive entries on grids.
+    #[test]
+    fn snake_is_adjacent_permutation(rows in 2usize..6, cols in 2usize..6) {
+        let chip = topology::square_grid(rows, cols);
+        let order = snake_order(&chip);
+        prop_assert_eq!(order.len(), chip.num_qubits());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), chip.num_qubits());
+        for w in order.windows(2) {
+            prop_assert!(chip.are_adjacent(w[0], w[1]), "{} !~ {}", w[0], w[1]);
+        }
+    }
+}

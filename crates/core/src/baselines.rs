@@ -1,0 +1,323 @@
+//! The comparison wiring systems of §5.
+//!
+//! * [`GoogleBaseline`] — Sycamore-style partial multiplexing: dedicated
+//!   XY and Z lines per device, multiplexed readout only.
+//! * [`GeorgeFdm`] — state-of-the-art FDM practice (George et al.):
+//!   chip-local line clustering with optimized *in-line* frequency
+//!   spacing, staggered between lines, but no cross-line noise awareness.
+//! * [`NaiveFdm`] — unoptimized FDM: chip-local clustering with the same
+//!   frequency pattern repeated on every line, so physically adjacent
+//!   qubits on neighbouring lines collide spectrally.
+//! * [`AcharyaTdm`] — state-of-the-art TDM practice (Acharya et al.):
+//!   *legal* local clustering onto 1:4 cryo-DEMUXes, with no
+//!   non-parallelism awareness.
+
+use youtiao_chip::{Chip, DeviceId, QubitId};
+use youtiao_circuit::schedule::SharedLineConstraint;
+
+use crate::fdm::{group_fdm_local, FdmLine};
+use crate::freq::{allocate_in_line_only, FreqConfig, FrequencyPlan};
+use crate::tdm::{legal_pair, DemuxLevel, TdmGroup};
+
+/// Google-style dedicated wiring: one XY line and one Z line per device,
+/// readout multiplexed at the feedline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoogleBaseline {
+    num_qubits: usize,
+    num_couplers: usize,
+    readout_capacity: usize,
+}
+
+impl GoogleBaseline {
+    /// Builds the baseline for a chip with the default readout feedline
+    /// capacity of 8.
+    pub fn for_chip(chip: &Chip) -> Self {
+        GoogleBaseline {
+            num_qubits: chip.num_qubits(),
+            num_couplers: chip.num_couplers(),
+            readout_capacity: 8,
+        }
+    }
+
+    /// Number of coaxial XY lines (one per qubit).
+    pub fn num_xy_lines(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of coaxial Z lines (one per qubit and per coupler).
+    pub fn num_z_lines(&self) -> usize {
+        self.num_qubits + self.num_couplers
+    }
+
+    /// Number of readout feedlines.
+    pub fn num_readout_lines(&self) -> usize {
+        self.num_qubits.div_ceil(self.readout_capacity)
+    }
+}
+
+impl SharedLineConstraint for GoogleBaseline {
+    fn group_of(&self, _device: DeviceId) -> Option<usize> {
+        None // every device has a dedicated line
+    }
+}
+
+/// George et al. FDM: local clustering plus staggered in-line-optimal
+/// frequency allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeorgeFdm {
+    fdm_lines: Vec<FdmLine>,
+    frequency_plan: FrequencyPlan,
+}
+
+impl GeorgeFdm {
+    /// Builds the baseline for a chip with the given line capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn for_chip(chip: &Chip, capacity: usize, config: &FreqConfig) -> Self {
+        let fdm_lines = group_fdm_local(chip, capacity);
+        // In-line-optimal spacing, then stagger line k by k cells so
+        // exact cross-line collisions are avoided (in-line awareness
+        // only — no crosstalk model).
+        let base = allocate_in_line_only(chip, &fdm_lines, config);
+        let mut freqs = base.frequencies().to_vec();
+        let zone_of: Vec<usize> = (0..chip.num_qubits())
+            .map(|i| base.zone_of(QubitId::from(i)))
+            .collect();
+        let stagger = config.cell_mhz / 1000.0;
+        for (k, line) in fdm_lines.iter().enumerate() {
+            for &q in line.qubits() {
+                freqs[q.index()] += (k % 8) as f64 * stagger;
+            }
+        }
+        let frequency_plan = FrequencyPlan::from_frequencies(freqs, base.zones(), zone_of);
+        GeorgeFdm {
+            fdm_lines,
+            frequency_plan,
+        }
+    }
+
+    /// The FDM lines.
+    pub fn fdm_lines(&self) -> &[FdmLine] {
+        &self.fdm_lines
+    }
+
+    /// The frequency assignment.
+    pub fn frequency_plan(&self) -> &FrequencyPlan {
+        &self.frequency_plan
+    }
+}
+
+/// Unoptimized FDM: local clustering with an identical frequency pattern
+/// on every line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveFdm {
+    fdm_lines: Vec<FdmLine>,
+    frequency_plan: FrequencyPlan,
+}
+
+impl NaiveFdm {
+    /// Builds the baseline for a chip with the given line capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn for_chip(chip: &Chip, capacity: usize, config: &FreqConfig) -> Self {
+        let fdm_lines = group_fdm_local(chip, capacity);
+        let frequency_plan = allocate_in_line_only(chip, &fdm_lines, config);
+        NaiveFdm {
+            fdm_lines,
+            frequency_plan,
+        }
+    }
+
+    /// The FDM lines.
+    pub fn fdm_lines(&self) -> &[FdmLine] {
+        &self.fdm_lines
+    }
+
+    /// The frequency assignment.
+    pub fn frequency_plan(&self) -> &FrequencyPlan {
+        &self.frequency_plan
+    }
+}
+
+/// Acharya et al. TDM: legal clustering of Z devices onto 1:4
+/// cryo-DEMUXes by physical proximity, without non-parallelism awareness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcharyaTdm {
+    groups: Vec<TdmGroup>,
+    shared_group_of: Vec<(DeviceId, usize)>,
+}
+
+impl AcharyaTdm {
+    /// Builds the baseline for a chip.
+    pub fn for_chip(chip: &Chip) -> Self {
+        let mut unassigned: Vec<DeviceId> = chip.device_ids().collect();
+        let mut groups = Vec::new();
+        while !unassigned.is_empty() {
+            let seed = unassigned.remove(0);
+            let seed_pos = chip.device_position(seed);
+            let mut members = vec![seed];
+            while members.len() < DemuxLevel::OneToFour.channel_capacity() {
+                // Nearest legal device by physical distance to the seed.
+                let mut best: Option<(usize, f64)> = None;
+                for (i, &cand) in unassigned.iter().enumerate() {
+                    if !members.iter().all(|&m| legal_pair(chip, m, cand)) {
+                        continue;
+                    }
+                    let d = seed_pos.distance_to(chip.device_position(cand));
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                match best {
+                    Some((i, _)) => members.push(unassigned.remove(i)),
+                    None => break,
+                }
+            }
+            groups.push(TdmGroup::new(DemuxLevel::OneToFour, members));
+        }
+        let mut shared_group_of = Vec::new();
+        for (g, group) in groups.iter().enumerate() {
+            if group.len() > 1 {
+                for &d in group.devices() {
+                    shared_group_of.push((d, g));
+                }
+            }
+        }
+        AcharyaTdm {
+            groups,
+            shared_group_of,
+        }
+    }
+
+    /// The TDM groups.
+    pub fn groups(&self) -> &[TdmGroup] {
+        &self.groups
+    }
+
+    /// Number of Z lines (one per group).
+    pub fn num_z_lines(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+impl SharedLineConstraint for AcharyaTdm {
+    fn group_of(&self, device: DeviceId) -> Option<usize> {
+        self.shared_group_of
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|(_, g)| *g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tdm::TdmConfig;
+    use youtiao_chip::topology;
+    use youtiao_circuit::benchmarks;
+    use youtiao_circuit::schedule::{schedule_asap, schedule_with_tdm};
+    use youtiao_circuit::transpile::transpile;
+
+    #[test]
+    fn google_counts() {
+        let chip = topology::heavy_square(3, 3);
+        let g = GoogleBaseline::for_chip(&chip);
+        assert_eq!(g.num_xy_lines(), 21);
+        assert_eq!(g.num_z_lines(), 45);
+        assert_eq!(g.num_readout_lines(), 3);
+        assert_eq!(g.group_of(DeviceId::Qubit(0u32.into())), None);
+    }
+
+    #[test]
+    fn george_lines_are_local_clusters() {
+        let chip = topology::square_grid(3, 3);
+        let g = GeorgeFdm::for_chip(&chip, 3, &FreqConfig::default());
+        assert_eq!(g.fdm_lines().len(), 3);
+        // Line 0 holds q0..q2 (id order).
+        assert!(g.fdm_lines()[0].contains(0u32.into()));
+        assert!(g.fdm_lines()[0].contains(2u32.into()));
+    }
+
+    #[test]
+    fn george_staggers_lines_but_naive_does_not() {
+        let chip = topology::square_grid(3, 3);
+        let cfg = FreqConfig::default();
+        let george = GeorgeFdm::for_chip(&chip, 3, &cfg);
+        let naive = NaiveFdm::for_chip(&chip, 3, &cfg);
+        // First member of lines 0 and 1:
+        let l0q = george.fdm_lines()[0].qubits()[0];
+        let l1q = george.fdm_lines()[1].qubits()[0];
+        let df_george = (george.frequency_plan().frequency_ghz(l0q)
+            - george.frequency_plan().frequency_ghz(l1q))
+        .abs();
+        let df_naive = (naive.frequency_plan().frequency_ghz(l0q)
+            - naive.frequency_plan().frequency_ghz(l1q))
+        .abs();
+        assert!(df_george > 1e-6, "george must stagger");
+        assert_eq!(df_naive, 0.0, "naive must collide");
+    }
+
+    #[test]
+    fn acharya_groups_are_legal_and_cover_devices() {
+        let chip = topology::square_grid(3, 3);
+        let a = AcharyaTdm::for_chip(&chip);
+        let total: usize = a.groups().iter().map(TdmGroup::len).sum();
+        assert_eq!(total, chip.num_z_devices());
+        for g in a.groups() {
+            let ds = g.devices();
+            for i in 0..ds.len() {
+                for j in (i + 1)..ds.len() {
+                    assert!(legal_pair(&chip, ds[i], ds[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acharya_schedules_without_unrealizable_gates() {
+        let chip = topology::square_grid(3, 3);
+        let a = AcharyaTdm::for_chip(&chip);
+        for b in benchmarks::Benchmark::ALL {
+            let physical = transpile(&b.generate(9), &chip).unwrap();
+            assert!(
+                schedule_with_tdm(&physical, &chip, &a).is_ok(),
+                "{} unrealizable under acharya",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn youtiao_depth_beats_acharya_on_parallel_workloads() {
+        let chip = topology::square_grid(4, 4);
+        let youtiao = crate::plan::YoutiaoPlanner::new(&chip)
+            .with_config(crate::plan::PlannerConfig {
+                tdm: TdmConfig::default(),
+                ..Default::default()
+            })
+            .plan()
+            .unwrap();
+        let acharya = AcharyaTdm::for_chip(&chip);
+        let physical = transpile(&benchmarks::vqc(16, 4), &chip).unwrap();
+        let base = schedule_asap(&physical, &chip).unwrap().two_qubit_depth();
+        let yt = schedule_with_tdm(&physical, &chip, &youtiao)
+            .unwrap()
+            .two_qubit_depth();
+        let ac = schedule_with_tdm(&physical, &chip, &acharya)
+            .unwrap()
+            .two_qubit_depth();
+        assert!(yt <= ac, "youtiao {yt} vs acharya {ac} (base {base})");
+    }
+
+    #[test]
+    fn acharya_z_line_reduction() {
+        let chip = topology::heavy_square(3, 3);
+        let a = AcharyaTdm::for_chip(&chip);
+        assert!(a.num_z_lines() < chip.num_z_devices());
+        assert!(a.num_z_lines() >= chip.num_z_devices() / 4);
+    }
+}

@@ -1,0 +1,512 @@
+//! Two-level coarse-grained frequency allocation (§4.2).
+//!
+//! Level 1 (in-line): the effective 4–7 GHz band is split into as many
+//! zones as the longest FDM line; the k-th qubit of every line lands in
+//! zone k, guaranteeing large in-line spacing for the cryogenic band-pass
+//! filters. Level 2 (cross-line): within each zone, qubits pick the
+//! 10 MHz cell minimizing model-predicted crosstalk against all already
+//! placed qubits; when a zone's cells are exhausted (frequency crowding),
+//! a cell is *reused* by the pair with the least mutual crosstalk. A
+//! final in-group swap pass lowers the global objective further.
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, QubitId};
+use youtiao_noise::model::frequency_scaling;
+
+use crate::error::PlanError;
+use crate::fdm::FdmLine;
+
+/// Configuration of the frequency allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqConfig {
+    /// Usable qubit band in GHz (the paper uses 4–7 GHz).
+    pub band_ghz: (f64, f64),
+    /// Cell granularity within a zone, MHz (the paper uses 10 MHz).
+    pub cell_mhz: f64,
+    /// Number of greedy in-group swap passes after placement.
+    pub swap_passes: usize,
+    /// When set, each qubit may only be tuned within ± this range (GHz)
+    /// of its fabrication base frequency — §4.2 notes the Z-line tuning
+    /// range is "typically within 50 MHz". `None` treats frequencies as
+    /// free design variables (a chip-design-time allocation).
+    pub tuning_range_ghz: Option<f64>,
+}
+
+impl FreqConfig {
+    /// A post-fabrication retuning configuration: cells must lie within
+    /// ±50 MHz of each qubit's base frequency.
+    pub fn retuning() -> Self {
+        FreqConfig {
+            tuning_range_ghz: Some(0.05),
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for FreqConfig {
+    fn default() -> Self {
+        FreqConfig {
+            band_ghz: (4.0, 7.0),
+            cell_mhz: 10.0,
+            swap_passes: 2,
+            tuning_range_ghz: None,
+        }
+    }
+}
+
+/// A per-qubit frequency assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyPlan {
+    freqs_ghz: Vec<f64>,
+    zones: usize,
+    zone_of: Vec<usize>,
+    reused_cells: usize,
+}
+
+impl FrequencyPlan {
+    /// Assembles a plan from explicit per-qubit frequencies. Low-level:
+    /// intended for baselines and tests; prefer [`allocate_frequencies`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn from_frequencies(freqs_ghz: Vec<f64>, zones: usize, zone_of: Vec<usize>) -> Self {
+        assert_eq!(freqs_ghz.len(), zone_of.len(), "length mismatch");
+        FrequencyPlan {
+            freqs_ghz,
+            zones,
+            zone_of,
+            reused_cells: 0,
+        }
+    }
+
+    /// Frequency of qubit `q` in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn frequency_ghz(&self, q: QubitId) -> f64 {
+        self.freqs_ghz[q.index()]
+    }
+
+    /// Zone index of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn zone_of(&self, q: QubitId) -> usize {
+        self.zone_of[q.index()]
+    }
+
+    /// Number of zones the band was split into.
+    pub fn zones(&self) -> usize {
+        self.zones
+    }
+
+    /// How many cells had to be reused due to frequency crowding.
+    pub fn reused_cells(&self) -> usize {
+        self.reused_cells
+    }
+
+    /// All frequencies in qubit-id order, GHz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freqs_ghz
+    }
+
+    /// The global crosstalk objective: the sum over qubit pairs of
+    /// predicted crosstalk scaled by spectral proximity.
+    pub fn objective(&self, xtalk: &DistanceMatrix) -> f64 {
+        let mut total = 0.0;
+        for (a, b, x) in xtalk.iter_pairs() {
+            if x > 0.0 {
+                let df = self.freqs_ghz[a.index()] - self.freqs_ghz[b.index()];
+                total += x * frequency_scaling(df);
+            }
+        }
+        total
+    }
+}
+
+/// Allocates frequencies for all qubits of `chip` grouped into `lines`,
+/// minimizing crosstalk predicted by the symmetric `xtalk` matrix
+/// (`xtalk[a][b]` = model-predicted crosstalk between qubits `a`, `b`).
+///
+/// # Errors
+///
+/// * [`PlanError::InvalidConfig`] — degenerate band or cell size.
+///
+/// # Panics
+///
+/// Panics if `lines` does not cover every chip qubit exactly once or if
+/// `xtalk` has the wrong dimension.
+pub fn allocate_frequencies(
+    chip: &Chip,
+    lines: &[FdmLine],
+    xtalk: &DistanceMatrix,
+    config: &FreqConfig,
+) -> Result<FrequencyPlan, PlanError> {
+    let n = chip.num_qubits();
+    assert_eq!(xtalk.len(), n, "crosstalk matrix size mismatch");
+    let covered: usize = lines.iter().map(FdmLine::len).sum();
+    assert_eq!(covered, n, "lines must cover every qubit exactly once");
+
+    let (lo, hi) = config.band_ghz;
+    if hi <= lo || config.cell_mhz <= 0.0 {
+        return Err(PlanError::InvalidConfig("frequency band or cell size"));
+    }
+    let zones = lines.iter().map(FdmLine::len).max().unwrap_or(0).max(1);
+    let zone_width = (hi - lo) / zones as f64;
+    let cells_per_zone = ((zone_width * 1000.0) / config.cell_mhz).floor() as usize;
+    if cells_per_zone == 0 {
+        return Err(PlanError::InvalidConfig("cell size exceeds zone width"));
+    }
+    let cell_freq = |zone: usize, cell: usize| -> f64 {
+        lo + zone as f64 * zone_width + (cell as f64 + 0.5) * config.cell_mhz / 1000.0
+    };
+
+    let mut freqs = vec![f64::NAN; n];
+    let mut zone_of = vec![0usize; n];
+    let mut occupancy: Vec<Vec<Vec<QubitId>>> = vec![vec![Vec::new(); cells_per_zone]; zones];
+    let mut placed: Vec<QubitId> = Vec::new();
+    let mut reused_cells = 0usize;
+
+    for line in lines {
+        for (k, &q) in line.qubits().iter().enumerate() {
+            let base = chip
+                .qubit(q)
+                .expect("qubit id in range")
+                .base_frequency_ghz();
+            // Design-time allocation spreads line members across zones;
+            // post-fabrication retuning must stay in the zone the base
+            // frequency already sits in.
+            let zone = match config.tuning_range_ghz {
+                None => k % zones,
+                Some(_) => (((base - lo) / zone_width).floor() as isize)
+                    .clamp(0, zones as isize - 1) as usize,
+            };
+            zone_of[q.index()] = zone;
+            // Score every cell: empty cells score crosstalk vs placed
+            // qubits; occupied cells additionally carry a reuse penalty
+            // equal to the direct crosstalk with their occupants.
+            let mut best: Option<(usize, f64, bool)> = None;
+            #[allow(clippy::needless_range_loop)] // occupancy[zone] is borrowed per cell
+            for cell in 0..cells_per_zone {
+                let f = cell_freq(zone, cell);
+                if let Some(range) = config.tuning_range_ghz {
+                    if (f - base).abs() > range {
+                        continue;
+                    }
+                }
+                let occupants = &occupancy[zone][cell];
+                let reuse = !occupants.is_empty();
+                let mut cost = 0.0;
+                for &p in &placed {
+                    let x = xtalk.get(q, p);
+                    if x > 0.0 {
+                        cost += x * frequency_scaling(f - freqs[p.index()]);
+                    }
+                }
+                // Frequency reuse (same cell) is only tolerable between
+                // minimally-interacting pairs; weight it heavily.
+                if reuse {
+                    for &p in occupants {
+                        cost += 100.0 * xtalk.get(q, p);
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bc, breuse)) => {
+                        // Prefer empty cells over reuse unless strictly cheaper.
+                        (reuse == breuse && cost < bc) || (!reuse && breuse)
+                    }
+                };
+                if better {
+                    best = Some((cell, cost, reuse));
+                }
+            }
+            let (cell, _, reuse) = best.ok_or(PlanError::FrequencyCrowded { qubit: q })?;
+            if reuse {
+                reused_cells += 1;
+            }
+            freqs[q.index()] = cell_freq(zone, cell);
+            occupancy[zone][cell].push(q);
+            placed.push(q);
+        }
+    }
+
+    let mut plan = FrequencyPlan {
+        freqs_ghz: freqs,
+        zones,
+        zone_of,
+        reused_cells,
+    };
+
+    // In-group swap pass (§4.2 constraint 3): swapping two members of the
+    // same line exchanges their zones/cells; keep a swap when it lowers
+    // the global objective.
+    for _ in 0..config.swap_passes {
+        let mut improved = false;
+        for line in lines {
+            let members = line.qubits();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let (a, b) = (members[i], members[j]);
+                    if let Some(range) = config.tuning_range_ghz {
+                        // A swap must keep both qubits inside their
+                        // tuning windows.
+                        let base_a = chip.qubit(a).expect("in range").base_frequency_ghz();
+                        let base_b = chip.qubit(b).expect("in range").base_frequency_ghz();
+                        let fa = plan.freqs_ghz[a.index()];
+                        let fb = plan.freqs_ghz[b.index()];
+                        if (fb - base_a).abs() > range || (fa - base_b).abs() > range {
+                            continue;
+                        }
+                    }
+                    let before = plan.objective(xtalk);
+                    plan.freqs_ghz.swap(a.index(), b.index());
+                    plan.zone_of.swap(a.index(), b.index());
+                    if plan.objective(xtalk) + 1e-15 < before {
+                        improved = true;
+                    } else {
+                        plan.freqs_ghz.swap(a.index(), b.index());
+                        plan.zone_of.swap(a.index(), b.index());
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(plan)
+}
+
+/// Baseline allocation used for comparison (George et al. and the naive
+/// baseline): in-line spacing only. Each line spreads its qubits evenly
+/// across the band in member order, every line using the *same* pattern —
+/// maximizing in-line separation but ignoring cross-line collisions.
+pub fn allocate_in_line_only(chip: &Chip, lines: &[FdmLine], config: &FreqConfig) -> FrequencyPlan {
+    let n = chip.num_qubits();
+    let (lo, hi) = config.band_ghz;
+    let zones = lines.iter().map(FdmLine::len).max().unwrap_or(0).max(1);
+    let zone_width = (hi - lo) / zones as f64;
+    let mut freqs = vec![f64::NAN; n];
+    let mut zone_of = vec![0usize; n];
+    for line in lines {
+        for (k, &q) in line.qubits().iter().enumerate() {
+            let zone = k % zones;
+            freqs[q.index()] = lo + zone as f64 * zone_width + zone_width / 2.0;
+            zone_of[q.index()] = zone;
+        }
+    }
+    FrequencyPlan {
+        freqs_ghz: freqs,
+        zones,
+        zone_of,
+        reused_cells: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdm::{group_fdm, group_fdm_local};
+    use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+    use youtiao_chip::topology;
+
+    /// Synthetic crosstalk matrix: exponential decay of equivalent distance.
+    fn xtalk_matrix(chip: &Chip) -> DistanceMatrix {
+        let eq = equivalent_matrix(chip, EquivalentWeights::balanced());
+        let mut m = DistanceMatrix::zeros(chip.num_qubits());
+        for (a, b, d) in eq.iter_pairs() {
+            let x = if d.is_finite() {
+                0.01 * (-d / 2.0).exp()
+            } else {
+                0.0
+            };
+            m.set(a, b, x);
+        }
+        m
+    }
+
+    use youtiao_chip::Chip;
+
+    fn setup(n: usize, cap: usize) -> (Chip, Vec<FdmLine>, DistanceMatrix) {
+        let chip = topology::square_grid(n, n);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let lines = group_fdm(&chip, &eq, cap);
+        let x = xtalk_matrix(&chip);
+        (chip, lines, x)
+    }
+
+    #[test]
+    fn all_qubits_get_in_band_frequencies() {
+        let (chip, lines, x) = setup(4, 5);
+        let plan = allocate_frequencies(&chip, &lines, &x, &FreqConfig::default()).unwrap();
+        for q in chip.qubit_ids() {
+            let f = plan.frequency_ghz(q);
+            assert!((4.0..=7.0).contains(&f), "{q} at {f}");
+        }
+    }
+
+    #[test]
+    fn in_line_qubits_land_in_distinct_zones() {
+        let (chip, lines, x) = setup(5, 5);
+        let plan = allocate_frequencies(&chip, &lines, &x, &FreqConfig::default()).unwrap();
+        for line in &lines {
+            if line.len() <= plan.zones() {
+                let mut zones: Vec<usize> =
+                    line.qubits().iter().map(|&q| plan.zone_of(q)).collect();
+                zones.sort_unstable();
+                zones.dedup();
+                assert_eq!(zones.len(), line.len(), "zone collision within a line");
+            }
+        }
+    }
+
+    #[test]
+    fn in_line_spacing_is_large() {
+        let (chip, lines, x) = setup(5, 5);
+        let _ = chip;
+        let plan = allocate_frequencies(&chip, &lines, &x, &FreqConfig::default()).unwrap();
+        for line in &lines {
+            let qs = line.qubits();
+            for i in 0..qs.len() {
+                for j in (i + 1)..qs.len() {
+                    let df = (plan.frequency_ghz(qs[i]) - plan.frequency_ghz(qs[j])).abs();
+                    assert!(df > 0.2, "in-line spacing {df} GHz too small");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_beats_in_line_only() {
+        let (chip, lines, x) = setup(6, 5);
+        let optimized = allocate_frequencies(&chip, &lines, &x, &FreqConfig::default()).unwrap();
+        let local_lines = group_fdm_local(&chip, 5);
+        let naive = allocate_in_line_only(&chip, &local_lines, &FreqConfig::default());
+        assert!(
+            optimized.objective(&x) < naive.objective(&x),
+            "optimized {} vs naive {}",
+            optimized.objective(&x),
+            naive.objective(&x)
+        );
+    }
+
+    #[test]
+    fn no_reuse_needed_on_small_chips() {
+        let (chip, lines, x) = setup(4, 5);
+        let plan = allocate_frequencies(&chip, &lines, &x, &FreqConfig::default()).unwrap();
+        assert_eq!(plan.reused_cells(), 0);
+    }
+
+    #[test]
+    fn crowding_triggers_reuse_not_failure() {
+        // Capacity 2 -> 2 zones of 1.5 GHz; 600 MHz cells leave only two
+        // cells per zone for ~5 qubits: reuse must kick in.
+        let (chip, lines, x) = setup(3, 2);
+        let cfg = FreqConfig {
+            cell_mhz: 600.0,
+            ..Default::default()
+        };
+        let plan = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        assert!(plan.reused_cells() > 0);
+        // Frequencies still in band.
+        for q in chip.qubit_ids() {
+            assert!((4.0..=7.0).contains(&plan.frequency_ghz(q)));
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (chip, lines, x) = setup(3, 5);
+        let bad = FreqConfig {
+            band_ghz: (7.0, 4.0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            allocate_frequencies(&chip, &lines, &x, &bad),
+            Err(PlanError::InvalidConfig(_))
+        ));
+        let bad2 = FreqConfig {
+            cell_mhz: 0.0,
+            ..Default::default()
+        };
+        assert!(allocate_frequencies(&chip, &lines, &x, &bad2).is_err());
+        let bad3 = FreqConfig {
+            cell_mhz: 5000.0,
+            ..Default::default()
+        };
+        assert!(allocate_frequencies(&chip, &lines, &x, &bad3).is_err());
+    }
+
+    #[test]
+    fn in_line_only_reuses_same_pattern_across_lines() {
+        let chip = topology::square_grid(3, 3);
+        let lines = group_fdm_local(&chip, 3);
+        let plan = allocate_in_line_only(&chip, &lines, &FreqConfig::default());
+        // First member of each line shares the same frequency — the
+        // cross-line collision the paper's baseline suffers from.
+        let f0 = plan.frequency_ghz(lines[0].qubits()[0]);
+        let f3 = plan.frequency_ghz(lines[1].qubits()[0]);
+        assert_eq!(f0, f3);
+    }
+
+    #[test]
+    fn retuning_mode_stays_within_tuning_window() {
+        let (chip, lines, x) = setup(5, 5);
+        let cfg = FreqConfig::retuning();
+        let plan = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        for q in chip.qubit_ids() {
+            let base = chip.qubit(q).unwrap().base_frequency_ghz();
+            let f = plan.frequency_ghz(q);
+            assert!(
+                (f - base).abs() <= 0.05 + 1e-12,
+                "{q}: tuned {f} from base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn retuning_zones_follow_base_frequencies() {
+        let (chip, lines, x) = setup(4, 4);
+        let cfg = FreqConfig::retuning();
+        let plan = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        let (lo, hi) = cfg.band_ghz;
+        let zone_width = (hi - lo) / plan.zones() as f64;
+        for q in chip.qubit_ids() {
+            let base = chip.qubit(q).unwrap().base_frequency_ghz();
+            let expected = (((base - lo) / zone_width).floor() as isize)
+                .clamp(0, plan.zones() as isize - 1) as usize;
+            assert_eq!(plan.zone_of(q), expected, "{q}");
+        }
+    }
+
+    #[test]
+    fn objective_decreases_or_equal_with_more_swap_passes() {
+        let (chip, lines, x) = setup(5, 5);
+        let none = allocate_frequencies(
+            &chip,
+            &lines,
+            &x,
+            &FreqConfig {
+                swap_passes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let some = allocate_frequencies(
+            &chip,
+            &lines,
+            &x,
+            &FreqConfig {
+                swap_passes: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(some.objective(&x) <= none.objective(&x) + 1e-12);
+    }
+}

@@ -1,0 +1,335 @@
+//! Generative chip partition (§4.4).
+//!
+//! Whole-chip grouping search scales as `O(n^k)`, so large chips are
+//! first split into routing regions, each grouped independently. The
+//! 4-stage scheme:
+//!
+//! 1. **initialize and expand** — random seed qubits grow regions by
+//!    claiming the unassigned qubit with the smallest equivalent distance
+//!    to the region (smallest regions expand first, keeping sizes even);
+//! 2. **swap at borders** — a border qubit closer (in equivalent
+//!    distance) to another region's seed defects to that region;
+//! 3. **route while expanding** — FDM/TDM grouping per region is greedy,
+//!    so callers can pipeline grouping with expansion (regions are final
+//!    as soon as stage 2 stabilizes them);
+//! 4. **terminate** — when no swaps fire and every qubit is assigned.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, QubitId};
+
+/// Configuration of the generative partitioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of regions (seed points).
+    pub num_regions: usize,
+    /// RNG seed for the random seed-qubit draw.
+    pub seed: u64,
+    /// Cap on border-swap sweeps (stage 2/4 safeguard).
+    pub max_sweeps: usize,
+}
+
+impl PartitionConfig {
+    /// Picks a region count targeting roughly `target_size` qubits per
+    /// region.
+    pub fn for_target_size(chip: &Chip, target_size: usize) -> Self {
+        let n = chip.num_qubits();
+        let regions = n.div_ceil(target_size.max(1));
+        PartitionConfig {
+            num_regions: regions.max(1),
+            seed: 0x59_4F55,
+            max_sweeps: 16,
+        }
+    }
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            num_regions: 4,
+            seed: 0x59_4F55,
+            max_sweeps: 16,
+        }
+    }
+}
+
+/// A partition of a chip's qubits into routing regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    region_of: Vec<usize>,
+    regions: Vec<Vec<QubitId>>,
+    sweeps_used: usize,
+}
+
+impl Partition {
+    /// Region index of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn region_of(&self, q: QubitId) -> usize {
+        self.region_of[q.index()]
+    }
+
+    /// The regions, each a sorted list of member qubits.
+    pub fn regions(&self) -> &[Vec<QubitId>] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` when there are no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Border-swap sweeps performed before convergence.
+    pub fn sweeps_used(&self) -> usize {
+        self.sweeps_used
+    }
+}
+
+/// Partitions `chip` into regions using the 4-stage generative scheme.
+///
+/// `matrix` is the equivalent-distance matrix guiding both expansion and
+/// border swaps. Requesting more regions than qubits clamps to one qubit
+/// per region.
+///
+/// # Panics
+///
+/// Panics if `config.num_regions == 0` or the matrix dimension
+/// mismatches the chip.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+/// use youtiao_chip::topology;
+/// use youtiao_core::partition::{partition_chip, PartitionConfig};
+///
+/// let chip = topology::square_grid(6, 6);
+/// let m = equivalent_matrix(&chip, EquivalentWeights::balanced());
+/// let p = partition_chip(&chip, &m, &PartitionConfig::default());
+/// assert_eq!(p.len(), 4);
+/// assert_eq!(p.regions().iter().map(Vec::len).sum::<usize>(), 36);
+/// ```
+pub fn partition_chip(chip: &Chip, matrix: &DistanceMatrix, config: &PartitionConfig) -> Partition {
+    assert!(config.num_regions > 0, "need at least one region");
+    assert_eq!(matrix.len(), chip.num_qubits(), "matrix size mismatch");
+    let n = chip.num_qubits();
+    let k = config.num_regions.min(n);
+
+    // Stage 1: random seeds, then balanced nearest-distance expansion.
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut ids: Vec<QubitId> = chip.qubit_ids().collect();
+    ids.shuffle(&mut rng);
+    let seeds: Vec<QubitId> = ids[..k].to_vec();
+
+    const UNASSIGNED: usize = usize::MAX;
+    let mut region_of = vec![UNASSIGNED; n];
+    let mut members: Vec<Vec<QubitId>> = vec![Vec::new(); k];
+    for (r, &s) in seeds.iter().enumerate() {
+        region_of[s.index()] = r;
+        members[r].push(s);
+    }
+    let mut remaining: Vec<QubitId> = chip
+        .qubit_ids()
+        .filter(|q| region_of[q.index()] == UNASSIGNED)
+        .collect();
+    while !remaining.is_empty() {
+        // The smallest region expands next, keeping sizes even.
+        let r = (0..k).min_by_key(|&r| members[r].len()).expect("k >= 1");
+        // Claim the unassigned qubit nearest to any member of r.
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let d = members[r]
+                    .iter()
+                    .map(|&m| matrix.get(m, q))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("remaining is non-empty");
+        let q = remaining.remove(idx);
+        region_of[q.index()] = r;
+        members[r].push(q);
+    }
+
+    // Stage 2/4: swap border qubits toward nearer seeds until stable.
+    let mut sweeps_used = 0usize;
+    for _ in 0..config.max_sweeps {
+        sweeps_used += 1;
+        let mut swapped = false;
+        for q in chip.qubit_ids() {
+            let current = region_of[q.index()];
+            if seeds[current] == q || members[current].len() <= 1 {
+                continue;
+            }
+            // Only border qubits (with a neighbour in another region) move.
+            let is_border = chip
+                .neighbors(q)
+                .iter()
+                .any(|&nb| region_of[nb.index()] != current);
+            if !is_border {
+                continue;
+            }
+            let (best_r, best_d) = (0..k)
+                .map(|r| (r, matrix.get(seeds[r], q)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("k >= 1");
+            // A defection must be distance-motivated AND not unbalance
+            // the partition (the receiving region may not already be
+            // larger than the donor).
+            if best_r != current
+                && best_d < matrix.get(seeds[current], q)
+                && members[best_r].len() < members[current].len()
+            {
+                members[current].retain(|&m| m != q);
+                members[best_r].push(q);
+                region_of[q.index()] = best_r;
+                swapped = true;
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+
+    for m in &mut members {
+        m.sort_unstable();
+    }
+    Partition {
+        region_of,
+        regions: members,
+        sweeps_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+    use youtiao_chip::topology;
+
+    fn setup(n: usize) -> (youtiao_chip::Chip, DistanceMatrix) {
+        let chip = topology::square_grid(n, n);
+        let m = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        (chip, m)
+    }
+
+    #[test]
+    fn covers_all_qubits() {
+        let (chip, m) = setup(6);
+        let p = partition_chip(&chip, &m, &PartitionConfig::default());
+        let total: usize = p.regions().iter().map(Vec::len).sum();
+        assert_eq!(total, 36);
+        for q in chip.qubit_ids() {
+            let r = p.region_of(q);
+            assert!(p.regions()[r].contains(&q));
+        }
+    }
+
+    #[test]
+    fn regions_are_reasonably_balanced() {
+        let (chip, m) = setup(6);
+        let p = partition_chip(&chip, &m, &PartitionConfig::default());
+        let sizes: Vec<usize> = p.regions().iter().map(Vec::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max <= 2 * min + 2, "imbalanced regions: {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (chip, m) = setup(5);
+        let a = partition_chip(&chip, &m, &PartitionConfig::default());
+        let b = partition_chip(&chip, &m, &PartitionConfig::default());
+        assert_eq!(a, b);
+        let c = partition_chip(
+            &chip,
+            &m,
+            &PartitionConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        );
+        // Different seeds may coincide but typically differ.
+        let _ = c;
+    }
+
+    #[test]
+    fn single_region_is_whole_chip() {
+        let (chip, m) = setup(4);
+        let p = partition_chip(
+            &chip,
+            &m,
+            &PartitionConfig {
+                num_regions: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.regions()[0].len(), 16);
+    }
+
+    #[test]
+    fn more_regions_than_qubits_clamps() {
+        let (chip, m) = setup(2);
+        let p = partition_chip(
+            &chip,
+            &m,
+            &PartitionConfig {
+                num_regions: 10,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.len(), 4);
+        assert!(p.regions().iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn target_size_config() {
+        let chip = topology::square_grid(6, 6);
+        let cfg = PartitionConfig::for_target_size(&chip, 9);
+        assert_eq!(cfg.num_regions, 4);
+        let cfg1 = PartitionConfig::for_target_size(&chip, 100);
+        assert_eq!(cfg1.num_regions, 1);
+    }
+
+    #[test]
+    fn converges_before_sweep_cap() {
+        let (chip, m) = setup(6);
+        let p = partition_chip(&chip, &m, &PartitionConfig::default());
+        assert!(p.sweeps_used() <= 16);
+    }
+
+    #[test]
+    fn regions_are_spatially_coherent() {
+        // Every region's average internal distance should be far below
+        // the chip's diameter.
+        let (chip, m) = setup(6);
+        let p = partition_chip(&chip, &m, &PartitionConfig::default());
+        for region in p.regions() {
+            if region.len() < 2 {
+                continue;
+            }
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for i in 0..region.len() {
+                for j in (i + 1)..region.len() {
+                    total += chip.physical_distance(region[i], region[j]);
+                    count += 1;
+                }
+            }
+            let avg = total / count as f64;
+            assert!(avg < 4.0, "region too spread: avg {avg}");
+        }
+    }
+}

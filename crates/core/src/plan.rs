@@ -1,0 +1,624 @@
+//! The end-to-end YOUTIAO planner and its output wiring plan.
+
+use std::collections::HashMap;
+
+use youtiao_chip::distance::{equivalent_matrix, DistanceMatrix, EquivalentWeights};
+use youtiao_chip::{Chip, DeviceId, QubitId};
+use youtiao_circuit::schedule::SharedLineConstraint;
+use youtiao_noise::CrosstalkModel;
+
+use crate::error::PlanError;
+use crate::fdm::{group_fdm_subset, FdmLine};
+use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};
+use crate::partition::{partition_chip, Partition, PartitionConfig};
+use crate::tdm::{TdmConfig, TdmGroup};
+
+/// Default FDM XY-line capacity (§5.3 evaluates with 5 qubits per line).
+pub const DEFAULT_FDM_CAPACITY: usize = 5;
+
+/// Default readout feedline capacity (George et al. demonstrate 8 qubits
+/// per multiplexed readout line).
+pub const DEFAULT_READOUT_CAPACITY: usize = 8;
+
+/// Configuration of [`YoutiaoPlanner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Qubits per shared FDM XY line.
+    pub fdm_capacity: usize,
+    /// Qubits per multiplexed readout feedline.
+    pub readout_capacity: usize,
+    /// TDM grouping parameters (threshold θ).
+    pub tdm: TdmConfig,
+    /// Frequency-allocation parameters for the qubit XY band.
+    pub freq: FreqConfig,
+    /// Frequency-allocation parameters for the readout-resonator band
+    /// (default 7.0-8.0 GHz at 30 MHz cells, the spacing George et al.
+    /// use to keep inter-channel crosstalk below -30 dB).
+    pub readout_freq: FreqConfig,
+    /// Equivalent-distance weights used when no fitted crosstalk model is
+    /// supplied.
+    pub weights: EquivalentWeights,
+    /// Optional generative partition; `None` plans the whole chip as one
+    /// region (fine below ~100 qubits).
+    pub partition: Option<PartitionConfig>,
+    /// Optional local-search refinement of the TDM grouping
+    /// ([`crate::refine`]); `None` keeps the pure greedy result.
+    pub refine: Option<crate::refine::RefineConfig>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            fdm_capacity: DEFAULT_FDM_CAPACITY,
+            readout_capacity: DEFAULT_READOUT_CAPACITY,
+            tdm: TdmConfig::default(),
+            freq: FreqConfig::default(),
+            readout_freq: FreqConfig {
+                band_ghz: (7.0, 8.0),
+                cell_mhz: 30.0,
+                swap_passes: 1,
+                tuning_range_ghz: None,
+            },
+            weights: EquivalentWeights::balanced(),
+            partition: None,
+            refine: None,
+        }
+    }
+}
+
+/// A complete YOUTIAO wiring plan: FDM XY lines with frequency
+/// assignments, TDM Z groups with DEMUX levels, and multiplexed readout
+/// feedlines.
+///
+/// Implements [`SharedLineConstraint`] so the TDM-aware scheduler can
+/// consume it directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WiringPlan {
+    fdm_lines: Vec<FdmLine>,
+    frequency_plan: FrequencyPlan,
+    tdm_groups: Vec<TdmGroup>,
+    readout_lines: Vec<Vec<QubitId>>,
+    readout_frequency_plan: FrequencyPlan,
+    partition: Option<Partition>,
+    shared_group_of: HashMap<DeviceId, usize>,
+}
+
+impl WiringPlan {
+    /// Assembles a plan from its parts, indexing multi-device TDM groups
+    /// for the scheduler. Prefer [`YoutiaoPlanner::plan`].
+    pub fn from_parts(
+        fdm_lines: Vec<FdmLine>,
+        frequency_plan: FrequencyPlan,
+        tdm_groups: Vec<TdmGroup>,
+        readout_lines: Vec<Vec<QubitId>>,
+        readout_frequency_plan: FrequencyPlan,
+        partition: Option<Partition>,
+    ) -> Self {
+        let mut shared_group_of = HashMap::new();
+        for (g, group) in tdm_groups.iter().enumerate() {
+            if group.len() > 1 {
+                for &d in group.devices() {
+                    shared_group_of.insert(d, g);
+                }
+            }
+        }
+        WiringPlan {
+            fdm_lines,
+            frequency_plan,
+            tdm_groups,
+            readout_lines,
+            readout_frequency_plan,
+            partition,
+            shared_group_of,
+        }
+    }
+
+    /// The FDM XY lines.
+    pub fn fdm_lines(&self) -> &[FdmLine] {
+        &self.fdm_lines
+    }
+
+    /// The per-qubit frequency assignment.
+    pub fn frequency_plan(&self) -> &FrequencyPlan {
+        &self.frequency_plan
+    }
+
+    /// The TDM Z-line groups.
+    pub fn tdm_groups(&self) -> &[TdmGroup] {
+        &self.tdm_groups
+    }
+
+    /// The multiplexed readout feedlines.
+    pub fn readout_lines(&self) -> &[Vec<QubitId>] {
+        &self.readout_lines
+    }
+
+    /// The per-qubit readout-resonator frequency assignment.
+    pub fn readout_frequency_plan(&self) -> &FrequencyPlan {
+        &self.readout_frequency_plan
+    }
+
+    /// The chip partition used, if any.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Number of coaxial XY lines into the cryostat.
+    pub fn num_xy_lines(&self) -> usize {
+        self.fdm_lines.len()
+    }
+
+    /// Number of coaxial Z lines (one per TDM group, shared or direct).
+    pub fn num_z_lines(&self) -> usize {
+        self.tdm_groups.len()
+    }
+
+    /// Number of readout feedlines.
+    pub fn num_readout_lines(&self) -> usize {
+        self.readout_lines.len()
+    }
+
+    /// Total DEMUX digital select lines (cheap twisted pairs).
+    pub fn demux_select_lines(&self) -> usize {
+        self.tdm_groups
+            .iter()
+            .map(|g| g.level().select_lines())
+            .sum()
+    }
+
+    /// The FDM line index carrying qubit `q`, if any.
+    pub fn fdm_line_of(&self, q: QubitId) -> Option<usize> {
+        self.fdm_lines.iter().position(|l| l.contains(q))
+    }
+}
+
+impl SharedLineConstraint for WiringPlan {
+    fn group_of(&self, device: DeviceId) -> Option<usize> {
+        self.shared_group_of.get(&device).copied()
+    }
+}
+
+/// Plans YOUTIAO wiring for a chip.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::topology;
+/// use youtiao_core::YoutiaoPlanner;
+///
+/// let chip = topology::heavy_square(3, 3);
+/// let plan = YoutiaoPlanner::new(&chip).plan()?;
+/// assert_eq!(plan.num_xy_lines(), 5); // ceil(21 / 5)
+/// assert!(plan.num_z_lines() <= 14);
+/// # Ok::<(), youtiao_core::PlanError>(())
+/// ```
+#[derive(Debug)]
+pub struct YoutiaoPlanner<'a> {
+    chip: &'a Chip,
+    config: PlannerConfig,
+    model: Option<&'a CrosstalkModel>,
+    zz_model: Option<&'a CrosstalkModel>,
+    activity: Option<&'a crate::tdm::ActivityProfile>,
+}
+
+impl<'a> YoutiaoPlanner<'a> {
+    /// Creates a planner with the default configuration.
+    pub fn new(chip: &'a Chip) -> Self {
+        YoutiaoPlanner {
+            chip,
+            config: PlannerConfig::default(),
+            model: None,
+            zz_model: None,
+            activity: None,
+        }
+    }
+
+    /// Supplies a workload activity profile; TDM grouping then exploits
+    /// the workload's natural non-parallelism (§4.3, §5.2).
+    pub fn with_activity(mut self, activity: &'a crate::tdm::ActivityProfile) -> Self {
+        self.activity = Some(activity);
+        self
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: PlannerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Supplies a fitted XY crosstalk model; its weights drive the
+    /// equivalent-distance matrix and its predictions drive the
+    /// noise-aware grouping and allocation stages.
+    pub fn with_crosstalk_model(mut self, model: &'a CrosstalkModel) -> Self {
+        self.model = model.into();
+        self
+    }
+
+    /// Supplies a fitted ZZ crosstalk model. When present it drives the
+    /// *noisy non-parallelism* score of TDM grouping (simultaneous CZ
+    /// gates interact through ZZ coupling, §4.1/§4.3), while the XY model
+    /// keeps driving FDM grouping and frequency allocation.
+    pub fn with_zz_model(mut self, model: &'a CrosstalkModel) -> Self {
+        self.zz_model = model.into();
+        self
+    }
+
+    /// Runs the full pipeline: (optional) partition → FDM grouping →
+    /// TDM grouping → frequency allocation → readout assignment.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::EmptyChip`] — the chip has no qubits.
+    /// * [`PlanError::InvalidConfig`] — zero FDM/readout capacity or a
+    ///   degenerate frequency configuration.
+    pub fn plan(&self) -> Result<WiringPlan, PlanError> {
+        let chip = self.chip;
+        if chip.num_qubits() == 0 {
+            return Err(PlanError::EmptyChip);
+        }
+        if self.config.fdm_capacity == 0 {
+            return Err(PlanError::InvalidConfig("fdm capacity must be positive"));
+        }
+        if self.config.readout_capacity == 0 {
+            return Err(PlanError::InvalidConfig(
+                "readout capacity must be positive",
+            ));
+        }
+
+        let weights = self
+            .model
+            .map(|m| m.weights())
+            .unwrap_or(self.config.weights);
+        let eq = equivalent_matrix(chip, weights);
+        let xtalk = crosstalk_matrix(chip, &eq, self.model);
+        // ZZ crosstalk (if fitted) scores TDM noisy non-parallelism; it
+        // falls back to the XY matrix otherwise.
+        let zz_xtalk = self
+            .zz_model
+            .map(|m| crosstalk_matrix(chip, &equivalent_matrix(chip, m.weights()), Some(m)));
+        let tdm_xtalk = zz_xtalk.as_ref().unwrap_or(&xtalk);
+
+        // Partition (stage 1/2), then group each region independently
+        // (stage 3); without a partition the whole chip is one region.
+        let (partition, regions): (Option<Partition>, Vec<Vec<QubitId>>) =
+            match &self.config.partition {
+                Some(pc) => {
+                    let p = partition_chip(chip, &eq, pc);
+                    let regions = p.regions().to_vec();
+                    (Some(p), regions)
+                }
+                None => (None, vec![chip.qubit_ids().collect()]),
+            };
+
+        let mut fdm_lines = Vec::new();
+        let mut tdm_groups = Vec::new();
+        for region in &regions {
+            fdm_lines.extend(group_fdm_subset(
+                chip,
+                &eq,
+                self.config.fdm_capacity,
+                region,
+            ));
+            // A coupler belongs to the region of its lower endpoint.
+            let devices: Vec<DeviceId> = region
+                .iter()
+                .map(|&q| DeviceId::Qubit(q))
+                .chain(chip.couplers().filter_map(|c| {
+                    let (a, _) = c.endpoints();
+                    region.contains(&a).then_some(DeviceId::Coupler(c.id()))
+                }))
+                .collect();
+            // With no workload profile supplied, approximate natural
+            // non-parallelism by the topology's brickwork pattern.
+            let derived;
+            let activity = match self.activity {
+                Some(activity) => activity,
+                None => {
+                    derived = crate::tdm::brickwork_activity(chip);
+                    &derived
+                }
+            };
+            tdm_groups.extend(crate::tdm::group_tdm_with_activity(
+                chip,
+                tdm_xtalk,
+                &self.config.tdm,
+                &devices,
+                activity,
+            ));
+        }
+
+        if let Some(refine) = &self.config.refine {
+            let profile_storage;
+            let profile = match self.activity {
+                Some(a) => a,
+                None => {
+                    profile_storage = crate::tdm::brickwork_activity(chip);
+                    &profile_storage
+                }
+            };
+            let (refined, _removed) = crate::refine::refine_tdm_groups(
+                chip,
+                tdm_xtalk,
+                profile,
+                &self.config.tdm,
+                tdm_groups,
+                refine,
+            );
+            tdm_groups = refined;
+        }
+
+        let frequency_plan = allocate_frequencies(chip, &fdm_lines, &xtalk, &self.config.freq)?;
+
+        let qubits: Vec<QubitId> = chip.qubit_ids().collect();
+        let readout_lines: Vec<Vec<QubitId>> = qubits
+            .chunks(self.config.readout_capacity)
+            .map(<[QubitId]>::to_vec)
+            .collect();
+        // Resonator frequencies share the allocator: a feedline is an FDM
+        // line in the readout band.
+        let readout_as_fdm: Vec<FdmLine> =
+            readout_lines.iter().cloned().map(FdmLine::new).collect();
+        let readout_frequency_plan =
+            allocate_frequencies(chip, &readout_as_fdm, &xtalk, &self.config.readout_freq)?;
+
+        Ok(WiringPlan::from_parts(
+            fdm_lines,
+            frequency_plan,
+            tdm_groups,
+            readout_lines,
+            readout_frequency_plan,
+            partition,
+        ))
+    }
+}
+
+/// Builds the qubit-pair crosstalk matrix: fitted-model predictions when
+/// a model is available, otherwise an exponential proxy over the
+/// equivalent distance (amplitude 10⁻², decay length 2).
+pub fn crosstalk_matrix(
+    chip: &Chip,
+    equivalent: &DistanceMatrix,
+    model: Option<&CrosstalkModel>,
+) -> DistanceMatrix {
+    let mut m = DistanceMatrix::zeros(chip.num_qubits());
+    for (a, b, d) in equivalent.iter_pairs() {
+        let x = match model {
+            Some(model) => {
+                if d.is_finite() {
+                    model.predict_equivalent(d)
+                } else {
+                    0.0
+                }
+            }
+            None => {
+                if d.is_finite() {
+                    1e-2 * (-d / 2.0).exp()
+                } else {
+                    0.0
+                }
+            }
+        };
+        m.set(a, b, x);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+    use youtiao_circuit::benchmarks;
+    use youtiao_circuit::schedule::{schedule_asap, schedule_with_tdm};
+    use youtiao_circuit::transpile::transpile;
+
+    #[test]
+    fn plan_covers_every_qubit_and_device() {
+        let chip = topology::square_grid(6, 6);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let fdm_total: usize = plan.fdm_lines().iter().map(FdmLine::len).sum();
+        assert_eq!(fdm_total, 36);
+        let tdm_total: usize = plan.tdm_groups().iter().map(TdmGroup::len).sum();
+        assert_eq!(tdm_total, chip.num_z_devices());
+        let ro_total: usize = plan.readout_lines().iter().map(Vec::len).sum();
+        assert_eq!(ro_total, 36);
+    }
+
+    #[test]
+    fn line_counts_match_paper_formulas() {
+        let chip = topology::square_grid(6, 6);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        assert_eq!(plan.num_xy_lines(), 8); // ceil(36/5)
+        assert_eq!(plan.num_readout_lines(), 5); // ceil(36/8)
+        assert!(plan.num_z_lines() < chip.num_z_devices() / 2);
+    }
+
+    #[test]
+    fn scheduler_accepts_plans_without_unrealizable_gates() {
+        let chip = topology::square_grid(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        for b in benchmarks::Benchmark::ALL {
+            let physical = transpile(&b.generate(9), &chip).unwrap();
+            let s = schedule_with_tdm(&physical, &chip, &plan);
+            assert!(s.is_ok(), "{} failed: {:?}", b.name(), s.err());
+        }
+    }
+
+    #[test]
+    fn tdm_depth_overhead_is_modest() {
+        let chip = topology::square_grid(4, 4);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let physical = transpile(&benchmarks::vqc(16, 4), &chip).unwrap();
+        let base = schedule_asap(&physical, &chip).unwrap();
+        let tdm = schedule_with_tdm(&physical, &chip, &plan).unwrap();
+        let ratio = tdm.two_qubit_depth() as f64 / base.two_qubit_depth() as f64;
+        assert!(ratio >= 1.0);
+        assert!(ratio < 3.0, "tdm depth blew up: {ratio}");
+    }
+
+    #[test]
+    fn partitioned_plan_still_covers_everything() {
+        let chip = topology::square_grid(6, 6);
+        let cfg = PlannerConfig {
+            partition: Some(PartitionConfig::default()),
+            ..Default::default()
+        };
+        let plan = YoutiaoPlanner::new(&chip).with_config(cfg).plan().unwrap();
+        assert!(plan.partition().is_some());
+        let fdm_total: usize = plan.fdm_lines().iter().map(FdmLine::len).sum();
+        assert_eq!(fdm_total, 36);
+        let tdm_total: usize = plan.tdm_groups().iter().map(TdmGroup::len).sum();
+        assert_eq!(tdm_total, chip.num_z_devices());
+    }
+
+    #[test]
+    fn fitted_model_plans_successfully() {
+        use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+        use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+        let chip = topology::square_grid(4, 4);
+        let samples = synthesize(&chip, CrosstalkKind::Xy, &SynthConfig::xy(), 5);
+        let model = fit_crosstalk_model(&samples, &FitConfig::fast()).unwrap();
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_crosstalk_model(&model)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.num_xy_lines(), 4); // ceil(16/5)
+    }
+
+    #[test]
+    fn constraint_maps_only_shared_groups() {
+        let chip = topology::square_grid(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        for (g, group) in plan.tdm_groups().iter().enumerate() {
+            for &d in group.devices() {
+                if group.len() > 1 {
+                    assert_eq!(plan.group_of(d), Some(g));
+                } else {
+                    assert_eq!(plan.group_of(d), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let chip = topology::linear(4);
+        let bad = PlannerConfig {
+            fdm_capacity: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            YoutiaoPlanner::new(&chip).with_config(bad).plan(),
+            Err(PlanError::InvalidConfig(_))
+        ));
+        let bad2 = PlannerConfig {
+            readout_capacity: 0,
+            ..Default::default()
+        };
+        assert!(YoutiaoPlanner::new(&chip).with_config(bad2).plan().is_err());
+    }
+
+    #[test]
+    fn fdm_line_of_lookup() {
+        let chip = topology::linear(7);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        for q in chip.qubit_ids() {
+            let line = plan.fdm_line_of(q).unwrap();
+            assert!(plan.fdm_lines()[line].contains(q));
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_or_keeps_z_lines() {
+        let chip = topology::square_grid(5, 5);
+        let greedy = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let refined = YoutiaoPlanner::new(&chip)
+            .with_config(PlannerConfig {
+                refine: Some(crate::refine::RefineConfig::default()),
+                ..Default::default()
+            })
+            .plan()
+            .unwrap();
+        assert!(refined.num_z_lines() <= greedy.num_z_lines());
+        let total: usize = refined.tdm_groups().iter().map(TdmGroup::len).sum();
+        assert_eq!(total, chip.num_z_devices());
+    }
+
+    #[test]
+    fn zz_model_is_accepted_and_plans_cleanly() {
+        use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+        use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+        let chip = topology::square_grid(4, 4);
+        let xy = fit_crosstalk_model(
+            &synthesize(&chip, CrosstalkKind::Xy, &SynthConfig::xy(), 5),
+            &FitConfig::fast(),
+        )
+        .unwrap();
+        let zz = fit_crosstalk_model(
+            &synthesize(&chip, CrosstalkKind::Zz, &SynthConfig::zz(), 5),
+            &FitConfig::fast(),
+        )
+        .unwrap();
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_crosstalk_model(&xy)
+            .with_zz_model(&zz)
+            .plan()
+            .unwrap();
+        let tdm_total: usize = plan.tdm_groups().iter().map(TdmGroup::len).sum();
+        assert_eq!(tdm_total, chip.num_z_devices());
+    }
+
+    #[test]
+    fn readout_frequencies_in_band_and_separated() {
+        let chip = topology::square_grid(4, 4);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let rp = plan.readout_frequency_plan();
+        for q in chip.qubit_ids() {
+            let f = rp.frequency_ghz(q);
+            assert!((7.0..=8.0).contains(&f), "{q} at {f}");
+        }
+        for line in plan.readout_lines() {
+            for i in 0..line.len() {
+                for j in (i + 1)..line.len() {
+                    let df = (rp.frequency_ghz(line[i]) - rp.frequency_ghz(line[j])).abs();
+                    assert!(df >= 0.02, "feedline spacing {df} GHz");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_eight_demuxes_reduce_z_lines_further() {
+        let chip = topology::square_grid(6, 6);
+        let base = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let deep_cfg = PlannerConfig {
+            tdm: crate::tdm::TdmConfig {
+                theta: f64::INFINITY,
+                allow_one_to_eight: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let deep = YoutiaoPlanner::new(&chip)
+            .with_config(deep_cfg)
+            .plan()
+            .unwrap();
+        assert!(deep.num_z_lines() <= base.num_z_lines());
+        assert!(deep
+            .tdm_groups()
+            .iter()
+            .any(|g| g.level() == crate::tdm::DemuxLevel::OneToEight));
+    }
+
+    #[test]
+    fn demux_select_lines_counted() {
+        let chip = topology::heavy_square(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let manual: usize = plan
+            .tdm_groups()
+            .iter()
+            .map(|g| g.level().select_lines())
+            .sum();
+        assert_eq!(plan.demux_select_lines(), manual);
+        assert!(plan.demux_select_lines() > 0);
+    }
+}

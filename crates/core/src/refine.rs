@@ -1,0 +1,281 @@
+//! Local-search refinement of TDM groupings.
+//!
+//! The §4.3 grouping is greedy; this optional pass hill-climbs the
+//! result:
+//!
+//! 1. **absorb** — a device on a dedicated (singleton) line moves into
+//!    any group with spare capacity whose legality and activity budget it
+//!    satisfies, deleting a Z line outright;
+//! 2. **swap** — two devices in different groups exchange places when
+//!    that strictly reduces the total expected serialization (the sum of
+//!    per-group extra windows).
+//!
+//! Every accepted move keeps the grouping a legal partition, so the
+//! refined plan remains schedulable.
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, DeviceId};
+
+use crate::tdm::{legal_pair, ActivityProfile, TdmConfig, TdmGroup};
+
+/// Configuration of [`refine_tdm_groups`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineConfig {
+    /// Hill-climbing sweeps over all groups (2 usually converges).
+    pub passes: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { passes: 2 }
+    }
+}
+
+/// Refines a TDM grouping in place, returning the improved grouping and
+/// the number of Z lines removed.
+///
+/// # Panics
+///
+/// Panics if `xtalk` does not match the chip dimension.
+pub fn refine_tdm_groups(
+    chip: &Chip,
+    xtalk: &DistanceMatrix,
+    activity: &ActivityProfile,
+    config: &TdmConfig,
+    mut groups: Vec<TdmGroup>,
+    refine: &RefineConfig,
+) -> (Vec<TdmGroup>, usize) {
+    assert_eq!(
+        xtalk.len(),
+        chip.num_qubits(),
+        "crosstalk matrix size mismatch"
+    );
+    let mask_of = |d: DeviceId| activity.get(&d).copied().unwrap_or(0);
+    let mut removed = 0usize;
+
+    for _ in 0..refine.passes {
+        let mut improved = false;
+
+        // Absorb singletons.
+        let mut i = 0;
+        while i < groups.len() {
+            if groups[i].len() != 1 {
+                i += 1;
+                continue;
+            }
+            let lone = groups[i].devices()[0];
+            let mut target = None;
+            for (j, g) in groups.iter().enumerate() {
+                if j == i || g.len() >= g.level().channel_capacity() || g.len() < 2 {
+                    continue;
+                }
+                if !g.devices().iter().all(|&m| legal_pair(chip, m, lone)) {
+                    continue;
+                }
+                if extra_windows(g.devices(), Some(lone), &mask_of) > config.max_shared_slots {
+                    continue;
+                }
+                target = Some(j);
+                break;
+            }
+            if let Some(j) = target {
+                let level = groups[j].level();
+                let mut devices = groups[j].devices().to_vec();
+                devices.push(lone);
+                groups[j] = TdmGroup::new(level, devices);
+                groups.remove(i);
+                removed += 1;
+                improved = true;
+                // Do not advance: the next group shifted into slot i.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pairwise swaps reducing total expected serialization, breaking
+        // ties toward higher intra-group crosstalk (noisy non-parallel
+        // devices belong together).
+        for a in 0..groups.len() {
+            for b in (a + 1)..groups.len() {
+                let (best, gain) = best_swap(chip, xtalk, &mask_of, &groups[a], &groups[b]);
+                if gain > 0 {
+                    if let Some((ia, ib)) = best {
+                        let mut da = groups[a].devices().to_vec();
+                        let mut db = groups[b].devices().to_vec();
+                        std::mem::swap(&mut da[ia], &mut db[ib]);
+                        groups[a] = TdmGroup::new(groups[a].level(), da);
+                        groups[b] = TdmGroup::new(groups[b].level(), db);
+                        improved = true;
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    (groups, removed)
+}
+
+/// Extra serialized windows of `devices` (+ an optional extra member).
+fn extra_windows<F: Fn(DeviceId) -> u32>(
+    devices: &[DeviceId],
+    plus: Option<DeviceId>,
+    mask_of: &F,
+) -> u32 {
+    let mut counts = [0u8; 32];
+    for &d in devices.iter().chain(plus.as_ref()) {
+        let m = mask_of(d);
+        for (t, count) in counts.iter_mut().enumerate() {
+            if m & (1 << t) != 0 {
+                *count += 1;
+            }
+        }
+    }
+    counts.iter().map(|&c| c.saturating_sub(1) as u32).sum()
+}
+
+/// Finds the single-pair swap between two groups with the largest
+/// reduction in total extra windows (if any), respecting legality.
+fn best_swap<F: Fn(DeviceId) -> u32>(
+    chip: &Chip,
+    _xtalk: &DistanceMatrix,
+    mask_of: &F,
+    ga: &TdmGroup,
+    gb: &TdmGroup,
+) -> (Option<(usize, usize)>, u32) {
+    let da = ga.devices();
+    let db = gb.devices();
+    let before = extra_windows(da, None, mask_of) + extra_windows(db, None, mask_of);
+    let mut best: Option<(usize, usize)> = None;
+    let mut best_after = before;
+    for ia in 0..da.len() {
+        for ib in 0..db.len() {
+            let mut na = da.to_vec();
+            let mut nb = db.to_vec();
+            std::mem::swap(&mut na[ia], &mut nb[ib]);
+            let legal = |g: &[DeviceId]| {
+                g.iter()
+                    .enumerate()
+                    .all(|(i, &x)| g[i + 1..].iter().all(|&y| legal_pair(chip, x, y)))
+            };
+            if !legal(&na) || !legal(&nb) {
+                continue;
+            }
+            let after = extra_windows(&na, None, mask_of) + extra_windows(&nb, None, mask_of);
+            if after < best_after {
+                best_after = after;
+                best = Some((ia, ib));
+            }
+        }
+    }
+    (best, before - best_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::crosstalk_matrix;
+    use crate::tdm::{brickwork_activity, group_tdm_with_activity};
+    use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+    use youtiao_chip::topology;
+
+    fn setup(n: usize) -> (youtiao_chip::Chip, DistanceMatrix, ActivityProfile) {
+        let chip = topology::square_grid(n, n);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let activity = brickwork_activity(&chip);
+        (chip, xtalk, activity)
+    }
+
+    #[test]
+    fn refinement_never_increases_lines() {
+        let (chip, xtalk, activity) = setup(5);
+        let config = TdmConfig::default();
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let groups = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+        let before = groups.len();
+        let (refined, removed) = refine_tdm_groups(
+            &chip,
+            &xtalk,
+            &activity,
+            &config,
+            groups,
+            &RefineConfig::default(),
+        );
+        assert_eq!(refined.len() + removed, before);
+        assert!(refined.len() <= before);
+    }
+
+    #[test]
+    fn refinement_preserves_partition_and_legality() {
+        let (chip, xtalk, activity) = setup(4);
+        let config = TdmConfig::default();
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let groups = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+        let (refined, _) = refine_tdm_groups(
+            &chip,
+            &xtalk,
+            &activity,
+            &config,
+            groups,
+            &RefineConfig { passes: 4 },
+        );
+        let mut all: Vec<DeviceId> = refined.iter().flat_map(|g| g.devices().to_vec()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<DeviceId> = chip.device_ids().collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+        for g in &refined {
+            let ds = g.devices();
+            for i in 0..ds.len() {
+                for j in (i + 1)..ds.len() {
+                    assert!(legal_pair(&chip, ds[i], ds[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_respects_activity_budget() {
+        let (chip, xtalk, activity) = setup(4);
+        let config = TdmConfig {
+            max_shared_slots: 0,
+            ..Default::default()
+        };
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let groups = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+        let mask_of = |d: DeviceId| activity.get(&d).copied().unwrap_or(0);
+        let (refined, _) = refine_tdm_groups(
+            &chip,
+            &xtalk,
+            &activity,
+            &config,
+            groups,
+            &RefineConfig::default(),
+        );
+        for g in &refined {
+            assert_eq!(extra_windows(g.devices(), None, &mask_of), 0);
+        }
+    }
+
+    #[test]
+    fn zero_passes_is_identity() {
+        let (chip, xtalk, activity) = setup(3);
+        let config = TdmConfig::default();
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let groups = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+        let before = groups.clone();
+        let (refined, removed) = refine_tdm_groups(
+            &chip,
+            &xtalk,
+            &activity,
+            &config,
+            groups,
+            &RefineConfig { passes: 0 },
+        );
+        assert_eq!(refined, before);
+        assert_eq!(removed, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Serializable wiring-plan summaries.
+//!
+//! [`PlanSummary`] is the export format of a [`WiringPlan`]: everything
+//! a control-electronics team needs to hook up a fridge — line
+//! memberships, per-qubit frequencies, DEMUX levels — as plain data
+//! (JSON-ready with the `serde` feature).
+
+use youtiao_chip::DeviceId;
+
+use crate::plan::WiringPlan;
+use crate::tdm::DemuxLevel;
+
+/// One FDM XY line of a [`PlanSummary`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FdmLineSummary {
+    /// Qubit indices multiplexed on the line.
+    pub qubits: Vec<u32>,
+    /// Drive frequency per qubit, GHz (index-aligned with `qubits`).
+    pub frequencies_ghz: Vec<f64>,
+}
+
+/// One TDM Z line (cryo-DEMUX) of a [`PlanSummary`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TdmGroupSummary {
+    /// DEMUX fan-out: `"1:8"`, `"1:4"`, `"1:2"` or `"direct"`.
+    pub demux: String,
+    /// Devices behind the DEMUX: `"q<i>"` for qubits, `"c<i>"` for
+    /// couplers.
+    pub devices: Vec<String>,
+    /// Digital select lines required.
+    pub select_lines: usize,
+}
+
+/// A serializable summary of a full wiring plan.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::topology;
+/// use youtiao_core::summary::PlanSummary;
+/// use youtiao_core::YoutiaoPlanner;
+///
+/// let chip = topology::square_grid(3, 3);
+/// let plan = YoutiaoPlanner::new(&chip).plan()?;
+/// let summary = PlanSummary::from_plan(&plan);
+/// assert_eq!(summary.xy_lines.len(), 2);
+/// assert_eq!(summary.total_qubits, 9);
+/// # Ok::<(), youtiao_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlanSummary {
+    /// Number of qubits planned.
+    pub total_qubits: usize,
+    /// FDM XY lines with frequency assignments.
+    pub xy_lines: Vec<FdmLineSummary>,
+    /// TDM Z lines with DEMUX levels.
+    pub z_lines: Vec<TdmGroupSummary>,
+    /// Readout feedlines (qubit indices) with resonator frequencies.
+    pub readout_lines: Vec<FdmLineSummary>,
+    /// Total DEMUX select lines.
+    pub demux_select_lines: usize,
+}
+
+impl PlanSummary {
+    /// Extracts a summary from a wiring plan.
+    pub fn from_plan(plan: &WiringPlan) -> Self {
+        let fp = plan.frequency_plan();
+        let xy_lines = plan
+            .fdm_lines()
+            .iter()
+            .map(|line| FdmLineSummary {
+                qubits: line.qubits().iter().map(|q| q.value()).collect(),
+                frequencies_ghz: line.qubits().iter().map(|&q| fp.frequency_ghz(q)).collect(),
+            })
+            .collect();
+        let rp = plan.readout_frequency_plan();
+        let readout_lines = plan
+            .readout_lines()
+            .iter()
+            .map(|line| FdmLineSummary {
+                qubits: line.iter().map(|q| q.value()).collect(),
+                frequencies_ghz: line.iter().map(|&q| rp.frequency_ghz(q)).collect(),
+            })
+            .collect();
+        let z_lines = plan
+            .tdm_groups()
+            .iter()
+            .map(|g| TdmGroupSummary {
+                demux: demux_name(g.level()).to_string(),
+                devices: g.devices().iter().map(|d| device_name(*d)).collect(),
+                select_lines: g.level().select_lines(),
+            })
+            .collect();
+        PlanSummary {
+            total_qubits: plan.readout_lines().iter().map(Vec::len).sum(),
+            xy_lines,
+            z_lines,
+            readout_lines,
+            demux_select_lines: plan.demux_select_lines(),
+        }
+    }
+}
+
+fn demux_name(level: DemuxLevel) -> &'static str {
+    match level {
+        DemuxLevel::OneToEight => "1:8",
+        DemuxLevel::OneToFour => "1:4",
+        DemuxLevel::OneToTwo => "1:2",
+        _ => "direct",
+    }
+}
+
+fn device_name(d: DeviceId) -> String {
+    d.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::YoutiaoPlanner;
+    use youtiao_chip::topology;
+
+    fn summary_for(chip: &youtiao_chip::Chip) -> PlanSummary {
+        let plan = YoutiaoPlanner::new(chip).plan().unwrap();
+        PlanSummary::from_plan(&plan)
+    }
+
+    #[test]
+    fn summary_covers_all_qubits() {
+        let chip = topology::heavy_square(3, 3);
+        let s = summary_for(&chip);
+        assert_eq!(s.total_qubits, 21);
+        let xy_total: usize = s.xy_lines.iter().map(|l| l.qubits.len()).sum();
+        assert_eq!(xy_total, 21);
+        let z_total: usize = s.z_lines.iter().map(|l| l.devices.len()).sum();
+        assert_eq!(z_total, chip.num_z_devices());
+    }
+
+    #[test]
+    fn frequencies_are_aligned_and_in_band() {
+        let chip = topology::square_grid(3, 3);
+        let s = summary_for(&chip);
+        for line in &s.xy_lines {
+            assert_eq!(line.qubits.len(), line.frequencies_ghz.len());
+            assert!(line.frequencies_ghz.iter().all(|f| (4.0..=7.0).contains(f)));
+        }
+        for line in &s.readout_lines {
+            assert!(line.frequencies_ghz.iter().all(|f| (7.0..=8.0).contains(f)));
+        }
+    }
+
+    #[test]
+    fn demux_names_are_human_readable() {
+        let chip = topology::square_grid(3, 3);
+        let s = summary_for(&chip);
+        for g in &s.z_lines {
+            assert!(["1:8", "1:4", "1:2", "direct"].contains(&g.demux.as_str()));
+            assert!(g
+                .devices
+                .iter()
+                .all(|d| d.starts_with('q') || d.starts_with('c')));
+        }
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serializes_to_json() {
+        let chip = topology::square_grid(3, 3);
+        let s = summary_for(&chip);
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        assert!(json.contains("xy_lines"));
+        let parsed: PlanSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.total_qubits, s.total_qubits);
+    }
+}

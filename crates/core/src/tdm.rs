@@ -1,0 +1,644 @@
+//! Noise-aware TDM grouping of Z-controlled devices (§4.3).
+//!
+//! Every CZ gate `q_a − c − q_b` flux-pulses three devices at once, so
+//! devices sharing a cryo-DEMUX serialize the gates that need them. The
+//! grouping goal is to share DEMUXes between devices whose gates could
+//! never run in parallel anyway:
+//!
+//! * **legality** — two devices needed by the *same* gate must never share
+//!   a DEMUX (the gate would become unrealizable);
+//! * **topological non-parallelism** — devices whose gate sets pairwise
+//!   conflict (share a qubit) cost zero extra depth when grouped;
+//! * **noisy non-parallelism** — devices whose gates would crosstalk
+//!   heavily if run simultaneously should not run in parallel, so
+//!   grouping them is free in practice.
+//!
+//! The *parallelism index* ranks how much gate freedom a device has; a
+//! threshold `θ` splits devices between dense 1:4 DEMUXes (low
+//! parallelism) and shallow 1:2 DEMUXes (high parallelism).
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, CouplerId, DeviceId, QubitId};
+
+/// Cryo-DEMUX fan-out level for one TDM group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DemuxLevel {
+    /// 1:8 multiplexer — eight channels, three digital select lines
+    /// (the paper's multi-level-switch extension; opt-in via
+    /// [`TdmConfig::allow_one_to_eight`]).
+    OneToEight,
+    /// 1:4 multiplexer — four channels, two digital select lines.
+    OneToFour,
+    /// 1:2 multiplexer — two channels, one digital select line.
+    OneToTwo,
+    /// Dedicated line (no DEMUX) for devices that could not be grouped.
+    Direct,
+}
+
+impl DemuxLevel {
+    /// Number of device channels the DEMUX can own.
+    pub fn channel_capacity(self) -> usize {
+        match self {
+            DemuxLevel::OneToEight => 8,
+            DemuxLevel::OneToFour => 4,
+            DemuxLevel::OneToTwo => 2,
+            DemuxLevel::Direct => 1,
+        }
+    }
+
+    /// Number of room-temperature digital select lines required.
+    pub fn select_lines(self) -> usize {
+        match self {
+            DemuxLevel::OneToEight => 3,
+            DemuxLevel::OneToFour => 2,
+            DemuxLevel::OneToTwo => 1,
+            DemuxLevel::Direct => 0,
+        }
+    }
+}
+
+/// One shared Z line: a cryo-DEMUX plus the devices behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdmGroup {
+    level: DemuxLevel,
+    devices: Vec<DeviceId>,
+}
+
+impl TdmGroup {
+    /// Creates a group; the level is downgraded to
+    /// [`DemuxLevel::Direct`] for singletons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty or exceeds the level's capacity.
+    pub fn new(level: DemuxLevel, devices: Vec<DeviceId>) -> Self {
+        assert!(!devices.is_empty(), "tdm group cannot be empty");
+        assert!(
+            devices.len() <= level.channel_capacity(),
+            "tdm group exceeds demux capacity"
+        );
+        let level = if devices.len() == 1 {
+            DemuxLevel::Direct
+        } else {
+            level
+        };
+        TdmGroup { level, devices }
+    }
+
+    /// The DEMUX fan-out level.
+    pub fn level(&self) -> DemuxLevel {
+        self.level
+    }
+
+    /// The devices sharing this Z line.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Number of devices in the group.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` when the group has no devices (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+/// Configuration of the TDM grouping pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdmConfig {
+    /// Parallelism-index threshold θ: devices strictly below it use 1:4
+    /// DEMUXes, others 1:2 (§4.3 uses θ = 4 in its example).
+    pub theta: f64,
+    /// When an activity profile is supplied, the maximum number of extra
+    /// serialized time windows a group may introduce per workload period
+    /// (`Σ_t max(0, busy_devices(t) − 1)`). 0 demands perfectly disjoint
+    /// activity (zero depth cost); small values trade a little
+    /// serialization for fewer lines.
+    pub max_shared_slots: u32,
+    /// Use 1:8 cryo-DEMUXes for the low-parallelism level instead of
+    /// 1:4 — the deeper multi-level switches the paper's related work
+    /// points to. Off by default (matching the evaluation).
+    pub allow_one_to_eight: bool,
+}
+
+impl Default for TdmConfig {
+    fn default() -> Self {
+        TdmConfig {
+            theta: 4.0,
+            max_shared_slots: 0,
+            allow_one_to_eight: false,
+        }
+    }
+}
+
+/// Per-device activity profile: bit `t` set means the device is busy in
+/// time slot `t` of the (periodic) workload. Devices absent from the map
+/// are treated as always-compatible (mask 0).
+///
+/// This is the *natural non-parallelism* of §4.3 made explicit: devices
+/// that are never busy in the same slot can share a cryo-DEMUX at zero
+/// depth cost.
+pub type ActivityProfile = std::collections::HashMap<DeviceId, u32>;
+
+/// Derives a generic workload activity profile from the chip topology:
+/// a greedy edge coloring assigns every coupler the time slot of its
+/// colour class (the brickwork pattern in which dense circuits execute
+/// their two-qubit gates), and every qubit is busy in the slots of its
+/// incident couplers.
+///
+/// This is the topology-only approximation of natural non-parallelism
+/// used when no concrete workload profile is available: two couplers
+/// with the same colour *can* fire simultaneously, so they should not
+/// share a DEMUX; couplers of different colours never do.
+pub fn brickwork_activity(chip: &Chip) -> ActivityProfile {
+    let mut colors: Vec<Option<u32>> = vec![None; chip.num_couplers()];
+    for c in chip.coupler_ids() {
+        let (a, b) = chip.coupler(c).expect("coupler id in range").endpoints();
+        let mut used = 0u32;
+        for &nc in chip.couplers_of(a).iter().chain(chip.couplers_of(b)) {
+            if let Some(col) = colors[nc.index()] {
+                used |= 1 << col.min(31);
+            }
+        }
+        let color = (0..32).find(|&k| used & (1 << k) == 0).unwrap_or(31);
+        colors[c.index()] = Some(color);
+    }
+    let mut profile = ActivityProfile::new();
+    for c in chip.coupler_ids() {
+        let mask = 1u32 << colors[c.index()].expect("all couplers colored");
+        profile.insert(DeviceId::Coupler(c), mask);
+    }
+    // Qubit Z lines carry bias and sparse retunes (§3.1), not per-gate
+    // pulses, so they are unconstrained in time (mask 0).
+    for q in chip.qubit_ids() {
+        profile.insert(DeviceId::Qubit(q), 0);
+    }
+    profile
+}
+
+/// The paper's parallelism index of a qubit or coupler: the average,
+/// over the two-qubit gates that occupy the device, of the number of
+/// topologically non-coexistent neighbouring gates, normalized by the
+/// device's connectivity (couplers count as connectivity 1).
+///
+/// # Panics
+///
+/// Panics if the device id is out of range.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::{topology, DeviceId};
+///
+/// // Chain q0-c0-q1-c1-q2: coupler c0's only gate conflicts with one
+/// // neighbouring gate, so its index is 1.
+/// let chip = topology::linear(3);
+/// let c0 = chip.coupler_between(0u32.into(), 1u32.into()).unwrap();
+/// let idx = youtiao_core::tdm::parallelism_index(&chip, DeviceId::Coupler(c0));
+/// assert_eq!(idx, 1.0);
+/// ```
+pub fn parallelism_index(chip: &Chip, device: DeviceId) -> f64 {
+    let gates = device_gates(chip, device);
+    if gates.is_empty() {
+        return 0.0;
+    }
+    let connectivity = match device {
+        DeviceId::Coupler(_) => 1usize,
+        DeviceId::Qubit(q) => chip.connectivity(q).max(1),
+    };
+    let total: usize = gates.iter().map(|&g| adjacent_gates(chip, g).len()).sum();
+    total as f64 / connectivity as f64
+}
+
+/// The two-qubit gates (couplers) that occupy a device when active.
+fn device_gates(chip: &Chip, device: DeviceId) -> Vec<CouplerId> {
+    match device {
+        DeviceId::Coupler(c) => vec![c],
+        DeviceId::Qubit(q) => chip.couplers_of(q).to_vec(),
+    }
+}
+
+/// Gates sharing a qubit endpoint with `gate` (excluding `gate` itself).
+fn adjacent_gates(chip: &Chip, gate: CouplerId) -> Vec<CouplerId> {
+    let (a, b) = chip.coupler(gate).expect("gate id in range").endpoints();
+    let mut out: Vec<CouplerId> = chip
+        .couplers_of(a)
+        .iter()
+        .chain(chip.couplers_of(b))
+        .copied()
+        .filter(|&c| c != gate)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Returns `true` when two devices may legally share a DEMUX: no single
+/// CZ gate ever needs both simultaneously.
+pub fn legal_pair(chip: &Chip, a: DeviceId, b: DeviceId) -> bool {
+    match (a, b) {
+        (DeviceId::Qubit(qa), DeviceId::Qubit(qb)) => qa != qb && !chip.are_adjacent(qa, qb),
+        (DeviceId::Qubit(q), DeviceId::Coupler(c)) | (DeviceId::Coupler(c), DeviceId::Qubit(q)) => {
+            !chip.couplers_of(q).contains(&c)
+        }
+        (DeviceId::Coupler(ca), DeviceId::Coupler(cb)) => ca != cb,
+    }
+}
+
+/// Returns `true` when two gates cannot coexist in one layer (they share
+/// a qubit endpoint).
+fn gates_conflict(chip: &Chip, a: CouplerId, b: CouplerId) -> bool {
+    if a == b {
+        return true;
+    }
+    let (a0, a1) = chip.coupler(a).expect("gate id in range").endpoints();
+    let (b0, b1) = chip.coupler(b).expect("gate id in range").endpoints();
+    a0 == b0 || a0 == b1 || a1 == b0 || a1 == b1
+}
+
+/// Fraction of gate pairs between two devices that topologically
+/// conflict: 1.0 means grouping them can never cost depth.
+fn topo_nonparallel_fraction(chip: &Chip, a: DeviceId, b: DeviceId) -> f64 {
+    let ga = device_gates(chip, a);
+    let gb = device_gates(chip, b);
+    if ga.is_empty() || gb.is_empty() {
+        return 1.0;
+    }
+    let mut conflicts = 0usize;
+    for &x in &ga {
+        for &y in &gb {
+            if gates_conflict(chip, x, y) {
+                conflicts += 1;
+            }
+        }
+    }
+    conflicts as f64 / (ga.len() * gb.len()) as f64
+}
+
+/// Representative qubits of a device (itself, or a coupler's endpoints).
+fn device_qubits(chip: &Chip, d: DeviceId) -> Vec<QubitId> {
+    match d {
+        DeviceId::Qubit(q) => vec![q],
+        DeviceId::Coupler(c) => {
+            let (a, b) = chip.coupler(c).expect("device id in range").endpoints();
+            vec![a, b]
+        }
+    }
+}
+
+/// Worst-case crosstalk between the qubits of two devices.
+fn noisy_score(chip: &Chip, xtalk: &DistanceMatrix, a: DeviceId, b: DeviceId) -> f64 {
+    let mut worst = 0.0f64;
+    for qa in device_qubits(chip, a) {
+        for qb in device_qubits(chip, b) {
+            if qa != qb {
+                worst = worst.max(xtalk.get(qa, qb));
+            }
+        }
+    }
+    worst
+}
+
+/// Groups every Z-controlled device of `chip` onto shared TDM lines.
+///
+/// `xtalk` is the qubit-pair crosstalk matrix driving the noisy
+/// non-parallelism heuristic.
+///
+/// # Panics
+///
+/// Panics if the matrix dimension mismatches the chip.
+pub fn group_tdm(chip: &Chip, xtalk: &DistanceMatrix, config: &TdmConfig) -> Vec<TdmGroup> {
+    let devices: Vec<DeviceId> = chip.device_ids().collect();
+    group_tdm_subset(chip, xtalk, config, &devices)
+}
+
+/// Like [`group_tdm`], but restricted to a device subset (used per
+/// partition region).
+///
+/// # Panics
+///
+/// Panics if the matrix dimension mismatches the chip.
+pub fn group_tdm_subset(
+    chip: &Chip,
+    xtalk: &DistanceMatrix,
+    config: &TdmConfig,
+    devices: &[DeviceId],
+) -> Vec<TdmGroup> {
+    group_tdm_with_activity(chip, xtalk, config, devices, &ActivityProfile::new())
+}
+
+/// Like [`group_tdm_subset`], but additionally constrained by a workload
+/// [`ActivityProfile`]: grouped devices may share at most
+/// `config.max_shared_slots` busy time slots, so the grouping exploits
+/// the workload's natural non-parallelism (e.g. the 4-step CZ schedule
+/// of a surface-code cycle).
+///
+/// # Panics
+///
+/// Panics if the matrix dimension mismatches the chip.
+pub fn group_tdm_with_activity(
+    chip: &Chip,
+    xtalk: &DistanceMatrix,
+    config: &TdmConfig,
+    devices: &[DeviceId],
+    activity: &ActivityProfile,
+) -> Vec<TdmGroup> {
+    assert_eq!(
+        xtalk.len(),
+        chip.num_qubits(),
+        "crosstalk matrix size mismatch"
+    );
+
+    // Rank devices by parallelism index and split at θ.
+    let mut indexed: Vec<(DeviceId, f64)> = devices
+        .iter()
+        .map(|&d| (d, parallelism_index(chip, d)))
+        .collect();
+    indexed.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    let low: Vec<(DeviceId, f64)> = indexed
+        .iter()
+        .copied()
+        .filter(|&(_, i)| i < config.theta)
+        .collect();
+    let high: Vec<(DeviceId, f64)> = indexed
+        .iter()
+        .copied()
+        .filter(|&(_, i)| i >= config.theta)
+        .collect();
+
+    let low_level = if config.allow_one_to_eight {
+        DemuxLevel::OneToEight
+    } else {
+        DemuxLevel::OneToFour
+    };
+    let mut groups = Vec::new();
+    for (level, pool) in [(low_level, low), (DemuxLevel::OneToTwo, high)] {
+        groups.extend(group_level(chip, xtalk, level, pool, activity, config));
+    }
+    groups
+}
+
+/// Greedy graph-coloring of one parallelism level (§4.3 steps 1–3).
+fn group_level(
+    chip: &Chip,
+    xtalk: &DistanceMatrix,
+    level: DemuxLevel,
+    mut pool: Vec<(DeviceId, f64)>,
+    activity: &ActivityProfile,
+    config: &TdmConfig,
+) -> Vec<TdmGroup> {
+    let capacity = level.channel_capacity();
+    let mask_of = |d: DeviceId| activity.get(&d).copied().unwrap_or(0);
+    let mut groups = Vec::new();
+    while !pool.is_empty() {
+        // Step 1: seed with the lowest parallelism index.
+        let (seed, seed_idx) = pool.remove(0);
+        let mut members = vec![seed];
+        let mut member_idx = vec![seed_idx];
+        // Per-slot busy-device counts; the group's depth cost is
+        // Σ_t max(0, count_t − 1) extra serialized windows per period.
+        let mut slot_counts = [0u8; 32];
+        for (t, count) in slot_counts.iter_mut().enumerate() {
+            if mask_of(seed) & (1 << t) != 0 {
+                *count += 1;
+            }
+        }
+        let group_extra =
+            |counts: &[u8; 32]| -> u32 { counts.iter().map(|&c| c.saturating_sub(1) as u32).sum() };
+        while members.len() < capacity {
+            // Steps 2–3: among legal candidates sharing the fewest busy
+            // slots, prefer fully topologically non-parallel ones, then
+            // the noisiest, then the closest parallelism index
+            // (balancing).
+            let mut best: Option<(usize, (f64, f64, f64, f64))> = None;
+            for (i, &(cand, cand_idx)) in pool.iter().enumerate() {
+                if !members.iter().all(|&m| legal_pair(chip, m, cand)) {
+                    continue;
+                }
+                let mut with_cand = slot_counts;
+                for (t, count) in with_cand.iter_mut().enumerate() {
+                    if mask_of(cand) & (1 << t) != 0 {
+                        *count += 1;
+                    }
+                }
+                let shared = group_extra(&with_cand);
+                if shared > config.max_shared_slots {
+                    continue;
+                }
+                let topo = members
+                    .iter()
+                    .map(|&m| topo_nonparallel_fraction(chip, m, cand))
+                    .fold(f64::INFINITY, f64::min);
+                let noise = members
+                    .iter()
+                    .map(|&m| noisy_score(chip, xtalk, m, cand))
+                    .fold(0.0, f64::max);
+                let balance = member_idx
+                    .iter()
+                    .map(|&mi: &f64| (mi - cand_idx).abs())
+                    .fold(0.0, f64::max);
+                // Fewer shared slots, higher topo, higher noise, lower
+                // imbalance is better.
+                let key = (-(shared as f64), topo, noise, -balance);
+                if best.is_none_or(|(_, bk)| key > bk) {
+                    best = Some((i, key));
+                }
+            }
+            match best {
+                Some((i, _)) => {
+                    let (d, di) = pool.remove(i);
+                    for (t, count) in slot_counts.iter_mut().enumerate() {
+                        if mask_of(d) & (1 << t) != 0 {
+                            *count += 1;
+                        }
+                    }
+                    members.push(d);
+                    member_idx.push(di);
+                }
+                None => break,
+            }
+        }
+        groups.push(TdmGroup::new(level, members));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+
+    fn flat_xtalk(chip: &Chip) -> DistanceMatrix {
+        let mut m = DistanceMatrix::zeros(chip.num_qubits());
+        for a in chip.qubit_ids() {
+            for b in chip.qubit_ids() {
+                if a < b {
+                    let d = chip.physical_distance(a, b);
+                    m.set(a, b, 0.01 * (-d).exp());
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn parallelism_index_matches_paper_chain_example() {
+        // Figure 8 (b): chain q1-c1-q2-c2-q3 with q3 branching to c3, c4.
+        // Reconstruct: star-ish graph.
+        let chip = youtiao_chip::ChipBuilder::new("fig8", youtiao_chip::TopologyKind::Custom)
+            .qubit(youtiao_chip::Position::new(0.0, 0.0)) // q1
+            .qubit(youtiao_chip::Position::new(1.0, 0.0)) // q2
+            .qubit(youtiao_chip::Position::new(2.0, 0.0)) // q3
+            .qubit(youtiao_chip::Position::new(3.0, 0.0)) // q4
+            .qubit(youtiao_chip::Position::new(2.0, 1.0)) // q7
+            .coupler(0u32.into(), 1u32.into()) // c1: q1-q2
+            .coupler(1u32.into(), 2u32.into()) // c2: q2-q3
+            .coupler(2u32.into(), 3u32.into()) // c3: q3-q4
+            .coupler(2u32.into(), 4u32.into()) // c4: q3-q7
+            .build()
+            .unwrap();
+        // c1's gate q1-q2 conflicts only with q2-q3 -> index 1.
+        let c1 = chip.coupler_between(0u32.into(), 1u32.into()).unwrap();
+        assert_eq!(parallelism_index(&chip, DeviceId::Coupler(c1)), 1.0);
+        // q3 participates in gates c2 (3 adjacent: c1, c3, c4), c3 (2:
+        // c2, c4) and c4 (2: c2, c3); connectivity 3 -> (3+2+2)/3.
+        let idx = parallelism_index(&chip, DeviceId::Qubit(2u32.into()));
+        assert!((idx - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_qubit_has_zero_index() {
+        let chip = youtiao_chip::ChipBuilder::new("iso", youtiao_chip::TopologyKind::Custom)
+            .qubit(youtiao_chip::Position::new(0.0, 0.0))
+            .build()
+            .unwrap();
+        assert_eq!(parallelism_index(&chip, DeviceId::Qubit(0u32.into())), 0.0);
+    }
+
+    #[test]
+    fn legality_rules() {
+        let chip = topology::linear(3);
+        let q0 = DeviceId::Qubit(0u32.into());
+        let q1 = DeviceId::Qubit(1u32.into());
+        let q2 = DeviceId::Qubit(2u32.into());
+        let c0 = DeviceId::Coupler(chip.coupler_between(0u32.into(), 1u32.into()).unwrap());
+        let c1 = DeviceId::Coupler(chip.coupler_between(1u32.into(), 2u32.into()).unwrap());
+        assert!(!legal_pair(&chip, q0, q1), "adjacent qubits share a gate");
+        assert!(legal_pair(&chip, q0, q2), "distant qubits are legal");
+        assert!(!legal_pair(&chip, q0, c0), "qubit with its coupler");
+        assert!(legal_pair(&chip, q2, c0), "qubit with a far coupler");
+        assert!(legal_pair(&chip, c0, c1), "couplers never share a gate");
+        assert!(!legal_pair(&chip, q0, q0), "a device with itself");
+    }
+
+    #[test]
+    fn groups_cover_all_devices_exactly_once() {
+        let chip = topology::square_grid(3, 3);
+        let x = flat_xtalk(&chip);
+        let groups = group_tdm(&chip, &x, &TdmConfig::default());
+        let mut all: Vec<DeviceId> = groups.iter().flat_map(|g| g.devices().to_vec()).collect();
+        all.sort_unstable();
+        let mut expect: Vec<DeviceId> = chip.device_ids().collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn groups_are_legal() {
+        let chip = topology::square_grid(3, 3);
+        let x = flat_xtalk(&chip);
+        for g in group_tdm(&chip, &x, &TdmConfig::default()) {
+            let ds = g.devices();
+            for i in 0..ds.len() {
+                for j in (i + 1)..ds.len() {
+                    assert!(legal_pair(&chip, ds[i], ds[j]), "illegal pair in group");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_reduces_line_count() {
+        let chip = topology::heavy_square(3, 3);
+        let x = flat_xtalk(&chip);
+        let groups = group_tdm(&chip, &x, &TdmConfig::default());
+        assert!(
+            groups.len() * 2 <= chip.num_z_devices(),
+            "expected ≥2× reduction"
+        );
+    }
+
+    #[test]
+    fn theta_extremes_select_demux_levels() {
+        let chip = topology::square_grid(3, 3);
+        let x = flat_xtalk(&chip);
+        // θ = ∞: everything is "low parallelism" -> all 1:4 (or direct).
+        let all_low = group_tdm(
+            &chip,
+            &x,
+            &TdmConfig {
+                theta: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        assert!(all_low
+            .iter()
+            .all(|g| matches!(g.level(), DemuxLevel::OneToFour | DemuxLevel::Direct)));
+        // θ = 0: everything "high" -> 1:2 / direct.
+        let all_high = group_tdm(
+            &chip,
+            &x,
+            &TdmConfig {
+                theta: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(all_high
+            .iter()
+            .all(|g| matches!(g.level(), DemuxLevel::OneToTwo | DemuxLevel::Direct)));
+        assert!(all_high.len() >= all_low.len());
+    }
+
+    #[test]
+    fn singleton_groups_become_direct_lines() {
+        let g = TdmGroup::new(DemuxLevel::OneToFour, vec![DeviceId::Qubit(0u32.into())]);
+        assert_eq!(g.level(), DemuxLevel::Direct);
+        assert_eq!(g.level().select_lines(), 0);
+    }
+
+    #[test]
+    fn demux_level_properties() {
+        assert_eq!(DemuxLevel::OneToFour.channel_capacity(), 4);
+        assert_eq!(DemuxLevel::OneToFour.select_lines(), 2);
+        assert_eq!(DemuxLevel::OneToTwo.channel_capacity(), 2);
+        assert_eq!(DemuxLevel::OneToTwo.select_lines(), 1);
+        assert_eq!(DemuxLevel::Direct.channel_capacity(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let chip = topology::hexagon_patch(2, 2);
+        let x = flat_xtalk(&chip);
+        assert_eq!(
+            group_tdm(&chip, &x, &TdmConfig::default()),
+            group_tdm(&chip, &x, &TdmConfig::default())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn oversized_group_panics() {
+        let _ = TdmGroup::new(
+            DemuxLevel::OneToTwo,
+            vec![
+                DeviceId::Qubit(0u32.into()),
+                DeviceId::Qubit(1u32.into()),
+                DeviceId::Qubit(2u32.into()),
+            ],
+        );
+    }
+}

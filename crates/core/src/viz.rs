@@ -1,0 +1,174 @@
+//! Plain-text visualization of chips and wiring plans.
+//!
+//! Renders the die as a character raster: qubits appear as the label of
+//! the FDM line / TDM group they belong to, so grouping locality is
+//! visible at a glance in a terminal (or a bug report).
+
+use youtiao_chip::{Chip, DeviceId};
+
+use crate::plan::WiringPlan;
+
+/// How many character cells per millimetre of die (x-axis; y uses half).
+const CELLS_PER_MM_X: f64 = 4.0;
+const CELLS_PER_MM_Y: f64 = 2.0;
+
+/// Renders the chip layout: `o` for qubits, `.` for couplers.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::topology;
+/// use youtiao_core::viz::render_chip;
+///
+/// let art = render_chip(&topology::square_grid(2, 2));
+/// assert_eq!(art.matches('o').count(), 4);
+/// assert_eq!(art.matches('.').count(), 4);
+/// ```
+pub fn render_chip(chip: &Chip) -> String {
+    render(chip, |d| match d {
+        DeviceId::Qubit(_) => Some('o'),
+        DeviceId::Coupler(_) => Some('.'),
+    })
+}
+
+/// Renders FDM grouping: each qubit shows its line's label
+/// (`A`, `B`, …, wrapping after 26); couplers are `.`.
+pub fn render_fdm(chip: &Chip, plan: &WiringPlan) -> String {
+    render(chip, |d| match d {
+        DeviceId::Qubit(q) => {
+            let line = plan.fdm_line_of(q)?;
+            Some(label(line))
+        }
+        DeviceId::Coupler(_) => Some('.'),
+    })
+}
+
+/// Renders TDM grouping: every device (qubit or coupler) shows its
+/// Z-line group label; dedicated-line devices show `-`.
+pub fn render_tdm(chip: &Chip, plan: &WiringPlan) -> String {
+    render(chip, |d| {
+        let group = plan
+            .tdm_groups()
+            .iter()
+            .position(|g| g.devices().contains(&d));
+        Some(group.map_or('-', label))
+    })
+}
+
+/// Renders the generative partition: each qubit shows its region's
+/// label; couplers are `.`. Chips planned without a partition render
+/// all qubits as region `A`.
+pub fn render_partition(chip: &Chip, plan: &WiringPlan) -> String {
+    render(chip, |d| match d {
+        DeviceId::Qubit(q) => {
+            let region = plan.partition().map_or(0, |p| p.region_of(q));
+            Some(label(region))
+        }
+        DeviceId::Coupler(_) => Some('.'),
+    })
+}
+
+fn label(index: usize) -> char {
+    (b'A' + (index % 26) as u8) as char
+}
+
+fn render<F>(chip: &Chip, glyph: F) -> String
+where
+    F: Fn(DeviceId) -> Option<char>,
+{
+    let bb = chip.bounding_box();
+    let cols = ((bb.width() * CELLS_PER_MM_X).round() as usize) + 1;
+    let rows = ((bb.height() * CELLS_PER_MM_Y).round() as usize) + 1;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for d in chip.device_ids() {
+        let p = chip.device_position(d);
+        let x = (((p.x - bb.min.x) * CELLS_PER_MM_X).round() as usize).min(cols - 1);
+        // Flip y so larger y renders higher up, as on a schematic.
+        let y = (((bb.max.y - p.y) * CELLS_PER_MM_Y).round() as usize).min(rows - 1);
+        if let Some(ch) = glyph(d) {
+            grid[y][x] = ch;
+        }
+    }
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::YoutiaoPlanner;
+    use youtiao_chip::topology;
+
+    #[test]
+    fn chip_render_marks_all_devices() {
+        let chip = topology::square_grid(3, 3);
+        let art = render_chip(&chip);
+        assert_eq!(art.matches('o').count(), 9);
+        assert_eq!(art.matches('.').count(), 12);
+    }
+
+    #[test]
+    fn fdm_render_uses_line_labels() {
+        let chip = topology::square_grid(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let art = render_fdm(&chip, &plan);
+        // 2 lines -> labels A and B cover all 9 qubits.
+        let a = art.matches('A').count();
+        let b = art.matches('B').count();
+        assert_eq!(a + b, 9);
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
+    fn tdm_render_covers_every_device() {
+        let chip = topology::square_grid(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let art = render_tdm(&chip, &plan);
+        let labelled = art
+            .chars()
+            .filter(|c| c.is_ascii_uppercase() || *c == '-')
+            .count();
+        assert_eq!(labelled, chip.num_z_devices());
+    }
+
+    #[test]
+    fn partition_render_shows_regions() {
+        use crate::partition::PartitionConfig;
+        use crate::PlannerConfig;
+        let chip = topology::square_grid(6, 6);
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(PlannerConfig {
+                partition: Some(PartitionConfig::default()),
+                ..Default::default()
+            })
+            .plan()
+            .unwrap();
+        let art = render_partition(&chip, &plan);
+        // Four regions -> labels A..D cover all 36 qubits.
+        let covered: usize = ['A', 'B', 'C', 'D']
+            .iter()
+            .map(|&c| art.matches(c).count())
+            .sum();
+        assert_eq!(covered, 36);
+    }
+
+    #[test]
+    fn unpartitioned_chip_renders_one_region() {
+        let chip = topology::square_grid(2, 2);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let art = render_partition(&chip, &plan);
+        assert_eq!(art.matches('A').count(), 4);
+    }
+
+    #[test]
+    fn labels_wrap_after_z() {
+        assert_eq!(label(0), 'A');
+        assert_eq!(label(25), 'Z');
+        assert_eq!(label(26), 'A');
+    }
+}

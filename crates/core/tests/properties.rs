@@ -1,0 +1,109 @@
+//! Property-based tests over the grouping, allocation and partitioning
+//! invariants of the YOUTIAO core.
+
+use proptest::prelude::*;
+use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+use youtiao_chip::topology;
+use youtiao_chip::QubitId;
+use youtiao_core::fdm::group_fdm;
+use youtiao_core::freq::{allocate_frequencies, FreqConfig};
+use youtiao_core::partition::{partition_chip, PartitionConfig};
+use youtiao_core::plan::crosstalk_matrix;
+use youtiao_core::tdm::{group_tdm, legal_pair, TdmConfig};
+use youtiao_core::YoutiaoPlanner;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FDM grouping partitions the qubit set for any capacity, with
+    /// exactly ceil(n / capacity) lines.
+    #[test]
+    fn fdm_grouping_partitions(rows in 2usize..6, cols in 2usize..6, cap in 1usize..8) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let lines = group_fdm(&chip, &eq, cap);
+        let n = chip.num_qubits();
+        prop_assert_eq!(lines.len(), n.div_ceil(cap));
+        let mut seen: Vec<QubitId> = lines.iter().flat_map(|l| l.qubits().to_vec()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n);
+        prop_assert!(lines.iter().all(|l| l.len() <= cap));
+    }
+
+    /// TDM grouping covers every device exactly once with only legal
+    /// pairs, for any threshold.
+    #[test]
+    fn tdm_grouping_is_legal_partition(rows in 2usize..5, cols in 2usize..5, theta in 0.0f64..10.0) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let groups = group_tdm(&chip, &xtalk, &TdmConfig { theta, ..Default::default() });
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(total, chip.num_z_devices());
+        for g in &groups {
+            let ds = g.devices();
+            prop_assert!(ds.len() <= g.level().channel_capacity());
+            for i in 0..ds.len() {
+                for j in (i + 1)..ds.len() {
+                    prop_assert!(legal_pair(&chip, ds[i], ds[j]));
+                }
+            }
+        }
+    }
+
+    /// Frequency allocation keeps every qubit inside the configured band
+    /// and never collides within a line, for any zone geometry that fits.
+    #[test]
+    fn frequency_allocation_in_band(rows in 2usize..5, cols in 2usize..5, cap in 2usize..6) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let lines = group_fdm(&chip, &eq, cap);
+        let cfg = FreqConfig::default();
+        let plan = allocate_frequencies(&chip, &lines, &xtalk, &cfg).unwrap();
+        for q in chip.qubit_ids() {
+            let f = plan.frequency_ghz(q);
+            prop_assert!(f >= cfg.band_ghz.0 && f <= cfg.band_ghz.1);
+        }
+        for line in &lines {
+            let qs = line.qubits();
+            for i in 0..qs.len() {
+                for j in (i + 1)..qs.len() {
+                    prop_assert!(
+                        (plan.frequency_ghz(qs[i]) - plan.frequency_ghz(qs[j])).abs() > 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    /// Partitioning covers every qubit exactly once for any region count
+    /// and seed.
+    #[test]
+    fn partition_covers(rows in 2usize..6, cols in 2usize..6, k in 1usize..6, seed in 0u64..1000) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let cfg = PartitionConfig { num_regions: k, seed, max_sweeps: 8 };
+        let p = partition_chip(&chip, &eq, &cfg);
+        let total: usize = p.regions().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, chip.num_qubits());
+        for q in chip.qubit_ids() {
+            prop_assert!(p.regions()[p.region_of(q)].contains(&q));
+        }
+    }
+
+    /// The full planner succeeds on any grid and always reduces coax
+    /// lines relative to dedicated wiring.
+    #[test]
+    fn planner_always_reduces_lines(rows in 2usize..6, cols in 2usize..6) {
+        let chip = topology::square_grid(rows, cols);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        prop_assert_eq!(plan.num_xy_lines(), chip.num_qubits().div_ceil(5));
+        prop_assert!(plan.num_z_lines() < chip.num_z_devices());
+        let fdm_total: usize = plan.fdm_lines().iter().map(|l| l.len()).sum();
+        prop_assert_eq!(fdm_total, chip.num_qubits());
+        let tdm_total: usize = plan.tdm_groups().iter().map(|g| g.len()).sum();
+        prop_assert_eq!(tdm_total, chip.num_z_devices());
+    }
+}

@@ -1,0 +1,27 @@
+//! Wiring resource counting and cost modelling for YOUTIAO.
+//!
+//! The paper's Tables 1–2 report, per wiring scheme: `#XY line`,
+//! `#Z line`, `DEMUX control`, `#DAC`, `wiring cost`, `#interface`. Those
+//! tables are linearly consistent with a simple resource model (see
+//! DESIGN.md §4), reverse-engineered here as [`constants`]:
+//!
+//! * a coaxial cryostat line costs **$1.6K**;
+//! * an RF DAC channel costs **$5K**;
+//! * a twisted-pair + digital-IO channel for DEMUX select costs **$125**;
+//! * readout is multiplexed 8× at the chip feedline and 4× at the DAC.
+//!
+//! [`tally::WiringTally`] counts all of these for the Google baseline and
+//! for a YOUTIAO [`WiringPlan`](youtiao_core::WiringPlan); [`scale`]
+//! extrapolates to the 10–100 000-qubit systems of Figure 17, including
+//! the IBM-chiplet comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod scale;
+pub mod tally;
+
+pub use crate::constants::*;
+pub use crate::scale::{ibm_chiplet, square_system, ScalingModel};
+pub use crate::tally::WiringTally;

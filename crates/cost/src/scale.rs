@@ -1,0 +1,210 @@
+//! Large-scale wiring estimation (Figure 17).
+//!
+//! Figure 17 extrapolates cable counts from 10 to 100 000 qubits on a
+//! square topology, and compares against IBM's chiplet scale-out (25 ×
+//! 133-qubit chips). Running the full planner at 10⁵ qubits is
+//! unnecessary: YOUTIAO's per-line occupancies converge quickly with
+//! chip size, so [`ScalingModel::calibrate`] measures them on moderate
+//! grids and extrapolates linearly in the device counts.
+
+use youtiao_chip::{topology, Chip};
+use youtiao_core::{PlannerConfig, YoutiaoPlanner};
+
+use crate::constants::{FDM_CAPACITY, READOUT_DAC_CAPACITY};
+use crate::tally::WiringTally;
+
+/// A square-topology quantum system of approximately `n` qubits.
+///
+/// Returns the concrete `(rows, cols)` grid closest to `n` and its
+/// qubit/coupler counts without materializing huge chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquareSystem {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+}
+
+impl SquareSystem {
+    /// Number of qubits.
+    pub fn qubits(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of nearest-neighbour couplers.
+    pub fn couplers(&self) -> usize {
+        2 * self.rows * self.cols - self.rows - self.cols
+    }
+
+    /// Google-baseline coax count with readout coax multiplexed at
+    /// `readout_capacity` qubits per line (Figure 17 counts readout coax
+    /// at the DAC capacity of 4; Tables 1–2 use the feedline capacity 8).
+    pub fn google_coax(&self, readout_capacity: usize) -> usize {
+        let q = self.qubits();
+        q + (q + self.couplers()) + q.div_ceil(readout_capacity)
+    }
+}
+
+/// The square system holding at least `n` qubits with the most even
+/// aspect ratio.
+pub fn square_system(n: usize) -> SquareSystem {
+    assert!(n > 0, "system needs at least one qubit");
+    let rows = (n as f64).sqrt().floor() as usize;
+    let rows = rows.max(1);
+    let cols = n.div_ceil(rows);
+    SquareSystem { rows, cols }
+}
+
+/// Per-line occupancies of YOUTIAO plans, measured on real planner runs
+/// and reused for extrapolation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingModel {
+    /// Average Z devices per TDM line.
+    pub z_devices_per_line: f64,
+    /// Average DEMUX select lines per TDM line.
+    pub select_per_line: f64,
+}
+
+impl ScalingModel {
+    /// Calibrates occupancies by running the full planner on `k × k`
+    /// grids for each `k` in `grid_sizes`.
+    ///
+    /// Uses the wiring-minimizing DEMUX threshold (θ = 8, favouring 1:4
+    /// multiplexers): on large uniform grids every device's parallelism
+    /// index exceeds the default θ = 4, and the scaling study's goal is
+    /// minimum cable count (Figure 16 shows θ is the tuning knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_sizes` is empty or a plan fails.
+    pub fn calibrate(grid_sizes: &[usize]) -> Self {
+        assert!(!grid_sizes.is_empty(), "need at least one calibration size");
+        let mut devices_ratio = 0.0;
+        let mut select_ratio = 0.0;
+        for &k in grid_sizes {
+            let chip = topology::square_grid(k, k);
+            let mut config = PlannerConfig::default();
+            config.tdm.theta = 8.0;
+            let plan = YoutiaoPlanner::new(&chip)
+                .with_config(config)
+                .plan()
+                .expect("planner succeeds on square grids");
+            let lines = plan.num_z_lines() as f64;
+            devices_ratio += chip.num_z_devices() as f64 / lines;
+            select_ratio += plan.demux_select_lines() as f64 / lines;
+        }
+        ScalingModel {
+            z_devices_per_line: devices_ratio / grid_sizes.len() as f64,
+            select_per_line: select_ratio / grid_sizes.len() as f64,
+        }
+    }
+
+    /// Estimated YOUTIAO tally for a square system of ~`n` qubits.
+    pub fn youtiao_tally(&self, n: usize) -> WiringTally {
+        let sys = square_system(n);
+        let q = sys.qubits();
+        let z_devices = q + sys.couplers();
+        let z_lines = ((z_devices as f64 / self.z_devices_per_line).ceil() as usize).max(1);
+        WiringTally {
+            xy_lines: q.div_ceil(FDM_CAPACITY),
+            z_lines,
+            readout_feedlines: q.div_ceil(READOUT_DAC_CAPACITY),
+            readout_dacs: q.div_ceil(READOUT_DAC_CAPACITY),
+            demux_select_lines: (z_lines as f64 * self.select_per_line).round() as usize,
+        }
+    }
+
+    /// Estimated Google tally for a square system of ~`n` qubits,
+    /// counting readout coax at the Figure-17 convention (4 per line).
+    pub fn google_tally(&self, n: usize) -> WiringTally {
+        let sys = square_system(n);
+        let q = sys.qubits();
+        WiringTally {
+            xy_lines: q,
+            z_lines: q + sys.couplers(),
+            readout_feedlines: q.div_ceil(READOUT_DAC_CAPACITY),
+            readout_dacs: q.div_ceil(READOUT_DAC_CAPACITY),
+            demux_select_lines: 0,
+        }
+    }
+}
+
+/// IBM chiplet scale-out model: `copies` interconnected 133-qubit
+/// heavy-hexagon chips, each wired Google-style (dedicated lines,
+/// readout multiplexed 4×) — the paper's Figure 17 (c) comparator.
+///
+/// Returns `(total_qubits, total_coax)`.
+pub fn ibm_chiplet(copies: usize) -> (usize, usize) {
+    // A 4×5-cell heavy-hexagon patch has 135 qubits — the closest match
+    // to IBM's 133-qubit Heron-class chips our generator produces.
+    let chip = ibm_chiplet_chip();
+    let q = chip.num_qubits();
+    let coax = q + chip.num_z_devices() + q.div_ceil(READOUT_DAC_CAPACITY);
+    (q * copies, coax * copies)
+}
+
+/// The single-chip layout used by [`ibm_chiplet`].
+pub fn ibm_chiplet_chip() -> Chip {
+    topology::heavy_hexagon(4, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_system_shapes() {
+        let s = square_system(150);
+        assert_eq!((s.rows, s.cols), (12, 13));
+        assert_eq!(s.qubits(), 156);
+        assert_eq!(s.couplers(), 2 * 156 - 25);
+        let s9 = square_system(9);
+        assert_eq!((s9.rows, s9.cols), (3, 3));
+        assert_eq!(s9.couplers(), 12);
+    }
+
+    #[test]
+    fn google_coax_near_paper_613_at_150_qubits() {
+        // Figure 17 (b): 613 coax for a 150-qubit square system.
+        // Exact decomposition at 10×15: 150 + 425 + 38 = 613.
+        let s = SquareSystem { rows: 10, cols: 15 };
+        assert_eq!(s.google_coax(READOUT_DAC_CAPACITY), 613);
+    }
+
+    #[test]
+    fn calibration_gives_sensible_occupancies() {
+        let m = ScalingModel::calibrate(&[6]);
+        assert!(m.z_devices_per_line > 1.5, "{:?}", m);
+        assert!(m.z_devices_per_line <= 4.0, "{:?}", m);
+        assert!(m.select_per_line <= 2.0);
+    }
+
+    #[test]
+    fn youtiao_beats_google_at_scale() {
+        let m = ScalingModel::calibrate(&[6]);
+        for n in [100usize, 1000, 10_000] {
+            let y = m.youtiao_tally(n).coax_lines();
+            let g = m.google_tally(n).coax_lines();
+            let ratio = g as f64 / y as f64;
+            assert!(ratio > 2.0, "at n={n}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn ibm_chiplet_counts() {
+        let (q, coax) = ibm_chiplet(25);
+        assert_eq!(q % 25, 0);
+        let per_chip_q = q / 25;
+        assert!(
+            (120..=145).contains(&per_chip_q),
+            "per-chip qubits {per_chip_q}"
+        );
+        assert!(coax > q * 2, "chiplet wiring is dedicated per device");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_system_panics() {
+        let _ = square_system(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The wiring resource tally behind every cost row of Tables 1–2.
+
+use youtiao_chip::Chip;
+use youtiao_core::WiringPlan;
+
+use crate::constants::{
+    COAX_COST_KUSD, READOUT_DAC_CAPACITY, READOUT_FEEDLINE_CAPACITY, RF_DAC_COST_KUSD,
+    TWISTED_PAIR_COST_KUSD,
+};
+
+/// Line, DAC and interface counts for one wiring scheme on one chip.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::topology;
+/// use youtiao_cost::WiringTally;
+///
+/// // Table 2, heavy-square column (Google baseline).
+/// let chip = topology::heavy_square(3, 3);
+/// let t = WiringTally::google(&chip);
+/// assert_eq!(t.xy_lines, 21);
+/// assert_eq!(t.z_lines, 45);
+/// assert_eq!(t.dac_channels(), 72);
+/// assert_eq!(t.interfaces(), 69);
+/// assert!((t.cost_kusd() - 470.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WiringTally {
+    /// Coaxial XY control lines.
+    pub xy_lines: usize,
+    /// Coaxial Z control lines.
+    pub z_lines: usize,
+    /// Multiplexed readout feedlines (coax).
+    pub readout_feedlines: usize,
+    /// Readout DAC channels.
+    pub readout_dacs: usize,
+    /// DEMUX digital select channels (twisted pair).
+    pub demux_select_lines: usize,
+}
+
+impl WiringTally {
+    /// Tally for the Google-style baseline: dedicated XY/Z per device,
+    /// readout multiplexed only.
+    pub fn google(chip: &Chip) -> Self {
+        let q = chip.num_qubits();
+        WiringTally {
+            xy_lines: q,
+            z_lines: chip.num_z_devices(),
+            readout_feedlines: q.div_ceil(READOUT_FEEDLINE_CAPACITY),
+            readout_dacs: q.div_ceil(READOUT_DAC_CAPACITY),
+            demux_select_lines: 0,
+        }
+    }
+
+    /// Tally for a YOUTIAO wiring plan.
+    pub fn youtiao(plan: &WiringPlan) -> Self {
+        let q: usize = plan.readout_lines().iter().map(Vec::len).sum();
+        WiringTally {
+            xy_lines: plan.num_xy_lines(),
+            z_lines: plan.num_z_lines(),
+            readout_feedlines: plan.num_readout_lines(),
+            readout_dacs: q.div_ceil(READOUT_DAC_CAPACITY),
+            demux_select_lines: plan.demux_select_lines(),
+        }
+    }
+
+    /// Total coaxial cryostat lines (XY + Z + readout feedlines) — the
+    /// paper's "coaxial wiring" figure.
+    pub fn coax_lines(&self) -> usize {
+        self.xy_lines + self.z_lines + self.readout_feedlines
+    }
+
+    /// RF DAC channels (XY + Z + readout).
+    pub fn rf_dacs(&self) -> usize {
+        self.xy_lines + self.z_lines + self.readout_dacs
+    }
+
+    /// The paper's `#DAC` column: RF DAC channels plus DEMUX digital
+    /// select channels.
+    pub fn dac_channels(&self) -> usize {
+        self.rf_dacs() + self.demux_select_lines
+    }
+
+    /// The paper's `#interface` column: every coax line plus every
+    /// select line needs a chip interface pad.
+    pub fn interfaces(&self) -> usize {
+        self.coax_lines() + self.demux_select_lines
+    }
+
+    /// Wiring cost in thousands of USD under the calibrated model.
+    pub fn cost_kusd(&self) -> f64 {
+        self.coax_lines() as f64 * COAX_COST_KUSD
+            + self.rf_dacs() as f64 * RF_DAC_COST_KUSD
+            + self.demux_select_lines as f64 * TWISTED_PAIR_COST_KUSD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+    use youtiao_core::YoutiaoPlanner;
+
+    #[test]
+    fn google_tallies_match_table2() {
+        // (chip, xy, z, dac, interface, cost $K)
+        let cases: Vec<(youtiao_chip::Chip, usize, usize, usize, usize, f64)> = vec![
+            (topology::square_grid(3, 3), 9, 21, 33, 32, 216.2),
+            (topology::hexagon_patch(2, 2), 16, 35, 55, 53, 359.8),
+            (topology::heavy_square(3, 3), 21, 45, 72, 69, 470.4),
+            (topology::heavy_hexagon(1, 2), 21, 43, 70, 67, 457.2),
+            (topology::low_density(3, 6), 18, 36, 59, 57, 386.2),
+        ];
+        for (chip, xy, z, dac, iface, cost) in cases {
+            let t = WiringTally::google(&chip);
+            assert_eq!(t.xy_lines, xy, "{}", chip.name());
+            assert_eq!(t.z_lines, z, "{}", chip.name());
+            assert_eq!(t.dac_channels(), dac, "{}", chip.name());
+            assert_eq!(t.interfaces(), iface, "{}", chip.name());
+            assert!(
+                (t.cost_kusd() - cost).abs() < 1.0,
+                "{}: {}",
+                chip.name(),
+                t.cost_kusd()
+            );
+        }
+    }
+
+    #[test]
+    fn youtiao_tally_reduces_everything() {
+        let chip = topology::heavy_square(3, 3);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let y = WiringTally::youtiao(&plan);
+        let g = WiringTally::google(&chip);
+        assert!(y.xy_lines < g.xy_lines);
+        assert!(y.z_lines < g.z_lines);
+        assert!(y.coax_lines() < g.coax_lines());
+        assert!(y.cost_kusd() < g.cost_kusd());
+        assert!(y.interfaces() < g.interfaces());
+        assert_eq!(y.xy_lines, 5); // ceil(21/5), paper's YOUTIAO value
+    }
+
+    #[test]
+    fn youtiao_xy_reduction_matches_paper_ratios() {
+        // Paper: 4.2x XY reduction on average with capacity 5.
+        let mut ratios = Vec::new();
+        for chip in topology::paper_suite() {
+            let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+            let y = WiringTally::youtiao(&plan);
+            let g = WiringTally::google(&chip);
+            ratios.push(g.xy_lines as f64 / y.xy_lines as f64);
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((avg - 4.2).abs() < 0.4, "avg XY reduction {avg}");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_lines() {
+        let small = WiringTally {
+            xy_lines: 2,
+            z_lines: 7,
+            readout_feedlines: 2,
+            readout_dacs: 3,
+            demux_select_lines: 11,
+        };
+        let big = WiringTally {
+            xy_lines: 9,
+            ..small
+        };
+        assert!(big.cost_kusd() > small.cost_kusd());
+        // Paper's square-topology YOUTIAO row: $79K.
+        assert!(
+            (small.cost_kusd() - 79.0).abs() < 1.0,
+            "{}",
+            small.cost_kusd()
+        );
+    }
+}

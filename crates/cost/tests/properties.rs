@@ -1,0 +1,100 @@
+//! Property-based tests for the cost model.
+
+use proptest::prelude::*;
+use youtiao_chip::topology;
+use youtiao_core::YoutiaoPlanner;
+use youtiao_cost::scale::{square_system, ScalingModel};
+use youtiao_cost::WiringTally;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Google tallies follow the closed forms on any grid.
+    #[test]
+    fn google_tally_closed_forms(rows in 1usize..7, cols in 1usize..7) {
+        let chip = topology::square_grid(rows, cols);
+        let t = WiringTally::google(&chip);
+        let q = rows * cols;
+        prop_assert_eq!(t.xy_lines, q);
+        prop_assert_eq!(t.z_lines, q + chip.num_couplers());
+        prop_assert_eq!(t.readout_feedlines, q.div_ceil(8));
+        prop_assert_eq!(t.readout_dacs, q.div_ceil(4));
+        prop_assert_eq!(t.demux_select_lines, 0);
+        prop_assert_eq!(t.dac_channels(), t.rf_dacs());
+        prop_assert_eq!(t.interfaces(), t.coax_lines());
+        prop_assert!(t.cost_kusd() > 0.0);
+    }
+
+    /// YOUTIAO never uses more resources than dedicated wiring, on any
+    /// grid large enough to multiplex.
+    #[test]
+    fn youtiao_dominates_google(rows in 2usize..6, cols in 2usize..6) {
+        let chip = topology::square_grid(rows, cols);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let y = WiringTally::youtiao(&plan);
+        let g = WiringTally::google(&chip);
+        prop_assert!(y.xy_lines <= g.xy_lines);
+        prop_assert!(y.z_lines <= g.z_lines);
+        prop_assert!(y.coax_lines() <= g.coax_lines());
+        prop_assert!(y.cost_kusd() <= g.cost_kusd());
+    }
+
+    /// Cost is monotone in every resource dimension.
+    #[test]
+    fn cost_is_monotone(
+        xy in 0usize..100,
+        z in 0usize..300,
+        ro in 0usize..20,
+        dacs in 0usize..40,
+        sel in 0usize..80,
+        bump in 1usize..10,
+    ) {
+        let base = WiringTally {
+            xy_lines: xy,
+            z_lines: z,
+            readout_feedlines: ro,
+            readout_dacs: dacs,
+            demux_select_lines: sel,
+        };
+        for grown in [
+            WiringTally { xy_lines: xy + bump, ..base },
+            WiringTally { z_lines: z + bump, ..base },
+            WiringTally { demux_select_lines: sel + bump, ..base },
+        ] {
+            prop_assert!(grown.cost_kusd() > base.cost_kusd());
+            prop_assert!(grown.coax_lines() >= base.coax_lines());
+        }
+    }
+
+    /// Square systems always hold at least the requested qubits with a
+    /// near-square aspect ratio.
+    #[test]
+    fn square_system_holds_request(n in 1usize..100_000) {
+        let s = square_system(n);
+        prop_assert!(s.qubits() >= n);
+        prop_assert!(s.cols >= s.rows);
+        prop_assert!(s.cols - s.rows <= s.rows + 1, "aspect {}x{}", s.rows, s.cols);
+        // Coupler closed form for grids.
+        prop_assert_eq!(s.couplers(), 2 * s.rows * s.cols - s.rows - s.cols);
+    }
+
+    /// The scaling model's estimates grow monotonically with system size.
+    #[test]
+    fn scaling_is_monotone(n in 50usize..5_000, factor in 2usize..5) {
+        let model = ScalingModel {
+            z_devices_per_line: 3.5,
+            select_per_line: 1.8,
+        };
+        let small = model.youtiao_tally(n);
+        let large = model.youtiao_tally(n * factor);
+        prop_assert!(large.coax_lines() > small.coax_lines());
+        prop_assert!(large.cost_kusd() > small.cost_kusd());
+        let g_small = model.google_tally(n);
+        let g_large = model.google_tally(n * factor);
+        prop_assert!(g_large.coax_lines() > g_small.coax_lines());
+        // The reduction factor stays roughly stable at scale.
+        let r_small = g_small.coax_lines() as f64 / small.coax_lines() as f64;
+        let r_large = g_large.coax_lines() as f64 / large.coax_lines() as f64;
+        prop_assert!((r_small - r_large).abs() < 1.0);
+    }
+}

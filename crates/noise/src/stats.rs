@@ -1,0 +1,220 @@
+//! Statistics helpers: MSE, histograms, and Jensen–Shannon divergence.
+//!
+//! The JS divergence is the metric Figure 12 of the paper uses to compare
+//! the predicted noise distributions of crosstalk models trained on
+//! different chips (a minimum of 0.06 indicates high similarity).
+
+/// Mean of a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of zero samples");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Mean squared error between predictions and ground truth (§4.1's
+/// `E(a, b)` objective).
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn mse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "mse of zero samples");
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// A normalized histogram (discrete probability distribution) over a fixed
+/// range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    probabilities: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a `bins`-bucket normalized histogram of `values` over
+    /// `[lo, hi]`. Values outside the range clamp to the end bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo >= hi`, or `values` is empty.
+    pub fn build(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(!values.is_empty(), "histogram of zero samples");
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let idx = ((t * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let total = values.len() as f64;
+        Histogram {
+            lo,
+            hi,
+            probabilities: counts.into_iter().map(|c| c as f64 / total).collect(),
+        }
+    }
+
+    /// The per-bin probabilities (sum to 1).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits, skipping zero-mass bins
+/// of `p` (conventional 0·log 0 = 0).
+///
+/// Bins where `p > 0` but `q = 0` contribute infinity; use
+/// [`js_divergence`] for a bounded symmetric metric.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else if qi <= 0.0 {
+                f64::INFINITY
+            } else {
+                pi * (pi / qi).log2()
+            }
+        })
+        .sum()
+}
+
+/// Jensen–Shannon divergence between two discrete distributions, in bits.
+///
+/// Symmetric, finite, and bounded in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_noise::stats::js_divergence;
+/// let p = [0.5, 0.5];
+/// assert_eq!(js_divergence(&p, &p), 0.0);
+/// assert!((js_divergence(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(a, b)| (a + b) / 2.0).collect();
+    (kl_divergence(p, &m) + kl_divergence(q, &m)) / 2.0
+}
+
+/// Jensen–Shannon divergence between two empirical samples, histogrammed
+/// over their joint range with `bins` buckets.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or `bins == 0`.
+pub fn js_divergence_of_samples(a: &[f64], b: &[f64], bins: usize) -> f64 {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "js divergence of zero samples"
+    );
+    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
+    // Degenerate case: all samples identical -> identical distributions.
+    if lo == hi {
+        return 0.0;
+    }
+    let ha = Histogram::build(a, lo, hi, bins);
+    let hb = Histogram::build(b, lo, hi, bins);
+    js_divergence(ha.probabilities(), hb.probabilities())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_mse_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn histogram_normalizes() {
+        let h = Histogram::build(&[0.0, 0.5, 1.0, 1.0], 0.0, 1.0, 2);
+        let sum: f64 = h.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(h.probabilities().len(), 2);
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 1.0);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let h = Histogram::build(&[-5.0, 10.0], 0.0, 1.0, 4);
+        assert_eq!(h.probabilities()[0], 0.5);
+        assert_eq!(h.probabilities()[3], 0.5);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        assert!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0]).is_infinite());
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0 && d1 < 1.0);
+    }
+
+    #[test]
+    fn js_of_samples_near_zero_for_same_distribution() {
+        let a: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let b = a.clone();
+        assert!(js_divergence_of_samples(&a, &b, 10) < 1e-12);
+    }
+
+    #[test]
+    fn js_of_samples_large_for_disjoint() {
+        let a = vec![0.0; 100];
+        let b = vec![1.0; 100];
+        assert!((js_divergence_of_samples(&a, &b, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn js_of_identical_constants_is_zero() {
+        assert_eq!(js_divergence_of_samples(&[2.0, 2.0], &[2.0], 8), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! CART regression trees over a single scalar feature.
+//!
+//! The paper regresses crosstalk against the scalar equivalent distance,
+//! so the trees here are one-dimensional: each internal node splits on a
+//! threshold of the feature, each leaf predicts the mean of its training
+//! targets. Splits greedily minimize the summed squared error of the two
+//! children (equivalently, maximize variance reduction).
+
+/// Hyper-parameters of a regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        prediction: f64,
+    },
+    Split {
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted one-dimensional regression tree.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_noise::tree::{RegressionTree, TreeConfig};
+///
+/// // A step function is learned exactly.
+/// let xs = [0.0, 1.0, 2.0, 10.0, 11.0, 12.0];
+/// let ys = [5.0, 5.0, 5.0, 1.0, 1.0, 1.0];
+/// let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+/// assert_eq!(tree.predict(1.5), 5.0);
+/// assert_eq!(tree.predict(11.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    root: Node,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` have different lengths or are empty.
+    pub fn fit(xs: &[f64], ys: &[f64], config: TreeConfig) -> Self {
+        assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
+        assert!(!xs.is_empty(), "cannot fit a tree to zero samples");
+        // Sort once by feature; recursion then works on contiguous slices.
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+        let sx: Vec<f64> = order.iter().map(|&i| xs[i]).collect();
+        let sy: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+        RegressionTree {
+            root: build(&sx, &sy, 0, config),
+        }
+    }
+
+    /// Predicts the target value for feature `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prediction } => return *prediction,
+                Node::Split {
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves in the tree.
+    pub fn num_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+/// Recursively builds a node over the sorted slice `(xs, ys)`.
+fn build(xs: &[f64], ys: &[f64], depth: usize, config: TreeConfig) -> Node {
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    if depth >= config.max_depth || ys.len() < config.min_samples_split {
+        return Node::Leaf { prediction: mean };
+    }
+    match best_split(xs, ys) {
+        None => Node::Leaf { prediction: mean },
+        Some(split_idx) => {
+            let threshold = (xs[split_idx - 1] + xs[split_idx]) / 2.0;
+            let left = build(&xs[..split_idx], &ys[..split_idx], depth + 1, config);
+            let right = build(&xs[split_idx..], &ys[split_idx..], depth + 1, config);
+            Node::Split {
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+    }
+}
+
+/// Finds the split index minimizing the children's summed squared error.
+///
+/// Returns `None` when no split separates distinct feature values or no
+/// split improves on the parent. Uses prefix sums for an O(n) scan.
+fn best_split(xs: &[f64], ys: &[f64]) -> Option<usize> {
+    let n = ys.len();
+    let total_sum: f64 = ys.iter().sum();
+    let total_sq: f64 = ys.iter().map(|y| y * y).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best: Option<(usize, f64)> = None;
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    for i in 1..n {
+        left_sum += ys[i - 1];
+        left_sq += ys[i - 1] * ys[i - 1];
+        // A split between equal feature values is not realizable.
+        if xs[i - 1] == xs[i] {
+            continue;
+        }
+        let right_sum = total_sum - left_sum;
+        let right_sq = total_sq - left_sq;
+        let sse = (left_sq - left_sum * left_sum / i as f64)
+            + (right_sq - right_sum * right_sum / (n - i) as f64);
+        if best.map_or(sse < parent_sse - 1e-15, |(_, b)| sse < b) {
+            best = Some((i, sse));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_is_constant() {
+        let tree = RegressionTree::fit(&[1.0], &[3.5], TreeConfig::default());
+        assert_eq!(tree.predict(0.0), 3.5);
+        assert_eq!(tree.predict(100.0), 3.5);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn constant_targets_never_split() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys = vec![2.0; 50];
+        let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.predict(25.0), 2.0);
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0];
+        let ys = [4.0, 4.0, 4.0, 4.0, -1.0, -1.0, -1.0, -1.0];
+        let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+        assert_eq!(tree.predict(2.0), 4.0);
+        assert_eq!(tree.predict(12.0), -1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [12.0, 0.0, 11.0, 1.0, 13.0, 2.0, 10.0, 3.0];
+        let ys = [-1.0, 4.0, -1.0, 4.0, -1.0, 4.0, -1.0, 4.0];
+        let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+        assert_eq!(tree.predict(2.0), 4.0);
+        assert_eq!(tree.predict(12.0), -1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let xs: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..128).map(|i| (i as f64).sin()).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_samples_split: 2,
+        };
+        let tree = RegressionTree::fit(&xs, &ys, cfg);
+        assert!(tree.depth() <= 3);
+        assert!(tree.num_leaves() <= 8);
+    }
+
+    #[test]
+    fn min_samples_split_respected() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..8).map(|i| i as f64 * 2.0).collect();
+        let cfg = TreeConfig {
+            max_depth: 20,
+            min_samples_split: 9,
+        };
+        let tree = RegressionTree::fit(&xs, &ys, cfg);
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn duplicate_features_do_not_split_between_equal_values() {
+        let xs = [1.0, 1.0, 1.0, 1.0];
+        let ys = [0.0, 10.0, 0.0, 10.0];
+        let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.predict(1.0), 5.0);
+    }
+
+    #[test]
+    fn approximates_monotone_function() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (-x).exp()).collect();
+        let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+        // Predictions should preserve ordering at well-separated points.
+        assert!(tree.predict(0.5) > tree.predict(5.0));
+        assert!(tree.predict(2.0) > tree.predict(8.0));
+        // And be close in absolute terms.
+        for &x in &[0.5, 2.0, 5.0, 8.0] {
+            assert!((tree.predict(x) - (-x).exp()).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = RegressionTree::fit(&[1.0, 2.0], &[1.0], TreeConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_input_panics() {
+        let _ = RegressionTree::fit(&[], &[], TreeConfig::default());
+    }
+}

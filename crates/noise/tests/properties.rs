@@ -1,0 +1,88 @@
+//! Property-based tests for the regression stack and statistics.
+
+use proptest::prelude::*;
+use youtiao_noise::forest::{RandomForest, RandomForestConfig};
+use youtiao_noise::stats::{js_divergence, js_divergence_of_samples, mse, Histogram};
+use youtiao_noise::tree::{RegressionTree, TreeConfig};
+
+fn finite_xy(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-100.0f64..100.0, n..=n),
+        proptest::collection::vec(-100.0f64..100.0, n..=n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree predictions never leave the convex hull of the training
+    /// targets (each leaf predicts a mean).
+    #[test]
+    fn tree_predictions_bounded((xs, ys) in finite_xy(24), probe in -200.0f64..200.0) {
+        let tree = RegressionTree::fit(&xs, &ys, TreeConfig::default());
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = tree.predict(probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Forest predictions are likewise bounded (means of tree means).
+    #[test]
+    fn forest_predictions_bounded((xs, ys) in finite_xy(16), probe in -200.0f64..200.0) {
+        let config = RandomForestConfig { num_trees: 5, ..Default::default() };
+        let forest = RandomForest::fit(&xs, &ys, config);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = forest.predict(probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// A tree with unlimited depth interpolates distinct training points
+    /// exactly.
+    #[test]
+    fn deep_tree_interpolates(ys in proptest::collection::vec(-10.0f64..10.0, 8)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let cfg = TreeConfig { max_depth: 32, min_samples_split: 2 };
+        let tree = RegressionTree::fit(&xs, &ys, cfg);
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((tree.predict(*x) - y).abs() < 1e-9);
+        }
+    }
+
+    /// MSE is non-negative and zero only for identical vectors.
+    #[test]
+    fn mse_properties((a, b) in finite_xy(12)) {
+        prop_assert!(mse(&a, &b) >= 0.0);
+        prop_assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    /// Histograms are normalized probability vectors.
+    #[test]
+    fn histogram_normalizes(values in proptest::collection::vec(-5.0f64..5.0, 1..60), bins in 1usize..20) {
+        let h = Histogram::build(&values, -5.0, 5.0, bins);
+        let sum: f64 = h.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(h.probabilities().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// JS divergence is symmetric and bounded in [0, 1] bits.
+    #[test]
+    fn js_divergence_bounds(raw_p in proptest::collection::vec(0.01f64..1.0, 6), raw_q in proptest::collection::vec(0.01f64..1.0, 6)) {
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect()
+        };
+        let p = norm(&raw_p);
+        let q = norm(&raw_q);
+        let d = js_divergence(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((d - js_divergence(&q, &p)).abs() < 1e-12);
+        prop_assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    /// Sample-level JS of a distribution with itself is zero.
+    #[test]
+    fn js_samples_self_zero(values in proptest::collection::vec(-3.0f64..3.0, 2..40)) {
+        prop_assert!(js_divergence_of_samples(&values, &values, 8) < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! CZ gate fidelity under spectator ZZ crosstalk.
+//!
+//! During a coupler-activated CZ, an always-on ZZ coupling `ζ` between a
+//! gate qubit and a spectator shifts the gate qubit's frequency
+//! conditionally on the spectator's state, so the conditional phase
+//! acquires an error `φ = 2π ζ t_gate`. The error is diagonal, so the
+//! average gate fidelity has a closed form — no integration needed:
+//!
+//! ```text
+//! F(φ) = (|3 + e^{iφ}|² + 4) / 20
+//! ```
+//!
+//! which is `1` at `φ = 0` and `0.6` at `φ = π`. This is the pulse-level
+//! justification for the ZZ-driven *noisy non-parallelism* rule: gates
+//! whose qubits see large mutual ζ should not run simultaneously.
+
+/// Average CZ gate fidelity for a conditional-phase error of `phi`
+/// radians on the `|11⟩` amplitude.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_pulse::cz::cz_fidelity_with_phase_error;
+/// assert!((cz_fidelity_with_phase_error(0.0) - 1.0).abs() < 1e-12);
+/// assert!(cz_fidelity_with_phase_error(0.3) < 1.0);
+/// ```
+pub fn cz_fidelity_with_phase_error(phi: f64) -> f64 {
+    // |3 + e^{iφ}|² = 9 + 6 cos φ + 1
+    let tr2 = 10.0 + 6.0 * phi.cos();
+    (tr2 + 4.0) / 20.0
+}
+
+/// Average CZ fidelity when a spectator with ZZ coupling `zeta_mhz`
+/// (MHz) sits in its worst-case state for the whole `gate_ns` gate.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_pulse::cz::cz_fidelity_under_zz;
+/// // A typical parked ZZ of 50 kHz over a 60 ns CZ barely matters...
+/// assert!(cz_fidelity_under_zz(0.05, 60.0) > 0.9999);
+/// // ...but an unsuppressed 1 MHz ZZ costs real fidelity.
+/// assert!(cz_fidelity_under_zz(1.0, 60.0) < 0.999);
+/// ```
+pub fn cz_fidelity_under_zz(zeta_mhz: f64, gate_ns: f64) -> f64 {
+    let phi = 2.0 * std::f64::consts::PI * zeta_mhz * gate_ns * 1e-3;
+    cz_fidelity_with_phase_error(phi)
+}
+
+/// The largest spectator ZZ coupling (MHz) tolerable for a `gate_ns` CZ
+/// at a target infidelity budget.
+///
+/// Inverts [`cz_fidelity_under_zz`] on its monotone branch (`φ < π`).
+///
+/// # Panics
+///
+/// Panics if the budget is not in `(0, 0.4)` (the closed form's range).
+pub fn max_tolerable_zz_mhz(gate_ns: f64, infidelity_budget: f64) -> f64 {
+    assert!(
+        infidelity_budget > 0.0 && infidelity_budget < 0.4,
+        "budget must be within the fidelity formula's range"
+    );
+    // F = (14 + 6 cos φ)/20  =>  cos φ = (20(1 - budget) - 14)/6
+    let cos_phi = (20.0 * (1.0 - infidelity_budget) - 14.0) / 6.0;
+    let phi = cos_phi.clamp(-1.0, 1.0).acos();
+    phi / (2.0 * std::f64::consts::PI * gate_ns * 1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_at_zero_phase() {
+        assert!((cz_fidelity_with_phase_error(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn worst_case_at_pi() {
+        let f = cz_fidelity_with_phase_error(std::f64::consts::PI);
+        assert!((f - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decreasing_up_to_pi() {
+        let mut prev = 1.0;
+        for k in 1..=20 {
+            let phi = std::f64::consts::PI * k as f64 / 20.0;
+            let f = cz_fidelity_with_phase_error(phi);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn small_phase_expansion() {
+        // F = 1 − (6/20)(1 − cos φ) ≈ 1 − 0.15 φ² for small φ.
+        let phi = 0.01;
+        let f = cz_fidelity_with_phase_error(phi);
+        assert!((f - (1.0 - 0.15 * phi * phi)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zz_scaling() {
+        let weak = cz_fidelity_under_zz(0.1, 60.0);
+        let strong = cz_fidelity_under_zz(2.0, 60.0);
+        assert!(weak > strong);
+        let short = cz_fidelity_under_zz(1.0, 30.0);
+        let long = cz_fidelity_under_zz(1.0, 120.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn tolerable_zz_inverts_the_fidelity() {
+        let gate_ns = 60.0;
+        for budget in [1e-4, 1e-3, 1e-2] {
+            let zeta = max_tolerable_zz_mhz(gate_ns, budget);
+            let f = cz_fidelity_under_zz(zeta, gate_ns);
+            assert!(
+                ((1.0 - f) - budget).abs() < budget * 0.01,
+                "budget {budget}: infidelity {}",
+                1.0 - f
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // The paper's 2q gates are calibrated to 99.73%; an unsuppressed
+        // ~2.3 MHz spectator ZZ alone would eat that entire budget in
+        // one 60 ns gate.
+        let zeta = max_tolerable_zz_mhz(60.0, 2.7e-3);
+        assert!(zeta > 0.1 && zeta < 5.0, "zeta {zeta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn absurd_budget_panics() {
+        let _ = max_tolerable_zz_mhz(60.0, 0.9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cryogenic band-pass filter model for shared FDM lines.
+//!
+//! FDM XY control relies on per-qubit band-pass filters for signal
+//! isolation (§2.2, Figure 2 of the paper). We model the amplitude
+//! response as an order-`n` Butterworth band-pass centred on the qubit's
+//! channel: `|H(f)| = 1 / sqrt(1 + ((f − f₀) / (BW/2))^{2n})`.
+
+/// Amplitude response of a cryogenic band-pass filter.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_pulse::BandpassFilter;
+/// let filt = BandpassFilter::new(5.0, 0.2, 2);
+/// assert!((filt.amplitude(5.0) - 1.0).abs() < 1e-12);
+/// assert!(filt.amplitude(6.0) < 0.01); // 1 GHz away: heavily attenuated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandpassFilter {
+    center_ghz: f64,
+    bandwidth_ghz: f64,
+    order: u32,
+}
+
+impl BandpassFilter {
+    /// Creates a filter centred at `center_ghz` with full `bandwidth_ghz`
+    /// passband and Butterworth `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_ghz <= 0` or `order == 0`.
+    pub fn new(center_ghz: f64, bandwidth_ghz: f64, order: u32) -> Self {
+        assert!(bandwidth_ghz > 0.0, "bandwidth must be positive");
+        assert!(order > 0, "filter order must be positive");
+        BandpassFilter {
+            center_ghz,
+            bandwidth_ghz,
+            order,
+        }
+    }
+
+    /// The default filter of the FDM line model: 100 MHz passband,
+    /// second-order, matching the −30 dB inter-channel isolation target
+    /// the paper quotes at typical channel spacings.
+    pub fn default_for_channel(center_ghz: f64) -> Self {
+        BandpassFilter::new(center_ghz, 0.1, 2)
+    }
+
+    /// Passband centre in GHz.
+    pub fn center_ghz(&self) -> f64 {
+        self.center_ghz
+    }
+
+    /// Full passband width in GHz.
+    pub fn bandwidth_ghz(&self) -> f64 {
+        self.bandwidth_ghz
+    }
+
+    /// Amplitude transmission at `freq_ghz`, in `(0, 1]`.
+    pub fn amplitude(&self, freq_ghz: f64) -> f64 {
+        let x = (freq_ghz - self.center_ghz) / (self.bandwidth_ghz / 2.0);
+        1.0 / (1.0 + x.powi(2 * self.order as i32)).sqrt()
+    }
+
+    /// Power attenuation at `freq_ghz`, in decibels (0 at centre,
+    /// negative elsewhere).
+    pub fn attenuation_db(&self, freq_ghz: f64) -> f64 {
+        20.0 * self.amplitude(freq_ghz).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_at_center() {
+        let f = BandpassFilter::new(5.5, 0.1, 2);
+        assert!((f.amplitude(5.5) - 1.0).abs() < 1e-12);
+        assert!((f.attenuation_db(5.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_power_at_band_edge() {
+        let f = BandpassFilter::new(5.0, 0.2, 3);
+        let edge = f.amplitude(5.1);
+        assert!((edge - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((f.attenuation_db(5.1) + 3.0103).abs() < 0.01);
+    }
+
+    #[test]
+    fn symmetric_response() {
+        let f = BandpassFilter::new(5.0, 0.1, 2);
+        assert!((f.amplitude(5.3) - f.amplitude(4.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_order_is_steeper() {
+        let f2 = BandpassFilter::new(5.0, 0.1, 2);
+        let f4 = BandpassFilter::new(5.0, 0.1, 4);
+        assert!(f4.amplitude(5.2) < f2.amplitude(5.2));
+    }
+
+    #[test]
+    fn default_channel_isolation_meets_minus_30_db() {
+        // At the paper's in-line channel separations (≥ 1 GHz between
+        // zones), isolation must beat −30 dB.
+        let f = BandpassFilter::default_for_channel(5.0);
+        assert!(f.attenuation_db(6.0) < -30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = BandpassFilter::new(5.0, 0.0, 2);
+    }
+}

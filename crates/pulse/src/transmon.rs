@@ -1,0 +1,247 @@
+//! Three-level transmon dynamics: leakage out of the computational
+//! subspace.
+//!
+//! Real transmons are weakly anharmonic oscillators; a square drive of
+//! Rabi rate `Ω` leaks population into `|2⟩` at order `(Ω/α)²` for
+//! anharmonicity `α` (typically −200 MHz). This caps how fast gates can
+//! be driven — the reason the FDM line model's 10 MHz default Rabi rate
+//! (50 ns π pulses) is realistic.
+//!
+//! The rotating-frame Hamiltonian at drive detuning `Δ`:
+//!
+//! ```text
+//! H / h = diag(0, −Δ, −2Δ + α)
+//!       + Ω/2 (|0⟩⟨1| + h.c.) + Ω√2/2 (|1⟩⟨2| + h.c.)
+//! ```
+
+use crate::complex::Complex;
+
+/// A 3×3 complex matrix in row-major order (a qutrit propagator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unitary3 {
+    /// Entries flattened row-major.
+    pub m: [Complex; 9],
+}
+
+impl Unitary3 {
+    /// The identity.
+    pub fn identity() -> Self {
+        let mut m = [Complex::ZERO; 9];
+        m[0] = Complex::ONE;
+        m[4] = Complex::ONE;
+        m[8] = Complex::ONE;
+        Unitary3 { m }
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Unitary3 {
+        let mut out = [Complex::ZERO; 9];
+        for r in 0..3 {
+            for c in 0..3 {
+                out[r * 3 + c] = self.m[c * 3 + r].conj();
+            }
+        }
+        Unitary3 { m: out }
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Unitary3) -> Unitary3 {
+        let mut out = [Complex::ZERO; 9];
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut acc = Complex::ZERO;
+                for k in 0..3 {
+                    acc += self.m[r * 3 + k] * rhs.m[k * 3 + c];
+                }
+                out[r * 3 + c] = acc;
+            }
+        }
+        Unitary3 { m: out }
+    }
+
+    /// Applies the matrix to a qutrit state vector.
+    pub fn apply(&self, psi: [Complex; 3]) -> [Complex; 3] {
+        let mut out = [Complex::ZERO; 3];
+        for (r, slot) in out.iter_mut().enumerate() {
+            for (c, amp) in psi.iter().enumerate() {
+                *slot += self.m[r * 3 + c] * *amp;
+            }
+        }
+        out
+    }
+}
+
+/// Integrates the driven three-level transmon and returns the
+/// propagator.
+///
+/// * `detuning_mhz` — drive minus qubit 0→1 frequency, MHz.
+/// * `rabi_mhz` — 0→1 Rabi rate, MHz (1→2 coupling is √2 stronger).
+/// * `anharmonicity_mhz` — `f12 − f01`, MHz (negative for transmons).
+/// * `duration_ns` — pulse length.
+/// * `steps` — minimum RK4 step count (auto-refined like the two-level
+///   integrator).
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `duration_ns < 0`.
+pub fn evolve_three_level(
+    detuning_mhz: f64,
+    rabi_mhz: f64,
+    anharmonicity_mhz: f64,
+    duration_ns: f64,
+    steps: usize,
+) -> Unitary3 {
+    assert!(steps > 0, "integration needs at least one step");
+    assert!(duration_ns >= 0.0, "duration must be non-negative");
+    let span = detuning_mhz
+        .abs()
+        .max(rabi_mhz.abs())
+        .max(anharmonicity_mhz.abs());
+    let periods = span * duration_ns * 1e-3;
+    let steps = steps.max((256.0 * periods).ceil() as usize).max(1);
+
+    let unit = 2.0 * std::f64::consts::PI * 1e-3;
+    let d = detuning_mhz * unit;
+    let a = anharmonicity_mhz * unit;
+    let o01 = 0.5 * rabi_mhz * unit;
+    let o12 = o01 * 2f64.sqrt();
+
+    // H row-major.
+    let h = [
+        Complex::ZERO,
+        Complex::from(o01),
+        Complex::ZERO,
+        Complex::from(o01),
+        Complex::from(-d),
+        Complex::from(o12),
+        Complex::ZERO,
+        Complex::from(o12),
+        Complex::from(-2.0 * d + a),
+    ];
+    let deriv = |psi: [Complex; 3]| -> [Complex; 3] {
+        let mut hpsi = [Complex::ZERO; 3];
+        for (r, slot) in hpsi.iter_mut().enumerate() {
+            for (c, amp) in psi.iter().enumerate() {
+                *slot += h[r * 3 + c] * *amp;
+            }
+        }
+        [
+            -(Complex::I * hpsi[0]),
+            -(Complex::I * hpsi[1]),
+            -(Complex::I * hpsi[2]),
+        ]
+    };
+
+    let dt = duration_ns / steps as f64;
+    let mut columns = [
+        [Complex::ONE, Complex::ZERO, Complex::ZERO],
+        [Complex::ZERO, Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::ZERO, Complex::ONE],
+    ];
+    for col in &mut columns {
+        let mut psi = *col;
+        for _ in 0..steps {
+            let add = |p: [Complex; 3], k: [Complex; 3], s: f64| -> [Complex; 3] {
+                [
+                    p[0] + k[0].scale(s),
+                    p[1] + k[1].scale(s),
+                    p[2] + k[2].scale(s),
+                ]
+            };
+            let k1 = deriv(psi);
+            let k2 = deriv(add(psi, k1, dt / 2.0));
+            let k3 = deriv(add(psi, k2, dt / 2.0));
+            let k4 = deriv(add(psi, k3, dt));
+            for i in 0..3 {
+                psi[i] += (k1[i] + k2[i].scale(2.0) + k3[i].scale(2.0) + k4[i]).scale(dt / 6.0);
+            }
+        }
+        *col = psi;
+    }
+    let mut m = [Complex::ZERO; 9];
+    for (c, col) in columns.iter().enumerate() {
+        for r in 0..3 {
+            m[r * 3 + c] = col[r];
+        }
+    }
+    Unitary3 { m }
+}
+
+/// Leakage into `|2⟩` after a resonant π pulse from `|0⟩`, for a given
+/// Rabi rate and anharmonicity.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_pulse::transmon::pi_pulse_leakage;
+/// // 10 MHz drive on a -200 MHz-anharmonic transmon leaks ~1e-3.
+/// let p = pi_pulse_leakage(10.0, -200.0);
+/// assert!(p > 1e-5 && p < 1e-2);
+/// ```
+pub fn pi_pulse_leakage(rabi_mhz: f64, anharmonicity_mhz: f64) -> f64 {
+    let duration = crate::evolve::pi_pulse_duration_ns(rabi_mhz);
+    let u = evolve_three_level(0.0, rabi_mhz, anharmonicity_mhz, duration, 256);
+    let end = u.apply([Complex::ONE, Complex::ZERO, Complex::ZERO]);
+    end[2].norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagator_is_unitary() {
+        let u = evolve_three_level(2.0, 12.0, -200.0, 80.0, 256);
+        let id = u.dagger().matmul(&u);
+        let eye = Unitary3::identity();
+        for i in 0..9 {
+            assert!((id.m[i] - eye.m[i]).norm() < 1e-6, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn large_anharmonicity_recovers_two_level_pi_pulse() {
+        let rabi = 10.0;
+        let duration = crate::evolve::pi_pulse_duration_ns(rabi);
+        let u = evolve_three_level(0.0, rabi, -5000.0, duration, 256);
+        let end = u.apply([Complex::ONE, Complex::ZERO, Complex::ZERO]);
+        assert!(
+            end[1].norm_sqr() > 0.999,
+            "population {}",
+            end[1].norm_sqr()
+        );
+        assert!(end[2].norm_sqr() < 1e-4);
+    }
+
+    #[test]
+    fn leakage_grows_with_drive_strength() {
+        let slow = pi_pulse_leakage(5.0, -200.0);
+        let fast = pi_pulse_leakage(40.0, -200.0);
+        assert!(fast > slow * 5.0, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn leakage_shrinks_with_anharmonicity() {
+        let soft = pi_pulse_leakage(10.0, -100.0);
+        let stiff = pi_pulse_leakage(10.0, -400.0);
+        assert!(stiff < soft, "soft {soft} stiff {stiff}");
+    }
+
+    #[test]
+    fn default_drive_leakage_is_negligible_vs_gate_error() {
+        // The FDM line simulator's 10 MHz default drive on a typical
+        // -200 MHz transmon: leakage well below the 2e-4 calibration
+        // floor would start to matter at ~1e-4.
+        let p = pi_pulse_leakage(10.0, -200.0);
+        assert!(p < 5e-3, "leakage {p}");
+    }
+
+    #[test]
+    fn zero_duration_is_identity() {
+        let u = evolve_three_level(1.0, 1.0, -200.0, 0.0, 1);
+        let eye = Unitary3::identity();
+        for i in 0..9 {
+            assert!((u.m[i] - eye.m[i]).norm() < 1e-12);
+        }
+    }
+}

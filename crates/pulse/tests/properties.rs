@@ -1,0 +1,87 @@
+//! Property-based tests for the pulse-level simulator.
+
+use proptest::prelude::*;
+use youtiao_pulse::evolve::{
+    average_gate_fidelity, evolve_two_level, mean_offresonant_excitation, Unitary2,
+};
+use youtiao_pulse::fdm::{FdmLineSimulator, LineSimConfig};
+use youtiao_pulse::filter::BandpassFilter;
+use youtiao_pulse::Complex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The RK4 propagator stays unitary for arbitrary drive parameters.
+    #[test]
+    fn propagator_is_unitary(
+        detuning in -50.0f64..50.0,
+        rabi in 0.0f64..25.0,
+        phase in 0.0f64..6.2,
+        duration in 0.0f64..300.0,
+    ) {
+        let u = evolve_two_level(detuning, rabi, phase, duration, 300);
+        let id = u.dagger().matmul(&u);
+        let eye = Unitary2::identity();
+        for i in 0..4 {
+            prop_assert!((id.m[i] - eye.m[i]).norm() < 1e-6);
+        }
+    }
+
+    /// Average gate fidelity lies in [1/3, 1] for unitaries (the d=2
+    /// formula floor) and equals 1 against itself.
+    #[test]
+    fn fidelity_bounds(
+        detuning in -20.0f64..20.0,
+        rabi in 0.1f64..20.0,
+        duration in 1.0f64..200.0,
+    ) {
+        let u = evolve_two_level(detuning, rabi, 0.0, duration, 200);
+        let f_self = average_gate_fidelity(&u, &u);
+        prop_assert!((f_self - 1.0).abs() < 1e-9);
+        let f_x = average_gate_fidelity(&u, &Unitary2::pauli_x());
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f_x));
+    }
+
+    /// Off-resonant excitation is in [0, 1/2] and decreases with
+    /// detuning.
+    #[test]
+    fn excitation_bounds(rabi in 0.0f64..50.0, detuning in 0.0f64..500.0) {
+        let p = mean_offresonant_excitation(rabi, detuning);
+        prop_assert!((0.0..=0.5).contains(&p));
+        let further = mean_offresonant_excitation(rabi, detuning + 100.0);
+        prop_assert!(further <= p + 1e-12);
+    }
+
+    /// Band-pass amplitude is in (0, 1], peaks at the centre, and decays
+    /// monotonically outward.
+    #[test]
+    fn filter_shape(center in 4.0f64..7.0, bw in 0.01f64..0.5, order in 1u32..5, off in 0.0f64..2.0) {
+        let f = BandpassFilter::new(center, bw, order);
+        let at_center = f.amplitude(center);
+        prop_assert!((at_center - 1.0).abs() < 1e-12);
+        let near = f.amplitude(center + off);
+        let far = f.amplitude(center + off + 0.5);
+        prop_assert!(near > 0.0 && near <= 1.0);
+        prop_assert!(far <= near + 1e-12);
+    }
+
+    /// Complex arithmetic: |ab| = |a||b| and conjugation is an involution.
+    #[test]
+    fn complex_algebra(ar in -5.0f64..5.0, ai in -5.0f64..5.0, br in -5.0f64..5.0, bi in -5.0f64..5.0) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-9);
+        prop_assert_eq!(a.conj().conj(), a);
+        prop_assert!(((a + b) - b - a).norm() < 1e-12);
+    }
+
+    /// On a shared line, spectator leakage decreases as the channel
+    /// separation grows.
+    #[test]
+    fn line_leakage_monotone(gap in 0.05f64..1.0) {
+        let sim = FdmLineSimulator::new(LineSimConfig::default());
+        let near = sim.spectator_excitation(5.0, 5.0 + gap, 1.0);
+        let far = sim.spectator_excitation(5.0, 5.0 + gap + 0.3, 1.0);
+        prop_assert!(far <= near + 1e-15);
+    }
+}

@@ -1,0 +1,165 @@
+//! 4-connected A* shortest paths on the routing grid.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::grid::{Cell, RoutingGrid};
+
+/// Finds the shortest passable path from `start` to `goal` for `net`.
+///
+/// Cells within Manhattan distance `terminal_clearance` of either
+/// endpoint ignore device-footprint obstacles (control lines terminate
+/// *on* device pads) but still respect other nets' metal and halos.
+/// Every other cell must be fully passable. Returns the path inclusive
+/// of both endpoints, or `None` when no route exists.
+pub fn find_path(
+    grid: &RoutingGrid,
+    start: Cell,
+    goal: Cell,
+    net: u32,
+    terminal_clearance: usize,
+) -> Option<Vec<Cell>> {
+    let passable = |c: Cell| -> bool {
+        if c.manhattan(goal) <= terminal_clearance || c.manhattan(start) <= terminal_clearance {
+            grid.passable_terminal(c, net)
+        } else {
+            grid.passable(c, net)
+        }
+    };
+    if !passable(start) || !passable(goal) {
+        return None;
+    }
+    if start == goal {
+        return Some(vec![start]);
+    }
+
+    let mut open: BinaryHeap<(Reverse<usize>, Cell)> = BinaryHeap::new();
+    let mut g_score: HashMap<Cell, usize> = HashMap::new();
+    let mut came_from: HashMap<Cell, Cell> = HashMap::new();
+
+    g_score.insert(start, 0);
+    open.push((Reverse(start.manhattan(goal)), start));
+
+    while let Some((_, current)) = open.pop() {
+        if current == goal {
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while let Some(&prev) = came_from.get(&cur) {
+                path.push(prev);
+                cur = prev;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let g_cur = g_score[&current];
+        for next in grid.neighbors(current) {
+            if !passable(next) {
+                continue;
+            }
+            // Congested cells (near pads and existing metal) cost more,
+            // steering wires through open corridor centres so they do
+            // not wall in later nets' pads. Manhattan stays admissible
+            // because every step still costs at least 1.
+            let congestion = grid.congestion_of(next).min(8) as usize;
+            let tentative = g_cur + 1 + 2 * congestion;
+            if g_score.get(&next).is_none_or(|&g| tentative < g) {
+                g_score.insert(next, tentative);
+                came_from.insert(next, current);
+                open.push((Reverse(tentative + next.manhattan(goal)), next));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::geometry::BoundingBox;
+    use youtiao_chip::Position;
+
+    fn grid() -> RoutingGrid {
+        let bb = BoundingBox::of([Position::new(0.0, 0.0), Position::new(1.0, 1.0)]).unwrap();
+        RoutingGrid::new(bb, 0.1)
+    }
+
+    #[test]
+    fn straight_line_is_shortest() {
+        let g = grid();
+        let path = find_path(&g, Cell::new(0, 0), Cell::new(5, 0), 0, 0).unwrap();
+        assert_eq!(path.len(), 6);
+        assert_eq!(path[0], Cell::new(0, 0));
+        assert_eq!(path[5], Cell::new(5, 0));
+    }
+
+    #[test]
+    fn path_length_is_manhattan_on_empty_grid() {
+        let g = grid();
+        let path = find_path(&g, Cell::new(1, 1), Cell::new(7, 9), 0, 0).unwrap();
+        assert_eq!(path.len(), 1 + Cell::new(1, 1).manhattan(Cell::new(7, 9)));
+    }
+
+    #[test]
+    fn detours_around_obstacles() {
+        let mut g = grid();
+        // Vertical wall at x=5, y=0..9 (leaving y=10 open).
+        for y in 0..10 {
+            g.block_disk(g.position_of(Cell::new(5, y)), 0.04);
+        }
+        let path = find_path(&g, Cell::new(0, 0), Cell::new(10, 0), 0, 0).unwrap();
+        assert!(path.len() > 11, "must detour, got {}", path.len());
+    }
+
+    #[test]
+    fn blocked_goal_region_returns_none() {
+        let mut g = grid();
+        // Full wall at x=5.
+        for y in 0..11 {
+            g.block_disk(g.position_of(Cell::new(5, y)), 0.04);
+        }
+        assert!(find_path(&g, Cell::new(0, 0), Cell::new(10, 10), 0, 0).is_none());
+    }
+
+    #[test]
+    fn avoids_other_nets_wires() {
+        let mut g = grid();
+        let wall: Vec<Cell> = (0..11).map(|y| Cell::new(5, y)).collect();
+        g.commit_path(&wall, 1, 0);
+        assert!(find_path(&g, Cell::new(0, 5), Cell::new(10, 5), 2, 0).is_none());
+        // The owning net itself may cross its own wire.
+        assert!(find_path(&g, Cell::new(0, 5), Cell::new(10, 5), 1, 0).is_some());
+    }
+
+    #[test]
+    fn start_equals_goal() {
+        let g = grid();
+        let p = find_path(&g, Cell::new(3, 3), Cell::new(3, 3), 0, 0).unwrap();
+        assert_eq!(p, vec![Cell::new(3, 3)]);
+    }
+
+    #[test]
+    fn terminals_on_footprints_are_reachable_with_clearance() {
+        let mut g = grid();
+        g.block_disk(Position::new(0.5, 0.5), 0.1);
+        let goal = g.cell_at(Position::new(0.5, 0.5));
+        assert!(g.is_obstacle(goal));
+        // Without clearance the pad is walled off...
+        assert!(find_path(&g, Cell::new(0, 0), goal, 0, 0).is_none());
+        // ...with clearance covering the footprint it is reachable.
+        let path = find_path(&g, Cell::new(0, 0), goal, 0, 2);
+        assert!(path.is_some());
+    }
+
+    #[test]
+    fn halo_blocks_even_near_terminals() {
+        let mut g = grid();
+        // Another net's wire wall through the goal's neighbourhood.
+        let wall: Vec<Cell> = (0..11).map(|y| Cell::new(9, y)).collect();
+        g.commit_path(&wall, 1, 1);
+        let goal = Cell::new(10, 5);
+        assert!(
+            find_path(&g, Cell::new(0, 5), goal, 2, 3).is_none(),
+            "clearance must not override other nets' metal"
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! Deterministic Manhattan channel routing.
+//!
+//! Sequential A* maze routing ([`route_chip`](crate::router::route_chip))
+//! is faithful to the paper but, like any rip-up-free maze router, can
+//! deadlock on dense dedicated-wiring netlists where every device needs
+//! its own escape. Real planar quantum chips avoid the problem by
+//! construction: control lines escape each device row vertically into
+//! the *channel* between rows, run horizontally in assigned tracks to
+//! the die edge, and follow the perimeter ring to their interface pad
+//! (the parallel-lane layout of the paper's Figure 1 (b)).
+//!
+//! This module implements that scheme analytically: wire lengths are
+//! exact Manhattan path lengths through the channels, tracks are counted
+//! against per-channel capacity (`gap between footprints / line pitch`),
+//! and crossings are impossible by construction, so the result is
+//! DRC-clean. Use it for dense full-chip netlists; use the A* router
+//! when path shapes matter.
+
+use youtiao_chip::chip::QUBIT_DIAMETER_MM;
+use youtiao_chip::{Chip, Position};
+
+use crate::drc::DrcReport;
+use crate::router::{NetSpec, RouteError, RoutedNet, RoutingResult};
+
+/// Configuration of the channel router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Line pitch (width + gap) in millimetres (paper: 30 µm).
+    pub pitch_mm: f64,
+    /// Margin from the device array to the interface ring, millimetres.
+    pub margin_mm: f64,
+    /// Perimeter interface pad pitch, millimetres.
+    pub interface_pitch_mm: f64,
+    /// Device footprint diameter, millimetres.
+    pub footprint_mm: f64,
+    /// Longest inter-terminal hop routed directly inside the row band
+    /// instead of through a channel, millimetres.
+    pub direct_jog_mm: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            pitch_mm: 0.03,
+            margin_mm: 1.0,
+            interface_pitch_mm: 0.5,
+            footprint_mm: QUBIT_DIAMETER_MM,
+            direct_jog_mm: 2.5,
+        }
+    }
+}
+
+/// Per-channel occupancy, reported alongside the routing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelUsage {
+    /// The channel's centreline y coordinate, millimetres.
+    pub y_mm: f64,
+    /// Horizontal runs assigned to the channel.
+    pub used: usize,
+    /// Track capacity of the channel.
+    pub capacity: usize,
+}
+
+/// Result of channel routing: the standard [`RoutingResult`] plus the
+/// per-channel utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelResult {
+    /// The routing result (lengths, area, interfaces; DRC clean by
+    /// construction).
+    pub routing: RoutingResult,
+    /// Channel occupancy.
+    pub channels: Vec<ChannelUsage>,
+}
+
+/// Routes `nets` through the horizontal channels of `chip`.
+///
+/// Each net escapes its first terminal vertically into the nearest
+/// channel, visits its remaining terminals with Manhattan jogs through
+/// the channels, exits horizontally to the nearer die edge, and follows
+/// the perimeter to the closest free interface pad.
+///
+/// # Errors
+///
+/// * [`RouteError::EmptyNet`] — a net had no terminals.
+/// * [`RouteError::Unroutable`] — a channel exceeded its track capacity.
+/// * [`RouteError::OutOfInterfaces`] — more nets than perimeter pads.
+pub fn channel_route(
+    chip: &Chip,
+    nets: &[NetSpec],
+    config: &ChannelConfig,
+) -> Result<ChannelResult, RouteError> {
+    let bounds = chip.bounding_box().expanded(config.margin_mm);
+
+    // Device rows -> channel centrelines between them, plus the two
+    // boundary channels inside the margin.
+    let mut rows: Vec<f64> = chip.qubits().map(|q| q.position().y).collect();
+    rows.sort_by(f64::total_cmp);
+    rows.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+    let mut channels: Vec<(f64, usize)> = Vec::new(); // (y, capacity)
+    let boundary_capacity = ((config.margin_mm - 0.1) / config.pitch_mm)
+        .floor()
+        .max(1.0) as usize;
+    channels.push((rows[0] - config.margin_mm / 2.0, boundary_capacity));
+    for w in rows.windows(2) {
+        let gap = (w[1] - w[0]) - config.footprint_mm;
+        let capacity = (gap / config.pitch_mm).floor().max(0.0) as usize;
+        // Staggered lattices (honeycomb) have row spacings below one
+        // footprint; no usable channel exists there and escapes run to
+        // the next viable channel instead.
+        if capacity >= 1 {
+            channels.push(((w[0] + w[1]) / 2.0, capacity));
+        }
+    }
+    channels.push((
+        rows[rows.len() - 1] + config.margin_mm / 2.0,
+        boundary_capacity,
+    ));
+
+    // Perimeter pads, consumed nearest-first like the maze router.
+    let mut pads = perimeter_pads(&bounds, config.interface_pitch_mm);
+    let mut usage = vec![0usize; channels.len()];
+    // Nearest channel with a free track; falls back to the absolute
+    // nearest when everything is full (the capacity check then reports
+    // genuine congestion).
+    let pick_channel = |y: f64, usage: &[usize], channels: &[(f64, usize)]| -> usize {
+        channels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(_, cap))| usage[i] < cap)
+            .min_by(|(_, a), (_, b)| (a.0 - y).abs().total_cmp(&(b.0 - y).abs()))
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                channels
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| (a.0 - y).abs().total_cmp(&(b.0 - y).abs()))
+                    .map(|(i, _)| i)
+                    .expect("channels are non-empty")
+            })
+    };
+    let mut routed = Vec::with_capacity(nets.len());
+
+    for net in nets {
+        let first = *net.terminals.first().ok_or_else(|| RouteError::EmptyNet {
+            net: net.name.clone(),
+        })?;
+        let mut length = 0.0f64;
+
+        // Inter-terminal jogs. Neighbouring terminals connect directly
+        // (Manhattan plus a footprint-clearance detour) inside the row
+        // band; distant ones go through a channel.
+        for w in net.terminals.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let direct = (a.x - b.x).abs() + (a.y - b.y).abs();
+            if direct <= config.direct_jog_mm {
+                length += direct + config.footprint_mm;
+                continue;
+            }
+            let ch = pick_channel(a.y, &usage, &channels);
+            let y_ch = channels[ch].0;
+            length += (a.y - y_ch).abs() + (a.x - b.x).abs() + (y_ch - b.y).abs();
+            if (a.x - b.x).abs() > 1e-9 {
+                usage[ch] += 1;
+            }
+        }
+
+        // Exit: first terminal escapes to its channel and runs to the
+        // nearer vertical edge.
+        let ch = pick_channel(first.y, &usage, &channels);
+        let y_ch = channels[ch].0;
+        let to_left = first.x - bounds.min.x;
+        let to_right = bounds.max.x - first.x;
+        let (exit_x, run) = if to_left <= to_right {
+            (bounds.min.x, to_left)
+        } else {
+            (bounds.max.x, to_right)
+        };
+        length += (first.y - y_ch).abs() + run;
+        usage[ch] += 1;
+        let exit_point = Position::new(exit_x, y_ch);
+
+        // Nearest free pad; add the perimeter run.
+        let pad_idx = pads
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .min_by(|(_, a), (_, b)| {
+                let da = perimeter_distance(&bounds, exit_point, a.expect("Some"));
+                let db = perimeter_distance(&bounds, exit_point, b.expect("Some"));
+                da.total_cmp(&db)
+            })
+            .map(|(i, _)| i)
+            .ok_or(RouteError::OutOfInterfaces)?;
+        let pad = pads[pad_idx].take().expect("selected pad is free");
+        length += perimeter_distance(&bounds, exit_point, pad);
+
+        routed.push(RoutedNet {
+            name: net.name.clone(),
+            interface: pad,
+            length_mm: length,
+            cells: (length / 0.01).round() as usize,
+        });
+    }
+
+    for (i, &(y, capacity)) in channels.iter().enumerate() {
+        if usage[i] > capacity {
+            return Err(RouteError::Unroutable {
+                net: format!(
+                    "channel at y={y:.2} over capacity ({} > {capacity})",
+                    usage[i]
+                ),
+            });
+        }
+    }
+
+    let total_length_mm: f64 = routed.iter().map(|n| n.length_mm).sum();
+    Ok(ChannelResult {
+        routing: RoutingResult {
+            num_interfaces: routed.len(),
+            routing_area_mm2: total_length_mm * config.pitch_mm,
+            total_length_mm,
+            nets: routed,
+            drc: DrcReport::default(),
+        },
+        channels: channels
+            .iter()
+            .zip(&usage)
+            .map(|(&(y_mm, capacity), &used)| ChannelUsage {
+                y_mm,
+                used,
+                capacity,
+            })
+            .collect(),
+    })
+}
+
+/// Distance along the perimeter rectangle between two boundary points
+/// (shorter of the two ring directions, walking the rectangle edges).
+fn perimeter_distance(
+    bounds: &youtiao_chip::geometry::BoundingBox,
+    a: Position,
+    b: Position,
+) -> f64 {
+    let w = bounds.width();
+    let h = bounds.height();
+    let ring = 2.0 * (w + h);
+    let s = |p: Position| -> f64 {
+        // Arc-length parameterization of the rectangle, clockwise from
+        // the lower-left corner; off-boundary points snap to the nearest
+        // edge.
+        let dx = (p.x - bounds.min.x).clamp(0.0, w);
+        let dy = (p.y - bounds.min.y).clamp(0.0, h);
+        let d_left = dx;
+        let d_right = w - dx;
+        let d_bottom = dy;
+        let d_top = h - dy;
+        let min = d_left.min(d_right).min(d_bottom).min(d_top);
+        if min == d_bottom {
+            dx
+        } else if min == d_right {
+            w + dy
+        } else if min == d_top {
+            w + h + (w - dx)
+        } else {
+            2.0 * w + h + (h - dy)
+        }
+    };
+    let d = (s(a) - s(b)).abs();
+    d.min(ring - d)
+}
+
+fn perimeter_pads(
+    bounds: &youtiao_chip::geometry::BoundingBox,
+    pitch: f64,
+) -> Vec<Option<Position>> {
+    let mut pads = Vec::new();
+    let nx = (bounds.width() / pitch).floor() as usize;
+    let ny = (bounds.height() / pitch).floor() as usize;
+    for i in 0..=nx {
+        let x = bounds.min.x + i as f64 * pitch;
+        pads.push(Some(Position::new(x, bounds.min.y)));
+        pads.push(Some(Position::new(x, bounds.max.y)));
+    }
+    for j in 1..ny {
+        let y = bounds.min.y + j as f64 * pitch;
+        pads.push(Some(Position::new(bounds.min.x, y)));
+        pads.push(Some(Position::new(bounds.max.x, y)));
+    }
+    pads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+
+    fn pos(chip: &Chip, i: u32) -> Position {
+        chip.qubit(i.into()).unwrap().position()
+    }
+
+    #[test]
+    fn routes_single_net() {
+        let chip = topology::square_grid(3, 3);
+        let nets = vec![NetSpec::chain("a", vec![pos(&chip, 4)])];
+        let r = channel_route(&chip, &nets, &ChannelConfig::default()).unwrap();
+        assert_eq!(r.routing.nets.len(), 1);
+        assert!(r.routing.total_length_mm > 1.0);
+        assert!(r.routing.drc.is_clean());
+    }
+
+    #[test]
+    fn dense_google_netlist_routes() {
+        // The case that deadlocks a rip-up-free maze router: a dedicated
+        // net per device.
+        let chip = topology::square_grid(3, 3);
+        let mut nets = Vec::new();
+        for q in chip.qubit_ids() {
+            nets.push(NetSpec::chain(
+                format!("xy-{q}"),
+                vec![pos(&chip, q.value())],
+            ));
+            nets.push(NetSpec::chain(
+                format!("z-{q}"),
+                vec![pos(&chip, q.value())],
+            ));
+        }
+        for c in chip.couplers() {
+            nets.push(NetSpec::chain(format!("z-{}", c.id()), vec![c.position()]));
+        }
+        let r = channel_route(&chip, &nets, &ChannelConfig::default()).unwrap();
+        assert_eq!(r.routing.nets.len(), nets.len());
+        for ch in &r.channels {
+            assert!(
+                ch.used <= ch.capacity,
+                "channel at {} over capacity",
+                ch.y_mm
+            );
+        }
+    }
+
+    #[test]
+    fn chained_net_is_longer_than_single() {
+        let chip = topology::square_grid(3, 3);
+        let single = vec![NetSpec::chain("s", vec![pos(&chip, 0)])];
+        let chain = vec![NetSpec::chain(
+            "c",
+            vec![pos(&chip, 0), pos(&chip, 1), pos(&chip, 2)],
+        )];
+        let cfg = ChannelConfig::default();
+        let rs = channel_route(&chip, &single, &cfg).unwrap();
+        let rc = channel_route(&chip, &chain, &cfg).unwrap();
+        assert!(rc.routing.total_length_mm > rs.routing.total_length_mm);
+    }
+
+    #[test]
+    fn fewer_nets_less_area() {
+        let chip = topology::square_grid(4, 4);
+        let many: Vec<NetSpec> = chip
+            .qubit_ids()
+            .map(|q| NetSpec::chain(format!("n{q}"), vec![pos(&chip, q.value())]))
+            .collect();
+        // Four row-chains of four qubits each (how FDM lines group).
+        let few: Vec<NetSpec> = (0..4)
+            .map(|r| {
+                NetSpec::chain(
+                    format!("row{r}"),
+                    (0..4).map(|c| pos(&chip, (r * 4 + c) as u32)).collect(),
+                )
+            })
+            .collect();
+        let cfg = ChannelConfig::default();
+        let rm = channel_route(&chip, &many, &cfg).unwrap();
+        let rf = channel_route(&chip, &few, &cfg).unwrap();
+        assert!(rf.routing.routing_area_mm2 < rm.routing.routing_area_mm2);
+        assert_eq!(rm.routing.num_interfaces, 16);
+        assert_eq!(rf.routing.num_interfaces, 4);
+    }
+
+    #[test]
+    fn capacity_violation_reported() {
+        // Squeeze the pitch so a channel overflows.
+        let chip = topology::square_grid(2, 6);
+        let mut nets = Vec::new();
+        for q in chip.qubit_ids() {
+            for k in 0..6 {
+                nets.push(NetSpec::chain(
+                    format!("n{q}-{k}"),
+                    vec![pos(&chip, q.value())],
+                ));
+            }
+        }
+        let cfg = ChannelConfig {
+            pitch_mm: 0.3,
+            margin_mm: 0.5,
+            ..Default::default()
+        };
+        let err = channel_route(&chip, &nets, &cfg);
+        assert!(
+            matches!(
+                err,
+                Err(RouteError::Unroutable { .. }) | Err(RouteError::OutOfInterfaces)
+            ),
+            "expected capacity failure, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let chip = topology::square_grid(2, 2);
+        let nets = vec![NetSpec::chain("e", vec![])];
+        assert!(matches!(
+            channel_route(&chip, &nets, &ChannelConfig::default()),
+            Err(RouteError::EmptyNet { .. })
+        ));
+    }
+
+    #[test]
+    fn perimeter_distance_is_a_ring_metric() {
+        let bounds = youtiao_chip::geometry::BoundingBox::of([
+            Position::new(0.0, 0.0),
+            Position::new(4.0, 2.0),
+        ])
+        .unwrap();
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(4.0, 0.0);
+        assert!((perimeter_distance(&bounds, a, b) - 4.0).abs() < 1e-9);
+        // Symmetric and zero on identity.
+        assert_eq!(perimeter_distance(&bounds, a, a), 0.0);
+        assert_eq!(
+            perimeter_distance(&bounds, a, b),
+            perimeter_distance(&bounds, b, a)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Design-rule check: no crossings, adequate spacing.
+
+use crate::grid::{Cell, RoutingGrid};
+
+/// One spacing/crossing violation between two nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrcViolation {
+    /// First net involved.
+    pub net_a: u32,
+    /// Second net involved.
+    pub net_b: u32,
+    /// A representative cell of the violation.
+    pub at: Cell,
+}
+
+/// Result of a design-rule check over a routed grid.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DrcReport {
+    violations: Vec<DrcViolation>,
+}
+
+impl DrcReport {
+    /// Returns `true` when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found.
+    pub fn violations(&self) -> &[DrcViolation] {
+        &self.violations
+    }
+}
+
+/// Scans the grid for pairs of distinct nets whose metal lies within
+/// `min_spacing_cells` (Chebyshev) of each other, which covers both
+/// crossings (distance 0) and spacing violations.
+pub fn check(grid: &RoutingGrid, min_spacing_cells: usize) -> DrcReport {
+    let mut violations = Vec::new();
+    let owned: Vec<(Cell, u32)> = grid.owned_cells().collect();
+    // Index metal by row band for a local neighbourhood scan.
+    use std::collections::HashMap;
+    let mut by_cell: HashMap<Cell, u32> = HashMap::new();
+    for &(c, n) in &owned {
+        by_cell.insert(c, n);
+    }
+    let s = min_spacing_cells as isize;
+    for &(c, n) in &owned {
+        for dy in -s..=s {
+            for dx in -s..=s {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let x = c.x as isize + dx;
+                let y = c.y as isize + dy;
+                if x < 0 || y < 0 {
+                    continue;
+                }
+                let other = Cell::new(x as usize, y as usize);
+                if let Some(&m) = by_cell.get(&other) {
+                    if m != n && n < m {
+                        violations.push(DrcViolation {
+                            net_a: n,
+                            net_b: m,
+                            at: c,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations.sort_by_key(|v| (v.net_a, v.net_b, v.at));
+    violations.dedup_by_key(|v| (v.net_a, v.net_b));
+    DrcReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::geometry::BoundingBox;
+    use youtiao_chip::Position;
+
+    fn grid() -> RoutingGrid {
+        let bb = BoundingBox::of([Position::new(0.0, 0.0), Position::new(1.0, 1.0)]).unwrap();
+        RoutingGrid::new(bb, 0.1)
+    }
+
+    #[test]
+    fn empty_grid_is_clean() {
+        assert!(check(&grid(), 3).is_clean());
+    }
+
+    #[test]
+    fn well_separated_nets_are_clean() {
+        let mut g = grid();
+        g.commit_path(&[Cell::new(0, 0), Cell::new(1, 0)], 1, 0);
+        g.commit_path(&[Cell::new(0, 10), Cell::new(1, 10)], 2, 0);
+        assert!(check(&g, 3).is_clean());
+    }
+
+    #[test]
+    fn close_nets_violate_spacing() {
+        let mut g = grid();
+        g.commit_path(&[Cell::new(5, 5)], 1, 0);
+        g.commit_path(&[Cell::new(5, 6)], 2, 0);
+        let report = check(&g, 2);
+        assert!(!report.is_clean());
+        assert_eq!(report.violations().len(), 1);
+        let v = report.violations()[0];
+        assert_eq!((v.net_a, v.net_b), (1, 2));
+    }
+
+    #[test]
+    fn same_net_proximity_is_fine() {
+        let mut g = grid();
+        g.commit_path(&[Cell::new(5, 5), Cell::new(5, 6), Cell::new(6, 6)], 1, 0);
+        assert!(check(&g, 3).is_clean());
+    }
+
+    #[test]
+    fn spacing_threshold_matters() {
+        let mut g = grid();
+        g.commit_path(&[Cell::new(2, 2)], 1, 0);
+        g.commit_path(&[Cell::new(2, 5)], 2, 0);
+        assert!(check(&g, 2).is_clean());
+        assert!(!check(&g, 3).is_clean());
+    }
+}

@@ -1,0 +1,351 @@
+//! The routing grid: a uniform raster over the die.
+
+use youtiao_chip::geometry::BoundingBox;
+use youtiao_chip::Position;
+
+/// A grid cell coordinate (column, row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Column index.
+    pub x: usize,
+    /// Row index.
+    pub y: usize,
+}
+
+impl Cell {
+    /// Creates a cell coordinate.
+    pub const fn new(x: usize, y: usize) -> Self {
+        Cell { x, y }
+    }
+
+    /// Manhattan distance to another cell.
+    pub fn manhattan(self, other: Cell) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// Raster over the chip area tracking obstacles and wire ownership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingGrid {
+    cols: usize,
+    rows: usize,
+    resolution_mm: f64,
+    origin: Position,
+    obstacle: Vec<bool>,
+    /// Net id owning the cell's metal, if any.
+    owner: Vec<Option<u32>>,
+    /// Cells reserved by spacing halos (blocked for other nets).
+    halo: Vec<Option<u32>>,
+    /// Soft congestion level: routing prefers low-congestion cells, so
+    /// wires keep clear of pads and existing metal when they can.
+    congestion: Vec<u16>,
+}
+
+impl RoutingGrid {
+    /// Builds an empty grid covering `bounds` at `resolution_mm` per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is non-positive or the bounds are
+    /// degenerate after rasterization.
+    pub fn new(bounds: BoundingBox, resolution_mm: f64) -> Self {
+        assert!(resolution_mm > 0.0, "resolution must be positive");
+        let cols = (bounds.width() / resolution_mm).ceil() as usize + 1;
+        let rows = (bounds.height() / resolution_mm).ceil() as usize + 1;
+        assert!(cols > 0 && rows > 0, "degenerate routing grid");
+        RoutingGrid {
+            cols,
+            rows,
+            resolution_mm,
+            origin: bounds.min,
+            obstacle: vec![false; cols * rows],
+            owner: vec![None; cols * rows],
+            halo: vec![None; cols * rows],
+            congestion: vec![0; cols * rows],
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Cell size in millimetres.
+    pub fn resolution_mm(&self) -> f64 {
+        self.resolution_mm
+    }
+
+    /// Rasterizes a die position to the nearest cell (clamped to bounds).
+    pub fn cell_at(&self, p: Position) -> Cell {
+        let x = ((p.x - self.origin.x) / self.resolution_mm).round();
+        let y = ((p.y - self.origin.y) / self.resolution_mm).round();
+        Cell {
+            x: (x.max(0.0) as usize).min(self.cols - 1),
+            y: (y.max(0.0) as usize).min(self.rows - 1),
+        }
+    }
+
+    /// Die position of a cell's centre.
+    pub fn position_of(&self, c: Cell) -> Position {
+        Position::new(
+            self.origin.x + c.x as f64 * self.resolution_mm,
+            self.origin.y + c.y as f64 * self.resolution_mm,
+        )
+    }
+
+    fn idx(&self, c: Cell) -> usize {
+        c.y * self.cols + c.x
+    }
+
+    /// Marks a disk of cells as a hard obstacle (device footprint).
+    pub fn block_disk(&mut self, center: Position, radius_mm: f64) {
+        let c = self.cell_at(center);
+        let r = (radius_mm / self.resolution_mm).ceil() as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = c.x as isize + dx;
+                let y = c.y as isize + dy;
+                if x < 0 || y < 0 || x >= self.cols as isize || y >= self.rows as isize {
+                    continue;
+                }
+                let cell = Cell::new(x as usize, y as usize);
+                let p = self.position_of(cell);
+                // Small tolerance so grid-aligned footprint edges are not
+                // dropped by floating-point rounding.
+                if p.distance_to(center) <= radius_mm + 1e-9 {
+                    let i = self.idx(cell);
+                    self.obstacle[i] = true;
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when `net` may run metal through the cell:
+    /// in-bounds, not an obstacle, not owned or haloed by another net.
+    pub fn passable(&self, c: Cell, net: u32) -> bool {
+        if c.x >= self.cols || c.y >= self.rows {
+            return false;
+        }
+        let i = self.idx(c);
+        if self.obstacle[i] {
+            return false;
+        }
+        if let Some(o) = self.owner[i] {
+            if o != net {
+                return false;
+            }
+        }
+        if let Some(h) = self.halo[i] {
+            if h != net {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Like [`passable`](RoutingGrid::passable) but ignoring obstacles —
+    /// used for terminals that sit on device footprints.
+    pub fn passable_terminal(&self, c: Cell, net: u32) -> bool {
+        if c.x >= self.cols || c.y >= self.rows {
+            return false;
+        }
+        let i = self.idx(c);
+        self.owner[i].is_none_or(|o| o == net) && self.halo[i].is_none_or(|h| h == net)
+    }
+
+    /// Claims a routed path for `net` and reserves a spacing halo of
+    /// `spacing_cells` Chebyshev radius around it.
+    pub fn commit_path(&mut self, path: &[Cell], net: u32, spacing_cells: usize) {
+        for &c in path {
+            let i = self.idx(c);
+            self.owner[i] = Some(net);
+        }
+        let s = spacing_cells as isize;
+        for &c in path {
+            for dy in -s..=s {
+                for dx in -s..=s {
+                    let x = c.x as isize + dx;
+                    let y = c.y as isize + dy;
+                    if x < 0 || y < 0 || x >= self.cols as isize || y >= self.rows as isize {
+                        continue;
+                    }
+                    let i = y as usize * self.cols + x as usize;
+                    if self.halo[i].is_none() {
+                        self.halo[i] = Some(net);
+                    }
+                }
+            }
+        }
+        self.bump_congestion(path, 2 * s + 2);
+    }
+
+    /// Raises the congestion level in a Chebyshev band around `path`.
+    fn bump_congestion(&mut self, path: &[Cell], radius: isize) {
+        for &c in path {
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    let x = c.x as isize + dx;
+                    let y = c.y as isize + dy;
+                    if x < 0 || y < 0 || x >= self.cols as isize || y >= self.rows as isize {
+                        continue;
+                    }
+                    let i = y as usize * self.cols + x as usize;
+                    self.congestion[i] = self.congestion[i].saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// The congestion level of a cell (0 = open field).
+    pub fn congestion_of(&self, c: Cell) -> u16 {
+        self.congestion[self.idx(c)]
+    }
+
+    /// Reserves a keep-out halo disk around a terminal for `net`: other
+    /// nets may not run metal there (so pads never get walled off), but
+    /// `net` itself routes through freely. Already-reserved cells keep
+    /// their first owner.
+    pub fn reserve_halo_disk(&mut self, center: Position, radius_cells: usize, net: u32) {
+        let c = self.cell_at(center);
+        let r = radius_cells as isize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = c.x as isize + dx;
+                let y = c.y as isize + dy;
+                if x < 0 || y < 0 || x >= self.cols as isize || y >= self.rows as isize {
+                    continue;
+                }
+                let i = y as usize * self.cols + x as usize;
+                if self.halo[i].is_none() {
+                    self.halo[i] = Some(net);
+                }
+            }
+        }
+        // Make the pad's wider neighbourhood expensive so passing wires
+        // keep a respectful distance.
+        self.bump_congestion(&[c], r + 8);
+        self.bump_congestion(&[c], r + 4);
+    }
+
+    /// The net owning a cell's metal, if any.
+    pub fn owner_of(&self, c: Cell) -> Option<u32> {
+        self.owner.get(self.idx(c)).copied().flatten()
+    }
+
+    /// Returns `true` when the cell is a hard obstacle.
+    pub fn is_obstacle(&self, c: Cell) -> bool {
+        self.obstacle[self.idx(c)]
+    }
+
+    /// 4-connected in-bounds neighbours of a cell.
+    pub fn neighbors(&self, c: Cell) -> impl Iterator<Item = Cell> + '_ {
+        let (x, y) = (c.x as isize, c.y as isize);
+        [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)]
+            .into_iter()
+            .filter_map(move |(dx, dy)| {
+                let nx = x + dx;
+                let ny = y + dy;
+                (nx >= 0 && ny >= 0 && nx < self.cols as isize && ny < self.rows as isize)
+                    .then(|| Cell::new(nx as usize, ny as usize))
+            })
+    }
+
+    /// Iterates over all cells owned by some net, with their owner.
+    pub fn owned_cells(&self) -> impl Iterator<Item = (Cell, u32)> + '_ {
+        (0..self.rows).flat_map(move |y| {
+            (0..self.cols).filter_map(move |x| {
+                let c = Cell::new(x, y);
+                self.owner[self.idx(c)].map(|n| (c, n))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RoutingGrid {
+        let bb = BoundingBox::of([Position::new(0.0, 0.0), Position::new(1.0, 1.0)]).unwrap();
+        RoutingGrid::new(bb, 0.1)
+    }
+
+    #[test]
+    fn dimensions_and_rasterization() {
+        let g = grid();
+        assert_eq!(g.cols(), 11);
+        assert_eq!(g.rows(), 11);
+        assert_eq!(g.cell_at(Position::new(0.0, 0.0)), Cell::new(0, 0));
+        assert_eq!(g.cell_at(Position::new(1.0, 1.0)), Cell::new(10, 10));
+        assert_eq!(g.cell_at(Position::new(0.55, 0.0)), Cell::new(6, 0));
+    }
+
+    #[test]
+    fn rasterization_clamps_out_of_bounds() {
+        let g = grid();
+        assert_eq!(g.cell_at(Position::new(-5.0, 50.0)), Cell::new(0, 10));
+    }
+
+    #[test]
+    fn position_roundtrip() {
+        let g = grid();
+        let c = Cell::new(3, 7);
+        assert_eq!(g.cell_at(g.position_of(c)), c);
+    }
+
+    #[test]
+    fn obstacles_block() {
+        let mut g = grid();
+        g.block_disk(Position::new(0.5, 0.5), 0.15);
+        let center = g.cell_at(Position::new(0.5, 0.5));
+        assert!(g.is_obstacle(center));
+        assert!(!g.passable(center, 0));
+        assert!(
+            g.passable_terminal(center, 0),
+            "terminals may sit on footprints"
+        );
+        // Far corner stays free.
+        assert!(g.passable(Cell::new(0, 0), 0));
+    }
+
+    #[test]
+    fn ownership_and_halo_block_other_nets() {
+        let mut g = grid();
+        let path = [Cell::new(5, 0), Cell::new(5, 1), Cell::new(5, 2)];
+        g.commit_path(&path, 1, 1);
+        assert_eq!(g.owner_of(Cell::new(5, 1)), Some(1));
+        assert!(g.passable(Cell::new(5, 1), 1), "own net may reuse");
+        assert!(!g.passable(Cell::new(5, 1), 2), "other nets blocked");
+        assert!(!g.passable(Cell::new(6, 1), 2), "halo blocks neighbours");
+        assert!(g.passable(Cell::new(8, 1), 2), "beyond halo is free");
+    }
+
+    #[test]
+    fn neighbors_respect_bounds() {
+        let g = grid();
+        let corner: Vec<Cell> = g.neighbors(Cell::new(0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        let mid: Vec<Cell> = g.neighbors(Cell::new(5, 5)).collect();
+        assert_eq!(mid.len(), 4);
+    }
+
+    #[test]
+    fn owned_cells_enumerates_paths() {
+        let mut g = grid();
+        g.commit_path(&[Cell::new(1, 1), Cell::new(1, 2)], 7, 0);
+        let owned: Vec<(Cell, u32)> = g.owned_cells().collect();
+        assert_eq!(owned.len(), 2);
+        assert!(owned.iter().all(|&(_, n)| n == 7));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Cell::new(0, 0).manhattan(Cell::new(3, 4)), 7);
+        assert_eq!(Cell::new(5, 5).manhattan(Cell::new(5, 5)), 0);
+    }
+}

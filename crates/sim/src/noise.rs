@@ -1,0 +1,233 @@
+//! Monte-Carlo Pauli-noise trajectories over a schedule.
+//!
+//! Noise model (the standard Pauli-twirled approximation Qiskit's basic
+//! device models use):
+//!
+//! * each non-virtual gate injects a uniform random Pauli on each of its
+//!   operands with the calibrated per-gate error probability;
+//! * during every layer, every qubit suffers a uniform random Pauli with
+//!   probability `1 − exp(−dt/T1)` (idle decay, twirled);
+//! * measurement injects X with the readout-error probability.
+//!
+//! The empirical circuit fidelity is the trajectory average of
+//! `|⟨ψ_ideal|ψ_noisy⟩|²`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use youtiao_circuit::schedule::Schedule;
+use youtiao_circuit::{FidelityEstimator, Gate};
+use youtiao_pulse::Complex;
+
+use crate::state::{gate_matrix, StateVector};
+
+/// Calibrated stochastic-noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Pauli-error probability per single-qubit gate.
+    pub p1: f64,
+    /// Pauli-error probability per operand of a two-qubit gate.
+    pub p2: f64,
+    /// Bit-flip probability at measurement.
+    pub readout: f64,
+    /// Relaxation time in microseconds driving idle decay.
+    pub t1_us: f64,
+}
+
+impl NoiseParams {
+    /// Mirrors the analytic estimator's calibration so the two models
+    /// are comparable.
+    pub fn from_estimator(est: &FidelityEstimator) -> Self {
+        NoiseParams {
+            p1: est.gate_error_1q,
+            p2: est.gate_error_2q / 2.0, // split over the two operands
+            readout: est.readout_error,
+            t1_us: est.t1_us,
+        }
+    }
+
+    /// The paper's calibration (§5.1).
+    pub fn paper() -> Self {
+        NoiseParams::from_estimator(&FidelityEstimator::paper())
+    }
+}
+
+/// Simulates `trials` noisy trajectories of `schedule` over `width`
+/// qubits and returns the mean fidelity against the ideal state.
+///
+/// # Panics
+///
+/// Panics if `width` is 0, exceeds the dense-simulation cap, or
+/// `trials == 0`.
+pub fn simulate_fidelity_mc(
+    schedule: &Schedule,
+    width: usize,
+    params: &NoiseParams,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trajectory");
+    let ideal = run_layers(schedule, width, None);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let noisy = run_layers(schedule, width, Some((params, &mut rng)));
+        total += ideal.fidelity(&noisy);
+    }
+    total / trials as f64
+}
+
+/// Runs the schedule's layers, optionally injecting noise.
+fn run_layers(
+    schedule: &Schedule,
+    width: usize,
+    mut noise: Option<(&NoiseParams, &mut ChaCha8Rng)>,
+) -> StateVector {
+    let mut state = StateVector::zero(width.max(1));
+    for layer in schedule.layers() {
+        for op in layer.ops() {
+            state.apply(op);
+            if let Some((params, rng)) = noise.as_mut() {
+                let p = match op.gate {
+                    Gate::Cz => params.p2,
+                    Gate::Measure => params.readout,
+                    Gate::Rz(_) => 0.0,
+                    _ => params.p1,
+                };
+                for q in op.qubits() {
+                    if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                        if op.gate == Gate::Measure {
+                            state.apply_single(q.index(), gate_matrix(Gate::X));
+                        } else {
+                            apply_random_pauli(&mut state, q.index(), rng);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((params, rng)) = noise.as_mut() {
+            // Idle decay across the layer for every qubit.
+            let dt_us = layer.duration_ns() / 1000.0;
+            let p_idle = 1.0 - (-dt_us / params.t1_us).exp();
+            if p_idle > 0.0 {
+                for q in 0..width {
+                    if rng.gen_bool(p_idle.min(1.0)) {
+                        apply_random_pauli(&mut state, q, rng);
+                    }
+                }
+            }
+        }
+    }
+    state
+}
+
+fn apply_random_pauli(state: &mut StateVector, q: usize, rng: &mut ChaCha8Rng) {
+    match rng.gen_range(0..3) {
+        0 => state.apply_single(q, gate_matrix(Gate::X)),
+        1 => {
+            // Y = [[0, -i], [i, 0]]
+            state.apply_single(
+                q,
+                [
+                    Complex::ZERO,
+                    Complex::new(0.0, -1.0),
+                    Complex::new(0.0, 1.0),
+                    Complex::ZERO,
+                ],
+            );
+        }
+        _ => state.apply_single(q, gate_matrix(Gate::Rz(std::f64::consts::PI))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+    use youtiao_circuit::schedule::schedule_asap;
+    use youtiao_circuit::{benchmarks, Circuit};
+
+    fn scheduled(circuit: &Circuit, n: usize) -> Schedule {
+        let chip = topology::linear(n);
+        schedule_asap(circuit, &chip).unwrap()
+    }
+
+    #[test]
+    fn zero_noise_gives_unit_fidelity() {
+        let circuit = benchmarks::vqc(4, 2);
+        let s = scheduled(&circuit, 4);
+        let params = NoiseParams {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.0,
+            t1_us: 1e12,
+        };
+        let f = simulate_fidelity_mc(&s, 4, &params, 5, 1);
+        assert!((f - 1.0).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn fidelity_decreases_with_noise() {
+        let circuit = benchmarks::vqc(4, 3);
+        let s = scheduled(&circuit, 4);
+        let low = NoiseParams {
+            p1: 1e-4,
+            p2: 1e-3,
+            readout: 0.0,
+            t1_us: 90.0,
+        };
+        let high = NoiseParams {
+            p1: 1e-2,
+            p2: 5e-2,
+            readout: 0.0,
+            t1_us: 90.0,
+        };
+        let f_low = simulate_fidelity_mc(&s, 4, &low, 60, 2);
+        let f_high = simulate_fidelity_mc(&s, 4, &high, 60, 2);
+        assert!(f_low > f_high, "{f_low} vs {f_high}");
+        assert!(f_low > 0.85);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let circuit = benchmarks::ising(4, 2);
+        let s = scheduled(&circuit, 4);
+        let params = NoiseParams::paper();
+        let a = simulate_fidelity_mc(&s, 4, &params, 20, 7);
+        let b = simulate_fidelity_mc(&s, 4, &params, 20, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mc_matches_analytic_estimator_to_first_order() {
+        // On a short circuit the analytic product model and the MC
+        // trajectories should agree within a few percent.
+        let chip = topology::linear(5);
+        let circuit = benchmarks::vqc(5, 2);
+        let schedule = schedule_asap(&circuit, &chip).unwrap();
+        let est = FidelityEstimator::paper();
+        let analytic = est.estimate(&schedule, &chip).total();
+        let mc = simulate_fidelity_mc(&schedule, 5, &NoiseParams::from_estimator(&est), 400, 3);
+        assert!(
+            (mc - analytic).abs() < 0.05,
+            "mc {mc} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn readout_errors_hurt() {
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::Measure, 0u32.into()).unwrap();
+        circuit.push1(Gate::Measure, 1u32.into()).unwrap();
+        let s = scheduled(&circuit, 2);
+        let params = NoiseParams {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.5,
+            t1_us: 1e12,
+        };
+        let f = simulate_fidelity_mc(&s, 2, &params, 300, 5);
+        assert!(f < 0.6, "{f}");
+        assert!(f > 0.1);
+    }
+}

@@ -1,0 +1,343 @@
+//! Dense state-vector backend.
+
+use youtiao_circuit::{Circuit, CircuitError, Gate, Operation};
+use youtiao_pulse::Complex;
+
+/// Hard cap on simulated qubit count (2²⁴ amplitudes ≈ 256 MiB).
+pub const MAX_QUBITS: usize = 24;
+
+/// A pure quantum state over `n` qubits (little-endian basis indexing:
+/// qubit 0 is the least significant bit of the basis index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_QUBITS`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n > 0, "state needs at least one qubit");
+        assert!(n <= MAX_QUBITS, "state too large to simulate densely");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Runs every unitary operation of `circuit` on `|0…0⟩`
+    /// (measurements are skipped — use [`probability_of`] on the final
+    /// state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] when the circuit is
+    /// wider than [`MAX_QUBITS`] allows.
+    ///
+    /// [`probability_of`]: StateVector::probability_of
+    pub fn run(circuit: &Circuit) -> Result<Self, CircuitError> {
+        if circuit.num_qubits() > MAX_QUBITS {
+            return Err(CircuitError::ChipTooSmall {
+                needed: circuit.num_qubits(),
+                available: MAX_QUBITS,
+            });
+        }
+        let mut state = StateVector::zero(circuit.num_qubits().max(1));
+        for op in circuit.operations() {
+            state.apply(op);
+        }
+        Ok(state)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies one circuit operation (measurements are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand index exceeds the state width.
+    pub fn apply(&mut self, op: &Operation) {
+        match (op.gate, op.q1) {
+            (Gate::Cz, Some(q1)) => self.apply_cz(op.q0.index(), q1.index()),
+            (Gate::Measure, _) => {}
+            (gate, None) => self.apply_single(op.q0.index(), gate_matrix(gate)),
+            (gate, Some(_)) => unreachable!("unsupported two-qubit gate {gate}"),
+        }
+    }
+
+    /// Applies a 2×2 unitary `[[m00, m01], [m10, m11]]` to qubit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the state width.
+    pub fn apply_single(&mut self, k: usize, m: [Complex; 4]) {
+        assert!(k < self.n, "qubit index out of range");
+        let bit = 1usize << k;
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let a0 = self.amps[base];
+            let a1 = self.amps[base | bit];
+            self.amps[base] = m[0] * a0 + m[1] * a1;
+            self.amps[base | bit] = m[2] * a0 + m[3] * a1;
+        }
+    }
+
+    /// Applies CZ between qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index exceeds the state width or `a == b`.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b, "bad cz operands");
+        let mask = (1usize << a) | (1usize << b);
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            if idx & mask == mask {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Probability of measuring the computational basis state `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` exceeds the state dimension.
+    pub fn probability_of(&self, basis: usize) -> f64 {
+        self.amps[basis].norm_sqr()
+    }
+
+    /// State overlap fidelity `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n, "state width mismatch");
+        let mut inner = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            inner += a.conj() * *b;
+        }
+        inner.norm_sqr()
+    }
+
+    /// Total probability (1 for any unitary evolution; useful as a
+    /// numerical check).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Marginal probability that qubit `k` measures `|1⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the state width.
+    pub fn probability_of_one(&self, k: usize) -> f64 {
+        assert!(k < self.n, "qubit index out of range");
+        let bit = 1usize << k;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples `shots` full-register measurement outcomes, returning a
+    /// basis-index → count histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not normalized to within 10⁻⁶.
+    pub fn sample_counts<R: rand::Rng>(
+        &self,
+        shots: usize,
+        rng: &mut R,
+    ) -> std::collections::HashMap<usize, usize> {
+        assert!((self.norm() - 1.0).abs() < 1e-6, "state is not normalized");
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..shots {
+            let mut r: f64 = rng.gen_range(0.0..1.0);
+            let mut outcome = self.amps.len() - 1;
+            for (idx, amp) in self.amps.iter().enumerate() {
+                r -= amp.norm_sqr();
+                if r <= 0.0 {
+                    outcome = idx;
+                    break;
+                }
+            }
+            *counts.entry(outcome).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// The 2×2 matrix of a single-qubit gate.
+///
+/// # Panics
+///
+/// Panics for two-qubit gates and measurement.
+pub fn gate_matrix(gate: Gate) -> [Complex; 4] {
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    match gate {
+        Gate::X => [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
+        Gate::H => [
+            Complex::from(inv_sqrt2),
+            Complex::from(inv_sqrt2),
+            Complex::from(inv_sqrt2),
+            Complex::from(-inv_sqrt2),
+        ],
+        Gate::Rx(t) => {
+            let c = Complex::from((t / 2.0).cos());
+            let s = Complex::new(0.0, -(t / 2.0).sin());
+            [c, s, s, c]
+        }
+        Gate::Ry(t) => {
+            let c = Complex::from((t / 2.0).cos());
+            let s = (t / 2.0).sin();
+            [c, Complex::from(-s), Complex::from(s), c]
+        }
+        Gate::Rz(t) => [
+            Complex::from_polar(1.0, -t / 2.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_polar(1.0, t / 2.0),
+        ],
+        Gate::Cz | Gate::Measure => panic!("{gate} has no single-qubit matrix"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_circuit::Gate;
+
+    const EPS: f64 = 1e-12;
+
+    fn c(n: usize) -> Circuit {
+        Circuit::new(n)
+    }
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero(3);
+        assert!((s.norm() - 1.0).abs() < EPS);
+        assert!((s.probability_of(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hadamard_superposition() {
+        let mut circ = c(1);
+        circ.push1(Gate::H, 0u32.into()).unwrap();
+        let s = StateVector::run(&circ).unwrap();
+        assert!((s.probability_of(0) - 0.5).abs() < EPS);
+        assert!((s.probability_of(1) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut circ = c(2);
+        circ.push1(Gate::X, 1u32.into()).unwrap();
+        let s = StateVector::run(&circ).unwrap();
+        assert!((s.probability_of(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let mut a = c(1);
+        a.push1(Gate::Rx(std::f64::consts::PI), 0u32.into())
+            .unwrap();
+        let s = StateVector::run(&a).unwrap();
+        assert!((s.probability_of(1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_pair_via_h_cz_h() {
+        let mut circ = c(2);
+        circ.push1(Gate::H, 0u32.into()).unwrap();
+        circ.push1(Gate::H, 1u32.into()).unwrap();
+        circ.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        circ.push1(Gate::H, 1u32.into()).unwrap();
+        let s = StateVector::run(&circ).unwrap();
+        assert!((s.probability_of(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability_of(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability_of(0b01) < EPS);
+    }
+
+    #[test]
+    fn cz_phase_only_on_11() {
+        let mut circ = c(2);
+        circ.push1(Gate::H, 0u32.into()).unwrap();
+        circ.push1(Gate::H, 1u32.into()).unwrap();
+        circ.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        let s = StateVector::run(&circ).unwrap();
+        // Probabilities unchanged by the diagonal phase.
+        for b in 0..4 {
+            assert!((s.probability_of(b) - 0.25).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn rz_is_virtual_on_probabilities() {
+        let mut circ = c(1);
+        circ.push1(Gate::H, 0u32.into()).unwrap();
+        circ.push1(Gate::Rz(1.234), 0u32.into()).unwrap();
+        let s = StateVector::run(&circ).unwrap();
+        assert!((s.probability_of(0) - 0.5).abs() < EPS);
+        // ...but changes the relative phase, visible after another H.
+        let mut circ2 = c(1);
+        circ2.push1(Gate::H, 0u32.into()).unwrap();
+        circ2
+            .push1(Gate::Rz(std::f64::consts::PI), 0u32.into())
+            .unwrap();
+        circ2.push1(Gate::H, 0u32.into()).unwrap();
+        let s2 = StateVector::run(&circ2).unwrap();
+        assert!((s2.probability_of(1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let circ = youtiao_circuit::benchmarks::qft(6);
+        let s = StateVector::run(&circ).unwrap();
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let circ = youtiao_circuit::benchmarks::vqc(5, 2);
+        let a = StateVector::run(&circ).unwrap();
+        let b = StateVector::run(&circ).unwrap();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = StateVector::zero(1);
+        let mut circ = c(1);
+        circ.push1(Gate::X, 0u32.into()).unwrap();
+        let b = StateVector::run(&circ).unwrap();
+        assert!(a.fidelity(&b) < EPS);
+    }
+
+    #[test]
+    fn measurement_is_a_no_op_here() {
+        let mut circ = c(1);
+        circ.push1(Gate::H, 0u32.into()).unwrap();
+        circ.push1(Gate::Measure, 0u32.into()).unwrap();
+        let s = StateVector::run(&circ).unwrap();
+        assert!((s.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_state_panics() {
+        let _ = StateVector::zero(MAX_QUBITS + 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Semantic correctness of the benchmark generators, verified by exact
+//! state-vector simulation: the circuits do not just *look* like their
+//! algorithms, they compute them.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use youtiao_circuit::benchmarks;
+use youtiao_circuit::{Circuit, Gate};
+use youtiao_sim::state::StateVector;
+
+/// Deutsch–Jozsa with the balanced parity oracle: the input register
+/// must *never* measure all-zeros (all-zeros ⟺ constant oracle).
+#[test]
+fn dj_detects_balanced_oracle() {
+    for n in [3usize, 5, 8] {
+        let circuit = benchmarks::dj(n);
+        let state = StateVector::run(&circuit).unwrap();
+        // Probability that all n-1 input qubits read 0 (any ancilla value).
+        let mut p_all_zero_inputs = 0.0;
+        for ancilla in 0..2usize {
+            p_all_zero_inputs += state.probability_of(ancilla << (n - 1));
+        }
+        assert!(
+            p_all_zero_inputs < 1e-9,
+            "n={n}: balanced oracle must never yield all-zero inputs (p={p_all_zero_inputs})"
+        );
+    }
+}
+
+/// A constant oracle (no CX at all) must always measure all-zeros.
+#[test]
+fn dj_constant_oracle_control() {
+    let n = 5;
+    let mut circuit = Circuit::new(n);
+    let ancilla = (n as u32 - 1).into();
+    circuit.push1(Gate::X, ancilla).unwrap();
+    for i in 0..n {
+        circuit.push1(Gate::H, (i as u32).into()).unwrap();
+    }
+    // constant oracle: nothing
+    for i in 0..n - 1 {
+        circuit.push1(Gate::H, (i as u32).into()).unwrap();
+    }
+    let state = StateVector::run(&circuit).unwrap();
+    let mut p_all_zero = 0.0;
+    for ancilla_bit in 0..2usize {
+        p_all_zero += state.probability_of(ancilla_bit << (n - 1));
+    }
+    assert!((p_all_zero - 1.0).abs() < 1e-9);
+}
+
+/// QFT on |0…0⟩ is the uniform superposition: every basis state equally
+/// likely.
+#[test]
+fn qft_of_zero_is_uniform() {
+    for n in [2usize, 4, 6] {
+        let circuit = benchmarks::qft(n);
+        let state = StateVector::run(&circuit).unwrap();
+        let expect = 1.0 / (1 << n) as f64;
+        for b in 0..(1usize << n) {
+            let p = state.probability_of(b);
+            assert!(
+                (p - expect).abs() < 1e-9,
+                "n={n} basis {b}: {p} vs {expect}"
+            );
+        }
+    }
+}
+
+/// The QKNN swap test: the ancilla's P(|0⟩) equals `(1 + |⟨a|b⟩|²) / 2`
+/// for the loaded feature states.
+#[test]
+fn qknn_swap_test_statistics() {
+    let n = 5; // ancilla + two 2-qubit registers
+    let circuit = benchmarks::qknn(n);
+    let state = StateVector::run(&circuit).unwrap();
+    let p0 = 1.0 - state.probability_of_one(0);
+
+    // Compute |<a|b>|^2 from the loading angles in benchmarks::qknn:
+    // register a gets RY(0.4 + 0.2 k), register b RY(0.9 - 0.1 k).
+    let m = (n - 1) / 2;
+    let mut overlap: f64 = 1.0;
+    for k in 0..m {
+        let ta: f64 = 0.4 + 0.2 * k as f64;
+        let tb: f64 = 0.9 - 0.1 * k as f64;
+        // |<RY(ta)0|RY(tb)0>| = cos((ta - tb)/2)
+        overlap *= ((ta - tb) / 2.0).cos();
+    }
+    let expect = (1.0 + overlap * overlap) / 2.0;
+    assert!(
+        (p0 - expect).abs() < 1e-9,
+        "swap test p0 {p0} vs expected {expect}"
+    );
+}
+
+/// Sampling matches the exact distribution (chi-squared-ish sanity).
+#[test]
+fn sampling_matches_probabilities() {
+    let mut circuit = Circuit::new(2);
+    circuit.push1(Gate::H, 0u32.into()).unwrap();
+    let state = StateVector::run(&circuit).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let counts = state.sample_counts(20_000, &mut rng);
+    let p0 = *counts.get(&0).unwrap_or(&0) as f64 / 20_000.0;
+    let p1 = *counts.get(&1).unwrap_or(&0) as f64 / 20_000.0;
+    assert!((p0 - 0.5).abs() < 0.02, "{p0}");
+    assert!((p1 - 0.5).abs() < 0.02, "{p1}");
+    assert!(counts.keys().all(|&b| b < 4));
+}
+
+/// Transpilation preserves semantics: the physical DJ circuit computes
+/// the same outcome distribution on the physical qubits holding the
+/// logical register.
+#[test]
+fn transpiled_dj_is_equivalent() {
+    use youtiao_chip::topology;
+    use youtiao_circuit::transpile::transpile_snake;
+
+    let chip = topology::square_grid(3, 3);
+    let logical = benchmarks::dj(6);
+    let t = transpile_snake(&logical, &chip).unwrap();
+    let physical_state = StateVector::run(&t.circuit).unwrap();
+
+    // All-zero *logical inputs* probability, reading through the final
+    // layout (logical input i lives on physical t.final_layout[i]).
+    let mut p_all_zero = 0.0;
+    for basis in 0..(1usize << chip.num_qubits()) {
+        let inputs_zero = (0..5).all(|logical_q| {
+            let phys = t.final_layout[logical_q].index();
+            basis & (1 << phys) == 0
+        });
+        if inputs_zero {
+            p_all_zero += physical_state.probability_of(basis);
+        }
+    }
+    assert!(
+        p_all_zero < 1e-9,
+        "balanced DJ must not yield all-zero inputs"
+    );
+}

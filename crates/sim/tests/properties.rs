@@ -1,0 +1,99 @@
+//! Property-based tests for the state-vector simulator.
+
+use proptest::prelude::*;
+use youtiao_circuit::{Circuit, Gate};
+use youtiao_sim::state::{gate_matrix, StateVector};
+
+fn random_unitary_circuit(n: usize, ops: &[(u8, u8, u8, u16)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, b, angle) in ops {
+        let qa = ((a as usize) % n).into();
+        let qb = ((b as usize) % n).into();
+        let theta = angle as f64 / 100.0;
+        match kind % 6 {
+            0 => c.push1(Gate::H, qa).unwrap(),
+            1 => c.push1(Gate::X, qa).unwrap(),
+            2 => c.push1(Gate::Rx(theta), qa).unwrap(),
+            3 => c.push1(Gate::Ry(theta), qa).unwrap(),
+            4 => c.push1(Gate::Rz(theta), qa).unwrap(),
+            _ => {
+                if qa != qb {
+                    c.push2(Gate::Cz, qa, qb).unwrap();
+                }
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any circuit of basis gates preserves the norm exactly.
+    #[test]
+    fn unitarity(n in 1usize..7, ops in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8, 0u16..620), 0..60)) {
+        let c = random_unitary_circuit(n, &ops);
+        let s = StateVector::run(&c).unwrap();
+        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// Basis probabilities always sum to one and lie in [0, 1].
+    #[test]
+    fn probabilities_are_a_distribution(n in 1usize..6, ops in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8, 0u16..620), 0..40)) {
+        let c = random_unitary_circuit(n, &ops);
+        let s = StateVector::run(&c).unwrap();
+        let mut sum = 0.0;
+        for b in 0..(1usize << n) {
+            let p = s.probability_of(b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            sum += p;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Applying a gate then its inverse returns to the original state
+    /// (fidelity 1).
+    #[test]
+    fn rotation_inverses(n in 1usize..5, q in 0u8..8, theta in 0.0f64..6.2) {
+        let q = ((q as usize) % n).into();
+        let mut fwd = Circuit::new(n);
+        fwd.push1(Gate::H, q).unwrap();
+        fwd.push1(Gate::Rx(theta), q).unwrap();
+        fwd.push1(Gate::Rx(-theta), q).unwrap();
+        let s = StateVector::run(&fwd).unwrap();
+        let mut href = Circuit::new(n);
+        href.push1(Gate::H, q).unwrap();
+        let r = StateVector::run(&href).unwrap();
+        prop_assert!((s.fidelity(&r) - 1.0).abs() < 1e-9);
+    }
+
+    /// Gate matrices are unitary: M†M = I.
+    #[test]
+    fn matrices_are_unitary(kind in 0u8..5, theta in -6.2f64..6.2) {
+        let gate = match kind {
+            0 => Gate::H,
+            1 => Gate::X,
+            2 => Gate::Rx(theta),
+            3 => Gate::Ry(theta),
+            _ => Gate::Rz(theta),
+        };
+        let m = gate_matrix(gate);
+        // columns are orthonormal
+        let c0 = (m[0].norm_sqr() + m[2].norm_sqr() - 1.0).abs();
+        let c1 = (m[1].norm_sqr() + m[3].norm_sqr() - 1.0).abs();
+        let cross = (m[0].conj() * m[1] + m[2].conj() * m[3]).norm();
+        prop_assert!(c0 < 1e-12 && c1 < 1e-12 && cross < 1e-12);
+    }
+
+    /// CZ is an involution: applying it twice is the identity.
+    #[test]
+    fn cz_involution(ops in proptest::collection::vec((0u8..6, 0u8..4, 0u8..4, 0u16..620), 0..20)) {
+        let base = random_unitary_circuit(4, &ops);
+        let s0 = StateVector::run(&base).unwrap();
+        let mut twice = base.clone();
+        twice.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        twice.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+        let s1 = StateVector::run(&twice).unwrap();
+        prop_assert!((s0.fidelity(&s1) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Visualize the generative chip partition (the paper's §4.4) and the
+//! dynamic qubit grouping it produces on a large chip.
+//!
+//! ```sh
+//! cargo run --release --example partition_demo
+//! ```
+
+use youtiao::chip::topology;
+use youtiao::core::partition::PartitionConfig;
+use youtiao::core::viz::{render_fdm, render_partition, render_tdm};
+use youtiao::core::{PlannerConfig, YoutiaoPlanner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = topology::square_grid(10, 10);
+    let config = PlannerConfig {
+        partition: Some(PartitionConfig::for_target_size(&chip, 25)),
+        ..Default::default()
+    };
+    let plan = YoutiaoPlanner::new(&chip).with_config(config).plan()?;
+
+    let partition = plan.partition().expect("partition was requested");
+    println!(
+        "{chip}: {} regions (sizes {:?}), converged after {} border-swap sweeps\n",
+        partition.len(),
+        partition.regions().iter().map(Vec::len).collect::<Vec<_>>(),
+        partition.sweeps_used()
+    );
+
+    println!("generative partition (stage 1-2: seeded growth + border swaps):");
+    print!("{}", render_partition(&chip, &plan));
+
+    println!("\nFDM lines within the regions (stage 3: route while expanding):");
+    print!("{}", render_fdm(&chip, &plan));
+
+    println!("\nTDM groups (each letter = one shared Z line / cryo-DEMUX):");
+    print!("{}", render_tdm(&chip, &plan));
+
+    println!(
+        "\nresult: {} XY lines + {} Z lines + {} readout feedlines for 100 qubits",
+        plan.num_xy_lines(),
+        plan.num_z_lines(),
+        plan.num_readout_lines()
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Quickstart: plan YOUTIAO wiring for a 36-qubit chip and inspect the
+//! savings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use youtiao::chip::topology;
+use youtiao::core::YoutiaoPlanner;
+use youtiao::cost::WiringTally;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the hardware: a 6x6 Xmon grid like the paper's target
+    //    device.
+    let chip = topology::square_grid(6, 6);
+    println!("chip: {chip}");
+
+    // 2. Fit a crosstalk model from (synthetic) measurement data.
+    let samples = youtiao::noise::data::synthesize(
+        &chip,
+        youtiao::noise::data::CrosstalkKind::Xy,
+        &youtiao::noise::data::SynthConfig::xy(),
+        42,
+    );
+    let model = youtiao::noise::fit::fit_crosstalk_model(
+        &samples,
+        &youtiao::noise::fit::FitConfig::paper(),
+    )?;
+    println!(
+        "crosstalk model: w_phy={:.2}, w_top={:.2}, cv mse={:.2e}",
+        model.weights().w_phy(),
+        model.weights().w_top(),
+        model.cv_mse()
+    );
+
+    // 3. Run the full planning pipeline: FDM grouping, two-level
+    //    frequency allocation, TDM grouping with DEMUX selection.
+    let plan = YoutiaoPlanner::new(&chip)
+        .with_crosstalk_model(&model)
+        .plan()?;
+
+    println!("\nYOUTIAO wiring plan:");
+    println!("  FDM XY lines:      {}", plan.num_xy_lines());
+    println!("  TDM Z lines:       {}", plan.num_z_lines());
+    println!("  DEMUX select:      {}", plan.demux_select_lines());
+    println!("  readout feedlines: {}", plan.num_readout_lines());
+    for (i, line) in plan.fdm_lines().iter().enumerate().take(3) {
+        let freqs: Vec<String> = line
+            .qubits()
+            .iter()
+            .map(|&q| format!("{q}@{:.2}GHz", plan.frequency_plan().frequency_ghz(q)))
+            .collect();
+        println!("  xy line {i}: {}", freqs.join(", "));
+    }
+
+    // 4. Compare wiring cost against dedicated (Google-style) wiring.
+    let google = WiringTally::google(&chip);
+    let youtiao = WiringTally::youtiao(&plan);
+    println!("\ncost comparison (cryostat level):");
+    println!(
+        "  Google : {} coax, {} DAC channels, ${:.0}K",
+        google.coax_lines(),
+        google.dac_channels(),
+        google.cost_kusd()
+    );
+    println!(
+        "  YOUTIAO: {} coax, {} DAC channels, ${:.0}K  ({:.1}x cheaper)",
+        youtiao.coax_lines(),
+        youtiao.dac_channels(),
+        youtiao.cost_kusd(),
+        google.cost_kusd() / youtiao.cost_kusd()
+    );
+    Ok(())
+}

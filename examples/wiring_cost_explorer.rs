@@ -1,0 +1,43 @@
+//! Explore how YOUTIAO's wiring savings scale with system size, and
+//! where the KIDE cryostat's 4,000-coax ceiling lands for each scheme.
+//!
+//! ```sh
+//! cargo run --release --example wiring_cost_explorer
+//! ```
+
+use youtiao::cost::scale::ScalingModel;
+use youtiao::cost::KIDE_MAX_COAX;
+
+fn main() {
+    let model = ScalingModel::calibrate(&[6, 8, 10]);
+    println!(
+        "calibrated occupancies: {:.2} devices per Z line, {:.2} select lines per DEMUX\n",
+        model.z_devices_per_line, model.select_per_line
+    );
+
+    println!(
+        "{:>9}  {:>12}  {:>13}  {:>9}",
+        "#qubits", "Google coax", "YOUTIAO coax", "saving"
+    );
+    let mut google_ceiling = None;
+    let mut youtiao_ceiling = None;
+    for exp in 3..=14 {
+        let n = (10f64.powf(exp as f64 / 2.0)) as usize;
+        let g = model.google_tally(n).coax_lines();
+        let y = model.youtiao_tally(n).coax_lines();
+        println!("{n:>9}  {g:>12}  {y:>13}  {:>8.1}x", g as f64 / y as f64);
+        if g > KIDE_MAX_COAX && google_ceiling.is_none() {
+            google_ceiling = Some(n);
+        }
+        if y > KIDE_MAX_COAX && youtiao_ceiling.is_none() {
+            youtiao_ceiling = Some(n);
+        }
+    }
+
+    println!(
+        "\na Bluefors KIDE cryostat tops out at {KIDE_MAX_COAX} coax lines:\n\
+         dedicated wiring exhausts it near {} qubits; YOUTIAO stretches it to ~{} qubits.",
+        google_ceiling.map_or("???".into(), |n| n.to_string()),
+        youtiao_ceiling.map_or("beyond the sweep".into(), |n| n.to_string()),
+    );
+}

@@ -1,0 +1,261 @@
+//! The `youtiao` command-line tool: plan multiplexed wiring for a chip,
+//! compare costs against dedicated wiring, and export chip/plan JSON.
+//!
+//! ```text
+//! youtiao topologies
+//! youtiao plan --topology square --rows 6 --cols 6 [--theta 4] [--json]
+//! youtiao plan --chip my_chip.json --json
+//! youtiao cost --topology heavy-square --rows 3 --cols 3
+//! youtiao export-chip --topology surface --distance 5 --out chip.json
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use youtiao::chip::spec::ChipSpec;
+use youtiao::chip::surface::SurfaceCode;
+use youtiao::chip::{topology, Chip};
+use youtiao::core::{PlanSummary, PlannerConfig, YoutiaoPlanner};
+use youtiao::cost::WiringTally;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  youtiao topologies
+  youtiao plan   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight] [--json] [--viz]
+  youtiao cost   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
+  youtiao export-chip <chip args> --out FILE
+
+chip args (one of):
+  --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring
+             [--rows R] [--cols C] [--size N]
+  --topology surface --distance D
+  --topology ibm-heavy-hex --size N
+  --chip FILE.json    (a ChipSpec exported by export-chip)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "topologies" => {
+            println!("built-in topology generators:");
+            for (name, note) in [
+                (
+                    "square",
+                    "rows x cols grid (the paper's square / Xmon devices)",
+                ),
+                ("heavy-square", "grid with a qubit on every edge"),
+                ("hexagon", "honeycomb patch (rows x cols cells)"),
+                ("heavy-hexagon", "honeycomb with a qubit on every edge"),
+                ("low-density", "snake path, average degree 2"),
+                ("sycamore", "diagonal grid (Google-style)"),
+                ("linear", "1-D chain (--size N)"),
+                ("ring", "cycle (--size N)"),
+                ("surface", "rotated surface code (--distance D)"),
+                (
+                    "ibm-heavy-hex",
+                    "heavy-hex patch closest to --size N qubits",
+                ),
+            ] {
+                println!("  {name:<15} {note}");
+            }
+            Ok(())
+        }
+        "plan" => {
+            let chip = load_chip(&flags)?;
+            let config = planner_config(&flags)?;
+            let plan = YoutiaoPlanner::new(&chip)
+                .with_config(config)
+                .plan()
+                .map_err(|e| e.to_string())?;
+            let summary = PlanSummary::from_plan(&plan);
+            if flags.contains_key("json") {
+                let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+                println!("{json}");
+            } else {
+                print_plan(&chip, &summary);
+            }
+            if flags.contains_key("viz") {
+                println!("\nFDM lines (qubits labelled by line):");
+                print!("{}", youtiao::core::viz::render_fdm(&chip, &plan));
+                println!("\nTDM groups (devices labelled by Z line):");
+                print!("{}", youtiao::core::viz::render_tdm(&chip, &plan));
+            }
+            Ok(())
+        }
+        "cost" => {
+            let chip = load_chip(&flags)?;
+            let config = planner_config(&flags)?;
+            let plan = YoutiaoPlanner::new(&chip)
+                .with_config(config)
+                .plan()
+                .map_err(|e| e.to_string())?;
+            let g = WiringTally::google(&chip);
+            let y = WiringTally::youtiao(&plan);
+            println!("{}", chip);
+            println!(
+                "{:<22} {:>10} {:>10} {:>8}",
+                "", "dedicated", "YOUTIAO", "ratio"
+            );
+            let rows: [(&str, usize, usize); 5] = [
+                ("XY lines", g.xy_lines, y.xy_lines),
+                ("Z lines", g.z_lines, y.z_lines),
+                ("coax total", g.coax_lines(), y.coax_lines()),
+                ("DAC channels", g.dac_channels(), y.dac_channels()),
+                ("chip interfaces", g.interfaces(), y.interfaces()),
+            ];
+            for (name, gv, yv) in rows {
+                println!(
+                    "{name:<22} {gv:>10} {yv:>10} {:>7.2}x",
+                    gv as f64 / yv as f64
+                );
+            }
+            println!(
+                "{:<22} {:>9.0}K {:>9.0}K {:>7.2}x",
+                "wiring cost ($)",
+                g.cost_kusd(),
+                y.cost_kusd(),
+                g.cost_kusd() / y.cost_kusd()
+            );
+            Ok(())
+        }
+        "export-chip" => {
+            let chip = load_chip(&flags)?;
+            let out = flags
+                .get("out")
+                .and_then(|v| v.clone())
+                .ok_or("export-chip requires --out FILE")?;
+            let spec = ChipSpec::from_chip(&chip);
+            let json = serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?;
+            std::fs::write(&out, json).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} qubits, {} couplers)",
+                out,
+                chip.num_qubits(),
+                chip.num_couplers()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses `--key value` and boolean `--flag` arguments.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, Option<String>>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{arg}`"))?;
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+        if value.is_some() {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        flags.insert(key.to_string(), value);
+    }
+    Ok(flags)
+}
+
+fn get_usize(
+    flags: &HashMap<String, Option<String>>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(Some(v)) => v.parse().map_err(|_| format!("--{key} expects an integer")),
+        Some(None) => Err(format!("--{key} expects a value")),
+    }
+}
+
+fn load_chip(flags: &HashMap<String, Option<String>>) -> Result<Chip, String> {
+    if let Some(Some(path)) = flags.get("chip") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let spec: ChipSpec = serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+        return spec.to_chip().map_err(|e| e.to_string());
+    }
+    let topo = flags
+        .get("topology")
+        .and_then(|v| v.clone())
+        .ok_or("missing --topology or --chip")?;
+    let rows = get_usize(flags, "rows", 3)?;
+    let cols = get_usize(flags, "cols", 3)?;
+    let size = get_usize(flags, "size", 16)?;
+    let chip = match topo.as_str() {
+        "square" => topology::square_grid(rows, cols),
+        "heavy-square" => topology::heavy_square(rows, cols),
+        "hexagon" => topology::hexagon_patch(rows, cols),
+        "heavy-hexagon" => topology::heavy_hexagon(rows, cols),
+        "low-density" => topology::low_density(rows, cols.max(2)),
+        "sycamore" => topology::sycamore(rows, cols),
+        "linear" => topology::linear(size),
+        "ring" => topology::ring(size.max(3)),
+        "ibm-heavy-hex" => topology::ibm_heavy_hex(size.max(12)),
+        "surface" => {
+            let d = get_usize(flags, "distance", 3)?;
+            if d < 3 || d % 2 == 0 {
+                return Err("--distance must be odd and >= 3".into());
+            }
+            SurfaceCode::rotated(d).into_chip()
+        }
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    Ok(chip)
+}
+
+fn planner_config(flags: &HashMap<String, Option<String>>) -> Result<PlannerConfig, String> {
+    let mut config = PlannerConfig::default();
+    if let Some(Some(theta)) = flags.get("theta") {
+        config.tdm.theta = theta.parse().map_err(|_| "--theta expects a number")?;
+    }
+    config.fdm_capacity = get_usize(flags, "fdm-capacity", config.fdm_capacity)?;
+    config.tdm.allow_one_to_eight = flags.contains_key("one-to-eight");
+    Ok(config)
+}
+
+fn print_plan(chip: &Chip, summary: &PlanSummary) {
+    println!("{chip}");
+    println!("\nXY lines ({}):", summary.xy_lines.len());
+    for (i, line) in summary.xy_lines.iter().enumerate() {
+        let cells: Vec<String> = line
+            .qubits
+            .iter()
+            .zip(&line.frequencies_ghz)
+            .map(|(q, f)| format!("q{q}@{f:.2}"))
+            .collect();
+        println!("  xy{i}: {}", cells.join(" "));
+    }
+    println!("\nZ lines ({}):", summary.z_lines.len());
+    for (i, group) in summary.z_lines.iter().enumerate() {
+        println!("  z{i} [{}]: {}", group.demux, group.devices.join(" "));
+    }
+    println!("\nreadout feedlines ({}):", summary.readout_lines.len());
+    for (i, line) in summary.readout_lines.iter().enumerate() {
+        let cells: Vec<String> = line
+            .qubits
+            .iter()
+            .zip(&line.frequencies_ghz)
+            .map(|(q, f)| format!("q{q}@{f:.2}"))
+            .collect();
+        println!("  ro{i}: {}", cells.join(" "));
+    }
+    println!("\nDEMUX select lines: {}", summary.demux_select_lines);
+}

@@ -1,0 +1,219 @@
+//! One-call design flow: characterize → plan → route → cost.
+//!
+//! [`design_chip`] runs the full YOUTIAO pipeline on a chip and returns
+//! everything a hardware team reviews in one report: the wiring plan,
+//! both cost tallies, and the chip-level routing result.
+
+use youtiao_chip::Chip;
+use youtiao_core::{PlanError, PlannerConfig, WiringPlan, YoutiaoPlanner};
+use youtiao_cost::WiringTally;
+use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+use youtiao_noise::CrosstalkModel;
+use youtiao_route::channel::{channel_route, ChannelConfig, ChannelResult};
+use youtiao_route::router::{NetSpec, RouteError};
+
+/// Options for [`design_chip`].
+#[derive(Debug, Clone)]
+pub struct DesignOptions {
+    /// Planner configuration (FDM capacity, θ, partitioning, …).
+    pub planner: PlannerConfig,
+    /// Seed for synthetic crosstalk characterization (substitute for
+    /// measured chip data).
+    pub seed: u64,
+    /// Route the chip level too (skipped when `None`).
+    pub routing: Option<ChannelConfig>,
+}
+
+impl Default for DesignOptions {
+    fn default() -> Self {
+        DesignOptions {
+            planner: PlannerConfig::default(),
+            seed: 0x594F_5554,
+            routing: Some(ChannelConfig {
+                margin_mm: 5.0,
+                ..Default::default()
+            }),
+        }
+    }
+}
+
+/// The output of [`design_chip`].
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// The fitted crosstalk model used for grouping and allocation.
+    pub model: CrosstalkModel,
+    /// The YOUTIAO wiring plan.
+    pub plan: WiringPlan,
+    /// Resource tally under dedicated (Google-style) wiring.
+    pub dedicated: WiringTally,
+    /// Resource tally under the YOUTIAO plan.
+    pub multiplexed: WiringTally,
+    /// Chip-level routing of the multiplexed netlist, when requested.
+    pub routing: Option<ChannelResult>,
+}
+
+impl DesignReport {
+    /// Wiring-cost reduction factor (dedicated / multiplexed).
+    pub fn cost_reduction(&self) -> f64 {
+        self.dedicated.cost_kusd() / self.multiplexed.cost_kusd()
+    }
+
+    /// Coax-line reduction factor.
+    pub fn coax_reduction(&self) -> f64 {
+        self.dedicated.coax_lines() as f64 / self.multiplexed.coax_lines() as f64
+    }
+}
+
+/// Errors from [`design_chip`].
+#[derive(Debug)]
+pub enum DesignError {
+    /// Planning failed.
+    Plan(PlanError),
+    /// Chip-level routing failed.
+    Route(RouteError),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::Plan(e) => write!(f, "planning failed: {e}"),
+            DesignError::Route(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<PlanError> for DesignError {
+    fn from(e: PlanError) -> Self {
+        DesignError::Plan(e)
+    }
+}
+
+impl From<RouteError> for DesignError {
+    fn from(e: RouteError) -> Self {
+        DesignError::Route(e)
+    }
+}
+
+/// Runs the full YOUTIAO design flow on `chip`.
+///
+/// # Errors
+///
+/// Returns [`DesignError`] when planning or routing fails.
+///
+/// # Example
+///
+/// ```
+/// use youtiao::chip::topology;
+/// use youtiao::flow::{design_chip, DesignOptions};
+///
+/// let chip = topology::heavy_square(3, 3);
+/// let report = design_chip(&chip, &DesignOptions::default())?;
+/// assert!(report.cost_reduction() > 2.0);
+/// assert!(report.routing.is_some());
+/// # Ok::<(), youtiao::flow::DesignError>(())
+/// ```
+pub fn design_chip(chip: &Chip, options: &DesignOptions) -> Result<DesignReport, DesignError> {
+    // 1. Characterize: synthesize measurements and fit the model.
+    let samples = synthesize(chip, CrosstalkKind::Xy, &SynthConfig::xy(), options.seed);
+    let model =
+        fit_crosstalk_model(&samples, &FitConfig::paper()).expect("synthesized data always fits");
+
+    // 2. Plan.
+    let plan = YoutiaoPlanner::new(chip)
+        .with_crosstalk_model(&model)
+        .with_config(options.planner.clone())
+        .plan()?;
+
+    // 3. Tally.
+    let dedicated = WiringTally::google(chip);
+    let multiplexed = WiringTally::youtiao(&plan);
+
+    // 4. Route the multiplexed netlist at chip level.
+    let routing = match &options.routing {
+        Some(config) => {
+            let nets = plan_nets(chip, &plan);
+            Some(channel_route(chip, &nets, config)?)
+        }
+        None => None,
+    };
+
+    Ok(DesignReport {
+        model,
+        plan,
+        dedicated,
+        multiplexed,
+        routing,
+    })
+}
+
+/// Net list for a plan: chained FDM lines, chained TDM groups, readout
+/// feedlines (select lines excluded — they route on the DC layer).
+fn plan_nets(chip: &Chip, plan: &WiringPlan) -> Vec<NetSpec> {
+    let qubit_pos = |q: youtiao_chip::QubitId| chip.qubit(q).expect("in range").position();
+    let mut nets = Vec::new();
+    for (i, line) in plan.fdm_lines().iter().enumerate() {
+        nets.push(NetSpec::chain(
+            format!("xy{i}"),
+            line.qubits().iter().map(|&q| qubit_pos(q)).collect(),
+        ));
+    }
+    for (i, group) in plan.tdm_groups().iter().enumerate() {
+        nets.push(NetSpec::chain(
+            format!("z{i}"),
+            group
+                .devices()
+                .iter()
+                .map(|&d| chip.device_position(d))
+                .collect(),
+        ));
+    }
+    for (i, line) in plan.readout_lines().iter().enumerate() {
+        nets.push(NetSpec::chain(
+            format!("ro{i}"),
+            line.iter().map(|&q| qubit_pos(q)).collect(),
+        ));
+    }
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+
+    #[test]
+    fn design_flow_end_to_end() {
+        let chip = topology::square_grid(4, 4);
+        let report = design_chip(&chip, &DesignOptions::default()).unwrap();
+        assert!(report.coax_reduction() > 2.0);
+        assert!(report.cost_reduction() > 1.5);
+        let routing = report.routing.unwrap();
+        assert_eq!(
+            routing.routing.nets.len(),
+            report.plan.num_xy_lines()
+                + report.plan.num_z_lines()
+                + report.plan.num_readout_lines()
+        );
+    }
+
+    #[test]
+    fn routing_can_be_skipped() {
+        let chip = topology::linear(6);
+        let options = DesignOptions {
+            routing: None,
+            ..Default::default()
+        };
+        let report = design_chip(&chip, &options).unwrap();
+        assert!(report.routing.is_none());
+        assert!(report.multiplexed.coax_lines() < report.dedicated.coax_lines());
+    }
+
+    #[test]
+    fn errors_are_displayed() {
+        let e = DesignError::Plan(PlanError::EmptyChip);
+        assert!(e.to_string().contains("planning failed"));
+    }
+}

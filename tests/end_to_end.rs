@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full YOUTIAO pipeline from
+//! synthetic chip data to schedules, routed layouts and cost tallies.
+
+use youtiao::chip::surface::SurfaceCode;
+use youtiao::chip::topology;
+use youtiao::circuit::benchmarks::Benchmark;
+use youtiao::circuit::schedule::{schedule_asap, schedule_with_tdm, schedule_with_tdm_strict};
+use youtiao::circuit::surface_cycle::{cycle_activity, cycles_circuit};
+use youtiao::circuit::transpile::{is_hardware_compatible, transpile_snake};
+use youtiao::circuit::FidelityEstimator;
+use youtiao::core::{AcharyaTdm, GoogleBaseline, YoutiaoPlanner};
+use youtiao::cost::WiringTally;
+use youtiao::noise::data::{synthesize, CrosstalkKind, SynthConfig};
+use youtiao::noise::fit::{fit_crosstalk_model, FitConfig};
+
+/// Data synthesis → model fit → plan → schedule → fidelity, end to end.
+#[test]
+fn full_pipeline_on_target_chip() {
+    let chip = topology::square_grid(6, 6);
+    let samples = synthesize(&chip, CrosstalkKind::Xy, &SynthConfig::xy(), 7);
+    let model = fit_crosstalk_model(&samples, &FitConfig::fast()).expect("fit succeeds");
+    let plan = YoutiaoPlanner::new(&chip)
+        .with_crosstalk_model(&model)
+        .plan()
+        .expect("plan succeeds");
+
+    // Wiring savings hold.
+    let g = WiringTally::google(&chip);
+    let y = WiringTally::youtiao(&plan);
+    assert!(
+        y.coax_lines() * 2 < g.coax_lines(),
+        "expected >2x coax reduction"
+    );
+    assert!(y.cost_kusd() < g.cost_kusd());
+
+    // Every benchmark schedules under the plan with bounded overhead.
+    let est = FidelityEstimator::paper();
+    for b in Benchmark::ALL {
+        let physical = transpile_snake(&b.generate(16), &chip).unwrap().circuit;
+        assert!(is_hardware_compatible(&physical, &chip));
+        let base = schedule_asap(&physical, &chip).unwrap();
+        let tdm = schedule_with_tdm(&physical, &chip, &plan).unwrap();
+        assert!(tdm.two_qubit_depth() >= base.two_qubit_depth());
+        assert!(
+            tdm.two_qubit_depth() <= base.two_qubit_depth() * 2,
+            "{}: {} vs {}",
+            b.name(),
+            tdm.two_qubit_depth(),
+            base.two_qubit_depth()
+        );
+        let f = est.estimate(&tdm, &chip).total();
+        assert!((0.0..=1.0).contains(&f));
+    }
+}
+
+/// The three comparison systems order as the paper reports on parallel
+/// workloads: Google <= YOUTIAO <= Acharya in depth.
+#[test]
+fn scheme_ordering_on_parallel_workload() {
+    let chip = topology::square_grid(5, 5);
+    let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+    let acharya = AcharyaTdm::for_chip(&chip);
+    let google = GoogleBaseline::for_chip(&chip);
+
+    let physical = transpile_snake(&Benchmark::Vqc.generate(25), &chip)
+        .unwrap()
+        .circuit;
+    let d_google = schedule_with_tdm(&physical, &chip, &google)
+        .unwrap()
+        .two_qubit_depth();
+    let d_yt = schedule_with_tdm(&physical, &chip, &plan)
+        .unwrap()
+        .two_qubit_depth();
+    let d_ach = schedule_with_tdm(&physical, &chip, &acharya)
+        .unwrap()
+        .two_qubit_depth();
+    assert!(d_google <= d_yt);
+    assert!(d_yt < d_ach, "youtiao {d_yt} should beat acharya {d_ach}");
+}
+
+/// Surface-code case study: activity-aware grouping keeps the QEC cycle
+/// overhead within one extra window per cycle even under the strict
+/// (three-device) pulse model.
+#[test]
+fn surface_code_cycle_overhead_is_bounded() {
+    let code = SurfaceCode::rotated(5);
+    let chip = code.chip();
+    let activity = cycle_activity(&code);
+    let plan = YoutiaoPlanner::new(chip)
+        .with_activity(&activity)
+        .plan()
+        .unwrap();
+
+    let cycles = 5;
+    let circuit = cycles_circuit(&code, cycles).unwrap();
+    let base = schedule_asap(&circuit, chip).unwrap().two_qubit_depth();
+    let tdm = schedule_with_tdm_strict(&circuit, chip, &plan)
+        .unwrap()
+        .two_qubit_depth();
+    assert_eq!(base, 4 * cycles);
+    assert!(
+        tdm <= base + cycles,
+        "at most one extra window per cycle: {tdm} vs {base}"
+    );
+
+    // And the wiring shrinks.
+    let g = WiringTally::google(chip);
+    let y = WiringTally::youtiao(&plan);
+    assert!(y.z_lines < g.z_lines);
+    assert!(y.xy_lines * 4 <= g.xy_lines);
+}
+
+/// Frequency plans respect the band and separate in-line neighbours for
+/// every paper-suite topology.
+#[test]
+fn frequency_plans_are_sane_across_topologies() {
+    for chip in topology::paper_suite() {
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let fp = plan.frequency_plan();
+        for q in chip.qubit_ids() {
+            assert!(
+                (4.0..=7.0).contains(&fp.frequency_ghz(q)),
+                "{}",
+                chip.name()
+            );
+        }
+        for line in plan.fdm_lines() {
+            let qs = line.qubits();
+            for i in 0..qs.len() {
+                for j in (i + 1)..qs.len() {
+                    let df = (fp.frequency_ghz(qs[i]) - fp.frequency_ghz(qs[j])).abs();
+                    assert!(df > 0.1, "{}: in-line spacing {df} GHz", chip.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Failure-injection tests: every subsystem must fail loudly and
+//! precisely when handed broken inputs, never silently produce a wrong
+//! wiring plan.
+
+use youtiao::chip::{topology, ChipBuilder, DeviceId, Position, TopologyKind};
+use youtiao::circuit::schedule::{schedule_with_tdm_strict, CzPulseModel, SharedLineConstraint};
+use youtiao::circuit::{Circuit, CircuitError, Gate};
+use youtiao::core::{FreqConfig, PlanError, PlannerConfig, YoutiaoPlanner};
+use youtiao::noise::fit::{fit_crosstalk_model, FitConfig, FitError};
+use youtiao::route::channel::{channel_route, ChannelConfig};
+use youtiao::route::router::{NetSpec, RouteError};
+
+/// A deliberately illegal grouping: a qubit shares its DEMUX with its
+/// own coupler, so any CZ through that coupler can never fire.
+struct SabotagedGrouping {
+    qubit: DeviceId,
+    coupler: DeviceId,
+}
+
+impl SharedLineConstraint for SabotagedGrouping {
+    fn group_of(&self, device: DeviceId) -> Option<usize> {
+        (device == self.qubit || device == self.coupler).then_some(0)
+    }
+}
+
+#[test]
+fn sabotaged_grouping_reports_the_unrealizable_gate() {
+    let chip = topology::linear(3);
+    let coupler = chip.coupler_between(0u32.into(), 1u32.into()).unwrap();
+    let constraint = SabotagedGrouping {
+        qubit: DeviceId::Qubit(0u32.into()),
+        coupler: DeviceId::Coupler(coupler),
+    };
+    let mut c = Circuit::new(3);
+    c.push2(Gate::Cz, 0u32.into(), 1u32.into()).unwrap();
+    let err = schedule_with_tdm_strict(&c, &chip, &constraint).unwrap_err();
+    match err {
+        CircuitError::UnrealizableGate { qubits } => {
+            assert_eq!(qubits, (0u32.into(), 1u32.into()));
+        }
+        other => panic!("expected UnrealizableGate, got {other:?}"),
+    }
+    // The coupler-only model is also broken by this sabotage at schedule
+    // time only if the coupler's window conflicts; the *legality* rule in
+    // the planner is what prevents it from ever being generated.
+    let _ = CzPulseModel::CouplerOnly;
+}
+
+#[test]
+fn degenerate_frequency_band_is_rejected_not_mangled() {
+    let chip = topology::square_grid(3, 3);
+    let config = PlannerConfig {
+        freq: FreqConfig {
+            band_ghz: (5.0, 5.0),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let err = YoutiaoPlanner::new(&chip)
+        .with_config(config)
+        .plan()
+        .unwrap_err();
+    assert!(matches!(err, PlanError::InvalidConfig(_)));
+}
+
+#[test]
+fn fitting_garbage_data_fails_cleanly() {
+    // All-NaN measurements: no usable samples.
+    let samples: Vec<youtiao::noise::data::CrosstalkSample> = (0..10)
+        .map(|i| youtiao::noise::data::CrosstalkSample {
+            target: (i as u32).into(),
+            spectator: ((i + 1) as u32).into(),
+            d_phy: f64::NAN,
+            d_top: 1.0,
+            value: 0.1,
+        })
+        .collect();
+    let err = fit_crosstalk_model(&samples, &FitConfig::paper()).unwrap_err();
+    assert!(matches!(
+        err,
+        FitError::NotEnoughSamples { available: 0, .. }
+    ));
+}
+
+#[test]
+fn channel_router_reports_overflowing_channel() {
+    // A 1x8 strip with 40 nets per qubit cannot fit through the two
+    // boundary channels at a huge pitch.
+    let chip = topology::square_grid(1, 8);
+    let mut nets = Vec::new();
+    for q in chip.qubits() {
+        for k in 0..40 {
+            nets.push(NetSpec::chain(
+                format!("n{}-{k}", q.id()),
+                vec![q.position()],
+            ));
+        }
+    }
+    let cfg = ChannelConfig {
+        pitch_mm: 0.4,
+        margin_mm: 1.0,
+        ..Default::default()
+    };
+    let err = channel_route(&chip, &nets, &cfg);
+    assert!(
+        matches!(
+            err,
+            Err(RouteError::Unroutable { .. }) | Err(RouteError::OutOfInterfaces)
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn disconnected_chip_plans_but_flags_unreachable_pairs() {
+    // Two islands: planning succeeds (FDM grouping tolerates infinite
+    // distances), and the unreachable pairs carry zero crosstalk rather
+    // than poisoning the optimizer with NaN.
+    let chip = ChipBuilder::new("islands", TopologyKind::Custom)
+        .qubit(Position::new(0.0, 0.0))
+        .qubit(Position::new(1.0, 0.0))
+        .qubit(Position::new(10.0, 0.0))
+        .qubit(Position::new(11.0, 0.0))
+        .coupler(0u32.into(), 1u32.into())
+        .coupler(2u32.into(), 3u32.into())
+        .build()
+        .unwrap();
+    let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+    for q in chip.qubit_ids() {
+        assert!(plan.frequency_plan().frequency_ghz(q).is_finite());
+    }
+}
+
+#[test]
+fn oversized_circuit_rejected_by_simulator() {
+    let circuit = Circuit::new(30);
+    let err = youtiao::sim::StateVector::run(&circuit).unwrap_err();
+    assert!(matches!(err, CircuitError::ChipTooSmall { .. }));
+}
+
+#[test]
+fn transpiling_wider_than_chip_fails() {
+    let chip = topology::square_grid(2, 2);
+    let logical = youtiao::circuit::benchmarks::qft(9);
+    let err = youtiao::circuit::transpile::transpile_snake(&logical, &chip).unwrap_err();
+    assert!(matches!(err, CircuitError::ChipTooSmall { needed: 9, .. }));
+}

@@ -1,0 +1,108 @@
+//! Integration tests for on-chip routing against real wiring plans.
+
+use youtiao::chip::topology;
+use youtiao::core::YoutiaoPlanner;
+use youtiao::route::channel::{channel_route, ChannelConfig};
+use youtiao::route::router::{route_chip, NetSpec, RouteConfig};
+
+fn qubit_positions(chip: &youtiao::chip::Chip) -> Vec<youtiao::chip::Position> {
+    chip.qubits().map(|q| q.position()).collect()
+}
+
+/// The A* maze router handles a YOUTIAO plan's sparse netlist on a small
+/// chip, DRC-clean.
+#[test]
+fn maze_router_routes_youtiao_plan() {
+    let chip = topology::square_grid(2, 3);
+    let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+    let positions = qubit_positions(&chip);
+    let mut nets = Vec::new();
+    for (i, line) in plan.fdm_lines().iter().enumerate() {
+        let terminals = line
+            .qubits()
+            .iter()
+            .map(|&q| positions[q.index()])
+            .collect();
+        nets.push(NetSpec::chain(format!("xy{i}"), terminals));
+    }
+    let result = route_chip(&chip, &nets, &RouteConfig::coarse()).unwrap();
+    assert_eq!(result.nets.len(), nets.len());
+    assert!(result.drc.is_clean(), "{:?}", result.drc.violations());
+    assert!(result.routing_area_mm2 > 0.0);
+}
+
+/// The channel router handles the dense dedicated netlist of every
+/// paper-suite topology and reports in-capacity channels.
+#[test]
+fn channel_router_handles_dense_netlists() {
+    for chip in topology::paper_suite() {
+        let mut nets = Vec::new();
+        for q in chip.qubits() {
+            nets.push(NetSpec::chain(format!("xy-{}", q.id()), vec![q.position()]));
+            nets.push(NetSpec::chain(format!("z-{}", q.id()), vec![q.position()]));
+        }
+        for c in chip.couplers() {
+            nets.push(NetSpec::chain(format!("zc-{}", c.id()), vec![c.position()]));
+        }
+        let cfg = ChannelConfig {
+            margin_mm: 5.0,
+            ..Default::default()
+        };
+        let result =
+            channel_route(&chip, &nets, &cfg).unwrap_or_else(|e| panic!("{}: {e}", chip.name()));
+        assert_eq!(result.routing.nets.len(), nets.len(), "{}", chip.name());
+        for ch in &result.channels {
+            assert!(ch.used <= ch.capacity, "{} channel overflow", chip.name());
+        }
+    }
+}
+
+/// Multiplexing reduces routed area: the YOUTIAO netlist occupies less
+/// metal than the dedicated netlist on the same (scaled) die.
+#[test]
+fn multiplexed_netlist_uses_less_metal() {
+    let chip = topology::heavy_square(3, 3);
+    let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+    let positions = qubit_positions(&chip);
+
+    let mut dedicated = Vec::new();
+    for q in chip.qubits() {
+        dedicated.push(NetSpec::chain(format!("xy-{}", q.id()), vec![q.position()]));
+        dedicated.push(NetSpec::chain(format!("z-{}", q.id()), vec![q.position()]));
+    }
+    for c in chip.couplers() {
+        dedicated.push(NetSpec::chain(format!("zc-{}", c.id()), vec![c.position()]));
+    }
+
+    let mut multiplexed = Vec::new();
+    for (i, line) in plan.fdm_lines().iter().enumerate() {
+        let terminals = line
+            .qubits()
+            .iter()
+            .map(|&q| positions[q.index()])
+            .collect();
+        multiplexed.push(NetSpec::chain(format!("xy{i}"), terminals));
+    }
+    for (i, group) in plan.tdm_groups().iter().enumerate() {
+        let terminals = group
+            .devices()
+            .iter()
+            .map(|&d| chip.device_position(d))
+            .collect();
+        multiplexed.push(NetSpec::chain(format!("z{i}"), terminals));
+    }
+
+    let cfg = ChannelConfig {
+        margin_mm: 5.0,
+        ..Default::default()
+    };
+    let dense = channel_route(&chip, &dedicated, &cfg).unwrap();
+    let sparse = channel_route(&chip, &multiplexed, &cfg).unwrap();
+    assert!(
+        sparse.routing.routing_area_mm2 < dense.routing.routing_area_mm2,
+        "multiplexed {} vs dedicated {}",
+        sparse.routing.routing_area_mm2,
+        dense.routing.routing_area_mm2
+    );
+    assert!(sparse.routing.num_interfaces < dense.routing.num_interfaces);
+}
