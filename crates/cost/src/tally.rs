@@ -26,6 +26,7 @@ use crate::constants::{
 /// assert!((t.cost_kusd() - 470.0).abs() < 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WiringTally {
     /// Coaxial XY control lines.
     pub xy_lines: usize,
@@ -175,5 +176,16 @@ mod tests {
             "{}",
             small.cost_kusd()
         );
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn json_roundtrip() {
+        let chip = topology::heavy_square(3, 3);
+        let t = WiringTally::google(&chip);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: WiringTally = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert!(json.contains("\"xy_lines\":21"), "{json}");
     }
 }

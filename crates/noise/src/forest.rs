@@ -113,10 +113,7 @@ mod tests {
         let (xs, ys) = noisy_exp_data(200);
         let forest = RandomForest::fit(&xs, &ys, RandomForestConfig::default());
         for &x in &[0.5, 1.5, 3.0, 6.0] {
-            assert!(
-                (forest.predict(x) - (-x).exp()).abs() < 0.08,
-                "at x={x}"
-            );
+            assert!((forest.predict(x) - (-x).exp()).abs() < 0.08, "at x={x}");
         }
     }
 

@@ -1,0 +1,367 @@
+//! The JSONL batch front-end behind `youtiao batch`.
+//!
+//! [`run_batch`] is the composition point of the serving layer: it
+//! resolves every [`DesignRequest`]'s content key, answers repeats from
+//! the [`PlanCache`], dispatches the rest to a [`WorkerPool`], streams
+//! one JSON [`JobRecord`] line per job *as it completes*, and returns
+//! the [`ServeMetrics`] summary. Output is completion-ordered (this is
+//! a throughput service); every record carries `index` and `id`, so
+//! order-sensitive consumers re-sort in O(n).
+//!
+//! The front-end is generic over the executor's result type `R` — the
+//! `youtiao` facade instantiates it with the design-flow report summary
+//! (`youtiao::serve::run_design_batch`).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::PlanCache;
+use crate::job::{ErrorKind, ErrorRecord, JobRecord};
+use crate::metrics::ServeMetrics;
+use crate::pool::{Executor, PoolOptions, WorkerPool};
+use crate::request::DesignRequest;
+
+/// Batch-run configuration.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads; 0 means one per available core.
+    pub jobs: usize,
+    /// Default per-job deadline in milliseconds (`deadline_ms` on a
+    /// request overrides it).
+    pub deadline_ms: Option<u64>,
+    /// Retries after the first attempt of transiently failing jobs.
+    pub max_retries: u32,
+    /// Maximum resident plan-cache entries.
+    pub cache_capacity: usize,
+    /// Cache persistence: loaded (if present) before the run, saved
+    /// after, so a repeated batch over the same file is all cache hits.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 0,
+            deadline_ms: None,
+            max_retries: 2,
+            cache_capacity: 1024,
+            cache_path: None,
+        }
+    }
+}
+
+/// Batch front-end failures (per-job failures are *records*, not
+/// errors — only input/output problems abort a batch).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BatchError {
+    /// Reading input or writing output failed.
+    Io(std::io::Error),
+    /// A JSONL input line did not parse as a [`DesignRequest`].
+    Parse {
+        /// 1-based input line number.
+        line: usize,
+        /// Parser detail.
+        message: String,
+    },
+    /// The cache file exists but could not be loaded.
+    Cache(String),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Io(e) => write!(f, "batch i/o failed: {e}"),
+            BatchError::Parse { line, message } => {
+                write!(f, "jobs file line {line}: {message}")
+            }
+            BatchError::Cache(message) => write!(f, "cache file: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BatchError {
+    fn from(e: std::io::Error) -> Self {
+        BatchError::Io(e)
+    }
+}
+
+/// Parses JSONL text into requests. Blank lines and `#` comment lines
+/// are skipped; parse errors carry the 1-based line number.
+pub fn parse_requests(text: &str) -> Result<Vec<DesignRequest>, BatchError> {
+    let mut requests = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let request = serde_json::from_str(line).map_err(|e| BatchError::Parse {
+            line: number + 1,
+            message: e.to_string(),
+        })?;
+        requests.push(request);
+    }
+    Ok(requests)
+}
+
+/// Runs `requests` through `executor` on a worker pool with a plan
+/// cache, streaming one JSON record line per job into `out`.
+///
+/// Uses a caller-owned cache — the in-process warm-cache path. Most
+/// callers want [`run_batch`], which also handles cache persistence.
+pub fn run_batch_with_cache<R, W>(
+    requests: &[DesignRequest],
+    executor: Executor<DesignRequest, R>,
+    options: &BatchOptions,
+    cache: &PlanCache<R>,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    W: Write,
+{
+    let start = Instant::now();
+    let stats_before = cache.stats();
+    let mut pool = WorkerPool::new(
+        executor,
+        PoolOptions {
+            workers: options.jobs,
+            max_retries: options.max_retries,
+            deadline: options.deadline_ms.map(Duration::from_millis),
+        },
+    );
+
+    let mut records: Vec<JobRecord<R>> = Vec::with_capacity(requests.len());
+    // Content key per request index, for inserting finished results.
+    let mut keys: Vec<Option<u64>> = vec![None; requests.len()];
+    let mut dispatched = 0usize;
+
+    let emit = |record: JobRecord<R>, out: &mut W| -> Result<JobRecord<R>, BatchError> {
+        let line = serde_json::to_string(&record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(out, "{line}")?;
+        Ok(record)
+    };
+
+    for (index, request) in requests.iter().enumerate() {
+        let id = request.display_id(index);
+        match request.cache_key() {
+            Err(e) => {
+                // The chip half does not resolve: the executor would fail
+                // identically, so answer without occupying a worker.
+                let record = JobRecord::error(
+                    index,
+                    id,
+                    ErrorRecord {
+                        kind: ErrorKind::InvalidRequest,
+                        message: e.to_string(),
+                    },
+                    0,
+                    0.0,
+                );
+                records.push(emit(record, out)?);
+            }
+            Ok(key) => {
+                keys[index] = Some(key);
+                if let Some(result) = cache.get(key) {
+                    let record = JobRecord::ok(index, id, result, 0, 0.0).from_cache();
+                    records.push(emit(record, out)?);
+                } else {
+                    let deadline = request.deadline_ms.map(Duration::from_millis);
+                    pool.submit(index, id, request.clone(), deadline);
+                    dispatched += 1;
+                }
+            }
+        }
+    }
+
+    for _ in 0..dispatched {
+        let record = pool
+            .results()
+            .recv()
+            .expect("workers outlive the dispatch loop");
+        if let (Some(result), Some(key)) = (&record.result, keys[record.index]) {
+            cache.insert(key, result.clone());
+        }
+        records.push(emit(record, out)?);
+    }
+    pool.join();
+    out.flush()?;
+
+    Ok(ServeMetrics::from_records(
+        &records,
+        start.elapsed(),
+        Some(cache.stats().since(&stats_before)),
+    ))
+}
+
+/// [`run_batch_with_cache`] plus cache persistence: loads
+/// `options.cache_path` when it exists, runs the batch, saves the cache
+/// back.
+pub fn run_batch<R, W>(
+    requests: &[DesignRequest],
+    executor: Executor<DesignRequest, R>,
+    options: &BatchOptions,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    R: Clone + Send + Serialize + Deserialize + 'static,
+    W: Write,
+{
+    let cache = match &options.cache_path {
+        Some(path) if path.exists() => {
+            let text = std::fs::read_to_string(path)?;
+            PlanCache::from_json(&text, options.cache_capacity).map_err(BatchError::Cache)?
+        }
+        _ => PlanCache::new(options.cache_capacity),
+    };
+    let metrics = run_batch_with_cache(requests, executor, options, &cache, out)?;
+    if let Some(path) = &options.cache_path {
+        std::fs::write(path, cache.to_json())?;
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ExecError;
+    use crate::request::ChipRequest;
+    use serde::Value;
+    use std::sync::Arc;
+
+    /// A cheap stand-in executor: "result" is the qubit count.
+    fn counting_executor() -> Executor<DesignRequest, u64> {
+        Arc::new(|request, ctx| {
+            ctx.cancel
+                .checkpoint()
+                .map_err(|_| ExecError::cancelled())?;
+            let chip = request
+                .chip
+                .build()
+                .map_err(|e| ExecError::permanent(ErrorKind::InvalidRequest, e.to_string()))?;
+            Ok(chip.num_qubits() as u64)
+        })
+    }
+
+    fn requests(n: usize) -> Vec<DesignRequest> {
+        (0..n)
+            .map(|i| {
+                let mut r = DesignRequest::new(ChipRequest::grid("square", 2 + i % 3, 3));
+                r.id = Some(format!("sq{i}"));
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_jsonl_with_comments_and_blanks() {
+        let text = "\n# sweep over θ\n{\"chip\":{\"topology\":\"square\"}}\n\n{\"chip\":{\"topology\":\"ring\",\"size\":8},\"theta\":2.0}\n";
+        let parsed = parse_requests(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].theta, Some(2.0));
+        let err = parse_requests("{\"chip\":}").unwrap_err();
+        assert!(matches!(err, BatchError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn streams_a_record_per_job_and_caches_repeats() {
+        let reqs = requests(6); // 3 distinct chips, each twice
+        let cache = PlanCache::new(64);
+        let mut out = Vec::new();
+        let metrics = run_batch_with_cache(
+            &reqs,
+            counting_executor(),
+            &BatchOptions::default(),
+            &cache,
+            &mut out,
+        )
+        .unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(metrics.jobs, 6);
+        assert_eq!(metrics.ok, 6);
+        assert_eq!(metrics.cache_misses, 6, "distinct keys all missed");
+
+        // Second pass over the same requests: all hits.
+        let mut out = Vec::new();
+        let metrics = run_batch_with_cache(
+            &reqs,
+            counting_executor(),
+            &BatchOptions::default(),
+            &cache,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(metrics.cache_hits, 6);
+        assert_eq!(metrics.retries, 0);
+        for line in std::str::from_utf8(&out).unwrap().lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["cache_hit"], true);
+            assert_eq!(v["attempts"], 0);
+        }
+    }
+
+    #[test]
+    fn invalid_requests_become_records_not_errors() {
+        let mut reqs = requests(2);
+        reqs.push(DesignRequest::new(ChipRequest::named("klein-bottle")));
+        let cache = PlanCache::new(64);
+        let mut out = Vec::new();
+        let metrics = run_batch_with_cache(
+            &reqs,
+            counting_executor(),
+            &BatchOptions::default(),
+            &cache,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(metrics.jobs, 3);
+        assert_eq!(metrics.ok, 2);
+        assert_eq!(metrics.errors, 1);
+        let bad = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str::<Value>(l).unwrap())
+            .find(|v| v["status"] == "Error")
+            .unwrap();
+        assert_eq!(bad["error"]["kind"], "InvalidRequest");
+        assert!(bad["error"]["message"]
+            .as_str()
+            .unwrap()
+            .contains("klein-bottle"));
+    }
+
+    #[test]
+    fn cache_persists_across_batch_runs() {
+        let path = std::env::temp_dir().join(format!(
+            "youtiao-serve-test-{}.cache.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let options = BatchOptions {
+            cache_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let reqs = requests(4);
+        let mut out = Vec::new();
+        let cold = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let mut out = Vec::new();
+        let warm = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
+        assert_eq!(warm.cache_hits, 4, "all jobs answered from the cache file");
+        let _ = std::fs::remove_file(&path);
+    }
+}

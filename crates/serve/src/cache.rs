@@ -1,0 +1,312 @@
+//! Content-addressed plan cache.
+//!
+//! Repeated design requests dominate real sweep workloads (the same
+//! chip/θ/seed point shows up across sweep axes), so finished reports
+//! are memoized under a *content key*: a stable 64-bit FNV-1a hash of
+//! the canonical JSON of whatever identifies the computation — for the
+//! design flow, `(ChipSpec, planner knobs, seed)`. Canonical JSON is
+//! deterministic here because the vendored serde `Map` is a `BTreeMap`
+//! (sorted keys), so equal inputs always hash equal across runs,
+//! platforms and processes.
+//!
+//! The cache is a mutex-guarded LRU with hit/miss/eviction counters and
+//! optional JSON persistence, which is what lets a *second* `youtiao
+//! batch` process over the same JSONL file answer every job from cache.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Map, Serialize, Value};
+
+/// Computes the stable content key of any serializable value: FNV-1a
+/// over its compact canonical JSON.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_serve::cache::content_key;
+///
+/// let a = content_key(&("square", 3u32, 7u64));
+/// let b = content_key(&("square", 3u32, 7u64));
+/// let c = content_key(&("square", 3u32, 8u64));
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn content_key<T: Serialize + ?Sized>(value: &T) -> u64 {
+    fnv1a(value.to_value().to_json().as_bytes())
+}
+
+/// 64-bit FNV-1a. Not cryptographic — collision resistance is fine for
+/// a memo table keyed by trusted request content.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Cache behavior counters, included in the batch metrics summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that fell through to the pipeline.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0.0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas against an earlier snapshot of the same cache —
+    /// per-batch activity on a long-lived cache. `entries`/`capacity`
+    /// stay at their current values.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            entries: self.entries,
+            capacity: self.capacity,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+struct Entry<R> {
+    value: R,
+    last_used: u64,
+}
+
+struct Inner<R> {
+    map: HashMap<u64, Entry<R>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, content-addressed LRU memo of finished results.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_serve::PlanCache;
+///
+/// let cache: PlanCache<String> = PlanCache::new(2);
+/// cache.insert(1, "a".into());
+/// cache.insert(2, "b".into());
+/// assert_eq!(cache.get(1), Some("a".into()));
+/// cache.insert(3, "c".into()); // evicts key 2, the least recently used
+/// assert_eq!(cache.get(2), None);
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 1));
+/// ```
+pub struct PlanCache<R> {
+    inner: Mutex<Inner<R>>,
+    capacity: usize,
+}
+
+impl<R> PlanCache<R> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: u64) -> Option<R>
+    where
+        R: Clone,
+    {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&self, key: u64, value: R) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let fresh = !inner.map.contains_key(&key);
+        if fresh && inner.map.len() >= self.capacity {
+            if let Some((&lru, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) {
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            entries: inner.map.len(),
+            capacity: self.capacity,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Serializes the resident entries as one JSON object keyed by the
+    /// hexadecimal content key (counters are not persisted).
+    pub fn to_json(&self) -> String
+    where
+        R: Serialize,
+    {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut map = Map::new();
+        for (key, entry) in &inner.map {
+            map.insert(format!("{key:016x}"), entry.value.to_value());
+        }
+        Value::Object(map).to_json()
+    }
+
+    /// Rebuilds a cache from [`Self::to_json`] output. Entries beyond
+    /// `capacity` are dropped oldest-key-first (persisted caches carry
+    /// no recency order).
+    pub fn from_json(text: &str, capacity: usize) -> Result<Self, String>
+    where
+        R: Deserialize,
+    {
+        let value: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let object = value.as_object().ok_or("cache file is not a JSON object")?;
+        let cache = PlanCache::new(capacity);
+        for (hex, entry) in object {
+            let key = u64::from_str_radix(hex, 16).map_err(|e| format!("bad cache key: {e}"))?;
+            let value = R::from_value(entry).map_err(|e| format!("cache entry {hex}: {e}"))?;
+            cache.insert(key, value);
+        }
+        // Loading must not count toward runtime stats.
+        let mut inner = cache.inner.lock().expect("cache lock");
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+        drop(inner);
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_key_is_stable_and_order_insensitive() {
+        // Equal maps built in different insertion orders hash equal:
+        // canonical JSON sorts keys.
+        let mut a = Map::new();
+        a.insert("x".into(), Value::Bool(true));
+        a.insert("y".into(), 3u32.to_value());
+        let mut b = Map::new();
+        b.insert("y".into(), 3u32.to_value());
+        b.insert("x".into(), Value::Bool(true));
+        assert_eq!(
+            content_key(&Value::Object(a)),
+            content_key(&Value::Object(b))
+        );
+        // Known FNV-1a vector.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: PlanCache<u32> = PlanCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(1), Some(10)); // refresh 1
+        cache.insert(3, 30); // evicts 2
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1), Some(10));
+        assert_eq!(cache.get(3), Some(30));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_entries() {
+        let cache: PlanCache<String> = PlanCache::new(8);
+        cache.insert(7, "seven".into());
+        cache.insert(u64::MAX, "max".into());
+        let text = cache.to_json();
+        let back: PlanCache<String> = PlanCache::from_json(&text, 8).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(7), Some("seven".into()));
+        assert_eq!(back.get(u64::MAX), Some("max".into()));
+        assert!(PlanCache::<String>::from_json("[]", 8).is_err());
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let cache: PlanCache<u32> = PlanCache::new(4);
+        cache.insert(1, 1);
+        cache.get(1);
+        cache.get(2);
+        let s = cache.stats();
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                entries: 0,
+                capacity: 1
+            }
+            .hit_rate(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is shared between the worker pool and the pipeline
+//! it runs: the pool cancels it (shutdown, abort) or arms it with a
+//! deadline, and the pipeline polls it at stage boundaries
+//! (characterize → plan → tally → route) via [`CancelToken::checkpoint`].
+//! Cancellation is therefore prompt at stage granularity without any
+//! thread killing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The unit error returned by [`CancelToken::checkpoint`] once the token
+/// is cancelled or past its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("operation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation flag with an optional deadline.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_serve::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(token.checkpoint().is_ok());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// assert!(token.checkpoint().is_err());
+///
+/// let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+/// assert!(expired.deadline_expired());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that also cancels once `budget` has elapsed from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// A token with an optional budget; `None` behaves like [`Self::new`].
+    pub fn with_optional_deadline(budget: Option<Duration>) -> Self {
+        match budget {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// Cancels the token for every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once cancelled explicitly or past the deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst) || self.deadline_expired()
+    }
+
+    /// `true` when the token had a deadline and it has passed (explicit
+    /// [`cancel`](Self::cancel) does not set this — the pool uses the
+    /// distinction to report `timeout` vs. `cancelled`).
+    pub fn deadline_expired(&self) -> bool {
+        self.inner
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Stage-boundary poll: `Err(Cancelled)` once the token tripped.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(!b.deadline_expired());
+        assert_eq!(b.checkpoint(), Err(Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_is_immediately_expired() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.deadline_expired());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let t = CancelToken::with_optional_deadline(Some(Duration::from_secs(3600)));
+        assert!(t.checkpoint().is_ok());
+        let t = CancelToken::with_optional_deadline(None);
+        assert!(!t.deadline_expired());
+    }
+}

@@ -1,0 +1,42 @@
+//! The YOUTIAO serving layer: a concurrent batch design service.
+//!
+//! The one-shot pipeline (`youtiao::flow::design_chip`) answers a single
+//! request on a single thread. Real wiring co-optimization runs as large
+//! batch sweeps — across chip sizes, θ values, FDM capacities, and DEMUX
+//! fan-outs — so this crate turns the pipeline into a multi-tenant,
+//! parallel, cache-accelerated service:
+//!
+//! * [`DesignRequest`]/[`JobRecord`] — serde-serializable job and result
+//!   types for the JSONL batch format;
+//! * [`WorkerPool`] — a std-only worker pool (threads + channels) with
+//!   per-job deadlines (cooperative cancellation between pipeline
+//!   stages), bounded retry with seed perturbation on transient errors,
+//!   and graceful shutdown that drains in-flight jobs;
+//! * [`PlanCache`] — a content-addressed LRU memo of finished reports,
+//!   keyed by a stable hash of (chip spec, planner knobs, seed), with
+//!   hit/miss/eviction counters and optional JSON persistence;
+//! * [`run_batch`] — the JSONL front-end behind `youtiao batch`,
+//!   streaming one result line per job and summarizing throughput,
+//!   latency percentiles, and cache behavior in [`ServeMetrics`].
+//!
+//! The crate is pipeline-agnostic: jobs produce any `R: Clone + Send +
+//! Serialize + Deserialize`, and the executor closure supplies the
+//! actual design flow. The `youtiao` facade wires in
+//! `flow::design_chip` (see `youtiao::serve`), keeping the dependency
+//! graph acyclic.
+
+pub mod batch;
+pub mod cache;
+pub mod cancel;
+pub mod job;
+pub mod metrics;
+pub mod pool;
+pub mod request;
+
+pub use batch::{parse_requests, run_batch, run_batch_with_cache, BatchError, BatchOptions};
+pub use cache::{content_key, CacheStats, PlanCache};
+pub use cancel::{CancelToken, Cancelled};
+pub use job::{ErrorKind, ErrorRecord, ExecError, JobRecord, JobStatus};
+pub use metrics::ServeMetrics;
+pub use pool::{AttemptCtx, Executor, PoolOptions, WorkerPool};
+pub use request::{ChipRequest, DesignRequest, RequestError, DEFAULT_SEED};

@@ -1,0 +1,192 @@
+//! Batch-run service metrics.
+//!
+//! [`ServeMetrics`] is the end-of-run summary `youtiao batch` prints:
+//! outcome counts, retry volume, cache behavior, throughput, and
+//! latency percentiles over per-job wall times.
+
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+use crate::job::{ErrorKind, JobRecord, JobStatus};
+
+/// Summary of one batch run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeMetrics {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs that produced a result.
+    pub ok: usize,
+    /// Jobs that failed (including timeouts and cancellations).
+    pub errors: usize,
+    /// Failed jobs whose final error was a deadline expiry.
+    pub timeouts: usize,
+    /// Failed jobs cancelled by shutdown/abort.
+    pub cancelled: usize,
+    /// Executor retries beyond each job's first attempt.
+    pub retries: u64,
+    /// Jobs answered from the plan cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Cache entries evicted during the run.
+    pub cache_evictions: u64,
+    /// Cache hit fraction over all lookups.
+    pub cache_hit_rate: f64,
+    /// Wall-clock duration of the whole batch, milliseconds.
+    pub wall_ms: f64,
+    /// Completed jobs per second of wall time.
+    pub throughput_per_s: f64,
+    /// Median per-job latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile per-job latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile per-job latency, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest job, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Nearest-rank percentile of an unsorted sample (q in 0..=100).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServeMetrics {
+    /// Aggregates the records of a finished batch.
+    pub fn from_records<R>(
+        records: &[JobRecord<R>],
+        wall: Duration,
+        cache: Option<CacheStats>,
+    ) -> Self {
+        let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ms).collect();
+        latencies.sort_by(f64::total_cmp);
+        let ok = records.iter().filter(|r| r.status == JobStatus::Ok).count();
+        let kind_count = |kind: ErrorKind| {
+            records
+                .iter()
+                .filter(|r| r.error.as_ref().is_some_and(|e| e.kind == kind))
+                .count()
+        };
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let throughput_per_s = if wall_ms > 0.0 {
+            records.len() as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        let cache = cache.unwrap_or(CacheStats {
+            entries: 0,
+            capacity: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        });
+        ServeMetrics {
+            jobs: records.len(),
+            ok,
+            errors: records.len() - ok,
+            timeouts: kind_count(ErrorKind::Timeout),
+            cancelled: kind_count(ErrorKind::Cancelled),
+            retries: records.iter().map(|r| r.retries() as u64).sum(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_hit_rate: cache.hit_rate(),
+            wall_ms,
+            throughput_per_s,
+            p50_ms: percentile(&latencies, 50.0),
+            p90_ms: percentile(&latencies, 90.0),
+            p99_ms: percentile(&latencies, 99.0),
+            max_ms: latencies.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Human-readable multi-line summary (what the CLI prints).
+    pub fn render(&self) -> String {
+        format!(
+            "batch: {} jobs in {:.0} ms ({:.1} jobs/s)\n\
+             outcome: {} ok, {} errors ({} timeouts, {} cancelled), {} retries\n\
+             latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms\n\
+             cache: {} hits, {} misses, {} evictions ({:.0}% hit rate)",
+            self.jobs,
+            self.wall_ms,
+            self.throughput_per_s,
+            self.ok,
+            self.errors,
+            self.timeouts,
+            self.cancelled,
+            self.retries,
+            self.p50_ms,
+            self.p90_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_rate * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ErrorRecord;
+
+    fn ok(index: usize, latency: f64) -> JobRecord<u32> {
+        JobRecord::ok(index, format!("j{index}"), 1, 1, latency)
+    }
+
+    fn failed(index: usize, kind: ErrorKind, attempts: u32) -> JobRecord<u32> {
+        JobRecord::error(
+            index,
+            format!("j{index}"),
+            ErrorRecord {
+                kind,
+                message: "x".into(),
+            },
+            attempts,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn aggregates_counts_and_percentiles() {
+        let mut records: Vec<JobRecord<u32>> = (0..98).map(|i| ok(i, (i + 1) as f64)).collect();
+        records.push(failed(98, ErrorKind::Timeout, 1));
+        records.push(failed(99, ErrorKind::Plan, 3));
+        let m = ServeMetrics::from_records(&records, Duration::from_secs(1), None);
+        assert_eq!(m.jobs, 100);
+        assert_eq!(m.ok, 98);
+        assert_eq!(m.errors, 2);
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.cancelled, 0);
+        assert_eq!(m.retries, 2);
+        assert!((m.throughput_per_s - 100.0).abs() < 1e-9);
+        // 98 latencies 1..=98 plus two 1.0s: p50 is the 50th smallest.
+        assert!((m.p50_ms - 48.0).abs() < 1e-9, "{}", m.p50_ms);
+        assert_eq!(m.max_ms, 98.0);
+        let rendered = m.render();
+        assert!(rendered.contains("p99"));
+        assert!(rendered.contains("100 jobs"));
+    }
+
+    #[test]
+    fn empty_batch_is_all_zeros() {
+        let m = ServeMetrics::from_records::<u32>(&[], Duration::ZERO, None);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.p99_ms, 0.0);
+        assert_eq!(m.throughput_per_s, 0.0);
+    }
+
+    #[test]
+    fn metrics_serialize() {
+        let m = ServeMetrics::from_records(&[ok(0, 2.0)], Duration::from_millis(10), None);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ServeMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

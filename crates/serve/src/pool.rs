@@ -1,0 +1,524 @@
+//! The std-only worker pool.
+//!
+//! One OS thread per core (by default) pulls tasks from a shared
+//! `Mutex<VecDeque>` guarded by a condvar, runs them through a
+//! caller-supplied [`Executor`], and streams finished [`JobRecord`]s
+//! back over an `mpsc` channel. Per-job semantics:
+//!
+//! * **deadline** — each task gets a [`CancelToken`] armed with its
+//!   deadline; the executor polls it between pipeline stages, and an
+//!   expiry is reported as [`ErrorKind::Timeout`];
+//! * **bounded retry** — a transient [`ExecError`] is retried up to
+//!   `max_retries` times, the attempt number flowing back into the
+//!   executor so it can perturb the characterization seed; the deadline
+//!   spans *all* attempts of a job;
+//! * **graceful shutdown** — [`WorkerPool::join`] stops intake, lets
+//!   workers drain every queued task, and returns the not-yet-consumed
+//!   records; [`WorkerPool::abort`] additionally cancels queued and
+//!   in-flight tasks, which then complete as [`ErrorKind::Cancelled`]
+//!   records rather than vanishing.
+//!
+//! Panics in the executor are caught per job (`catch_unwind`) and
+//! surfaced as [`ErrorKind::Internal`] records: a poisoned job never
+//! takes the process or the pool down.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cancel::CancelToken;
+use crate::job::{ErrorKind, ErrorRecord, ExecError, JobRecord};
+
+/// The work a pool runs: `(payload, attempt context) -> result`.
+///
+/// The executor must poll `ctx.cancel` between expensive stages for
+/// deadlines and aborts to take effect, and should vary any stochastic
+/// seeding by `ctx.attempt` so retries explore different seeds.
+pub type Executor<J, R> = Arc<dyn Fn(&J, &AttemptCtx) -> Result<R, ExecError> + Send + Sync>;
+
+/// Per-attempt context handed to the executor.
+#[derive(Debug, Clone)]
+pub struct AttemptCtx {
+    /// 0 for the first attempt, 1.. for retries.
+    pub attempt: u32,
+    /// Deadline/abort flag to poll between stages.
+    pub cancel: CancelToken,
+}
+
+/// Pool sizing and retry policy.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Retries after the first attempt of a transiently failing job.
+    pub max_retries: u32,
+    /// Default per-job deadline; per-task deadlines override it.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            workers: 0,
+            max_retries: 2,
+            deadline: None,
+        }
+    }
+}
+
+impl PoolOptions {
+    /// The worker-thread count this configuration resolves to.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+struct Task<J> {
+    index: usize,
+    id: String,
+    payload: J,
+    deadline: Option<Duration>,
+}
+
+struct Shared<J> {
+    queue: Mutex<VecDeque<Task<J>>>,
+    available: Condvar,
+    closed: AtomicBool,
+    aborted: AtomicBool,
+    /// Cancel tokens of in-flight tasks, keyed by task index, so
+    /// [`WorkerPool::abort`] can reach running jobs.
+    in_flight: Mutex<HashMap<usize, CancelToken>>,
+}
+
+/// A fixed-size pool of design workers streaming [`JobRecord`]s.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use youtiao_serve::{PoolOptions, WorkerPool};
+///
+/// let mut pool = WorkerPool::new(
+///     Arc::new(|n: &u64, _ctx| Ok(n * 2)),
+///     PoolOptions { workers: 2, ..Default::default() },
+/// );
+/// for n in 0..4u64 {
+///     pool.submit(n as usize, format!("job-{n}"), n, None);
+/// }
+/// let mut records = pool.join();
+/// records.sort_by_key(|r| r.index);
+/// assert_eq!(records.len(), 4);
+/// assert_eq!(records[3].result, Some(6));
+/// ```
+pub struct WorkerPool<J, R> {
+    shared: Arc<Shared<J>>,
+    results: Receiver<JobRecord<R>>,
+    handles: Vec<JoinHandle<()>>,
+    submitted: usize,
+}
+
+impl<J, R> WorkerPool<J, R>
+where
+    J: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawns the worker threads.
+    pub fn new(executor: Executor<J, R>, options: PoolOptions) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            in_flight: Mutex::new(HashMap::new()),
+        });
+        let (sender, results) = channel::<JobRecord<R>>();
+        let handles = (0..options.effective_workers())
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let executor = Arc::clone(&executor);
+                let options = options.clone();
+                let sender = sender.clone();
+                std::thread::spawn(move || worker_loop(&shared, &executor, &options, &sender))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            results,
+            handles,
+            submitted: 0,
+        }
+    }
+
+    /// Enqueues a task. Returns `false` (dropping the task) once the
+    /// pool is closed or aborted.
+    pub fn submit(
+        &mut self,
+        index: usize,
+        id: String,
+        payload: J,
+        deadline: Option<Duration>,
+    ) -> bool {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue")
+            .push_back(Task {
+                index,
+                id,
+                payload,
+                deadline,
+            });
+        self.shared.available.notify_one();
+        self.submitted += 1;
+        true
+    }
+
+    /// Tasks accepted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// The stream of finished records, in completion order.
+    pub fn results(&self) -> &Receiver<JobRecord<R>> {
+        &self.results
+    }
+
+    /// Cancels queued and in-flight tasks. Every affected task still
+    /// yields a [`JobStatus::Error`](crate::JobStatus::Error) record
+    /// with kind [`ErrorKind::Cancelled`].
+    pub fn abort(&self) {
+        self.shared.aborted.store(true, Ordering::SeqCst);
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for token in self
+            .shared
+            .in_flight
+            .lock()
+            .expect("in-flight set")
+            .values()
+        {
+            token.cancel();
+        }
+        self.shared.available.notify_all();
+    }
+
+    /// Graceful shutdown: stops intake, drains every queued task, joins
+    /// the workers, and returns the records not yet consumed through
+    /// [`Self::results`].
+    pub fn join(self) -> Vec<JobRecord<R>> {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+        // All senders are gone once workers exit; drain what is left.
+        self.results.try_iter().collect()
+    }
+}
+
+fn worker_loop<J, R>(
+    shared: &Shared<J>,
+    executor: &Executor<J, R>,
+    options: &PoolOptions,
+    sender: &Sender<JobRecord<R>>,
+) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                if shared.closed.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("pool queue");
+            }
+        };
+        let Some(task) = task else { return };
+        let record = run_task(shared, executor, options, task);
+        if sender.send(record).is_err() {
+            return; // Receiver dropped; nobody wants further results.
+        }
+    }
+}
+
+fn run_task<J, R>(
+    shared: &Shared<J>,
+    executor: &Executor<J, R>,
+    options: &PoolOptions,
+    task: Task<J>,
+) -> JobRecord<R> {
+    let start = Instant::now();
+    if shared.aborted.load(Ordering::SeqCst) {
+        return JobRecord::error(
+            task.index,
+            task.id,
+            ErrorRecord {
+                kind: ErrorKind::Cancelled,
+                message: "pool aborted before the job started".into(),
+            },
+            0,
+            0.0,
+        );
+    }
+    let deadline = task.deadline.or(options.deadline);
+    let token = CancelToken::with_optional_deadline(deadline);
+    shared
+        .in_flight
+        .lock()
+        .expect("in-flight set")
+        .insert(task.index, token.clone());
+
+    let mut attempt: u32 = 0;
+    let outcome = loop {
+        let ctx = AttemptCtx {
+            attempt,
+            cancel: token.clone(),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| executor(&task.payload, &ctx)))
+            .unwrap_or_else(|panic| {
+                Err(ExecError::permanent(
+                    ErrorKind::Internal,
+                    panic_message(&panic),
+                ))
+            });
+        match result {
+            Ok(value) => break Ok(value),
+            Err(e) if e.transient && attempt < options.max_retries && !token.is_cancelled() => {
+                attempt += 1;
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    shared
+        .in_flight
+        .lock()
+        .expect("in-flight set")
+        .remove(&task.index);
+
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    let attempts = attempt + 1;
+    match outcome {
+        Ok(value) => JobRecord::ok(task.index, task.id, value, attempts, latency_ms),
+        Err(e) => {
+            // An executor that stopped at a checkpoint reports Cancelled;
+            // whether that was the deadline or an abort is the token's
+            // knowledge, not the pipeline's.
+            let (kind, message) = if e.kind == ErrorKind::Cancelled && token.deadline_expired() {
+                let budget = deadline.unwrap_or_default();
+                (
+                    ErrorKind::Timeout,
+                    format!("deadline of {} ms expired", budget.as_millis()),
+                )
+            } else {
+                (e.kind, e.message)
+            };
+            JobRecord::error(
+                task.index,
+                task.id,
+                ErrorRecord { kind, message },
+                attempts,
+                latency_ms,
+            )
+        }
+    }
+}
+
+/// Best-effort panic payload extraction.
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("executor panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("executor panicked: {s}")
+    } else {
+        "executor panicked".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JobStatus;
+    use std::sync::atomic::AtomicU32;
+
+    fn doubling_pool(workers: usize) -> WorkerPool<u64, u64> {
+        WorkerPool::new(
+            Arc::new(|n: &u64, _ctx| Ok(n * 2)),
+            PoolOptions {
+                workers,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn completes_all_jobs_across_workers() {
+        let mut pool = doubling_pool(4);
+        for n in 0..32u64 {
+            assert!(pool.submit(n as usize, format!("j{n}"), n, None));
+        }
+        let mut records = pool.join();
+        records.sort_by_key(|r| r.index);
+        assert_eq!(records.len(), 32);
+        for (n, record) in records.iter().enumerate() {
+            assert_eq!(record.status, JobStatus::Ok);
+            assert_eq!(record.result, Some(n as u64 * 2));
+            assert_eq!(record.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn transient_errors_retry_with_attempt_numbers() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in = Arc::clone(&calls);
+        let executor: Executor<u32, u32> = Arc::new(move |_, ctx| {
+            calls_in.fetch_add(1, Ordering::SeqCst);
+            if ctx.attempt < 2 {
+                Err(ExecError::transient(ErrorKind::Plan, "crowded"))
+            } else {
+                Ok(ctx.attempt)
+            }
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                max_retries: 2,
+                deadline: None,
+            },
+        );
+        pool.submit(0, "retry".into(), 0, None);
+        let records = pool.join();
+        assert_eq!(records[0].status, JobStatus::Ok);
+        assert_eq!(records[0].result, Some(2));
+        assert_eq!(records[0].attempts, 3);
+        assert_eq!(records[0].retries(), 2);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let executor: Executor<u32, u32> =
+            Arc::new(|_, _| Err(ExecError::permanent(ErrorKind::InvalidRequest, "bad")));
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                max_retries: 5,
+                deadline: None,
+            },
+        );
+        pool.submit(0, "perm".into(), 0, None);
+        let records = pool.join();
+        assert_eq!(records[0].attempts, 1);
+        let error = records[0].error.as_ref().unwrap();
+        assert_eq!(error.kind, ErrorKind::InvalidRequest);
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout() {
+        let executor: Executor<u32, u32> = Arc::new(|_, ctx| {
+            ctx.cancel
+                .checkpoint()
+                .map_err(|_| ExecError::cancelled())?;
+            Ok(1)
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        pool.submit(0, "late".into(), 0, Some(Duration::ZERO));
+        let records = pool.join();
+        let error = records[0].error.as_ref().unwrap();
+        assert_eq!(error.kind, ErrorKind::Timeout, "{error:?}");
+        assert!(error.message.contains("deadline"));
+    }
+
+    #[test]
+    fn abort_cancels_queued_jobs_with_records() {
+        let executor: Executor<u32, u32> = Arc::new(|n, ctx| {
+            // Busy-wait until cancelled so queued tasks pile up.
+            if *n == 0 {
+                while ctx.cancel.checkpoint().is_ok() {
+                    std::thread::yield_now();
+                }
+                return Err(ExecError::cancelled());
+            }
+            Ok(*n)
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        for n in 0..8u32 {
+            pool.submit(n as usize, format!("j{n}"), n, None);
+        }
+        // Give the single worker time to start job 0, then abort.
+        std::thread::sleep(Duration::from_millis(20));
+        pool.abort();
+        let mut records = pool.join();
+        records.sort_by_key(|r| r.index);
+        assert_eq!(records.len(), 8, "every job yields a record");
+        assert_eq!(
+            records[0].error.as_ref().unwrap().kind,
+            ErrorKind::Cancelled
+        );
+        assert!(records
+            .iter()
+            .skip(1)
+            .all(|r| r.error.as_ref().unwrap().kind == ErrorKind::Cancelled));
+    }
+
+    #[test]
+    fn executor_panic_becomes_internal_error() {
+        let executor: Executor<u32, u32> = Arc::new(|n, _| {
+            if *n == 1 {
+                panic!("boom {n}");
+            }
+            Ok(*n)
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        pool.submit(0, "fine".into(), 0, None);
+        pool.submit(1, "boom".into(), 1, None);
+        let mut records = pool.join();
+        records.sort_by_key(|r| r.index);
+        assert_eq!(records[0].status, JobStatus::Ok);
+        let error = records[1].error.as_ref().unwrap();
+        assert_eq!(error.kind, ErrorKind::Internal);
+        assert!(error.message.contains("boom"), "{}", error.message);
+    }
+
+    #[test]
+    fn submit_after_close_is_rejected() {
+        let pool = doubling_pool(1);
+        pool.abort();
+        let mut pool = pool;
+        assert!(!pool.submit(0, "late".into(), 1, None));
+        assert!(pool.join().is_empty());
+    }
+}

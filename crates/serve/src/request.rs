@@ -1,0 +1,354 @@
+//! Serializable design requests.
+//!
+//! A [`DesignRequest`] is one line of the `youtiao batch` JSONL input:
+//! which chip to wire (a named topology generator or an inline
+//! [`ChipSpec`]) plus the planner knobs a sweep varies — θ, FDM/readout
+//! capacity, DEMUX fan-out, seed — and per-job service parameters
+//! (deadline). The serving crate resolves requests to `(Chip,
+//! PlannerConfig, seed)` itself so the worker pool and cache stay
+//! independent of the facade crate.
+
+use youtiao_chip::spec::ChipSpec;
+use youtiao_chip::surface::SurfaceCode;
+use youtiao_chip::{topology, Chip, ChipError};
+use youtiao_core::PlannerConfig;
+
+use crate::cache::content_key;
+
+/// Default characterization seed, matching `DesignOptions::default()`
+/// in the facade (`"YOUT"` in ASCII).
+pub const DEFAULT_SEED: u64 = 0x594F_5554;
+
+/// Errors resolving a request into a chip.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RequestError {
+    /// Neither `topology` nor `spec` was given.
+    MissingChip,
+    /// `topology` named no built-in generator.
+    UnknownTopology(String),
+    /// A parameter was out of range for the chosen topology.
+    BadParameter(&'static str),
+    /// The inline spec failed chip validation.
+    Chip(ChipError),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::MissingChip => f.write_str("request needs a `topology` or a `spec`"),
+            RequestError::UnknownTopology(name) => write!(f, "unknown topology `{name}`"),
+            RequestError::BadParameter(what) => write!(f, "bad parameter: {what}"),
+            RequestError::Chip(e) => write!(f, "invalid chip spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RequestError::Chip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChipError> for RequestError {
+    fn from(e: ChipError) -> Self {
+        RequestError::Chip(e)
+    }
+}
+
+/// The chip half of a request: a named generator or an inline spec.
+///
+/// Exactly the shapes the `youtiao` CLI accepts: `topology` is one of
+/// the built-in generator names (`square`, `heavy-square`, `hexagon`,
+/// `heavy-hexagon`, `low-density`, `sycamore`, `linear`, `ring`,
+/// `surface`, `ibm-heavy-hex`) with `rows`/`cols`/`size`/`distance` as
+/// applicable; `spec` is a full [`ChipSpec`] and wins when both are set.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChipRequest {
+    /// Built-in generator name.
+    pub topology: Option<String>,
+    /// Grid rows (default 3).
+    pub rows: Option<usize>,
+    /// Grid columns (default 3).
+    pub cols: Option<usize>,
+    /// Qubit count for `linear`/`ring`/`ibm-heavy-hex` (default 16).
+    pub size: Option<usize>,
+    /// Code distance for `surface` (odd, ≥ 3).
+    pub distance: Option<usize>,
+    /// Inline chip description; overrides `topology`.
+    pub spec: Option<ChipSpec>,
+}
+
+impl ChipRequest {
+    /// A request for a named generator with default dimensions.
+    pub fn named(topology: impl Into<String>) -> Self {
+        ChipRequest {
+            topology: Some(topology.into()),
+            rows: None,
+            cols: None,
+            size: None,
+            distance: None,
+            spec: None,
+        }
+    }
+
+    /// A `rows × cols` request for a named grid generator.
+    pub fn grid(topology: impl Into<String>, rows: usize, cols: usize) -> Self {
+        ChipRequest {
+            rows: Some(rows),
+            cols: Some(cols),
+            ..ChipRequest::named(topology)
+        }
+    }
+
+    /// Builds the chip this request describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RequestError`] for missing/unknown topologies, bad
+    /// dimensions, or invalid inline specs.
+    pub fn build(&self) -> Result<Chip, RequestError> {
+        if let Some(spec) = &self.spec {
+            return Ok(spec.to_chip()?);
+        }
+        let Some(topology_name) = &self.topology else {
+            return Err(RequestError::MissingChip);
+        };
+        let rows = self.rows.unwrap_or(3);
+        let cols = self.cols.unwrap_or(3);
+        let size = self.size.unwrap_or(16);
+        if rows == 0 || cols == 0 || size == 0 {
+            return Err(RequestError::BadParameter("dimensions must be positive"));
+        }
+        let chip = match topology_name.as_str() {
+            "square" => topology::square_grid(rows, cols),
+            "heavy-square" => topology::heavy_square(rows, cols),
+            "hexagon" => topology::hexagon_patch(rows, cols),
+            "heavy-hexagon" => topology::heavy_hexagon(rows, cols),
+            "low-density" => topology::low_density(rows, cols.max(2)),
+            "sycamore" => topology::sycamore(rows, cols),
+            "linear" => topology::linear(size),
+            "ring" => topology::ring(size.max(3)),
+            "ibm-heavy-hex" => topology::ibm_heavy_hex(size.max(12)),
+            "surface" => {
+                let d = self.distance.unwrap_or(3);
+                if d < 3 || d.is_multiple_of(2) {
+                    return Err(RequestError::BadParameter("distance must be odd and >= 3"));
+                }
+                SurfaceCode::rotated(d).into_chip()
+            }
+            other => return Err(RequestError::UnknownTopology(other.to_string())),
+        };
+        Ok(chip)
+    }
+}
+
+/// One design job: chip + planner knobs + service parameters.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_serve::{ChipRequest, DesignRequest};
+///
+/// let json = r#"{"id":"sq3","chip":{"topology":"square","rows":3,"cols":3},"theta":4.0}"#;
+/// let request: DesignRequest = serde_json::from_str(json).unwrap();
+/// assert_eq!(request.id.as_deref(), Some("sq3"));
+/// assert_eq!(request.chip.build().unwrap().num_qubits(), 9);
+/// assert_eq!(request.planner_config().tdm.theta, 4.0);
+/// # let _ = DesignRequest::new(ChipRequest::named("square"));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DesignRequest {
+    /// Caller-chosen job id, echoed in the result record.
+    pub id: Option<String>,
+    /// The chip to wire.
+    pub chip: ChipRequest,
+    /// Characterization seed (default [`DEFAULT_SEED`]).
+    pub seed: Option<u64>,
+    /// TDM threshold θ (default 4.0).
+    pub theta: Option<f64>,
+    /// Qubits per shared FDM XY line.
+    pub fdm_capacity: Option<usize>,
+    /// Qubits per multiplexed readout feedline.
+    pub readout_capacity: Option<usize>,
+    /// Allow 1:8 cryo-DEMUXes for low-parallelism groups.
+    pub one_to_eight: Option<bool>,
+    /// Run chip-level channel routing too (default true).
+    pub routing: Option<bool>,
+    /// Per-job deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl DesignRequest {
+    /// A request with default knobs for `chip`.
+    pub fn new(chip: ChipRequest) -> Self {
+        DesignRequest {
+            id: None,
+            chip,
+            seed: None,
+            theta: None,
+            fdm_capacity: None,
+            readout_capacity: None,
+            one_to_eight: None,
+            routing: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// The effective characterization seed.
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_SEED)
+    }
+
+    /// Whether chip-level routing was requested.
+    pub fn wants_routing(&self) -> bool {
+        self.routing.unwrap_or(true)
+    }
+
+    /// The job id to report: the caller's, or `job-<index>`.
+    pub fn display_id(&self, index: usize) -> String {
+        self.id.clone().unwrap_or_else(|| format!("job-{index}"))
+    }
+
+    /// The planner configuration the knobs describe (defaults for
+    /// everything unset).
+    pub fn planner_config(&self) -> PlannerConfig {
+        let mut config = PlannerConfig::default();
+        if let Some(theta) = self.theta {
+            config.tdm.theta = theta;
+        }
+        if let Some(capacity) = self.fdm_capacity {
+            config.fdm_capacity = capacity;
+        }
+        if let Some(capacity) = self.readout_capacity {
+            config.readout_capacity = capacity;
+        }
+        if let Some(one_to_eight) = self.one_to_eight {
+            config.tdm.allow_one_to_eight = one_to_eight;
+        }
+        config
+    }
+
+    /// The content-address of this request's computation: a stable hash
+    /// of the *resolved* chip spec, the planner knobs, and the seed —
+    /// so two requests that mean the same design share a cache entry
+    /// regardless of id, deadline, or how the chip was named.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RequestError`] when the chip half does not resolve.
+    pub fn cache_key(&self) -> Result<u64, RequestError> {
+        let spec = ChipSpec::from_chip(&self.chip.build()?);
+        let knobs = (
+            (
+                self.theta.unwrap_or(4.0),
+                self.fdm_capacity.unwrap_or(0) as u64,
+                self.readout_capacity.unwrap_or(0) as u64,
+            ),
+            (
+                self.one_to_eight.unwrap_or(false),
+                self.wants_routing(),
+                self.seed(),
+            ),
+        );
+        Ok(content_key(&(spec, knobs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_topologies_build() {
+        for name in [
+            "square",
+            "heavy-square",
+            "hexagon",
+            "heavy-hexagon",
+            "sycamore",
+            "linear",
+            "ring",
+            "surface",
+        ] {
+            let chip = ChipRequest::named(name).build().unwrap();
+            assert!(chip.num_qubits() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_classified() {
+        let missing = ChipRequest {
+            topology: None,
+            rows: None,
+            cols: None,
+            size: None,
+            distance: None,
+            spec: None,
+        };
+        assert_eq!(missing.build().unwrap_err(), RequestError::MissingChip);
+        assert!(matches!(
+            ChipRequest::named("dodecahedron").build().unwrap_err(),
+            RequestError::UnknownTopology(_)
+        ));
+        let mut even = ChipRequest::named("surface");
+        even.distance = Some(4);
+        assert!(matches!(
+            even.build().unwrap_err(),
+            RequestError::BadParameter(_)
+        ));
+        assert!(matches!(
+            ChipRequest::grid("square", 0, 3).build().unwrap_err(),
+            RequestError::BadParameter(_)
+        ));
+    }
+
+    #[test]
+    fn spec_overrides_topology_and_validates() {
+        let spec = ChipSpec::from_chip(&topology::linear(4));
+        let mut request = ChipRequest::named("square");
+        request.spec = Some(spec);
+        assert_eq!(request.build().unwrap().num_qubits(), 4);
+
+        let broken = ChipSpec {
+            name: "b".into(),
+            qubits: vec![],
+            couplers: vec![],
+        };
+        let mut request = ChipRequest::named("square");
+        request.spec = Some(broken);
+        let err = request.build().unwrap_err();
+        assert!(matches!(err, RequestError::Chip(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn cache_key_ignores_id_and_deadline_but_not_knobs() {
+        let base = DesignRequest::new(ChipRequest::grid("square", 3, 3));
+        let mut renamed = base.clone();
+        renamed.id = Some("x".into());
+        renamed.deadline_ms = Some(5);
+        assert_eq!(base.cache_key().unwrap(), renamed.cache_key().unwrap());
+
+        let mut hotter = base.clone();
+        hotter.theta = Some(6.0);
+        assert_ne!(base.cache_key().unwrap(), hotter.cache_key().unwrap());
+        let mut reseeded = base.clone();
+        reseeded.seed = Some(1);
+        assert_ne!(base.cache_key().unwrap(), reseeded.cache_key().unwrap());
+    }
+
+    #[test]
+    fn jsonl_line_roundtrip() {
+        let mut request = DesignRequest::new(ChipRequest::grid("hexagon", 2, 2));
+        request.id = Some("hex".into());
+        request.one_to_eight = Some(true);
+        let line = serde_json::to_string(&request).unwrap();
+        let back: DesignRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, request);
+        assert!(back.planner_config().tdm.allow_one_to_eight);
+    }
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then style gates.
+#
+# Usage: scripts/verify.sh [--tier1-only]
+#
+# Everything runs offline (all dependencies are vendored in vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier 1: cargo test -q"
+cargo test -q --offline
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "verify: tier-1 OK"
+  exit 0
+fi
+
+echo "==> style: cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+  cargo fmt --all -- --check
+else
+  echo "  (rustfmt not installed; skipped)"
+fi
+
+echo "==> style: cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+  echo "  (clippy not installed; skipped)"
+fi
+
+echo "verify: OK"

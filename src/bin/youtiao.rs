@@ -7,9 +7,11 @@
 //! youtiao plan --chip my_chip.json --json
 //! youtiao cost --topology heavy-square --rows 3 --cols 3
 //! youtiao export-chip --topology surface --distance 5 --out chip.json
+//! youtiao batch --in jobs.jsonl --out results.jsonl --jobs 8 --deadline-ms 5000
 //! ```
 
 use std::collections::HashMap;
+use std::io::Read;
 use std::process::ExitCode;
 
 use youtiao::chip::spec::ChipSpec;
@@ -17,6 +19,7 @@ use youtiao::chip::surface::SurfaceCode;
 use youtiao::chip::{topology, Chip};
 use youtiao::core::{PlanSummary, PlannerConfig, YoutiaoPlanner};
 use youtiao::cost::WiringTally;
+use youtiao::serve::{parse_requests, run_design_batch, BatchOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +40,9 @@ usage:
   youtiao plan   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight] [--json] [--viz]
   youtiao cost   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
   youtiao export-chip <chip args> --out FILE
+  youtiao batch  --in FILE.jsonl [--out FILE.jsonl] [--jobs N] [--deadline-ms T]
+                 [--retries R] [--cache FILE] [--cache-capacity N] [--metrics-json]
+                 (--in - reads stdin; --out defaults to stdout; metrics go to stderr)
 
 chip args (one of):
   --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring
@@ -150,8 +156,72 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "batch" => run_batch_command(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// The `batch` subcommand: JSONL requests in, JSONL records out,
+/// metrics summary on stderr.
+fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let input = flags
+        .get("in")
+        .and_then(|v| v.clone())
+        .ok_or("batch requires --in FILE (JSONL; `-` reads stdin)")?;
+    let text = if input == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?
+    };
+    let requests = parse_requests(&text).map_err(|e| e.to_string())?;
+
+    let deadline_ms = match flags.get("deadline-ms") {
+        None => None,
+        Some(Some(v)) => Some(
+            v.parse()
+                .map_err(|_| "--deadline-ms expects milliseconds")?,
+        ),
+        Some(None) => return Err("--deadline-ms expects a value".into()),
+    };
+    let options = BatchOptions {
+        jobs: get_usize(flags, "jobs", 0)?,
+        deadline_ms,
+        max_retries: get_usize(flags, "retries", 2)? as u32,
+        cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
+        cache_path: flags
+            .get("cache")
+            .and_then(|v| v.clone())
+            .map(std::path::PathBuf::from),
+    };
+
+    let out = flags
+        .get("out")
+        .and_then(|v| v.clone())
+        .filter(|v| v != "-");
+    let metrics = match out {
+        Some(path) => {
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            run_design_batch(&requests, &options, &mut writer)
+        }
+        None => {
+            let stdout = std::io::stdout();
+            run_design_batch(&requests, &options, &mut stdout.lock())
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    if flags.contains_key("metrics-json") {
+        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
+        eprintln!("{json}");
+    } else {
+        eprintln!("{}", metrics.render());
+    }
+    Ok(())
 }
 
 /// Parses `--key value` and boolean `--flag` arguments.

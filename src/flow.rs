@@ -5,13 +5,14 @@
 //! both cost tallies, and the chip-level routing result.
 
 use youtiao_chip::Chip;
-use youtiao_core::{PlanError, PlannerConfig, WiringPlan, YoutiaoPlanner};
+use youtiao_core::{PlanError, PlanSummary, PlannerConfig, WiringPlan, YoutiaoPlanner};
 use youtiao_cost::WiringTally;
 use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
 use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
 use youtiao_noise::CrosstalkModel;
 use youtiao_route::channel::{channel_route, ChannelConfig, ChannelResult};
 use youtiao_route::router::{NetSpec, RouteError};
+use youtiao_serve::CancelToken;
 
 /// Options for [`design_chip`].
 #[derive(Debug, Clone)]
@@ -63,15 +64,111 @@ impl DesignReport {
     pub fn coax_reduction(&self) -> f64 {
         self.dedicated.coax_lines() as f64 / self.multiplexed.coax_lines() as f64
     }
+
+    /// The serializable face of the report (what batch output and the
+    /// CLI `--json` path share).
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary {
+            plan: PlanSummary::from_plan(&self.plan),
+            dedicated: self.dedicated,
+            multiplexed: self.multiplexed,
+            cost_reduction: self.cost_reduction(),
+            coax_reduction: self.coax_reduction(),
+            routing: self.routing.as_ref().map(RoutingSummary::from_result),
+        }
+    }
+}
+
+/// Serializing a [`DesignReport`] emits its [`summary`](DesignReport::summary).
+impl serde::Serialize for DesignReport {
+    fn to_value(&self) -> serde::Value {
+        self.summary().to_value()
+    }
+}
+
+/// Chip-level routing summary of a [`ChannelResult`]: the scalar
+/// figures a sweep compares, without per-net geometry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoutingSummary {
+    /// Nets routed.
+    pub nets: usize,
+    /// Total metal length, millimetres.
+    pub total_length_mm: f64,
+    /// Routing area (length × pitch), mm².
+    pub routing_area_mm2: f64,
+    /// Perimeter interface pads consumed.
+    pub num_interfaces: usize,
+    /// Horizontal routing channels used.
+    pub channels: usize,
+    /// Peak channel occupancy as a fraction of track capacity.
+    pub max_channel_utilization: f64,
+}
+
+impl RoutingSummary {
+    /// Extracts the summary from a routed layout.
+    pub fn from_result(result: &ChannelResult) -> Self {
+        RoutingSummary {
+            nets: result.routing.nets.len(),
+            total_length_mm: result.routing.total_length_mm,
+            routing_area_mm2: result.routing.routing_area_mm2,
+            num_interfaces: result.routing.num_interfaces,
+            channels: result.channels.iter().filter(|c| c.used > 0).count(),
+            max_channel_utilization: result
+                .channels
+                .iter()
+                .filter(|c| c.capacity > 0)
+                .map(|c| c.used as f64 / c.capacity as f64)
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The serializable summary of a [`DesignReport`]: wiring plan, both
+/// cost tallies, reduction factors, and the routing figures. This is
+/// the `result` payload of every `youtiao batch` output record.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReportSummary {
+    /// The wiring plan (line memberships, frequencies, DEMUX levels).
+    pub plan: PlanSummary,
+    /// Resource tally under dedicated (Google-style) wiring.
+    pub dedicated: WiringTally,
+    /// Resource tally under the YOUTIAO plan.
+    pub multiplexed: WiringTally,
+    /// Wiring-cost reduction factor (dedicated / multiplexed).
+    pub cost_reduction: f64,
+    /// Coax-line reduction factor.
+    pub coax_reduction: f64,
+    /// Chip-level routing summary, when routing ran.
+    pub routing: Option<RoutingSummary>,
 }
 
 /// Errors from [`design_chip`].
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DesignError {
     /// Planning failed.
     Plan(PlanError),
     /// Chip-level routing failed.
     Route(RouteError),
+    /// The pipeline stopped at a stage boundary because its
+    /// [`CancelToken`] tripped (deadline expiry or explicit abort).
+    Cancelled {
+        /// The stage that was about to run.
+        stage: &'static str,
+    },
+}
+
+impl DesignError {
+    /// Whether re-running with a perturbed characterization seed may
+    /// plausibly succeed. Frequency crowding and routing overflow
+    /// depend on the synthesized crosstalk data and the plan built from
+    /// it; config and chip-shape errors recur on every retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DesignError::Plan(PlanError::FrequencyCrowded { .. }) | DesignError::Route(_)
+        )
+    }
 }
 
 impl std::fmt::Display for DesignError {
@@ -79,11 +176,20 @@ impl std::fmt::Display for DesignError {
         match self {
             DesignError::Plan(e) => write!(f, "planning failed: {e}"),
             DesignError::Route(e) => write!(f, "routing failed: {e}"),
+            DesignError::Cancelled { stage } => write!(f, "cancelled before the {stage} stage"),
         }
     }
 }
 
-impl std::error::Error for DesignError {}
+impl std::error::Error for DesignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DesignError::Plan(e) => Some(e),
+            DesignError::Route(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<PlanError> for DesignError {
     fn from(e: PlanError) -> Self {
@@ -116,24 +222,51 @@ impl From<RouteError> for DesignError {
 /// # Ok::<(), youtiao::flow::DesignError>(())
 /// ```
 pub fn design_chip(chip: &Chip, options: &DesignOptions) -> Result<DesignReport, DesignError> {
+    design_chip_with_cancel(chip, options, &CancelToken::new())
+}
+
+/// [`design_chip`] with cooperative cancellation: `cancel` is polled at
+/// every stage boundary, so a tripped token (deadline expiry, service
+/// abort) stops the pipeline within one stage instead of running the
+/// flow to completion.
+///
+/// # Errors
+///
+/// Returns [`DesignError`] when planning or routing fails, or
+/// [`DesignError::Cancelled`] naming the stage that was skipped.
+pub fn design_chip_with_cancel(
+    chip: &Chip,
+    options: &DesignOptions,
+    cancel: &CancelToken,
+) -> Result<DesignReport, DesignError> {
+    let checkpoint = |stage: &'static str| {
+        cancel
+            .checkpoint()
+            .map_err(|_| DesignError::Cancelled { stage })
+    };
+
     // 1. Characterize: synthesize measurements and fit the model.
+    checkpoint("characterize")?;
     let samples = synthesize(chip, CrosstalkKind::Xy, &SynthConfig::xy(), options.seed);
     let model =
         fit_crosstalk_model(&samples, &FitConfig::paper()).expect("synthesized data always fits");
 
     // 2. Plan.
+    checkpoint("plan")?;
     let plan = YoutiaoPlanner::new(chip)
         .with_crosstalk_model(&model)
         .with_config(options.planner.clone())
         .plan()?;
 
     // 3. Tally.
+    checkpoint("cost")?;
     let dedicated = WiringTally::google(chip);
     let multiplexed = WiringTally::youtiao(&plan);
 
     // 4. Route the multiplexed netlist at chip level.
     let routing = match &options.routing {
         Some(config) => {
+            checkpoint("route")?;
             let nets = plan_nets(chip, &plan);
             Some(channel_route(chip, &nets, config)?)
         }
@@ -215,5 +348,55 @@ mod tests {
     fn errors_are_displayed() {
         let e = DesignError::Plan(PlanError::EmptyChip);
         assert!(e.to_string().contains("planning failed"));
+    }
+
+    #[test]
+    fn error_sources_and_transience_classify() {
+        use std::error::Error;
+        let plan = DesignError::Plan(PlanError::EmptyChip);
+        assert!(plan.source().is_some());
+        assert!(!plan.is_transient());
+        let crowded = DesignError::Plan(PlanError::FrequencyCrowded { qubit: 0u32.into() });
+        assert!(crowded.is_transient());
+        let route = DesignError::Route(youtiao_route::router::RouteError::OutOfInterfaces);
+        assert!(route.source().is_some());
+        assert!(route.is_transient());
+        let cancelled = DesignError::Cancelled { stage: "plan" };
+        assert!(cancelled.source().is_none());
+        assert!(!cancelled.is_transient());
+        assert!(cancelled.to_string().contains("plan"));
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_first_stage() {
+        let chip = topology::square_grid(3, 3);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = design_chip_with_cancel(&chip, &DesignOptions::default(), &token).unwrap_err();
+        assert!(matches!(
+            err,
+            DesignError::Cancelled {
+                stage: "characterize"
+            }
+        ));
+    }
+
+    #[test]
+    fn report_serializes_as_its_summary() {
+        let chip = topology::square_grid(3, 3);
+        let report = design_chip(&chip, &DesignOptions::default()).unwrap();
+        let summary = report.summary();
+        assert_eq!(summary.plan.total_qubits, 9);
+        assert!(summary.cost_reduction > 1.5);
+        let routing = summary.routing.as_ref().unwrap();
+        assert!(routing.total_length_mm > 0.0);
+        assert!(routing.max_channel_utilization > 0.0);
+        assert!(routing.max_channel_utilization <= 1.0);
+
+        let direct = serde_json::to_string(&report).unwrap();
+        let via_summary = serde_json::to_string(&summary).unwrap();
+        assert_eq!(direct, via_summary);
+        let back: ReportSummary = serde_json::from_str(&direct).unwrap();
+        assert_eq!(back, summary);
     }
 }

@@ -21,6 +21,7 @@
 //! | [`sim`] | `youtiao-sim` | state-vector simulation with Monte-Carlo noise |
 //! | [`cost`] | `youtiao-cost` | wiring/cost accounting and scaling estimates |
 //! | [`core`] | `youtiao-core` | FDM/TDM grouping, frequency allocation, partitioning |
+//! | [`serve`] | `youtiao-serve` | batch design service: worker pool, plan cache, deadlines/retries |
 //! | [`flow`] | (this crate) | one-call characterize → plan → route → cost pipeline |
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod flow;
+pub mod serve;
 
 pub use youtiao_chip as chip;
 pub use youtiao_circuit as circuit;

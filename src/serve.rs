@@ -1,0 +1,147 @@
+//! The serving layer, wired to the design flow.
+//!
+//! `youtiao-serve` is pipeline-agnostic (any executor, any result
+//! type); this module instantiates it with the real thing:
+//! [`design_executor`] runs [`design_chip_with_cancel`] for a
+//! [`DesignRequest`], classifying [`DesignError`]s into the pool's
+//! transient/permanent retry taxonomy, and [`run_design_batch`] is the
+//! one-call JSONL batch service behind `youtiao batch`.
+//!
+//! # Example
+//!
+//! ```
+//! use youtiao::serve::{
+//!     run_design_batch, BatchOptions, ChipRequest, DesignRequest,
+//! };
+//!
+//! let requests = vec![DesignRequest::new(ChipRequest::grid("square", 3, 3))];
+//! let mut out = Vec::new();
+//! let metrics =
+//!     run_design_batch(&requests, &BatchOptions::default(), &mut out).unwrap();
+//! assert_eq!(metrics.ok, 1);
+//! assert!(std::str::from_utf8(&out).unwrap().contains("\"status\":\"Ok\""));
+//! ```
+
+use std::io::Write;
+use std::sync::Arc;
+
+pub use youtiao_serve::*;
+
+use crate::flow::{design_chip_with_cancel, DesignError, DesignOptions, ReportSummary};
+
+/// Derives the characterization seed for a retry attempt: attempt 0
+/// keeps the requested seed (so results are reproducible), later
+/// attempts mix in a golden-ratio step so transient failures explore
+/// fresh synthetic data.
+pub fn perturbed_seed(seed: u64, attempt: u32) -> u64 {
+    seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Maps a pipeline failure onto the pool's retry taxonomy.
+fn classify(error: DesignError) -> ExecError {
+    let kind = match &error {
+        DesignError::Plan(_) => ErrorKind::Plan,
+        DesignError::Route(_) => ErrorKind::Route,
+        DesignError::Cancelled { .. } => return ExecError::cancelled(),
+    };
+    if error.is_transient() {
+        ExecError::transient(kind, error.to_string())
+    } else {
+        ExecError::permanent(kind, error.to_string())
+    }
+}
+
+/// The design-flow executor: resolves the request's chip, runs
+/// characterize → plan → tally → route under the attempt's cancel
+/// token, and returns the report summary.
+pub fn design_executor() -> Executor<DesignRequest, ReportSummary> {
+    Arc::new(|request, ctx| {
+        let chip = request
+            .chip
+            .build()
+            .map_err(|e| ExecError::permanent(ErrorKind::InvalidRequest, e.to_string()))?;
+        let options = DesignOptions {
+            planner: request.planner_config(),
+            seed: perturbed_seed(request.seed(), ctx.attempt),
+            routing: if request.wants_routing() {
+                DesignOptions::default().routing
+            } else {
+                None
+            },
+        };
+        design_chip_with_cancel(&chip, &options, &ctx.cancel)
+            .map(|report| report.summary())
+            .map_err(classify)
+    })
+}
+
+/// Runs a batch of design requests through the worker pool + plan
+/// cache, streaming one JSON record per job into `out`, and returns the
+/// run's [`ServeMetrics`].
+///
+/// # Errors
+///
+/// Returns [`BatchError`] for input/output problems only; per-job
+/// failures (bad requests, plan errors, timeouts) are emitted as
+/// structured error records.
+pub fn run_design_batch<W: Write>(
+    requests: &[DesignRequest],
+    options: &BatchOptions,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError> {
+    run_batch(requests, design_executor(), options, out)
+}
+
+/// [`run_design_batch`] against a caller-owned [`PlanCache`], for warm
+/// in-process reuse across batches.
+pub fn run_design_batch_with_cache<W: Write>(
+    requests: &[DesignRequest],
+    options: &BatchOptions,
+    cache: &PlanCache<ReportSummary>,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError> {
+    run_batch_with_cache(requests, design_executor(), options, cache, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_zero_keeps_the_seed() {
+        assert_eq!(perturbed_seed(42, 0), 42);
+        assert_ne!(perturbed_seed(42, 1), 42);
+        assert_ne!(perturbed_seed(42, 1), perturbed_seed(42, 2));
+    }
+
+    #[test]
+    fn executor_classifies_invalid_and_plan_errors() {
+        let executor = design_executor();
+        let ctx = AttemptCtx {
+            attempt: 0,
+            cancel: CancelToken::new(),
+        };
+
+        let bad_chip = DesignRequest::new(ChipRequest::named("tesseract"));
+        let err = executor(&bad_chip, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidRequest);
+        assert!(!err.transient);
+
+        let mut bad_config = DesignRequest::new(ChipRequest::grid("square", 2, 2));
+        bad_config.fdm_capacity = Some(0);
+        let err = executor(&bad_config, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Plan);
+        assert!(!err.transient);
+    }
+
+    #[test]
+    fn executor_honours_cancellation() {
+        let executor = design_executor();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = AttemptCtx { attempt: 0, cancel };
+        let request = DesignRequest::new(ChipRequest::grid("square", 3, 3));
+        let err = executor(&request, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Cancelled);
+    }
+}

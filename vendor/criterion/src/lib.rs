@@ -1,0 +1,165 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Implements the macro and method surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], `iter`/`iter_batched` — as a plain
+//! wall-clock harness: warm up once, run a fixed sample count, print
+//! mean time per iteration. No statistics, plots, or baselines; it
+//! exists so `cargo bench` works offline.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(value: T) -> T {
+    hint_black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; ignored by this harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timer handed to the measured closure.
+pub struct Bencher {
+    samples: usize,
+    /// Total measured time and iteration count, read by the harness.
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` over the sample budget.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples as u64;
+    }
+
+    /// Measures `routine` with untimed fresh inputs from `setup`.
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iterations = self.samples as u64;
+    }
+}
+
+/// The bench harness: collects and prints per-bench mean times.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iterations > 0 {
+        bencher.elapsed / bencher.iterations as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "{name:<50} {per_iter:>12.2?}/iter ({} iters)",
+        bencher.iterations
+    );
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_bench(name, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-bench sample count.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op; for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

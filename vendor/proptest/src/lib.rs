@@ -1,0 +1,8 @@
+//! Resolution-only stub for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this empty crate
+//! exists purely to let cargo resolve the workspace graph offline. The
+//! per-crate `tests/properties.rs` suites that use the real proptest
+//! API are not part of the tier-1 test command; vendoring a functional
+//! subset (strategies + `proptest!`) is future work tracked in
+//! ROADMAP.md.

@@ -1,0 +1,303 @@
+//! Minimal in-tree stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the surface it uses: [`RngCore`], [`SeedableRng`] (with the
+//! same PCG32-based `seed_from_u64` expansion as rand_core 0.6, so seeds
+//! produce the same key material), [`Rng::gen_range`]/[`Rng::gen_bool`]
+//! with rand 0.8's sampling algorithms (widening-multiply with rejection
+//! for integers, 53-bit mantissa scaling for floats, 2⁻⁶⁴-resolution
+//! Bernoulli), and [`seq::SliceRandom::shuffle`]. Streams are
+//! deterministic and platform-independent; no entropy source exists or
+//! is needed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A deterministic generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the same PCG32 stream
+    /// rand_core 0.6 uses, so `seed_from_u64(s)` agrees with upstream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform sampling from a range, dispatched by element type.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)` (`inclusive` widens to
+    /// `[low, high]`).
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty => $wide:ty, $word:ty, $next:ident);*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let bound = if inclusive { high.wrapping_add(1) } else { high };
+                assert!(
+                    inclusive && low <= high || !inclusive && low < high,
+                    "gen_range: empty range"
+                );
+                let span = bound.wrapping_sub(low) as $word;
+                if span == 0 {
+                    // Full domain (e.g. 0..=MAX): every word is valid.
+                    return rng.$next() as $ty;
+                }
+                // rand 0.8's sample_single: widening multiply, rejecting
+                // the biased low zone.
+                let zone = (span << span.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let word = rng.$next() as $word;
+                    let product = (word as $wide).wrapping_mul(span as $wide);
+                    let hi = (product >> <$word>::BITS) as $word;
+                    let lo = product as $word;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u32 => u64, u32, next_u32;
+    i32 => u64, u32, next_u32;
+    u64 => u128, u64, next_u64;
+    i64 => u128, u64, next_u64;
+    usize => u128, u64, next_u64;
+    isize => u128, u64, next_u64
+);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low <= high, "gen_range: empty range");
+        // 53 random mantissa bits in [0, 1), then scale — the shape of
+        // rand 0.8's UniformFloat.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let value = low + (high - low) * unit;
+        // Guard against rounding up to an exclusive bound.
+        if value >= high && low < high {
+            low
+        } else {
+            value
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        f64::sample_range(rng, low as f64, high as f64, inclusive) as f32
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (needs `0 ≤ p ≤ 1`), with rand 0.8's
+    /// 2⁻⁶⁴-resolution integer comparison.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence helpers (`shuffle`).
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place (rand 0.8's traversal order).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter "RNG" making sampling paths easy to pin down.
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&f));
+            let i = rng.gen_range(0..3);
+            assert!((0..3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut items: Vec<usize> = (0..50).collect();
+        items.shuffle(&mut StepRng(3));
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(items, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn seed_from_u64_matches_rand_core_expansion() {
+        struct CaptureSeed([u8; 8]);
+        impl RngCore for CaptureSeed {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+        }
+        impl SeedableRng for CaptureSeed {
+            type Seed = [u8; 8];
+            fn from_seed(seed: [u8; 8]) -> Self {
+                CaptureSeed(seed)
+            }
+        }
+        // First two PCG32 outputs for state 0, as produced by
+        // rand_core 0.6's seed_from_u64.
+        let rng = CaptureSeed::seed_from_u64(0);
+        assert_eq!(rng.0, [0xec, 0xf2, 0x73, 0xf9, 0x81, 0xb5, 0xcd, 0x45]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal in-tree stand-in for the `rand_chacha` crate.
+//!
+//! [`ChaCha8Rng`] is a deterministic stream RNG built on the ChaCha
+//! block function (IETF layout per RFC 7539, 64-bit block counter as in
+//! upstream rand_chacha) reduced to 8 rounds. Output is the keystream
+//! read as little-endian `u32` words in block order, so streams are
+//! identical on every platform.
+
+use rand::{RngCore, SeedableRng};
+
+/// One 64-byte ChaCha block as sixteen `u32` words.
+type Block = [u32; 16];
+
+#[inline]
+fn quarter_round(state: &mut Block, a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha8 stream cipher as a random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words 0–7 of the ChaCha state (words 4–11).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// Stream id / nonce (state words 14–15).
+    nonce: [u32; 2],
+    /// The current keystream block.
+    buffer: Block,
+    /// Next unread word of `buffer`; 16 means "exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+
+    fn block(&self, counter: u64) -> Block {
+        let mut state: Block = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            self.nonce[0],
+            self.nonce[1],
+        ];
+        let input = state;
+        for _ in 0..Self::ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, start) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(start);
+        }
+        state
+    }
+
+    fn refill(&mut self) {
+        self.buffer = self.block(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            nonce: [0, 0],
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let wa: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let wb: Vec<u32> = (0..40).map(|_| b.next_u32()).collect();
+        let wc: Vec<u32> = (0..40).map(|_| c.next_u32()).collect();
+        assert_eq!(wa, wb);
+        assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn chacha20_reference_block() {
+        // RFC 7539 §2.3.2 test vector, adapted: with 20 rounds, the
+        // reference key/nonce/counter must reproduce the published
+        // keystream. Validates the quarter-round and state layout shared
+        // with the 8-round configuration.
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let base = (4 * i) as u32;
+            *word = u32::from_le_bytes([
+                base as u8,
+                (base + 1) as u8,
+                (base + 2) as u8,
+                (base + 3) as u8,
+            ]);
+        }
+        // RFC layout: 32-bit counter = 1, then the 96-bit nonce
+        // 000000090000004a00000000 as little-endian words.
+        let mut state: Block = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            1,
+            0x0900_0000,
+            0x4a00_0000,
+            0,
+        ];
+        let input = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, start) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(start);
+        }
+        assert_eq!(state[0], 0xe4e7_f110);
+        assert_eq!(state[15], 0x4e3c_50a2);
+    }
+}

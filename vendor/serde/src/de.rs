@@ -1,0 +1,231 @@
+//! Deserialization: [`Value`] trees → Rust values.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::value::{Map, Value};
+
+/// A deserialization failure with a human-readable path/reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a caller-supplied message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X" against what was found.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        let found = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        DeError::custom(format!("expected {what}, found {found}"))
+    }
+
+    /// Prefixes the message with the field it occurred under.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError::custom(format!("{field}: {}", self.message))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion out of the JSON-shaped [`Value`] data model.
+///
+/// Unlike real serde this trait is owned-only (no lifetimes), which is
+/// all the workspace needs.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// The fallback when an object field is absent entirely. `None`
+    /// means "required field"; `Option<T>` overrides this to tolerate
+    /// missing keys.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Reads a struct field out of an object, attributing errors to the
+/// field name. Used by the `Deserialize` derive.
+pub fn from_field<T: Deserialize>(object: &Map, name: &str) -> Result<T, DeError> {
+    match object.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(name)),
+        None => T::from_missing().ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("a boolean", value))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", value))
+    }
+}
+
+macro_rules! de_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_i64()
+                    .and_then(|v| <$ty>::try_from(v).ok())
+                    .or_else(|| value.as_u64().and_then(|v| <$ty>::try_from(v).ok()))
+                    .ok_or_else(|| DeError::expected(concat!("a ", stringify!($ty)), value))
+            }
+        }
+    )*};
+}
+
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("a number", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+fn tuple_items(value: &Value, len: usize) -> Result<&[Value], DeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| DeError::expected("an array", value))?;
+    if items.len() != len {
+        return Err(DeError::custom(format!(
+            "expected an array of {len} elements, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = tuple_items(value, 2)?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = tuple_items(value, 3)?;
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::expected("an object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_field(k))?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        BTreeMap::from_value(value).map(|m| m.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Serialize;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            Vec::<(u32, u32)>::from_value(&vec![(1u32, 2u32)].to_value()).unwrap(),
+            vec![(1, 2)]
+        );
+    }
+
+    #[test]
+    fn option_tolerates_null_and_absence() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_missing(), Some(None));
+        assert_eq!(u32::from_missing(), None);
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Bool(true));
+        let err = from_field::<u32>(&m, "k").unwrap_err();
+        assert!(err.to_string().contains("k:"));
+        let err = from_field::<u32>(&m, "absent").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}

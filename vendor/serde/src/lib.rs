@@ -1,0 +1,24 @@
+//! Minimal in-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small serde surface it actually uses: a JSON-shaped [`Value`] data
+//! model, [`Serialize`]/[`Deserialize`] traits that convert to and from
+//! it, and (with the `derive` feature) derive macros for named-field
+//! structs and unit-variant enums. `serde_json` (also vendored) supplies
+//! the text format on top of [`Value`].
+//!
+//! The API is intentionally a subset: code written against it — plain
+//! `#[derive(serde::Serialize, serde::Deserialize)]` plus
+//! `serde_json::{to_string, to_string_pretty, from_str, Value}` — works
+//! unchanged against real serde, but not vice versa.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{DeError, Deserialize};
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

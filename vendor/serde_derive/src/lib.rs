@@ -1,0 +1,240 @@
+//! Derive macros for the in-tree serde stand-in.
+//!
+//! Written against `proc_macro` alone (no syn/quote — the build
+//! environment has no registry access), so the supported shapes are
+//! deliberately narrow:
+//!
+//! * named-field structs without generic parameters, and
+//! * enums whose variants are all unit variants (serialized as their
+//!   name in a JSON string).
+//!
+//! No `#[serde(...)]` attributes. Types needing more (generics, tagged
+//! enums, renames) implement `Serialize`/`Deserialize` by hand — the
+//! traits are two one-method impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input declared.
+enum Shape {
+    /// Struct name and its field names, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name and its unit-variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Walks tokens up to the `struct`/`enum` keyword, then extracts the
+/// type name and its field or variant names.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(word)) => {
+                let word = word.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                // `pub`, `pub(crate)`'s paren group and other qualifiers
+                // fall through here.
+            }
+            // Outer attributes: `#` followed by a bracket group.
+            Some(TokenTree::Punct(_)) | Some(TokenTree::Group(_)) => {}
+            Some(TokenTree::Literal(other)) => {
+                return Err(format!("unexpected literal `{other}` before type keyword"));
+            }
+            None => return Err("no `struct` or `enum` keyword in derive input".into()),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "`{name}` is generic; implement Serialize/Deserialize by hand"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "`{name}` has no named fields; implement Serialize/Deserialize by hand"
+                ));
+            }
+            Some(_) => {}
+            None => return Err(format!("`{name}` has no body")),
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct(name, named_fields(body)?))
+    } else {
+        Ok(Shape::Enum(name, unit_variants(body)?))
+    }
+}
+
+/// Field names of a named-field struct body: for each field, skip
+/// attributes and visibility, take the identifier before `:`, then skip
+/// the type up to the next top-level `,`.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (`#` + bracket group) and visibility.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                },
+                Some(TokenTree::Ident(word)) => {
+                    let word = word.to_string();
+                    if word == "pub" {
+                        // Possible `pub(crate)` restriction group.
+                        if let Some(TokenTree::Group(_)) = tokens.peek() {
+                            tokens.next();
+                        }
+                    } else {
+                        break word;
+                    }
+                }
+                Some(other) => return Err(format!("expected field name, got `{other}`")),
+                None => return Ok(fields),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a `,` at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return Ok(fields),
+            }
+        }
+    }
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(_)) => {}
+                other => return Err(format!("malformed attribute: {other:?}")),
+            },
+            Some(TokenTree::Ident(name)) => {
+                match tokens.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        tokens.next();
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "variant `{name}` is not a unit variant (found `{other}`); \
+                             implement Serialize/Deserialize by hand"
+                        ))
+                    }
+                }
+                variants.push(name.to_string());
+            }
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+            None => return Ok(variants),
+        }
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Err(e) => return compile_error(&e),
+        Ok(Shape::Struct(name, fields)) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Err(e) => return compile_error(&e),
+        Ok(Shape::Struct(name, fields)) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::from_field(object, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let object = value\n\
+                             .as_object()\n\
+                             .ok_or_else(|| ::serde::DeError::expected(\"an object\", value))?;\n\
+                         Ok({name} {{\n{reads}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value.as_str().ok_or_else(|| ::serde::DeError::expected(\"a string\", value))? {{\n\
+                             {arms}\
+                             other => Err(::serde::DeError::custom(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"\n\
+                             ))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

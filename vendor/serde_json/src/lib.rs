@@ -1,0 +1,358 @@
+//! Minimal in-tree stand-in for the `serde_json` crate.
+//!
+//! JSON text on top of the vendored serde [`Value`] data model:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], and [`Value`]
+//! itself (re-exported). See the vendored `serde` crate for why this
+//! exists and what subset it covers.
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+/// A JSON error: either a parse failure (with byte offset) or a
+/// [`serde::DeError`] from mapping a value onto a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: format!("{} at byte {offset}", message.into()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// The `Result` return mirrors serde_json; with this in-tree
+/// implementation serialization itself cannot fail.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reads a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse("trailing characters", parser.pos));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts a [`Value`] tree onto a Rust type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                format!("expected `{}`", byte as char),
+                self.pos,
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::parse(
+                format!("unexpected `{}`", c as char),
+                self.pos,
+            )),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            members.insert(key, self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(Error::parse(
+                                format!("invalid escape `\\{}`", other as char),
+                                self.pos - 1,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged; find the
+                    // char boundary from the original str slice.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::parse("invalid UTF-8", self.pos))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let code = self.hex4()?;
+        // Surrogate pairs: a high surrogate must be followed by an
+        // escaped low surrogate.
+        if (0xD800..0xDC00).contains(&code) {
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                self.expect(b'u')?;
+                let low = self.hex4()?;
+                if (0xDC00..0xE000).contains(&low) {
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| Error::parse("invalid surrogate pair", self.pos));
+                }
+            }
+            return Err(Error::parse("unpaired surrogate", self.pos));
+        }
+        char::from_u32(code).ok_or_else(|| Error::parse("invalid \\u escape", self.pos))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| Error::parse("expected 4 hex digits", self.pos))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v: Value =
+            from_str(r#"{"a": [1, -2, 3.5], "b": {"c": "x\ny"}, "d": null, "e": true}"#).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], -2);
+        assert_eq!(v["a"][2], 3.5);
+        assert_eq!(v["b"]["c"], "x\ny");
+        assert!(v["d"].is_null());
+        assert_eq!(v["e"], true);
+    }
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let text = r#"{"name":"q0","values":[1,2.5,true,null,"s"]}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+        let pretty = to_string_pretty(&v).unwrap();
+        let reparsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for x in [0.1f64, 1.0 / 3.0, 6.02214076e23, -1e-300, 5.0] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let escaped: Value = from_str(r#""\u00e9 \ud83d\ude00""#).unwrap();
+        assert_eq!(escaped, "é 😀");
+        let raw: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(raw, "é😀");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+}
