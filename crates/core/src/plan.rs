@@ -252,6 +252,24 @@ impl<'a> YoutiaoPlanner<'a> {
     /// * [`PlanError::InvalidConfig`] — zero FDM/readout capacity or a
     ///   degenerate frequency configuration.
     pub fn plan(&self) -> Result<WiringPlan, PlanError> {
+        self.plan_with_hook(&mut |_, _| {})
+    }
+
+    /// Runs [`plan`](Self::plan) while reporting each sub-stage's wall
+    /// time to `hook` (stage name, elapsed). Stages that are not
+    /// configured (partition, refine) are not reported. The flow layer
+    /// uses this to attach tracer child spans without this crate
+    /// depending on the observability machinery.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`plan`](Self::plan).
+    pub fn plan_with_hook(
+        &self,
+        hook: &mut dyn FnMut(&'static str, std::time::Duration),
+    ) -> Result<WiringPlan, PlanError> {
+        use std::time::Instant;
+
         let chip = self.chip;
         if chip.num_qubits() == 0 {
             return Err(PlanError::EmptyChip);
@@ -265,6 +283,7 @@ impl<'a> YoutiaoPlanner<'a> {
             ));
         }
 
+        let started = Instant::now();
         let weights = self
             .model
             .map(|m| m.weights())
@@ -277,29 +296,37 @@ impl<'a> YoutiaoPlanner<'a> {
             .zz_model
             .map(|m| crosstalk_matrix(chip, &equivalent_matrix(chip, m.weights()), Some(m)));
         let tdm_xtalk = zz_xtalk.as_ref().unwrap_or(&xtalk);
+        hook("matrices", started.elapsed());
 
         // Partition (stage 1/2), then group each region independently
         // (stage 3); without a partition the whole chip is one region.
         let (partition, regions): (Option<Partition>, Vec<Vec<QubitId>>) =
             match &self.config.partition {
                 Some(pc) => {
+                    let started = Instant::now();
                     let p = partition_chip(chip, &eq, pc);
                     let regions = p.regions().to_vec();
+                    hook("partition", started.elapsed());
                     (Some(p), regions)
                 }
                 None => (None, vec![chip.qubit_ids().collect()]),
             };
 
+        let mut fdm_elapsed = std::time::Duration::ZERO;
+        let mut tdm_elapsed = std::time::Duration::ZERO;
         let mut fdm_lines = Vec::new();
         let mut tdm_groups = Vec::new();
         for region in &regions {
+            let started = Instant::now();
             fdm_lines.extend(group_fdm_subset(
                 chip,
                 &eq,
                 self.config.fdm_capacity,
                 region,
             ));
+            fdm_elapsed += started.elapsed();
             // A coupler belongs to the region of its lower endpoint.
+            let started = Instant::now();
             let devices: Vec<DeviceId> = region
                 .iter()
                 .map(|&q| DeviceId::Qubit(q))
@@ -325,9 +352,13 @@ impl<'a> YoutiaoPlanner<'a> {
                 &devices,
                 activity,
             ));
+            tdm_elapsed += started.elapsed();
         }
+        hook("fdm_grouping", fdm_elapsed);
+        hook("tdm_grouping", tdm_elapsed);
 
         if let Some(refine) = &self.config.refine {
+            let started = Instant::now();
             let profile_storage;
             let profile = match self.activity {
                 Some(a) => a,
@@ -345,10 +376,14 @@ impl<'a> YoutiaoPlanner<'a> {
                 refine,
             );
             tdm_groups = refined;
+            hook("refine", started.elapsed());
         }
 
+        let started = Instant::now();
         let frequency_plan = allocate_frequencies(chip, &fdm_lines, &xtalk, &self.config.freq)?;
+        hook("freq_alloc", started.elapsed());
 
+        let started = Instant::now();
         let qubits: Vec<QubitId> = chip.qubit_ids().collect();
         let readout_lines: Vec<Vec<QubitId>> = qubits
             .chunks(self.config.readout_capacity)
@@ -360,6 +395,7 @@ impl<'a> YoutiaoPlanner<'a> {
             readout_lines.iter().cloned().map(FdmLine::new).collect();
         let readout_frequency_plan =
             allocate_frequencies(chip, &readout_as_fdm, &xtalk, &self.config.readout_freq)?;
+        hook("readout", started.elapsed());
 
         Ok(WiringPlan::from_parts(
             fdm_lines,
@@ -607,6 +643,44 @@ mod tests {
             .tdm_groups()
             .iter()
             .any(|g| g.level() == crate::tdm::DemuxLevel::OneToEight));
+    }
+
+    #[test]
+    fn plan_hook_reports_sub_stages_in_order() {
+        let chip = topology::square_grid(5, 5);
+        let cfg = PlannerConfig {
+            partition: Some(PartitionConfig::default()),
+            refine: Some(crate::refine::RefineConfig::default()),
+            ..Default::default()
+        };
+        let mut stages = Vec::new();
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(cfg)
+            .plan_with_hook(&mut |name, elapsed| stages.push((name, elapsed)))
+            .unwrap();
+        let names: Vec<&str> = stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "matrices",
+                "partition",
+                "fdm_grouping",
+                "tdm_grouping",
+                "refine",
+                "freq_alloc",
+                "readout"
+            ]
+        );
+        // The hook must observe the same plan the caller gets.
+        assert!(plan.num_z_lines() > 0);
+
+        // Unconfigured stages are not reported.
+        let mut names = Vec::new();
+        YoutiaoPlanner::new(&chip)
+            .plan_with_hook(&mut |name, _| names.push(name))
+            .unwrap();
+        assert!(!names.contains(&"partition"));
+        assert!(!names.contains(&"refine"));
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub fn refine_tdm_groups(
         // devices belong together).
         for a in 0..groups.len() {
             for b in (a + 1)..groups.len() {
-                let (best, gain) = best_swap(chip, xtalk, &mask_of, &groups[a], &groups[b]);
+                let (best, gain) = best_swap(chip, xtalk, &mask_of, config, &groups[a], &groups[b]);
                 if gain > 0 {
                     if let Some((ia, ib)) = best {
                         let mut da = groups[a].devices().to_vec();
@@ -124,24 +124,33 @@ fn extra_windows<F: Fn(DeviceId) -> u32>(
     plus: Option<DeviceId>,
     mask_of: &F,
 ) -> u32 {
-    let mut counts = [0u8; 32];
-    for &d in devices.iter().chain(plus.as_ref()) {
-        let m = mask_of(d);
-        for (t, count) in counts.iter_mut().enumerate() {
-            if m & (1 << t) != 0 {
-                *count += 1;
-            }
+    crate::tdm::extra_windows_masked(devices.iter().copied().chain(plus), mask_of)
+}
+
+/// Summed pairwise worst-case crosstalk between group members — the
+/// "noisy non-parallelism" captured by keeping mutually noisy devices on
+/// one DEMUX.
+fn intra_xtalk(chip: &Chip, xtalk: &DistanceMatrix, devices: &[DeviceId]) -> f64 {
+    let mut total = 0.0;
+    for (i, &a) in devices.iter().enumerate() {
+        for &b in &devices[i + 1..] {
+            total += crate::tdm::noisy_score(chip, xtalk, a, b);
         }
     }
-    counts.iter().map(|&c| c.saturating_sub(1) as u32).sum()
+    total
 }
 
 /// Finds the single-pair swap between two groups with the largest
-/// reduction in total extra windows (if any), respecting legality.
+/// reduction in total extra windows (if any), respecting legality and
+/// the per-group activity budget (`config.max_shared_slots`). Ties on
+/// equal reduction break toward higher post-swap intra-group crosstalk
+/// (noisy non-parallel devices belong together), then toward the
+/// earliest candidate in scan order, keeping the result deterministic.
 fn best_swap<F: Fn(DeviceId) -> u32>(
     chip: &Chip,
-    _xtalk: &DistanceMatrix,
+    xtalk: &DistanceMatrix,
     mask_of: &F,
+    config: &TdmConfig,
     ga: &TdmGroup,
     gb: &TdmGroup,
 ) -> (Option<(usize, usize)>, u32) {
@@ -150,6 +159,7 @@ fn best_swap<F: Fn(DeviceId) -> u32>(
     let before = extra_windows(da, None, mask_of) + extra_windows(db, None, mask_of);
     let mut best: Option<(usize, usize)> = None;
     let mut best_after = before;
+    let mut best_xtalk = f64::NEG_INFINITY;
     for ia in 0..da.len() {
         for ib in 0..db.len() {
             let mut na = da.to_vec();
@@ -163,9 +173,22 @@ fn best_swap<F: Fn(DeviceId) -> u32>(
             if !legal(&na) || !legal(&nb) {
                 continue;
             }
-            let after = extra_windows(&na, None, mask_of) + extra_windows(&nb, None, mask_of);
-            if after < best_after {
+            let ea = extra_windows(&na, None, mask_of);
+            let eb = extra_windows(&nb, None, mask_of);
+            // A swap may lower the *total* while pushing one group past
+            // its activity budget; such groups would serialize more than
+            // max_shared_slots windows, so reject the move outright.
+            if ea > config.max_shared_slots || eb > config.max_shared_slots {
+                continue;
+            }
+            let after = ea + eb;
+            if after > best_after || (after == best_after && best.is_none()) {
+                continue;
+            }
+            let x = intra_xtalk(chip, xtalk, &na) + intra_xtalk(chip, xtalk, &nb);
+            if after < best_after || x > best_xtalk {
                 best_after = after;
+                best_xtalk = x;
                 best = Some((ia, ib));
             }
         }
@@ -258,6 +281,123 @@ mod tests {
         for g in &refined {
             assert_eq!(extra_windows(g.devices(), None, &mask_of), 0);
         }
+    }
+
+    #[test]
+    fn swap_respects_activity_budget() {
+        // Regression: a swap can lower the *total* extra windows while
+        // pushing one group past max_shared_slots; best_swap used to
+        // accept it. The construction below leaves exactly one legal
+        // swap (q0 <-> q4) — every other exchange is blocked by
+        // adjacency — and that swap drops the total from 4 to 3 while
+        // concentrating 3 extra windows (> budget 2) in the first group.
+        use youtiao_chip::{ChipBuilder, Position, TopologyKind};
+        let mut b = ChipBuilder::new("budget", TopologyKind::Custom);
+        for (x, y) in [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+            (4.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 1.0),
+        ] {
+            b = b.qubit(Position::new(x, y));
+        }
+        // q1..q3 adjacent to both q5 and q6, so none of them may ever
+        // move into the second group (and vice versa).
+        for lo in [1u32, 2, 3] {
+            for hi in [5u32, 6] {
+                b = b.coupler(lo.into(), hi.into());
+            }
+        }
+        let chip = b.build().unwrap();
+        let q = |i: u32| DeviceId::Qubit(i.into());
+        let mut activity = ActivityProfile::new();
+        for (i, mask) in [(0, 0b0011), (1, 0b0001), (2, 0b0010), (3, 0b0100)] {
+            activity.insert(q(i), mask);
+        }
+        for (i, mask) in [(4, 0b1111), (5, 0b0100), (6, 0b1000)] {
+            activity.insert(q(i), mask);
+        }
+        let groups = vec![
+            TdmGroup::new(
+                crate::tdm::DemuxLevel::OneToFour,
+                vec![q(0), q(1), q(2), q(3)],
+            ),
+            TdmGroup::new(crate::tdm::DemuxLevel::OneToFour, vec![q(4), q(5), q(6)]),
+        ];
+        let config = TdmConfig {
+            max_shared_slots: 2,
+            ..Default::default()
+        };
+        for g in &groups {
+            assert!(crate::tdm::group_extra_windows(g.devices(), &activity) <= 2);
+        }
+        let xtalk = DistanceMatrix::zeros(chip.num_qubits());
+        let (refined, removed) = refine_tdm_groups(
+            &chip,
+            &xtalk,
+            &activity,
+            &config,
+            groups.clone(),
+            &RefineConfig { passes: 4 },
+        );
+        assert_eq!(removed, 0);
+        for g in &refined {
+            assert!(
+                crate::tdm::group_extra_windows(g.devices(), &activity) <= config.max_shared_slots,
+                "group {:?} exceeds the activity budget",
+                g.devices()
+            );
+        }
+        // The only candidate swap violates the budget, so refinement
+        // must leave the grouping untouched.
+        assert_eq!(refined, groups);
+    }
+
+    #[test]
+    fn equal_swaps_tie_break_toward_higher_intra_group_crosstalk() {
+        // Four isolated qubits, two groups of two. Every cross-group
+        // swap is legal and removes both groups' single shared window,
+        // so all four candidates tie on the serialization score. The
+        // crosstalk matrix makes pairs (q0,q2) and (q1,q3) noisy, so the
+        // tie must resolve to the grouping that co-locates them.
+        use youtiao_chip::{ChipBuilder, Position, TopologyKind};
+        let mut b = ChipBuilder::new("tie", TopologyKind::Custom);
+        for x in 0..4 {
+            b = b.qubit(Position::new(f64::from(x), 0.0));
+        }
+        let chip = b.build().unwrap();
+        let q = |i: u32| DeviceId::Qubit(i.into());
+        let mut xtalk = DistanceMatrix::zeros(4);
+        xtalk.set(0u32.into(), 2u32.into(), 0.9);
+        xtalk.set(1u32.into(), 3u32.into(), 0.9);
+        xtalk.set(0u32.into(), 3u32.into(), 0.1);
+        xtalk.set(1u32.into(), 2u32.into(), 0.1);
+        let mut activity = ActivityProfile::new();
+        activity.insert(q(0), 0b01);
+        activity.insert(q(1), 0b01);
+        activity.insert(q(2), 0b10);
+        activity.insert(q(3), 0b10);
+        let groups = vec![
+            TdmGroup::new(crate::tdm::DemuxLevel::OneToTwo, vec![q(0), q(1)]),
+            TdmGroup::new(crate::tdm::DemuxLevel::OneToTwo, vec![q(2), q(3)]),
+        ];
+        let config = TdmConfig {
+            max_shared_slots: 1,
+            ..Default::default()
+        };
+        let (refined, _) = refine_tdm_groups(
+            &chip,
+            &xtalk,
+            &activity,
+            &config,
+            groups,
+            &RefineConfig::default(),
+        );
+        assert_eq!(refined[0].devices(), [q(3), q(1)]);
+        assert_eq!(refined[1].devices(), [q(2), q(0)]);
     }
 
     #[test]

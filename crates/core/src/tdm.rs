@@ -144,6 +144,39 @@ impl Default for TdmConfig {
 /// depth cost.
 pub type ActivityProfile = std::collections::HashMap<DeviceId, u32>;
 
+/// Extra serialized time windows a device set introduces per workload
+/// period under `activity`: `Σ_t max(0, busy_devices(t) − 1)`. This is
+/// the quantity [`TdmConfig::max_shared_slots`] budgets and the
+/// serialization estimate the paper's depth-overhead claim rests on.
+///
+/// Devices absent from the profile count as never busy (mask 0).
+pub fn group_extra_windows(devices: &[DeviceId], activity: &ActivityProfile) -> u32 {
+    extra_windows_masked(devices.iter().copied(), |d| {
+        activity.get(&d).copied().unwrap_or(0)
+    })
+}
+
+/// [`group_extra_windows`] over an arbitrary device iterator and mask
+/// lookup. Counts are `u16` with saturating arithmetic so oversized
+/// synthetic device sets (>255 devices busy in one slot) cannot
+/// overflow in release builds.
+pub(crate) fn extra_windows_masked<I, F>(devices: I, mask_of: F) -> u32
+where
+    I: IntoIterator<Item = DeviceId>,
+    F: Fn(DeviceId) -> u32,
+{
+    let mut counts = [0u16; 32];
+    for d in devices {
+        let m = mask_of(d);
+        for (t, count) in counts.iter_mut().enumerate() {
+            if m & (1 << t) != 0 {
+                *count = count.saturating_add(1);
+            }
+        }
+    }
+    counts.iter().map(|&c| u32::from(c.saturating_sub(1))).sum()
+}
+
 /// Derives a generic workload activity profile from the chip topology:
 /// a greedy edge coloring assigns every coupler the time slot of its
 /// colour class (the brickwork pattern in which dense circuits execute
@@ -291,7 +324,7 @@ fn device_qubits(chip: &Chip, d: DeviceId) -> Vec<QubitId> {
 }
 
 /// Worst-case crosstalk between the qubits of two devices.
-fn noisy_score(chip: &Chip, xtalk: &DistanceMatrix, a: DeviceId, b: DeviceId) -> f64 {
+pub(crate) fn noisy_score(chip: &Chip, xtalk: &DistanceMatrix, a: DeviceId, b: DeviceId) -> f64 {
     let mut worst = 0.0f64;
     for qa in device_qubits(chip, a) {
         for qb in device_qubits(chip, b) {
@@ -627,6 +660,34 @@ mod tests {
             group_tdm(&chip, &x, &TdmConfig::default()),
             group_tdm(&chip, &x, &TdmConfig::default())
         );
+    }
+
+    #[test]
+    fn extra_windows_counts_shared_slots() {
+        let d = |i: u32| DeviceId::Qubit(i.into());
+        let mut profile = ActivityProfile::new();
+        profile.insert(d(0), 0b011);
+        profile.insert(d(1), 0b001);
+        profile.insert(d(2), 0b100);
+        // Slot 0 busy twice -> 1 extra window; slots 1, 2 busy once.
+        assert_eq!(group_extra_windows(&[d(0), d(1), d(2)], &profile), 1);
+        assert_eq!(group_extra_windows(&[], &profile), 0);
+        // Unknown devices are never busy.
+        assert_eq!(group_extra_windows(&[d(0), d(9)], &profile), 0);
+    }
+
+    #[test]
+    fn extra_windows_survives_oversized_device_sets() {
+        // >255 devices sharing one slot used to overflow the u8 slot
+        // counters (panic in debug, silent wraparound in release). No
+        // DEMUX holds that many devices, but the accessor takes an
+        // arbitrary slice, so it must stay exact.
+        let devices: Vec<DeviceId> = (0..300u32).map(|i| DeviceId::Qubit(i.into())).collect();
+        let mut profile = ActivityProfile::new();
+        for &d in &devices {
+            profile.insert(d, 0b1);
+        }
+        assert_eq!(group_extra_windows(&devices, &profile), 299);
     }
 
     #[test]

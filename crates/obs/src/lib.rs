@@ -1,0 +1,30 @@
+//! Observability for the YOUTIAO design flow.
+//!
+//! Two complementary tools for answering "what did the pipeline do, and
+//! was the result sound?":
+//!
+//! * [`trace`] — a thread-safe span tracer. Each pipeline stage opens a
+//!   [`Tracer::span`] guard that records wall time, counters, and
+//!   key/value annotations into a per-job trace tree, serializable to
+//!   JSON for offline analysis (`youtiao batch --trace-json`).
+//! * [`validate`] — a wiring-plan invariant checker.
+//!   [`validate::check_plan`] asserts that groups form a legal
+//!   partition of the chip's devices, every group respects its channel
+//!   capacity and activity budget, frequency assignments respect zone
+//!   bounds and collision spacing, and routed nets pass DRC.
+//!
+//! The crate sits above `youtiao-core` and `youtiao-route` and below
+//! the flow/serve layers, so every stage boundary can be instrumented
+//! without the planner depending on observability machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod trace;
+pub mod validate;
+
+pub use trace::{Span, Trace, TraceSpan, Tracer};
+pub use validate::{
+    check_frequencies, check_plan, check_plan_with_activity, check_routing, check_tdm_groups,
+    ValidationReport, Violation,
+};

@@ -1,0 +1,454 @@
+//! Thread-safe per-job span tracing.
+//!
+//! A [`Tracer`] records a tree of named spans for one job. Opening a
+//! span returns a [`Span`] guard; the span's wall time runs until the
+//! guard drops, and spans opened while a guard is alive become its
+//! children. Guards also accept key/value annotations and additive
+//! counters, so a stage can report *what* it did ("removed 3 Z lines")
+//! next to *how long* it took.
+//!
+//! Tracers are cheap to clone (the clones share state behind an
+//! `Arc<Mutex<_>>`) and a [`Tracer::disabled`] tracer makes every
+//! operation a no-op, so instrumented code pays nothing when tracing is
+//! off. [`Tracer::finish`] freezes the recording into a serializable
+//! [`Trace`] tree — the JSON the `youtiao batch --trace-json` file is
+//! made of.
+//!
+//! The span *stack* is shared, not thread-local: a tracer is meant to
+//! follow one job through its pipeline (possibly across the pool's
+//! retry attempts), not to interleave spans from concurrently running
+//! jobs — each job gets its own tracer.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Map, Serialize as _, Value};
+
+/// One finished span: name, wall time, annotations, children.
+///
+/// The `spans` field nests recursively, mirroring the guard nesting at
+/// record time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceSpan {
+    /// Span name (a pipeline stage, e.g. `"tdm_grouping"`).
+    pub name: String,
+    /// Wall time between the guard's creation and drop, milliseconds.
+    pub ms: f64,
+    /// Key/value annotations recorded while the span was open.
+    pub annotations: Value,
+    /// Spans opened while this one was open.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// Depth-first search for the first span with `name` in this
+    /// subtree (self included).
+    pub fn find(&self, name: &str) -> Option<&TraceSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+}
+
+/// A finished per-job trace: the serializable output of a [`Tracer`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    /// The job this trace belongs to.
+    pub job: String,
+    /// Wall time from tracer creation to [`Tracer::finish`], milliseconds.
+    pub total_ms: f64,
+    /// Root-level annotations (e.g. queue wait, attempt count).
+    pub annotations: Value,
+    /// Top-level spans in open order.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&TraceSpan> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Every `(name, ms)` pair in the tree, depth-first — the flat view
+    /// metrics aggregation consumes.
+    pub fn flatten(&self) -> Vec<(&str, f64)> {
+        fn walk<'t>(spans: &'t [TraceSpan], out: &mut Vec<(&'t str, f64)>) {
+            for s in spans {
+                out.push((s.name.as_str(), s.ms));
+                walk(&s.spans, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.spans, &mut out);
+        out
+    }
+}
+
+/// In-progress span state, addressed by index into the node arena.
+struct Node {
+    name: &'static str,
+    started: Instant,
+    ms: Option<f64>,
+    annotations: Map,
+    children: Vec<usize>,
+}
+
+struct Inner {
+    job: String,
+    started: Instant,
+    nodes: Vec<Node>,
+    /// Top-level node indices.
+    roots: Vec<usize>,
+    /// Indices of currently open spans, innermost last.
+    stack: Vec<usize>,
+    annotations: Map,
+}
+
+/// Records a span tree for one job. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_obs::trace::Tracer;
+///
+/// let tracer = Tracer::new("job-0");
+/// {
+///     let span = tracer.span("plan");
+///     span.annotate("z_lines", 12u64);
+///     let _inner = tracer.span("tdm_grouping");
+/// } // both spans close here
+/// let trace = tracer.finish();
+/// assert_eq!(trace.spans.len(), 1);
+/// assert_eq!(trace.spans[0].spans[0].name, "tdm_grouping");
+/// ```
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let inner = inner.lock().expect("tracer lock");
+                write!(f, "Tracer({:?}, {} spans)", inner.job, inner.nodes.len())
+            }
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A live tracer for `job`.
+    pub fn new(job: impl Into<String>) -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                job: job.into(),
+                started: Instant::now(),
+                nodes: Vec::new(),
+                roots: Vec::new(),
+                stack: Vec::new(),
+                annotations: Map::new(),
+            }))),
+        }
+    }
+
+    /// A tracer whose every operation is a no-op; [`finish`](Self::finish)
+    /// returns `None` through [`try_finish`](Self::try_finish).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; it closes (recording its wall time) when the
+    /// returned guard drops. Spans opened before the guard drops become
+    /// its children.
+    pub fn span(&self, name: &'static str) -> Span {
+        let index = self.inner.as_ref().map(|inner| {
+            let mut inner = inner.lock().expect("tracer lock");
+            let index = inner.nodes.len();
+            inner.nodes.push(Node {
+                name,
+                started: Instant::now(),
+                ms: None,
+                annotations: Map::new(),
+                children: Vec::new(),
+            });
+            match inner.stack.last().copied() {
+                Some(parent) => inner.nodes[parent].children.push(index),
+                None => inner.roots.push(index),
+            }
+            inner.stack.push(index);
+            index
+        });
+        Span {
+            tracer: self.clone(),
+            index,
+        }
+    }
+
+    /// Records an already-measured child span (name + wall time) under
+    /// the currently open span, without opening a guard. This grafts
+    /// externally timed sub-stages — e.g. the planner's timing hook —
+    /// into the tree at the right nesting level.
+    pub fn record(&self, name: &'static str, elapsed: std::time::Duration) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock().expect("tracer lock");
+            let index = inner.nodes.len();
+            inner.nodes.push(Node {
+                name,
+                started: Instant::now(),
+                ms: Some(elapsed.as_secs_f64() * 1e3),
+                annotations: Map::new(),
+                children: Vec::new(),
+            });
+            match inner.stack.last().copied() {
+                Some(parent) => inner.nodes[parent].children.push(index),
+                None => inner.roots.push(index),
+            }
+        }
+    }
+
+    /// Records a root-level key/value annotation.
+    pub fn annotate(&self, key: impl Into<String>, value: impl serde::Serialize) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock().expect("tracer lock");
+            inner.annotations.insert(key.into(), value.to_value());
+        }
+    }
+
+    /// Adds `n` to a root-level counter annotation.
+    pub fn count(&self, key: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock().expect("tracer lock");
+            let prev = inner
+                .annotations
+                .get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            inner
+                .annotations
+                .insert(key.to_string(), (prev + n).to_value());
+        }
+    }
+
+    /// Freezes the recording into a [`Trace`], or `None` for a disabled
+    /// tracer. Still-open spans are closed as of now.
+    pub fn try_finish(&self) -> Option<Trace> {
+        let inner = self.inner.as_ref()?;
+        let mut inner = inner.lock().expect("tracer lock");
+        let now = Instant::now();
+        while let Some(open) = inner.stack.pop() {
+            let elapsed = now.duration_since(inner.nodes[open].started);
+            inner.nodes[open].ms = Some(elapsed.as_secs_f64() * 1e3);
+        }
+        fn build(nodes: &[Node], index: usize) -> TraceSpan {
+            let node = &nodes[index];
+            TraceSpan {
+                name: node.name.to_string(),
+                ms: node.ms.unwrap_or(0.0),
+                annotations: Value::Object(node.annotations.clone()),
+                spans: node.children.iter().map(|&c| build(nodes, c)).collect(),
+            }
+        }
+        Some(Trace {
+            job: inner.job.clone(),
+            total_ms: now.duration_since(inner.started).as_secs_f64() * 1e3,
+            annotations: Value::Object(inner.annotations.clone()),
+            spans: inner
+                .roots
+                .iter()
+                .map(|&r| build(&inner.nodes, r))
+                .collect(),
+        })
+    }
+
+    /// [`try_finish`](Self::try_finish), panicking on a disabled tracer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracer is disabled.
+    pub fn finish(&self) -> Trace {
+        self.try_finish().expect("finish() on a disabled tracer")
+    }
+}
+
+/// An open span; dropping it records the span's wall time.
+#[must_use = "a span measures until dropped; binding it to `_` closes it immediately"]
+pub struct Span {
+    tracer: Tracer,
+    index: Option<usize>,
+}
+
+impl Span {
+    /// Records a key/value annotation on this span.
+    pub fn annotate(&self, key: impl Into<String>, value: impl serde::Serialize) {
+        if let (Some(inner), Some(index)) = (&self.tracer.inner, self.index) {
+            let mut inner = inner.lock().expect("tracer lock");
+            inner.nodes[index]
+                .annotations
+                .insert(key.into(), value.to_value());
+        }
+    }
+
+    /// Adds `n` to a counter annotation on this span.
+    pub fn count(&self, key: &str, n: u64) {
+        if let (Some(inner), Some(index)) = (&self.tracer.inner, self.index) {
+            let mut inner = inner.lock().expect("tracer lock");
+            let prev = inner.nodes[index]
+                .annotations
+                .get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            inner.nodes[index]
+                .annotations
+                .insert(key.to_string(), (prev + n).to_value());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(inner), Some(index)) = (&self.tracer.inner, self.index) {
+            let mut inner = inner.lock().expect("tracer lock");
+            if inner.nodes[index].ms.is_none() {
+                let elapsed = inner.nodes[index].started.elapsed();
+                inner.nodes[index].ms = Some(elapsed.as_secs_f64() * 1e3);
+            }
+            // Close this span and everything opened inside it that is
+            // still open (a guard leaked past its children).
+            if let Some(at) = inner.stack.iter().rposition(|&i| i == index) {
+                inner.stack.truncate(at);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time() {
+        let tracer = Tracer::new("j");
+        {
+            let outer = tracer.span("outer");
+            outer.annotate("k", "v");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let inner = tracer.span("inner");
+                inner.count("widgets", 2);
+                inner.count("widgets", 3);
+            }
+        }
+        let _top = tracer.span("second");
+        drop(_top);
+        let trace = tracer.finish();
+        assert_eq!(trace.job, "j");
+        assert_eq!(trace.spans.len(), 2);
+        let outer = &trace.spans[0];
+        assert_eq!(outer.name, "outer");
+        assert!(outer.ms >= 2.0, "outer took {} ms", outer.ms);
+        assert_eq!(outer.annotations["k"], "v");
+        assert_eq!(outer.spans.len(), 1);
+        assert_eq!(outer.spans[0].annotations["widgets"], 5u64);
+        assert!(outer.ms >= outer.spans[0].ms);
+        assert!(trace.total_ms >= outer.ms);
+    }
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let span = tracer.span("x");
+        span.annotate("a", 1u64);
+        drop(span);
+        tracer.annotate("b", 2u64);
+        assert!(tracer.try_finish().is_none());
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        let tracer = Tracer::new("open");
+        let _span = tracer.span("never-dropped");
+        let trace = tracer.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert!(trace.spans[0].ms >= 0.0);
+    }
+
+    #[test]
+    fn clones_share_the_tree() {
+        let tracer = Tracer::new("shared");
+        let clone = tracer.clone();
+        drop(clone.span("from-clone"));
+        let trace = tracer.finish();
+        assert_eq!(trace.spans[0].name, "from-clone");
+    }
+
+    #[test]
+    fn trace_roundtrips_through_json() {
+        let tracer = Tracer::new("rt");
+        {
+            let s = tracer.span("a");
+            s.annotate("n", 3u64);
+            drop(tracer.span("b"));
+        }
+        tracer.annotate("root", true);
+        let trace = tracer.finish();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.find("b").unwrap().name, "b");
+        let flat = back.flatten();
+        assert_eq!(
+            flat.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn record_grafts_a_finished_child_span() {
+        let tracer = Tracer::new("rec");
+        {
+            let _plan = tracer.span("plan");
+            tracer.record("tdm_grouping", std::time::Duration::from_millis(7));
+        }
+        tracer.record("at-root", std::time::Duration::from_micros(250));
+        let trace = tracer.finish();
+        let child = &trace.spans[0].spans[0];
+        assert_eq!(child.name, "tdm_grouping");
+        assert!((child.ms - 7.0).abs() < 1e-9);
+        assert_eq!(trace.spans[1].name, "at-root");
+        assert!((trace.spans[1].ms - 0.25).abs() < 1e-9);
+
+        // A disabled tracer ignores record() too.
+        Tracer::disabled().record("x", std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_annotation_is_safe() {
+        let tracer = Tracer::new("mt");
+        let span = tracer.span("work");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = tracer.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.count("ticks", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(span);
+        let trace = tracer.finish();
+        assert_eq!(trace.annotations["ticks"], 400u64);
+    }
+}

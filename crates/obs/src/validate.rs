@@ -1,0 +1,590 @@
+//! Wiring-plan invariant validation.
+//!
+//! Every pipeline stage must hand the next stage a plan that still
+//! satisfies the structural invariants the paper's cost and latency
+//! claims rest on. [`check_plan`] asserts them all:
+//!
+//! * **grouping** — FDM lines, TDM groups, and readout feedlines each
+//!   form a legal partition of their device population (every device on
+//!   exactly one line), no group exceeds its channel capacity
+//!   ([`DemuxLevel::channel_capacity`](youtiao_core::DemuxLevel::channel_capacity),
+//!   the FDM/readout capacities), TDM members are pairwise legal (no CZ
+//!   gate ever needs two of them at once), and no group serializes more
+//!   than [`TdmConfig::max_shared_slots`] extra windows under the
+//!   workload activity profile;
+//! * **frequencies** — every assignment lies inside the configured band
+//!   and inside its zone, and (in design-time allocation) line members
+//!   occupy distinct zones with at least one cell of spacing;
+//! * **routing** — [`check_routing`] confirms the routed netlist covers
+//!   every line, respects channel track capacities, and passes DRC.
+//!
+//! Checks report [`Violation`]s instead of panicking, so a validator
+//! failure surfaces as a structured job error rather than a crash.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use youtiao_chip::{Chip, DeviceId, QubitId};
+use youtiao_core::fdm::FdmLine;
+use youtiao_core::freq::{FreqConfig, FrequencyPlan};
+use youtiao_core::plan::{PlannerConfig, WiringPlan};
+use youtiao_core::tdm::{
+    brickwork_activity, group_extra_windows, legal_pair, ActivityProfile, TdmConfig, TdmGroup,
+};
+use youtiao_route::channel::ChannelResult;
+
+/// Frequency comparisons tolerate accumulated float error of this size
+/// (GHz); real violations are at least one 10 MHz cell.
+const EPS_GHZ: f64 = 1e-9;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Violation {
+    /// Stable kebab-case rule id, e.g. `"tdm-budget"`.
+    pub rule: String,
+    /// Human-readable description of the specific failure.
+    pub message: String,
+}
+
+/// The outcome of a validation run: the list of violated invariants
+/// (empty when the plan is sound).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ValidationReport {
+    /// Every violation found, in check order.
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations found.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// `true` when no violations were recorded (alias of
+    /// [`is_clean`](Self::is_clean) for collection-style callers).
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Appends all violations of `other`.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.violations.extend(other.violations);
+    }
+
+    /// Records one violation.
+    pub fn push(&mut self, rule: &str, message: String) {
+        self.violations.push(Violation {
+            rule: rule.to_string(),
+            message,
+        });
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        if self.violations.is_empty() {
+            return "plan OK: all invariants hold".to_string();
+        }
+        let mut out = format!("{} invariant violation(s):", self.violations.len());
+        for v in &self.violations {
+            let _ = write!(out, "\n  [{}] {}", v.rule, v.message);
+        }
+        out
+    }
+}
+
+/// Validates every invariant of `plan` against `chip` and the
+/// configuration that produced it, using the topology-derived brickwork
+/// activity profile (what the planner defaults to when no workload
+/// profile is supplied).
+pub fn check_plan(chip: &Chip, plan: &WiringPlan, config: &PlannerConfig) -> ValidationReport {
+    check_plan_with_activity(chip, plan, config, &brickwork_activity(chip))
+}
+
+/// [`check_plan`] under an explicit workload [`ActivityProfile`] (use
+/// this when the plan was built with
+/// [`YoutiaoPlanner::with_activity`](youtiao_core::YoutiaoPlanner::with_activity)).
+pub fn check_plan_with_activity(
+    chip: &Chip,
+    plan: &WiringPlan,
+    config: &PlannerConfig,
+    activity: &ActivityProfile,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    report.merge(check_fdm_lines(chip, plan.fdm_lines(), config.fdm_capacity));
+    report.merge(check_tdm_groups(
+        chip,
+        plan.tdm_groups(),
+        &config.tdm,
+        activity,
+    ));
+    report.merge(check_readout_lines(
+        chip,
+        plan.readout_lines(),
+        config.readout_capacity,
+    ));
+    report.merge(check_frequencies(
+        chip,
+        plan.frequency_plan(),
+        plan.fdm_lines(),
+        &config.freq,
+        "xy",
+    ));
+    let readout_as_lines: Vec<FdmLine> = plan
+        .readout_lines()
+        .iter()
+        .cloned()
+        .map(FdmLine::new)
+        .collect();
+    report.merge(check_frequencies(
+        chip,
+        plan.readout_frequency_plan(),
+        &readout_as_lines,
+        &config.readout_freq,
+        "readout",
+    ));
+    report
+}
+
+/// TDM grouping invariants: groups partition the chip's Z-controlled
+/// devices exactly, respect DEMUX channel capacity, contain only
+/// pairwise-legal members, and stay within the activity budget.
+pub fn check_tdm_groups(
+    chip: &Chip,
+    groups: &[TdmGroup],
+    tdm: &TdmConfig,
+    activity: &ActivityProfile,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    let mut seen: HashMap<DeviceId, usize> = HashMap::new();
+    for g in groups {
+        for &d in g.devices() {
+            *seen.entry(d).or_insert(0) += 1;
+        }
+    }
+    let mut missing = 0usize;
+    for d in chip.device_ids() {
+        match seen.remove(&d) {
+            None => missing += 1,
+            Some(1) => {}
+            Some(n) => report.push(
+                "tdm-coverage",
+                format!("device {d:?} appears on {n} Z lines (expected exactly 1)"),
+            ),
+        }
+    }
+    if missing > 0 {
+        report.push(
+            "tdm-coverage",
+            format!("{missing} Z-controlled device(s) are on no Z line"),
+        );
+    }
+    for (d, _) in seen {
+        report.push(
+            "tdm-coverage",
+            format!("grouped device {d:?} does not exist on the chip"),
+        );
+    }
+
+    for (i, g) in groups.iter().enumerate() {
+        let capacity = g.level().channel_capacity();
+        if g.len() > capacity {
+            report.push(
+                "tdm-capacity",
+                format!(
+                    "group {i} holds {} devices but its {:?} DEMUX has {capacity} channels",
+                    g.len(),
+                    g.level()
+                ),
+            );
+        }
+        let ds = g.devices();
+        for (a, &x) in ds.iter().enumerate() {
+            for &y in &ds[a + 1..] {
+                if !legal_pair(chip, x, y) {
+                    report.push(
+                        "tdm-legality",
+                        format!(
+                            "group {i} shares a DEMUX between co-gated devices {x:?} and {y:?}"
+                        ),
+                    );
+                }
+            }
+        }
+        let extra = group_extra_windows(ds, activity);
+        if extra > tdm.max_shared_slots {
+            report.push(
+                "tdm-budget",
+                format!(
+                    "group {i} serializes {extra} extra window(s), budget is {}",
+                    tdm.max_shared_slots
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// FDM invariants: XY lines partition the chip's qubits exactly and no
+/// line exceeds the FDM capacity.
+pub fn check_fdm_lines(chip: &Chip, lines: &[FdmLine], capacity: usize) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    check_qubit_partition(
+        chip,
+        lines.iter().map(FdmLine::qubits),
+        "fdm-coverage",
+        "XY line",
+        &mut report,
+    );
+    for (i, line) in lines.iter().enumerate() {
+        if line.len() > capacity {
+            report.push(
+                "fdm-capacity",
+                format!(
+                    "XY line {i} carries {} qubits, capacity is {capacity}",
+                    line.len()
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Readout invariants: feedlines partition the chip's qubits exactly
+/// and no feedline exceeds the readout capacity.
+pub fn check_readout_lines(
+    chip: &Chip,
+    lines: &[Vec<QubitId>],
+    capacity: usize,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    check_qubit_partition(
+        chip,
+        lines.iter().map(Vec::as_slice),
+        "readout-coverage",
+        "readout feedline",
+        &mut report,
+    );
+    for (i, line) in lines.iter().enumerate() {
+        if line.len() > capacity {
+            report.push(
+                "readout-capacity",
+                format!(
+                    "readout feedline {i} carries {} qubits, capacity is {capacity}",
+                    line.len()
+                ),
+            );
+        }
+    }
+    report
+}
+
+fn check_qubit_partition<'l>(
+    chip: &Chip,
+    lines: impl Iterator<Item = &'l [QubitId]>,
+    rule: &str,
+    what: &str,
+    report: &mut ValidationReport,
+) {
+    let mut seen: HashMap<QubitId, usize> = HashMap::new();
+    for line in lines {
+        for &q in line {
+            *seen.entry(q).or_insert(0) += 1;
+        }
+    }
+    let mut missing = 0usize;
+    for q in chip.qubit_ids() {
+        match seen.remove(&q) {
+            None => missing += 1,
+            Some(1) => {}
+            Some(n) => report.push(rule, format!("qubit {q} appears on {n} {what}s")),
+        }
+    }
+    if missing > 0 {
+        report.push(rule, format!("{missing} qubit(s) are on no {what}"));
+    }
+    for (q, _) in seen {
+        report.push(
+            rule,
+            format!("{what} member {q} does not exist on the chip"),
+        );
+    }
+}
+
+/// Frequency invariants for one band (`label` is `"xy"` or
+/// `"readout"`): every assignment lies inside the band and inside its
+/// zone; in design-time allocation (no tuning-range constraint), line
+/// members additionally occupy pairwise-distinct zones and keep at
+/// least one cell of spectral spacing — the §4.2 level-1 guarantee the
+/// cryogenic band-pass filters rely on.
+pub fn check_frequencies(
+    chip: &Chip,
+    plan: &FrequencyPlan,
+    lines: &[FdmLine],
+    freq: &FreqConfig,
+    label: &str,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let (lo, hi) = freq.band_ghz;
+    let zones = plan.zones().max(1);
+    let zone_width = (hi - lo) / zones as f64;
+
+    for q in chip.qubit_ids() {
+        let f = plan.frequency_ghz(q);
+        if !(f >= lo - EPS_GHZ && f <= hi + EPS_GHZ) {
+            report.push(
+                "freq-band",
+                format!("{label}: qubit {q} at {f} GHz is outside the {lo}-{hi} GHz band"),
+            );
+            continue;
+        }
+        let z = plan.zone_of(q);
+        if z >= zones {
+            report.push(
+                "freq-zone",
+                format!("{label}: qubit {q} assigned zone {z} of {zones}"),
+            );
+            continue;
+        }
+        let z_lo = lo + z as f64 * zone_width;
+        let z_hi = z_lo + zone_width;
+        if f < z_lo - EPS_GHZ || f > z_hi + EPS_GHZ {
+            report.push(
+                "freq-zone",
+                format!("{label}: qubit {q} at {f} GHz lies outside its zone {z} ({z_lo:.3}-{z_hi:.3} GHz)"),
+            );
+        }
+    }
+
+    // Level-1 separation only holds for design-time allocation; a
+    // post-fabrication retune is pinned near each base frequency and
+    // may legitimately collide in-line.
+    if freq.tuning_range_ghz.is_none() {
+        let min_spacing = freq.cell_mhz / 1000.0 - EPS_GHZ;
+        for (i, line) in lines.iter().enumerate() {
+            let qs = line.qubits();
+            for (a, &qa) in qs.iter().enumerate() {
+                for &qb in &qs[a + 1..] {
+                    if line.len() <= zones && plan.zone_of(qa) == plan.zone_of(qb) {
+                        report.push(
+                            "freq-zone",
+                            format!(
+                                "{label}: line {i} members {qa} and {qb} share zone {}",
+                                plan.zone_of(qa)
+                            ),
+                        );
+                    }
+                    let df = (plan.frequency_ghz(qa) - plan.frequency_ghz(qb)).abs();
+                    if df < min_spacing {
+                        report.push(
+                            "freq-spacing",
+                            format!(
+                                "{label}: line {i} members {qa} and {qb} are {:.1} MHz apart (< {} MHz cell)",
+                                df * 1000.0,
+                                freq.cell_mhz
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Routing invariants: the routed netlist covers every planned line,
+/// no channel exceeds its track capacity, and the layout is DRC-clean.
+pub fn check_routing(plan: &WiringPlan, result: &ChannelResult) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let expected = plan.num_xy_lines() + plan.num_z_lines() + plan.num_readout_lines();
+    let routed = result.routing.nets.len();
+    if routed != expected {
+        report.push(
+            "route-nets",
+            format!("routed {routed} nets but the plan has {expected} lines"),
+        );
+    }
+    for ch in &result.channels {
+        if ch.used > ch.capacity {
+            report.push(
+                "route-channel",
+                format!(
+                    "channel at y={:.2} mm assigned {} runs over a {}-track capacity",
+                    ch.y_mm, ch.used, ch.capacity
+                ),
+            );
+        }
+    }
+    if !result.routing.drc.is_clean() {
+        let v = result.routing.drc.violations();
+        report.push(
+            "route-drc",
+            format!(
+                "{} DRC violation(s), first between nets {} and {}",
+                v.len(),
+                v[0].net_a,
+                v[0].net_b
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::topology;
+    use youtiao_core::tdm::DemuxLevel;
+    use youtiao_core::YoutiaoPlanner;
+
+    #[test]
+    fn default_plan_is_clean() {
+        let chip = topology::square_grid(4, 4);
+        let plan = YoutiaoPlanner::new(&chip).plan().unwrap();
+        let report = check_plan(&chip, &plan, &PlannerConfig::default());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn refined_plan_is_clean() {
+        let chip = topology::square_grid(5, 5);
+        let config = PlannerConfig {
+            refine: Some(youtiao_core::RefineConfig::default()),
+            ..Default::default()
+        };
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(config.clone())
+            .plan()
+            .unwrap();
+        let report = check_plan(&chip, &plan, &config);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn partitioned_plan_is_clean() {
+        let chip = topology::square_grid(6, 6);
+        let config = PlannerConfig {
+            partition: Some(youtiao_core::PartitionConfig::default()),
+            ..Default::default()
+        };
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(config.clone())
+            .plan()
+            .unwrap();
+        let report = check_plan(&chip, &plan, &config);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_and_illegal_groups_flagged() {
+        let chip = topology::linear(3);
+        // q0 and q1 are adjacent (share a gate) and everything else is
+        // ungrouped.
+        let groups = vec![TdmGroup::new(
+            DemuxLevel::OneToTwo,
+            vec![DeviceId::Qubit(0u32.into()), DeviceId::Qubit(1u32.into())],
+        )];
+        let report = check_tdm_groups(
+            &chip,
+            &groups,
+            &TdmConfig::default(),
+            &ActivityProfile::new(),
+        );
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"tdm-coverage"), "{}", report.render());
+        assert!(rules.contains(&"tdm-legality"), "{}", report.render());
+    }
+
+    #[test]
+    fn budget_overrun_flagged() {
+        let chip = topology::linear(5);
+        let d = |i: u32| DeviceId::Qubit(i.into());
+        // q0 and q2 are non-adjacent (legal) but busy in the same slot.
+        let mut activity = ActivityProfile::new();
+        activity.insert(d(0), 0b1);
+        activity.insert(d(2), 0b1);
+        let groups = vec![TdmGroup::new(DemuxLevel::OneToTwo, vec![d(0), d(2)])];
+        let report = check_tdm_groups(
+            &chip,
+            &groups,
+            &TdmConfig {
+                max_shared_slots: 0,
+                ..Default::default()
+            },
+            &activity,
+        );
+        assert!(
+            report.violations.iter().any(|v| v.rule == "tdm-budget"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn out_of_band_frequency_flagged() {
+        let chip = topology::linear(2);
+        let lines = vec![FdmLine::new(vec![0u32.into(), 1u32.into()])];
+        let plan = FrequencyPlan::from_frequencies(vec![4.5, 9.0], 2, vec![0, 1]);
+        let report = check_frequencies(&chip, &plan, &lines, &FreqConfig::default(), "xy");
+        assert!(
+            report.violations.iter().any(|v| v.rule == "freq-band"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn in_line_zone_collision_flagged() {
+        let chip = topology::linear(2);
+        let lines = vec![FdmLine::new(vec![0u32.into(), 1u32.into()])];
+        // Both qubits in zone 0 of 2, one cell apart: zone collision but
+        // not a spacing violation.
+        let plan = FrequencyPlan::from_frequencies(vec![4.105, 4.115], 2, vec![0, 0]);
+        let report = check_frequencies(&chip, &plan, &lines, &FreqConfig::default(), "xy");
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"freq-zone"), "{}", report.render());
+        assert!(!rules.contains(&"freq-spacing"), "{}", report.render());
+    }
+
+    #[test]
+    fn spacing_violation_flagged() {
+        let chip = topology::linear(2);
+        let lines = vec![FdmLine::new(vec![0u32.into(), 1u32.into()])];
+        let plan = FrequencyPlan::from_frequencies(vec![4.105, 4.106], 2, vec![0, 0]);
+        let report = check_frequencies(&chip, &plan, &lines, &FreqConfig::default(), "xy");
+        assert!(
+            report.violations.iter().any(|v| v.rule == "freq-spacing"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn retuning_mode_skips_level1_checks() {
+        let chip = topology::linear(2);
+        let lines = vec![FdmLine::new(vec![0u32.into(), 1u32.into()])];
+        let plan = FrequencyPlan::from_frequencies(vec![4.105, 4.106], 2, vec![0, 0]);
+        let report = check_frequencies(&chip, &plan, &lines, &FreqConfig::retuning(), "xy");
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn report_renders_and_roundtrips() {
+        let mut report = ValidationReport::default();
+        assert!(report.render().contains("OK"));
+        report.push("tdm-budget", "group 3 over budget".to_string());
+        assert!(!report.is_clean());
+        assert_eq!(report.len(), 1);
+        let text = report.render();
+        assert!(text.contains("tdm-budget"));
+        assert!(text.contains("group 3"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ValidationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests: `refine_tdm_groups` must preserve every grouping
+//! invariant `validate::check_tdm_groups` asserts, for arbitrary
+//! square-grid chips and workload activity profiles.
+//!
+//! Gated behind the `proptest-tests` feature because the vendored
+//! proptest is a resolution-only stub; run with a real proptest via
+//! `cargo test -p youtiao-obs --features proptest-tests`.
+
+use proptest::prelude::*;
+
+use youtiao_chip::{topology, DistanceMatrix};
+use youtiao_core::tdm::{group_tdm_with_activity, ActivityProfile};
+use youtiao_core::{refine_tdm_groups, RefineConfig, TdmConfig};
+use youtiao_obs::validate::check_tdm_groups;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn refined_groups_keep_invariants(
+        rows in 2usize..6,
+        cols in 2usize..6,
+        budget in 0u32..4,
+        passes in 1usize..4,
+        masks in proptest::collection::vec(0u32..16, 0..128),
+    ) {
+        let chip = topology::square_grid(rows, cols);
+        let mut activity = ActivityProfile::new();
+        for (d, m) in chip.device_ids().zip(masks) {
+            activity.insert(d, m);
+        }
+        let config = TdmConfig { max_shared_slots: budget, ..Default::default() };
+        let xtalk = DistanceMatrix::zeros(chip.num_qubits());
+        let devices: Vec<_> = chip.device_ids().collect();
+        let groups = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+
+        // The initial grouping must already be sound...
+        let before = check_tdm_groups(&chip, &groups, &config, &activity);
+        prop_assert!(before.is_clean(), "{}", before.render());
+
+        // ...and refinement must not break anything while it optimizes.
+        let refine = RefineConfig { passes };
+        let (refined, _removed) =
+            refine_tdm_groups(&chip, &xtalk, &activity, &config, groups, &refine);
+        let after = check_tdm_groups(&chip, &refined, &config, &activity);
+        prop_assert!(after.is_clean(), "{}", after.render());
+    }
+}

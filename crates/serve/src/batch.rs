@@ -39,6 +39,13 @@ pub struct BatchOptions {
     /// Cache persistence: loaded (if present) before the run, saved
     /// after, so a repeated batch over the same file is all cache hits.
     pub cache_path: Option<PathBuf>,
+    /// Write every job's span trace as `{"jobs":[...]}` to this file
+    /// after the run (also enables tracing on the worker pool).
+    pub trace_json: Option<PathBuf>,
+    /// Ask the executor to check plan invariants and fail jobs whose
+    /// finished plan violates one (`ErrorKind::Validation`). Honored by
+    /// executors that consult it — the facade's design executor does.
+    pub validate: bool,
 }
 
 impl Default for BatchOptions {
@@ -49,6 +56,8 @@ impl Default for BatchOptions {
             max_retries: 2,
             cache_capacity: 1024,
             cache_path: None,
+            trace_json: None,
+            validate: false,
         }
     }
 }
@@ -140,6 +149,7 @@ where
             workers: options.jobs,
             max_retries: options.max_retries,
             deadline: options.deadline_ms.map(Duration::from_millis),
+            trace: options.trace_json.is_some(),
         },
     );
 
@@ -200,11 +210,32 @@ where
     pool.join();
     out.flush()?;
 
+    if let Some(path) = &options.trace_json {
+        std::fs::write(path, render_trace_file(&records))?;
+    }
+
     Ok(ServeMetrics::from_records(
         &records,
         start.elapsed(),
         Some(cache.stats().since(&stats_before)),
     ))
+}
+
+/// The `--trace-json` file body: `{"jobs":[<trace>...]}`, in record
+/// completion order. Cache hits and pre-dispatch rejections carry no
+/// trace and are omitted.
+fn render_trace_file<R>(records: &[JobRecord<R>]) -> String {
+    use serde::{Map, Value};
+    let jobs = Value::Array(
+        records
+            .iter()
+            .filter_map(|r| r.trace.as_ref())
+            .map(Serialize::to_value)
+            .collect(),
+    );
+    let mut map = Map::new();
+    map.insert("jobs".into(), jobs);
+    serde_json::to_string(&Value::Object(map)).expect("traces always serialize")
 }
 
 /// [`run_batch_with_cache`] plus cache persistence: loads
@@ -342,6 +373,51 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("klein-bottle"));
+    }
+
+    #[test]
+    fn trace_json_holds_one_trace_per_executed_job() {
+        let path = std::env::temp_dir().join(format!(
+            "youtiao-serve-test-{}.trace.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let traced_executor: Executor<DesignRequest, u64> = Arc::new(|request, ctx| {
+            let span = ctx.tracer.span("build");
+            let chip = request
+                .chip
+                .build()
+                .map_err(|e| ExecError::permanent(ErrorKind::InvalidRequest, e.to_string()))?;
+            span.annotate("qubits", chip.num_qubits() as u64);
+            Ok(chip.num_qubits() as u64)
+        });
+        let options = BatchOptions {
+            trace_json: Some(path.clone()),
+            ..Default::default()
+        };
+        let cache = PlanCache::new(64);
+        let mut out = Vec::new();
+        let metrics =
+            run_batch_with_cache(&requests(3), traced_executor, &options, &cache, &mut out)
+                .unwrap();
+
+        // Records carry the traces inline too.
+        for line in std::str::from_utf8(&out).unwrap().lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["trace"]["job"], v["id"]);
+        }
+        // The trace file is {"jobs":[...]} with one entry per executed job.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let jobs = v["jobs"].as_array().unwrap();
+        assert_eq!(jobs.len(), 3);
+        for job in jobs {
+            assert_eq!(job["spans"][0]["name"], "attempt");
+            assert_eq!(job["spans"][0]["spans"][0]["name"], "build");
+        }
+        // And the metrics aggregate the spans per stage.
+        assert!(metrics.stages.iter().any(|s| s.name == "build"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum ErrorKind {
     Timeout,
     /// The job was cancelled (pool abort / shutdown).
     Cancelled,
+    /// The finished plan violated a wiring invariant (`--validate`).
+    Validation,
     /// Anything else the executor raised.
     Internal,
 }
@@ -36,6 +38,7 @@ impl ErrorKind {
             ErrorKind::Route => "Route",
             ErrorKind::Timeout => "Timeout",
             ErrorKind::Cancelled => "Cancelled",
+            ErrorKind::Validation => "Validation",
             ErrorKind::Internal => "Internal",
         }
     }
@@ -127,6 +130,8 @@ pub struct JobRecord<R> {
     pub latency_ms: f64,
     /// Whether the result came from the plan cache.
     pub cache_hit: bool,
+    /// The job's span trace, when the pool ran with tracing enabled.
+    pub trace: Option<youtiao_obs::Trace>,
 }
 
 impl<R> JobRecord<R> {
@@ -141,6 +146,7 @@ impl<R> JobRecord<R> {
             attempts,
             latency_ms,
             cache_hit: false,
+            trace: None,
         }
     }
 
@@ -161,12 +167,20 @@ impl<R> JobRecord<R> {
             attempts,
             latency_ms,
             cache_hit: false,
+            trace: None,
         }
     }
 
     /// Marks the record as served from cache.
     pub fn from_cache(mut self) -> Self {
         self.cache_hit = true;
+        self
+    }
+
+    /// Attaches the job's finished span trace (`None` leaves the record
+    /// unchanged, so disabled tracing costs nothing on the wire).
+    pub fn with_trace(mut self, trace: Option<youtiao_obs::Trace>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -187,6 +201,10 @@ impl<R: Serialize> Serialize for JobRecord<R> {
         map.insert("attempts".into(), self.attempts.to_value());
         map.insert("latency_ms".into(), self.latency_ms.to_value());
         map.insert("cache_hit".into(), self.cache_hit.to_value());
+        // Emitted only when present: untraced runs keep compact lines.
+        if let Some(trace) = &self.trace {
+            map.insert("trace".into(), trace.to_value());
+        }
         Value::Object(map)
     }
 }
@@ -219,6 +237,20 @@ mod tests {
         assert_eq!(v["error"]["kind"], "Timeout");
         assert_eq!(v["cache_hit"], true);
         assert_eq!(err.retries(), 1);
+    }
+
+    #[test]
+    fn trace_is_emitted_only_when_attached() {
+        let bare = JobRecord::ok(0, "a".into(), 1u32, 1, 1.0);
+        assert!(bare.to_value().get("trace").is_none());
+
+        let tracer = youtiao_obs::Tracer::new("a");
+        drop(tracer.span("plan"));
+        let traced = JobRecord::ok(0, "a".into(), 1u32, 1, 1.0).with_trace(tracer.try_finish());
+        let v = traced.to_value();
+        assert_eq!(v["trace"]["spans"][0]["name"], "plan");
+
+        assert_eq!(ErrorKind::Validation.as_str(), "Validation");
     }
 
     #[test]

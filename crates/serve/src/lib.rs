@@ -37,6 +37,7 @@ pub use batch::{parse_requests, run_batch, run_batch_with_cache, BatchError, Bat
 pub use cache::{content_key, CacheStats, PlanCache};
 pub use cancel::{CancelToken, Cancelled};
 pub use job::{ErrorKind, ErrorRecord, ExecError, JobRecord, JobStatus};
-pub use metrics::ServeMetrics;
+pub use metrics::{ServeMetrics, StageStat};
 pub use pool::{AttemptCtx, Executor, PoolOptions, WorkerPool};
 pub use request::{ChipRequest, DesignRequest, RequestError, DEFAULT_SEED};
+pub use youtiao_obs::{Trace, TraceSpan, Tracer};

@@ -44,6 +44,50 @@ pub struct ServeMetrics {
     pub p99_ms: f64,
     /// Slowest job, milliseconds.
     pub max_ms: f64,
+    /// Per-stage latency aggregates over every traced job, sorted by
+    /// stage name (empty when the run was untraced).
+    pub stages: Vec<StageStat>,
+}
+
+/// Latency aggregate of one pipeline stage across a batch, built from
+/// the span traces of its jobs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageStat {
+    /// Span/stage name (e.g. `"plan"`, `"tdm_grouping"`).
+    pub name: String,
+    /// Spans observed with this name (≥ jobs when stages repeat).
+    pub count: u64,
+    /// Summed wall time, milliseconds.
+    pub total_ms: f64,
+    /// Mean wall time per span, milliseconds.
+    pub mean_ms: f64,
+    /// Slowest span, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Aggregates every span of every traced record by name.
+fn stage_stats<R>(records: &[JobRecord<R>]) -> Vec<StageStat> {
+    let mut by_name: std::collections::BTreeMap<&str, (u64, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for record in records {
+        let Some(trace) = &record.trace else { continue };
+        for (name, ms) in trace.flatten() {
+            let entry = by_name.entry(name).or_insert((0, 0.0, 0.0));
+            entry.0 += 1;
+            entry.1 += ms;
+            entry.2 = entry.2.max(ms);
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, total_ms, max_ms))| StageStat {
+            name: name.to_string(),
+            count,
+            total_ms,
+            mean_ms: total_ms / count as f64,
+            max_ms,
+        })
+        .collect()
 }
 
 /// Nearest-rank percentile of an unsorted sample (q in 0..=100).
@@ -101,12 +145,13 @@ impl ServeMetrics {
             p90_ms: percentile(&latencies, 90.0),
             p99_ms: percentile(&latencies, 99.0),
             max_ms: latencies.last().copied().unwrap_or(0.0),
+            stages: stage_stats(records),
         }
     }
 
     /// Human-readable multi-line summary (what the CLI prints).
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "batch: {} jobs in {:.0} ms ({:.1} jobs/s)\n\
              outcome: {} ok, {} errors ({} timeouts, {} cancelled), {} retries\n\
              latency: p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms\n\
@@ -127,7 +172,14 @@ impl ServeMetrics {
             self.cache_misses,
             self.cache_evictions,
             self.cache_hit_rate * 100.0,
-        )
+        );
+        for stage in &self.stages {
+            out.push_str(&format!(
+                "\nstage {}: {} spans, mean {:.1} ms, max {:.1} ms, total {:.0} ms",
+                stage.name, stage.count, stage.mean_ms, stage.max_ms, stage.total_ms
+            ));
+        }
+        out
     }
 }
 
@@ -180,6 +232,33 @@ mod tests {
         assert_eq!(m.jobs, 0);
         assert_eq!(m.p99_ms, 0.0);
         assert_eq!(m.throughput_per_s, 0.0);
+    }
+
+    #[test]
+    fn stage_aggregates_come_from_traces() {
+        let tracer = youtiao_obs::Tracer::new("j0");
+        tracer.record("plan", Duration::from_millis(10));
+        tracer.record("route", Duration::from_millis(4));
+        let a = ok(0, 14.0).with_trace(tracer.try_finish());
+        let tracer = youtiao_obs::Tracer::new("j1");
+        tracer.record("plan", Duration::from_millis(20));
+        let b = ok(1, 20.0).with_trace(tracer.try_finish());
+        let untraced = ok(2, 1.0);
+
+        let m = ServeMetrics::from_records(&[a, b, untraced], Duration::from_secs(1), None);
+        assert_eq!(m.stages.len(), 2);
+        let plan = &m.stages[0];
+        assert_eq!(plan.name, "plan");
+        assert_eq!(plan.count, 2);
+        assert!((plan.total_ms - 30.0).abs() < 1e-9);
+        assert!((plan.mean_ms - 15.0).abs() < 1e-9);
+        assert!((plan.max_ms - 20.0).abs() < 1e-9);
+        assert_eq!(m.stages[1].name, "route");
+        assert!(m.render().contains("stage plan: 2 spans"));
+
+        let untraced_run = ServeMetrics::from_records(&[ok(0, 1.0)], Duration::from_secs(1), None);
+        assert!(untraced_run.stages.is_empty());
+        assert!(!untraced_run.render().contains("stage "));
     }
 
     #[test]

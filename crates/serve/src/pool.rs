@@ -30,6 +30,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use youtiao_obs::Tracer;
+
 use crate::cancel::CancelToken;
 use crate::job::{ErrorKind, ErrorRecord, ExecError, JobRecord};
 
@@ -47,6 +49,20 @@ pub struct AttemptCtx {
     pub attempt: u32,
     /// Deadline/abort flag to poll between stages.
     pub cancel: CancelToken,
+    /// The job's tracer (disabled unless [`PoolOptions::trace`] is
+    /// set); executors open stage spans on it.
+    pub tracer: Tracer,
+}
+
+impl AttemptCtx {
+    /// An untraced context (tests and simple executors).
+    pub fn new(attempt: u32, cancel: CancelToken) -> Self {
+        AttemptCtx {
+            attempt,
+            cancel,
+            tracer: Tracer::disabled(),
+        }
+    }
 }
 
 /// Pool sizing and retry policy.
@@ -58,6 +74,10 @@ pub struct PoolOptions {
     pub max_retries: u32,
     /// Default per-job deadline; per-task deadlines override it.
     pub deadline: Option<Duration>,
+    /// Record a span trace per job (attempt spans, queue wait, plus
+    /// whatever stage spans the executor opens) and attach it to the
+    /// job's record.
+    pub trace: bool,
 }
 
 impl Default for PoolOptions {
@@ -66,6 +86,7 @@ impl Default for PoolOptions {
             workers: 0,
             max_retries: 2,
             deadline: None,
+            trace: false,
         }
     }
 }
@@ -88,6 +109,7 @@ struct Task<J> {
     id: String,
     payload: J,
     deadline: Option<Duration>,
+    submitted: Instant,
 }
 
 struct Shared<J> {
@@ -180,6 +202,7 @@ where
                 id,
                 payload,
                 deadline,
+                submitted: Instant::now(),
             });
         self.shared.available.notify_one();
         self.submitted += 1;
@@ -282,12 +305,24 @@ fn run_task<J, R>(
         .expect("in-flight set")
         .insert(task.index, token.clone());
 
+    let tracer = if options.trace {
+        Tracer::new(task.id.clone())
+    } else {
+        Tracer::disabled()
+    };
+    tracer.annotate(
+        "queue_wait_ms",
+        start.duration_since(task.submitted).as_secs_f64() * 1e3,
+    );
+
     let mut attempt: u32 = 0;
     let outcome = loop {
         let ctx = AttemptCtx {
             attempt,
             cancel: token.clone(),
+            tracer: tracer.clone(),
         };
+        let span = tracer.span("attempt");
         let result = catch_unwind(AssertUnwindSafe(|| executor(&task.payload, &ctx)))
             .unwrap_or_else(|panic| {
                 Err(ExecError::permanent(
@@ -295,6 +330,7 @@ fn run_task<J, R>(
                     panic_message(&panic),
                 ))
             });
+        drop(span);
         match result {
             Ok(value) => break Ok(value),
             Err(e) if e.transient && attempt < options.max_retries && !token.is_cancelled() => {
@@ -311,8 +347,12 @@ fn run_task<J, R>(
 
     let latency_ms = start.elapsed().as_secs_f64() * 1e3;
     let attempts = attempt + 1;
+    tracer.annotate("attempts", attempts as u64);
+    let trace = tracer.try_finish();
     match outcome {
-        Ok(value) => JobRecord::ok(task.index, task.id, value, attempts, latency_ms),
+        Ok(value) => {
+            JobRecord::ok(task.index, task.id, value, attempts, latency_ms).with_trace(trace)
+        }
         Err(e) => {
             // An executor that stopped at a checkpoint reports Cancelled;
             // whether that was the deadline or an abort is the token's
@@ -333,6 +373,7 @@ fn run_task<J, R>(
                 attempts,
                 latency_ms,
             )
+            .with_trace(trace)
         }
     }
 }
@@ -398,6 +439,7 @@ mod tests {
                 workers: 1,
                 max_retries: 2,
                 deadline: None,
+                trace: false,
             },
         );
         pool.submit(0, "retry".into(), 0, None);
@@ -419,6 +461,7 @@ mod tests {
                 workers: 1,
                 max_retries: 5,
                 deadline: None,
+                trace: false,
             },
         );
         pool.submit(0, "perm".into(), 0, None);
@@ -486,6 +529,40 @@ mod tests {
             .iter()
             .skip(1)
             .all(|r| r.error.as_ref().unwrap().kind == ErrorKind::Cancelled));
+    }
+
+    #[test]
+    fn traced_pool_attaches_attempt_spans() {
+        let executor: Executor<u32, u32> = Arc::new(|_, ctx| {
+            let _work = ctx.tracer.span("work");
+            if ctx.attempt == 0 {
+                Err(ExecError::transient(ErrorKind::Plan, "first try fails"))
+            } else {
+                Ok(7)
+            }
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                trace: true,
+                ..Default::default()
+            },
+        );
+        pool.submit(0, "traced".into(), 0, None);
+        let records = pool.join();
+        let trace = records[0].trace.as_ref().unwrap();
+        assert_eq!(trace.job, "traced");
+        let attempts: Vec<_> = trace.spans.iter().filter(|s| s.name == "attempt").collect();
+        assert_eq!(attempts.len(), 2, "one span per attempt");
+        assert!(attempts[1].find("work").is_some());
+        assert_eq!(trace.annotations["attempts"], 2u64);
+        assert!(trace.annotations["queue_wait_ms"].as_f64().unwrap() >= 0.0);
+
+        // Without the option, records stay bare.
+        let mut pool = doubling_pool(1);
+        pool.submit(0, "bare".into(), 1, None);
+        assert!(pool.join()[0].trace.is_none());
     }
 
     #[test]

@@ -176,6 +176,8 @@ pub struct DesignRequest {
     pub readout_capacity: Option<usize>,
     /// Allow 1:8 cryo-DEMUXes for low-parallelism groups.
     pub one_to_eight: Option<bool>,
+    /// Run local-search refinement of the TDM grouping (default false).
+    pub refine: Option<bool>,
     /// Run chip-level channel routing too (default true).
     pub routing: Option<bool>,
     /// Per-job deadline override, milliseconds.
@@ -193,6 +195,7 @@ impl DesignRequest {
             fdm_capacity: None,
             readout_capacity: None,
             one_to_eight: None,
+            refine: None,
             routing: None,
             deadline_ms: None,
         }
@@ -229,6 +232,9 @@ impl DesignRequest {
         if let Some(one_to_eight) = self.one_to_eight {
             config.tdm.allow_one_to_eight = one_to_eight;
         }
+        if self.refine.unwrap_or(false) {
+            config.refine = Some(youtiao_core::RefineConfig::default());
+        }
         config
     }
 
@@ -253,6 +259,7 @@ impl DesignRequest {
                 self.wants_routing(),
                 self.seed(),
             ),
+            self.refine.unwrap_or(false),
         );
         Ok(content_key(&(spec, knobs)))
     }
@@ -339,6 +346,12 @@ mod tests {
         let mut reseeded = base.clone();
         reseeded.seed = Some(1);
         assert_ne!(base.cache_key().unwrap(), reseeded.cache_key().unwrap());
+
+        let mut refined = base.clone();
+        refined.refine = Some(true);
+        assert_ne!(base.cache_key().unwrap(), refined.cache_key().unwrap());
+        assert!(refined.planner_config().refine.is_some());
+        assert!(base.planner_config().refine.is_none());
     }
 
     #[test]

@@ -1,20 +1,59 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + tests, then style gates.
+# Repo verification: tier-1 build + tests, a batch smoke run with plan
+# validation + stage tracing, then style gates.
 #
-# Usage: scripts/verify.sh [--tier1-only]
+# Usage: scripts/verify.sh [--tier1-only|--smoke-only]
 #
 # Everything runs offline (all dependencies are vendored in vendor/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier 1: cargo build --release"
-cargo build --release --offline
+if [[ "${1:-}" != "--smoke-only" ]]; then
+  echo "==> tier 1: cargo build --release"
+  cargo build --release --offline
 
-echo "==> tier 1: cargo test -q"
-cargo test -q --offline
+  echo "==> tier 1: cargo test -q"
+  cargo test -q --offline
 
-if [[ "${1:-}" == "--tier1-only" ]]; then
-  echo "verify: tier-1 OK"
+  if [[ "${1:-}" == "--tier1-only" ]]; then
+    echo "verify: tier-1 OK"
+    exit 0
+  fi
+fi
+
+echo "==> smoke: youtiao batch --validate --trace-json"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline --bin youtiao -- batch \
+  --in examples/batch_jobs.jsonl --out "$smoke_dir/results.jsonl" \
+  --validate --trace-json "$smoke_dir/traces.json" --metrics-json \
+  2> "$smoke_dir/metrics.json"
+if grep -q '"status":"Error"' "$smoke_dir/results.jsonl"; then
+  echo "verify: FAILED — batch smoke produced error records:" >&2
+  grep '"status":"Error"' "$smoke_dir/results.jsonl" >&2
+  exit 1
+fi
+jobs_in=$(grep -cv '^\s*\(#\|$\)' examples/batch_jobs.jsonl)
+jobs_out=$(wc -l < "$smoke_dir/results.jsonl")
+if [[ "$jobs_out" -ne "$jobs_in" ]]; then
+  echo "verify: FAILED — expected $jobs_in result records, got $jobs_out" >&2
+  exit 1
+fi
+python3 - "$smoke_dir/traces.json" "$jobs_in" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    traces = json.load(f)
+jobs = traces["jobs"]
+assert len(jobs) == int(sys.argv[2]), f"expected {sys.argv[2]} traces, got {len(jobs)}"
+for trace in jobs:
+    stages = [child["name"] for span in trace["spans"] for child in span["spans"]]
+    for stage in ("characterize", "plan", "cost", "validate"):
+        assert stage in stages, f"job {trace['job']}: missing `{stage}` span ({stages})"
+print(f"  trace file OK: {len(jobs)} jobs, all stage spans present")
+PY
+
+if [[ "${1:-}" == "--smoke-only" ]]; then
+  echo "verify: smoke OK"
   exit 0
 fi
 

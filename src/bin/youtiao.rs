@@ -42,7 +42,10 @@ usage:
   youtiao export-chip <chip args> --out FILE
   youtiao batch  --in FILE.jsonl [--out FILE.jsonl] [--jobs N] [--deadline-ms T]
                  [--retries R] [--cache FILE] [--cache-capacity N] [--metrics-json]
-                 (--in - reads stdin; --out defaults to stdout; metrics go to stderr)
+                 [--trace-json FILE] [--validate]
+                 (--in - reads stdin; --out defaults to stdout; metrics go to stderr;
+                  --trace-json writes per-job stage-span traces; --validate fails a
+                  job when its finished plan breaks a wiring invariant)
 
 chip args (one of):
   --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring
@@ -196,6 +199,12 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
             .get("cache")
             .and_then(|v| v.clone())
             .map(std::path::PathBuf::from),
+        trace_json: match flags.get("trace-json") {
+            None => None,
+            Some(Some(path)) => Some(std::path::PathBuf::from(path)),
+            Some(None) => return Err("--trace-json expects a file path".into()),
+        },
+        validate: flags.contains_key("validate"),
     };
 
     let out = flags

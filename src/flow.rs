@@ -10,6 +10,8 @@ use youtiao_cost::WiringTally;
 use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
 use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
 use youtiao_noise::CrosstalkModel;
+use youtiao_obs::validate::{check_plan, check_routing, ValidationReport};
+use youtiao_obs::Tracer;
 use youtiao_route::channel::{channel_route, ChannelConfig, ChannelResult};
 use youtiao_route::router::{NetSpec, RouteError};
 use youtiao_serve::CancelToken;
@@ -24,6 +26,11 @@ pub struct DesignOptions {
     pub seed: u64,
     /// Route the chip level too (skipped when `None`).
     pub routing: Option<ChannelConfig>,
+    /// Check every plan invariant after the pipeline and fail with
+    /// [`DesignError::Validation`] on a violation. Debug builds run the
+    /// checks regardless (asserting instead of erroring), so the test
+    /// suite exercises the validator on every flow run.
+    pub validate: bool,
 }
 
 impl Default for DesignOptions {
@@ -35,6 +42,7 @@ impl Default for DesignOptions {
                 margin_mm: 5.0,
                 ..Default::default()
             }),
+            validate: false,
         }
     }
 }
@@ -156,6 +164,9 @@ pub enum DesignError {
         /// The stage that was about to run.
         stage: &'static str,
     },
+    /// The finished plan violated a wiring invariant (only produced
+    /// when [`DesignOptions::validate`] is set).
+    Validation(ValidationReport),
 }
 
 impl DesignError {
@@ -177,6 +188,9 @@ impl std::fmt::Display for DesignError {
             DesignError::Plan(e) => write!(f, "planning failed: {e}"),
             DesignError::Route(e) => write!(f, "routing failed: {e}"),
             DesignError::Cancelled { stage } => write!(f, "cancelled before the {stage} stage"),
+            DesignError::Validation(report) => {
+                write!(f, "plan validation failed: {}", report.render())
+            }
         }
     }
 }
@@ -239,6 +253,26 @@ pub fn design_chip_with_cancel(
     options: &DesignOptions,
     cancel: &CancelToken,
 ) -> Result<DesignReport, DesignError> {
+    design_chip_traced(chip, options, cancel, &Tracer::disabled())
+}
+
+/// [`design_chip_with_cancel`] with stage-level tracing: every pipeline
+/// stage opens a span on `tracer` (with the planner's sub-stages
+/// grafted as children of the `plan` span), so a finished trace shows
+/// where a job's wall time went. Pass [`Tracer::disabled`] to trace
+/// nothing at zero cost.
+///
+/// # Errors
+///
+/// Same as [`design_chip_with_cancel`], plus
+/// [`DesignError::Validation`] when [`DesignOptions::validate`] is set
+/// and the finished plan violates a wiring invariant.
+pub fn design_chip_traced(
+    chip: &Chip,
+    options: &DesignOptions,
+    cancel: &CancelToken,
+    tracer: &Tracer,
+) -> Result<DesignReport, DesignError> {
     let checkpoint = |stage: &'static str| {
         cancel
             .checkpoint()
@@ -247,31 +281,67 @@ pub fn design_chip_with_cancel(
 
     // 1. Characterize: synthesize measurements and fit the model.
     checkpoint("characterize")?;
-    let samples = synthesize(chip, CrosstalkKind::Xy, &SynthConfig::xy(), options.seed);
-    let model =
-        fit_crosstalk_model(&samples, &FitConfig::paper()).expect("synthesized data always fits");
+    let model = {
+        let span = tracer.span("characterize");
+        let samples = synthesize(chip, CrosstalkKind::Xy, &SynthConfig::xy(), options.seed);
+        span.annotate("samples", samples.len() as u64);
+        fit_crosstalk_model(&samples, &FitConfig::paper()).expect("synthesized data always fits")
+    };
 
     // 2. Plan.
     checkpoint("plan")?;
-    let plan = YoutiaoPlanner::new(chip)
-        .with_crosstalk_model(&model)
-        .with_config(options.planner.clone())
-        .plan()?;
+    let plan = {
+        let span = tracer.span("plan");
+        let plan = YoutiaoPlanner::new(chip)
+            .with_crosstalk_model(&model)
+            .with_config(options.planner.clone())
+            .plan_with_hook(&mut |stage, elapsed| tracer.record(stage, elapsed))?;
+        span.annotate("xy_lines", plan.num_xy_lines() as u64);
+        span.annotate("z_lines", plan.num_z_lines() as u64);
+        span.annotate("readout_lines", plan.num_readout_lines() as u64);
+        plan
+    };
 
     // 3. Tally.
     checkpoint("cost")?;
-    let dedicated = WiringTally::google(chip);
-    let multiplexed = WiringTally::youtiao(&plan);
+    let (dedicated, multiplexed) = {
+        let _span = tracer.span("cost");
+        (WiringTally::google(chip), WiringTally::youtiao(&plan))
+    };
 
     // 4. Route the multiplexed netlist at chip level.
     let routing = match &options.routing {
         Some(config) => {
             checkpoint("route")?;
+            let span = tracer.span("route");
             let nets = plan_nets(chip, &plan);
-            Some(channel_route(chip, &nets, config)?)
+            span.annotate("nets", nets.len() as u64);
+            let result = channel_route(chip, &nets, config)?;
+            span.annotate("total_length_mm", result.routing.total_length_mm);
+            Some(result)
         }
         None => None,
     };
+
+    // 5. Validate: on request it is a first-class stage with a
+    // structured error; in debug builds it always runs so every test
+    // that exercises the flow also exercises the invariants.
+    if options.validate || cfg!(debug_assertions) {
+        let span = tracer.span("validate");
+        let mut report = check_plan(chip, &plan, &options.planner);
+        if let Some(result) = &routing {
+            report.merge(check_routing(&plan, result));
+        }
+        span.annotate("violations", report.len() as u64);
+        if !report.is_clean() {
+            if options.validate {
+                return Err(DesignError::Validation(report));
+            }
+            // Reaching this without --validate means a pipeline stage
+            // broke an invariant the flow is supposed to preserve.
+            debug_assert!(false, "plan invariants violated: {}", report.render());
+        }
+    }
 
     Ok(DesignReport {
         model,
@@ -379,6 +449,73 @@ mod tests {
                 stage: "characterize"
             }
         ));
+    }
+
+    #[test]
+    fn traced_flow_records_one_span_per_stage() {
+        let chip = topology::square_grid(4, 4);
+        let tracer = Tracer::new("flow-test");
+        let options = DesignOptions {
+            validate: true,
+            ..Default::default()
+        };
+        let report = design_chip_traced(&chip, &options, &CancelToken::new(), &tracer).unwrap();
+        assert!(report.routing.is_some());
+
+        let trace = tracer.finish();
+        let top: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(top, ["characterize", "plan", "cost", "route", "validate"]);
+
+        // The planner's sub-stages are children of the plan span.
+        let plan_span = trace.find("plan").unwrap();
+        for sub in [
+            "matrices",
+            "fdm_grouping",
+            "tdm_grouping",
+            "freq_alloc",
+            "readout",
+        ] {
+            assert!(plan_span.find(sub).is_some(), "missing sub-stage {sub}");
+        }
+        assert_eq!(
+            plan_span.annotations["z_lines"],
+            report.plan.num_z_lines() as u64
+        );
+        assert_eq!(
+            trace.find("validate").unwrap().annotations["violations"],
+            0u64
+        );
+
+        // Stage durations account for (approximately all of) the job's
+        // wall time: nothing substantial runs outside a span.
+        let stage_sum: f64 = trace.spans.iter().map(|s| s.ms).sum();
+        assert!(stage_sum <= trace.total_ms + 1e-6);
+        assert!(
+            stage_sum >= 0.8 * trace.total_ms,
+            "spans cover {stage_sum} of {} ms",
+            trace.total_ms
+        );
+    }
+
+    #[test]
+    fn untraced_flow_is_unchanged() {
+        let chip = topology::square_grid(3, 3);
+        let options = DesignOptions {
+            validate: true,
+            ..Default::default()
+        };
+        assert!(design_chip(&chip, &options).is_ok());
+    }
+
+    #[test]
+    fn validation_error_renders_and_classifies() {
+        let mut report = ValidationReport::default();
+        report.push("tdm-budget", "group 0 over budget".to_string());
+        let e = DesignError::Validation(report);
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("tdm-budget"));
+        use std::error::Error;
+        assert!(e.source().is_none());
     }
 
     #[test]

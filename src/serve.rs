@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 pub use youtiao_serve::*;
 
-use crate::flow::{design_chip_with_cancel, DesignError, DesignOptions, ReportSummary};
+use crate::flow::{design_chip_traced, DesignError, DesignOptions, ReportSummary};
 
 /// Derives the characterization seed for a retry attempt: attempt 0
 /// keeps the requested seed (so results are reproducible), later
@@ -42,6 +42,7 @@ fn classify(error: DesignError) -> ExecError {
     let kind = match &error {
         DesignError::Plan(_) => ErrorKind::Plan,
         DesignError::Route(_) => ErrorKind::Route,
+        DesignError::Validation(_) => ErrorKind::Validation,
         DesignError::Cancelled { .. } => return ExecError::cancelled(),
     };
     if error.is_transient() {
@@ -55,7 +56,16 @@ fn classify(error: DesignError) -> ExecError {
 /// characterize → plan → tally → route under the attempt's cancel
 /// token, and returns the report summary.
 pub fn design_executor() -> Executor<DesignRequest, ReportSummary> {
-    Arc::new(|request, ctx| {
+    design_executor_with(false)
+}
+
+/// [`design_executor`] with plan validation on or off: when `validate`
+/// is set, every finished plan is checked against the wiring invariants
+/// and a violation fails the job permanently with
+/// [`ErrorKind::Validation`]. Stage spans land on the attempt's tracer
+/// either way (a no-op unless the pool runs with tracing).
+pub fn design_executor_with(validate: bool) -> Executor<DesignRequest, ReportSummary> {
+    Arc::new(move |request, ctx| {
         let chip = request
             .chip
             .build()
@@ -68,8 +78,9 @@ pub fn design_executor() -> Executor<DesignRequest, ReportSummary> {
             } else {
                 None
             },
+            validate,
         };
-        design_chip_with_cancel(&chip, &options, &ctx.cancel)
+        design_chip_traced(&chip, &options, &ctx.cancel, &ctx.tracer)
             .map(|report| report.summary())
             .map_err(classify)
     })
@@ -89,7 +100,12 @@ pub fn run_design_batch<W: Write>(
     options: &BatchOptions,
     out: &mut W,
 ) -> Result<ServeMetrics, BatchError> {
-    run_batch(requests, design_executor(), options, out)
+    run_batch(
+        requests,
+        design_executor_with(options.validate),
+        options,
+        out,
+    )
 }
 
 /// [`run_design_batch`] against a caller-owned [`PlanCache`], for warm
@@ -100,7 +116,13 @@ pub fn run_design_batch_with_cache<W: Write>(
     cache: &PlanCache<ReportSummary>,
     out: &mut W,
 ) -> Result<ServeMetrics, BatchError> {
-    run_batch_with_cache(requests, design_executor(), options, cache, out)
+    run_batch_with_cache(
+        requests,
+        design_executor_with(options.validate),
+        options,
+        cache,
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -117,10 +139,7 @@ mod tests {
     #[test]
     fn executor_classifies_invalid_and_plan_errors() {
         let executor = design_executor();
-        let ctx = AttemptCtx {
-            attempt: 0,
-            cancel: CancelToken::new(),
-        };
+        let ctx = AttemptCtx::new(0, CancelToken::new());
 
         let bad_chip = DesignRequest::new(ChipRequest::named("tesseract"));
         let err = executor(&bad_chip, &ctx).unwrap_err();
@@ -139,7 +158,7 @@ mod tests {
         let executor = design_executor();
         let cancel = CancelToken::new();
         cancel.cancel();
-        let ctx = AttemptCtx { attempt: 0, cancel };
+        let ctx = AttemptCtx::new(0, cancel);
         let request = DesignRequest::new(ChipRequest::grid("square", 3, 3));
         let err = executor(&request, &ctx).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Cancelled);
