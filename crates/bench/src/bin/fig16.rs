@@ -6,52 +6,11 @@
 //! consistently uses the largest share of 1:2 DEMUXes; raising θ shifts
 //! devices toward denser 1:4 multiplexing.
 //!
+//! The sweep itself (`youtiao_bench::figs::fig16_spec`) runs on the
+//! `youtiao-xplore` engine; this binary just prints the report.
+//!
 //! Run with `cargo run --release -p youtiao-bench --bin fig16`.
 
-use youtiao_bench::report::Table;
-use youtiao_chip::topology;
-use youtiao_core::tdm::DemuxLevel;
-use youtiao_core::{PlannerConfig, TdmConfig, YoutiaoPlanner};
-
 fn main() {
-    println!("== Figure 16: cryo-DEMUX level proportions vs threshold theta ==\n");
-    let thetas = [2.0f64, 3.0, 4.0, 5.0, 6.0, 8.0];
-    let mut header: Vec<String> = vec!["topology".into()];
-    header.extend(thetas.iter().map(|t| format!("theta={t}")));
-    let mut t = Table::new(header);
-
-    for chip in topology::paper_suite() {
-        let mut cells = vec![chip.name().to_string()];
-        for &theta in &thetas {
-            let config = PlannerConfig {
-                tdm: TdmConfig {
-                    theta,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            let plan = YoutiaoPlanner::new(&chip)
-                .with_config(config)
-                .plan()
-                .expect("paper-suite chips plan cleanly");
-            let mut counts = [0usize; 3]; // 1:4, 1:2, direct
-            for g in plan.tdm_groups() {
-                match g.level() {
-                    DemuxLevel::OneToEight | DemuxLevel::OneToFour => counts[0] += g.len(),
-                    DemuxLevel::OneToTwo => counts[1] += g.len(),
-                    _ => counts[2] += g.len(),
-                }
-            }
-            let total = (counts[0] + counts[1] + counts[2]) as f64;
-            cells.push(format!(
-                "{:>3.0}%/{:>3.0}%",
-                100.0 * counts[0] as f64 / total,
-                100.0 * counts[1] as f64 / total,
-            ));
-        }
-        t.row(cells);
-    }
-    t.print();
-    println!("\ncells show the share of Z devices on 1:4 / 1:2 DEMUXes (rest: direct lines).");
-    println!("paper: square keeps the largest 1:2 share; larger theta favours 1:4.");
+    print!("{}", youtiao_bench::figs::fig16_report());
 }

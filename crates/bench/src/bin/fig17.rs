@@ -8,125 +8,12 @@
 //! (d) 1k–100k qubits: 3.1× reduction (to 32% of the original count),
 //!     saving over $2.3B.
 //!
+//! The plans behind parts (b) and (c) come from one-point sweeps on the
+//! `youtiao-xplore` engine (`youtiao_bench::figs`); this binary just
+//! prints the report.
+//!
 //! Run with `cargo run --release -p youtiao-bench --bin fig17`.
 
-use youtiao_bench::fdm_eval::{default_simulator, per_qubit_gate_error, FdmScenario};
-use youtiao_bench::report::{pct, ratio, Table};
-use youtiao_bench::{fitted_xy_model, DEFAULT_SEED};
-use youtiao_chip::topology;
-use youtiao_core::{PartitionConfig, PlannerConfig, YoutiaoPlanner};
-use youtiao_cost::scale::{ibm_chiplet, square_system, ScalingModel};
-use youtiao_cost::{COAX_COST_KUSD, RF_DAC_COST_KUSD, TWISTED_PAIR_COST_KUSD};
-
 fn main() {
-    // Calibrate YOUTIAO per-line occupancies from real planner runs.
-    let model = ScalingModel::calibrate(&[6, 8, 10]);
-
-    println!("== Figure 17 (a): coax cables, 10-1k qubits (square topology) ==\n");
-    let mut t = Table::new(vec!["#qubits", "Google coax", "YOUTIAO coax", "reduction"]);
-    for n in [10usize, 30, 100, 300, 1000] {
-        let g = model.google_tally(n).coax_lines();
-        let y = model.youtiao_tally(n).coax_lines();
-        t.row(vec![
-            n.to_string(),
-            g.to_string(),
-            y.to_string(),
-            ratio(g as f64, y as f64),
-        ]);
-    }
-    t.print();
-    println!("\npaper: >2.3x reduction across this range\n");
-
-    println!("== Figure 17 (b): the 150-qubit system ==\n");
-    let g150 = square_system(150).google_coax(4);
-    let y150 = model.youtiao_tally(150).coax_lines();
-    println!("Google coax:  {g150} (paper: 613)");
-    println!("YOUTIAO coax: {y150} (paper: 267)");
-    // All-qubit parallel XY fidelity on the actual 150-qubit plan.
-    let chip = topology::square_grid(10, 15);
-    let xy_model = fitted_xy_model(&chip, DEFAULT_SEED);
-    let config = PlannerConfig {
-        partition: Some(PartitionConfig::for_target_size(&chip, 40)),
-        ..Default::default()
-    };
-    let plan = YoutiaoPlanner::new(&chip)
-        .with_crosstalk_model(&xy_model)
-        .with_config(config)
-        .plan()
-        .expect("150-qubit plan succeeds");
-    let scenario = FdmScenario {
-        chip: &chip,
-        lines: plan.fdm_lines(),
-        freqs: plan.frequency_plan(),
-        model: &xy_model,
-    };
-    let errs = per_qubit_gate_error(&scenario, &default_simulator());
-    let all_qubit_fidelity: f64 = errs.iter().map(|e| 1.0 - e).product();
-    println!(
-        "XY fidelity with all 150 qubits driven: {} (paper: 94.3%)\n",
-        pct(all_qubit_fidelity)
-    );
-
-    println!("== Figure 17 (c): vs IBM chiplet scale-out ==\n");
-    // Wire the very same heavy-hex chiplets with YOUTIAO (one plan per
-    // chip, replicated), rather than a different topology.
-    let chiplet = youtiao_cost::scale::ibm_chiplet_chip();
-    let mut chiplet_cfg = PlannerConfig::default();
-    chiplet_cfg.tdm.theta = 8.0;
-    let chiplet_plan = YoutiaoPlanner::new(&chiplet)
-        .with_config(chiplet_cfg)
-        .plan()
-        .expect("chiplet plan succeeds");
-    let y_per_chip = youtiao_cost::WiringTally::youtiao(&chiplet_plan).coax_lines();
-    let mut t = Table::new(vec![
-        "chiplets",
-        "#qubits",
-        "IBM coax",
-        "YOUTIAO coax",
-        "reduction",
-    ]);
-    for copies in [5usize, 10, 25] {
-        let (q, ibm) = ibm_chiplet(copies);
-        let y = y_per_chip * copies;
-        t.row(vec![
-            copies.to_string(),
-            q.to_string(),
-            ibm.to_string(),
-            y.to_string(),
-            ratio(ibm as f64, y as f64),
-        ]);
-    }
-    t.print();
-    println!("\npaper: 3.4x overall, 3.5x at 25 chiplets\n");
-
-    println!("== Figure 17 (d): 1k-100k qubits ==\n");
-    let mut t = Table::new(vec![
-        "#qubits",
-        "Google coax",
-        "YOUTIAO coax",
-        "remaining",
-        "savings ($B)",
-    ]);
-    for n in [1_000usize, 3_000, 10_000, 30_000, 100_000] {
-        let g = model.google_tally(n);
-        let y = model.youtiao_tally(n);
-        let cost = |t: &youtiao_cost::WiringTally| -> f64 {
-            t.coax_lines() as f64 * COAX_COST_KUSD
-                + t.rf_dacs() as f64 * RF_DAC_COST_KUSD
-                + t.demux_select_lines as f64 * TWISTED_PAIR_COST_KUSD
-        };
-        let savings_busd = (cost(&g) - cost(&y)) / 1e6;
-        t.row(vec![
-            n.to_string(),
-            g.coax_lines().to_string(),
-            y.coax_lines().to_string(),
-            format!(
-                "{:.0}%",
-                100.0 * y.coax_lines() as f64 / g.coax_lines() as f64
-            ),
-            format!("{savings_busd:.2}"),
-        ]);
-    }
-    t.print();
-    println!("\npaper at 100k qubits: 4.4e5 cables cut to 32%, saving over $2.3B");
+    print!("{}", youtiao_bench::figs::fig17_report());
 }

@@ -1,0 +1,206 @@
+//! Figure 16/17 reports, built on the `youtiao-xplore` sweep engine.
+//!
+//! The figure binaries used to drive the planner loop themselves; they
+//! are now thin wrappers around these report builders, which declare
+//! the corresponding [`SweepSpec`] and read the numbers back out of the
+//! engine's records. The rendered text is byte-identical to the
+//! pre-engine output (`results/fig16.txt` / `results/fig17.txt`), which
+//! `tests/fig_ports.rs` locks in.
+
+use youtiao_chip::ChipSpec;
+use youtiao_xplore::{run_sweep, ChipRequest, SweepOptions, SweepRecord, SweepSpec};
+
+use crate::report::{pct, ratio, Table};
+use crate::DEFAULT_SEED;
+
+/// Runs `spec` with default options, discarding the JSONL stream and
+/// asserting every point planned.
+fn sweep_records(spec: &SweepSpec) -> Vec<SweepRecord> {
+    let outcome = run_sweep(spec, &SweepOptions::default(), &mut std::io::sink())
+        .expect("figure sweeps are valid");
+    assert!(
+        outcome.records.iter().all(SweepRecord::is_ok),
+        "figure sweeps plan cleanly"
+    );
+    outcome.records
+}
+
+/// The θ axis of Figure 16.
+pub const FIG16_THETAS: [f64; 6] = [2.0, 3.0, 4.0, 5.0, 6.0, 8.0];
+
+/// The Figure 16 sweep: the paper topology suite × the θ axis,
+/// structure-only planning (no noise model).
+pub fn fig16_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(vec![
+        ChipRequest::grid("square", 3, 3),
+        ChipRequest::grid("hexagon", 2, 2),
+        ChipRequest::grid("heavy-square", 3, 3),
+        ChipRequest::grid("heavy-hexagon", 1, 2),
+        ChipRequest::grid("low-density", 3, 6),
+    ]);
+    spec.name = Some("fig16".into());
+    spec.thetas = Some(FIG16_THETAS.to_vec());
+    spec.use_model = Some(false);
+    spec
+}
+
+/// Reproduces **Figure 16**: the proportion of 1:2 vs 1:4 cryo-DEMUXes
+/// chosen by the TDM grouping across topologies as θ sweeps.
+pub fn fig16_report() -> String {
+    let records = sweep_records(&fig16_spec());
+    let thetas = FIG16_THETAS.len();
+
+    let mut header: Vec<String> = vec!["topology".into()];
+    header.extend(FIG16_THETAS.iter().map(|t| format!("theta={t}")));
+    let mut t = Table::new(header);
+    for chip_rows in records.chunks(thetas) {
+        let mut cells = vec![chip_rows[0].chip.clone()];
+        for record in chip_rows {
+            let deep = record.demux_deep.unwrap();
+            let one_to_two = record.demux_one_to_two.unwrap();
+            let total = (deep + one_to_two + record.demux_direct.unwrap()) as f64;
+            cells.push(format!(
+                "{:>3.0}%/{:>3.0}%",
+                100.0 * deep as f64 / total,
+                100.0 * one_to_two as f64 / total,
+            ));
+        }
+        t.row(cells);
+    }
+
+    let mut out = String::new();
+    out.push_str("== Figure 16: cryo-DEMUX level proportions vs threshold theta ==\n\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "\ncells show the share of Z devices on 1:4 / 1:2 DEMUXes (rest: direct lines).\n",
+    );
+    out.push_str("paper: square keeps the largest 1:2 share; larger theta favours 1:4.\n");
+    out
+}
+
+/// The Figure 17 (b) sweep: one point — the 150-qubit (10×15 square)
+/// system, noise-aware with the paper seed, partitioned toward
+/// 40-qubit regions, with the all-driven fidelity evaluated.
+pub fn fig17b_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new(vec![ChipRequest::grid("square", 10, 15)]);
+    spec.name = Some("fig17b".into());
+    spec.seeds = Some(vec![DEFAULT_SEED]);
+    spec.fidelity = Some(true);
+    spec.partition_target = Some(40);
+    spec
+}
+
+/// The Figure 17 (c) sweep: one point — the IBM heavy-hex chiplet wired
+/// with YOUTIAO at θ=8, structure-only.
+pub fn fig17c_spec() -> SweepSpec {
+    let chiplet = youtiao_cost::scale::ibm_chiplet_chip();
+    let mut spec = SweepSpec::new(vec![ChipRequest {
+        topology: None,
+        rows: None,
+        cols: None,
+        size: None,
+        distance: None,
+        spec: Some(ChipSpec::from_chip(&chiplet)),
+    }]);
+    spec.name = Some("fig17c".into());
+    spec.thetas = Some(vec![8.0]);
+    spec.use_model = Some(false);
+    spec
+}
+
+/// Reproduces **Figure 17**: wiring estimation for large-scale quantum
+/// systems. The scaling-model arithmetic (parts a/d and the IBM
+/// baseline of part c) stays here; the actual plans behind parts (b)
+/// and (c) come from one-point sweeps.
+pub fn fig17_report() -> String {
+    use youtiao_cost::scale::{ibm_chiplet, square_system, ScalingModel};
+    use youtiao_cost::{COAX_COST_KUSD, RF_DAC_COST_KUSD, TWISTED_PAIR_COST_KUSD};
+
+    // Calibrate YOUTIAO per-line occupancies from real planner runs.
+    let model = ScalingModel::calibrate(&[6, 8, 10]);
+    let mut out = String::new();
+
+    out.push_str("== Figure 17 (a): coax cables, 10-1k qubits (square topology) ==\n\n");
+    let mut t = Table::new(vec!["#qubits", "Google coax", "YOUTIAO coax", "reduction"]);
+    for n in [10usize, 30, 100, 300, 1000] {
+        let g = model.google_tally(n).coax_lines();
+        let y = model.youtiao_tally(n).coax_lines();
+        t.row(vec![
+            n.to_string(),
+            g.to_string(),
+            y.to_string(),
+            ratio(g as f64, y as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper: >2.3x reduction across this range\n\n");
+
+    out.push_str("== Figure 17 (b): the 150-qubit system ==\n\n");
+    let g150 = square_system(150).google_coax(4);
+    let y150 = model.youtiao_tally(150).coax_lines();
+    out.push_str(&format!("Google coax:  {g150} (paper: 613)\n"));
+    out.push_str(&format!("YOUTIAO coax: {y150} (paper: 267)\n"));
+    // All-qubit parallel XY fidelity on the actual 150-qubit plan.
+    let record = &sweep_records(&fig17b_spec())[0];
+    out.push_str(&format!(
+        "XY fidelity with all 150 qubits driven: {} (paper: 94.3%)\n\n",
+        pct(record.fidelity.unwrap())
+    ));
+
+    out.push_str("== Figure 17 (c): vs IBM chiplet scale-out ==\n\n");
+    // Wire the very same heavy-hex chiplets with YOUTIAO (one plan per
+    // chip, replicated), rather than a different topology.
+    let y_per_chip = sweep_records(&fig17c_spec())[0].coax_lines.unwrap();
+    let mut t = Table::new(vec![
+        "chiplets",
+        "#qubits",
+        "IBM coax",
+        "YOUTIAO coax",
+        "reduction",
+    ]);
+    for copies in [5usize, 10, 25] {
+        let (q, ibm) = ibm_chiplet(copies);
+        let y = y_per_chip * copies;
+        t.row(vec![
+            copies.to_string(),
+            q.to_string(),
+            ibm.to_string(),
+            y.to_string(),
+            ratio(ibm as f64, y as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper: 3.4x overall, 3.5x at 25 chiplets\n\n");
+
+    out.push_str("== Figure 17 (d): 1k-100k qubits ==\n\n");
+    let mut t = Table::new(vec![
+        "#qubits",
+        "Google coax",
+        "YOUTIAO coax",
+        "remaining",
+        "savings ($B)",
+    ]);
+    for n in [1_000usize, 3_000, 10_000, 30_000, 100_000] {
+        let g = model.google_tally(n);
+        let y = model.youtiao_tally(n);
+        let cost = |t: &youtiao_cost::WiringTally| -> f64 {
+            t.coax_lines() as f64 * COAX_COST_KUSD
+                + t.rf_dacs() as f64 * RF_DAC_COST_KUSD
+                + t.demux_select_lines as f64 * TWISTED_PAIR_COST_KUSD
+        };
+        let savings_busd = (cost(&g) - cost(&y)) / 1e6;
+        t.row(vec![
+            n.to_string(),
+            g.coax_lines().to_string(),
+            y.coax_lines().to_string(),
+            format!(
+                "{:.0}%",
+                100.0 * y.coax_lines() as f64 / g.coax_lines() as f64
+            ),
+            format!("{savings_busd:.2}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper at 100k qubits: 4.4e5 cables cut to 32%, saving over $2.3B\n");
+    out
+}

@@ -6,9 +6,11 @@
 //!
 //! * [`fdm_eval`] — per-qubit gate-error evaluation for FDM wiring
 //!   schemes (pulse-level in-line leakage + model-predicted cross-line
-//!   crosstalk), used by Figures 12–13 and 17 (b);
+//!   crosstalk), used by Figures 12–13 and 17 (b); the physics now
+//!   lives in `youtiao_xplore::eval` and is re-exported here;
 //! * [`tdm_eval`] — benchmark depth/fidelity evaluation across wiring
 //!   schemes, used by Figures 14–15, Table 1 and the motivation demo;
+//! * [`figs`] — Figure 16/17 report builders on the sweep engine;
 //! * [`nets`] — chip-level net lists for the router, used by Table 2;
 //! * [`report`] — plain-text table formatting.
 
@@ -16,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod fdm_eval;
+pub mod figs;
 pub mod nets;
 pub mod report;
 pub mod tdm_eval;
@@ -34,14 +37,8 @@ pub fn target_chip_64() -> youtiao_chip::Chip {
 }
 
 /// Fits the XY crosstalk model for a chip from synthesized measurements,
-/// using the paper's 5-fold CV procedure.
+/// using the paper's 5-fold CV procedure. Delegates to the sweep
+/// engine's characterization step so binaries and sweeps agree.
 pub fn fitted_xy_model(chip: &youtiao_chip::Chip, seed: u64) -> youtiao_noise::CrosstalkModel {
-    let samples = youtiao_noise::data::synthesize(
-        chip,
-        youtiao_noise::data::CrosstalkKind::Xy,
-        &youtiao_noise::data::SynthConfig::xy(),
-        seed,
-    );
-    youtiao_noise::fit::fit_crosstalk_model(&samples, &youtiao_noise::fit::FitConfig::paper())
-        .expect("synthesized data always fits")
+    youtiao_xplore::eval::characterize_xy(chip, seed)
 }

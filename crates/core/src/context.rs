@@ -1,0 +1,279 @@
+//! Reusable precomputed planning context.
+//!
+//! The planner's first stage — the equivalent-distance matrix and the
+//! qubit-pair crosstalk matrix — depends only on the chip and the
+//! crosstalk model (or the fallback weights), *not* on the knobs a
+//! sweep varies (θ, capacities, DEMUX fan-out, partitioning). A
+//! [`PlanContext`] captures exactly that chip-level state so a sweep
+//! over N planner configurations builds the matrices once and plans N
+//! times against the shared, immutable context instead of rebuilding
+//! O(n²) state per point.
+//!
+//! # Example
+//!
+//! ```
+//! use youtiao_chip::distance::EquivalentWeights;
+//! use youtiao_chip::topology;
+//! use youtiao_core::{PlanContext, PlannerConfig, TdmConfig, YoutiaoPlanner};
+//!
+//! let chip = topology::square_grid(4, 4);
+//! let ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+//! for theta in [2.0, 4.0, 8.0] {
+//!     let config = PlannerConfig {
+//!         tdm: TdmConfig { theta, ..Default::default() },
+//!         ..Default::default()
+//!     };
+//!     let plan = YoutiaoPlanner::new(&chip)
+//!         .with_config(config)
+//!         .with_context(&ctx)
+//!         .plan()?;
+//!     assert_eq!(plan.num_xy_lines(), 4);
+//! }
+//! # Ok::<(), youtiao_core::PlanError>(())
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use youtiao_chip::distance::{equivalent_matrix, DistanceMatrix, EquivalentWeights};
+use youtiao_chip::Chip;
+use youtiao_noise::CrosstalkModel;
+
+use crate::error::PlanError;
+use crate::plan::crosstalk_matrix;
+
+/// Global count of [`PlanContext::build`] calls — a probe for tests
+/// asserting that a sweep builds its matrices once per chip axis value
+/// instead of once per grid point.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Immutable chip-level planning state shared across sweep points: the
+/// equivalent-distance matrix, the XY crosstalk matrix, and (optionally)
+/// the ZZ crosstalk matrix, together with the weights they were built
+/// from so a mismatched planner is rejected instead of silently using
+/// matrices for the wrong chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanContext {
+    num_qubits: usize,
+    weights: EquivalentWeights,
+    equivalent: DistanceMatrix,
+    crosstalk: DistanceMatrix,
+    zz_crosstalk: Option<DistanceMatrix>,
+}
+
+impl PlanContext {
+    /// Precomputes the matrices for `chip`: equivalent distances from
+    /// the model's fitted weights (or `fallback` without a model) and
+    /// the pairwise XY crosstalk matrix. The result is exactly what
+    /// [`crate::YoutiaoPlanner`] would build internally, so planning
+    /// with or without the context yields identical plans.
+    pub fn build(chip: &Chip, model: Option<&CrosstalkModel>, fallback: EquivalentWeights) -> Self {
+        let weights = model.map(|m| m.weights()).unwrap_or(fallback);
+        let equivalent = equivalent_matrix(chip, weights);
+        let crosstalk = crosstalk_matrix(chip, &equivalent, model);
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        PlanContext {
+            num_qubits: chip.num_qubits(),
+            weights,
+            equivalent,
+            crosstalk,
+            zz_crosstalk: None,
+        }
+    }
+
+    /// Adds the ZZ crosstalk matrix (drives the *noisy non-parallelism*
+    /// score of TDM grouping) fitted from `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chip` has a different qubit count than the chip the
+    /// context was built for.
+    pub fn with_zz_model(mut self, chip: &Chip, model: &CrosstalkModel) -> Self {
+        assert_eq!(
+            chip.num_qubits(),
+            self.num_qubits,
+            "zz model chip does not match the context's chip"
+        );
+        let eq = equivalent_matrix(chip, model.weights());
+        self.zz_crosstalk = Some(crosstalk_matrix(chip, &eq, Some(model)));
+        self
+    }
+
+    /// Number of qubits of the chip this context was built for.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The equivalent-distance weights the matrices were built from.
+    pub fn weights(&self) -> EquivalentWeights {
+        self.weights
+    }
+
+    /// The equivalent-distance matrix.
+    pub fn equivalent(&self) -> &DistanceMatrix {
+        &self.equivalent
+    }
+
+    /// The qubit-pair XY crosstalk matrix.
+    pub fn crosstalk(&self) -> &DistanceMatrix {
+        &self.crosstalk
+    }
+
+    /// The ZZ crosstalk matrix, when fitted via [`Self::with_zz_model`].
+    pub fn zz_crosstalk(&self) -> Option<&DistanceMatrix> {
+        self.zz_crosstalk.as_ref()
+    }
+
+    /// Verifies the context matches the planner's resolved chip and
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidConfig`] on a qubit-count or weight mismatch.
+    pub(crate) fn check(&self, chip: &Chip, weights: EquivalentWeights) -> Result<(), PlanError> {
+        if chip.num_qubits() != self.num_qubits {
+            return Err(PlanError::InvalidConfig(
+                "plan context was built for a different chip",
+            ));
+        }
+        if weights != self.weights {
+            return Err(PlanError::InvalidConfig(
+                "plan context was built with different equivalent-distance weights",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cumulative number of contexts built in this process (test probe).
+    pub fn build_count() -> u64 {
+        BUILDS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlannerConfig, TdmConfig, YoutiaoPlanner};
+    use youtiao_chip::topology;
+
+    #[test]
+    fn context_plans_identically_to_internal_matrices() {
+        let chip = topology::square_grid(5, 5);
+        let ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        for theta in [2.0, 4.0, 8.0] {
+            let config = PlannerConfig {
+                tdm: TdmConfig {
+                    theta,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let direct = YoutiaoPlanner::new(&chip)
+                .with_config(config.clone())
+                .plan()
+                .unwrap();
+            let shared = YoutiaoPlanner::new(&chip)
+                .with_config(config)
+                .with_context(&ctx)
+                .plan()
+                .unwrap();
+            assert_eq!(direct, shared, "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn context_with_model_matches_model_planning() {
+        use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+        use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+        let chip = topology::square_grid(4, 4);
+        let samples = synthesize(&chip, CrosstalkKind::Xy, &SynthConfig::xy(), 5);
+        let model = fit_crosstalk_model(&samples, &FitConfig::fast()).unwrap();
+        let ctx = PlanContext::build(&chip, Some(&model), EquivalentWeights::balanced());
+        let direct = YoutiaoPlanner::new(&chip)
+            .with_crosstalk_model(&model)
+            .plan()
+            .unwrap();
+        let shared = YoutiaoPlanner::new(&chip)
+            .with_crosstalk_model(&model)
+            .with_context(&ctx)
+            .plan()
+            .unwrap();
+        assert_eq!(direct, shared);
+    }
+
+    #[test]
+    fn context_skips_the_matrices_stage() {
+        let chip = topology::square_grid(4, 4);
+        let ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        let mut names = Vec::new();
+        YoutiaoPlanner::new(&chip)
+            .with_context(&ctx)
+            .plan_with_hook(&mut |name, _| names.push(name))
+            .unwrap();
+        assert!(!names.contains(&"matrices"), "{names:?}");
+        assert!(names.contains(&"fdm_grouping"));
+    }
+
+    #[test]
+    fn mismatched_context_is_rejected() {
+        let chip = topology::square_grid(4, 4);
+        let other = topology::square_grid(3, 3);
+        let ctx = PlanContext::build(&other, None, EquivalentWeights::balanced());
+        assert!(matches!(
+            YoutiaoPlanner::new(&chip).with_context(&ctx).plan(),
+            Err(PlanError::InvalidConfig(_))
+        ));
+
+        let ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        let config = PlannerConfig {
+            weights: EquivalentWeights::new(0.9, 0.1).unwrap(),
+            ..Default::default()
+        };
+        assert!(matches!(
+            YoutiaoPlanner::new(&chip)
+                .with_config(config)
+                .with_context(&ctx)
+                .plan(),
+            Err(PlanError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn build_count_probe_advances() {
+        let chip = topology::linear(4);
+        let before = PlanContext::build_count();
+        let _ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        assert!(PlanContext::build_count() > before);
+    }
+
+    #[test]
+    fn zz_context_matches_zz_planning() {
+        use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+        use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+        let chip = topology::square_grid(4, 4);
+        let xy = fit_crosstalk_model(
+            &synthesize(&chip, CrosstalkKind::Xy, &SynthConfig::xy(), 5),
+            &FitConfig::fast(),
+        )
+        .unwrap();
+        let zz = fit_crosstalk_model(
+            &synthesize(&chip, CrosstalkKind::Zz, &SynthConfig::zz(), 5),
+            &FitConfig::fast(),
+        )
+        .unwrap();
+        let ctx = PlanContext::build(&chip, Some(&xy), EquivalentWeights::balanced())
+            .with_zz_model(&chip, &zz);
+        assert!(ctx.zz_crosstalk().is_some());
+        let direct = YoutiaoPlanner::new(&chip)
+            .with_crosstalk_model(&xy)
+            .with_zz_model(&zz)
+            .plan()
+            .unwrap();
+        let shared = YoutiaoPlanner::new(&chip)
+            .with_crosstalk_model(&xy)
+            .with_zz_model(&zz)
+            .with_context(&ctx)
+            .plan()
+            .unwrap();
+        assert_eq!(direct, shared);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod context;
 pub mod error;
 pub mod fdm;
 pub mod freq;
@@ -46,6 +47,7 @@ pub mod tdm;
 pub mod viz;
 
 pub use crate::baselines::{AcharyaTdm, GeorgeFdm, GoogleBaseline};
+pub use crate::context::PlanContext;
 pub use crate::error::PlanError;
 pub use crate::fdm::{group_fdm, FdmLine};
 pub use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};

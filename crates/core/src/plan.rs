@@ -7,6 +7,7 @@ use youtiao_chip::{Chip, DeviceId, QubitId};
 use youtiao_circuit::schedule::SharedLineConstraint;
 use youtiao_noise::CrosstalkModel;
 
+use crate::context::PlanContext;
 use crate::error::PlanError;
 use crate::fdm::{group_fdm_subset, FdmLine};
 use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};
@@ -199,6 +200,7 @@ pub struct YoutiaoPlanner<'a> {
     model: Option<&'a CrosstalkModel>,
     zz_model: Option<&'a CrosstalkModel>,
     activity: Option<&'a crate::tdm::ActivityProfile>,
+    context: Option<&'a PlanContext>,
 }
 
 impl<'a> YoutiaoPlanner<'a> {
@@ -210,6 +212,7 @@ impl<'a> YoutiaoPlanner<'a> {
             model: None,
             zz_model: None,
             activity: None,
+            context: None,
         }
     }
 
@@ -231,6 +234,21 @@ impl<'a> YoutiaoPlanner<'a> {
     /// noise-aware grouping and allocation stages.
     pub fn with_crosstalk_model(mut self, model: &'a CrosstalkModel) -> Self {
         self.model = model.into();
+        self
+    }
+
+    /// Supplies a precomputed [`PlanContext`] so the matrices stage is
+    /// skipped (and not reported to the plan hook): the context's
+    /// equivalent-distance and crosstalk matrices are used directly.
+    /// Sweeps build the context once per chip and share it — immutable,
+    /// `Sync` — across every point that plans the same chip.
+    ///
+    /// The context must have been built for this planner's chip and
+    /// resolved weights (the model's fitted weights, or the config's
+    /// fallback); [`plan`](Self::plan) rejects a mismatch with
+    /// [`PlanError::InvalidConfig`].
+    pub fn with_context(mut self, context: &'a PlanContext) -> Self {
+        self.context = Some(context);
         self
     }
 
@@ -283,20 +301,40 @@ impl<'a> YoutiaoPlanner<'a> {
             ));
         }
 
-        let started = Instant::now();
         let weights = self
             .model
             .map(|m| m.weights())
             .unwrap_or(self.config.weights);
-        let eq = equivalent_matrix(chip, weights);
-        let xtalk = crosstalk_matrix(chip, &eq, self.model);
         // ZZ crosstalk (if fitted) scores TDM noisy non-parallelism; it
         // falls back to the XY matrix otherwise.
-        let zz_xtalk = self
-            .zz_model
-            .map(|m| crosstalk_matrix(chip, &equivalent_matrix(chip, m.weights()), Some(m)));
-        let tdm_xtalk = zz_xtalk.as_ref().unwrap_or(&xtalk);
-        hook("matrices", started.elapsed());
+        let owned: (DistanceMatrix, DistanceMatrix);
+        let mut zz_local: Option<DistanceMatrix> = None;
+        let (eq, xtalk): (&DistanceMatrix, &DistanceMatrix) = match self.context {
+            Some(ctx) => {
+                ctx.check(chip, weights)?;
+                if ctx.zz_crosstalk().is_none() {
+                    zz_local = self.zz_model.map(|m| {
+                        crosstalk_matrix(chip, &equivalent_matrix(chip, m.weights()), Some(m))
+                    });
+                }
+                (ctx.equivalent(), ctx.crosstalk())
+            }
+            None => {
+                let started = Instant::now();
+                let eq = equivalent_matrix(chip, weights);
+                let xtalk = crosstalk_matrix(chip, &eq, self.model);
+                zz_local = self.zz_model.map(|m| {
+                    crosstalk_matrix(chip, &equivalent_matrix(chip, m.weights()), Some(m))
+                });
+                hook("matrices", started.elapsed());
+                owned = (eq, xtalk);
+                (&owned.0, &owned.1)
+            }
+        };
+        let tdm_xtalk = zz_local
+            .as_ref()
+            .or_else(|| self.context.and_then(PlanContext::zz_crosstalk))
+            .unwrap_or(xtalk);
 
         // Partition (stage 1/2), then group each region independently
         // (stage 3); without a partition the whole chip is one region.
@@ -304,7 +342,7 @@ impl<'a> YoutiaoPlanner<'a> {
             match &self.config.partition {
                 Some(pc) => {
                     let started = Instant::now();
-                    let p = partition_chip(chip, &eq, pc);
+                    let p = partition_chip(chip, eq, pc);
                     let regions = p.regions().to_vec();
                     hook("partition", started.elapsed());
                     (Some(p), regions)
@@ -318,12 +356,7 @@ impl<'a> YoutiaoPlanner<'a> {
         let mut tdm_groups = Vec::new();
         for region in &regions {
             let started = Instant::now();
-            fdm_lines.extend(group_fdm_subset(
-                chip,
-                &eq,
-                self.config.fdm_capacity,
-                region,
-            ));
+            fdm_lines.extend(group_fdm_subset(chip, eq, self.config.fdm_capacity, region));
             fdm_elapsed += started.elapsed();
             // A coupler belongs to the region of its lower endpoint.
             let started = Instant::now();
@@ -380,7 +413,7 @@ impl<'a> YoutiaoPlanner<'a> {
         }
 
         let started = Instant::now();
-        let frequency_plan = allocate_frequencies(chip, &fdm_lines, &xtalk, &self.config.freq)?;
+        let frequency_plan = allocate_frequencies(chip, &fdm_lines, xtalk, &self.config.freq)?;
         hook("freq_alloc", started.elapsed());
 
         let started = Instant::now();
@@ -394,7 +427,7 @@ impl<'a> YoutiaoPlanner<'a> {
         let readout_as_fdm: Vec<FdmLine> =
             readout_lines.iter().cloned().map(FdmLine::new).collect();
         let readout_frequency_plan =
-            allocate_frequencies(chip, &readout_as_fdm, &xtalk, &self.config.readout_freq)?;
+            allocate_frequencies(chip, &readout_as_fdm, xtalk, &self.config.readout_freq)?;
         hook("readout", started.elapsed());
 
         Ok(WiringPlan::from_parts(

@@ -1,0 +1,305 @@
+//! Cartesian sweep grids with stable mixed-radix indexing.
+//!
+//! The grid assigns every parameter combination a dense index in a
+//! fixed axis order (chips outermost; seeds innermost), so results are
+//! keyed by grid index and the output stream is deterministic no matter
+//! how many worker threads raced to produce it.
+
+use youtiao_core::plan::{DEFAULT_FDM_CAPACITY, DEFAULT_READOUT_CAPACITY};
+use youtiao_serve::{ChipRequest, DesignRequest, DEFAULT_SEED};
+
+use crate::spec::{SpecError, SweepMode, SweepSpec, DEFAULT_MAX_POINTS};
+
+/// A validated sweep grid: every axis resolved to a non-empty list.
+///
+/// Axis order (outermost → innermost): chips, modes, thetas,
+/// max_shared_slots, fdm_capacities, readout_capacities, one_to_eight,
+/// seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Chip axis.
+    pub chips: Vec<ChipRequest>,
+    /// Wiring-mode axis.
+    pub modes: Vec<SweepMode>,
+    /// θ axis.
+    pub thetas: Vec<f64>,
+    /// `max_shared_slots` axis.
+    pub max_shared_slots: Vec<u32>,
+    /// FDM capacity axis.
+    pub fdm_capacities: Vec<usize>,
+    /// Readout capacity axis.
+    pub readout_capacities: Vec<usize>,
+    /// 1:8 DEMUX permission axis.
+    pub one_to_eight: Vec<bool>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+}
+
+/// One decoded grid point: the parameter tuple at a grid index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Dense grid index (row-major over the axis order).
+    pub index: usize,
+    /// Index into the chip axis.
+    pub chip_idx: usize,
+    /// Wiring mode.
+    pub mode: SweepMode,
+    /// TDM threshold θ.
+    pub theta: f64,
+    /// TDM shared-slot budget.
+    pub max_shared_slots: u32,
+    /// FDM XY-line capacity.
+    pub fdm_capacity: usize,
+    /// Readout feedline capacity.
+    pub readout_capacity: usize,
+    /// Whether 1:8 cryo-DEMUXes are allowed.
+    pub one_to_eight: bool,
+    /// Characterization seed.
+    pub seed: u64,
+}
+
+impl GridPoint {
+    /// The equivalent serving-layer [`DesignRequest`] for this point —
+    /// interop with `youtiao batch` and its cache. `max_shared_slots`
+    /// and partitioning have no request field and are dropped; routing
+    /// is off (sweeps compare plans, not layouts).
+    pub fn to_design_request(&self, chip: &ChipRequest) -> DesignRequest {
+        let mut request = DesignRequest::new(chip.clone());
+        request.seed = Some(self.seed);
+        request.theta = Some(self.theta);
+        request.fdm_capacity = Some(self.fdm_capacity);
+        request.readout_capacity = Some(self.readout_capacity);
+        request.one_to_eight = Some(self.one_to_eight);
+        request.routing = Some(false);
+        request
+    }
+}
+
+fn axis<T: Clone>(
+    given: &Option<Vec<T>>,
+    default: T,
+    name: &'static str,
+) -> Result<Vec<T>, SpecError> {
+    match given {
+        Some(values) if values.is_empty() => Err(SpecError::EmptyAxis(name)),
+        Some(values) => Ok(values.clone()),
+        None => Ok(vec![default]),
+    }
+}
+
+impl SweepGrid {
+    /// Resolves a spec's axes (filling defaults), rejecting empty axes
+    /// and absurd cartesian products.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::EmptyAxis`] for any explicitly empty axis,
+    /// [`SpecError::GridTooLarge`] when the product exceeds the guard,
+    /// [`SpecError::FidelityNeedsModel`] for fidelity without a model.
+    pub fn resolve(spec: &SweepSpec) -> Result<Self, SpecError> {
+        if spec.chips.is_empty() {
+            return Err(SpecError::EmptyAxis("chips"));
+        }
+        if spec.wants_fidelity() && !spec.uses_model() {
+            return Err(SpecError::FidelityNeedsModel);
+        }
+        let grid = SweepGrid {
+            chips: spec.chips.clone(),
+            modes: axis(&spec.modes, SweepMode::Youtiao, "modes")?,
+            thetas: axis(&spec.thetas, 4.0, "thetas")?,
+            max_shared_slots: axis(&spec.max_shared_slots, 0, "max_shared_slots")?,
+            fdm_capacities: axis(&spec.fdm_capacities, DEFAULT_FDM_CAPACITY, "fdm_capacities")?,
+            readout_capacities: axis(
+                &spec.readout_capacities,
+                DEFAULT_READOUT_CAPACITY,
+                "readout_capacities",
+            )?,
+            one_to_eight: axis(&spec.one_to_eight, false, "one_to_eight")?,
+            seeds: axis(&spec.seeds, DEFAULT_SEED, "seeds")?,
+        };
+        let limit = spec.max_points.unwrap_or(DEFAULT_MAX_POINTS);
+        match grid.checked_len() {
+            Some(points) if points <= limit => Ok(grid),
+            Some(points) => Err(SpecError::GridTooLarge { points, limit }),
+            None => Err(SpecError::GridTooLarge {
+                points: usize::MAX,
+                limit,
+            }),
+        }
+    }
+
+    fn radices(&self) -> [usize; 8] {
+        [
+            self.chips.len(),
+            self.modes.len(),
+            self.thetas.len(),
+            self.max_shared_slots.len(),
+            self.fdm_capacities.len(),
+            self.readout_capacities.len(),
+            self.one_to_eight.len(),
+            self.seeds.len(),
+        ]
+    }
+
+    fn checked_len(&self) -> Option<usize> {
+        self.radices()
+            .iter()
+            .try_fold(1usize, |acc, &r| acc.checked_mul(r))
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.radices().iter().product()
+    }
+
+    /// `true` when the grid has no points (cannot happen for a resolved
+    /// grid — every axis is non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes the parameter tuple at `index` (mixed-radix, row-major
+    /// in the documented axis order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn point(&self, index: usize) -> GridPoint {
+        assert!(index < self.len(), "grid index {index} out of range");
+        let radices = self.radices();
+        let mut digits = [0usize; 8];
+        let mut rest = index;
+        for axis in (0..8).rev() {
+            digits[axis] = rest % radices[axis];
+            rest /= radices[axis];
+        }
+        GridPoint {
+            index,
+            chip_idx: digits[0],
+            mode: self.modes[digits[1]],
+            theta: self.thetas[digits[2]],
+            max_shared_slots: self.max_shared_slots[digits[3]],
+            fdm_capacity: self.fdm_capacities[digits[4]],
+            readout_capacity: self.readout_capacities[digits[5]],
+            one_to_eight: self.one_to_eight[digits[6]],
+            seed: self.seeds[digits[7]],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> SweepSpec {
+        SweepSpec::new(vec![
+            ChipRequest::grid("square", 3, 3),
+            ChipRequest::named("linear"),
+        ])
+    }
+
+    #[test]
+    fn defaults_give_one_point_per_chip() {
+        let grid = SweepGrid::resolve(&base_spec()).unwrap();
+        assert_eq!(grid.len(), 2);
+        let p = grid.point(1);
+        assert_eq!(p.chip_idx, 1);
+        assert_eq!(p.theta, 4.0);
+        assert_eq!(p.fdm_capacity, DEFAULT_FDM_CAPACITY);
+        assert_eq!(p.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn indexing_is_row_major_with_chips_outermost() {
+        let mut spec = base_spec();
+        spec.thetas = Some(vec![2.0, 8.0]);
+        spec.seeds = Some(vec![1, 2, 3]);
+        let grid = SweepGrid::resolve(&spec).unwrap();
+        assert_eq!(grid.len(), 12);
+        // index = ((chip * thetas + theta) * seeds) + seed
+        let p = grid.point(7);
+        assert_eq!((p.chip_idx, p.theta, p.seed), (1, 2.0, 2));
+        // Every index decodes to a unique tuple.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..grid.len() {
+            let p = grid.point(i);
+            assert_eq!(p.index, i);
+            assert!(seen.insert((p.chip_idx, p.theta.to_bits(), p.seed)));
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let mut spec = base_spec();
+        spec.chips.clear();
+        assert_eq!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::EmptyAxis("chips")
+        );
+        let mut spec = base_spec();
+        spec.thetas = Some(vec![]);
+        assert_eq!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::EmptyAxis("thetas")
+        );
+        let mut spec = base_spec();
+        spec.seeds = Some(vec![]);
+        assert_eq!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::EmptyAxis("seeds")
+        );
+    }
+
+    #[test]
+    fn grid_size_guard_errors_instead_of_oom() {
+        let mut spec = base_spec();
+        spec.thetas = Some((0..100).map(|i| i as f64).collect());
+        spec.seeds = Some((0..100).collect());
+        assert!(matches!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::GridTooLarge { points: 20_000, .. }
+        ));
+        // Raising max_points admits the same grid.
+        spec.max_points = Some(20_000);
+        assert_eq!(SweepGrid::resolve(&spec).unwrap().len(), 20_000);
+    }
+
+    #[test]
+    fn overflowing_product_is_caught() {
+        let mut spec = base_spec();
+        let huge: Vec<u64> = (0..1 << 17).collect();
+        spec.seeds = Some(huge.clone());
+        spec.thetas = Some((0..1 << 16).map(f64::from).collect());
+        spec.fdm_capacities = Some((1..(1 << 16) + 1).collect());
+        spec.max_shared_slots = Some((0..1 << 16).collect());
+        assert!(matches!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::GridTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn fidelity_without_model_is_rejected() {
+        let mut spec = base_spec();
+        spec.fidelity = Some(true);
+        spec.use_model = Some(false);
+        assert_eq!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::FidelityNeedsModel
+        );
+    }
+
+    #[test]
+    fn design_request_interop() {
+        let mut spec = base_spec();
+        spec.thetas = Some(vec![6.0]);
+        spec.seeds = Some(vec![9]);
+        let grid = SweepGrid::resolve(&spec).unwrap();
+        let p = grid.point(0);
+        let request = p.to_design_request(&grid.chips[p.chip_idx]);
+        assert_eq!(request.theta, Some(6.0));
+        assert_eq!(request.seed(), 9);
+        assert!(!request.wants_routing());
+        assert_eq!(request.planner_config().tdm.theta, 6.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Dominance-based Pareto-front extraction over sweep records.
+//!
+//! Objectives are named metrics with an optimization direction. A record
+//! dominates another when it is no worse on every objective and strictly
+//! better on at least one (after normalizing everything to
+//! minimization). Ties and exact duplicates are mutually
+//! non-dominating, so both stay on the front.
+
+use crate::record::SweepRecord;
+
+/// A metric a sweep can optimize over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ObjectiveKind {
+    /// Wiring cost in kUSD (minimize).
+    Cost,
+    /// Total coax lines into the cryostat (minimize).
+    Coax,
+    /// All-qubit-driven XY fidelity (maximize).
+    Fidelity,
+    /// Per-point planning wall time (minimize; needs timings mode).
+    Latency,
+}
+
+/// An objective: a metric plus its optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Objective {
+    /// Which metric.
+    pub kind: ObjectiveKind,
+    /// `true` to maximize, `false` to minimize.
+    pub maximize: bool,
+}
+
+impl Objective {
+    /// The conventional direction for `kind` (fidelity up, rest down).
+    pub fn conventional(kind: ObjectiveKind) -> Self {
+        Objective {
+            kind,
+            maximize: matches!(kind, ObjectiveKind::Fidelity),
+        }
+    }
+
+    /// The objective's value on a record, if present. Error records and
+    /// records missing the metric yield `None` (and are never on the
+    /// front).
+    pub fn value(&self, record: &SweepRecord) -> Option<f64> {
+        if !record.is_ok() {
+            return None;
+        }
+        match self.kind {
+            ObjectiveKind::Cost => record.cost_kusd,
+            ObjectiveKind::Coax => record.coax_lines.map(|c| c as f64),
+            ObjectiveKind::Fidelity => record.fidelity,
+            ObjectiveKind::Latency => record.latency_ms,
+        }
+    }
+
+    /// The value folded to minimization (maximize → negate).
+    fn score(&self, record: &SweepRecord) -> Option<f64> {
+        self.value(record)
+            .map(|v| if self.maximize { -v } else { v })
+    }
+
+    /// The objective's CLI/summary name.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            ObjectiveKind::Cost => "cost",
+            ObjectiveKind::Coax => "coax",
+            ObjectiveKind::Fidelity => "fidelity",
+            ObjectiveKind::Latency => "latency",
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let arrow = if self.maximize { "max" } else { "min" };
+        write!(f, "{}({})", arrow, self.name())
+    }
+}
+
+/// Parses a comma-separated objective list (`"cost,fidelity"`) with
+/// conventional directions.
+///
+/// # Errors
+///
+/// Returns the offending token for unknown names.
+pub fn parse_objectives(list: &str) -> Result<Vec<Objective>, String> {
+    let mut objectives = Vec::new();
+    for token in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let kind = match token {
+            "cost" => ObjectiveKind::Cost,
+            "coax" => ObjectiveKind::Coax,
+            "fidelity" => ObjectiveKind::Fidelity,
+            "latency" => ObjectiveKind::Latency,
+            other => {
+                return Err(format!(
+                    "unknown objective `{other}` (expected cost, coax, fidelity or latency)"
+                ))
+            }
+        };
+        let objective = Objective::conventional(kind);
+        if !objectives.contains(&objective) {
+            objectives.push(objective);
+        }
+    }
+    Ok(objectives)
+}
+
+/// One point on the extracted Pareto front.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParetoEntry {
+    /// The record's grid index.
+    pub index: usize,
+    /// The record's human-readable id.
+    pub id: String,
+    /// Objective values in the order of the effective objective list
+    /// (raw values, not minimize-normalized).
+    pub values: Vec<f64>,
+}
+
+/// `a` dominates `b`: no worse everywhere, strictly better somewhere.
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Extracts the Pareto front of `records` over `objectives`.
+///
+/// Objectives that no successful record carries a value for (e.g.
+/// `fidelity` on a sweep that never evaluated it) are dropped before
+/// extraction; the effective objective list is returned alongside the
+/// front. Records missing a value for any *effective* objective are
+/// excluded. Front entries come back sorted by grid index; duplicates
+/// and ties survive (neither dominates the other).
+pub fn pareto_front(
+    records: &[SweepRecord],
+    objectives: &[Objective],
+) -> (Vec<Objective>, Vec<ParetoEntry>) {
+    let effective: Vec<Objective> = objectives
+        .iter()
+        .copied()
+        .filter(|o| records.iter().any(|r| o.value(r).is_some()))
+        .collect();
+    if effective.is_empty() {
+        return (effective, Vec::new());
+    }
+
+    // (record position, minimize-normalized scores)
+    let scored: Vec<(usize, Vec<f64>)> = records
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, r)| {
+            effective
+                .iter()
+                .map(|o| o.score(r))
+                .collect::<Option<Vec<f64>>>()
+                .map(|scores| (pos, scores))
+        })
+        .collect();
+
+    let mut front: Vec<ParetoEntry> = scored
+        .iter()
+        .filter(|(_, scores)| !scored.iter().any(|(_, other)| dominates(other, scores)))
+        .map(|&(pos, _)| {
+            let r = &records[pos];
+            ParetoEntry {
+                index: r.index,
+                id: r.id.clone(),
+                values: effective.iter().map(|o| o.value(r).unwrap()).collect(),
+            }
+        })
+        .collect();
+    front.sort_by_key(|e| e.index);
+    (effective, front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridPoint;
+    use crate::record::{PointResult, SweepRecord};
+    use crate::spec::SweepMode;
+
+    fn record(index: usize, cost: f64, fidelity: Option<f64>) -> SweepRecord {
+        let point = GridPoint {
+            index,
+            chip_idx: 0,
+            mode: SweepMode::Youtiao,
+            theta: 4.0,
+            max_shared_slots: 0,
+            fdm_capacity: 5,
+            readout_capacity: 8,
+            one_to_eight: false,
+            seed: 0,
+        };
+        let result = PointResult {
+            qubits: 9,
+            xy_lines: 2,
+            z_lines: 7,
+            readout_feedlines: 2,
+            coax_lines: 11 + index,
+            cost_kusd: cost,
+            dedicated_coax: 32,
+            dedicated_cost_kusd: 216.2,
+            demux_deep: 0,
+            demux_one_to_two: 0,
+            demux_direct: 0,
+            fidelity,
+            mean_gate_fidelity: None,
+        };
+        SweepRecord::skeleton(&point, "square-3x3", 9).with_result(&result)
+    }
+
+    fn objectives(list: &str) -> Vec<Objective> {
+        parse_objectives(list).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_dedupes() {
+        assert!(parse_objectives("cost,bogus").is_err());
+        let objs = objectives("cost, fidelity, cost");
+        assert_eq!(objs.len(), 2);
+        assert!(!objs[0].maximize);
+        assert!(objs[1].maximize);
+        assert_eq!(objs[1].to_string(), "max(fidelity)");
+    }
+
+    #[test]
+    fn tradeoff_front_keeps_both_extremes() {
+        // Cheap/low-fidelity and expensive/high-fidelity are both on the
+        // front; the dominated middle point (pricier AND worse) is not.
+        let records = vec![
+            record(0, 50.0, Some(0.99)),
+            record(1, 80.0, Some(0.95)), // dominated by 0 and 2
+            record(2, 60.0, Some(0.999)),
+        ];
+        let (eff, front) = pareto_front(&records, &objectives("cost,fidelity"));
+        assert_eq!(eff.len(), 2);
+        let idx: Vec<usize> = front.iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![0, 2]);
+        assert_eq!(front[0].values, vec![50.0, 0.99]);
+    }
+
+    #[test]
+    fn single_objective_degenerates_to_argmin() {
+        let records = vec![
+            record(0, 70.0, None),
+            record(1, 50.0, None),
+            record(2, 60.0, None),
+        ];
+        let (_, front) = pareto_front(&records, &objectives("cost"));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].index, 1);
+    }
+
+    #[test]
+    fn duplicates_and_ties_all_survive() {
+        // Exact duplicates.
+        let records = vec![record(0, 50.0, Some(0.99)), record(1, 50.0, Some(0.99))];
+        let (_, front) = pareto_front(&records, &objectives("cost,fidelity"));
+        assert_eq!(front.len(), 2);
+
+        // Tie on one objective, trade-off on the other.
+        let records = vec![record(0, 50.0, Some(0.99)), record(1, 50.0, Some(0.999))];
+        let (_, front) = pareto_front(&records, &objectives("cost,fidelity"));
+        assert_eq!(front.iter().map(|e| e.index).collect::<Vec<_>>(), vec![1]);
+
+        // Tie on cost only — with cost the sole objective both tie.
+        let (_, front) = pareto_front(&records, &objectives("cost"));
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn all_dominated_by_one_point() {
+        let mut records = vec![
+            record(0, 90.0, Some(0.91)),
+            record(1, 80.0, Some(0.92)),
+            record(2, 70.0, Some(0.93)),
+        ];
+        records.push(record(3, 10.0, Some(0.999)));
+        let (_, front) = pareto_front(&records, &objectives("cost,fidelity"));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].index, 3);
+    }
+
+    #[test]
+    fn error_records_and_missing_values_stay_off_the_front() {
+        let failed = SweepRecord::skeleton(
+            &GridPoint {
+                index: 0,
+                chip_idx: 0,
+                mode: SweepMode::Youtiao,
+                theta: 4.0,
+                max_shared_slots: 0,
+                fdm_capacity: 5,
+                readout_capacity: 8,
+                one_to_eight: false,
+                seed: 0,
+            },
+            "square-3x3",
+            9,
+        )
+        .with_error("boom");
+        let records = vec![failed, record(1, 99.0, None)];
+        // Fidelity carries no values anywhere → dropped from the
+        // effective list instead of emptying the front.
+        let (eff, front) = pareto_front(&records, &objectives("cost,fidelity"));
+        assert_eq!(eff.len(), 1);
+        assert_eq!(eff[0].kind, ObjectiveKind::Cost);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].index, 1);
+    }
+
+    #[test]
+    fn no_usable_objectives_gives_empty_front() {
+        let records = vec![record(0, 50.0, None)];
+        let (eff, front) = pareto_front(&records, &objectives("fidelity"));
+        assert!(eff.is_empty());
+        assert!(front.is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! Sweep output records.
+//!
+//! One [`SweepRecord`] per grid point, streamed as JSONL (and
+//! optionally CSV). Records are fully determined by the spec — latency
+//! and per-stage timings are only populated when the engine runs with
+//! `timings` on, so default output is byte-identical across thread
+//! counts and warm/cold caches.
+
+use std::io::Write;
+
+use crate::grid::GridPoint;
+use crate::spec::SweepMode;
+
+/// The deterministic, cacheable payload of one successfully planned
+/// grid point (everything in a [`SweepRecord`] that is not a parameter
+/// echo or a timing).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PointResult {
+    /// Qubits on the chip.
+    pub qubits: usize,
+    /// Coaxial XY lines under this point's wiring scheme.
+    pub xy_lines: usize,
+    /// Coaxial Z lines.
+    pub z_lines: usize,
+    /// Readout feedlines.
+    pub readout_feedlines: usize,
+    /// Total coax into the cryostat.
+    pub coax_lines: usize,
+    /// Wiring cost, thousands of USD.
+    pub cost_kusd: f64,
+    /// Dedicated-baseline coax count for the same chip.
+    pub dedicated_coax: usize,
+    /// Dedicated-baseline wiring cost, thousands of USD.
+    pub dedicated_cost_kusd: f64,
+    /// Z devices behind deep (1:4 or 1:8) DEMUXes.
+    pub demux_deep: usize,
+    /// Z devices behind 1:2 DEMUXes.
+    pub demux_one_to_two: usize,
+    /// Z devices on direct (dedicated) lines.
+    pub demux_direct: usize,
+    /// All-qubit-driven XY fidelity (`Π (1 − err_i)`), when evaluated.
+    pub fidelity: Option<f64>,
+    /// Mean single-qubit gate fidelity, when evaluated.
+    pub mean_gate_fidelity: Option<f64>,
+}
+
+impl PointResult {
+    /// Wiring-cost reduction factor vs the dedicated baseline.
+    pub fn cost_reduction(&self) -> f64 {
+        self.dedicated_cost_kusd / self.cost_kusd
+    }
+}
+
+/// Whether a grid point planned successfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SweepStatus {
+    /// The point produced a [`PointResult`].
+    Ok,
+    /// Planning or evaluation failed; see `error`.
+    Error,
+}
+
+/// One wall-time stage measurement (only emitted with timings on).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageMs {
+    /// Stage name (the planner's hook stages plus `fidelity`).
+    pub name: String,
+    /// Elapsed milliseconds.
+    pub ms: f64,
+}
+
+/// One line of sweep output: the grid point's parameters, its status,
+/// and (on success) the flattened [`PointResult`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepRecord {
+    /// Dense grid index — the record's identity and sort key.
+    pub index: usize,
+    /// Human-readable point id (`<chip>/<mode>/theta<θ>/…`).
+    pub id: String,
+    /// Chip name.
+    pub chip: String,
+    /// Qubits on the chip.
+    pub qubits: usize,
+    /// Wiring mode.
+    pub mode: SweepMode,
+    /// TDM threshold θ.
+    pub theta: f64,
+    /// TDM shared-slot budget.
+    pub max_shared_slots: u32,
+    /// FDM XY-line capacity.
+    pub fdm_capacity: usize,
+    /// Readout feedline capacity.
+    pub readout_capacity: usize,
+    /// Whether 1:8 cryo-DEMUXes were allowed.
+    pub one_to_eight: bool,
+    /// Characterization seed.
+    pub seed: u64,
+    /// Point outcome.
+    pub status: SweepStatus,
+    /// Failure description when `status` is `Error`.
+    pub error: Option<String>,
+    /// Coaxial XY lines.
+    pub xy_lines: Option<usize>,
+    /// Coaxial Z lines.
+    pub z_lines: Option<usize>,
+    /// Readout feedlines.
+    pub readout_feedlines: Option<usize>,
+    /// Total coax into the cryostat.
+    pub coax_lines: Option<usize>,
+    /// Wiring cost, thousands of USD.
+    pub cost_kusd: Option<f64>,
+    /// Dedicated-baseline coax count.
+    pub dedicated_coax: Option<usize>,
+    /// Dedicated-baseline wiring cost.
+    pub dedicated_cost_kusd: Option<f64>,
+    /// Cost-reduction factor vs dedicated.
+    pub cost_reduction: Option<f64>,
+    /// Z devices behind deep (1:4/1:8) DEMUXes.
+    pub demux_deep: Option<usize>,
+    /// Z devices behind 1:2 DEMUXes.
+    pub demux_one_to_two: Option<usize>,
+    /// Z devices on direct lines.
+    pub demux_direct: Option<usize>,
+    /// All-qubit-driven XY fidelity.
+    pub fidelity: Option<f64>,
+    /// Mean single-qubit gate fidelity.
+    pub mean_gate_fidelity: Option<f64>,
+    /// Point wall time, milliseconds (timings mode only — volatile).
+    pub latency_ms: Option<f64>,
+    /// Per-stage wall times (timings mode only — volatile).
+    pub stages: Option<Vec<StageMs>>,
+}
+
+impl SweepRecord {
+    /// The record skeleton for a grid point: parameters echoed, result
+    /// fields empty.
+    pub fn skeleton(point: &GridPoint, chip_name: &str, qubits: usize) -> Self {
+        let GridPoint {
+            index,
+            mode,
+            theta,
+            max_shared_slots,
+            fdm_capacity,
+            readout_capacity,
+            one_to_eight,
+            seed,
+            ..
+        } = *point;
+        SweepRecord {
+            index,
+            id: format!(
+                "{chip_name}/{mode}/theta{theta}/mss{max_shared_slots}/fdm{fdm_capacity}\
+                 /ro{readout_capacity}/o2e{}/seed{seed}",
+                u8::from(one_to_eight)
+            ),
+            chip: chip_name.to_string(),
+            qubits,
+            mode,
+            theta,
+            max_shared_slots,
+            fdm_capacity,
+            readout_capacity,
+            one_to_eight,
+            seed,
+            status: SweepStatus::Error,
+            error: None,
+            xy_lines: None,
+            z_lines: None,
+            readout_feedlines: None,
+            coax_lines: None,
+            cost_kusd: None,
+            dedicated_coax: None,
+            dedicated_cost_kusd: None,
+            cost_reduction: None,
+            demux_deep: None,
+            demux_one_to_two: None,
+            demux_direct: None,
+            fidelity: None,
+            mean_gate_fidelity: None,
+            latency_ms: None,
+            stages: None,
+        }
+    }
+
+    /// Fills the skeleton with a successful result.
+    pub fn with_result(mut self, result: &PointResult) -> Self {
+        self.status = SweepStatus::Ok;
+        self.error = None;
+        self.qubits = result.qubits;
+        self.xy_lines = Some(result.xy_lines);
+        self.z_lines = Some(result.z_lines);
+        self.readout_feedlines = Some(result.readout_feedlines);
+        self.coax_lines = Some(result.coax_lines);
+        self.cost_kusd = Some(result.cost_kusd);
+        self.dedicated_coax = Some(result.dedicated_coax);
+        self.dedicated_cost_kusd = Some(result.dedicated_cost_kusd);
+        self.cost_reduction = Some(result.cost_reduction());
+        self.demux_deep = Some(result.demux_deep);
+        self.demux_one_to_two = Some(result.demux_one_to_two);
+        self.demux_direct = Some(result.demux_direct);
+        self.fidelity = result.fidelity;
+        self.mean_gate_fidelity = result.mean_gate_fidelity;
+        self
+    }
+
+    /// Marks the skeleton failed with `message`.
+    pub fn with_error(mut self, message: impl Into<String>) -> Self {
+        self.status = SweepStatus::Error;
+        self.error = Some(message.into());
+        self
+    }
+
+    /// `true` for successfully planned points.
+    pub fn is_ok(&self) -> bool {
+        self.status == SweepStatus::Ok
+    }
+}
+
+/// CSV column order for [`write_csv`].
+pub const CSV_COLUMNS: &[&str] = &[
+    "index",
+    "id",
+    "chip",
+    "qubits",
+    "mode",
+    "theta",
+    "max_shared_slots",
+    "fdm_capacity",
+    "readout_capacity",
+    "one_to_eight",
+    "seed",
+    "status",
+    "error",
+    "xy_lines",
+    "z_lines",
+    "readout_feedlines",
+    "coax_lines",
+    "cost_kusd",
+    "dedicated_coax",
+    "dedicated_cost_kusd",
+    "cost_reduction",
+    "demux_deep",
+    "demux_one_to_two",
+    "demux_direct",
+    "fidelity",
+    "mean_gate_fidelity",
+    "latency_ms",
+];
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn opt<T: ToString>(v: &Option<T>) -> String {
+    v.as_ref().map(T::to_string).unwrap_or_default()
+}
+
+/// Writes the records as CSV (header + one row per record; `stages`
+/// are omitted — they are hierarchical, use the JSONL stream).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_csv<W: Write>(records: &[SweepRecord], out: &mut W) -> std::io::Result<()> {
+    writeln!(out, "{}", CSV_COLUMNS.join(","))?;
+    for r in records {
+        let fields = [
+            r.index.to_string(),
+            csv_escape(&r.id),
+            csv_escape(&r.chip),
+            r.qubits.to_string(),
+            r.mode.to_string(),
+            r.theta.to_string(),
+            r.max_shared_slots.to_string(),
+            r.fdm_capacity.to_string(),
+            r.readout_capacity.to_string(),
+            r.one_to_eight.to_string(),
+            r.seed.to_string(),
+            format!("{:?}", r.status),
+            csv_escape(r.error.as_deref().unwrap_or("")),
+            opt(&r.xy_lines),
+            opt(&r.z_lines),
+            opt(&r.readout_feedlines),
+            opt(&r.coax_lines),
+            opt(&r.cost_kusd),
+            opt(&r.dedicated_coax),
+            opt(&r.dedicated_cost_kusd),
+            opt(&r.cost_reduction),
+            opt(&r.demux_deep),
+            opt(&r.demux_one_to_two),
+            opt(&r.demux_direct),
+            opt(&r.fidelity),
+            opt(&r.mean_gate_fidelity),
+            opt(&r.latency_ms),
+        ];
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepMode;
+
+    fn sample_point() -> GridPoint {
+        GridPoint {
+            index: 3,
+            chip_idx: 0,
+            mode: SweepMode::Youtiao,
+            theta: 4.0,
+            max_shared_slots: 0,
+            fdm_capacity: 5,
+            readout_capacity: 8,
+            one_to_eight: false,
+            seed: 7,
+        }
+    }
+
+    fn sample_result() -> PointResult {
+        PointResult {
+            qubits: 9,
+            xy_lines: 2,
+            z_lines: 7,
+            readout_feedlines: 2,
+            coax_lines: 11,
+            cost_kusd: 79.0,
+            dedicated_coax: 32,
+            dedicated_cost_kusd: 216.2,
+            demux_deep: 16,
+            demux_one_to_two: 4,
+            demux_direct: 1,
+            fidelity: Some(0.97),
+            mean_gate_fidelity: Some(0.999),
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let record =
+            SweepRecord::skeleton(&sample_point(), "square-3x3", 9).with_result(&sample_result());
+        let json = serde_json::to_string(&record).unwrap();
+        let back: SweepRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+        assert!(json.contains("\"status\":\"Ok\""));
+
+        let failed =
+            SweepRecord::skeleton(&sample_point(), "square-3x3", 9).with_error("frequency crowded");
+        let json = serde_json::to_string(&failed).unwrap();
+        let back: SweepRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, failed);
+        assert!(!back.is_ok());
+    }
+
+    #[test]
+    fn cost_reduction_is_derived() {
+        let record =
+            SweepRecord::skeleton(&sample_point(), "square-3x3", 9).with_result(&sample_result());
+        let expected = 216.2 / 79.0;
+        assert!((record.cost_reduction.unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_escapes() {
+        let ok =
+            SweepRecord::skeleton(&sample_point(), "square-3x3", 9).with_result(&sample_result());
+        let failed = SweepRecord::skeleton(&sample_point(), "square-3x3", 9)
+            .with_error("bad, \"quoted\" message");
+        let mut out = Vec::new();
+        write_csv(&[ok, failed], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_COLUMNS.join(","));
+        assert_eq!(lines[0].split(',').count(), CSV_COLUMNS.len());
+        assert!(lines[2].contains("\"bad, \"\"quoted\"\" message\""));
+    }
+
+    #[test]
+    fn stage_timings_roundtrip() {
+        let mut record =
+            SweepRecord::skeleton(&sample_point(), "square-3x3", 9).with_result(&sample_result());
+        record.latency_ms = Some(12.5);
+        record.stages = Some(vec![StageMs {
+            name: "plan".into(),
+            ms: 10.0,
+        }]);
+        let json = serde_json::to_string(&record).unwrap();
+        let back: SweepRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stages.as_ref().unwrap()[0].name, "plan");
+    }
+}

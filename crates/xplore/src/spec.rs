@@ -1,0 +1,212 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] is the JSON input of `youtiao sweep`: a set of axes
+//! (chips, θ, `max_shared_slots`, FDM/readout capacity, DEMUX fan-out,
+//! wiring mode, characterization seeds) whose cartesian product is the
+//! design-space grid the engine plans. Every axis except `chips` is
+//! optional and defaults to a single paper-default value, so the grid
+//! size is the product of only the axes a spec actually varies.
+
+use youtiao_serve::ChipRequest;
+
+/// Default grid-size guard: a spec whose cartesian product exceeds this
+/// many points is rejected unless it raises [`SweepSpec::max_points`].
+pub const DEFAULT_MAX_POINTS: usize = 4096;
+
+/// Which wiring scheme a grid point evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SweepMode {
+    /// The full YOUTIAO plan (FDM XY + TDM Z + multiplexed readout).
+    Youtiao,
+    /// The Google-style dedicated-wiring baseline (readout-only
+    /// multiplexing); planning is skipped and the tally is the
+    /// dedicated one, so cost/fidelity fronts can compare against it.
+    Dedicated,
+}
+
+impl std::fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepMode::Youtiao => f.write_str("youtiao"),
+            SweepMode::Dedicated => f.write_str("dedicated"),
+        }
+    }
+}
+
+/// A declarative design-space sweep: axes over chips and planner knobs.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_xplore::SweepSpec;
+///
+/// let json = r#"{
+///   "chips": [{"topology": "square", "rows": 3, "cols": 3}],
+///   "thetas": [2.0, 4.0, 8.0],
+///   "use_model": false
+/// }"#;
+/// let spec: SweepSpec = serde_json::from_str(json).unwrap();
+/// assert_eq!(spec.thetas.as_deref(), Some(&[2.0, 4.0, 8.0][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepSpec {
+    /// Sweep name, echoed in summaries.
+    pub name: Option<String>,
+    /// Chip axis (required, non-empty).
+    pub chips: Vec<ChipRequest>,
+    /// Wiring-mode axis (default `[Youtiao]`).
+    pub modes: Option<Vec<SweepMode>>,
+    /// TDM threshold θ axis (default `[4.0]`).
+    pub thetas: Option<Vec<f64>>,
+    /// TDM `max_shared_slots` axis (default `[0]`).
+    pub max_shared_slots: Option<Vec<u32>>,
+    /// FDM XY-line capacity axis (default `[5]`).
+    pub fdm_capacities: Option<Vec<usize>>,
+    /// Readout feedline capacity axis (default `[8]`).
+    pub readout_capacities: Option<Vec<usize>>,
+    /// 1:8 cryo-DEMUX permission axis (default `[false]`).
+    pub one_to_eight: Option<Vec<bool>>,
+    /// Characterization seed axis (default `[0x594F_5554]`).
+    pub seeds: Option<Vec<u64>>,
+    /// Fit a crosstalk model per (chip, seed) and plan noise-aware
+    /// (default true). `false` plans with balanced fallback weights and
+    /// ignores the seed axis.
+    pub use_model: Option<bool>,
+    /// Evaluate all-qubit-driven XY fidelity per point (default false;
+    /// requires `use_model`).
+    pub fidelity: Option<bool>,
+    /// Partition each chip toward regions of this size before grouping.
+    pub partition_target: Option<usize>,
+    /// Grid-size guard override (default [`DEFAULT_MAX_POINTS`]).
+    pub max_points: Option<usize>,
+}
+
+impl SweepSpec {
+    /// A single-axis sweep over `chips` with every knob at its default.
+    pub fn new(chips: Vec<ChipRequest>) -> Self {
+        SweepSpec {
+            name: None,
+            chips,
+            modes: None,
+            thetas: None,
+            max_shared_slots: None,
+            fdm_capacities: None,
+            readout_capacities: None,
+            one_to_eight: None,
+            seeds: None,
+            use_model: None,
+            fidelity: None,
+            partition_target: None,
+            max_points: None,
+        }
+    }
+
+    /// Whether points are planned against a fitted crosstalk model.
+    pub fn uses_model(&self) -> bool {
+        self.use_model.unwrap_or(true)
+    }
+
+    /// Whether points evaluate XY fidelity.
+    pub fn wants_fidelity(&self) -> bool {
+        self.fidelity.unwrap_or(false)
+    }
+}
+
+/// Errors validating a [`SweepSpec`] into a grid.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// An axis was given explicitly empty (axis name attached).
+    EmptyAxis(&'static str),
+    /// The cartesian product exceeds the guard (or overflows `usize`).
+    GridTooLarge {
+        /// The requested number of grid points (`usize::MAX` on overflow).
+        points: usize,
+        /// The active guard value.
+        limit: usize,
+    },
+    /// A chip axis value failed to build.
+    Chip {
+        /// Index into [`SweepSpec::chips`].
+        index: usize,
+        /// The underlying request error, rendered.
+        message: String,
+    },
+    /// `fidelity` was requested without `use_model`.
+    FidelityNeedsModel,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyAxis(axis) => write!(f, "sweep axis `{axis}` is empty"),
+            SpecError::GridTooLarge { points, limit } => write!(
+                f,
+                "sweep grid has {points} points, exceeding the limit of {limit} \
+                 (raise `max_points` to allow it)"
+            ),
+            SpecError::Chip { index, message } => {
+                write!(f, "chips[{index}] does not resolve: {message}")
+            }
+            SpecError::FidelityNeedsModel => {
+                f.write_str("`fidelity` requires `use_model` (the evaluation needs a fitted model)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let mut spec = SweepSpec::new(vec![
+            ChipRequest::grid("square", 3, 3),
+            ChipRequest::named("linear"),
+        ]);
+        spec.name = Some("roundtrip".into());
+        spec.modes = Some(vec![SweepMode::Youtiao, SweepMode::Dedicated]);
+        spec.thetas = Some(vec![2.0, 8.0]);
+        spec.max_shared_slots = Some(vec![0, 2]);
+        spec.seeds = Some(vec![1, 2]);
+        spec.use_model = Some(false);
+        spec.partition_target = Some(40);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn minimal_json_fills_defaults() {
+        let json = r#"{"chips":[{"topology":"square"}]}"#;
+        let spec: SweepSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.chips.len(), 1);
+        assert!(spec.thetas.is_none());
+        assert!(spec.uses_model());
+        assert!(!spec.wants_fidelity());
+    }
+
+    #[test]
+    fn mode_display_is_lowercase() {
+        assert_eq!(SweepMode::Youtiao.to_string(), "youtiao");
+        assert_eq!(SweepMode::Dedicated.to_string(), "dedicated");
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(SpecError::EmptyAxis("thetas")
+            .to_string()
+            .contains("thetas"));
+        let e = SpecError::GridTooLarge {
+            points: 9000,
+            limit: 4096,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(SpecError::FidelityNeedsModel
+            .to_string()
+            .contains("use_model"));
+    }
+}

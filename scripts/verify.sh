@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + tests, a batch smoke run with plan
-# validation + stage tracing, then style gates.
+# validation + stage tracing, a sweep smoke run (JSONL schema, Pareto
+# front, thread-count determinism), then figure ports and style gates.
 #
 # Usage: scripts/verify.sh [--tier1-only|--smoke-only]
 #
@@ -52,10 +53,49 @@ for trace in jobs:
 print(f"  trace file OK: {len(jobs)} jobs, all stage spans present")
 PY
 
+echo "==> smoke: youtiao sweep (2x2 grid, determinism across threads)"
+# -q keeps cargo's own stderr chatter out of the captured summary JSON
+cargo run -q --release --offline --bin youtiao -- sweep \
+  --spec examples/sweeps/smoke.json --out "$smoke_dir/sweep1.jsonl" \
+  --threads 1 --pareto cost,fidelity --summary-json \
+  2> "$smoke_dir/sweep_summary.json"
+cargo run -q --release --offline --bin youtiao -- sweep \
+  --spec examples/sweeps/smoke.json --out "$smoke_dir/sweep4.jsonl" \
+  --threads 4 --pareto cost,fidelity 2> /dev/null
+if ! cmp -s "$smoke_dir/sweep1.jsonl" "$smoke_dir/sweep4.jsonl"; then
+  echo "verify: FAILED — sweep JSONL differs between --threads 1 and --threads 4" >&2
+  diff "$smoke_dir/sweep1.jsonl" "$smoke_dir/sweep4.jsonl" >&2 || true
+  exit 1
+fi
+python3 - "$smoke_dir/sweep1.jsonl" "$smoke_dir/sweep_summary.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+assert records, "sweep produced no records"
+required = {"index", "id", "chip", "mode", "theta", "seed", "status",
+            "coax_lines", "cost_kusd", "fidelity"}
+for i, record in enumerate(records):
+    missing = required - record.keys()
+    assert not missing, f"record {i} missing keys: {missing}"
+    assert record["index"] == i, f"records out of grid order at line {i}"
+    assert record["status"] == "Ok", f"record {i} errored: {record['error']}"
+with open(sys.argv[2]) as f:
+    summary = json.load(f)
+assert summary["points"] == len(records)
+assert summary["errors"] == 0
+assert summary["pareto"], "Pareto front is empty"
+assert summary["contexts_built"] == 2, summary["contexts_built"]
+print(f"  sweep smoke OK: {len(records)} records, "
+      f"{len(summary['pareto'])} Pareto points, deterministic across threads")
+PY
+
 if [[ "${1:-}" == "--smoke-only" ]]; then
   echo "verify: smoke OK"
   exit 0
 fi
+
+echo "==> figure ports: fig16/fig17 reports match results/ golden files"
+cargo test -q --release --offline -p youtiao-bench --test fig_ports -- --include-ignored
 
 echo "==> style: cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then

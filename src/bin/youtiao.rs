@@ -8,6 +8,7 @@
 //! youtiao cost --topology heavy-square --rows 3 --cols 3
 //! youtiao export-chip --topology surface --distance 5 --out chip.json
 //! youtiao batch --in jobs.jsonl --out results.jsonl --jobs 8 --deadline-ms 5000
+//! youtiao sweep --spec sweep.json --out records.jsonl --threads 8 --pareto cost,fidelity
 //! ```
 
 use std::collections::HashMap;
@@ -20,6 +21,7 @@ use youtiao::chip::{topology, Chip};
 use youtiao::core::{PlanSummary, PlannerConfig, YoutiaoPlanner};
 use youtiao::cost::WiringTally;
 use youtiao::serve::{parse_requests, run_design_batch, BatchOptions};
+use youtiao::xplore::{parse_objectives, run_sweep, write_csv, SweepOptions, SweepSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,8 +46,18 @@ usage:
                  [--retries R] [--cache FILE] [--cache-capacity N] [--metrics-json]
                  [--trace-json FILE] [--validate]
                  (--in - reads stdin; --out defaults to stdout; metrics go to stderr;
-                  --trace-json writes per-job stage-span traces; --validate fails a
-                  job when its finished plan breaks a wiring invariant)
+                  --jobs/--workers/--threads are synonyms: worker threads, 0 = one
+                  per core (the default); --trace-json writes per-job stage-span
+                  traces; --validate fails a job when its finished plan breaks a
+                  wiring invariant)
+  youtiao sweep  --spec FILE.json [--out FILE.jsonl] [--csv FILE.csv] [--threads N]
+                 [--pareto cost,coax,fidelity,latency] [--cache FILE]
+                 [--cache-capacity N] [--timings] [--summary-json]
+                 (--spec is a SweepSpec: axes over chips/theta/capacities/modes/seeds;
+                  records stream as JSONL to --out (default stdout) in grid order,
+                  byte-identical for any --threads (0 = one per core); the Pareto
+                  front and per-axis marginals go to stderr, or as JSON with
+                  --summary-json; --timings adds per-point latency/stage wall times)
 
 chip args (one of):
   --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring
@@ -160,6 +172,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "batch" => run_batch_command(&flags),
+        "sweep" => run_sweep_command(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -190,8 +203,16 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
         ),
         Some(None) => return Err("--deadline-ms expects a value".into()),
     };
+    // `--jobs`, `--workers` and `--threads` are synonyms for the pool
+    // size; 0 (the default) spawns one worker per available core.
+    let jobs = ["jobs", "workers", "threads"]
+        .iter()
+        .find(|key| flags.contains_key(**key))
+        .map(|key| get_usize(flags, key, 0))
+        .transpose()?
+        .unwrap_or(0);
     let options = BatchOptions {
-        jobs: get_usize(flags, "jobs", 0)?,
+        jobs,
         deadline_ms,
         max_retries: get_usize(flags, "retries", 2)? as u32,
         cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
@@ -229,6 +250,68 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
         eprintln!("{json}");
     } else {
         eprintln!("{}", metrics.render());
+    }
+    Ok(())
+}
+
+/// The `sweep` subcommand: a JSON `SweepSpec` in, JSONL records out
+/// (grid order, thread-count independent), summary on stderr.
+fn run_sweep_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let spec_path = flags
+        .get("spec")
+        .and_then(|v| v.clone())
+        .ok_or("sweep requires --spec FILE (a JSON SweepSpec)")?;
+    let text = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec: SweepSpec = serde_json::from_str(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+
+    let mut options = SweepOptions {
+        threads: get_usize(flags, "threads", 0)?,
+        timings: flags.contains_key("timings"),
+        cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
+        cache_path: flags
+            .get("cache")
+            .and_then(|v| v.clone())
+            .map(std::path::PathBuf::from),
+        ..SweepOptions::default()
+    };
+    match flags.get("pareto") {
+        None => {}
+        Some(Some(list)) => options.objectives = parse_objectives(list)?,
+        Some(None) => return Err("--pareto expects a comma-separated objective list".into()),
+    }
+
+    let out = flags
+        .get("out")
+        .and_then(|v| v.clone())
+        .filter(|v| v != "-");
+    let outcome = match out {
+        Some(path) => {
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            run_sweep(&spec, &options, &mut writer)
+        }
+        None => {
+            let stdout = std::io::stdout();
+            run_sweep(&spec, &options, &mut stdout.lock())
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    match flags.get("csv") {
+        None => {}
+        Some(Some(path)) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            write_csv(&outcome.records, &mut writer).map_err(|e| format!("{path}: {e}"))?;
+        }
+        Some(None) => return Err("--csv expects a file path".into()),
+    }
+
+    if flags.contains_key("summary-json") {
+        let json = serde_json::to_string_pretty(&outcome.summary).map_err(|e| e.to_string())?;
+        eprintln!("{json}");
+    } else {
+        eprint!("{}", outcome.summary.render());
     }
     Ok(())
 }

@@ -5,7 +5,9 @@
 //! both cost tallies, and the chip-level routing result.
 
 use youtiao_chip::Chip;
-use youtiao_core::{PlanError, PlanSummary, PlannerConfig, WiringPlan, YoutiaoPlanner};
+use youtiao_core::{
+    PlanContext, PlanError, PlanSummary, PlannerConfig, WiringPlan, YoutiaoPlanner,
+};
 use youtiao_cost::WiringTally;
 use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
 use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
@@ -288,13 +290,20 @@ pub fn design_chip_traced(
         fit_crosstalk_model(&samples, &FitConfig::paper()).expect("synthesized data always fits")
     };
 
-    // 2. Plan.
+    // 2. Plan. The matrices are built as a shared-ready PlanContext
+    // (what a sweep reuses across points); the planner then skips its
+    // internal matrices stage, so the "matrices" sub-span is recorded
+    // here from the context build instead of via the plan hook.
     checkpoint("plan")?;
     let plan = {
         let span = tracer.span("plan");
+        let started = std::time::Instant::now();
+        let context = PlanContext::build(chip, Some(&model), options.planner.weights);
+        tracer.record("matrices", started.elapsed());
         let plan = YoutiaoPlanner::new(chip)
             .with_crosstalk_model(&model)
             .with_config(options.planner.clone())
+            .with_context(&context)
             .plan_with_hook(&mut |stage, elapsed| tracer.record(stage, elapsed))?;
         span.annotate("xy_lines", plan.num_xy_lines() as u64);
         span.annotate("z_lines", plan.num_z_lines() as u64);

@@ -22,6 +22,7 @@
 //! | [`cost`] | `youtiao-cost` | wiring/cost accounting and scaling estimates |
 //! | [`core`] | `youtiao-core` | FDM/TDM grouping, frequency allocation, partitioning |
 //! | [`serve`] | `youtiao-serve` | batch design service: worker pool, plan cache, deadlines/retries |
+//! | [`xplore`] | `youtiao-xplore` | parallel design-space sweeps, shared planning contexts, Pareto fronts |
 //! | [`flow`] | (this crate) | one-call characterize → plan → route → cost pipeline |
 //!
 //! ## Quickstart
@@ -53,3 +54,4 @@ pub use youtiao_noise as noise;
 pub use youtiao_pulse as pulse;
 pub use youtiao_route as route;
 pub use youtiao_sim as sim;
+pub use youtiao_xplore as xplore;
