@@ -12,6 +12,8 @@
 //!   schemes, used by Figures 14–15, Table 1 and the motivation demo;
 //! * [`figs`] — Figure 16/17 report builders on the sweep engine;
 //! * [`nets`] — chip-level net lists for the router, used by Table 2;
+//! * [`perf`] — the `youtiao bench-plan` planner micro-benchmark
+//!   harness behind the tracked `BENCH_plan.json` trajectory;
 //! * [`report`] — plain-text table formatting.
 
 #![forbid(unsafe_code)]
@@ -20,6 +22,7 @@
 pub mod fdm_eval;
 pub mod figs;
 pub mod nets;
+pub mod perf;
 pub mod report;
 pub mod tdm_eval;
 

@@ -1,0 +1,333 @@
+//! Planner micro-benchmark harness (`youtiao bench-plan`).
+//!
+//! Times the planner's hot loops — kernels build, TDM grouping and
+//! refinement, kernelized vs the retained naive reference — plus the
+//! full context-backed plan, across square-grid chip sizes, and
+//! summarizes each stage as median / p10 / p90 over repeated
+//! iterations. The result serializes to `BENCH_plan.json` so the repo
+//! carries a perf trajectory: every PR can re-run the harness and
+//! compare against the committed baseline.
+//!
+//! The harness doubles as a coarse differential check: for every size
+//! it asserts the kernelized grouping/refinement output equals the
+//! naive reference before trusting the timings.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::Serialize;
+use youtiao_chip::distance::equivalent_matrix;
+use youtiao_chip::{topology, DeviceId};
+use youtiao_core::kernels::PairKernels;
+use youtiao_core::plan::crosstalk_matrix;
+use youtiao_core::refine::naive::refine_tdm_groups_naive;
+use youtiao_core::refine::{refine_tdm_groups_kernels, RefineConfig};
+use youtiao_core::tdm::naive::group_tdm_with_activity_naive;
+use youtiao_core::tdm::{brickwork_activity, group_tdm_kernels, TdmConfig};
+use youtiao_core::{PlanContext, PlannerConfig, YoutiaoPlanner};
+
+/// Schema tag written into the report so downstream tooling can detect
+/// format changes.
+pub const SCHEMA: &str = "youtiao-bench-plan/v1";
+
+/// Harness configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Square-grid side lengths to benchmark (`n` → an n×n chip).
+    pub sizes: Vec<usize>,
+    /// Timed iterations per stage per size.
+    pub iterations: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            sizes: vec![6, 8, 10, 12, 16],
+            iterations: 9,
+        }
+    }
+}
+
+/// Order statistics of one timed stage, in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageStats {
+    /// Median wall time (µs).
+    pub median_us: f64,
+    /// 10th-percentile wall time (µs).
+    pub p10_us: f64,
+    /// 90th-percentile wall time (µs).
+    pub p90_us: f64,
+}
+
+impl StageStats {
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "stage needs at least one sample");
+        samples.sort_by(f64::total_cmp);
+        let at = |q: f64| {
+            let i = (q * (samples.len() - 1) as f64).round() as usize;
+            samples[i]
+        };
+        StageStats {
+            median_us: at(0.5),
+            p10_us: at(0.1),
+            p90_us: at(0.9),
+        }
+    }
+}
+
+/// Per-chip-size benchmark results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SizeReport {
+    /// Chip label, e.g. `"12x12"`.
+    pub label: String,
+    /// Qubit count.
+    pub qubits: usize,
+    /// Z-controlled device count (qubits + couplers).
+    pub devices: usize,
+    /// Timed iterations behind each stat.
+    pub iterations: usize,
+    /// Per-stage order statistics, keyed by stage name
+    /// (`kernels_build`, `grouping_kernels`, `grouping_naive`,
+    /// `refine_kernels`, `refine_naive`, `plan_total`, and the
+    /// planner's hook sub-stages prefixed `plan.`).
+    pub stages: BTreeMap<String, StageStats>,
+    /// `PairKernels` builds observed while the timed plans ran; must be
+    /// 0 — every plan reuses the shared context's kernels.
+    pub kernel_builds_during_plans: u64,
+    /// Naive / kernelized median ratio for TDM grouping.
+    pub speedup_grouping: f64,
+    /// Naive / kernelized median ratio for refinement.
+    pub speedup_refine: f64,
+    /// Naive / kernelized median ratio for grouping + refinement
+    /// combined (the acceptance metric).
+    pub speedup_grouping_refine: f64,
+}
+
+/// The full harness report (`BENCH_plan.json`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerfReport {
+    /// Format tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Timed iterations per stage per size.
+    pub iterations: usize,
+    /// `PlanContext` builds during the run (probe delta): one per size.
+    pub contexts_built: u64,
+    /// `PairKernels` builds during the run (probe delta): the timed
+    /// kernels-build loop plus one per context, never per plan point.
+    pub kernels_built: u64,
+    /// Per-size results, in the order requested.
+    pub sizes: Vec<SizeReport>,
+}
+
+impl PerfReport {
+    /// Renders a compact, human-readable table of the report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "bench-plan: {} iterations per stage; {} contexts / {} kernel builds\n",
+            self.iterations, self.contexts_built, self.kernels_built
+        ));
+        s.push_str(&format!(
+            "{:<8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
+            "chip",
+            "devices",
+            "group-k µs",
+            "group-n µs",
+            "refine-k µs",
+            "refine-n µs",
+            "speedup",
+            "plan µs"
+        ));
+        for size in &self.sizes {
+            let med = |k: &str| size.stages.get(k).map_or(f64::NAN, |s| s.median_us);
+            s.push_str(&format!(
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x {:>9.1}\n",
+                size.label,
+                size.devices,
+                med("grouping_kernels"),
+                med("grouping_naive"),
+                med("refine_kernels"),
+                med("refine_naive"),
+                size.speedup_grouping_refine,
+                med("plan_total"),
+            ));
+        }
+        s
+    }
+}
+
+/// Times one closure `iterations` times, returning the stats and the
+/// last iteration's output.
+fn timed<T>(iterations: usize, mut f: impl FnMut() -> T) -> (StageStats, T) {
+    assert!(iterations > 0, "iterations must be positive");
+    let mut samples = Vec::with_capacity(iterations);
+    let mut last = None;
+    for _ in 0..iterations {
+        let started = Instant::now();
+        let out = f();
+        samples.push(started.elapsed().as_secs_f64() * 1e6);
+        last = Some(out);
+    }
+    (
+        StageStats::from_samples(samples),
+        last.expect("ran at least once"),
+    )
+}
+
+/// Runs the harness.
+///
+/// # Panics
+///
+/// Panics if `config.sizes` is empty, `config.iterations` is 0, or the
+/// kernelized grouping/refinement diverges from the naive reference
+/// (which would make the timings meaningless).
+pub fn run(config: &PerfConfig) -> PerfReport {
+    assert!(!config.sizes.is_empty(), "need at least one chip size");
+    let iters = config.iterations;
+    let contexts_before = PlanContext::build_count();
+    let kernels_before = PairKernels::build_count();
+
+    let mut sizes = Vec::with_capacity(config.sizes.len());
+    for &n in &config.sizes {
+        let chip = topology::square_grid(n, n);
+        let weights = PlannerConfig::default().weights;
+        let eq = equivalent_matrix(&chip, weights);
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let activity = brickwork_activity(&chip);
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let tdm = TdmConfig::default();
+        let refine = RefineConfig::default();
+        let mut stages = BTreeMap::new();
+
+        let (stats, kernels) = timed(iters, || PairKernels::build(&chip, &xtalk));
+        stages.insert("kernels_build".to_string(), stats);
+
+        let (stats, groups) = timed(iters, || {
+            group_tdm_kernels(&kernels, &tdm, &devices, &activity)
+        });
+        stages.insert("grouping_kernels".to_string(), stats);
+        let (stats, naive_groups) = timed(iters, || {
+            group_tdm_with_activity_naive(&chip, &xtalk, &tdm, &devices, &activity)
+        });
+        stages.insert("grouping_naive".to_string(), stats);
+        assert_eq!(groups, naive_groups, "{n}x{n}: grouping diverged");
+
+        let (stats, refined) = timed(iters, || {
+            refine_tdm_groups_kernels(&kernels, &activity, &tdm, groups.clone(), &refine)
+        });
+        stages.insert("refine_kernels".to_string(), stats);
+        let (stats, naive_refined) = timed(iters, || {
+            refine_tdm_groups_naive(&chip, &xtalk, &activity, &tdm, groups.clone(), &refine)
+        });
+        stages.insert("refine_naive".to_string(), stats);
+        assert_eq!(refined, naive_refined, "{n}x{n}: refinement diverged");
+
+        // Full plan against a shared context, collecting the planner's
+        // own sub-stage timings. The kernels probe must not move: every
+        // plan reuses the context's tables.
+        let ctx = PlanContext::build(&chip, None, weights);
+        let plan_cfg = PlannerConfig {
+            refine: Some(refine),
+            ..Default::default()
+        };
+        let plan_kernels_before = PairKernels::build_count();
+        let mut sub: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        let (stats, _) = timed(iters, || {
+            YoutiaoPlanner::new(&chip)
+                .with_config(plan_cfg.clone())
+                .with_context(&ctx)
+                .plan_with_hook(&mut |name, elapsed| {
+                    sub.entry(name)
+                        .or_default()
+                        .push(elapsed.as_secs_f64() * 1e6);
+                })
+                .expect("benchmark plan must succeed")
+        });
+        stages.insert("plan_total".to_string(), stats);
+        for (name, samples) in sub {
+            stages.insert(format!("plan.{name}"), StageStats::from_samples(samples));
+        }
+        let kernel_builds_during_plans = PairKernels::build_count() - plan_kernels_before;
+
+        let med = |k: &str| stages.get(k).map_or(f64::NAN, |s| s.median_us);
+        let speedup = |naive: &str, fast: &str| med(naive) / med(fast);
+        sizes.push(SizeReport {
+            label: format!("{n}x{n}"),
+            qubits: chip.num_qubits(),
+            devices: devices.len(),
+            iterations: iters,
+            kernel_builds_during_plans,
+            speedup_grouping: speedup("grouping_naive", "grouping_kernels"),
+            speedup_refine: speedup("refine_naive", "refine_kernels"),
+            speedup_grouping_refine: (med("grouping_naive") + med("refine_naive"))
+                / (med("grouping_kernels") + med("refine_kernels")),
+            stages,
+        });
+    }
+
+    PerfReport {
+        schema: SCHEMA.to_string(),
+        iterations: iters,
+        contexts_built: PlanContext::build_count() - contexts_before,
+        kernels_built: PairKernels::build_count() - kernels_before,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_complete_report() {
+        let report = run(&PerfConfig {
+            sizes: vec![3, 4],
+            iterations: 2,
+        });
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.sizes.len(), 2);
+        for size in &report.sizes {
+            for stage in [
+                "kernels_build",
+                "grouping_kernels",
+                "grouping_naive",
+                "refine_kernels",
+                "refine_naive",
+                "plan_total",
+                "plan.tdm_grouping",
+                "plan.refine",
+            ] {
+                let s = &size.stages[stage];
+                assert!(s.median_us >= 0.0);
+                assert!(s.p10_us <= s.p90_us, "{stage}: {s:?}");
+            }
+            assert_eq!(size.kernel_builds_during_plans, 0);
+            assert!(size.speedup_grouping.is_finite());
+        }
+        // One context per size; no kernels built inside the plan loops
+        // (the probe deltas include the timed standalone builds).
+        assert!(report.contexts_built >= 2);
+        let rendered = report.render();
+        assert!(rendered.contains("3x3"));
+        assert!(rendered.contains("4x4"));
+    }
+
+    #[test]
+    fn stage_stats_order_statistics() {
+        let s = StageStats::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median_us, 3.0);
+        assert_eq!(s.p10_us, 1.0);
+        assert_eq!(s.p90_us, 5.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = run(&PerfConfig {
+            sizes: vec![3],
+            iterations: 1,
+        });
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"schema\""));
+        assert!(json.contains("grouping_kernels"));
+    }
+}

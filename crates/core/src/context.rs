@@ -39,6 +39,7 @@ use youtiao_chip::Chip;
 use youtiao_noise::CrosstalkModel;
 
 use crate::error::PlanError;
+use crate::kernels::PairKernels;
 use crate::plan::crosstalk_matrix;
 
 /// Global count of [`PlanContext::build`] calls — a probe for tests
@@ -47,10 +48,10 @@ use crate::plan::crosstalk_matrix;
 static BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// Immutable chip-level planning state shared across sweep points: the
-/// equivalent-distance matrix, the XY crosstalk matrix, and (optionally)
-/// the ZZ crosstalk matrix, together with the weights they were built
-/// from so a mismatched planner is rejected instead of silently using
-/// matrices for the wrong chip.
+/// equivalent-distance matrix, the XY crosstalk matrix, (optionally)
+/// the ZZ crosstalk matrix, and the grouping [`PairKernels`], together
+/// with the weights they were built from so a mismatched planner is
+/// rejected instead of silently using matrices for the wrong chip.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanContext {
     num_qubits: usize,
@@ -58,6 +59,7 @@ pub struct PlanContext {
     equivalent: DistanceMatrix,
     crosstalk: DistanceMatrix,
     zz_crosstalk: Option<DistanceMatrix>,
+    kernels: PairKernels,
 }
 
 impl PlanContext {
@@ -70,6 +72,7 @@ impl PlanContext {
         let weights = model.map(|m| m.weights()).unwrap_or(fallback);
         let equivalent = equivalent_matrix(chip, weights);
         let crosstalk = crosstalk_matrix(chip, &equivalent, model);
+        let kernels = PairKernels::build(chip, &crosstalk);
         BUILDS.fetch_add(1, Ordering::Relaxed);
         PlanContext {
             num_qubits: chip.num_qubits(),
@@ -77,6 +80,7 @@ impl PlanContext {
             equivalent,
             crosstalk,
             zz_crosstalk: None,
+            kernels,
         }
     }
 
@@ -94,7 +98,11 @@ impl PlanContext {
             "zz model chip does not match the context's chip"
         );
         let eq = equivalent_matrix(chip, model.weights());
-        self.zz_crosstalk = Some(crosstalk_matrix(chip, &eq, Some(model)));
+        let zz = crosstalk_matrix(chip, &eq, Some(model));
+        // The kernels' noise table must track the matrix TDM grouping
+        // will actually score with — the ZZ matrix from here on.
+        self.kernels = PairKernels::build(chip, &zz);
+        self.zz_crosstalk = Some(zz);
         self
     }
 
@@ -121,6 +129,13 @@ impl PlanContext {
     /// The ZZ crosstalk matrix, when fitted via [`Self::with_zz_model`].
     pub fn zz_crosstalk(&self) -> Option<&DistanceMatrix> {
         self.zz_crosstalk.as_ref()
+    }
+
+    /// The grouping kernels, built on the same crosstalk matrix TDM
+    /// grouping scores with (the ZZ matrix after
+    /// [`Self::with_zz_model`], the XY matrix otherwise).
+    pub fn kernels(&self) -> &PairKernels {
+        &self.kernels
     }
 
     /// Verifies the context matches the planner's resolved chip and
@@ -210,6 +225,8 @@ mod tests {
             .plan_with_hook(&mut |name, _| names.push(name))
             .unwrap();
         assert!(!names.contains(&"matrices"), "{names:?}");
+        // The context's kernels are reused too — no local rebuild.
+        assert!(!names.contains(&"kernels"), "{names:?}");
         assert!(names.contains(&"fdm_grouping"));
     }
 

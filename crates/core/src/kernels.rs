@@ -1,0 +1,399 @@
+//! Precomputed pairwise kernels for the grouping hot loops.
+//!
+//! The §4.2–§4.3 grouping passes are the planner's hot path: the greedy
+//! graph-coloring of [`crate::tdm`] and the hill-climbing of
+//! [`crate::refine`] both evaluate O(n²) candidate pairs, and the naive
+//! implementations re-derive every pairwise term — legality, topological
+//! non-parallelism, worst-case crosstalk, per-coupler gate adjacency —
+//! per candidate per iteration, allocating as they go. A [`PairKernels`]
+//! precomputes all of it **once per chip** into dense tables indexed by
+//! a flat [`DeviceIndex`] densification, so the rewritten inner loops
+//! are pure table lookups (see `group_tdm_kernels` /
+//! `refine_tdm_groups_kernels`).
+//!
+//! # Determinism contract
+//!
+//! The kernels are a *representation* change, not an algorithm change:
+//! every table entry is computed by exactly the functions the naive path
+//! calls ([`crate::tdm::legal_pair`], the topo-fraction and noisy-score
+//! helpers), so a kernelized pass produces **byte-identical** output to
+//! the retained naive implementations (`naive` feature / test builds).
+//! Differential tests in `crate::tdm` and `crate::refine` enforce this
+//! across random chips, θ values, activity profiles and budgets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, CouplerId, DeviceId};
+
+use crate::tdm::ActivityProfile;
+
+/// Global count of [`PairKernels::build`] calls — a probe for tests and
+/// the bench harness asserting kernels are built once per chip, not per
+/// plan or per grid point.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Dense `DeviceId → usize` densification: qubits map to `0..nq`,
+/// couplers to `nq..nq + nc`. Both id spaces are already dense, so the
+/// mapping is a pure offset and needs no lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceIndex {
+    num_qubits: usize,
+    num_couplers: usize,
+}
+
+impl DeviceIndex {
+    /// Builds the densification for a chip.
+    pub fn new(chip: &Chip) -> Self {
+        DeviceIndex {
+            num_qubits: chip.num_qubits(),
+            num_couplers: chip.num_couplers(),
+        }
+    }
+
+    /// Total number of Z-controlled devices (qubits + couplers).
+    pub fn len(&self) -> usize {
+        self.num_qubits + self.num_couplers
+    }
+
+    /// Returns `true` when the chip has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The flat index of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the device id is out of range.
+    #[inline]
+    pub fn dense(&self, d: DeviceId) -> usize {
+        match d {
+            DeviceId::Qubit(q) => {
+                debug_assert!(q.index() < self.num_qubits);
+                q.index()
+            }
+            DeviceId::Coupler(c) => {
+                debug_assert!(c.index() < self.num_couplers);
+                self.num_qubits + c.index()
+            }
+        }
+    }
+
+    /// The device at a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn device(&self, i: usize) -> DeviceId {
+        assert!(i < self.len(), "dense device index out of range");
+        if i < self.num_qubits {
+            DeviceId::Qubit((i as u32).into())
+        } else {
+            DeviceId::Coupler(((i - self.num_qubits) as u32).into())
+        }
+    }
+}
+
+/// Precomputed pairwise interaction kernels for one (chip, crosstalk
+/// matrix) pair: everything the grouping and refinement inner loops
+/// would otherwise recompute per candidate.
+///
+/// Owned by [`crate::PlanContext`] (built once per chip and shared
+/// across sweep points) and buildable standalone via
+/// [`PairKernels::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairKernels {
+    index: DeviceIndex,
+    /// Bitset words per legality row.
+    words: usize,
+    /// Per-device parallelism index (§4.3), dense order.
+    parallelism: Vec<f64>,
+    /// Row-major legality bitset: bit `j` of row `i` set when devices
+    /// `i` and `j` may share a DEMUX.
+    legal: Vec<u64>,
+    /// Dense n×n `topo_nonparallel_fraction` lookup table.
+    topo: Vec<f64>,
+    /// Dense n×n `noisy_score` lookup table.
+    noise: Vec<f64>,
+    /// Per-coupler adjacent gates (couplers sharing a qubit endpoint),
+    /// sorted and deduplicated — what `adjacent_gates` used to allocate
+    /// and sort on every call.
+    adjacency: Vec<Vec<CouplerId>>,
+}
+
+impl PairKernels {
+    /// Precomputes every pairwise kernel for `chip` against the
+    /// crosstalk matrix that will drive the noisy non-parallelism score
+    /// (the ZZ matrix when fitted, the XY matrix otherwise — the same
+    /// matrix the naive grouping would receive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension mismatches the chip.
+    pub fn build(chip: &Chip, xtalk: &DistanceMatrix) -> Self {
+        assert_eq!(
+            xtalk.len(),
+            chip.num_qubits(),
+            "crosstalk matrix size mismatch"
+        );
+        let index = DeviceIndex::new(chip);
+        let n = index.len();
+        let words = n.div_ceil(64).max(1);
+
+        // Per-coupler adjacency, once: the union of the couplers
+        // incident to either endpoint, minus the gate itself.
+        let adjacency: Vec<Vec<CouplerId>> = chip
+            .coupler_ids()
+            .map(|c| {
+                let (a, b) = chip.coupler(c).expect("coupler id in range").endpoints();
+                let mut out: Vec<CouplerId> = chip
+                    .couplers_of(a)
+                    .iter()
+                    .chain(chip.couplers_of(b))
+                    .copied()
+                    .filter(|&x| x != c)
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+
+        // Parallelism indices from the cached adjacency.
+        let mut parallelism = vec![0.0f64; n];
+        for (i, slot) in parallelism.iter_mut().enumerate() {
+            *slot = match index.device(i) {
+                DeviceId::Coupler(c) => adjacency[c.index()].len() as f64,
+                DeviceId::Qubit(q) => {
+                    let gates = chip.couplers_of(q);
+                    if gates.is_empty() {
+                        0.0
+                    } else {
+                        let total: usize = gates.iter().map(|&g| adjacency[g.index()].len()).sum();
+                        total as f64 / chip.connectivity(q).max(1) as f64
+                    }
+                }
+            };
+        }
+
+        // Dense pairwise tables. Every entry is produced by the exact
+        // function the naive path calls, so lookups are bit-identical.
+        let mut legal = vec![0u64; n * words];
+        let mut topo = vec![0.0f64; n * n];
+        let mut noise = vec![0.0f64; n * n];
+        for i in 0..n {
+            let a = index.device(i);
+            for j in 0..n {
+                let b = index.device(j);
+                if crate::tdm::legal_pair(chip, a, b) {
+                    legal[i * words + j / 64] |= 1u64 << (j % 64);
+                }
+                topo[i * n + j] = crate::tdm::topo_nonparallel_fraction(chip, a, b);
+                noise[i * n + j] = crate::tdm::noisy_score(chip, xtalk, a, b);
+            }
+        }
+
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        PairKernels {
+            index,
+            words,
+            parallelism,
+            legal,
+            topo,
+            noise,
+            adjacency,
+        }
+    }
+
+    /// The device densification the tables are indexed by.
+    pub fn index(&self) -> &DeviceIndex {
+        &self.index
+    }
+
+    /// Number of Z-controlled devices covered.
+    pub fn num_devices(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Flat index of a device (delegates to [`DeviceIndex::dense`]).
+    #[inline]
+    pub fn dense(&self, d: DeviceId) -> usize {
+        self.index.dense(d)
+    }
+
+    /// Whether two devices may legally share a DEMUX
+    /// ([`crate::tdm::legal_pair`] as a bitset lookup).
+    #[inline]
+    pub fn legal(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.legal_dense(self.index.dense(a), self.index.dense(b))
+    }
+
+    /// [`Self::legal`] over flat indices.
+    #[inline]
+    pub fn legal_dense(&self, i: usize, j: usize) -> bool {
+        self.legal[i * self.words + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// Fraction of gate pairs between two devices that topologically
+    /// conflict (table lookup).
+    #[inline]
+    pub fn topo(&self, a: DeviceId, b: DeviceId) -> f64 {
+        self.topo_dense(self.index.dense(a), self.index.dense(b))
+    }
+
+    /// [`Self::topo`] over flat indices.
+    #[inline]
+    pub fn topo_dense(&self, i: usize, j: usize) -> f64 {
+        self.topo[i * self.index.len() + j]
+    }
+
+    /// Worst-case crosstalk between the qubits of two devices (table
+    /// lookup).
+    #[inline]
+    pub fn noise(&self, a: DeviceId, b: DeviceId) -> f64 {
+        self.noise_dense(self.index.dense(a), self.index.dense(b))
+    }
+
+    /// [`Self::noise`] over flat indices.
+    #[inline]
+    pub fn noise_dense(&self, i: usize, j: usize) -> f64 {
+        self.noise[i * self.index.len() + j]
+    }
+
+    /// The parallelism index of a device (table lookup; equals
+    /// [`crate::tdm::parallelism_index`]).
+    #[inline]
+    pub fn parallelism(&self, d: DeviceId) -> f64 {
+        self.parallelism[self.index.dense(d)]
+    }
+
+    /// Gates sharing a qubit endpoint with `gate` (excluding `gate`),
+    /// sorted — the cached form of the old `adjacent_gates` allocation.
+    #[inline]
+    pub fn adjacent_gates(&self, gate: CouplerId) -> &[CouplerId] {
+        &self.adjacency[gate.index()]
+    }
+
+    /// Densifies an [`ActivityProfile`] into a flat per-device mask
+    /// vector indexed by [`DeviceIndex::dense`] (devices absent from the
+    /// profile get mask 0, i.e. never busy).
+    pub fn densify_activity(&self, activity: &ActivityProfile) -> Vec<u32> {
+        let mut masks = vec![0u32; self.index.len()];
+        for (&d, &mask) in activity {
+            // Profiles for a different chip may mention out-of-range
+            // devices; the naive path treats lookups by map `get`, so
+            // only in-range devices can matter here.
+            let i = match d {
+                DeviceId::Qubit(q) if q.index() < self.index.num_qubits => q.index(),
+                DeviceId::Coupler(c) if c.index() < self.index.num_couplers => {
+                    self.index.num_qubits + c.index()
+                }
+                _ => continue,
+            };
+            masks[i] = mask;
+        }
+        masks
+    }
+
+    /// Cumulative number of kernel tables built in this process (probe
+    /// for the bench harness and the `verify.sh` bench-smoke step).
+    pub fn build_count() -> u64 {
+        BUILDS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::crosstalk_matrix;
+    use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+    use youtiao_chip::topology;
+
+    fn setup(n: usize) -> (Chip, DistanceMatrix) {
+        let chip = topology::square_grid(n, n);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        (chip, xtalk)
+    }
+
+    #[test]
+    fn dense_index_round_trips() {
+        let (chip, _) = setup(3);
+        let index = DeviceIndex::new(&chip);
+        assert_eq!(index.len(), chip.num_z_devices());
+        for (i, d) in chip.device_ids().enumerate() {
+            assert_eq!(
+                index.dense(d),
+                i,
+                "device_ids order is qubits then couplers"
+            );
+            assert_eq!(index.device(i), d);
+        }
+    }
+
+    #[test]
+    fn tables_match_the_scalar_functions() {
+        let (chip, xtalk) = setup(3);
+        let k = PairKernels::build(&chip, &xtalk);
+        for a in chip.device_ids() {
+            assert_eq!(k.parallelism(a), crate::tdm::parallelism_index(&chip, a));
+            for b in chip.device_ids() {
+                assert_eq!(k.legal(a, b), crate::tdm::legal_pair(&chip, a, b));
+                assert_eq!(
+                    k.topo(a, b).to_bits(),
+                    crate::tdm::topo_nonparallel_fraction(&chip, a, b).to_bits(),
+                    "{a} {b}"
+                );
+                assert_eq!(
+                    k.noise(a, b).to_bits(),
+                    crate::tdm::noisy_score(&chip, &xtalk, a, b).to_bits(),
+                    "{a} {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_excludes_self() {
+        let (chip, xtalk) = setup(4);
+        let k = PairKernels::build(&chip, &xtalk);
+        for c in chip.coupler_ids() {
+            let adj = k.adjacent_gates(c);
+            assert!(adj.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(!adj.contains(&c));
+        }
+    }
+
+    #[test]
+    fn activity_densification_matches_map_lookups() {
+        let (chip, xtalk) = setup(3);
+        let k = PairKernels::build(&chip, &xtalk);
+        let profile = crate::tdm::brickwork_activity(&chip);
+        let masks = k.densify_activity(&profile);
+        for d in chip.device_ids() {
+            assert_eq!(masks[k.dense(d)], profile.get(&d).copied().unwrap_or(0));
+        }
+        // Unknown devices (different chip) are ignored.
+        let mut foreign = ActivityProfile::new();
+        foreign.insert(DeviceId::Qubit(999u32.into()), 0b1);
+        assert!(k.densify_activity(&foreign).iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn build_count_probe_advances() {
+        let (chip, xtalk) = setup(2);
+        let before = PairKernels::build_count();
+        let _k = PairKernels::build(&chip, &xtalk);
+        assert!(PairKernels::build_count() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosstalk matrix size mismatch")]
+    fn mismatched_matrix_rejected() {
+        let (chip, _) = setup(3);
+        let wrong = DistanceMatrix::zeros(4);
+        let _ = PairKernels::build(&chip, &wrong);
+    }
+}

@@ -39,6 +39,7 @@ pub mod context;
 pub mod error;
 pub mod fdm;
 pub mod freq;
+pub mod kernels;
 pub mod partition;
 pub mod plan;
 pub mod refine;
@@ -51,8 +52,11 @@ pub use crate::context::PlanContext;
 pub use crate::error::PlanError;
 pub use crate::fdm::{group_fdm, FdmLine};
 pub use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};
+pub use crate::kernels::{DeviceIndex, PairKernels};
 pub use crate::partition::{partition_chip, Partition, PartitionConfig};
 pub use crate::plan::{PlannerConfig, WiringPlan, YoutiaoPlanner};
 pub use crate::refine::{refine_tdm_groups, RefineConfig};
 pub use crate::summary::PlanSummary;
-pub use crate::tdm::{group_tdm, parallelism_index, DemuxLevel, TdmConfig, TdmGroup};
+pub use crate::tdm::{
+    group_tdm, group_tdm_kernels, parallelism_index, DemuxLevel, TdmConfig, TdmGroup,
+};

@@ -11,6 +11,7 @@ use crate::context::PlanContext;
 use crate::error::PlanError;
 use crate::fdm::{group_fdm_subset, FdmLine};
 use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};
+use crate::kernels::PairKernels;
 use crate::partition::{partition_chip, Partition, PartitionConfig};
 use crate::tdm::{TdmConfig, TdmGroup};
 
@@ -336,6 +337,34 @@ impl<'a> YoutiaoPlanner<'a> {
             .or_else(|| self.context.and_then(PlanContext::zz_crosstalk))
             .unwrap_or(xtalk);
 
+        // Grouping kernels must be built on the exact matrix TDM
+        // grouping scores with. A context carries kernels for its own
+        // tdm matrix (ZZ when fitted into the context, XY otherwise),
+        // so they are reusable unless a planner-local ZZ model
+        // overrides that choice.
+        let kernels_local;
+        let kernels: &PairKernels = match self.context {
+            Some(ctx) if zz_local.is_none() => ctx.kernels(),
+            _ => {
+                let started = Instant::now();
+                kernels_local = PairKernels::build(chip, tdm_xtalk);
+                hook("kernels", started.elapsed());
+                &kernels_local
+            }
+        };
+
+        // With no workload profile supplied, approximate natural
+        // non-parallelism by the topology's brickwork pattern (shared
+        // by every region and the refinement pass).
+        let derived_activity;
+        let activity = match self.activity {
+            Some(activity) => activity,
+            None => {
+                derived_activity = crate::tdm::brickwork_activity(chip);
+                &derived_activity
+            }
+        };
+
         // Partition (stage 1/2), then group each region independently
         // (stage 3); without a partition the whole chip is one region.
         let (partition, regions): (Option<Partition>, Vec<Vec<QubitId>>) =
@@ -368,19 +397,8 @@ impl<'a> YoutiaoPlanner<'a> {
                     region.contains(&a).then_some(DeviceId::Coupler(c.id()))
                 }))
                 .collect();
-            // With no workload profile supplied, approximate natural
-            // non-parallelism by the topology's brickwork pattern.
-            let derived;
-            let activity = match self.activity {
-                Some(activity) => activity,
-                None => {
-                    derived = crate::tdm::brickwork_activity(chip);
-                    &derived
-                }
-            };
-            tdm_groups.extend(crate::tdm::group_tdm_with_activity(
-                chip,
-                tdm_xtalk,
+            tdm_groups.extend(crate::tdm::group_tdm_kernels(
+                kernels,
                 &self.config.tdm,
                 &devices,
                 activity,
@@ -392,18 +410,9 @@ impl<'a> YoutiaoPlanner<'a> {
 
         if let Some(refine) = &self.config.refine {
             let started = Instant::now();
-            let profile_storage;
-            let profile = match self.activity {
-                Some(a) => a,
-                None => {
-                    profile_storage = crate::tdm::brickwork_activity(chip);
-                    &profile_storage
-                }
-            };
-            let (refined, _removed) = crate::refine::refine_tdm_groups(
-                chip,
-                tdm_xtalk,
-                profile,
+            let (refined, _removed) = crate::refine::refine_tdm_groups_kernels(
+                kernels,
+                activity,
                 &self.config.tdm,
                 tdm_groups,
                 refine,
@@ -696,6 +705,7 @@ mod tests {
             names,
             [
                 "matrices",
+                "kernels",
                 "partition",
                 "fdm_grouping",
                 "tdm_grouping",
@@ -714,6 +724,52 @@ mod tests {
             .unwrap();
         assert!(!names.contains(&"partition"));
         assert!(!names.contains(&"refine"));
+    }
+
+    #[test]
+    fn plan_tdm_stages_match_naive_pipeline() {
+        // End-to-end differential: the planner's kernelized TDM
+        // grouping + refinement must be byte-identical to running the
+        // retained naive implementations over the same region
+        // decomposition.
+        let chip = topology::square_grid(5, 5);
+        let cfg = PlannerConfig {
+            partition: Some(PartitionConfig::default()),
+            refine: Some(crate::refine::RefineConfig::default()),
+            ..Default::default()
+        };
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(cfg.clone())
+            .plan()
+            .unwrap();
+
+        let eq = equivalent_matrix(&chip, cfg.weights);
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let activity = crate::tdm::brickwork_activity(&chip);
+        let partition = partition_chip(&chip, &eq, cfg.partition.as_ref().unwrap());
+        let mut naive_groups = Vec::new();
+        for region in partition.regions() {
+            let devices: Vec<DeviceId> = region
+                .iter()
+                .map(|&q| DeviceId::Qubit(q))
+                .chain(chip.couplers().filter_map(|c| {
+                    let (a, _) = c.endpoints();
+                    region.contains(&a).then_some(DeviceId::Coupler(c.id()))
+                }))
+                .collect();
+            naive_groups.extend(crate::tdm::naive::group_tdm_with_activity_naive(
+                &chip, &xtalk, &cfg.tdm, &devices, &activity,
+            ));
+        }
+        let (naive_refined, _) = crate::refine::naive::refine_tdm_groups_naive(
+            &chip,
+            &xtalk,
+            &activity,
+            &cfg.tdm,
+            naive_groups,
+            cfg.refine.as_ref().unwrap(),
+        );
+        assert_eq!(plan.tdm_groups(), naive_refined.as_slice());
     }
 
     #[test]

@@ -16,9 +16,19 @@
 //! The *parallelism index* ranks how much gate freedom a device has; a
 //! threshold `θ` splits devices between dense 1:4 DEMUXes (low
 //! parallelism) and shallow 1:2 DEMUXes (high parallelism).
+//!
+//! The grouping inner loop runs against precomputed
+//! [`PairKernels`](crate::kernels::PairKernels) tables with incremental
+//! per-group aggregates — O(1) lookups per candidate instead of
+//! re-deriving every pairwise term. The original per-candidate
+//! implementation is retained in [`naive`] (test builds and the `naive`
+//! feature) as the differential-testing reference; both paths produce
+//! byte-identical groupings.
 
 use youtiao_chip::distance::DistanceMatrix;
 use youtiao_chip::{Chip, CouplerId, DeviceId, QubitId};
+
+use crate::kernels::PairKernels;
 
 /// Cryo-DEMUX fan-out level for one TDM group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -218,6 +228,11 @@ pub fn brickwork_activity(chip: &Chip) -> ActivityProfile {
 /// topologically non-coexistent neighbouring gates, normalized by the
 /// device's connectivity (couplers count as connectivity 1).
 ///
+/// Allocation-free: gate sets are borrowed from the chip's adjacency
+/// slices and neighbouring gates are counted in place. Bulk callers
+/// should prefer the table in [`PairKernels`], which computes every
+/// device's index once from the cached per-coupler adjacency.
+///
 /// # Panics
 ///
 /// Panics if the device id is out of range.
@@ -236,6 +251,7 @@ pub fn brickwork_activity(chip: &Chip) -> ActivityProfile {
 /// ```
 pub fn parallelism_index(chip: &Chip, device: DeviceId) -> f64 {
     let gates = device_gates(chip, device);
+    let gates = gates.as_slice();
     if gates.is_empty() {
         return 0.0;
     }
@@ -243,31 +259,49 @@ pub fn parallelism_index(chip: &Chip, device: DeviceId) -> f64 {
         DeviceId::Coupler(_) => 1usize,
         DeviceId::Qubit(q) => chip.connectivity(q).max(1),
     };
-    let total: usize = gates.iter().map(|&g| adjacent_gates(chip, g).len()).sum();
+    let total: usize = gates.iter().map(|&g| adjacent_gate_count(chip, g)).sum();
     total as f64 / connectivity as f64
 }
 
-/// The two-qubit gates (couplers) that occupy a device when active.
-fn device_gates(chip: &Chip, device: DeviceId) -> Vec<CouplerId> {
-    match device {
-        DeviceId::Coupler(c) => vec![c],
-        DeviceId::Qubit(q) => chip.couplers_of(q).to_vec(),
+/// The two-qubit gates (couplers) that occupy a device when active,
+/// without heap allocation: a coupler's single gate lives inline, a
+/// qubit borrows the chip's adjacency slice.
+pub(crate) enum DeviceGates<'a> {
+    /// A coupler occupies exactly its own gate.
+    One([CouplerId; 1]),
+    /// A qubit occupies every incident coupler's gate.
+    Many(&'a [CouplerId]),
+}
+
+impl DeviceGates<'_> {
+    /// The gates as a slice.
+    pub(crate) fn as_slice(&self) -> &[CouplerId] {
+        match self {
+            DeviceGates::One(one) => one,
+            DeviceGates::Many(many) => many,
+        }
     }
 }
 
-/// Gates sharing a qubit endpoint with `gate` (excluding `gate` itself).
-fn adjacent_gates(chip: &Chip, gate: CouplerId) -> Vec<CouplerId> {
+/// See [`DeviceGates`].
+pub(crate) fn device_gates(chip: &Chip, device: DeviceId) -> DeviceGates<'_> {
+    match device {
+        DeviceId::Coupler(c) => DeviceGates::One([c]),
+        DeviceId::Qubit(q) => DeviceGates::Many(chip.couplers_of(q)),
+    }
+}
+
+/// Number of distinct gates sharing a qubit endpoint with `gate`
+/// (excluding `gate` itself) — the counting form of the per-coupler
+/// adjacency lists cached in [`PairKernels`], allocation-free.
+fn adjacent_gate_count(chip: &Chip, gate: CouplerId) -> usize {
     let (a, b) = chip.coupler(gate).expect("gate id in range").endpoints();
-    let mut out: Vec<CouplerId> = chip
-        .couplers_of(a)
-        .iter()
-        .chain(chip.couplers_of(b))
-        .copied()
-        .filter(|&c| c != gate)
-        .collect();
-    out.sort_unstable();
-    out.dedup();
-    out
+    let ca = chip.couplers_of(a);
+    let cb = chip.couplers_of(b);
+    ca.iter().filter(|&&c| c != gate).count()
+        + cb.iter()
+            .filter(|&&c| c != gate && !ca.contains(&c))
+            .count()
 }
 
 /// Returns `true` when two devices may legally share a DEMUX: no single
@@ -295,15 +329,16 @@ fn gates_conflict(chip: &Chip, a: CouplerId, b: CouplerId) -> bool {
 
 /// Fraction of gate pairs between two devices that topologically
 /// conflict: 1.0 means grouping them can never cost depth.
-fn topo_nonparallel_fraction(chip: &Chip, a: DeviceId, b: DeviceId) -> f64 {
+pub(crate) fn topo_nonparallel_fraction(chip: &Chip, a: DeviceId, b: DeviceId) -> f64 {
     let ga = device_gates(chip, a);
     let gb = device_gates(chip, b);
+    let (ga, gb) = (ga.as_slice(), gb.as_slice());
     if ga.is_empty() || gb.is_empty() {
         return 1.0;
     }
     let mut conflicts = 0usize;
-    for &x in &ga {
-        for &y in &gb {
+    for &x in ga {
+        for &y in gb {
             if gates_conflict(chip, x, y) {
                 conflicts += 1;
             }
@@ -312,22 +347,25 @@ fn topo_nonparallel_fraction(chip: &Chip, a: DeviceId, b: DeviceId) -> f64 {
     conflicts as f64 / (ga.len() * gb.len()) as f64
 }
 
-/// Representative qubits of a device (itself, or a coupler's endpoints).
-fn device_qubits(chip: &Chip, d: DeviceId) -> Vec<QubitId> {
+/// Representative qubits of a device (itself, or a coupler's
+/// endpoints), inline — returns the qubit array and its filled length.
+fn device_qubits(chip: &Chip, d: DeviceId) -> ([QubitId; 2], usize) {
     match d {
-        DeviceId::Qubit(q) => vec![q],
+        DeviceId::Qubit(q) => ([q, q], 1),
         DeviceId::Coupler(c) => {
             let (a, b) = chip.coupler(c).expect("device id in range").endpoints();
-            vec![a, b]
+            ([a, b], 2)
         }
     }
 }
 
 /// Worst-case crosstalk between the qubits of two devices.
 pub(crate) fn noisy_score(chip: &Chip, xtalk: &DistanceMatrix, a: DeviceId, b: DeviceId) -> f64 {
+    let (qa, na) = device_qubits(chip, a);
+    let (qb, nb) = device_qubits(chip, b);
     let mut worst = 0.0f64;
-    for qa in device_qubits(chip, a) {
-        for qb in device_qubits(chip, b) {
+    for &qa in &qa[..na] {
+        for &qb in &qb[..nb] {
             if qa != qb {
                 worst = worst.max(xtalk.get(qa, qb));
             }
@@ -370,6 +408,11 @@ pub fn group_tdm_subset(
 /// the workload's natural non-parallelism (e.g. the 4-step CZ schedule
 /// of a surface-code cycle).
 ///
+/// Builds a throwaway [`PairKernels`] and delegates to
+/// [`group_tdm_kernels`]; callers planning the same chip repeatedly
+/// (sweeps, the planner's per-region loop) should build the kernels once
+/// and call [`group_tdm_kernels`] directly.
+///
 /// # Panics
 ///
 /// Panics if the matrix dimension mismatches the chip.
@@ -385,11 +428,25 @@ pub fn group_tdm_with_activity(
         chip.num_qubits(),
         "crosstalk matrix size mismatch"
     );
+    let kernels = PairKernels::build(chip, xtalk);
+    group_tdm_kernels(&kernels, config, devices, activity)
+}
+
+/// [`group_tdm_with_activity`] against precomputed [`PairKernels`]:
+/// the grouping hot path. Produces byte-identical groupings to the
+/// naive per-candidate recomputation (differential tests enforce it).
+pub fn group_tdm_kernels(
+    kernels: &PairKernels,
+    config: &TdmConfig,
+    devices: &[DeviceId],
+    activity: &ActivityProfile,
+) -> Vec<TdmGroup> {
+    let masks = kernels.densify_activity(activity);
 
     // Rank devices by parallelism index and split at θ.
     let mut indexed: Vec<(DeviceId, f64)> = devices
         .iter()
-        .map(|&d| (d, parallelism_index(chip, d)))
+        .map(|&d| (d, kernels.parallelism(d)))
         .collect();
     indexed.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     let low: Vec<(DeviceId, f64)> = indexed
@@ -410,87 +467,111 @@ pub fn group_tdm_with_activity(
     };
     let mut groups = Vec::new();
     for (level, pool) in [(low_level, low), (DemuxLevel::OneToTwo, high)] {
-        groups.extend(group_level(chip, xtalk, level, pool, activity, config));
+        groups.extend(group_level_kernels(kernels, level, &pool, &masks, config));
     }
     groups
 }
 
-/// Greedy graph-coloring of one parallelism level (§4.3 steps 1–3).
-fn group_level(
-    chip: &Chip,
-    xtalk: &DistanceMatrix,
+/// Greedy graph-coloring of one parallelism level (§4.3 steps 1–3),
+/// kernelized.
+///
+/// Replaces the naive per-candidate recomputation with:
+///
+/// * an **index pool** — an `alive` bitmap over the rank-sorted pool
+///   instead of `Vec::remove` shifts, preserving the deterministic
+///   scan (and therefore tie-break) order at O(1) removal;
+/// * **incremental aggregates** — per-candidate running legality /
+///   topo-min / noise-max / balance-max values, updated once per
+///   accepted member instead of recomputed over all members per scan;
+/// * an **occupied-slot mask** — adding a device to the group adds one
+///   extra serialized window per busy slot that is already occupied,
+///   so the activity cost of a candidate is `popcount(mask ∩ occupied)`
+///   rather than a 32-slot counter walk (this also removes the `u8`
+///   counters the naive path once overflowed on).
+fn group_level_kernels(
+    kernels: &PairKernels,
     level: DemuxLevel,
-    mut pool: Vec<(DeviceId, f64)>,
-    activity: &ActivityProfile,
+    pool: &[(DeviceId, f64)],
+    masks: &[u32],
     config: &TdmConfig,
 ) -> Vec<TdmGroup> {
     let capacity = level.channel_capacity();
-    let mask_of = |d: DeviceId| activity.get(&d).copied().unwrap_or(0);
+    let n = pool.len();
+    let pmask: Vec<u32> = pool.iter().map(|&(d, _)| masks[kernels.dense(d)]).collect();
+    let mut alive = vec![true; n];
+    // Per-candidate running aggregates for the group currently being
+    // filled; re-seeded at each new group, updated per accepted member.
+    let mut agg_legal = vec![false; n];
+    let mut agg_topo = vec![0.0f64; n];
+    let mut agg_noise = vec![0.0f64; n];
+    let mut agg_balance = vec![0.0f64; n];
+
     let mut groups = Vec::new();
-    while !pool.is_empty() {
-        // Step 1: seed with the lowest parallelism index.
-        let (seed, seed_idx) = pool.remove(0);
-        let mut members = vec![seed];
-        let mut member_idx = vec![seed_idx];
-        // Per-slot busy-device counts; the group's depth cost is
-        // Σ_t max(0, count_t − 1) extra serialized windows per period.
-        let mut slot_counts = [0u8; 32];
-        for (t, count) in slot_counts.iter_mut().enumerate() {
-            if mask_of(seed) & (1 << t) != 0 {
-                *count += 1;
-            }
+    let mut first = 0usize;
+    while first < n {
+        if !alive[first] {
+            first += 1;
+            continue;
         }
-        let group_extra =
-            |counts: &[u8; 32]| -> u32 { counts.iter().map(|&c| c.saturating_sub(1) as u32).sum() };
+        // Step 1: seed with the lowest parallelism index (first alive in
+        // rank order).
+        let s = first;
+        alive[s] = false;
+        first += 1;
+        let (seed, seed_idx) = pool[s];
+        let mut members = vec![seed];
+        // Slots already occupied by a member; adding a device busy in an
+        // occupied slot costs exactly one extra serialized window.
+        let mut occupied = pmask[s];
+        let mut cur_extra = 0u32;
+        for i in first..n {
+            if !alive[i] {
+                continue;
+            }
+            let (cand, cand_idx) = pool[i];
+            agg_legal[i] = kernels.legal(seed, cand);
+            agg_topo[i] = kernels.topo(seed, cand);
+            agg_noise[i] = kernels.noise(seed, cand);
+            agg_balance[i] = (seed_idx - cand_idx).abs();
+        }
         while members.len() < capacity {
             // Steps 2–3: among legal candidates sharing the fewest busy
             // slots, prefer fully topologically non-parallel ones, then
             // the noisiest, then the closest parallelism index
             // (balancing).
             let mut best: Option<(usize, (f64, f64, f64, f64))> = None;
-            for (i, &(cand, cand_idx)) in pool.iter().enumerate() {
-                if !members.iter().all(|&m| legal_pair(chip, m, cand)) {
+            for i in first..n {
+                if !alive[i] || !agg_legal[i] {
                     continue;
                 }
-                let mut with_cand = slot_counts;
-                for (t, count) in with_cand.iter_mut().enumerate() {
-                    if mask_of(cand) & (1 << t) != 0 {
-                        *count += 1;
-                    }
-                }
-                let shared = group_extra(&with_cand);
+                let shared = cur_extra + (pmask[i] & occupied).count_ones();
                 if shared > config.max_shared_slots {
                     continue;
                 }
-                let topo = members
-                    .iter()
-                    .map(|&m| topo_nonparallel_fraction(chip, m, cand))
-                    .fold(f64::INFINITY, f64::min);
-                let noise = members
-                    .iter()
-                    .map(|&m| noisy_score(chip, xtalk, m, cand))
-                    .fold(0.0, f64::max);
-                let balance = member_idx
-                    .iter()
-                    .map(|&mi: &f64| (mi - cand_idx).abs())
-                    .fold(0.0, f64::max);
                 // Fewer shared slots, higher topo, higher noise, lower
                 // imbalance is better.
-                let key = (-(shared as f64), topo, noise, -balance);
+                let key = (-(shared as f64), agg_topo[i], agg_noise[i], -agg_balance[i]);
                 if best.is_none_or(|(_, bk)| key > bk) {
                     best = Some((i, key));
                 }
             }
             match best {
                 Some((i, _)) => {
-                    let (d, di) = pool.remove(i);
-                    for (t, count) in slot_counts.iter_mut().enumerate() {
-                        if mask_of(d) & (1 << t) != 0 {
-                            *count += 1;
-                        }
-                    }
+                    alive[i] = false;
+                    let (d, di) = pool[i];
+                    cur_extra += (pmask[i] & occupied).count_ones();
+                    occupied |= pmask[i];
                     members.push(d);
-                    member_idx.push(di);
+                    for j in first..n {
+                        if !alive[j] || !agg_legal[j] {
+                            continue;
+                        }
+                        let (cand, cand_idx) = pool[j];
+                        agg_legal[j] = kernels.legal(d, cand);
+                        agg_topo[j] = agg_topo[j].min(kernels.topo(d, cand));
+                        agg_noise[j] = agg_noise[j].max(kernels.noise(d, cand));
+                        agg_balance[j] = agg_balance[j].max((di - cand_idx).abs());
+                    }
                 }
                 None => break,
             }
@@ -498,6 +579,134 @@ fn group_level(
         groups.push(TdmGroup::new(level, members));
     }
     groups
+}
+
+/// The original per-candidate grouping implementation, retained as the
+/// differential-testing reference and the bench harness's "before"
+/// measurement. Semantically identical to [`group_tdm_kernels`]; the
+/// kernelized path must produce byte-identical output.
+#[cfg(any(test, feature = "naive"))]
+pub mod naive {
+    use super::*;
+
+    /// [`group_tdm_with_activity`](super::group_tdm_with_activity)
+    /// without kernels: every pairwise term is re-derived per candidate
+    /// per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension mismatches the chip.
+    pub fn group_tdm_with_activity_naive(
+        chip: &Chip,
+        xtalk: &DistanceMatrix,
+        config: &TdmConfig,
+        devices: &[DeviceId],
+        activity: &ActivityProfile,
+    ) -> Vec<TdmGroup> {
+        assert_eq!(
+            xtalk.len(),
+            chip.num_qubits(),
+            "crosstalk matrix size mismatch"
+        );
+        let mut indexed: Vec<(DeviceId, f64)> = devices
+            .iter()
+            .map(|&d| (d, parallelism_index(chip, d)))
+            .collect();
+        indexed.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let low: Vec<(DeviceId, f64)> = indexed
+            .iter()
+            .copied()
+            .filter(|&(_, i)| i < config.theta)
+            .collect();
+        let high: Vec<(DeviceId, f64)> = indexed
+            .iter()
+            .copied()
+            .filter(|&(_, i)| i >= config.theta)
+            .collect();
+
+        let low_level = if config.allow_one_to_eight {
+            DemuxLevel::OneToEight
+        } else {
+            DemuxLevel::OneToFour
+        };
+        let mut groups = Vec::new();
+        for (level, pool) in [(low_level, low), (DemuxLevel::OneToTwo, high)] {
+            groups.extend(group_level(chip, xtalk, level, pool, activity, config));
+        }
+        groups
+    }
+
+    /// Greedy graph-coloring of one parallelism level (§4.3 steps 1–3),
+    /// naive form. Activity costs go through the shared saturating-`u16`
+    /// [`extra_windows_masked`](super::extra_windows_masked) accessor —
+    /// the local `[u8; 32]` slot counters this loop once carried could
+    /// overflow on oversized synthetic device sets (the bug class fixed
+    /// in `extra_windows` earlier).
+    fn group_level(
+        chip: &Chip,
+        xtalk: &DistanceMatrix,
+        level: DemuxLevel,
+        mut pool: Vec<(DeviceId, f64)>,
+        activity: &ActivityProfile,
+        config: &TdmConfig,
+    ) -> Vec<TdmGroup> {
+        let capacity = level.channel_capacity();
+        let mask_of = |d: DeviceId| activity.get(&d).copied().unwrap_or(0);
+        let mut groups = Vec::new();
+        while !pool.is_empty() {
+            // Step 1: seed with the lowest parallelism index.
+            let (seed, seed_idx) = pool.remove(0);
+            let mut members = vec![seed];
+            let mut member_idx = vec![seed_idx];
+            while members.len() < capacity {
+                // Steps 2–3: among legal candidates sharing the fewest
+                // busy slots, prefer fully topologically non-parallel
+                // ones, then the noisiest, then the closest parallelism
+                // index (balancing).
+                let mut best: Option<(usize, (f64, f64, f64, f64))> = None;
+                for (i, &(cand, cand_idx)) in pool.iter().enumerate() {
+                    if !members.iter().all(|&m| legal_pair(chip, m, cand)) {
+                        continue;
+                    }
+                    let shared = extra_windows_masked(
+                        members.iter().copied().chain(std::iter::once(cand)),
+                        mask_of,
+                    );
+                    if shared > config.max_shared_slots {
+                        continue;
+                    }
+                    let topo = members
+                        .iter()
+                        .map(|&m| topo_nonparallel_fraction(chip, m, cand))
+                        .fold(f64::INFINITY, f64::min);
+                    let noise = members
+                        .iter()
+                        .map(|&m| noisy_score(chip, xtalk, m, cand))
+                        .fold(0.0, f64::max);
+                    let balance = member_idx
+                        .iter()
+                        .map(|&mi: &f64| (mi - cand_idx).abs())
+                        .fold(0.0, f64::max);
+                    // Fewer shared slots, higher topo, higher noise,
+                    // lower imbalance is better.
+                    let key = (-(shared as f64), topo, noise, -balance);
+                    if best.is_none_or(|(_, bk)| key > bk) {
+                        best = Some((i, key));
+                    }
+                }
+                match best {
+                    Some((i, _)) => {
+                        let (d, di) = pool.remove(i);
+                        members.push(d);
+                        member_idx.push(di);
+                    }
+                    None => break,
+                }
+            }
+            groups.push(TdmGroup::new(level, members));
+        }
+        groups
+    }
 }
 
 #[cfg(test)]
@@ -691,6 +900,41 @@ mod tests {
     }
 
     #[test]
+    fn grouping_survives_oversized_synthetic_device_sets() {
+        // Regression for the `[u8; 32]` slot counters `group_level`
+        // carried: on a synthetic chip with >255 disconnected qubits all
+        // busy in the same slot, a permissive budget admits many of them
+        // into the candidate loop, where the old per-group `*count += 1`
+        // bookkeeping belonged to the overflow bug class fixed in
+        // `extra_windows_masked`. Both paths must group cleanly (and
+        // identically) — the budget caps what one group may absorb.
+        use youtiao_chip::{ChipBuilder, Position, TopologyKind};
+        let mut b = ChipBuilder::new("oversized", TopologyKind::Custom);
+        for i in 0..300 {
+            b = b.qubit(Position::new(f64::from(i), 0.0));
+        }
+        let chip = b.build().unwrap();
+        let x = DistanceMatrix::zeros(chip.num_qubits());
+        let mut activity = ActivityProfile::new();
+        for q in chip.qubit_ids() {
+            activity.insert(DeviceId::Qubit(q), 0b1);
+        }
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let config = TdmConfig {
+            max_shared_slots: 1000,
+            ..Default::default()
+        };
+        let fast = group_tdm_with_activity(&chip, &x, &config, &devices, &activity);
+        let slow = naive::group_tdm_with_activity_naive(&chip, &x, &config, &devices, &activity);
+        assert_eq!(fast, slow);
+        let total: usize = fast.iter().map(TdmGroup::len).sum();
+        assert_eq!(total, 300);
+        for g in &fast {
+            assert!(group_extra_windows(g.devices(), &activity) <= config.max_shared_slots);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn oversized_group_panics() {
         let _ = TdmGroup::new(
@@ -701,5 +945,102 @@ mod tests {
                 DeviceId::Qubit(2u32.into()),
             ],
         );
+    }
+
+    mod differential {
+        use super::*;
+        use rand::{Rng, SeedableRng};
+        use rand_chacha::ChaCha8Rng;
+
+        /// A deterministic pseudo-random chip drawn from the topology
+        /// generators the planner actually sees.
+        pub(crate) fn random_chip(rng: &mut ChaCha8Rng) -> Chip {
+            match rng.gen_range(0u32..6) {
+                0 => topology::square_grid(rng.gen_range(2usize..5), rng.gen_range(2usize..5)),
+                1 => topology::heavy_square(rng.gen_range(2usize..4), rng.gen_range(2usize..4)),
+                2 => topology::hexagon_patch(rng.gen_range(1usize..3), rng.gen_range(1usize..3)),
+                3 => topology::linear(rng.gen_range(2usize..12)),
+                4 => topology::ring(rng.gen_range(3usize..12)),
+                _ => topology::low_density(rng.gen_range(2usize..4), rng.gen_range(2usize..5)),
+            }
+        }
+
+        /// A random activity profile over a random subset of devices.
+        pub(crate) fn random_activity(rng: &mut ChaCha8Rng, chip: &Chip) -> ActivityProfile {
+            let mut profile = ActivityProfile::new();
+            for d in chip.device_ids() {
+                if rng.gen_range(0u32..4) == 0 {
+                    continue; // leave some devices unconstrained
+                }
+                let bits = rng.gen_range(0u32..4);
+                let mut mask = 0u32;
+                for _ in 0..bits {
+                    mask |= 1 << rng.gen_range(0u32..8);
+                }
+                profile.insert(d, mask);
+            }
+            profile
+        }
+
+        pub(crate) fn random_config(rng: &mut ChaCha8Rng) -> TdmConfig {
+            let theta = match rng.gen_range(0u32..5) {
+                0 => 0.0,
+                1 => 2.0,
+                2 => 4.0,
+                3 => 6.0,
+                _ => f64::INFINITY,
+            };
+            TdmConfig {
+                theta,
+                max_shared_slots: [0u32, 1, 2, 5][rng.gen_range(0usize..4)],
+                allow_one_to_eight: rng.gen_range(0u32..4) == 0,
+            }
+        }
+
+        /// The acceptance criterion's differential gate: the kernelized
+        /// grouping is byte-identical to the naive reference across
+        /// random chips, θ values, activity profiles and budgets.
+        #[test]
+        fn kernelized_grouping_matches_naive() {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x7d7_1a0);
+            for case in 0..60 {
+                let chip = random_chip(&mut rng);
+                let xtalk = flat_xtalk(&chip);
+                let config = random_config(&mut rng);
+                let activity = random_activity(&mut rng, &chip);
+                let devices: Vec<DeviceId> = chip.device_ids().collect();
+                let fast = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+                let slow = naive::group_tdm_with_activity_naive(
+                    &chip, &xtalk, &config, &devices, &activity,
+                );
+                assert_eq!(
+                    fast,
+                    slow,
+                    "case {case}: chip {} config {config:?}",
+                    chip.name()
+                );
+            }
+        }
+
+        /// Subsets (the per-region path) and the empty activity profile
+        /// agree too.
+        #[test]
+        fn kernelized_subset_grouping_matches_naive() {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xca11);
+            for _ in 0..30 {
+                let chip = random_chip(&mut rng);
+                let xtalk = flat_xtalk(&chip);
+                let config = random_config(&mut rng);
+                let devices: Vec<DeviceId> = chip
+                    .device_ids()
+                    .filter(|_| rng.gen_range(0u32..3) != 0)
+                    .collect();
+                let empty = ActivityProfile::new();
+                let fast = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &empty);
+                let slow =
+                    naive::group_tdm_with_activity_naive(&chip, &xtalk, &config, &devices, &empty);
+                assert_eq!(fast, slow);
+            }
+        }
     }
 }

@@ -4,12 +4,16 @@
 use proptest::prelude::*;
 use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
 use youtiao_chip::topology;
-use youtiao_chip::QubitId;
+use youtiao_chip::{DeviceId, QubitId};
 use youtiao_core::fdm::group_fdm;
 use youtiao_core::freq::{allocate_frequencies, FreqConfig};
 use youtiao_core::partition::{partition_chip, PartitionConfig};
 use youtiao_core::plan::crosstalk_matrix;
-use youtiao_core::tdm::{group_tdm, legal_pair, TdmConfig};
+use youtiao_core::refine::{naive::refine_tdm_groups_naive, refine_tdm_groups, RefineConfig};
+use youtiao_core::tdm::{
+    group_tdm, group_tdm_with_activity, legal_pair, naive::group_tdm_with_activity_naive,
+    ActivityProfile, TdmConfig,
+};
 use youtiao_core::YoutiaoPlanner;
 
 proptest! {
@@ -91,6 +95,58 @@ proptest! {
         for q in chip.qubit_ids() {
             prop_assert!(p.regions()[p.region_of(q)].contains(&q));
         }
+    }
+
+    /// The kernelized TDM grouping is byte-identical to the retained
+    /// naive reference for any grid, threshold, activity profile and
+    /// shared-slot budget.
+    #[test]
+    fn kernelized_grouping_equals_naive(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        theta in 0.0f64..10.0,
+        budget in 0u32..6,
+        slots in proptest::collection::vec(0u32..256, 0..64),
+    ) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let config = TdmConfig { theta, max_shared_slots: budget, ..Default::default() };
+        let mut activity = ActivityProfile::new();
+        for (d, mask) in chip.device_ids().zip(slots.iter().copied()) {
+            activity.insert(d, mask);
+        }
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let fast = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+        let slow = group_tdm_with_activity_naive(&chip, &xtalk, &config, &devices, &activity);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The kernelized refinement is byte-identical to the retained
+    /// naive reference for any grid, budget, activity profile and pass
+    /// count, starting from the (shared) greedy grouping.
+    #[test]
+    fn kernelized_refine_equals_naive(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        budget in 0u32..6,
+        passes in 0usize..4,
+        slots in proptest::collection::vec(0u32..256, 0..64),
+    ) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let config = TdmConfig { max_shared_slots: budget, ..Default::default() };
+        let mut activity = ActivityProfile::new();
+        for (d, mask) in chip.device_ids().zip(slots.iter().copied()) {
+            activity.insert(d, mask);
+        }
+        let devices: Vec<DeviceId> = chip.device_ids().collect();
+        let groups = group_tdm_with_activity(&chip, &xtalk, &config, &devices, &activity);
+        let refine = RefineConfig { passes };
+        let fast = refine_tdm_groups(&chip, &xtalk, &activity, &config, groups.clone(), &refine);
+        let slow = refine_tdm_groups_naive(&chip, &xtalk, &activity, &config, groups, &refine);
+        prop_assert_eq!(fast, slow);
     }
 
     /// The full planner succeeds on any grid and always reduces coax

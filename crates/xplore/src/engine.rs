@@ -34,7 +34,7 @@ use youtiao_chip::{Chip, ChipSpec, QubitId};
 use youtiao_core::fdm::FdmLine;
 use youtiao_core::freq::{allocate_frequencies, FreqConfig};
 use youtiao_core::tdm::DemuxLevel;
-use youtiao_core::{PartitionConfig, PlanContext, PlannerConfig, YoutiaoPlanner};
+use youtiao_core::{PairKernels, PartitionConfig, PlanContext, PlannerConfig, YoutiaoPlanner};
 use youtiao_cost::WiringTally;
 use youtiao_noise::CrosstalkModel;
 use youtiao_serve::cache::content_key;
@@ -156,6 +156,11 @@ pub struct SweepSummary {
     /// Shared planning contexts built (one per chip × characterization
     /// seed — the probe for "matrices built once, not per point").
     pub contexts_built: usize,
+    /// Pairwise grouping kernels built during the run (process-global
+    /// probe delta). In a dedicated sweep process this equals
+    /// `contexts_built`: every point reuses its context's kernels
+    /// instead of rebuilding the pairwise tables per plan.
+    pub kernels_built: usize,
     /// Plan-cache hits during this run.
     pub cache_hits: u64,
     /// Plan-cache misses during this run.
@@ -181,8 +186,8 @@ impl SweepSummary {
             self.points, self.ok, self.errors, self.threads, self.elapsed_ms
         ));
         s.push_str(&format!(
-            "contexts built: {}; cache: {} hits / {} misses\n",
-            self.contexts_built, self.cache_hits, self.cache_misses
+            "contexts built: {} ({} kernel builds); cache: {} hits / {} misses\n",
+            self.contexts_built, self.kernels_built, self.cache_hits, self.cache_misses
         ));
         if self.objectives.is_empty() {
             s.push_str("pareto front: no usable objectives\n");
@@ -293,8 +298,9 @@ pub fn run_sweep_with_cache<W: Write>(
     }
 
     // Phase 1 (serial): one shared context per (chip, characterization
-    // seed) — the whole point of the exercise. Matrices and model fits
-    // happen here, once, not inside the per-point loop.
+    // seed) — the whole point of the exercise. Matrices, model fits and
+    // grouping kernels happen here, once, not inside the per-point loop.
+    let kernels_before = PairKernels::build_count();
     let mut chips = Vec::with_capacity(grid.chips.len());
     for (index, request) in grid.chips.iter().enumerate() {
         let chip = request.build().map_err(|e| {
@@ -412,6 +418,8 @@ pub fn run_sweep_with_cache<W: Write>(
         errors: records.len() - ok,
         threads,
         contexts_built,
+        kernels_built: usize::try_from(PairKernels::build_count() - kernels_before)
+            .unwrap_or(usize::MAX),
         cache_hits: cache_delta.hits,
         cache_misses: cache_delta.misses,
         objectives: effective.iter().map(Objective::to_string).collect(),

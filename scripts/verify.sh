@@ -85,8 +85,36 @@ assert summary["points"] == len(records)
 assert summary["errors"] == 0
 assert summary["pareto"], "Pareto front is empty"
 assert summary["contexts_built"] == 2, summary["contexts_built"]
+# One PairKernels build per shared PlanContext: the sweep engine must
+# reuse kernels across grid points, never rebuild them per plan.
+assert summary["kernels_built"] == 2, summary["kernels_built"]
 print(f"  sweep smoke OK: {len(records)} records, "
       f"{len(summary['pareto'])} Pareto points, deterministic across threads")
+PY
+
+echo "==> smoke: youtiao bench-plan (tiny sizes, schema + kernels-built-once probe)"
+cargo run -q --release --offline --bin youtiao -- bench-plan \
+  --sizes 4,5 --iters 2 --out "$smoke_dir/bench.json" 2> /dev/null
+python3 - "$smoke_dir/bench.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema"] == "youtiao-bench-plan/v1", report["schema"]
+assert report["sizes"], "bench report has no sizes"
+assert report["kernels_built"] > 0
+for size in report["sizes"]:
+    for key in ("label", "qubits", "devices", "iterations", "stages",
+                "kernel_builds_during_plans", "speedup_grouping",
+                "speedup_refine", "speedup_grouping_refine"):
+        assert key in size, f"{size.get('label')}: missing `{key}`"
+    # Context-backed plans must hit the prebuilt kernels, not rebuild.
+    assert size["kernel_builds_during_plans"] == 0, size["label"]
+    for stage, stats in size["stages"].items():
+        for q in ("median_us", "p10_us", "p90_us"):
+            assert stats[q] >= 0, f"{size['label']}/{stage}: bad {q}"
+        assert stats["p10_us"] <= stats["p90_us"], f"{size['label']}/{stage}"
+labels = [s["label"] for s in report["sizes"]]
+print(f"  bench smoke OK: {labels}, kernels built once per context")
 PY
 
 if [[ "${1:-}" == "--smoke-only" ]]; then

@@ -9,12 +9,14 @@
 //! youtiao export-chip --topology surface --distance 5 --out chip.json
 //! youtiao batch --in jobs.jsonl --out results.jsonl --jobs 8 --deadline-ms 5000
 //! youtiao sweep --spec sweep.json --out records.jsonl --threads 8 --pareto cost,fidelity
+//! youtiao bench-plan --sizes 6,8,10,12,16 --iters 9 --out BENCH_plan.json
 //! ```
 
 use std::collections::HashMap;
 use std::io::Read;
 use std::process::ExitCode;
 
+use youtiao::bench::perf::PerfConfig;
 use youtiao::chip::spec::ChipSpec;
 use youtiao::chip::surface::SurfaceCode;
 use youtiao::chip::{topology, Chip};
@@ -58,6 +60,12 @@ usage:
                   byte-identical for any --threads (0 = one per core); the Pareto
                   front and per-axis marginals go to stderr, or as JSON with
                   --summary-json; --timings adds per-point latency/stage wall times)
+  youtiao bench-plan [--sizes N,N,...] [--iters N] [--out FILE.json] [--json]
+                 (times the planner's kernelized vs naive grouping/refine hot
+                  loops across square-grid chip sizes, default 6,8,10,12,16 at 9
+                  iterations; writes the BENCH_plan.json perf trajectory to
+                  --out; a summary table goes to stderr, or the full report to
+                  stdout with --json)
 
 chip args (one of):
   --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring
@@ -173,6 +181,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "batch" => run_batch_command(&flags),
         "sweep" => run_sweep_command(&flags),
+        "bench-plan" => run_bench_plan_command(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -312,6 +321,48 @@ fn run_sweep_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
         eprintln!("{json}");
     } else {
         eprint!("{}", outcome.summary.render());
+    }
+    Ok(())
+}
+
+/// The `bench-plan` subcommand: run the planner micro-benchmark harness
+/// and write the `BENCH_plan.json` perf trajectory.
+fn run_bench_plan_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let mut config = PerfConfig::default();
+    match flags.get("sizes") {
+        None => {}
+        Some(Some(list)) => {
+            config.sizes = list
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 2)
+                        .ok_or_else(|| format!("--sizes: `{s}` is not a grid side >= 2"))
+                })
+                .collect::<Result<_, _>>()?;
+            if config.sizes.is_empty() {
+                return Err("--sizes expects a comma-separated list".into());
+            }
+        }
+        Some(None) => return Err("--sizes expects a comma-separated list (e.g. 6,8,12)".into()),
+    }
+    config.iterations = get_usize(flags, "iters", config.iterations)?;
+    if config.iterations == 0 {
+        return Err("--iters must be positive".into());
+    }
+
+    let report = youtiao::bench::perf::run(&config);
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(Some(path)) = flags.get("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{json}");
+    } else {
+        eprint!("{}", report.render());
     }
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | [`core`] | `youtiao-core` | FDM/TDM grouping, frequency allocation, partitioning |
 //! | [`serve`] | `youtiao-serve` | batch design service: worker pool, plan cache, deadlines/retries |
 //! | [`xplore`] | `youtiao-xplore` | parallel design-space sweeps, shared planning contexts, Pareto fronts |
+//! | [`bench`] | `youtiao-bench` | experiment harnesses, incl. the `bench-plan` perf trajectory |
 //! | [`flow`] | (this crate) | one-call characterize → plan → route → cost pipeline |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@
 pub mod flow;
 pub mod serve;
 
+pub use youtiao_bench as bench;
 pub use youtiao_chip as chip;
 pub use youtiao_circuit as circuit;
 pub use youtiao_core as core;
