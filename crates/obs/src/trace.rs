@@ -214,6 +214,30 @@ impl Tracer {
         }
     }
 
+    /// Records an instantaneous zero-width event span with a `detail`
+    /// annotation under the currently open span — point-in-time markers
+    /// such as injected faults, which have no duration of their own but
+    /// belong at a precise place in the span tree.
+    pub fn event(&self, name: &'static str, detail: impl Into<String>) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock().expect("tracer lock");
+            let index = inner.nodes.len();
+            let mut annotations = Map::new();
+            annotations.insert("detail".into(), detail.into().to_value());
+            inner.nodes.push(Node {
+                name,
+                started: Instant::now(),
+                ms: Some(0.0),
+                annotations,
+                children: Vec::new(),
+            });
+            match inner.stack.last().copied() {
+                Some(parent) => inner.nodes[parent].children.push(index),
+                None => inner.roots.push(index),
+            }
+        }
+    }
+
     /// Records a root-level key/value annotation.
     pub fn annotate(&self, key: impl Into<String>, value: impl serde::Serialize) {
         if let Some(inner) = &self.inner {
@@ -428,6 +452,27 @@ mod tests {
 
         // A disabled tracer ignores record() too.
         Tracer::disabled().record("x", std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn event_records_a_zero_width_annotated_marker() {
+        let tracer = Tracer::new("ev");
+        {
+            let _attempt = tracer.span("attempt");
+            tracer.event("fault", "injected transient error (attempt 0)");
+        }
+        let trace = tracer.finish();
+        let fault = trace.find("fault").unwrap();
+        assert_eq!(fault.ms, 0.0);
+        assert_eq!(
+            fault.annotations["detail"],
+            "injected transient error (attempt 0)"
+        );
+        // Nested under the open span, not at the root.
+        assert_eq!(trace.spans[0].spans[0].name, "fault");
+
+        // A disabled tracer ignores events.
+        Tracer::disabled().event("fault", "x");
     }
 
     #[test]

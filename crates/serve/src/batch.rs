@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::PlanCache;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::job::{ErrorKind, ErrorRecord, JobRecord};
 use crate::metrics::ServeMetrics;
 use crate::pool::{Executor, PoolOptions, WorkerPool};
@@ -46,6 +47,16 @@ pub struct BatchOptions {
     /// finished plan violates one (`ErrorKind::Validation`). Honored by
     /// executors that consult it — the facade's design executor does.
     pub validate: bool,
+    /// Seeded fault schedule to inject around the executor (chaos
+    /// runs); also drives the plan's `abort_after` batch fault.
+    pub faults: Option<FaultPlan>,
+    /// Emit canonical records (latency zeroed, traces stripped) so two
+    /// equal-seed chaos runs are byte-identical after an index sort.
+    /// Metrics still aggregate the real latencies.
+    pub canonical: bool,
+    /// Start from an empty cache instead of failing the batch when the
+    /// persisted cache file is torn or corrupted.
+    pub cache_salvage: bool,
 }
 
 impl Default for BatchOptions {
@@ -58,6 +69,9 @@ impl Default for BatchOptions {
             cache_path: None,
             trace_json: None,
             validate: false,
+            faults: None,
+            canonical: false,
+            cache_salvage: false,
         }
     }
 }
@@ -143,6 +157,13 @@ where
 {
     let start = Instant::now();
     let stats_before = cache.stats();
+    // Chaos runs interpose the fault schedule between pool and real
+    // executor; the pool itself is unaware faults are being injected.
+    let injector = options.faults.clone().map(FaultInjector::new);
+    let executor = match &injector {
+        Some(injector) => injector.wrap(executor),
+        None => executor,
+    };
     let mut pool = WorkerPool::new(
         executor,
         PoolOptions {
@@ -159,8 +180,14 @@ where
     let mut dispatched = 0usize;
 
     let emit = |record: JobRecord<R>, out: &mut W| -> Result<JobRecord<R>, BatchError> {
-        let line = serde_json::to_string(&record)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // Canonical mode writes the noise-free view but keeps the full
+        // record, so metrics still see real latencies and traces.
+        let line = if options.canonical {
+            serde_json::to_string(&record.clone().canonical())
+        } else {
+            serde_json::to_string(&record)
+        }
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         writeln!(out, "{line}")?;
         Ok(record)
     };
@@ -197,7 +224,8 @@ where
         }
     }
 
-    for _ in 0..dispatched {
+    let abort_after = options.faults.as_ref().and_then(|plan| plan.abort_after);
+    for received in 0..dispatched {
         let record = pool
             .results()
             .recv()
@@ -206,6 +234,11 @@ where
             cache.insert(key, result.clone());
         }
         records.push(emit(record, out)?);
+        // The batch-level abort fault: kill the pool mid-run. Remaining
+        // jobs still complete — as `Cancelled` records.
+        if abort_after == Some(received + 1) {
+            pool.abort();
+        }
     }
     pool.join();
     out.flush()?;
@@ -214,11 +247,15 @@ where
         std::fs::write(path, render_trace_file(&records))?;
     }
 
-    Ok(ServeMetrics::from_records(
+    let metrics = ServeMetrics::from_records(
         &records,
         start.elapsed(),
         Some(cache.stats().since(&stats_before)),
-    ))
+    );
+    Ok(match &injector {
+        Some(injector) => metrics.with_faults(injector.counters()),
+        None => metrics,
+    })
 }
 
 /// The `--trace-json` file body: `{"jobs":[<trace>...]}`, in record
@@ -254,13 +291,19 @@ where
     let cache = match &options.cache_path {
         Some(path) if path.exists() => {
             let text = std::fs::read_to_string(path)?;
-            PlanCache::from_json(&text, options.cache_capacity).map_err(BatchError::Cache)?
+            match PlanCache::from_json(&text, options.cache_capacity) {
+                Ok(cache) => cache,
+                // A torn snapshot is a cold start, not a dead service —
+                // chaos runs opt in, everyone else still fails loudly.
+                Err(_) if options.cache_salvage => PlanCache::new(options.cache_capacity),
+                Err(e) => return Err(BatchError::Cache(e.to_string())),
+            }
         }
         _ => PlanCache::new(options.cache_capacity),
     };
     let metrics = run_batch_with_cache(requests, executor, options, &cache, out)?;
     if let Some(path) = &options.cache_path {
-        std::fs::write(path, cache.to_json())?;
+        cache.save_atomic(path)?;
     }
     Ok(metrics)
 }
@@ -417,6 +460,101 @@ mod tests {
         }
         // And the metrics aggregate the spans per stage.
         assert!(metrics.stages.iter().any(|s| s.name == "build"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chaos_faults_are_injected_and_records_canonicalized() {
+        let reqs = requests(6);
+        let options = BatchOptions {
+            faults: Some(crate::fault::FaultPlan {
+                transient_rate: Some(1.0),
+                ..Default::default()
+            }),
+            canonical: true,
+            max_retries: 2,
+            ..Default::default()
+        };
+        let cache = PlanCache::new(64);
+        let mut out = Vec::new();
+        let metrics =
+            run_batch_with_cache(&reqs, counting_executor(), &options, &cache, &mut out).unwrap();
+        // Every attempt of every job faulted transiently: all jobs
+        // exhaust their retries and fail as injected Internal errors.
+        assert_eq!(metrics.errors, 6);
+        assert_eq!(metrics.retries, 12);
+        assert_eq!(metrics.faults.transient, 18, "3 attempts x 6 jobs");
+        for line in std::str::from_utf8(&out).unwrap().lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["latency_ms"], 0.0, "canonical records zero latency");
+            assert_eq!(v["error"]["kind"], "Internal");
+            assert!(v["error"]["message"]
+                .as_str()
+                .unwrap()
+                .contains("injected transient fault"));
+        }
+    }
+
+    #[test]
+    fn abort_after_fault_cancels_the_tail_without_losing_records() {
+        let slow: Executor<DesignRequest, u64> = Arc::new(|_, ctx| {
+            let start = std::time::Instant::now();
+            while start.elapsed() < Duration::from_millis(30) {
+                ctx.cancel
+                    .checkpoint()
+                    .map_err(|_| ExecError::cancelled())?;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(1)
+        });
+        let options = BatchOptions {
+            jobs: 1,
+            faults: Some(crate::fault::FaultPlan {
+                abort_after: Some(1),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let cache = PlanCache::new(64);
+        let mut out = Vec::new();
+        let metrics = run_batch_with_cache(&requests(4), slow, &options, &cache, &mut out).unwrap();
+        assert_eq!(metrics.jobs, 4, "aborted jobs still yield records");
+        assert_eq!(metrics.ok, 1);
+        assert_eq!(metrics.cancelled, 3);
+    }
+
+    #[test]
+    fn torn_cache_file_fails_loudly_or_salvages_when_opted_in() {
+        let path = std::env::temp_dir().join(format!(
+            "youtiao-serve-test-{}.torn-cache.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let options = BatchOptions {
+            cache_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let reqs = requests(3);
+        let mut out = Vec::new();
+        run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
+        crate::fault::apply_cache_fault(&path, crate::fault::CacheFault::Truncate).unwrap();
+
+        // Default: the torn file aborts the batch with a cache error.
+        let mut out = Vec::new();
+        let err = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap_err();
+        assert!(matches!(err, BatchError::Cache(_)), "{err}");
+
+        // Salvage: cold start, run fine, and rewrite a valid snapshot.
+        let salvage = BatchOptions {
+            cache_salvage: true,
+            ..options.clone()
+        };
+        let mut out = Vec::new();
+        let cold = run_batch(&reqs, counting_executor(), &salvage, &mut out).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let mut out = Vec::new();
+        let warm = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
+        assert_eq!(warm.cache_hits, 3, "salvage run re-persisted a valid file");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -14,9 +14,76 @@
 //! batch` process over the same JSONL file answer every job from cache.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Mutex;
 
 use serde::{Deserialize, Map, Serialize, Value};
+
+/// Schema tag of the persisted snapshot envelope.
+pub const CACHE_SCHEMA: &str = "youtiao-plan-cache/v1";
+
+/// Why a persisted cache snapshot was rejected. Structured so callers
+/// (and the chaos harness's torn-file tests) can distinguish a file
+/// that never was JSON from one that tore mid-write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLoadError {
+    /// The file is not valid JSON — the usual signature of a write that
+    /// died midway or of byte-level corruption.
+    Parse(String),
+    /// The file parses but is not a JSON object.
+    NotAnObject,
+    /// The envelope's `schema` tag is missing pieces or names a version
+    /// this build does not read.
+    BadSchema(String),
+    /// The envelope parses but holds fewer entries than its `count`
+    /// header claims — a torn write that still happens to parse.
+    Truncated {
+        /// Entry count the header promised.
+        expected: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+    /// An entry key is not a 64-bit hexadecimal content key.
+    BadKey {
+        /// The offending key text.
+        key: String,
+        /// Parser detail.
+        detail: String,
+    },
+    /// An entry value does not deserialize as the cached result type.
+    BadEntry {
+        /// The entry's content key.
+        key: String,
+        /// Deserializer detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CacheLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheLoadError::Parse(detail) => {
+                write!(f, "cache file does not parse as JSON: {detail}")
+            }
+            CacheLoadError::NotAnObject => f.write_str("cache file is not a JSON object"),
+            CacheLoadError::BadSchema(detail) => {
+                write!(f, "cache file schema mismatch: {detail}")
+            }
+            CacheLoadError::Truncated { expected, found } => write!(
+                f,
+                "cache file is torn: header promises {expected} entries, found {found}"
+            ),
+            CacheLoadError::BadKey { key, detail } => {
+                write!(f, "bad cache key `{key}`: {detail}")
+            }
+            CacheLoadError::BadEntry { key, detail } => {
+                write!(f, "cache entry {key}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheLoadError {}
 
 /// Computes the stable content key of any serializable value: FNV-1a
 /// over its compact canonical JSON.
@@ -202,33 +269,76 @@ impl<R> PlanCache<R> {
         }
     }
 
-    /// Serializes the resident entries as one JSON object keyed by the
-    /// hexadecimal content key (counters are not persisted).
+    /// Serializes the resident entries as a versioned snapshot envelope
+    /// — `{"schema": ..., "count": N, "entries": {<hex key>: ...}}` —
+    /// whose `count` header lets [`Self::from_json`] detect a torn file
+    /// that still parses (counters are not persisted).
     pub fn to_json(&self) -> String
     where
         R: Serialize,
     {
         let inner = self.inner.lock().expect("cache lock");
-        let mut map = Map::new();
+        let mut entries = Map::new();
         for (key, entry) in &inner.map {
-            map.insert(format!("{key:016x}"), entry.value.to_value());
+            entries.insert(format!("{key:016x}"), entry.value.to_value());
         }
+        let mut map = Map::new();
+        map.insert("schema".into(), Value::String(CACHE_SCHEMA.into()));
+        map.insert("count".into(), (entries.len() as u64).to_value());
+        map.insert("entries".into(), Value::Object(entries));
         Value::Object(map).to_json()
     }
 
-    /// Rebuilds a cache from [`Self::to_json`] output. Entries beyond
-    /// `capacity` are dropped oldest-key-first (persisted caches carry
-    /// no recency order).
-    pub fn from_json(text: &str, capacity: usize) -> Result<Self, String>
+    /// Rebuilds a cache from [`Self::to_json`] output, rejecting torn
+    /// or corrupted snapshots with a structured [`CacheLoadError`]
+    /// instead of partially loading. Bare objects without the envelope
+    /// (pre-v1 snapshots) still load. Entries beyond `capacity` are
+    /// dropped oldest-key-first (persisted caches carry no recency
+    /// order).
+    pub fn from_json(text: &str, capacity: usize) -> Result<Self, CacheLoadError>
     where
         R: Deserialize,
     {
-        let value: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
-        let object = value.as_object().ok_or("cache file is not a JSON object")?;
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| CacheLoadError::Parse(e.to_string()))?;
+        let object = value.as_object().ok_or(CacheLoadError::NotAnObject)?;
+        let entries = match object.get("schema") {
+            Some(schema) => {
+                match schema.as_str() {
+                    Some(CACHE_SCHEMA) => {}
+                    Some(other) => return Err(CacheLoadError::BadSchema(other.to_string())),
+                    None => return Err(CacheLoadError::BadSchema(schema.to_json())),
+                }
+                let entries = object
+                    .get("entries")
+                    .and_then(Value::as_object)
+                    .ok_or_else(|| CacheLoadError::BadSchema("missing `entries` object".into()))?;
+                let expected = object
+                    .get("count")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| CacheLoadError::BadSchema("missing `count` header".into()))?
+                    as usize;
+                if expected != entries.len() {
+                    return Err(CacheLoadError::Truncated {
+                        expected,
+                        found: entries.len(),
+                    });
+                }
+                entries
+            }
+            // Legacy snapshot: the whole object is the entry map.
+            None => object,
+        };
         let cache = PlanCache::new(capacity);
-        for (hex, entry) in object {
-            let key = u64::from_str_radix(hex, 16).map_err(|e| format!("bad cache key: {e}"))?;
-            let value = R::from_value(entry).map_err(|e| format!("cache entry {hex}: {e}"))?;
+        for (hex, entry) in entries {
+            let key = u64::from_str_radix(hex, 16).map_err(|e| CacheLoadError::BadKey {
+                key: hex.clone(),
+                detail: e.to_string(),
+            })?;
+            let value = R::from_value(entry).map_err(|e| CacheLoadError::BadEntry {
+                key: hex.clone(),
+                detail: e.to_string(),
+            })?;
             cache.insert(key, value);
         }
         // Loading must not count toward runtime stats.
@@ -238,6 +348,30 @@ impl<R> PlanCache<R> {
         inner.evictions = 0;
         drop(inner);
         Ok(cache)
+    }
+
+    /// Crash-safe persistence: writes the snapshot to a temp file next
+    /// to `path` and renames it into place, so a crash mid-write leaves
+    /// either the old snapshot or the new one on disk — never a torn
+    /// file. (The rename is atomic only within one filesystem, which
+    /// the same-directory temp guarantees.)
+    pub fn save_atomic(&self, path: &Path) -> std::io::Result<()>
+    where
+        R: Serialize,
+    {
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "cache".into());
+        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json())?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -282,11 +416,100 @@ mod tests {
         cache.insert(7, "seven".into());
         cache.insert(u64::MAX, "max".into());
         let text = cache.to_json();
+        assert!(text.contains(CACHE_SCHEMA));
         let back: PlanCache<String> = PlanCache::from_json(&text, 8).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.get(7), Some("seven".into()));
         assert_eq!(back.get(u64::MAX), Some("max".into()));
-        assert!(PlanCache::<String>::from_json("[]", 8).is_err());
+        assert_eq!(
+            PlanCache::<String>::from_json("[]", 8).err().unwrap(),
+            CacheLoadError::NotAnObject
+        );
+    }
+
+    #[test]
+    fn legacy_bare_object_snapshots_still_load() {
+        let back: PlanCache<String> =
+            PlanCache::from_json(r#"{"0000000000000007":"seven"}"#, 8).unwrap();
+        assert_eq!(back.get(7), Some("seven".into()));
+    }
+
+    #[test]
+    fn torn_and_corrupt_snapshots_are_rejected_structurally() {
+        // Byte-truncated file: not JSON at all.
+        let cache: PlanCache<u32> = PlanCache::new(8);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        let text = cache.to_json();
+        let torn = &text[..text.len() / 2];
+        assert!(matches!(
+            PlanCache::<u32>::from_json(torn, 8).err().unwrap(),
+            CacheLoadError::Parse(_)
+        ));
+
+        // Parses, but the count header contradicts the entries: the
+        // torn-but-valid case only the envelope can catch.
+        let half =
+            r#"{"schema":"youtiao-plan-cache/v1","count":2,"entries":{"0000000000000001":10}}"#;
+        let err = PlanCache::<u32>::from_json(half, 8).err().unwrap();
+        assert_eq!(
+            err,
+            CacheLoadError::Truncated {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(err.to_string().contains("torn"), "{err}");
+
+        // Unknown schema version.
+        let vnext = r#"{"schema":"youtiao-plan-cache/v9","count":0,"entries":{}}"#;
+        assert!(matches!(
+            PlanCache::<u32>::from_json(vnext, 8).err().unwrap(),
+            CacheLoadError::BadSchema(_)
+        ));
+
+        // Bad key and bad entry value.
+        assert!(matches!(
+            PlanCache::<u32>::from_json(r#"{"xyz":1}"#, 8)
+                .err()
+                .unwrap(),
+            CacheLoadError::BadKey { .. }
+        ));
+        assert!(matches!(
+            PlanCache::<u32>::from_json(r#"{"0000000000000001":"nope"}"#, 8)
+                .err()
+                .unwrap(),
+            CacheLoadError::BadEntry { .. }
+        ));
+    }
+
+    #[test]
+    fn save_atomic_replaces_the_snapshot_in_place() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("youtiao-cache-test-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let cache: PlanCache<u32> = PlanCache::new(8);
+        cache.insert(1, 10);
+        cache.save_atomic(&path).unwrap();
+        cache.insert(2, 20);
+        cache.save_atomic(&path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: PlanCache<u32> = PlanCache::from_json(&text, 8).unwrap();
+        assert_eq!(back.len(), 2);
+        // No temp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| {
+                n.contains(&format!("youtiao-cache-test-{}", std::process::id()))
+                    && n.contains(".tmp-")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -90,6 +90,15 @@ impl CancelToken {
         self.inner.cancelled.load(Ordering::SeqCst) || self.deadline_expired()
     }
 
+    /// `true` once [`cancel`](Self::cancel) was called on any clone.
+    /// Unlike [`is_cancelled`](Self::is_cancelled) this ignores the
+    /// deadline, so the pool can tell an explicit abort apart from an
+    /// expiry even when both have happened — the abort wins the
+    /// `cancelled` vs. `timeout` classification.
+    pub fn cancelled_explicitly(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
     /// `true` when the token had a deadline and it has passed (explicit
     /// [`cancel`](Self::cancel) does not set this — the pool uses the
     /// distinction to report `timeout` vs. `cancelled`).
@@ -135,6 +144,20 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::ZERO);
         assert!(t.deadline_expired());
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_is_distinguishable_from_expiry() {
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert!(!expired.cancelled_explicitly());
+        expired.cancel();
+        assert!(expired.cancelled_explicitly());
+        assert!(expired.deadline_expired(), "expiry is not erased by cancel");
+
+        let plain = CancelToken::new();
+        assert!(!plain.cancelled_explicitly());
+        plain.clone().cancel();
+        assert!(plain.cancelled_explicitly());
     }
 
     #[test]

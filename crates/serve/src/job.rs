@@ -188,6 +188,15 @@ impl<R> JobRecord<R> {
     pub fn retries(&self) -> u32 {
         self.attempts.saturating_sub(1)
     }
+
+    /// The record with run-dependent noise removed: latency zeroed and
+    /// the trace dropped. Chaos runs emit canonical records so two
+    /// equal-seed runs compare byte-identical after an index sort.
+    pub fn canonical(mut self) -> Self {
+        self.latency_ms = 0.0;
+        self.trace = None;
+        self
+    }
 }
 
 impl<R: Serialize> Serialize for JobRecord<R> {
@@ -251,6 +260,18 @@ mod tests {
         assert_eq!(v["trace"]["spans"][0]["name"], "plan");
 
         assert_eq!(ErrorKind::Validation.as_str(), "Validation");
+    }
+
+    #[test]
+    fn canonical_strips_latency_and_trace() {
+        let tracer = youtiao_obs::Tracer::new("c");
+        drop(tracer.span("plan"));
+        let record = JobRecord::ok(0, "c".into(), 5u32, 2, 17.3).with_trace(tracer.try_finish());
+        let canonical = record.canonical();
+        assert_eq!(canonical.latency_ms, 0.0);
+        assert!(canonical.trace.is_none());
+        assert_eq!(canonical.result, Some(5));
+        assert_eq!(canonical.attempts, 2, "outcome fields survive");
     }
 
     #[test]

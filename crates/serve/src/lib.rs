@@ -15,6 +15,10 @@
 //! * [`PlanCache`] — a content-addressed LRU memo of finished reports,
 //!   keyed by a stable hash of (chip spec, planner knobs, seed), with
 //!   hit/miss/eviction counters and optional JSON persistence;
+//! * [`FaultPlan`]/[`FaultInjector`] — deterministic, seeded fault
+//!   injection (behind `youtiao chaos`): scheduled errors, panics,
+//!   delays, cancellations and cache corruption wrapped around any
+//!   executor, reproducible from a seed;
 //! * [`run_batch`] — the JSONL front-end behind `youtiao batch`,
 //!   streaming one result line per job and summarizing throughput,
 //!   latency percentiles, and cache behavior in [`ServeMetrics`].
@@ -28,14 +32,18 @@
 pub mod batch;
 pub mod cache;
 pub mod cancel;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod pool;
 pub mod request;
 
 pub use batch::{parse_requests, run_batch, run_batch_with_cache, BatchError, BatchOptions};
-pub use cache::{content_key, CacheStats, PlanCache};
+pub use cache::{content_key, CacheLoadError, CacheStats, PlanCache};
 pub use cancel::{CancelToken, Cancelled};
+pub use fault::{
+    apply_cache_fault, CacheFault, FaultCounters, FaultInjector, FaultKind, FaultPlan,
+};
 pub use job::{ErrorKind, ErrorRecord, ExecError, JobRecord, JobStatus};
 pub use metrics::{ServeMetrics, StageStat};
 pub use pool::{AttemptCtx, Executor, PoolOptions, WorkerPool};

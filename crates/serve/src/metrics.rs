@@ -7,6 +7,7 @@
 use std::time::Duration;
 
 use crate::cache::CacheStats;
+use crate::fault::FaultCounters;
 use crate::job::{ErrorKind, JobRecord, JobStatus};
 
 /// Summary of one batch run.
@@ -47,6 +48,9 @@ pub struct ServeMetrics {
     /// Per-stage latency aggregates over every traced job, sorted by
     /// stage name (empty when the run was untraced).
     pub stages: Vec<StageStat>,
+    /// Faults injected during the run, by kind (all zero outside chaos
+    /// runs).
+    pub faults: FaultCounters,
 }
 
 /// Latency aggregate of one pipeline stage across a batch, built from
@@ -146,7 +150,14 @@ impl ServeMetrics {
             p99_ms: percentile(&latencies, 99.0),
             max_ms: latencies.last().copied().unwrap_or(0.0),
             stages: stage_stats(records),
+            faults: FaultCounters::default(),
         }
+    }
+
+    /// Attaches a chaos run's injected-fault counters.
+    pub fn with_faults(mut self, faults: FaultCounters) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Human-readable multi-line summary (what the CLI prints).
@@ -173,6 +184,17 @@ impl ServeMetrics {
             self.cache_evictions,
             self.cache_hit_rate * 100.0,
         );
+        if self.faults.total() > 0 {
+            out.push_str(&format!(
+                "\nfaults: {} injected ({} transient, {} permanent, {} panics, {} delays, {} cancels)",
+                self.faults.total(),
+                self.faults.transient,
+                self.faults.permanent,
+                self.faults.panics,
+                self.faults.delays,
+                self.faults.cancels,
+            ));
+        }
         for stage in &self.stages {
             out.push_str(&format!(
                 "\nstage {}: {} spans, mean {:.1} ms, max {:.1} ms, total {:.0} ms",
@@ -259,6 +281,22 @@ mod tests {
         let untraced_run = ServeMetrics::from_records(&[ok(0, 1.0)], Duration::from_secs(1), None);
         assert!(untraced_run.stages.is_empty());
         assert!(!untraced_run.render().contains("stage "));
+    }
+
+    #[test]
+    fn fault_counters_render_only_when_nonzero() {
+        let quiet = ServeMetrics::from_records(&[ok(0, 1.0)], Duration::from_secs(1), None);
+        assert_eq!(quiet.faults.total(), 0);
+        assert!(!quiet.render().contains("faults:"));
+
+        let chaotic = quiet.with_faults(FaultCounters {
+            transient: 3,
+            panics: 1,
+            ..Default::default()
+        });
+        let rendered = chaotic.render();
+        assert!(rendered.contains("faults: 4 injected"), "{rendered}");
+        assert!(rendered.contains("3 transient"), "{rendered}");
     }
 
     #[test]

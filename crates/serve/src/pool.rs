@@ -16,7 +16,8 @@
 //!   workers drain every queued task, and returns the not-yet-consumed
 //!   records; [`WorkerPool::abort`] additionally cancels queued and
 //!   in-flight tasks, which then complete as [`ErrorKind::Cancelled`]
-//!   records rather than vanishing.
+//!   records rather than vanishing — even when a job's deadline has
+//!   *also* expired, the explicit abort wins the classification.
 //!
 //! Panics in the executor are caught per job (`catch_unwind`) and
 //! surfaced as [`ErrorKind::Internal`] records: a poisoned job never
@@ -47,6 +48,9 @@ pub type Executor<J, R> = Arc<dyn Fn(&J, &AttemptCtx) -> Result<R, ExecError> + 
 pub struct AttemptCtx {
     /// 0 for the first attempt, 1.. for retries.
     pub attempt: u32,
+    /// The job's batch index, stable across attempts. Deterministic
+    /// per-job behaviour (e.g. seeded fault schedules) keys on it.
+    pub index: usize,
     /// Deadline/abort flag to poll between stages.
     pub cancel: CancelToken,
     /// The job's tracer (disabled unless [`PoolOptions::trace`] is
@@ -55,13 +59,20 @@ pub struct AttemptCtx {
 }
 
 impl AttemptCtx {
-    /// An untraced context (tests and simple executors).
+    /// An untraced context for job index 0 (tests and simple executors).
     pub fn new(attempt: u32, cancel: CancelToken) -> Self {
         AttemptCtx {
             attempt,
+            index: 0,
             cancel,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The same context for a different job index.
+    pub fn with_index(mut self, index: usize) -> Self {
+        self.index = index;
+        self
     }
 }
 
@@ -299,11 +310,21 @@ fn run_task<J, R>(
     }
     let deadline = task.deadline.or(options.deadline);
     let token = CancelToken::with_optional_deadline(deadline);
-    shared
-        .in_flight
-        .lock()
-        .expect("in-flight set")
-        .insert(task.index, token.clone());
+    {
+        // Register the token, then re-check the abort flag while still
+        // holding the lock. `abort()` stores `aborted` before locking
+        // `in_flight`, so the two interleavings are exhaustive: either
+        // the store is visible here (cancel our own token), or the
+        // abort's sweep runs after this insert and finds the token in
+        // the map. Checking `aborted` only before the insert left a
+        // window where an abort cancelled nothing and the job ran to
+        // completion.
+        let mut in_flight = shared.in_flight.lock().expect("in-flight set");
+        in_flight.insert(task.index, token.clone());
+        if shared.aborted.load(Ordering::SeqCst) {
+            token.cancel();
+        }
+    }
 
     let tracer = if options.trace {
         Tracer::new(task.id.clone())
@@ -319,6 +340,7 @@ fn run_task<J, R>(
     let outcome = loop {
         let ctx = AttemptCtx {
             attempt,
+            index: task.index,
             cancel: token.clone(),
             tracer: tracer.clone(),
         };
@@ -356,8 +378,13 @@ fn run_task<J, R>(
         Err(e) => {
             // An executor that stopped at a checkpoint reports Cancelled;
             // whether that was the deadline or an abort is the token's
-            // knowledge, not the pipeline's.
-            let (kind, message) = if e.kind == ErrorKind::Cancelled && token.deadline_expired() {
+            // knowledge, not the pipeline's. An explicit abort takes
+            // precedence: a job that was both aborted and past its
+            // deadline is `Cancelled`, not `Timeout`.
+            let (kind, message) = if e.kind == ErrorKind::Cancelled
+                && token.deadline_expired()
+                && !token.cancelled_explicitly()
+            {
                 let budget = deadline.unwrap_or_default();
                 (
                     ErrorKind::Timeout,
@@ -529,6 +556,86 @@ mod tests {
             .iter()
             .skip(1)
             .all(|r| r.error.as_ref().unwrap().kind == ErrorKind::Cancelled));
+    }
+
+    /// Both orderings of abort vs. deadline expiry: the explicit abort
+    /// wins the classification either way. The expired-deadline case
+    /// reported `Timeout` before the precedence fix.
+    #[test]
+    fn abort_takes_precedence_over_expired_deadline() {
+        let executor: Executor<u32, u32> = Arc::new(|_, ctx| {
+            // Wait out the abort, so the deadline is long expired by
+            // the time the executor stops at its checkpoint.
+            while !ctx.cancel.cancelled_explicitly() {
+                std::thread::yield_now();
+            }
+            Err(ExecError::cancelled())
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        pool.submit(0, "both".into(), 0, Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(20));
+        pool.abort();
+        let records = pool.join();
+        let error = records[0].error.as_ref().unwrap();
+        assert_eq!(
+            error.kind,
+            ErrorKind::Cancelled,
+            "abort must not be reported as a timeout: {error:?}"
+        );
+    }
+
+    #[test]
+    fn abort_before_deadline_expiry_reports_cancelled() {
+        let executor: Executor<u32, u32> = Arc::new(|_, ctx| {
+            while ctx.cancel.checkpoint().is_ok() {
+                std::thread::yield_now();
+            }
+            Err(ExecError::cancelled())
+        });
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        pool.submit(0, "aborted".into(), 0, Some(Duration::from_secs(3600)));
+        std::thread::sleep(Duration::from_millis(10));
+        pool.abort();
+        let records = pool.join();
+        assert_eq!(
+            records[0].error.as_ref().unwrap().kind,
+            ErrorKind::Cancelled
+        );
+    }
+
+    #[test]
+    fn attempt_ctx_carries_the_job_index() {
+        let executor: Executor<u32, usize> = Arc::new(|_, ctx| Ok(ctx.index));
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        for n in 0..6u32 {
+            pool.submit(10 + n as usize, format!("j{n}"), n, None);
+        }
+        let records = pool.join();
+        for record in records {
+            assert_eq!(record.result, Some(record.index));
+        }
+        assert_eq!(
+            AttemptCtx::new(0, CancelToken::new()).with_index(7).index,
+            7
+        );
     }
 
     #[test]

@@ -265,13 +265,15 @@ pub fn run_sweep<W: Write>(
     let cache = match &options.cache_path {
         Some(path) if path.exists() => {
             let text = std::fs::read_to_string(path)?;
-            PlanCache::from_json(&text, options.cache_capacity).map_err(SweepError::Cache)?
+            PlanCache::from_json(&text, options.cache_capacity)
+                .map_err(|e| SweepError::Cache(e.to_string()))?
         }
         _ => PlanCache::new(options.cache_capacity),
     };
     let outcome = run_sweep_with_cache(spec, options, &cache, out)?;
     if let Some(path) = &options.cache_path {
-        std::fs::write(path, cache.to_json())?;
+        // Temp-and-rename, so a crash mid-save never tears the file.
+        cache.save_atomic(path)?;
     }
     Ok(outcome)
 }

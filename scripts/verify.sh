@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + tests, a batch smoke run with plan
 # validation + stage tracing, a sweep smoke run (JSONL schema, Pareto
-# front, thread-count determinism), then figure ports and style gates.
+# front, thread-count determinism), a chaos smoke run (seeded fault
+# injection, record-count and determinism checks), then figure ports
+# and style gates.
 #
 # Usage: scripts/verify.sh [--tier1-only|--smoke-only]
 #
@@ -115,6 +117,45 @@ for size in report["sizes"]:
         assert stats["p10_us"] <= stats["p90_us"], f"{size['label']}/{stage}"
 labels = [s["label"] for s in report["sizes"]]
 print(f"  bench smoke OK: {labels}, kernels built once per context")
+PY
+
+echo "==> smoke: youtiao chaos (seeded faults, determinism across two runs)"
+cargo run -q --release --offline --bin youtiao -- chaos \
+  --in examples/batch_jobs.jsonl --faults examples/faults/smoke.json \
+  --out "$smoke_dir/chaos1.jsonl" --jobs 3 --metrics-json \
+  2> "$smoke_dir/chaos_metrics.json"
+cargo run -q --release --offline --bin youtiao -- chaos \
+  --in examples/batch_jobs.jsonl --faults examples/faults/smoke.json \
+  --out "$smoke_dir/chaos2.jsonl" --jobs 3 2> /dev/null
+if ! cmp -s <(sort "$smoke_dir/chaos1.jsonl") <(sort "$smoke_dir/chaos2.jsonl"); then
+  echo "verify: FAILED — chaos records differ between two equal-seed runs" >&2
+  diff <(sort "$smoke_dir/chaos1.jsonl") <(sort "$smoke_dir/chaos2.jsonl") >&2 || true
+  exit 1
+fi
+python3 - "$smoke_dir/chaos1.jsonl" "$smoke_dir/chaos_metrics.json" "$jobs_in" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = sorted((json.loads(line) for line in f if line.strip()),
+                     key=lambda r: r["index"])
+jobs_in = int(sys.argv[3])
+assert len(records) == jobs_in, f"expected {jobs_in} records, got {len(records)}"
+# The smoke plan (seed 2) schedules, per job index: a cancel fault on 0,
+# injected panics on 3 and 4, transient faults (retried to success)
+# elsewhere — all a pure function of (seed, index, attempt).
+expected = ["Cancelled", "Ok", "Ok", "Internal", "Internal", "Ok"]
+got = [r["error"]["kind"] if r["status"] == "Error" else "Ok" for r in records]
+assert got == expected, f"chaos outcomes drifted from the schedule: {got}"
+for r in records:
+    assert r["latency_ms"] == 0.0, "chaos records must be canonical"
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+faults = metrics["faults"]
+total = sum(faults.values())
+assert total > 0, "chaos run injected no faults"
+assert faults["cancels"] == 1 and faults["panics"] == 2, faults
+assert metrics["ok"] == 3 and metrics["errors"] == 3, metrics
+print(f"  chaos smoke OK: {len(records)} records, {total} faults injected, "
+      "deterministic across runs")
 PY
 
 if [[ "${1:-}" == "--smoke-only" ]]; then

@@ -8,6 +8,7 @@
 //! youtiao cost --topology heavy-square --rows 3 --cols 3
 //! youtiao export-chip --topology surface --distance 5 --out chip.json
 //! youtiao batch --in jobs.jsonl --out results.jsonl --jobs 8 --deadline-ms 5000
+//! youtiao chaos --in jobs.jsonl --faults faults.json --seed 7 --out records.jsonl
 //! youtiao sweep --spec sweep.json --out records.jsonl --threads 8 --pareto cost,fidelity
 //! youtiao bench-plan --sizes 6,8,10,12,16 --iters 9 --out BENCH_plan.json
 //! ```
@@ -22,7 +23,9 @@ use youtiao::chip::surface::SurfaceCode;
 use youtiao::chip::{topology, Chip};
 use youtiao::core::{PlanSummary, PlannerConfig, YoutiaoPlanner};
 use youtiao::cost::WiringTally;
-use youtiao::serve::{parse_requests, run_design_batch, BatchOptions};
+use youtiao::serve::{
+    apply_cache_fault, parse_requests, run_design_batch, BatchOptions, DesignRequest, FaultPlan,
+};
 use youtiao::xplore::{parse_objectives, run_sweep, write_csv, SweepOptions, SweepSpec};
 
 fn main() -> ExitCode {
@@ -52,6 +55,14 @@ usage:
                   per core (the default); --trace-json writes per-job stage-span
                   traces; --validate fails a job when its finished plan breaks a
                   wiring invariant)
+  youtiao chaos  --in FILE.jsonl [--faults FILE.json] [--seed N] [+ batch flags]
+                 (batch run under a deterministic fault-injection schedule: the
+                  FaultPlan JSON sets per-attempt rates for transient/permanent
+                  errors, panics, delays and cancellations, an abort-after
+                  threshold, and cache-file corruption; --seed overrides the
+                  plan's seed; --faults defaults to the built-in smoke plan;
+                  records are emitted canonical — zero latency, no trace — so
+                  equal seeds give byte-identical streams after an index sort)
   youtiao sweep  --spec FILE.json [--out FILE.jsonl] [--csv FILE.csv] [--threads N]
                  [--pareto cost,coax,fidelity,latency] [--cache FILE]
                  [--cache-capacity N] [--timings] [--summary-json]
@@ -180,6 +191,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "batch" => run_batch_command(&flags),
+        "chaos" => run_chaos_command(&flags),
         "sweep" => run_sweep_command(&flags),
         "bench-plan" => run_bench_plan_command(&flags),
         other => Err(format!("unknown command `{other}`")),
@@ -189,10 +201,68 @@ fn run(args: &[String]) -> Result<(), String> {
 /// The `batch` subcommand: JSONL requests in, JSONL records out,
 /// metrics summary on stderr.
 fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let requests = read_requests(flags)?;
+    let options = batch_options(flags)?;
+    run_and_report(&requests, &options, flags)
+}
+
+/// The `chaos` subcommand: a batch run under a deterministic seeded
+/// fault-injection schedule. Records are emitted canonical (latency
+/// zeroed, traces stripped) so two equal-seed runs are byte-identical
+/// after an index sort, and a torn cache file salvages to a cold start
+/// instead of failing the run.
+fn run_chaos_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let requests = read_requests(flags)?;
+    let mut plan = match flags.get("faults") {
+        None => FaultPlan::smoke(0),
+        Some(Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_str::<FaultPlan>(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        Some(None) => return Err("--faults expects a file path".into()),
+    };
+    if let Some(Some(seed)) = flags.get("seed") {
+        plan.seed = Some(seed.parse().map_err(|_| "--seed expects an integer")?);
+    }
+    plan.validate().map_err(|e| format!("fault plan: {e}"))?;
+
+    let mut options = batch_options(flags)?;
+    if let (Some(fault), Some(path)) = (plan.cache_fault, &options.cache_path) {
+        if path.exists() {
+            apply_cache_fault(path, fault).map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("chaos: applied cache fault {fault:?} to {}", path.display());
+        }
+    }
+    options.faults = Some(plan);
+    options.canonical = true;
+    options.cache_salvage = true;
+
+    // Scheduled panics are contained by the pool (they become Internal
+    // error records); keep their default hook output — a "thread
+    // panicked" line per injection — off the terminal. Anything else
+    // still reaches the previous hook.
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !message.starts_with("injected panic") {
+            previous(info);
+        }
+    }));
+
+    run_and_report(&requests, &options, flags)
+}
+
+/// Reads the `--in` JSONL request file (`-` for stdin).
+fn read_requests(flags: &HashMap<String, Option<String>>) -> Result<Vec<DesignRequest>, String> {
     let input = flags
         .get("in")
         .and_then(|v| v.clone())
-        .ok_or("batch requires --in FILE (JSONL; `-` reads stdin)")?;
+        .ok_or("requires --in FILE (JSONL; `-` reads stdin)")?;
     let text = if input == "-" {
         let mut text = String::new();
         std::io::stdin()
@@ -202,8 +272,11 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
     } else {
         std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?
     };
-    let requests = parse_requests(&text).map_err(|e| e.to_string())?;
+    parse_requests(&text).map_err(|e| e.to_string())
+}
 
+/// The batch flags shared by `batch` and `chaos`.
+fn batch_options(flags: &HashMap<String, Option<String>>) -> Result<BatchOptions, String> {
     let deadline_ms = match flags.get("deadline-ms") {
         None => None,
         Some(Some(v)) => Some(
@@ -220,7 +293,7 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
         .map(|key| get_usize(flags, key, 0))
         .transpose()?
         .unwrap_or(0);
-    let options = BatchOptions {
+    Ok(BatchOptions {
         jobs,
         deadline_ms,
         max_retries: get_usize(flags, "retries", 2)? as u32,
@@ -235,8 +308,17 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
             Some(None) => return Err("--trace-json expects a file path".into()),
         },
         validate: flags.contains_key("validate"),
-    };
+        ..BatchOptions::default()
+    })
+}
 
+/// Runs the batch to `--out` (default stdout) and prints the metrics
+/// summary to stderr (JSON with `--metrics-json`).
+fn run_and_report(
+    requests: &[DesignRequest],
+    options: &BatchOptions,
+    flags: &HashMap<String, Option<String>>,
+) -> Result<(), String> {
     let out = flags
         .get("out")
         .and_then(|v| v.clone())
@@ -245,11 +327,11 @@ fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
         Some(path) => {
             let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
             let mut writer = std::io::BufWriter::new(file);
-            run_design_batch(&requests, &options, &mut writer)
+            run_design_batch(requests, options, &mut writer)
         }
         None => {
             let stdout = std::io::stdout();
-            run_design_batch(&requests, &options, &mut stdout.lock())
+            run_design_batch(requests, options, &mut stdout.lock())
         }
     }
     .map_err(|e| e.to_string())?;

@@ -5,7 +5,10 @@
 //! [`design_executor`] runs [`design_chip_with_cancel`] for a
 //! [`DesignRequest`], classifying [`DesignError`]s into the pool's
 //! transient/permanent retry taxonomy, and [`run_design_batch`] is the
-//! one-call JSONL batch service behind `youtiao batch`.
+//! one-call JSONL batch service behind `youtiao batch` — and, with
+//! [`BatchOptions::faults`] set, behind `youtiao chaos`: injected
+//! faults flow through the same classification and retry path as real
+//! pipeline failures.
 //!
 //! # Example
 //!
@@ -151,6 +154,64 @@ mod tests {
         let err = executor(&bad_config, &ctx).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Plan);
         assert!(!err.transient);
+    }
+
+    #[test]
+    fn chaos_over_the_real_design_flow_is_deterministic() {
+        // Injected panics are contained by the pool; keep the default
+        // hook's per-panic output out of the test log.
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.starts_with("injected panic") {
+                previous(info);
+            }
+        }));
+
+        let requests: Vec<DesignRequest> = (0..8)
+            .map(|i| {
+                let mut r = DesignRequest::new(ChipRequest::grid("square", 2 + i % 3, 2));
+                r.id = Some(format!("chaos{i}"));
+                r
+            })
+            .collect();
+        let run = || {
+            let options = BatchOptions {
+                jobs: 3,
+                faults: Some(FaultPlan::smoke(11)),
+                canonical: true,
+                ..Default::default()
+            };
+            let mut out = Vec::new();
+            let metrics = run_design_batch(&requests, &options, &mut out).unwrap();
+            let mut lines: Vec<String> = String::from_utf8(out)
+                .unwrap()
+                .lines()
+                .map(String::from)
+                .collect();
+            lines.sort_by_key(|line| {
+                serde_json::from_str::<serde::Value>(line).unwrap()["index"]
+                    .as_u64()
+                    .unwrap()
+            });
+            (lines.join("\n"), metrics)
+        };
+        let (a, metrics_a) = run();
+        let (b, metrics_b) = run();
+        assert_eq!(a, b, "equal seeds must give byte-identical sorted streams");
+        assert_eq!(metrics_a.faults, metrics_b.faults);
+        assert!(metrics_a.faults.total() > 0, "smoke plan injected nothing");
+        // Injected faults surface through the normal classification
+        // path: real results for clean jobs, structured errors for the
+        // faulted ones.
+        assert_eq!(metrics_a.jobs, 8);
+        assert!(metrics_a.ok > 0, "every job faulted permanently");
+        assert!(metrics_a.errors > 0, "no job faulted");
     }
 
     #[test]

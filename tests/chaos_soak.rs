@@ -1,0 +1,282 @@
+//! Chaos soak: multi-worker fault-injection stress over the serve pool.
+//!
+//! These tests drive `WorkerPool` and the batch facade under seeded
+//! `FaultPlan`s and pin the pool's liveness contract: every submitted
+//! job yields exactly one record, no worker hangs past a global
+//! deadline, and no injected panic escapes the pool. The abort-race
+//! test is a regression lock for the submit/abort TOCTOU fixed in
+//! `pool::run_task` (it fails against the pre-fix pool).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::thread;
+use std::time::Duration;
+
+use youtiao::serve::{
+    apply_cache_fault, run_design_batch, BatchOptions, CacheFault, ChipRequest, DesignRequest,
+    ErrorKind, ExecError, Executor, FaultInjector, FaultKind, FaultPlan, JobStatus, PoolOptions,
+    WorkerPool,
+};
+
+/// Injected panics are caught by the pool and turned into records; keep
+/// the default hook's per-panic backtrace spam out of the test log
+/// without hiding real panics.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.starts_with("injected panic") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Mirrors the pool's retry loop over a pure `fault_at` schedule: with
+/// an always-succeeding inner executor and no deadline, a job's final
+/// error kind (or success) is fully determined by (seed, index).
+fn expected_outcome(plan: &FaultPlan, index: usize, max_retries: u32) -> Option<ErrorKind> {
+    let mut attempt = 0u32;
+    loop {
+        match plan.fault_at(index, attempt) {
+            Some(FaultKind::Transient) if attempt < max_retries => attempt += 1,
+            Some(FaultKind::Transient) | Some(FaultKind::Permanent) | Some(FaultKind::Panic) => {
+                return Some(ErrorKind::Internal)
+            }
+            Some(FaultKind::Cancel) => return Some(ErrorKind::Cancelled),
+            Some(FaultKind::Delay) | None => return None,
+        }
+    }
+}
+
+#[test]
+fn soak_eight_workers_two_hundred_jobs_loses_nothing() {
+    silence_injected_panics();
+    const JOBS: usize = 240;
+    for seed in [1u64, 7, 23] {
+        let plan = FaultPlan {
+            seed: Some(seed),
+            transient_rate: Some(0.30),
+            permanent_rate: Some(0.12),
+            panic_rate: Some(0.10),
+            delay_rate: Some(0.08),
+            delay_ms: Some(2),
+            cancel_rate: Some(0.08),
+            ..FaultPlan::default()
+        };
+        plan.validate().unwrap();
+        let injector = FaultInjector::new(plan.clone());
+        let executor: Executor<usize, usize> = injector.wrap(Arc::new(|n, _| Ok(*n * 3)));
+        let options = PoolOptions {
+            workers: 8,
+            max_retries: 2,
+            ..Default::default()
+        };
+        let max_retries = options.max_retries;
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            let mut pool = WorkerPool::new(executor, options);
+            for index in 0..JOBS {
+                assert!(pool.submit(index, format!("soak{index}"), index, None));
+            }
+            let _ = tx.send(pool.join());
+        });
+        // Global watchdog: a hung worker or an escaped panic (dead
+        // worker thread, stranded queue) shows up here as a timeout.
+        let mut records = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("soak run hung: a worker stalled or a panic escaped the pool");
+        records.sort_by_key(|r| r.index);
+        assert_eq!(
+            records.len(),
+            JOBS,
+            "seed {seed}: lost or duplicated records"
+        );
+        for (index, record) in records.iter().enumerate() {
+            assert_eq!(record.index, index, "seed {seed}: record indices skewed");
+            match expected_outcome(&plan, index, max_retries) {
+                None => {
+                    assert_eq!(record.status, JobStatus::Ok, "seed {seed} job {index}");
+                    assert_eq!(record.result, Some(index * 3), "seed {seed} job {index}");
+                }
+                Some(kind) => {
+                    let error = record.error.as_ref().unwrap_or_else(|| {
+                        panic!("seed {seed} job {index}: expected {kind:?}, got Ok")
+                    });
+                    assert_eq!(
+                        error.kind, kind,
+                        "seed {seed} job {index}: {}",
+                        error.message
+                    );
+                }
+            }
+        }
+        assert!(
+            injector.counters().total() > 0,
+            "seed {seed}: plan injected nothing"
+        );
+    }
+}
+
+#[test]
+fn abort_never_leaves_a_registered_job_uncancelled() {
+    // Regression for the submit/abort TOCTOU race: run_task used to
+    // check the abort flag only *before* registering its cancel token,
+    // so an abort landing between the check and the insert cancelled
+    // nothing and the job ran to completion. The fixed code re-checks
+    // the flag while holding the in-flight lock, which makes the
+    // interleavings exhaustive. The executor below asserts the
+    // contract: once abort() has returned, any job still entering the
+    // executor must see its own token cancelled.
+    const ROUNDS: usize = 120;
+    const JOBS: usize = 2048;
+    for round in 0..ROUNDS {
+        let abort_called = Arc::new(AtomicBool::new(false));
+        let abort_returned = Arc::new(AtomicBool::new(false));
+        let raced = Arc::new(AtomicBool::new(false));
+        let called = abort_called.clone();
+        let returned = abort_returned.clone();
+        let race = raced.clone();
+        let executor: Executor<usize, usize> = Arc::new(move |n, ctx| {
+            // Jobs that start while an abort is underway wait for it to
+            // return, then assert the contract: once abort() is done,
+            // this job's cancel token must be cancelled — either by
+            // run_task's under-lock re-check or by abort's in-flight
+            // sweep finding the registered token. Jobs entered before
+            // the abort began take the fast path so the workers keep
+            // cycling through the check/register window.
+            if called.load(Ordering::SeqCst) {
+                for _ in 0..100_000 {
+                    if returned.load(Ordering::SeqCst) {
+                        if !ctx.cancel.is_cancelled() {
+                            race.store(true, Ordering::SeqCst);
+                        }
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+            if ctx.cancel.is_cancelled() {
+                return Err(ExecError::cancelled());
+            }
+            Ok(*n)
+        });
+        // Many more workers than cores: when the abort lands, the
+        // scheduler has frozen each worker at an arbitrary point of its
+        // task cycle, so some round reliably catches one parked between
+        // run_task's abort check and its token registration — exactly
+        // the raced window. The ids are pre-built and the queue kept
+        // deep so workers are churning rather than parked on an empty
+        // queue; the yield advances them to fresh cycle positions.
+        let ids: Vec<String> = (0..JOBS).map(|i| format!("r{round}j{i}")).collect();
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 64,
+                ..Default::default()
+            },
+        );
+        let mut accepted = 0usize;
+        for (index, id) in ids.into_iter().enumerate() {
+            if pool.submit(index, id, index, None) {
+                accepted += 1;
+            }
+        }
+        thread::yield_now();
+        abort_called.store(true, Ordering::SeqCst);
+        pool.abort();
+        abort_returned.store(true, Ordering::SeqCst);
+        let records = pool.join();
+        assert_eq!(records.len(), accepted, "round {round}: abort lost records");
+        assert!(
+            !raced.load(Ordering::SeqCst),
+            "round {round}: a job entered its executor after abort() returned \
+             with a live cancel token (submit/abort race)"
+        );
+    }
+}
+
+#[test]
+fn torn_cache_file_fails_loudly_then_salvages_end_to_end() {
+    let path = std::env::temp_dir().join(format!(
+        "youtiao-chaos-soak-cache-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let requests: Vec<DesignRequest> = (0..3)
+        .map(|i| {
+            let mut r = DesignRequest::new(ChipRequest::grid("square", 2 + i, 2));
+            r.id = Some(format!("torn{i}"));
+            r
+        })
+        .collect();
+    let base = BatchOptions {
+        jobs: 2,
+        cache_path: Some(path.clone()),
+        ..Default::default()
+    };
+    run_design_batch(&requests, &base, &mut Vec::new()).unwrap();
+    assert!(path.exists(), "first run did not persist the cache");
+
+    // Tear the snapshot the way `youtiao chaos` does, then require the
+    // structured failure (no silent empty-cache fallback) ...
+    apply_cache_fault(&path, CacheFault::Truncate).unwrap();
+    let err = run_design_batch(&requests, &base, &mut Vec::new())
+        .err()
+        .unwrap();
+    let message = err.to_string();
+    assert!(message.contains("cache"), "unexpected error: {message}");
+
+    // ... unless salvage is opted in, which starts empty and rewrites a
+    // healthy snapshot (atomically) that the next run hits fully.
+    let salvage = BatchOptions {
+        cache_salvage: true,
+        ..base.clone()
+    };
+    let metrics = run_design_batch(&requests, &salvage, &mut Vec::new()).unwrap();
+    assert_eq!(metrics.ok, 3);
+    assert_eq!(metrics.cache_hits, 0);
+    let rerun = run_design_batch(&requests, &base, &mut Vec::new()).unwrap();
+    assert_eq!(rerun.cache_hits, 3, "salvaged snapshot was not rewritten");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn equal_seed_soak_runs_are_byte_identical() {
+    silence_injected_panics();
+    let run = |seed: u64| {
+        let injector = FaultInjector::new(FaultPlan::smoke(seed));
+        let executor: Executor<usize, usize> = injector.wrap(Arc::new(|n, _| Ok(*n)));
+        let mut pool = WorkerPool::new(
+            executor,
+            PoolOptions {
+                workers: 8,
+                ..Default::default()
+            },
+        );
+        for index in 0..200 {
+            pool.submit(index, format!("d{index}"), index, None);
+        }
+        let mut records = pool.join();
+        records.sort_by_key(|r| r.index);
+        let lines: Vec<String> = records
+            .into_iter()
+            .map(|r| serde_json::to_string(&r.canonical()).unwrap())
+            .collect();
+        (lines.join("\n"), injector.counters())
+    };
+    let (a, counters_a) = run(5);
+    let (b, counters_b) = run(5);
+    assert_eq!(a, b, "equal seeds must give byte-identical sorted streams");
+    assert_eq!(counters_a, counters_b);
+    assert!(counters_a.total() > 0, "smoke plan injected nothing");
+    let (c, _) = run(6);
+    assert_ne!(a, c, "different seeds produced identical streams");
+}
