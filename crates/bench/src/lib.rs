@@ -14,6 +14,8 @@
 //! * [`nets`] — chip-level net lists for the router, used by Table 2;
 //! * [`perf`] — the `youtiao bench-plan` planner micro-benchmark
 //!   harness behind the tracked `BENCH_plan.json` trajectory;
+//! * [`repair_perf`] — the `youtiao bench-plan --repair` repair-vs-
+//!   replan harness behind the tracked `BENCH_repair.json` trajectory;
 //! * [`report`] — plain-text table formatting.
 
 #![forbid(unsafe_code)]
@@ -23,6 +25,7 @@ pub mod fdm_eval;
 pub mod figs;
 pub mod nets;
 pub mod perf;
+pub mod repair_perf;
 pub mod report;
 pub mod tdm_eval;
 

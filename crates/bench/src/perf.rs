@@ -2,7 +2,8 @@
 //!
 //! Times the planner's hot loops — kernels build, TDM grouping and
 //! refinement, kernelized vs the retained naive reference — plus the
-//! full context-backed plan, across square-grid chip sizes, and
+//! full context-backed plan, across square-grid chip sizes and any
+//! extra [`Layout`]s (rotated surface codes, heavy-hex patches), and
 //! summarizes each stage as median / p10 / p90 over repeated
 //! iterations. The result serializes to `BENCH_plan.json` so the repo
 //! carries a perf trajectory: every PR can re-run the harness and
@@ -17,7 +18,8 @@ use std::time::Instant;
 
 use serde::Serialize;
 use youtiao_chip::distance::equivalent_matrix;
-use youtiao_chip::{topology, DeviceId};
+use youtiao_chip::surface::SurfaceCode;
+use youtiao_chip::{topology, Chip, DeviceId};
 use youtiao_core::kernels::PairKernels;
 use youtiao_core::plan::crosstalk_matrix;
 use youtiao_core::refine::naive::refine_tdm_groups_naive;
@@ -30,11 +32,89 @@ use youtiao_core::{PlanContext, PlannerConfig, YoutiaoPlanner};
 /// format changes.
 pub const SCHEMA: &str = "youtiao-bench-plan/v1";
 
+/// A benchmark chip layout: the square grids the harness has always
+/// timed, plus the paper's error-corrected fabrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// An n×n square grid (`grid:N`).
+    Grid(usize),
+    /// A rotated surface code of odd distance d ≥ 3 (`surface:D`).
+    Surface(usize),
+    /// A heavy-hexagon patch of R×C hex cells (`heavy-hex:RxC`).
+    HeavyHex(usize, usize),
+}
+
+impl Layout {
+    /// The report label — square grids keep their historical `"NxN"`
+    /// form so BENCH_plan.json trajectories stay comparable.
+    pub fn label(&self) -> String {
+        match self {
+            Layout::Grid(n) => format!("{n}x{n}"),
+            Layout::Surface(d) => format!("surface-d{d}"),
+            Layout::HeavyHex(r, c) => format!("heavy-hex-{r}x{c}"),
+        }
+    }
+
+    /// Builds the chip.
+    pub fn build(&self) -> Chip {
+        match self {
+            Layout::Grid(n) => topology::square_grid(*n, *n),
+            Layout::Surface(d) => SurfaceCode::rotated(*d).into_chip(),
+            Layout::HeavyHex(r, c) => topology::heavy_hexagon(*r, *c),
+        }
+    }
+
+    /// Parses one CLI layout spec: `grid:N`, `surface:D` (odd, ≥ 3),
+    /// or `heavy-hex:RxC`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed spec.
+    pub fn parse(spec: &str) -> Result<Layout, String> {
+        let spec = spec.trim();
+        let (kind, arg) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("`{spec}`: expected kind:arg (e.g. grid:12)"))?;
+        let num = |s: &str, what: &str| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("`{spec}`: {what} must be a positive integer"))
+        };
+        match kind {
+            "grid" => {
+                let n = num(arg, "grid side")?;
+                if n < 2 {
+                    return Err(format!("`{spec}`: grid side must be >= 2"));
+                }
+                Ok(Layout::Grid(n))
+            }
+            "surface" => {
+                let d = num(arg, "code distance")?;
+                if d < 3 || d % 2 == 0 {
+                    return Err(format!("`{spec}`: code distance must be odd and >= 3"));
+                }
+                Ok(Layout::Surface(d))
+            }
+            "heavy-hex" => {
+                let (r, c) = arg
+                    .split_once('x')
+                    .ok_or_else(|| format!("`{spec}`: expected heavy-hex:RxC"))?;
+                Ok(Layout::HeavyHex(num(r, "rows")?, num(c, "cols")?))
+            }
+            other => Err(format!("`{spec}`: unknown layout kind `{other}`")),
+        }
+    }
+}
+
 /// Harness configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PerfConfig {
     /// Square-grid side lengths to benchmark (`n` → an n×n chip).
     pub sizes: Vec<usize>,
+    /// Extra layouts timed after the square grids (surface codes,
+    /// heavy-hex patches).
+    pub layouts: Vec<Layout>,
     /// Timed iterations per stage per size.
     pub iterations: usize,
 }
@@ -43,6 +123,7 @@ impl Default for PerfConfig {
     fn default() -> Self {
         PerfConfig {
             sizes: vec![6, 8, 10, 12, 16],
+            layouts: Vec::new(),
             iterations: 9,
         }
     }
@@ -158,7 +239,7 @@ impl PerfReport {
 
 /// Times one closure `iterations` times, returning the stats and the
 /// last iteration's output.
-fn timed<T>(iterations: usize, mut f: impl FnMut() -> T) -> (StageStats, T) {
+pub(crate) fn timed<T>(iterations: usize, mut f: impl FnMut() -> T) -> (StageStats, T) {
     assert!(iterations > 0, "iterations must be positive");
     let mut samples = Vec::with_capacity(iterations);
     let mut last = None;
@@ -178,18 +259,26 @@ fn timed<T>(iterations: usize, mut f: impl FnMut() -> T) -> (StageStats, T) {
 ///
 /// # Panics
 ///
-/// Panics if `config.sizes` is empty, `config.iterations` is 0, or the
-/// kernelized grouping/refinement diverges from the naive reference
-/// (which would make the timings meaningless).
+/// Panics if `config.sizes` and `config.layouts` are both empty,
+/// `config.iterations` is 0, or the kernelized grouping/refinement
+/// diverges from the naive reference (which would make the timings
+/// meaningless).
 pub fn run(config: &PerfConfig) -> PerfReport {
-    assert!(!config.sizes.is_empty(), "need at least one chip size");
+    let layouts: Vec<Layout> = config
+        .sizes
+        .iter()
+        .map(|&n| Layout::Grid(n))
+        .chain(config.layouts.iter().cloned())
+        .collect();
+    assert!(!layouts.is_empty(), "need at least one chip size or layout");
     let iters = config.iterations;
     let contexts_before = PlanContext::build_count();
     let kernels_before = PairKernels::build_count();
 
-    let mut sizes = Vec::with_capacity(config.sizes.len());
-    for &n in &config.sizes {
-        let chip = topology::square_grid(n, n);
+    let mut sizes = Vec::with_capacity(layouts.len());
+    for layout in &layouts {
+        let label = layout.label();
+        let chip = layout.build();
         let weights = PlannerConfig::default().weights;
         let eq = equivalent_matrix(&chip, weights);
         let xtalk = crosstalk_matrix(&chip, &eq, None);
@@ -210,7 +299,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             group_tdm_with_activity_naive(&chip, &xtalk, &tdm, &devices, &activity)
         });
         stages.insert("grouping_naive".to_string(), stats);
-        assert_eq!(groups, naive_groups, "{n}x{n}: grouping diverged");
+        assert_eq!(groups, naive_groups, "{label}: grouping diverged");
 
         let (stats, refined) = timed(iters, || {
             refine_tdm_groups_kernels(&kernels, &activity, &tdm, groups.clone(), &refine)
@@ -220,7 +309,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             refine_tdm_groups_naive(&chip, &xtalk, &activity, &tdm, groups.clone(), &refine)
         });
         stages.insert("refine_naive".to_string(), stats);
-        assert_eq!(refined, naive_refined, "{n}x{n}: refinement diverged");
+        assert_eq!(refined, naive_refined, "{label}: refinement diverged");
 
         // Full plan against a shared context, collecting the planner's
         // own sub-stage timings. The kernels probe must not move: every
@@ -252,7 +341,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         let med = |k: &str| stages.get(k).map_or(f64::NAN, |s| s.median_us);
         let speedup = |naive: &str, fast: &str| med(naive) / med(fast);
         sizes.push(SizeReport {
-            label: format!("{n}x{n}"),
+            label,
             qubits: chip.num_qubits(),
             devices: devices.len(),
             iterations: iters,
@@ -282,6 +371,7 @@ mod tests {
     fn tiny_run_produces_complete_report() {
         let report = run(&PerfConfig {
             sizes: vec![3, 4],
+            layouts: Vec::new(),
             iterations: 2,
         });
         assert_eq!(report.schema, SCHEMA);
@@ -321,9 +411,51 @@ mod tests {
     }
 
     #[test]
+    fn layout_specs_parse_build_and_label() {
+        assert_eq!(Layout::parse("grid:12").unwrap(), Layout::Grid(12));
+        assert_eq!(Layout::parse(" surface:5 ").unwrap(), Layout::Surface(5));
+        assert_eq!(
+            Layout::parse("heavy-hex:2x3").unwrap(),
+            Layout::HeavyHex(2, 3)
+        );
+        for bad in [
+            "grid",
+            "grid:1",
+            "surface:4",
+            "surface:1",
+            "heavy-hex:3",
+            "mesh:4",
+            "grid:x",
+        ] {
+            assert!(Layout::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        let surface = Layout::Surface(3);
+        assert_eq!(surface.label(), "surface-d3");
+        assert_eq!(surface.build().num_qubits(), 17);
+        assert_eq!(Layout::Grid(4).label(), "4x4");
+        assert!(Layout::HeavyHex(1, 2).build().num_qubits() > 0);
+    }
+
+    #[test]
+    fn extra_layouts_are_timed_after_the_grids() {
+        let report = run(&PerfConfig {
+            sizes: vec![3],
+            layouts: vec![Layout::Surface(3), Layout::HeavyHex(1, 2)],
+            iterations: 1,
+        });
+        let labels: Vec<&str> = report.sizes.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["3x3", "surface-d3", "heavy-hex-1x2"]);
+        for size in &report.sizes {
+            assert!(size.stages.contains_key("plan_total"), "{}", size.label);
+            assert_eq!(size.kernel_builds_during_plans, 0, "{}", size.label);
+        }
+    }
+
+    #[test]
     fn report_serializes() {
         let report = run(&PerfConfig {
             sizes: vec![3],
+            layouts: Vec::new(),
             iterations: 1,
         });
         let json = serde_json::to_string(&report).unwrap();

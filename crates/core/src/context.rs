@@ -35,7 +35,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use youtiao_chip::distance::{equivalent_matrix, DistanceMatrix, EquivalentWeights};
-use youtiao_chip::Chip;
+use youtiao_chip::{Chip, QubitId};
 use youtiao_noise::CrosstalkModel;
 
 use crate::error::PlanError;
@@ -47,14 +47,38 @@ use crate::plan::crosstalk_matrix;
 /// instead of once per grid point.
 static BUILDS: AtomicU64 = AtomicU64::new(0);
 
+/// Stable fingerprint of a chip's wiring-relevant structure: qubit
+/// count, coupler count, and every coupler's endpoint pair (FNV-1a).
+/// Two chips with equal fingerprints have identical device id spaces
+/// and identical topology-derived kernels.
+pub fn chip_fingerprint(chip: &Chip) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(chip.num_qubits() as u64);
+    mix(chip.num_couplers() as u64);
+    for c in chip.couplers() {
+        let (a, b) = c.endpoints();
+        mix(a.index() as u64);
+        mix(b.index() as u64);
+    }
+    h
+}
+
 /// Immutable chip-level planning state shared across sweep points: the
 /// equivalent-distance matrix, the XY crosstalk matrix, (optionally)
 /// the ZZ crosstalk matrix, and the grouping [`PairKernels`], together
-/// with the weights they were built from so a mismatched planner is
-/// rejected instead of silently using matrices for the wrong chip.
+/// with the weights and the chip fingerprint they were built from so a
+/// mismatched or structurally-changed chip is rejected instead of
+/// silently planning against stale matrices.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanContext {
     num_qubits: usize,
+    fingerprint: u64,
     weights: EquivalentWeights,
     equivalent: DistanceMatrix,
     crosstalk: DistanceMatrix,
@@ -76,6 +100,35 @@ impl PlanContext {
         BUILDS.fetch_add(1, Ordering::Relaxed);
         PlanContext {
             num_qubits: chip.num_qubits(),
+            fingerprint: chip_fingerprint(chip),
+            weights,
+            equivalent,
+            crosstalk,
+            zz_crosstalk: None,
+            kernels,
+        }
+    }
+
+    /// Builds a context from an explicit crosstalk matrix instead of a
+    /// model — the repair path's "full replan from a snapshot"
+    /// constructor, where the new inputs arrive as a concrete matrix
+    /// rather than a fitted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension mismatches the chip.
+    pub fn from_matrix(chip: &Chip, weights: EquivalentWeights, crosstalk: DistanceMatrix) -> Self {
+        assert_eq!(
+            crosstalk.len(),
+            chip.num_qubits(),
+            "crosstalk matrix size mismatch"
+        );
+        let equivalent = equivalent_matrix(chip, weights);
+        let kernels = PairKernels::build(chip, &crosstalk);
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        PlanContext {
+            num_qubits: chip.num_qubits(),
+            fingerprint: chip_fingerprint(chip),
             weights,
             equivalent,
             crosstalk,
@@ -138,16 +191,75 @@ impl PlanContext {
         &self.kernels
     }
 
+    /// Whether the context is stale for `chip`: the chip's structure
+    /// (qubit count, couplers) no longer matches what the matrices and
+    /// kernels were built from. A stale context must be rebuilt (or,
+    /// for crosstalk-value-only changes on the *same* structure, updated
+    /// via [`Self::apply_crosstalk_delta`]).
+    pub fn is_stale(&self, chip: &Chip) -> bool {
+        chip.num_qubits() != self.num_qubits || chip_fingerprint(chip) != self.fingerprint
+    }
+
+    /// Applies a crosstalk-value delta in place: replaces the XY
+    /// crosstalk matrix and patches the kernels' noise rows for the
+    /// `dirty` qubits via [`PairKernels::apply_delta`], advancing the
+    /// [`Self::kernels_invalidated`] probe instead of the build count.
+    ///
+    /// This is the explicit rebuild-vs-delta choice: mutating inputs
+    /// and reusing a context used to silently serve stale kernels; now
+    /// a structural change is rejected by [`Self::is_stale`]/`check`,
+    /// and a value-only drift is applied exactly (the patched context
+    /// equals a fresh [`Self::from_matrix`] build bit-for-bit).
+    ///
+    /// Returns the number of kernel rows recomputed.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidConfig`] when the chip changed structurally,
+    /// the matrix dimension mismatches, or the context carries a ZZ
+    /// matrix (whose kernels would not track an XY-only delta).
+    pub fn apply_crosstalk_delta(
+        &mut self,
+        chip: &Chip,
+        crosstalk: DistanceMatrix,
+        dirty: &[QubitId],
+    ) -> Result<usize, PlanError> {
+        if self.is_stale(chip) {
+            return Err(PlanError::InvalidConfig(
+                "chip changed structurally; rebuild the plan context",
+            ));
+        }
+        if crosstalk.len() != self.num_qubits {
+            return Err(PlanError::InvalidConfig(
+                "crosstalk delta matrix size mismatch",
+            ));
+        }
+        if self.zz_crosstalk.is_some() {
+            return Err(PlanError::InvalidConfig(
+                "zz-backed contexts cannot take an xy crosstalk delta; rebuild",
+            ));
+        }
+        let rows = self.kernels.apply_delta(chip, &crosstalk, dirty);
+        self.crosstalk = crosstalk;
+        Ok(rows)
+    }
+
     /// Verifies the context matches the planner's resolved chip and
     /// weights.
     ///
     /// # Errors
     ///
-    /// [`PlanError::InvalidConfig`] on a qubit-count or weight mismatch.
+    /// [`PlanError::InvalidConfig`] on a qubit-count, structure
+    /// (fingerprint), or weight mismatch.
     pub(crate) fn check(&self, chip: &Chip, weights: EquivalentWeights) -> Result<(), PlanError> {
         if chip.num_qubits() != self.num_qubits {
             return Err(PlanError::InvalidConfig(
                 "plan context was built for a different chip",
+            ));
+        }
+        if chip_fingerprint(chip) != self.fingerprint {
+            return Err(PlanError::InvalidConfig(
+                "plan context is stale: the chip's couplers changed since it was built",
             ));
         }
         if weights != self.weights {
@@ -161,6 +273,14 @@ impl PlanContext {
     /// Cumulative number of contexts built in this process (test probe).
     pub fn build_count() -> u64 {
         BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative number of kernel delta invalidations in this process
+    /// — the `kernels_invalidated` probe alongside
+    /// [`Self::build_count`] (delegates to
+    /// [`PairKernels::invalidation_count`]).
+    pub fn kernels_invalidated() -> u64 {
+        PairKernels::invalidation_count()
     }
 }
 
@@ -260,6 +380,74 @@ mod tests {
         let before = PlanContext::build_count();
         let _ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
         assert!(PlanContext::build_count() > before);
+    }
+
+    /// Same qubit count, one coupler removed: the chip the context was
+    /// built for no longer exists. Before the fingerprint check this
+    /// silently planned against stale kernels (the old `check` only
+    /// compared qubit counts and weights).
+    #[test]
+    fn structurally_mutated_chip_is_rejected_not_served_stale() {
+        let chip = topology::square_grid(4, 4);
+        let mut spec = youtiao_chip::spec::ChipSpec::from_chip(&chip);
+        spec.couplers.pop();
+        let mutated = spec.to_chip().unwrap();
+        assert_eq!(mutated.num_qubits(), chip.num_qubits());
+
+        let ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        assert!(!ctx.is_stale(&chip));
+        assert!(ctx.is_stale(&mutated));
+        let err = YoutiaoPlanner::new(&mutated)
+            .with_context(&ctx)
+            .plan()
+            .unwrap_err();
+        assert!(
+            matches!(err, PlanError::InvalidConfig(msg) if msg.contains("stale")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn crosstalk_delta_matches_a_fresh_context() {
+        let chip = topology::square_grid(4, 4);
+        let mut ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        let mut drifted = ctx.crosstalk().clone();
+        let (a, b) = (QubitId::new(3), QubitId::new(7));
+        drifted.set(a, b, drifted.get(a, b) * 2.5 + 1e-3);
+
+        let invalidated = PlanContext::kernels_invalidated();
+        let builds = PlanContext::build_count();
+        let rows = ctx
+            .apply_crosstalk_delta(&chip, drifted.clone(), &[a, b])
+            .unwrap();
+        assert!(rows >= 2);
+        assert_eq!(PlanContext::kernels_invalidated(), invalidated + 1);
+        assert_eq!(PlanContext::build_count(), builds, "delta must not rebuild");
+
+        let fresh = PlanContext::from_matrix(&chip, EquivalentWeights::balanced(), drifted);
+        assert_eq!(ctx, fresh, "patched context must equal a fresh build");
+    }
+
+    #[test]
+    fn crosstalk_delta_rejects_structural_and_zz_contexts() {
+        use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
+        use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
+        let chip = topology::square_grid(3, 3);
+        let mut ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        let other = topology::ring(9);
+        let bad = ctx.apply_crosstalk_delta(&other, DistanceMatrix::zeros(9), &[]);
+        assert!(matches!(bad, Err(PlanError::InvalidConfig(_))));
+
+        let zz = fit_crosstalk_model(
+            &synthesize(&chip, CrosstalkKind::Zz, &SynthConfig::zz(), 5),
+            &FitConfig::fast(),
+        )
+        .unwrap();
+        let mut zz_ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced())
+            .with_zz_model(&chip, &zz);
+        let xtalk = zz_ctx.crosstalk().clone();
+        let bad = zz_ctx.apply_crosstalk_delta(&chip, xtalk, &[]);
+        assert!(matches!(bad, Err(PlanError::InvalidConfig(_))));
     }
 
     #[test]

@@ -80,6 +80,14 @@ impl FrequencyPlan {
         }
     }
 
+    /// Overrides the reused-cell count — for callers (the repair
+    /// patcher) that assemble a plan via [`Self::from_frequencies`] but
+    /// recount crowding-driven reuse themselves.
+    pub fn with_reused_cells(mut self, reused_cells: usize) -> Self {
+        self.reused_cells = reused_cells;
+        self
+    }
+
     /// Frequency of qubit `q` in GHz.
     ///
     /// # Panics

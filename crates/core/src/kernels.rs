@@ -24,7 +24,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use youtiao_chip::distance::DistanceMatrix;
-use youtiao_chip::{Chip, CouplerId, DeviceId};
+use youtiao_chip::{Chip, CouplerId, DeviceId, QubitId};
 
 use crate::tdm::ActivityProfile;
 
@@ -32,6 +32,11 @@ use crate::tdm::ActivityProfile;
 /// the bench harness asserting kernels are built once per chip, not per
 /// plan or per grid point.
 static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Global count of [`PairKernels::apply_delta`] calls — the
+/// `kernels_invalidated` probe: tests and the repair bench assert that
+/// a repair invalidates rows instead of rebuilding whole tables.
+static INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Dense `DeviceId → usize` densification: qubits map to `0..nq`,
 /// couplers to `nq..nq + nc`. Both id spaces are already dense, so the
@@ -297,10 +302,80 @@ impl PairKernels {
         masks
     }
 
+    /// Applies a crosstalk-value delta in place: recomputes the noisy
+    /// non-parallelism rows (and columns) of every device whose qubit
+    /// set touches a `dirty` qubit, against the updated matrix.
+    ///
+    /// Only the `noise` table depends on crosstalk *values*; legality,
+    /// topological fractions, parallelism indices and gate adjacency are
+    /// functions of the chip topology alone, so a value-only drift
+    /// leaves them exact. Structural changes (couplers added or
+    /// removed, qubit count changes) invalidate the densification
+    /// itself and require a fresh [`PairKernels::build`].
+    ///
+    /// Every recomputed entry is produced by the same
+    /// [`crate::tdm::noisy_score`] call as a fresh build, so the
+    /// updated kernels are bit-identical to rebuilding from scratch
+    /// (the differential test below enforces it).
+    ///
+    /// Returns the number of device rows recomputed and advances the
+    /// [`Self::invalidation_count`] probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension or the chip's device counts
+    /// mismatch the tables (i.e. the chip changed structurally).
+    pub fn apply_delta(&mut self, chip: &Chip, xtalk: &DistanceMatrix, dirty: &[QubitId]) -> usize {
+        assert_eq!(
+            xtalk.len(),
+            chip.num_qubits(),
+            "crosstalk matrix size mismatch"
+        );
+        assert_eq!(
+            self.index,
+            DeviceIndex::new(chip),
+            "chip changed structurally; rebuild the kernels instead"
+        );
+        let n = self.index.len();
+
+        // Dirty devices: each dirty qubit's own Z device plus every
+        // coupler incident to it (noisy_score reads the crosstalk rows
+        // of a device's qubit endpoints).
+        let mut rows: Vec<usize> = Vec::new();
+        for &q in dirty {
+            assert!(q.index() < chip.num_qubits(), "dirty qubit out of range");
+            rows.push(self.index.dense(DeviceId::Qubit(q)));
+            for &c in chip.couplers_of(q) {
+                rows.push(self.index.dense(DeviceId::Coupler(c)));
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+
+        for &i in &rows {
+            let a = self.index.device(i);
+            for j in 0..n {
+                let b = self.index.device(j);
+                self.noise[i * n + j] = crate::tdm::noisy_score(chip, xtalk, a, b);
+                self.noise[j * n + i] = crate::tdm::noisy_score(chip, xtalk, b, a);
+            }
+        }
+
+        INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
+        rows.len()
+    }
+
     /// Cumulative number of kernel tables built in this process (probe
     /// for the bench harness and the `verify.sh` bench-smoke step).
     pub fn build_count() -> u64 {
         BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative number of [`Self::apply_delta`] invalidations in this
+    /// process — the `kernels_invalidated` probe next to
+    /// [`Self::build_count`].
+    pub fn invalidation_count() -> u64 {
+        INVALIDATIONS.load(Ordering::Relaxed)
     }
 }
 
@@ -395,5 +470,49 @@ mod tests {
         let (chip, _) = setup(3);
         let wrong = DistanceMatrix::zeros(4);
         let _ = PairKernels::build(&chip, &wrong);
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_build() {
+        let (chip, xtalk) = setup(4);
+        let mut patched = PairKernels::build(&chip, &xtalk);
+
+        // Drift a few entries: one coupler edge, one distant pair, one
+        // entry zeroed out.
+        let mut drifted = xtalk.clone();
+        let (a, b) = chip.coupler(0u32.into()).unwrap().endpoints();
+        drifted.set(a, b, xtalk.get(a, b) * 3.0 + 1e-3);
+        let (p, q) = (QubitId::new(2), QubitId::new(13));
+        drifted.set(p, q, 0.0421);
+        drifted.set(QubitId::new(5), QubitId::new(6), 0.0);
+
+        let before = PairKernels::invalidation_count();
+        let dirty = vec![a, b, p, q, QubitId::new(5), QubitId::new(6)];
+        let rows = patched.apply_delta(&chip, &drifted, &dirty);
+        assert!(rows >= dirty.len(), "each dirty qubit dirties >= 1 row");
+        assert_eq!(PairKernels::invalidation_count(), before + 1);
+
+        let fresh = PairKernels::build(&chip, &drifted);
+        assert_eq!(patched, fresh, "delta-patched kernels must be exact");
+    }
+
+    #[test]
+    fn apply_delta_with_no_dirty_qubits_is_a_noop() {
+        let (chip, xtalk) = setup(3);
+        let mut k = PairKernels::build(&chip, &xtalk);
+        let copy = k.clone();
+        assert_eq!(k.apply_delta(&chip, &xtalk, &[]), 0);
+        assert_eq!(k, copy);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild the kernels")]
+    fn apply_delta_rejects_structural_change() {
+        let (chip, xtalk) = setup(3);
+        let mut k = PairKernels::build(&chip, &xtalk);
+        let bigger = topology::square_grid(4, 4);
+        let eq = equivalent_matrix(&bigger, EquivalentWeights::balanced());
+        let wider = crosstalk_matrix(&bigger, &eq, None);
+        let _ = k.apply_delta(&bigger, &wider, &[QubitId::new(0)]);
     }
 }

@@ -48,7 +48,7 @@ pub mod tdm;
 pub mod viz;
 
 pub use crate::baselines::{AcharyaTdm, GeorgeFdm, GoogleBaseline};
-pub use crate::context::PlanContext;
+pub use crate::context::{chip_fingerprint, PlanContext};
 pub use crate::error::PlanError;
 pub use crate::fdm::{group_fdm, FdmLine};
 pub use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};

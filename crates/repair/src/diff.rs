@@ -1,0 +1,490 @@
+//! Structured diffing of planner input snapshots.
+//!
+//! A repair starts from *what changed*: two `(chip, crosstalk,
+//! activity)` snapshots are compared into a typed [`ChangeSet`] whose
+//! entries classify each difference as structural (device add/remove,
+//! dead coupler — the chip the base plan was computed for no longer
+//! exists) or value-only (crosstalk drift, coupler degradation,
+//! activity deltas — the same chip with different numbers). The repair
+//! pass dispatches on that classification; everything downstream
+//! (kernel invalidation, group dissolution, frequency patching) is
+//! driven by the dirty qubit/device sets the change set exposes.
+
+use std::collections::BTreeSet;
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, DeviceId, QubitId};
+use youtiao_core::tdm::ActivityProfile;
+
+/// One planner input snapshot: the chip, its qubit-pair crosstalk
+/// matrix, and the workload activity profile.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanInputs<'a> {
+    /// The chip topology.
+    pub chip: &'a Chip,
+    /// The qubit-pair crosstalk matrix (what a [`youtiao_core::PlanContext`]
+    /// carries as `crosstalk()`).
+    pub xtalk: &'a DistanceMatrix,
+    /// The workload activity profile.
+    pub activity: &'a ActivityProfile,
+}
+
+/// One classified difference between two input snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// A crosstalk matrix entry between two non-adjacent qubits moved.
+    CrosstalkDrift {
+        /// First qubit of the pair.
+        a: QubitId,
+        /// Second qubit of the pair.
+        b: QubitId,
+        /// Entry value in the old snapshot.
+        old: f64,
+        /// Entry value in the new snapshot.
+        new: f64,
+    },
+    /// A crosstalk entry on a coupler edge moved: the coupler still
+    /// exists but its coupling degraded (or recovered).
+    CouplerDegraded {
+        /// First endpoint.
+        a: QubitId,
+        /// Second endpoint.
+        b: QubitId,
+        /// Entry value in the old snapshot.
+        old: f64,
+        /// Entry value in the new snapshot.
+        new: f64,
+    },
+    /// A coupler present in the old chip is gone from the new one —
+    /// structural: the device id space shifted.
+    CouplerDead {
+        /// First endpoint (old chip ids).
+        a: QubitId,
+        /// Second endpoint (old chip ids).
+        b: QubitId,
+    },
+    /// A coupler absent from the old chip appeared in the new one —
+    /// structural.
+    CouplerAdded {
+        /// First endpoint (new chip ids).
+        a: QubitId,
+        /// Second endpoint (new chip ids).
+        b: QubitId,
+    },
+    /// Qubits were added to the chip — structural.
+    QubitsAdded {
+        /// How many qubits were added.
+        count: usize,
+    },
+    /// Qubits were removed from the chip — structural.
+    QubitsRemoved {
+        /// How many qubits were removed.
+        count: usize,
+    },
+    /// A device's activity mask changed.
+    ActivityDelta {
+        /// The device whose activity changed.
+        device: DeviceId,
+        /// Activity mask in the old snapshot (0 when absent).
+        old: u32,
+        /// Activity mask in the new snapshot (0 when absent).
+        new: u32,
+    },
+}
+
+impl Change {
+    /// Whether this change alters the chip's structure (and therefore
+    /// its device id space and topology-derived kernels). Structural
+    /// changes cannot be repaired locally; they force a full replan.
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            Change::CouplerDead { .. }
+                | Change::CouplerAdded { .. }
+                | Change::QubitsAdded { .. }
+                | Change::QubitsRemoved { .. }
+        )
+    }
+}
+
+/// The typed result of diffing two input snapshots: an ordered list of
+/// [`Change`]s (structural first, then matrix drifts in pair order,
+/// then activity deltas in device order — deterministic for equal
+/// inputs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChangeSet {
+    changes: Vec<Change>,
+}
+
+impl ChangeSet {
+    /// No differences at all?
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// The changes, in deterministic order.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// Whether any change is structural (see [`Change::is_structural`]).
+    pub fn structural(&self) -> bool {
+        self.changes.iter().any(Change::is_structural)
+    }
+
+    /// Qubits touched by value-only crosstalk changes (drift and
+    /// degradation endpoints), sorted and deduplicated — the set whose
+    /// kernel rows and frequency assignments must be recomputed.
+    pub fn dirty_qubits(&self) -> Vec<QubitId> {
+        let mut dirty: Vec<QubitId> = self
+            .changes
+            .iter()
+            .flat_map(|c| match *c {
+                Change::CrosstalkDrift { a, b, .. } | Change::CouplerDegraded { a, b, .. } => {
+                    vec![a, b]
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Devices whose activity mask changed, sorted and deduplicated.
+    pub fn activity_devices(&self) -> Vec<DeviceId> {
+        let mut devices: Vec<DeviceId> = self
+            .changes
+            .iter()
+            .filter_map(|c| match *c {
+                Change::ActivityDelta { device, .. } => Some(device),
+                _ => None,
+            })
+            .collect();
+        devices.sort_unstable();
+        devices.dedup();
+        devices
+    }
+
+    /// One line per change, for logs and the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.changes {
+            let line = match *c {
+                Change::CrosstalkDrift { a, b, old, new } => {
+                    format!("drift      {a}~{b}: {old:.3e} -> {new:.3e}")
+                }
+                Change::CouplerDegraded { a, b, old, new } => {
+                    format!("degraded   {a}~{b}: {old:.3e} -> {new:.3e}")
+                }
+                Change::CouplerDead { a, b } => format!("dead       coupler {a}~{b}"),
+                Change::CouplerAdded { a, b } => format!("added      coupler {a}~{b}"),
+                Change::QubitsAdded { count } => format!("added      {count} qubit(s)"),
+                Change::QubitsRemoved { count } => format!("removed    {count} qubit(s)"),
+                Change::ActivityDelta { device, old, new } => {
+                    format!("activity   {device:?}: {old:#06x} -> {new:#06x}")
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Normalized coupler edge set of a chip: `(min, max)` endpoint index
+/// pairs.
+fn coupler_edges(chip: &Chip) -> BTreeSet<(usize, usize)> {
+    chip.couplers()
+        .map(|c| {
+            let (a, b) = c.endpoints();
+            let (a, b) = (a.index(), b.index());
+            (a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+/// Compares two input snapshots into a typed [`ChangeSet`].
+///
+/// Matrix entries are compared exactly (any bitwise difference is a
+/// drift); matrix diffing is skipped entirely when the qubit count
+/// changed, since the id spaces are no longer comparable. Activity
+/// masks absent from a profile count as `0`.
+///
+/// # Panics
+///
+/// Panics if either snapshot's matrix dimension mismatches its chip.
+pub fn diff_inputs(old: &PlanInputs<'_>, new: &PlanInputs<'_>) -> ChangeSet {
+    assert_eq!(
+        old.xtalk.len(),
+        old.chip.num_qubits(),
+        "old crosstalk matrix size mismatch"
+    );
+    assert_eq!(
+        new.xtalk.len(),
+        new.chip.num_qubits(),
+        "new crosstalk matrix size mismatch"
+    );
+
+    let mut changes = Vec::new();
+
+    let (n_old, n_new) = (old.chip.num_qubits(), new.chip.num_qubits());
+    if n_new > n_old {
+        changes.push(Change::QubitsAdded {
+            count: n_new - n_old,
+        });
+    } else if n_old > n_new {
+        changes.push(Change::QubitsRemoved {
+            count: n_old - n_new,
+        });
+    }
+
+    let old_edges = coupler_edges(old.chip);
+    let new_edges = coupler_edges(new.chip);
+    for &(a, b) in old_edges.difference(&new_edges) {
+        changes.push(Change::CouplerDead {
+            a: QubitId::new(a as u32),
+            b: QubitId::new(b as u32),
+        });
+    }
+    for &(a, b) in new_edges.difference(&old_edges) {
+        changes.push(Change::CouplerAdded {
+            a: QubitId::new(a as u32),
+            b: QubitId::new(b as u32),
+        });
+    }
+
+    // Matrix drift is only meaningful over an unchanged id space.
+    if n_old == n_new {
+        for (a, b, x_old) in old.xtalk.iter_pairs() {
+            let x_new = new.xtalk.get(a, b);
+            if x_old != x_new {
+                let edge = (a.index().min(b.index()), a.index().max(b.index()));
+                if old_edges.contains(&edge) || new_edges.contains(&edge) {
+                    changes.push(Change::CouplerDegraded {
+                        a,
+                        b,
+                        old: x_old,
+                        new: x_new,
+                    });
+                } else {
+                    changes.push(Change::CrosstalkDrift {
+                        a,
+                        b,
+                        old: x_old,
+                        new: x_new,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut devices: Vec<DeviceId> = old
+        .activity
+        .keys()
+        .chain(new.activity.keys())
+        .copied()
+        .collect();
+    devices.sort_unstable();
+    devices.dedup();
+    for device in devices {
+        let mask_old = old.activity.get(&device).copied().unwrap_or(0);
+        let mask_new = new.activity.get(&device).copied().unwrap_or(0);
+        if mask_old != mask_new {
+            changes.push(Change::ActivityDelta {
+                device,
+                old: mask_old,
+                new: mask_new,
+            });
+        }
+    }
+
+    ChangeSet { changes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::spec::ChipSpec;
+    use youtiao_chip::topology;
+    use youtiao_core::tdm::brickwork_activity;
+
+    fn xtalk(chip: &Chip) -> DistanceMatrix {
+        use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+        let eq = equivalent_matrix(chip, EquivalentWeights::balanced());
+        youtiao_core::plan::crosstalk_matrix(chip, &eq, None)
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let chip = topology::square_grid(3, 3);
+        let x = xtalk(&chip);
+        let act = brickwork_activity(&chip);
+        let inputs = PlanInputs {
+            chip: &chip,
+            xtalk: &x,
+            activity: &act,
+        };
+        let set = diff_inputs(&inputs, &inputs);
+        assert!(set.is_empty());
+        assert!(!set.structural());
+        assert!(set.dirty_qubits().is_empty());
+    }
+
+    #[test]
+    fn single_entry_drift_is_value_only() {
+        let chip = topology::square_grid(3, 3);
+        let x = xtalk(&chip);
+        let act = brickwork_activity(&chip);
+        let mut drifted = x.clone();
+        // (0, 4) are diagonal neighbors on the grid: no coupler.
+        let (a, b) = (QubitId::new(0), QubitId::new(4));
+        assert!(!chip.are_adjacent(a, b));
+        drifted.set(a, b, x.get(a, b) * 2.0 + 1e-4);
+        let old = PlanInputs {
+            chip: &chip,
+            xtalk: &x,
+            activity: &act,
+        };
+        let new = PlanInputs {
+            chip: &chip,
+            xtalk: &drifted,
+            activity: &act,
+        };
+        let set = diff_inputs(&old, &new);
+        assert_eq!(set.len(), 1);
+        assert!(!set.structural());
+        assert!(matches!(set.changes()[0], Change::CrosstalkDrift { .. }));
+        assert_eq!(set.dirty_qubits(), vec![a, b]);
+    }
+
+    #[test]
+    fn coupler_edge_drift_is_degradation() {
+        let chip = topology::square_grid(3, 3);
+        let x = xtalk(&chip);
+        let act = brickwork_activity(&chip);
+        let c = chip.couplers().next().unwrap();
+        let (a, b) = c.endpoints();
+        let mut drifted = x.clone();
+        drifted.set(a, b, x.get(a, b) * 0.5);
+        let old = PlanInputs {
+            chip: &chip,
+            xtalk: &x,
+            activity: &act,
+        };
+        let new = PlanInputs {
+            chip: &chip,
+            xtalk: &drifted,
+            activity: &act,
+        };
+        let set = diff_inputs(&old, &new);
+        assert_eq!(set.len(), 1);
+        assert!(!set.structural());
+        assert!(matches!(set.changes()[0], Change::CouplerDegraded { .. }));
+    }
+
+    #[test]
+    fn removed_coupler_is_structural() {
+        let chip = topology::square_grid(3, 3);
+        let mut spec = ChipSpec::from_chip(&chip);
+        spec.couplers.pop();
+        let mutated = spec.to_chip().unwrap();
+        let (x_old, x_new) = (xtalk(&chip), xtalk(&mutated));
+        let act = brickwork_activity(&chip);
+        let old = PlanInputs {
+            chip: &chip,
+            xtalk: &x_old,
+            activity: &act,
+        };
+        let new = PlanInputs {
+            chip: &mutated,
+            xtalk: &x_new,
+            activity: &act,
+        };
+        let set = diff_inputs(&old, &new);
+        assert!(set.structural());
+        assert!(set
+            .changes()
+            .iter()
+            .any(|c| matches!(c, Change::CouplerDead { .. })));
+    }
+
+    #[test]
+    fn qubit_count_change_is_structural_and_skips_matrix_diff() {
+        let small = topology::square_grid(3, 3);
+        let big = topology::square_grid(4, 4);
+        let (x_small, x_big) = (xtalk(&small), xtalk(&big));
+        let act = brickwork_activity(&small);
+        let old = PlanInputs {
+            chip: &small,
+            xtalk: &x_small,
+            activity: &act,
+        };
+        let new = PlanInputs {
+            chip: &big,
+            xtalk: &x_big,
+            activity: &act,
+        };
+        let set = diff_inputs(&old, &new);
+        assert!(set.structural());
+        assert!(set
+            .changes()
+            .iter()
+            .any(|c| matches!(c, Change::QubitsAdded { count: 7 })));
+        assert!(set.dirty_qubits().is_empty(), "no value-only drift entries");
+    }
+
+    #[test]
+    fn activity_delta_detected_with_absent_as_zero() {
+        let chip = topology::square_grid(3, 3);
+        let x = xtalk(&chip);
+        let act_old = brickwork_activity(&chip);
+        let mut act_new = act_old.clone();
+        let d = DeviceId::Qubit(QubitId::new(0));
+        let prev = act_new.get(&d).copied().unwrap_or(0);
+        act_new.insert(d, prev ^ 0b1);
+        let old = PlanInputs {
+            chip: &chip,
+            xtalk: &x,
+            activity: &act_old,
+        };
+        let new = PlanInputs {
+            chip: &chip,
+            xtalk: &x,
+            activity: &act_new,
+        };
+        let set = diff_inputs(&old, &new);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.activity_devices(), vec![d]);
+        assert!(!set.structural());
+    }
+
+    #[test]
+    fn diff_is_deterministic_and_renders() {
+        let chip = topology::square_grid(3, 3);
+        let x = xtalk(&chip);
+        let act = brickwork_activity(&chip);
+        let mut drifted = x.clone();
+        drifted.set(QubitId::new(1), QubitId::new(5), 0.0123);
+        drifted.set(QubitId::new(0), QubitId::new(8), 0.0007);
+        let old = PlanInputs {
+            chip: &chip,
+            xtalk: &x,
+            activity: &act,
+        };
+        let new = PlanInputs {
+            chip: &chip,
+            xtalk: &drifted,
+            activity: &act,
+        };
+        let a = diff_inputs(&old, &new);
+        let b = diff_inputs(&old, &new);
+        assert_eq!(a, b);
+        assert_eq!(a.render().lines().count(), a.len());
+    }
+}

@@ -1,0 +1,342 @@
+//! Local frequency re-placement for dirty qubits.
+//!
+//! A full [`youtiao_core::allocate_frequencies`] run is globally
+//! sequential — every qubit's cell choice depends on all earlier
+//! placements — and dominates plan time on large chips. When only a
+//! few crosstalk entries drifted, the patcher instead keeps every
+//! clean qubit's assignment fixed and re-places only the dirty qubits,
+//! cell-scored against *all* other qubits (not just earlier ones) with
+//! the allocator's exact cost model: crosstalk scaled by spectral
+//! proximity, a `100 × xtalk` penalty for cell reuse, and
+//! prefer-empty-over-reuse tie-breaking. A final swap pass over the
+//! lines containing dirty qubits mirrors the allocator's in-group swap
+//! stage with an O(n) incremental objective delta.
+//!
+//! The patched plan keeps each line's zone multiset (and hence the
+//! in-line spacing guarantee) identical to the base plan; only dirty
+//! qubits' frequencies move, plus any assignments exchanged within a
+//! line by an improving swap.
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::{Chip, QubitId};
+use youtiao_core::{FreqConfig, FrequencyPlan, PlanError};
+use youtiao_noise::model::frequency_scaling;
+
+/// Objective change from swapping the frequencies of `a` and `b`
+/// (in-line swap): only terms involving `a` or `b` move, and the
+/// `(a, b)` pair term is invariant (`|f_a' - f_b'| = |f_b - f_a|`).
+fn swap_delta(xtalk: &DistanceMatrix, freqs: &[f64], a: QubitId, b: QubitId) -> f64 {
+    let (fa, fb) = (freqs[a.index()], freqs[b.index()]);
+    let mut delta = 0.0;
+    for (p, &fp) in freqs.iter().enumerate() {
+        if p == a.index() || p == b.index() {
+            continue;
+        }
+        let q = QubitId::new(p as u32);
+        let xa = xtalk.get(a, q);
+        if xa > 0.0 {
+            delta += xa * (frequency_scaling(fb - fp) - frequency_scaling(fa - fp));
+        }
+        let xb = xtalk.get(b, q);
+        if xb > 0.0 {
+            delta += xb * (frequency_scaling(fa - fp) - frequency_scaling(fb - fp));
+        }
+    }
+    delta
+}
+
+/// Re-places the `dirty` qubits of a base frequency plan against the
+/// new `xtalk` matrix, holding every other qubit's assignment fixed.
+///
+/// `lines` are the frequency-sharing groups the base plan was
+/// allocated for (FDM lines for the qubit band, feedlines for the
+/// readout band), as plain qubit slices; they must cover every chip
+/// qubit exactly once. Zones are inherited from the base plan, so the
+/// in-line zone-distinctness invariant is preserved by construction.
+///
+/// Returns a plan whose reused-cell count is recounted from the final
+/// cell occupancy.
+///
+/// # Errors
+///
+/// * [`PlanError::InvalidConfig`] — degenerate band or cell size.
+/// * [`PlanError::FrequencyCrowded`] — a dirty qubit has no feasible
+///   cell in its zone (only possible with a tuning-range constraint).
+///
+/// # Panics
+///
+/// Panics if the base plan, matrix, or lines disagree with the chip's
+/// qubit count.
+pub fn patch_frequencies(
+    chip: &Chip,
+    lines: &[&[QubitId]],
+    base: &FrequencyPlan,
+    xtalk: &DistanceMatrix,
+    config: &FreqConfig,
+    dirty: &[QubitId],
+) -> Result<FrequencyPlan, PlanError> {
+    let n = chip.num_qubits();
+    assert_eq!(base.frequencies().len(), n, "base plan size mismatch");
+    assert_eq!(xtalk.len(), n, "crosstalk matrix size mismatch");
+    let covered: usize = lines.iter().map(|l| l.len()).sum();
+    assert_eq!(covered, n, "lines must cover every qubit exactly once");
+
+    let (lo, hi) = config.band_ghz;
+    if hi <= lo || config.cell_mhz <= 0.0 {
+        return Err(PlanError::InvalidConfig("frequency band or cell size"));
+    }
+    let zones = base.zones();
+    let zone_width = (hi - lo) / zones as f64;
+    let cells_per_zone = ((zone_width * 1000.0) / config.cell_mhz).floor() as usize;
+    if cells_per_zone == 0 {
+        return Err(PlanError::InvalidConfig("cell size exceeds zone width"));
+    }
+    let cell_step = config.cell_mhz / 1000.0;
+    let cell_freq = |zone: usize, cell: usize| -> f64 {
+        lo + zone as f64 * zone_width + (cell as f64 + 0.5) * cell_step
+    };
+    let cell_of = |zone: usize, f: f64| -> usize {
+        let raw = ((f - lo - zone as f64 * zone_width) / cell_step - 0.5).round();
+        (raw as isize).clamp(0, cells_per_zone as isize - 1) as usize
+    };
+
+    let mut freqs: Vec<f64> = base.frequencies().to_vec();
+    let mut zone_of: Vec<usize> = (0..n)
+        .map(|i| base.zone_of(QubitId::new(i as u32)))
+        .collect();
+
+    let mut dirty_mask = vec![false; n];
+    for &q in dirty {
+        assert!(q.index() < n, "dirty qubit out of range");
+        dirty_mask[q.index()] = true;
+    }
+
+    // Cell occupancy of the clean qubits, filled in line order to
+    // mirror the allocator; dirty qubits join as they are re-placed.
+    let mut occupancy: Vec<Vec<Vec<QubitId>>> = vec![vec![Vec::new(); cells_per_zone]; zones];
+    let mut assigned = vec![false; n];
+    for line in lines {
+        for &q in *line {
+            if !dirty_mask[q.index()] {
+                let zone = zone_of[q.index()];
+                occupancy[zone][cell_of(zone, freqs[q.index()])].push(q);
+                assigned[q.index()] = true;
+            }
+        }
+    }
+
+    // Re-place dirty qubits in line order, scored against every
+    // already-assigned qubit with the allocator's exact cost model.
+    for line in lines {
+        for &q in *line {
+            if !dirty_mask[q.index()] {
+                continue;
+            }
+            let zone = zone_of[q.index()];
+            let qbase = chip
+                .qubit(q)
+                .expect("qubit id in range")
+                .base_frequency_ghz();
+            let mut best: Option<(usize, f64, bool)> = None;
+            #[allow(clippy::needless_range_loop)] // occupancy[zone] is borrowed per cell
+            for cell in 0..cells_per_zone {
+                let f = cell_freq(zone, cell);
+                if let Some(range) = config.tuning_range_ghz {
+                    if (f - qbase).abs() > range {
+                        continue;
+                    }
+                }
+                let occupants = &occupancy[zone][cell];
+                let reuse = !occupants.is_empty();
+                let mut cost = 0.0;
+                for p in 0..n {
+                    if !assigned[p] || p == q.index() {
+                        continue;
+                    }
+                    let x = xtalk.get(q, QubitId::new(p as u32));
+                    if x > 0.0 {
+                        cost += x * frequency_scaling(f - freqs[p]);
+                    }
+                }
+                if reuse {
+                    for &p in occupants {
+                        cost += 100.0 * xtalk.get(q, p);
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bc, breuse)) => (reuse == breuse && cost < bc) || (!reuse && breuse),
+                };
+                if better {
+                    best = Some((cell, cost, reuse));
+                }
+            }
+            let (cell, _, _) = best.ok_or(PlanError::FrequencyCrowded { qubit: q })?;
+            freqs[q.index()] = cell_freq(zone, cell);
+            occupancy[zone][cell].push(q);
+            assigned[q.index()] = true;
+        }
+    }
+
+    // Recount reuse from the final occupancy: every arrival after a
+    // cell's first occupant was a reuse event. Swaps below exchange
+    // frequencies within lines, permuting qubits among the same cells —
+    // the occupancy multiset (and hence the count) is invariant.
+    let reused_cells: usize = occupancy
+        .iter()
+        .flatten()
+        .map(|occ| occ.len().saturating_sub(1))
+        .sum();
+
+    // In-group swap pass over the lines that contain a dirty qubit,
+    // mirroring the allocator's swap stage via the O(n) delta.
+    let dirty_lines: Vec<&[QubitId]> = lines
+        .iter()
+        .copied()
+        .filter(|line| line.iter().any(|q| dirty_mask[q.index()]))
+        .collect();
+    for _ in 0..config.swap_passes {
+        let mut improved = false;
+        for line in &dirty_lines {
+            for i in 0..line.len() {
+                for j in (i + 1)..line.len() {
+                    let (a, b) = (line[i], line[j]);
+                    if let Some(range) = config.tuning_range_ghz {
+                        let base_a = chip.qubit(a).expect("in range").base_frequency_ghz();
+                        let base_b = chip.qubit(b).expect("in range").base_frequency_ghz();
+                        let (fa, fb) = (freqs[a.index()], freqs[b.index()]);
+                        if (fb - base_a).abs() > range || (fa - base_b).abs() > range {
+                            continue;
+                        }
+                    }
+                    if swap_delta(xtalk, &freqs, a, b) < -1e-15 {
+                        freqs.swap(a.index(), b.index());
+                        zone_of.swap(a.index(), b.index());
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(FrequencyPlan::from_frequencies(freqs, zones, zone_of).with_reused_cells(reused_cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+    use youtiao_chip::topology;
+    use youtiao_core::plan::crosstalk_matrix;
+    use youtiao_core::{allocate_frequencies, group_fdm};
+
+    fn setup(n: usize) -> (Chip, Vec<youtiao_core::FdmLine>, DistanceMatrix) {
+        let chip = topology::square_grid(n, n);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let lines = group_fdm(&chip, &eq, 5);
+        let x = crosstalk_matrix(&chip, &eq, None);
+        (chip, lines, x)
+    }
+
+    fn slices(lines: &[youtiao_core::FdmLine]) -> Vec<&[QubitId]> {
+        lines.iter().map(|l| l.qubits()).collect()
+    }
+
+    use youtiao_chip::Chip;
+
+    #[test]
+    fn empty_dirty_set_reproduces_the_base_plan() {
+        let (chip, lines, x) = setup(4);
+        let cfg = FreqConfig::default();
+        let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        let patched = patch_frequencies(&chip, &slices(&lines), &base, &x, &cfg, &[]).unwrap();
+        assert_eq!(patched, base);
+    }
+
+    #[test]
+    fn patched_qubits_stay_in_zone_and_band() {
+        let (chip, lines, x) = setup(5);
+        let cfg = FreqConfig::default();
+        let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        let (a, b) = (QubitId::new(2), QubitId::new(17));
+        let mut drifted = x.clone();
+        drifted.set(a, b, drifted.get(a, b) * 4.0 + 2e-3);
+        let patched =
+            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        for q in chip.qubit_ids() {
+            let f = patched.frequency_ghz(q);
+            assert!((4.0..=7.0).contains(&f), "{q} at {f}");
+        }
+        // Swaps may exchange zones between members of the same line,
+        // but each line's zone multiset is preserved.
+        for line in &lines {
+            let zone_set = |p: &FrequencyPlan| {
+                let mut z: Vec<usize> = line.qubits().iter().map(|&q| p.zone_of(q)).collect();
+                z.sort_unstable();
+                z
+            };
+            assert_eq!(zone_set(&patched), zone_set(&base));
+        }
+        // Clean qubits keep their frequencies up to in-line swaps; at
+        // minimum the plan is deterministic.
+        let again =
+            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        assert_eq!(patched, again);
+    }
+
+    #[test]
+    fn patch_lowers_or_holds_the_objective_on_the_new_matrix() {
+        let (chip, lines, x) = setup(5);
+        let cfg = FreqConfig::default();
+        let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        let (a, b) = (QubitId::new(3), QubitId::new(11));
+        let mut drifted = x.clone();
+        drifted.set(a, b, drifted.get(a, b) * 10.0 + 5e-3);
+        let patched =
+            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        assert!(
+            patched.objective(&drifted) <= base.objective(&drifted) + 1e-12,
+            "patched {} vs stale {}",
+            patched.objective(&drifted),
+            base.objective(&drifted)
+        );
+    }
+
+    #[test]
+    fn reuse_recount_matches_allocator_on_crowded_zones() {
+        let chip = topology::square_grid(3, 3);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let lines = group_fdm(&chip, &eq, 2);
+        let x = crosstalk_matrix(&chip, &eq, None);
+        let cfg = FreqConfig {
+            cell_mhz: 600.0,
+            ..Default::default()
+        };
+        let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        assert!(base.reused_cells() > 0);
+        let patched = patch_frequencies(&chip, &slices(&lines), &base, &x, &cfg, &[]).unwrap();
+        assert_eq!(patched.reused_cells(), base.reused_cells());
+    }
+
+    #[test]
+    fn tuning_range_is_respected_for_patched_qubits() {
+        let (chip, lines, x) = setup(4);
+        let cfg = FreqConfig::retuning();
+        let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        let (a, b) = (QubitId::new(1), QubitId::new(9));
+        let mut drifted = x.clone();
+        drifted.set(a, b, drifted.get(a, b) * 3.0 + 1e-3);
+        let patched =
+            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        for q in chip.qubit_ids() {
+            let qbase = chip.qubit(q).unwrap().base_frequency_ghz();
+            assert!(
+                (patched.frequency_ghz(q) - qbase).abs() <= 0.05 + 1e-12,
+                "{q} outside tuning window"
+            );
+        }
+    }
+}

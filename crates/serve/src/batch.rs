@@ -14,16 +14,17 @@
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::cache::PlanCache;
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::job::{ErrorKind, ErrorRecord, JobRecord};
 use crate::metrics::ServeMetrics;
 use crate::pool::{Executor, PoolOptions, WorkerPool};
-use crate::request::DesignRequest;
+use crate::request::{synthetic_drift, DesignRequest};
 
 /// Batch-run configuration.
 #[derive(Debug, Clone)]
@@ -159,9 +160,14 @@ where
     let stats_before = cache.stats();
     // Chaos runs interpose the fault schedule between pool and real
     // executor; the pool itself is unaware faults are being injected.
+    // Drift faults mutate the request with a schedule-derived synthetic
+    // crosstalk shift, turning the attempt into a warm repair job.
     let injector = options.faults.clone().map(FaultInjector::new);
     let executor = match &injector {
-        Some(injector) => injector.wrap(executor),
+        Some(injector) => injector.wrap_with(
+            executor,
+            Arc::new(|request: &DesignRequest, seed: u64| synthetic_drift(request, seed)),
+        ),
         None => executor,
     };
     let mut pool = WorkerPool::new(
@@ -231,7 +237,17 @@ where
             .recv()
             .expect("workers outlive the dispatch loop");
         if let (Some(result), Some(key)) = (&record.result, keys[record.index]) {
-            cache.insert(key, result.clone());
+            // A drift fault answered different inputs than the request
+            // describes; memoizing it under the original key would
+            // poison the cache. The schedule is pure, so which records
+            // drifted is recomputable right here.
+            let drifted = options.faults.as_ref().is_some_and(|plan| {
+                (0..record.attempts)
+                    .any(|a| plan.fault_at(record.index, a) == Some(FaultKind::Drift))
+            });
+            if !drifted {
+                cache.insert(key, result.clone());
+            }
         }
         records.push(emit(record, out)?);
         // The batch-level abort fault: kill the pool mid-run. Remaining

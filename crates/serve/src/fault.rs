@@ -14,7 +14,9 @@
 //! function [`FaultPlan::fault_at`]`(i, a)`: a splitmix64 hash of
 //! `(seed, i, a)` mapped to a unit float and compared against the
 //! cumulative fault rates, in the fixed order *transient, permanent,
-//! panic, delay, cancel*. No wall clock, thread id or queue order
+//! panic, delay, cancel, drift* (new kinds append, so a plan that
+//! leaves them at rate 0 keeps its historical schedule bit-for-bit).
+//! No wall clock, thread id or queue order
 //! enters the schedule, so the same seed over the same batch always
 //! injects the same faults into the same attempts — and with canonical
 //! record emission (latency zeroed, traces dropped) two equal-seed
@@ -52,6 +54,13 @@ pub enum FaultKind {
     Delay,
     /// Cancel the job's own token, as an abort would.
     Cancel,
+    /// Mutate the request before running the real executor — a
+    /// mid-batch input drift (e.g. a crosstalk-calibration shift) that
+    /// exercises the warm repair path. The mutation is a pure function
+    /// of the schedule, so the drifted result is itself deterministic;
+    /// injectors wrapped without a mutator ([`FaultInjector::wrap`])
+    /// count the fault and run the request unchanged.
+    Drift,
 }
 
 impl FaultKind {
@@ -63,6 +72,7 @@ impl FaultKind {
             FaultKind::Panic => "Panic",
             FaultKind::Delay => "Delay",
             FaultKind::Cancel => "Cancel",
+            FaultKind::Drift => "Drift",
         }
     }
 }
@@ -108,6 +118,8 @@ pub struct FaultPlan {
     pub delay_ms: Option<u64>,
     /// Probability an attempt cancels its own job.
     pub cancel_rate: Option<f64>,
+    /// Probability an attempt's request is drifted before execution.
+    pub drift_rate: Option<f64>,
     /// Abort the pool after this many pooled records complete, leaving
     /// the rest to finish as `Cancelled` records.
     pub abort_after: Option<usize>,
@@ -170,6 +182,11 @@ impl FaultPlan {
         self.cancel_rate.unwrap_or(0.0)
     }
 
+    /// Request-drift rate (default 0).
+    pub fn drift_rate(&self) -> f64 {
+        self.drift_rate.unwrap_or(0.0)
+    }
+
     /// Checks every rate is a probability and the rates sum to at most
     /// 1 (they partition the unit interval).
     pub fn validate(&self) -> Result<(), String> {
@@ -179,6 +196,7 @@ impl FaultPlan {
             ("panic_rate", self.panic_rate()),
             ("delay_rate", self.delay_rate()),
             ("cancel_rate", self.cancel_rate()),
+            ("drift_rate", self.drift_rate()),
         ];
         let mut total = 0.0;
         for (name, rate) in rates {
@@ -211,6 +229,7 @@ impl FaultPlan {
             (self.panic_rate(), FaultKind::Panic),
             (self.delay_rate(), FaultKind::Delay),
             (self.cancel_rate(), FaultKind::Cancel),
+            (self.drift_rate(), FaultKind::Drift),
         ] {
             edge += rate;
             if u < edge {
@@ -222,8 +241,9 @@ impl FaultPlan {
 }
 
 /// splitmix64 — a strong, cheap 64-bit mixer (Steele et al.), the same
-/// finalizer the planner's seeded RNG family uses.
-fn splitmix64(x: u64) -> u64 {
+/// finalizer the planner's seeded RNG family uses. Shared with the
+/// request module's deterministic drift synthesis.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -244,12 +264,14 @@ pub struct FaultCounters {
     pub delays: u64,
     /// Self-cancellations injected.
     pub cancels: u64,
+    /// Request drifts injected.
+    pub drifts: u64,
 }
 
 impl FaultCounters {
     /// Total faults injected across all kinds.
     pub fn total(&self) -> u64 {
-        self.transient + self.permanent + self.panics + self.delays + self.cancels
+        self.transient + self.permanent + self.panics + self.delays + self.cancels + self.drifts
     }
 }
 
@@ -260,7 +282,12 @@ struct AtomicCounters {
     panics: AtomicU64,
     delays: AtomicU64,
     cancels: AtomicU64,
+    drifts: AtomicU64,
 }
+
+/// A deterministic request mutation for `Drift` faults: maps the
+/// original job plus a schedule-derived seed to the drifted job.
+pub type RequestMutator<J> = Arc<dyn Fn(&J, u64) -> J + Send + Sync>;
 
 /// Applies a [`FaultPlan`] to executors: [`wrap`](Self::wrap) produces
 /// a chaos executor that injects the scheduled faults around the real
@@ -296,6 +323,7 @@ impl FaultInjector {
             panics: self.counters.panics.load(Ordering::Relaxed),
             delays: self.counters.delays.load(Ordering::Relaxed),
             cancels: self.counters.cancels.load(Ordering::Relaxed),
+            drifts: self.counters.drifts.load(Ordering::Relaxed),
         }
     }
 
@@ -303,7 +331,39 @@ impl FaultInjector {
     /// consults [`FaultPlan::fault_at`] for the job's index and attempt
     /// number, injects the scheduled fault (recording a `"fault"` trace
     /// event), and only reaches `inner` when the schedule says run.
+    /// Scheduled `Drift` faults are counted but leave the job unchanged
+    /// — use [`wrap_with`](Self::wrap_with) to supply the mutation.
     pub fn wrap<J, R>(&self, inner: Executor<J, R>) -> Executor<J, R>
+    where
+        J: 'static,
+        R: 'static,
+    {
+        self.wrap_inner(inner, None)
+    }
+
+    /// [`wrap`](Self::wrap) plus a request mutator for `Drift` faults:
+    /// when the schedule says an attempt drifts, the job passed to
+    /// `inner` is `mutator(job, drift_seed)`, where `drift_seed` is a
+    /// pure function of `(plan seed, index, attempt)` — so the mutation
+    /// (and therefore the drifted result) is as deterministic as the
+    /// schedule itself.
+    pub fn wrap_with<J, R>(
+        &self,
+        inner: Executor<J, R>,
+        mutator: RequestMutator<J>,
+    ) -> Executor<J, R>
+    where
+        J: 'static,
+        R: 'static,
+    {
+        self.wrap_inner(inner, Some(mutator))
+    }
+
+    fn wrap_inner<J, R>(
+        &self,
+        inner: Executor<J, R>,
+        mutator: Option<RequestMutator<J>>,
+    ) -> Executor<J, R>
     where
         J: 'static,
         R: 'static,
@@ -368,6 +428,24 @@ impl FaultInjector {
                     injector.counters.cancels.fetch_add(1, Ordering::Relaxed);
                     ctx.cancel.cancel();
                     Err(ExecError::cancelled())
+                }
+                FaultKind::Drift => {
+                    injector.counters.drifts.fetch_add(1, Ordering::Relaxed);
+                    match &mutator {
+                        Some(mutator) => {
+                            // Pure in (seed, index, attempt), decorrelated
+                            // from fault_at's own hash by the tweak.
+                            let drift_seed = splitmix64(
+                                injector
+                                    .plan
+                                    .seed()
+                                    .wrapping_add(splitmix64(ctx.index as u64 ^ 0xd21f_7d21))
+                                    .wrapping_add(splitmix64(ctx.attempt as u64)),
+                            );
+                            inner(&mutator(job, drift_seed), ctx)
+                        }
+                        None => inner(job, ctx),
+                    }
                 }
             }
         })
@@ -512,7 +590,7 @@ mod tests {
                     }
                     Some(FaultKind::Panic) => break Some(ErrorKind::Internal),
                     Some(FaultKind::Cancel) => break Some(ErrorKind::Cancelled),
-                    Some(FaultKind::Delay) | None => break None,
+                    Some(FaultKind::Delay) | Some(FaultKind::Drift) | None => break None,
                 }
             };
             let id = &record.id;
@@ -580,6 +658,54 @@ mod tests {
         let err = executor(&1, &ctx).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Cancelled);
         assert!(ctx.cancel.cancelled_explicitly());
+    }
+
+    #[test]
+    fn drift_faults_mutate_requests_deterministically() {
+        let plan = FaultPlan {
+            seed: Some(3),
+            drift_rate: Some(1.0),
+            ..FaultPlan::default()
+        };
+        plan.validate().unwrap();
+        assert_eq!(plan.fault_at(0, 0), Some(FaultKind::Drift));
+
+        // wrap_with: the inner executor sees job + drift seed, and the
+        // same (plan seed, index, attempt) always drifts identically.
+        let run = |plan: &FaultPlan| {
+            let injector = FaultInjector::new(plan.clone());
+            let executor: Executor<u64, u64> = injector.wrap_with(
+                Arc::new(|n, _| Ok(*n)),
+                Arc::new(|n: &u64, seed: u64| n ^ seed),
+            );
+            let out = executor(&5, &AttemptCtx::new(0, CancelToken::new())).unwrap();
+            (out, injector.counters().drifts)
+        };
+        let (a, drifts) = run(&plan);
+        let (b, _) = run(&plan);
+        assert_ne!(a, 5, "drift mutated the request");
+        assert_eq!(a, b, "equal schedules drift equally");
+        assert_eq!(drifts, 1);
+        let reseeded = FaultPlan {
+            seed: Some(4),
+            ..plan.clone()
+        };
+        assert_ne!(run(&reseeded).0, a, "different seeds drift differently");
+
+        // Plain wrap counts the fault but runs the job unchanged.
+        let injector = FaultInjector::new(plan.clone());
+        let executor: Executor<u64, u64> = injector.wrap(Arc::new(|n, _| Ok(*n)));
+        let out = executor(&5, &AttemptCtx::new(0, CancelToken::new())).unwrap();
+        assert_eq!(out, 5);
+        assert_eq!(injector.counters().drifts, 1);
+
+        // Appending Drift at rate 0 leaves historical schedules intact.
+        let legacy = FaultPlan::smoke(2);
+        for index in 0..64 {
+            for attempt in 0..3 {
+                assert_ne!(legacy.fault_at(index, attempt), Some(FaultKind::Drift));
+            }
+        }
     }
 
     #[test]

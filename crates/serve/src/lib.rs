@@ -43,9 +43,13 @@ pub use cache::{content_key, CacheLoadError, CacheStats, PlanCache};
 pub use cancel::{CancelToken, Cancelled};
 pub use fault::{
     apply_cache_fault, CacheFault, FaultCounters, FaultInjector, FaultKind, FaultPlan,
+    RequestMutator,
 };
 pub use job::{ErrorKind, ErrorRecord, ExecError, JobRecord, JobStatus};
-pub use metrics::{ServeMetrics, StageStat};
+pub use metrics::{RepairStats, ServeMetrics, StageStat};
 pub use pool::{AttemptCtx, Executor, PoolOptions, WorkerPool};
-pub use request::{ChipRequest, DesignRequest, RequestError, DEFAULT_SEED};
+pub use request::{
+    synthetic_drift, ActivityOverride, ChipRequest, DeltaSpec, DesignRequest, DriftEntry,
+    RequestError, DEFAULT_SEED,
+};
 pub use youtiao_obs::{Trace, TraceSpan, Tracer};

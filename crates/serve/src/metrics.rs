@@ -51,6 +51,31 @@ pub struct ServeMetrics {
     /// Faults injected during the run, by kind (all zero outside chaos
     /// runs).
     pub faults: FaultCounters,
+    /// Warm-path repair counters (all zero when no request carried a
+    /// delta).
+    pub repair: RepairStats,
+}
+
+/// Counters for the warm repair path: how delta-carrying requests were
+/// answered. Included in [`ServeMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RepairStats {
+    /// Delta requests whose base plan was already resident, answered by
+    /// incremental repair.
+    pub hits: u64,
+    /// Delta requests whose base plan had to be computed first (then
+    /// repaired from).
+    pub misses: u64,
+    /// Delta requests where repair fell back to a full replan
+    /// (structural change, threshold exceeded, or validation failure).
+    pub fallbacks: u64,
+}
+
+impl RepairStats {
+    /// Total delta requests the repair path saw.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.fallbacks
+    }
 }
 
 /// Latency aggregate of one pipeline stage across a batch, built from
@@ -151,12 +176,19 @@ impl ServeMetrics {
             max_ms: latencies.last().copied().unwrap_or(0.0),
             stages: stage_stats(records),
             faults: FaultCounters::default(),
+            repair: RepairStats::default(),
         }
     }
 
     /// Attaches a chaos run's injected-fault counters.
     pub fn with_faults(mut self, faults: FaultCounters) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches the warm repair path's counters.
+    pub fn with_repair(mut self, repair: RepairStats) -> Self {
+        self.repair = repair;
         self
     }
 
@@ -186,13 +218,23 @@ impl ServeMetrics {
         );
         if self.faults.total() > 0 {
             out.push_str(&format!(
-                "\nfaults: {} injected ({} transient, {} permanent, {} panics, {} delays, {} cancels)",
+                "\nfaults: {} injected ({} transient, {} permanent, {} panics, {} delays, {} cancels, {} drifts)",
                 self.faults.total(),
                 self.faults.transient,
                 self.faults.permanent,
                 self.faults.panics,
                 self.faults.delays,
                 self.faults.cancels,
+                self.faults.drifts,
+            ));
+        }
+        if self.repair.total() > 0 {
+            out.push_str(&format!(
+                "\nrepair: {} delta jobs ({} base hits, {} base misses, {} replan fallbacks)",
+                self.repair.total(),
+                self.repair.hits,
+                self.repair.misses,
+                self.repair.fallbacks,
             ));
         }
         for stage in &self.stages {
@@ -297,6 +339,23 @@ mod tests {
         let rendered = chaotic.render();
         assert!(rendered.contains("faults: 4 injected"), "{rendered}");
         assert!(rendered.contains("3 transient"), "{rendered}");
+    }
+
+    #[test]
+    fn repair_counters_render_only_when_nonzero() {
+        let plain = ServeMetrics::from_records(&[ok(0, 1.0)], Duration::from_secs(1), None);
+        assert_eq!(plain.repair.total(), 0);
+        assert!(!plain.render().contains("repair:"));
+
+        let repaired = plain.with_repair(RepairStats {
+            hits: 4,
+            misses: 1,
+            fallbacks: 2,
+        });
+        let rendered = repaired.render();
+        assert!(rendered.contains("repair: 7 delta jobs"), "{rendered}");
+        assert!(rendered.contains("4 base hits"), "{rendered}");
+        assert!(rendered.contains("2 replan fallbacks"), "{rendered}");
     }
 
     #[test]

@@ -146,6 +146,55 @@ impl ChipRequest {
     }
 }
 
+/// One synthetic crosstalk-drift entry in a [`DeltaSpec`]: the
+/// crosstalk between qubits `a` and `b` is now `xtalk`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftEntry {
+    /// First qubit index.
+    pub a: u32,
+    /// Second qubit index.
+    pub b: u32,
+    /// New crosstalk value for the pair (replaces the base entry).
+    pub xtalk: f64,
+}
+
+/// One activity override in a [`DeltaSpec`]: set the round-robin
+/// activity mask of a qubit or a coupler. Exactly one of `qubit` /
+/// `coupler` should be set; entries with neither are ignored.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActivityOverride {
+    /// Qubit index whose activity mask to override.
+    pub qubit: Option<u32>,
+    /// Coupler index whose activity mask to override.
+    pub coupler: Option<u32>,
+    /// New activity bitmask (bit `i` = active in slot `i`).
+    pub mask: u32,
+}
+
+/// An input delta relative to a base request: the warm-path repair form
+/// of a [`DesignRequest`]. A request carrying a `delta` asks the server
+/// to plan the *base* inputs (the request without the delta), apply
+/// these changes, and answer with an incrementally repaired plan
+/// instead of replanning from scratch.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeltaSpec {
+    /// Crosstalk-matrix drift entries (pairwise overwrites).
+    pub drift: Option<Vec<DriftEntry>>,
+    /// Couplers (by endpoint qubit indices) that died since the base.
+    pub dead_couplers: Option<Vec<(u32, u32)>>,
+    /// Activity-profile overrides.
+    pub activity: Option<Vec<ActivityOverride>>,
+}
+
+impl DeltaSpec {
+    /// Whether the delta changes nothing (all sections absent or empty).
+    pub fn is_empty(&self) -> bool {
+        self.drift.as_ref().is_none_or(Vec::is_empty)
+            && self.dead_couplers.as_ref().is_none_or(Vec::is_empty)
+            && self.activity.as_ref().is_none_or(Vec::is_empty)
+    }
+}
+
 /// One design job: chip + planner knobs + service parameters.
 ///
 /// # Example
@@ -182,6 +231,15 @@ pub struct DesignRequest {
     pub routing: Option<bool>,
     /// Per-job deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Expected base content-address (the hex form of
+    /// [`base_key`](Self::base_key)). Optional guard for delta
+    /// requests: when set and it disagrees with the server's computed
+    /// base key, the request is rejected instead of silently repairing
+    /// from different inputs than the caller assumed.
+    pub base: Option<String>,
+    /// Input delta relative to the base request; present means "repair
+    /// the base plan" rather than "plan these inputs from scratch".
+    pub delta: Option<DeltaSpec>,
 }
 
 impl DesignRequest {
@@ -198,7 +256,15 @@ impl DesignRequest {
             refine: None,
             routing: None,
             deadline_ms: None,
+            base: None,
+            delta: None,
         }
+    }
+
+    /// The effective delta: `Some` only when a non-empty [`DeltaSpec`]
+    /// was given (an empty delta is the base request).
+    pub fn effective_delta(&self) -> Option<&DeltaSpec> {
+        self.delta.as_ref().filter(|delta| !delta.is_empty())
     }
 
     /// The effective characterization seed.
@@ -238,15 +304,16 @@ impl DesignRequest {
         config
     }
 
-    /// The content-address of this request's computation: a stable hash
-    /// of the *resolved* chip spec, the planner knobs, and the seed —
-    /// so two requests that mean the same design share a cache entry
-    /// regardless of id, deadline, or how the chip was named.
+    /// The content-address of the request's *base* computation: a
+    /// stable hash of the resolved chip spec, the planner knobs, and
+    /// the seed — everything except the delta. For delta-less requests
+    /// this is the cache key itself; for delta requests it addresses
+    /// the base plan the repair path starts from.
     ///
     /// # Errors
     ///
     /// Returns [`RequestError`] when the chip half does not resolve.
-    pub fn cache_key(&self) -> Result<u64, RequestError> {
+    pub fn base_key(&self) -> Result<u64, RequestError> {
         let spec = ChipSpec::from_chip(&self.chip.build()?);
         let knobs = (
             (
@@ -263,6 +330,56 @@ impl DesignRequest {
         );
         Ok(content_key(&(spec, knobs)))
     }
+
+    /// The content-address of this request's computation: a stable hash
+    /// of the *resolved* chip spec, the planner knobs, and the seed —
+    /// so two requests that mean the same design share a cache entry
+    /// regardless of id, deadline, or how the chip was named. A
+    /// non-empty `delta` is folded in on top of [`base_key`](Self::base_key),
+    /// so a delta request never collides with its base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RequestError`] when the chip half does not resolve.
+    pub fn cache_key(&self) -> Result<u64, RequestError> {
+        let base = self.base_key()?;
+        match self.effective_delta() {
+            Some(delta) => Ok(content_key(&(base, delta.clone()))),
+            None => Ok(base),
+        }
+    }
+}
+
+/// A deterministically drifted variant of `request`: appends one
+/// synthetic crosstalk-drift entry — derived from `seed` alone — to the
+/// request's delta, turning it into a warm-path repair job over the
+/// same base. This is the mutation the chaos harness's `Drift` fault
+/// injects mid-batch. The request is returned unchanged when its chip
+/// half does not resolve or has fewer than two qubits.
+pub fn synthetic_drift(request: &DesignRequest, seed: u64) -> DesignRequest {
+    let mut drifted = request.clone();
+    let Ok(chip) = request.chip.build() else {
+        return drifted;
+    };
+    let n = chip.num_qubits() as u64;
+    if n < 2 {
+        return drifted;
+    }
+    let h1 = crate::fault::splitmix64(seed ^ 0x0059_5245_5041_4952);
+    let h2 = crate::fault::splitmix64(h1);
+    let h3 = crate::fault::splitmix64(h2);
+    let a = h1 % n;
+    let b = (a + 1 + h2 % (n - 1)) % n;
+    let (a, b) = (a.min(b) as u32, a.max(b) as u32);
+    // Drift magnitude in [1e-3, 1e-2): large enough to move kernels,
+    // small enough to stay a plausible calibration shift.
+    let xtalk = 1e-3 + (h3 % 9_000) as f64 * 1e-6;
+    let delta = drifted.delta.get_or_insert_with(DeltaSpec::default);
+    delta
+        .drift
+        .get_or_insert_with(Vec::new)
+        .push(DriftEntry { a, b, xtalk });
+    drifted
 }
 
 #[cfg(test)]
@@ -352,6 +469,102 @@ mod tests {
         assert_ne!(base.cache_key().unwrap(), refined.cache_key().unwrap());
         assert!(refined.planner_config().refine.is_some());
         assert!(base.planner_config().refine.is_none());
+    }
+
+    #[test]
+    fn delta_requests_get_their_own_cache_key_over_the_base() {
+        let base = DesignRequest::new(ChipRequest::grid("square", 3, 3));
+        let mut drifted = base.clone();
+        drifted.delta = Some(DeltaSpec {
+            drift: Some(vec![DriftEntry {
+                a: 0,
+                b: 4,
+                xtalk: 2e-3,
+            }]),
+            ..DeltaSpec::default()
+        });
+        // The delta folds into the cache key but not the base key.
+        assert_eq!(base.base_key().unwrap(), drifted.base_key().unwrap());
+        assert_eq!(base.cache_key().unwrap(), base.base_key().unwrap());
+        assert_ne!(base.cache_key().unwrap(), drifted.cache_key().unwrap());
+        assert!(drifted.effective_delta().is_some());
+
+        // An empty delta is the base request under both keys.
+        let mut noop = base.clone();
+        noop.delta = Some(DeltaSpec::default());
+        assert!(noop.delta.as_ref().unwrap().is_empty());
+        assert!(noop.effective_delta().is_none());
+        assert_eq!(noop.cache_key().unwrap(), base.cache_key().unwrap());
+
+        // Different deltas, different keys.
+        let mut dead = base.clone();
+        dead.delta = Some(DeltaSpec {
+            dead_couplers: Some(vec![(0, 1)]),
+            ..DeltaSpec::default()
+        });
+        assert_ne!(dead.cache_key().unwrap(), drifted.cache_key().unwrap());
+    }
+
+    #[test]
+    fn delta_request_roundtrips_and_old_lines_still_parse() {
+        let mut request = DesignRequest::new(ChipRequest::grid("square", 4, 4));
+        request.base = Some("00000000000000aa".into());
+        request.delta = Some(DeltaSpec {
+            drift: Some(vec![DriftEntry {
+                a: 1,
+                b: 6,
+                xtalk: 3e-3,
+            }]),
+            dead_couplers: Some(vec![(2, 3)]),
+            activity: Some(vec![ActivityOverride {
+                qubit: Some(5),
+                coupler: None,
+                mask: 0b101,
+            }]),
+        });
+        let line = serde_json::to_string(&request).unwrap();
+        let back: DesignRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, request);
+
+        // Pre-delta request lines (no base/delta fields) still parse.
+        let old: DesignRequest =
+            serde_json::from_str(r#"{"chip":{"topology":"square"},"theta":5.0}"#).unwrap();
+        assert!(old.base.is_none() && old.delta.is_none());
+        assert!(old.effective_delta().is_none());
+    }
+
+    #[test]
+    fn synthetic_drift_is_deterministic_and_in_range() {
+        let base = DesignRequest::new(ChipRequest::grid("square", 3, 3));
+        let a = synthetic_drift(&base, 7);
+        let b = synthetic_drift(&base, 7);
+        let c = synthetic_drift(&base, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds drift different entries");
+
+        let delta = a.effective_delta().unwrap();
+        let entry = &delta.drift.as_ref().unwrap()[0];
+        assert!(entry.a < entry.b, "endpoints are normalized");
+        assert!((entry.b as usize) < 9, "endpoints index the chip");
+        assert!((1e-3..1e-2).contains(&entry.xtalk), "{}", entry.xtalk);
+
+        // Drifting again appends a second entry over the same base.
+        let twice = synthetic_drift(&a, 9);
+        assert_eq!(
+            twice
+                .effective_delta()
+                .unwrap()
+                .drift
+                .as_ref()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(twice.base_key().unwrap(), base.base_key().unwrap());
+
+        // Unresolvable chips pass through untouched.
+        let bad = DesignRequest::new(ChipRequest::named("klein-bottle"));
+        assert_eq!(synthetic_drift(&bad, 7), bad);
     }
 
     #[test]

@@ -11,20 +11,28 @@
 //! youtiao chaos --in jobs.jsonl --faults faults.json --seed 7 --out records.jsonl
 //! youtiao sweep --spec sweep.json --out records.jsonl --threads 8 --pareto cost,fidelity
 //! youtiao bench-plan --sizes 6,8,10,12,16 --iters 9 --out BENCH_plan.json
+//! youtiao bench-plan --repair --sizes 8,12 --out BENCH_repair.json
+//! youtiao repair --topology square --rows 5 --cols 5 --drift 6:18:3e-3 --compare-replan
 //! ```
 
 use std::collections::HashMap;
 use std::io::Read;
 use std::process::ExitCode;
 
-use youtiao::bench::perf::PerfConfig;
+use youtiao::bench::perf::{Layout, PerfConfig};
+use youtiao::bench::repair_perf::RepairBenchConfig;
 use youtiao::chip::spec::ChipSpec;
 use youtiao::chip::surface::SurfaceCode;
-use youtiao::chip::{topology, Chip};
-use youtiao::core::{PlanSummary, PlannerConfig, YoutiaoPlanner};
+use youtiao::chip::{topology, Chip, CouplerId, DeviceId, QubitId};
+use youtiao::core::tdm::brickwork_activity;
+use youtiao::core::{PlanContext, PlanSummary, PlannerConfig, YoutiaoPlanner};
 use youtiao::cost::WiringTally;
+use youtiao::repair::{
+    diff_inputs, repair_plan, replan_from_snapshot, PlanInputs, QualityReport, RepairConfig,
+};
 use youtiao::serve::{
-    apply_cache_fault, parse_requests, run_design_batch, BatchOptions, DesignRequest, FaultPlan,
+    apply_cache_fault, content_key, parse_requests, run_design_batch, BatchOptions, DesignRequest,
+    FaultPlan,
 };
 use youtiao::xplore::{parse_objectives, run_sweep, write_csv, SweepOptions, SweepSpec};
 
@@ -71,12 +79,26 @@ usage:
                   byte-identical for any --threads (0 = one per core); the Pareto
                   front and per-axis marginals go to stderr, or as JSON with
                   --summary-json; --timings adds per-point latency/stage wall times)
-  youtiao bench-plan [--sizes N,N,...] [--iters N] [--out FILE.json] [--json]
+  youtiao repair <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
+                 [--drift A:B:X,...] [--dead-couplers A-B,...]
+                 [--activity qN:MASK,cN:MASK,...] [--compare-replan] [--json]
+                 (plans a base snapshot, applies the delta flags as a new
+                  snapshot, diffs, and repairs: value-only drift and activity
+                  deltas patch the plan locally, structural deltas fall back to
+                  a full replan byte-identical to from-scratch planning;
+                  --compare-replan adds the repair-vs-replan quality table and
+                  tie-break verdict; prints the repaired plan's content hash)
+  youtiao bench-plan [--sizes N,N,...] [--layouts grid:N,surface:D,heavy-hex:RxC]
+                 [--iters N] [--out FILE.json] [--json] [--repair]
                  (times the planner's kernelized vs naive grouping/refine hot
                   loops across square-grid chip sizes, default 6,8,10,12,16 at 9
                   iterations; writes the BENCH_plan.json perf trajectory to
                   --out; a summary table goes to stderr, or the full report to
-                  stdout with --json)
+                  stdout with --json; --layouts appends rotated-surface-code and
+                  heavy-hex fabrics, replacing the default grid list unless
+                  --sizes is also given; --repair runs the repair-vs-replan
+                  harness instead — default sizes 8,12 at 15 iterations — and
+                  writes the BENCH_repair.json trajectory)
 
 chip args (one of):
   --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring
@@ -193,6 +215,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "batch" => run_batch_command(&flags),
         "chaos" => run_chaos_command(&flags),
         "sweep" => run_sweep_command(&flags),
+        "repair" => run_repair_command(&flags),
         "bench-plan" => run_bench_plan_command(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -407,14 +430,220 @@ fn run_sweep_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
     Ok(())
 }
 
+/// The `repair` subcommand: plan a base snapshot, apply the delta
+/// flags as a new snapshot, diff, and run the incremental repair pass.
+fn run_repair_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let chip = load_chip(flags)?;
+    let config = planner_config(flags)?;
+    let ctx = PlanContext::build(&chip, None, config.weights);
+    let activity = brickwork_activity(&chip);
+    let base = YoutiaoPlanner::new(&chip)
+        .with_activity(&activity)
+        .with_config(config.clone())
+        .with_context(&ctx)
+        .plan()
+        .map_err(|e| e.to_string())?;
+
+    // The new snapshot: the base with the delta flags applied.
+    let num_qubits = chip.num_qubits() as u32;
+    let mutated = match parse_pairs(flags, "dead-couplers")? {
+        dead if dead.is_empty() => None,
+        dead => {
+            let mut spec = ChipSpec::from_chip(&chip);
+            for (a, b) in dead {
+                let key = (a.min(b), a.max(b));
+                let before = spec.couplers.len();
+                spec.couplers.retain(|&(x, y)| (x.min(y), x.max(y)) != key);
+                if spec.couplers.len() == before {
+                    return Err(format!("--dead-couplers: {a}-{b} is not a coupler"));
+                }
+            }
+            Some(spec.to_chip().map_err(|e| e.to_string())?)
+        }
+    };
+    let new_chip = mutated.as_ref().unwrap_or(&chip);
+
+    let mut new_xtalk = ctx.crosstalk().clone();
+    for entry in list_flag(flags, "drift", "A:B:X (qubit:qubit:crosstalk)")? {
+        let parts: Vec<&str> = entry.split(':').collect();
+        let parsed = match parts.as_slice() {
+            [a, b, x] => match (a.parse::<u32>(), b.parse::<u32>(), x.parse::<f64>()) {
+                (Ok(a), Ok(b), Ok(x)) => Some((a, b, x)),
+                _ => None,
+            },
+            _ => None,
+        };
+        let Some((a, b, x)) = parsed else {
+            return Err(format!("--drift: `{entry}` is not A:B:X"));
+        };
+        if a >= num_qubits || b >= num_qubits || a == b || !(x.is_finite() && x >= 0.0) {
+            return Err(format!("--drift: `{entry}` is out of range"));
+        }
+        new_xtalk.set(QubitId::new(a), QubitId::new(b), x);
+    }
+
+    let mut new_activity = brickwork_activity(new_chip);
+    for entry in list_flag(flags, "activity", "qN:MASK or cN:MASK")? {
+        let device_mask = entry.split_once(':').and_then(|(device, mask)| {
+            let mask = mask.parse::<u32>().ok()?;
+            let index = device.get(1..)?.parse::<u32>().ok()?;
+            let device = match device.as_bytes().first()? {
+                b'q' if (index as usize) < new_chip.num_qubits() => {
+                    DeviceId::Qubit(QubitId::new(index))
+                }
+                b'c' if (index as usize) < new_chip.num_couplers() => {
+                    DeviceId::Coupler(CouplerId::new(index))
+                }
+                _ => return None,
+            };
+            Some((device, mask))
+        });
+        let Some((device, mask)) = device_mask else {
+            return Err(format!(
+                "--activity: `{entry}` is not an in-range qN:MASK or cN:MASK"
+            ));
+        };
+        new_activity.insert(device, mask);
+    }
+
+    let old = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    let new = PlanInputs {
+        chip: new_chip,
+        xtalk: &new_xtalk,
+        activity: &new_activity,
+    };
+    let changes = diff_inputs(&old, &new);
+    let report = repair_plan(
+        &base,
+        &ctx,
+        &new,
+        &changes,
+        &config,
+        &RepairConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let summary = PlanSummary::from_plan(&report.plan);
+    let hash = content_key(&summary);
+
+    if flags.contains_key("json") {
+        #[derive(serde::Serialize)]
+        struct RepairCliReport {
+            outcome: &'static str,
+            changes: usize,
+            structural: bool,
+            dirty_qubits: usize,
+            invalidated_rows: usize,
+            dirty_groups: usize,
+            regrouped_devices: usize,
+            validation_clean: Option<bool>,
+            plan_hash: String,
+            summary: PlanSummary,
+        }
+        let out = RepairCliReport {
+            outcome: report.outcome.as_str(),
+            changes: changes.len(),
+            structural: changes.structural(),
+            dirty_qubits: report.dirty_qubits,
+            invalidated_rows: report.invalidated_rows,
+            dirty_groups: report.dirty_groups,
+            regrouped_devices: report.regrouped_devices,
+            validation_clean: report.validation.as_ref().map(|v| v.is_clean()),
+            plan_hash: format!("{hash:016x}"),
+            summary,
+        };
+        let json = serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("{chip}");
+    println!("\nchange set ({}):", changes.len());
+    if changes.is_empty() {
+        println!("  (empty)");
+    } else {
+        print!("{}", changes.render());
+    }
+    println!(
+        "\noutcome: {} ({} dirty qubits, {} kernel rows invalidated, {} groups regrouped over {} devices)",
+        report.outcome.as_str(),
+        report.dirty_qubits,
+        report.invalidated_rows,
+        report.dirty_groups,
+        report.regrouped_devices,
+    );
+    if let Some(validation) = &report.validation {
+        println!(
+            "validation: {}",
+            if validation.is_clean() {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            }
+        );
+    }
+    println!("plan hash: {hash:016x}");
+
+    if flags.contains_key("compare-replan") {
+        let (replanned, _) = replan_from_snapshot(&new, &config).map_err(|e| e.to_string())?;
+        let quality = QualityReport::compare(&report.plan, &replanned, &new_xtalk, &new_activity);
+        println!("\nrepair vs replan (repair | replan):");
+        print!("{}", quality.render());
+        println!(
+            "quality-equal: {}",
+            quality.quality_equal(youtiao::bench::repair_perf::QUALITY_TOLERANCE)
+        );
+    }
+    Ok(())
+}
+
+/// Splits a comma-separated `--key` value into trimmed entries; an
+/// absent flag yields no entries.
+fn list_flag(
+    flags: &HashMap<String, Option<String>>,
+    key: &str,
+    expects: &str,
+) -> Result<Vec<String>, String> {
+    match flags.get(key) {
+        None => Ok(Vec::new()),
+        Some(Some(list)) => Ok(list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()),
+        Some(None) => Err(format!(
+            "--{key} expects a comma-separated list of {expects}"
+        )),
+    }
+}
+
+/// Parses a `--key A-B,C-D` endpoint-pair list.
+fn parse_pairs(
+    flags: &HashMap<String, Option<String>>,
+    key: &str,
+) -> Result<Vec<(u32, u32)>, String> {
+    list_flag(flags, key, "A-B endpoint pairs")?
+        .iter()
+        .map(|entry| {
+            entry
+                .split_once('-')
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .ok_or_else(|| format!("--{key}: `{entry}` is not an A-B endpoint pair"))
+        })
+        .collect()
+}
+
 /// The `bench-plan` subcommand: run the planner micro-benchmark harness
-/// and write the `BENCH_plan.json` perf trajectory.
+/// and write the `BENCH_plan.json` perf trajectory (or, with
+/// `--repair`, the repair-vs-replan harness and `BENCH_repair.json`).
 fn run_bench_plan_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
-    let mut config = PerfConfig::default();
-    match flags.get("sizes") {
-        None => {}
+    let sizes = match flags.get("sizes") {
+        None => None,
         Some(Some(list)) => {
-            config.sizes = list
+            let sizes: Vec<usize> = list
                 .split(',')
                 .map(|s| {
                     s.trim()
@@ -424,11 +653,53 @@ fn run_bench_plan_command(flags: &HashMap<String, Option<String>>) -> Result<(),
                         .ok_or_else(|| format!("--sizes: `{s}` is not a grid side >= 2"))
                 })
                 .collect::<Result<_, _>>()?;
-            if config.sizes.is_empty() {
+            if sizes.is_empty() {
                 return Err("--sizes expects a comma-separated list".into());
             }
+            Some(sizes)
         }
         Some(None) => return Err("--sizes expects a comma-separated list (e.g. 6,8,12)".into()),
+    };
+
+    if flags.contains_key("repair") {
+        if flags.contains_key("layouts") {
+            return Err("--repair benchmarks square grids only; drop --layouts".into());
+        }
+        let mut config = RepairBenchConfig::default();
+        if let Some(sizes) = sizes {
+            config.sizes = sizes;
+        }
+        config.iterations = get_usize(flags, "iters", config.iterations)?;
+        if config.iterations == 0 {
+            return Err("--iters must be positive".into());
+        }
+        let report = youtiao::bench::repair_perf::run(&config);
+        return write_bench_report(flags, &report, || report.render());
+    }
+
+    let mut config = PerfConfig::default();
+    if let Some(sizes) = sizes {
+        config.sizes = sizes;
+    }
+    match flags.get("layouts") {
+        None => {}
+        Some(Some(list)) => {
+            config.layouts = list
+                .split(',')
+                .map(Layout::parse)
+                .collect::<Result<_, _>>()?;
+            // An explicit layout list replaces the default grids unless
+            // --sizes asked for both.
+            if !flags.contains_key("sizes") {
+                config.sizes.clear();
+            }
+        }
+        Some(None) => {
+            return Err(
+                "--layouts expects a comma-separated list (e.g. grid:12,surface:5,heavy-hex:3x4)"
+                    .into(),
+            )
+        }
     }
     config.iterations = get_usize(flags, "iters", config.iterations)?;
     if config.iterations == 0 {
@@ -436,7 +707,17 @@ fn run_bench_plan_command(flags: &HashMap<String, Option<String>>) -> Result<(),
     }
 
     let report = youtiao::bench::perf::run(&config);
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    write_bench_report(flags, &report, || report.render())
+}
+
+/// Writes a bench report to `--out` (when given) and prints either the
+/// JSON (`--json`) or the rendered table to stderr.
+fn write_bench_report(
+    flags: &HashMap<String, Option<String>>,
+    report: &impl serde::Serialize,
+    render: impl FnOnce() -> String,
+) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
     if let Some(Some(path)) = flags.get("out") {
         std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path}");
@@ -444,7 +725,7 @@ fn run_bench_plan_command(flags: &HashMap<String, Option<String>>) -> Result<(),
     if flags.contains_key("json") {
         println!("{json}");
     } else {
-        eprint!("{}", report.render());
+        eprint!("{}", render());
     }
     Ok(())
 }

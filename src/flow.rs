@@ -5,6 +5,7 @@
 //! both cost tallies, and the chip-level routing result.
 
 use youtiao_chip::Chip;
+use youtiao_core::tdm::ActivityProfile;
 use youtiao_core::{
     PlanContext, PlanError, PlanSummary, PlannerConfig, WiringPlan, YoutiaoPlanner,
 };
@@ -12,7 +13,9 @@ use youtiao_cost::WiringTally;
 use youtiao_noise::data::{synthesize, CrosstalkKind, SynthConfig};
 use youtiao_noise::fit::{fit_crosstalk_model, FitConfig};
 use youtiao_noise::CrosstalkModel;
-use youtiao_obs::validate::{check_plan, check_routing, ValidationReport};
+use youtiao_obs::validate::{
+    check_plan, check_plan_with_activity, check_routing, ValidationReport,
+};
 use youtiao_obs::Tracer;
 use youtiao_route::channel::{channel_route, ChannelConfig, ChannelResult};
 use youtiao_route::router::{NetSpec, RouteError};
@@ -54,6 +57,9 @@ impl Default for DesignOptions {
 pub struct DesignReport {
     /// The fitted crosstalk model used for grouping and allocation.
     pub model: CrosstalkModel,
+    /// The plan context (matrices + pair kernels) the plan was built
+    /// from — what the serve layer's warm repair path starts from.
+    pub context: PlanContext,
     /// The YOUTIAO wiring plan.
     pub plan: WiringPlan,
     /// Resource tally under dedicated (Google-style) wiring.
@@ -295,7 +301,7 @@ pub fn design_chip_traced(
     // internal matrices stage, so the "matrices" sub-span is recorded
     // here from the context build instead of via the plan hook.
     checkpoint("plan")?;
-    let plan = {
+    let (context, plan) = {
         let span = tracer.span("plan");
         let started = std::time::Instant::now();
         let context = PlanContext::build(chip, Some(&model), options.planner.weights);
@@ -308,7 +314,40 @@ pub fn design_chip_traced(
         span.annotate("xy_lines", plan.num_xy_lines() as u64);
         span.annotate("z_lines", plan.num_z_lines() as u64);
         span.annotate("readout_lines", plan.num_readout_lines() as u64);
-        plan
+        (context, plan)
+    };
+
+    complete_plan_traced(chip, model, context, plan, options, None, cancel, tracer)
+}
+
+/// The back half of the design flow: cost tally, chip-level routing,
+/// and validation over an already-built plan. [`design_chip_traced`]
+/// calls this after planning; the serve layer's warm repair path calls
+/// it directly over a *repaired* plan (skipping characterize + plan
+/// entirely), passing the post-delta activity profile so validation
+/// judges the plan against the inputs it was actually repaired for —
+/// `None` validates against the default brickwork schedule.
+///
+/// # Errors
+///
+/// Returns [`DesignError`] when routing fails, the token trips at a
+/// stage boundary, or (with [`DesignOptions::validate`]) the plan
+/// violates a wiring invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn complete_plan_traced(
+    chip: &Chip,
+    model: CrosstalkModel,
+    context: PlanContext,
+    plan: WiringPlan,
+    options: &DesignOptions,
+    activity: Option<&ActivityProfile>,
+    cancel: &CancelToken,
+    tracer: &Tracer,
+) -> Result<DesignReport, DesignError> {
+    let checkpoint = |stage: &'static str| {
+        cancel
+            .checkpoint()
+            .map_err(|_| DesignError::Cancelled { stage })
     };
 
     // 3. Tally.
@@ -337,7 +376,10 @@ pub fn design_chip_traced(
     // that exercises the flow also exercises the invariants.
     if options.validate || cfg!(debug_assertions) {
         let span = tracer.span("validate");
-        let mut report = check_plan(chip, &plan, &options.planner);
+        let mut report = match activity {
+            Some(activity) => check_plan_with_activity(chip, &plan, &options.planner, activity),
+            None => check_plan(chip, &plan, &options.planner),
+        };
         if let Some(result) = &routing {
             report.merge(check_routing(&plan, result));
         }
@@ -354,6 +396,7 @@ pub fn design_chip_traced(
 
     Ok(DesignReport {
         model,
+        context,
         plan,
         dedicated,
         multiplexed,

@@ -21,6 +21,7 @@
 //! | [`sim`] | `youtiao-sim` | state-vector simulation with Monte-Carlo noise |
 //! | [`cost`] | `youtiao-cost` | wiring/cost accounting and scaling estimates |
 //! | [`core`] | `youtiao-core` | FDM/TDM grouping, frequency allocation, partitioning |
+//! | [`repair`] | `youtiao-repair` | incremental plan repair: input diffing, kernel invalidation, local regroup |
 //! | [`serve`] | `youtiao-serve` | batch design service: worker pool, plan cache, deadlines/retries |
 //! | [`xplore`] | `youtiao-xplore` | parallel design-space sweeps, shared planning contexts, Pareto fronts |
 //! | [`bench`] | `youtiao-bench` | experiment harnesses, incl. the `bench-plan` perf trajectory |
@@ -54,6 +55,7 @@ pub use youtiao_core as core;
 pub use youtiao_cost as cost;
 pub use youtiao_noise as noise;
 pub use youtiao_pulse as pulse;
+pub use youtiao_repair as repair;
 pub use youtiao_route as route;
 pub use youtiao_sim as sim;
 pub use youtiao_xplore as xplore;

@@ -10,6 +10,12 @@
 //! faults flow through the same classification and retry path as real
 //! pipeline failures.
 //!
+//! Requests carrying a [`DeltaSpec`] take the warm repair path instead:
+//! the base plan is looked up in (or computed into) a [`RepairStore`]
+//! and incrementally repaired toward the delta'd inputs by
+//! `youtiao_repair`, with hit/miss/fallback counters surfaced in
+//! [`ServeMetrics::repair`].
+//!
 //! # Example
 //!
 //! ```
@@ -25,12 +31,22 @@
 //! assert!(std::str::from_utf8(&out).unwrap().contains("\"status\":\"Ok\""));
 //! ```
 
+use std::collections::HashMap;
 use std::io::Write;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use youtiao_chip::spec::ChipSpec;
+use youtiao_chip::{Chip, CouplerId, DeviceId};
+use youtiao_core::tdm::brickwork_activity;
+use youtiao_repair::{diff_inputs, repair_plan, PlanInputs, RepairConfig, RepairOutcome};
 
 pub use youtiao_serve::*;
 
-use crate::flow::{design_chip_traced, DesignError, DesignOptions, ReportSummary};
+use crate::flow::{
+    complete_plan_traced, design_chip_traced, DesignError, DesignOptions, DesignReport,
+    ReportSummary,
+};
 
 /// Derives the characterization seed for a retry attempt: attempt 0
 /// keeps the requested seed (so results are reproducible), later
@@ -55,6 +71,91 @@ fn classify(error: DesignError) -> ExecError {
     }
 }
 
+/// Resident base plans for the warm repair path, keyed by
+/// [`DesignRequest::base_key`]. Delta-carrying requests look their base
+/// up here and answer by incremental repair instead of replanning; a
+/// miss computes the base inline (once) and stores it for the next
+/// delta over the same base.
+///
+/// Entries are full [`DesignReport`]s — plan, [`PlanContext`] and
+/// model — because that is exactly what `youtiao_repair::repair_plan`
+/// starts from. The store is capacity-capped: once full, new bases are
+/// still planned but not retained. Cloning shares the entries and the
+/// hit/miss/fallback counters, so the executor (moved into pool
+/// threads) and the batch front-end observe the same state.
+///
+/// [`PlanContext`]: youtiao_core::PlanContext
+#[derive(Clone)]
+pub struct RepairStore {
+    entries: Arc<Mutex<HashMap<u64, Arc<DesignReport>>>>,
+    capacity: usize,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    fallbacks: Arc<AtomicU64>,
+}
+
+impl Default for RepairStore {
+    fn default() -> Self {
+        RepairStore::new(256)
+    }
+}
+
+impl RepairStore {
+    /// A store retaining at most `capacity` base plans.
+    pub fn new(capacity: usize) -> Self {
+        RepairStore {
+            entries: Arc::new(Mutex::new(HashMap::new())),
+            capacity,
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            fallbacks: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Resident base plans.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("repair store lock").len()
+    }
+
+    /// Whether no base plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the repair counters: every successfully answered
+    /// delta job increments exactly one of hits (base was resident,
+    /// repaired locally), misses (base computed inline, then repaired
+    /// locally), or fallbacks (repair replanned in full).
+    pub fn stats(&self) -> RepairStats {
+        RepairStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<DesignReport>> {
+        self.entries
+            .lock()
+            .expect("repair store lock")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Stores `report` under `key` unless the store is full; either way
+    /// the caller gets the entry to repair from. Concurrent misses on
+    /// the same key store the same content-addressed value, so the race
+    /// is benign.
+    fn insert(&self, key: u64, report: DesignReport) -> Arc<DesignReport> {
+        let report = Arc::new(report);
+        let mut entries = self.entries.lock().expect("repair store lock");
+        if entries.len() < self.capacity || entries.contains_key(&key) {
+            entries.insert(key, Arc::clone(&report));
+        }
+        report
+    }
+}
+
 /// The design-flow executor: resolves the request's chip, runs
 /// characterize → plan → tally → route under the attempt's cancel
 /// token, and returns the report summary.
@@ -67,7 +168,34 @@ pub fn design_executor() -> Executor<DesignRequest, ReportSummary> {
 /// and a violation fails the job permanently with
 /// [`ErrorKind::Validation`]. Stage spans land on the attempt's tracer
 /// either way (a no-op unless the pool runs with tracing).
+///
+/// Delta-carrying requests are served through a private [`RepairStore`]
+/// — use [`repairing_design_executor`] to share one across executors
+/// or read its counters.
 pub fn design_executor_with(validate: bool) -> Executor<DesignRequest, ReportSummary> {
+    repairing_design_executor(validate, RepairStore::default())
+}
+
+/// [`design_executor_with`] plus the warm repair path: requests whose
+/// [`DesignRequest::effective_delta`] is set are answered by looking up
+/// (or computing) the base plan in `store` and repairing it toward the
+/// delta'd inputs — the `repair` span on the attempt's tracer records
+/// the outcome, invalidated kernel rows, and regrouped device counts.
+///
+/// Two determinism properties the chaos suite relies on:
+///
+/// * the base plan is always characterized with the *request's* seed,
+///   never the attempt-perturbed one — the store is content-addressed
+///   by [`DesignRequest::base_key`], so the entry must not depend on
+///   which attempt (or which job) populated it;
+/// * a store miss computes the base inline and repairs from it — the
+///   executor never plans the delta'd inputs directly — so a delta
+///   job's result is a pure function of (base inputs, delta) however
+///   jobs race across pool threads.
+pub fn repairing_design_executor(
+    validate: bool,
+    store: RepairStore,
+) -> Executor<DesignRequest, ReportSummary> {
     Arc::new(move |request, ctx| {
         let chip = request
             .chip
@@ -83,10 +211,166 @@ pub fn design_executor_with(validate: bool) -> Executor<DesignRequest, ReportSum
             },
             validate,
         };
-        design_chip_traced(&chip, &options, &ctx.cancel, &ctx.tracer)
-            .map(|report| report.summary())
-            .map_err(classify)
+        match request.effective_delta() {
+            Some(delta) => repair_request(&store, request, delta, &chip, &options, ctx),
+            None => design_chip_traced(&chip, &options, &ctx.cancel, &ctx.tracer)
+                .map(|report| report.summary())
+                .map_err(classify),
+        }
     })
+}
+
+fn invalid(message: impl Into<String>) -> ExecError {
+    ExecError::permanent(ErrorKind::InvalidRequest, message.into())
+}
+
+/// The delta path of [`repairing_design_executor`]: resolve the base,
+/// materialize the delta'd snapshot, diff, repair, and run the back
+/// half of the flow (cost/route/validate) over the repaired plan.
+fn repair_request(
+    store: &RepairStore,
+    request: &DesignRequest,
+    delta: &DeltaSpec,
+    chip: &Chip,
+    options: &DesignOptions,
+    ctx: &AttemptCtx,
+) -> Result<ReportSummary, ExecError> {
+    let base_key = request.base_key().map_err(|e| invalid(e.to_string()))?;
+    if let Some(expected) = &request.base {
+        let computed = format!("{base_key:016x}");
+        if *expected != computed {
+            return Err(invalid(format!(
+                "base content-address mismatch: request names {expected}, server computed {computed}"
+            )));
+        }
+    }
+
+    // Resolve the base plan: resident, or planned inline on a miss.
+    let (base, resident) = match store.lookup(base_key) {
+        Some(base) => (base, true),
+        None => {
+            let base_options = DesignOptions {
+                seed: request.seed(),
+                ..options.clone()
+            };
+            let report = design_chip_traced(chip, &base_options, &ctx.cancel, &ctx.tracer)
+                .map_err(classify)?;
+            (store.insert(base_key, report), false)
+        }
+    };
+
+    // Materialize the post-delta snapshot from the base context.
+    let span = ctx.tracer.span("repair");
+    let new_chip = delta_chip(chip, delta)?;
+    let mut new_xtalk = base.context.crosstalk().clone();
+    for entry in delta.drift.iter().flatten() {
+        let n = chip.num_qubits() as u32;
+        if entry.a >= n || entry.b >= n || entry.a == entry.b {
+            return Err(invalid(format!(
+                "drift entry ({}, {}) does not name a qubit pair of the {n}-qubit base chip",
+                entry.a, entry.b
+            )));
+        }
+        new_xtalk.set(entry.a.into(), entry.b.into(), entry.xtalk);
+    }
+    let base_activity = brickwork_activity(chip);
+    let mut new_activity = brickwork_activity(&new_chip);
+    for over in delta.activity.iter().flatten() {
+        let device = match (over.qubit, over.coupler) {
+            (Some(q), None) if (q as usize) < new_chip.num_qubits() => DeviceId::Qubit(q.into()),
+            (None, Some(c)) if (c as usize) < new_chip.num_couplers() => {
+                DeviceId::Coupler(CouplerId::new(c))
+            }
+            _ => {
+                return Err(invalid(
+                    "activity override must name exactly one in-range qubit or coupler",
+                ))
+            }
+        };
+        new_activity.insert(device, over.mask);
+    }
+
+    let old_inputs = PlanInputs {
+        chip,
+        xtalk: base.context.crosstalk(),
+        activity: &base_activity,
+    };
+    let new_inputs = PlanInputs {
+        chip: &new_chip,
+        xtalk: &new_xtalk,
+        activity: &new_activity,
+    };
+    let changes = diff_inputs(&old_inputs, &new_inputs);
+
+    // The flow plans with the model-fitted weights baked into the base
+    // context; the repair pass (and its byte-identical fallback) must
+    // agree with them, not with the config's balanced default.
+    let mut planner = options.planner.clone();
+    planner.weights = base.context.weights();
+    let repaired = repair_plan(
+        &base.plan,
+        &base.context,
+        &new_inputs,
+        &changes,
+        &planner,
+        &RepairConfig::default(),
+    )
+    .map_err(|e| classify(DesignError::Plan(e)))?;
+
+    span.annotate("outcome", repaired.outcome.as_str());
+    span.annotate("changes", changes.len() as u64);
+    span.annotate("invalidated_rows", repaired.invalidated_rows as u64);
+    span.annotate("dirty_groups", repaired.dirty_groups as u64);
+    span.annotate("regrouped_devices", repaired.regrouped_devices as u64);
+    if matches!(repaired.outcome, RepairOutcome::FullReplan { .. }) {
+        store.fallbacks.fetch_add(1, Ordering::Relaxed);
+    } else if resident {
+        store.hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        store.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(span);
+
+    // Back half of the flow over the repaired plan, validated against
+    // the delta'd activity profile (not the brickwork default).
+    complete_plan_traced(
+        &new_chip,
+        base.model.clone(),
+        repaired.context,
+        repaired.plan,
+        options,
+        Some(&new_activity),
+        &ctx.cancel,
+        &ctx.tracer,
+    )
+    .map(|report| report.summary())
+    .map_err(classify)
+}
+
+/// The delta'd chip: the base chip minus every coupler named dead.
+/// Every named coupler must exist (endpoint order is irrelevant).
+fn delta_chip(chip: &Chip, delta: &DeltaSpec) -> Result<Chip, ExecError> {
+    let dead: Vec<(u32, u32)> = delta
+        .dead_couplers
+        .iter()
+        .flatten()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    if dead.is_empty() {
+        return Ok(chip.clone());
+    }
+    let mut spec = ChipSpec::from_chip(chip);
+    for &(a, b) in &dead {
+        let before = spec.couplers.len();
+        spec.couplers
+            .retain(|&(x, y)| (x.min(y), x.max(y)) != (a, b));
+        if spec.couplers.len() == before {
+            return Err(invalid(format!(
+                "dead coupler ({a}, {b}) is not a coupler of the base chip"
+            )));
+        }
+    }
+    spec.to_chip().map_err(|e| invalid(e.to_string()))
 }
 
 /// Runs a batch of design requests through the worker pool + plan
@@ -103,12 +387,14 @@ pub fn run_design_batch<W: Write>(
     options: &BatchOptions,
     out: &mut W,
 ) -> Result<ServeMetrics, BatchError> {
-    run_batch(
+    let store = RepairStore::default();
+    let metrics = run_batch(
         requests,
-        design_executor_with(options.validate),
+        repairing_design_executor(options.validate, store.clone()),
         options,
         out,
-    )
+    )?;
+    Ok(metrics.with_repair(store.stats()))
 }
 
 /// [`run_design_batch`] against a caller-owned [`PlanCache`], for warm
@@ -119,13 +405,15 @@ pub fn run_design_batch_with_cache<W: Write>(
     cache: &PlanCache<ReportSummary>,
     out: &mut W,
 ) -> Result<ServeMetrics, BatchError> {
-    run_batch_with_cache(
+    let store = RepairStore::default();
+    let metrics = run_batch_with_cache(
         requests,
-        design_executor_with(options.validate),
+        repairing_design_executor(options.validate, store.clone()),
         options,
         cache,
         out,
-    )
+    )?;
+    Ok(metrics.with_repair(store.stats()))
 }
 
 #[cfg(test)]
@@ -212,6 +500,102 @@ mod tests {
         assert_eq!(metrics_a.jobs, 8);
         assert!(metrics_a.ok > 0, "every job faulted permanently");
         assert!(metrics_a.errors > 0, "no job faulted");
+    }
+
+    #[test]
+    fn delta_requests_repair_over_the_resident_base() {
+        let store = RepairStore::new(8);
+        let executor = repairing_design_executor(false, store.clone());
+        let ctx = AttemptCtx::new(0, CancelToken::new());
+
+        let base_req = DesignRequest::new(ChipRequest::grid("square", 5, 5));
+        let mut drifted = base_req.clone();
+        drifted.delta = Some(DeltaSpec {
+            drift: Some(vec![DriftEntry {
+                a: 6,
+                b: 18,
+                xtalk: 3e-3,
+            }]),
+            ..DeltaSpec::default()
+        });
+
+        // First delta over an empty store: miss — the base is planned
+        // inline, stored, and repaired from.
+        let first = executor(&drifted, &ctx).unwrap();
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.len(), 1);
+
+        // Same delta again: hit, and byte-identical summary.
+        let second = executor(&drifted, &ctx).unwrap();
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(first, second, "warm repair must be deterministic");
+
+        // The drifted answer is a real design over the same chip, not
+        // the base answer recycled.
+        let base_summary = executor(&base_req, &ctx).unwrap();
+        assert_eq!(base_summary.plan.total_qubits, first.plan.total_qubits);
+
+        // A structural delta (dead coupler) falls back to a full replan.
+        let mut dead = base_req.clone();
+        dead.delta = Some(DeltaSpec {
+            dead_couplers: Some(vec![(0, 1)]),
+            ..DeltaSpec::default()
+        });
+        executor(&dead, &ctx).unwrap();
+        assert_eq!(store.stats().fallbacks, 1);
+        assert_eq!(store.stats().total(), 3);
+    }
+
+    #[test]
+    fn delta_requests_validate_their_base_address_and_inputs() {
+        let store = RepairStore::new(8);
+        let executor = repairing_design_executor(false, store.clone());
+        let ctx = AttemptCtx::new(0, CancelToken::new());
+
+        let mut request = DesignRequest::new(ChipRequest::grid("square", 3, 3));
+        request.delta = Some(DeltaSpec {
+            drift: Some(vec![DriftEntry {
+                a: 0,
+                b: 4,
+                xtalk: 2e-3,
+            }]),
+            ..DeltaSpec::default()
+        });
+
+        // A wrong base content-address is rejected before any planning.
+        let mut wrong = request.clone();
+        wrong.base = Some("00000000deadbeef".into());
+        let err = executor(&wrong, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidRequest);
+        assert!(err.message.contains("mismatch"), "{}", err.message);
+        assert!(store.is_empty(), "rejected requests must not plan");
+
+        // The correct address is accepted.
+        let mut right = request.clone();
+        right.base = Some(format!("{:016x}", right.base_key().unwrap()));
+        executor(&right, &ctx).unwrap();
+
+        // Out-of-range drift endpoints are invalid, not a panic.
+        let mut oob = request.clone();
+        oob.delta = Some(DeltaSpec {
+            drift: Some(vec![DriftEntry {
+                a: 0,
+                b: 99,
+                xtalk: 2e-3,
+            }]),
+            ..DeltaSpec::default()
+        });
+        let err = executor(&oob, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidRequest);
+
+        // A dead coupler that never existed is invalid too.
+        let mut ghost = request.clone();
+        ghost.delta = Some(DeltaSpec {
+            dead_couplers: Some(vec![(0, 8)]),
+            ..DeltaSpec::default()
+        });
+        let err = executor(&ghost, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidRequest);
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn expected_outcome(plan: &FaultPlan, index: usize, max_retries: u32) -> Option<
                 return Some(ErrorKind::Internal)
             }
             Some(FaultKind::Cancel) => return Some(ErrorKind::Cancelled),
-            Some(FaultKind::Delay) | None => return None,
+            Some(FaultKind::Delay) | Some(FaultKind::Drift) | None => return None,
         }
     }
 }
@@ -246,6 +246,62 @@ fn torn_cache_file_fails_loudly_then_salvages_end_to_end() {
     let rerun = run_design_batch(&requests, &base, &mut Vec::new()).unwrap();
     assert_eq!(rerun.cache_hits, 3, "salvaged snapshot was not rewritten");
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn drift_faults_exercise_the_repair_warm_path_deterministically() {
+    // A chaos plan that only drifts: every attempt's request gains a
+    // schedule-derived synthetic crosstalk shift, turning the job into
+    // a warm repair over its own base. The run must stay byte-identical
+    // across equal seeds (the drift mutation is pure in the schedule),
+    // the repair counters must advance, and drifted results must not be
+    // memoized under the undrifted request's cache key.
+    let requests: Vec<DesignRequest> = (0..6)
+        .map(|i| {
+            let mut r = DesignRequest::new(ChipRequest::grid("square", 4, 4));
+            r.id = Some(format!("drift{i}"));
+            r.seed = Some(100 + i); // distinct cache keys, same chip
+            r
+        })
+        .collect();
+    let run = || {
+        let options = BatchOptions {
+            jobs: 3,
+            faults: Some(FaultPlan {
+                seed: Some(13),
+                drift_rate: Some(0.5),
+                ..FaultPlan::default()
+            }),
+            canonical: true,
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        let metrics = run_design_batch(&requests, &options, &mut out).unwrap();
+        let mut lines: Vec<String> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        lines.sort();
+        (lines.join("\n"), metrics)
+    };
+    let (a, metrics_a) = run();
+    let (b, metrics_b) = run();
+    assert_eq!(a, b, "drifted runs must stay byte-identical");
+    assert_eq!(metrics_a.ok, 6, "drifted jobs still succeed");
+    assert!(metrics_a.faults.drifts > 0, "drift plan injected nothing");
+    assert_eq!(metrics_a.faults, metrics_b.faults);
+    // Every drifted job went through the repair path exactly once, and
+    // none of them replanned in full (a single synthetic drift entry is
+    // far below the fallback threshold on a 4×4 chip).
+    assert_eq!(metrics_a.repair.total(), metrics_a.faults.drifts);
+    assert_eq!(metrics_a.repair.fallbacks, 0, "{:?}", metrics_a.repair);
+    assert_eq!(metrics_a.repair, metrics_b.repair);
+    // Drifted results are kept out of the plan cache: nothing was
+    // inserted under the original keys for drifted jobs, so misses
+    // stay misses on a rerun within the same process only for the
+    // drifted subset — here simply assert no spurious hits appeared.
+    assert_eq!(metrics_a.cache_hits, 0);
 }
 
 #[test]

@@ -1,0 +1,338 @@
+//! Differential suite for the incremental repair pass (ISSUE 6).
+//!
+//! Pins the `youtiao-repair` contracts end to end over seeded sweeps:
+//!
+//! * seeded crosstalk drift repairs locally, keeps the untouched plan
+//!   structure byte-identical, is deterministic, and is quality-equal
+//!   to a full replan under the DESIGN.md §4g tie-break contract;
+//! * structural deltas (dead couplers) fall back byte-identical to
+//!   planning the new snapshot from scratch;
+//! * activity-only deltas never touch the frequency plans;
+//! * the fallback threshold is an exact strict-greater boundary;
+//! * an empty change set returns the base plan unchanged.
+
+use youtiao::chip::spec::ChipSpec;
+use youtiao::chip::{topology, Chip, DeviceId, QubitId};
+use youtiao::core::tdm::{brickwork_activity, ActivityProfile};
+use youtiao::core::{PlanContext, PlannerConfig, RefineConfig, WiringPlan, YoutiaoPlanner};
+use youtiao::repair::{
+    diff_inputs, repair_plan, replan_from_snapshot, PlanInputs, QualityReport, RepairConfig,
+    RepairOutcome,
+};
+
+/// The same tolerance the bench harness and CLI use for the tie-break.
+const TOLERANCE: f64 = 0.05;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn snapshot(n: usize) -> (Chip, PlanContext, ActivityProfile, PlannerConfig) {
+    let chip = topology::square_grid(n, n);
+    let config = PlannerConfig {
+        refine: Some(RefineConfig::default()),
+        ..Default::default()
+    };
+    let ctx = PlanContext::build(&chip, None, config.weights);
+    let activity = brickwork_activity(&chip);
+    (chip, ctx, activity, config)
+}
+
+fn base_plan(
+    chip: &Chip,
+    ctx: &PlanContext,
+    activity: &ActivityProfile,
+    config: &PlannerConfig,
+) -> WiringPlan {
+    YoutiaoPlanner::new(chip)
+        .with_activity(activity)
+        .with_config(config.clone())
+        .with_context(ctx)
+        .plan()
+        .expect("base plan must succeed")
+}
+
+/// A seeded in-range drift entry: two distinct qubits and a crosstalk
+/// value in `[1e-3, 1e-2)`.
+fn seeded_drift(seed: u64, num_qubits: usize) -> (QubitId, QubitId, f64) {
+    let n = num_qubits as u64;
+    let h1 = splitmix64(seed);
+    let h2 = splitmix64(h1);
+    let h3 = splitmix64(h2);
+    let a = h1 % n;
+    let b = (a + 1 + h2 % (n - 1)) % n;
+    let xtalk = 1e-3 + (h3 % 9_000) as f64 * 1e-6;
+    (
+        QubitId::new(a.min(b) as u32),
+        QubitId::new(a.max(b) as u32),
+        xtalk,
+    )
+}
+
+#[test]
+fn seeded_drift_sweep_is_quality_equal_and_deterministic() {
+    let (chip, ctx, activity, config) = snapshot(6);
+    let base = base_plan(&chip, &ctx, &activity, &config);
+    let old = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    for seed in 0..8u64 {
+        let (a, b, value) = seeded_drift(seed, chip.num_qubits());
+        let mut drifted = ctx.crosstalk().clone();
+        drifted.set(a, b, value);
+        let new = PlanInputs {
+            chip: &chip,
+            xtalk: &drifted,
+            activity: &activity,
+        };
+        let changes = diff_inputs(&old, &new);
+        assert_eq!(changes.len(), 1, "seed {seed}: one drifted entry");
+        assert!(!changes.structural(), "seed {seed}");
+
+        let cfg = RepairConfig::default();
+        let report =
+            repair_plan(&base, &ctx, &new, &changes, &config, &cfg).expect("repair must succeed");
+        assert_eq!(
+            report.outcome,
+            RepairOutcome::Repaired,
+            "seed {seed}: a single drifted entry repairs locally"
+        );
+        assert!(report.invalidated_rows >= 2, "seed {seed}");
+        assert!(
+            report.validation.as_ref().expect("validated").is_clean(),
+            "seed {seed}"
+        );
+        // Untouched structure stays byte-identical.
+        assert_eq!(report.plan.fdm_lines(), base.fdm_lines(), "seed {seed}");
+        assert_eq!(
+            report.plan.readout_lines(),
+            base.readout_lines(),
+            "seed {seed}"
+        );
+        assert_eq!(report.plan.partition(), base.partition(), "seed {seed}");
+        // Deterministic: a second pass is byte-identical.
+        let again =
+            repair_plan(&base, &ctx, &new, &changes, &config, &cfg).expect("repair must succeed");
+        assert_eq!(report.plan, again.plan, "seed {seed}");
+        assert_eq!(report.context, again.context, "seed {seed}");
+        // Quality-equal to a full replan of the drifted snapshot.
+        let (replanned, _) = replan_from_snapshot(&new, &config).expect("replan must succeed");
+        let quality = QualityReport::compare(&report.plan, &replanned, &drifted, &activity);
+        assert!(
+            quality.quality_equal(TOLERANCE),
+            "seed {seed}: tie-break missed\n{}",
+            quality.render()
+        );
+        // The patched context matches a fresh build for the snapshot.
+        let fresh = PlanContext::from_matrix(&chip, config.weights, drifted.clone());
+        assert_eq!(report.context, fresh, "seed {seed}");
+    }
+}
+
+#[test]
+fn dead_coupler_sweep_falls_back_byte_identically() {
+    let (chip, ctx, activity, config) = snapshot(5);
+    let base = base_plan(&chip, &ctx, &activity, &config);
+    let old = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    for seed in 0..4u64 {
+        let victim = (splitmix64(seed ^ 0xdead) % chip.num_couplers() as u64) as usize;
+        let mut spec = ChipSpec::from_chip(&chip);
+        spec.couplers.remove(victim);
+        let mutated = spec.to_chip().expect("mutated chip must build");
+        let mut_ctx = PlanContext::build(&mutated, None, config.weights);
+        let new = PlanInputs {
+            chip: &mutated,
+            xtalk: mut_ctx.crosstalk(),
+            activity: &activity,
+        };
+        let changes = diff_inputs(&old, &new);
+        assert!(changes.structural(), "seed {seed}: coupler loss");
+
+        let report = repair_plan(
+            &base,
+            &ctx,
+            &new,
+            &changes,
+            &config,
+            &RepairConfig::default(),
+        )
+        .expect("fallback must succeed");
+        assert!(
+            matches!(report.outcome, RepairOutcome::FullReplan { .. }),
+            "seed {seed}: structural deltas replan"
+        );
+        assert_eq!(report.invalidated_rows, 0, "seed {seed}");
+        let (replanned, replanned_ctx) =
+            replan_from_snapshot(&new, &config).expect("replan must succeed");
+        assert_eq!(report.plan, replanned, "seed {seed}: byte-identical plan");
+        assert_eq!(report.context, replanned_ctx, "seed {seed}");
+        assert!(
+            report.validation.as_ref().expect("validated").is_clean(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn activity_delta_sweep_keeps_frequency_plans_byte_identical() {
+    let (chip, ctx, activity, config) = snapshot(5);
+    let base = base_plan(&chip, &ctx, &activity, &config);
+    let old = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    let devices: Vec<DeviceId> = chip.device_ids().collect();
+    for seed in 0..6u64 {
+        let mut shifted = activity.clone();
+        let device = devices[(splitmix64(seed ^ 0xac71) % devices.len() as u64) as usize];
+        let prev = shifted.get(&device).copied().unwrap_or(0);
+        shifted.insert(device, prev ^ 0b10);
+        let new = PlanInputs {
+            chip: &chip,
+            xtalk: ctx.crosstalk(),
+            activity: &shifted,
+        };
+        let changes = diff_inputs(&old, &new);
+        assert_eq!(changes.len(), 1, "seed {seed}: one activity delta");
+
+        let report = repair_plan(
+            &base,
+            &ctx,
+            &new,
+            &changes,
+            &config,
+            &RepairConfig::default(),
+        )
+        .expect("repair must succeed");
+        assert_eq!(report.outcome, RepairOutcome::Repaired, "seed {seed}");
+        assert_eq!(
+            report.invalidated_rows, 0,
+            "seed {seed}: no kernel rows for activity"
+        );
+        // Activity deltas never touch either frequency band.
+        assert_eq!(
+            report.plan.frequency_plan(),
+            base.frequency_plan(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            report.plan.readout_frequency_plan(),
+            base.readout_frequency_plan(),
+            "seed {seed}"
+        );
+        assert_eq!(report.plan.fdm_lines(), base.fdm_lines(), "seed {seed}");
+        assert!(
+            report.validation.as_ref().expect("validated").is_clean(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fallback_threshold_is_a_strict_boundary() {
+    let (chip, ctx, activity, config) = snapshot(4);
+    let base = base_plan(&chip, &ctx, &activity, &config);
+    // Drift q8~q9: both qubits plus their incident couplers are dirty.
+    let (a, b) = (QubitId::new(8), QubitId::new(9));
+    let mut drifted = ctx.crosstalk().clone();
+    drifted.set(a, b, 4e-3);
+    let old = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    let new = PlanInputs {
+        chip: &chip,
+        xtalk: &drifted,
+        activity: &activity,
+    };
+    let changes = diff_inputs(&old, &new);
+
+    let mut dirty = std::collections::HashSet::new();
+    for &q in &[a, b] {
+        dirty.insert(DeviceId::Qubit(q));
+        for &c in chip.couplers_of(q) {
+            dirty.insert(DeviceId::Coupler(c));
+        }
+    }
+    let fraction = dirty.len() as f64 / (chip.num_qubits() + chip.num_couplers()) as f64;
+
+    // Exactly at the fraction: the trigger is strictly greater-than.
+    let at = RepairConfig {
+        fallback_fraction: fraction,
+        ..Default::default()
+    };
+    let report =
+        repair_plan(&base, &ctx, &new, &changes, &config, &at).expect("repair must succeed");
+    assert_eq!(report.outcome, RepairOutcome::Repaired);
+
+    // Just below: the same change set falls back…
+    let below = RepairConfig {
+        fallback_fraction: fraction - 1e-9,
+        ..Default::default()
+    };
+    let report =
+        repair_plan(&base, &ctx, &new, &changes, &config, &below).expect("repair must succeed");
+    assert_eq!(
+        report.outcome,
+        RepairOutcome::FullReplan {
+            reason: "change set exceeds the fallback threshold"
+        }
+    );
+    // …byte-identical to the from-scratch replan.
+    let (replanned, _) = replan_from_snapshot(&new, &config).expect("replan must succeed");
+    assert_eq!(report.plan, replanned);
+
+    // Zero never repairs locally.
+    let zero = RepairConfig {
+        fallback_fraction: 0.0,
+        ..Default::default()
+    };
+    let report =
+        repair_plan(&base, &ctx, &new, &changes, &config, &zero).expect("repair must succeed");
+    assert!(matches!(report.outcome, RepairOutcome::FullReplan { .. }));
+    assert_eq!(report.plan, replanned);
+}
+
+#[test]
+fn empty_change_set_returns_the_base_unchanged() {
+    let (chip, ctx, activity, config) = snapshot(4);
+    let base = base_plan(&chip, &ctx, &activity, &config);
+    let old = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    let new = PlanInputs {
+        chip: &chip,
+        xtalk: ctx.crosstalk(),
+        activity: &activity,
+    };
+    let changes = diff_inputs(&old, &new);
+    assert!(changes.is_empty());
+
+    let report = repair_plan(
+        &base,
+        &ctx,
+        &new,
+        &changes,
+        &config,
+        &RepairConfig::default(),
+    )
+    .expect("repair must succeed");
+    assert_eq!(report.outcome, RepairOutcome::Unchanged);
+    assert_eq!(report.plan, base);
+    assert_eq!(report.context, ctx);
+    assert_eq!(report.invalidated_rows, 0);
+    assert!(report.validation.is_none());
+}
