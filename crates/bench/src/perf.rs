@@ -1,17 +1,20 @@
 //! Planner micro-benchmark harness (`youtiao bench-plan`).
 //!
 //! Times the planner's hot loops — kernels build, TDM grouping and
-//! refinement, kernelized vs the retained naive reference — plus the
-//! full context-backed plan, across square-grid chip sizes and any
-//! extra [`Layout`]s (rotated surface codes, heavy-hex patches), and
-//! summarizes each stage as median / p10 / p90 over repeated
-//! iterations. The result serializes to `BENCH_plan.json` so the repo
-//! carries a perf trajectory: every PR can re-run the harness and
-//! compare against the committed baseline.
+//! refinement, frequency allocation on both bands, kernelized vs the
+//! retained naive references — plus the full context-backed plan,
+//! across square-grid chip sizes and any extra [`Layout`]s (rotated
+//! surface codes, heavy-hex patches), and summarizes each stage as
+//! median / p10 / p90 over repeated iterations. The result serializes
+//! to `BENCH_plan.json` so the repo carries a perf trajectory: every
+//! PR can re-run the harness and compare against the committed
+//! baseline.
 //!
 //! The harness doubles as a coarse differential check: for every size
-//! it asserts the kernelized grouping/refinement output equals the
-//! naive reference before trusting the timings.
+//! it asserts the kernelized grouping/refinement/allocation output
+//! equals the naive reference before trusting the timings, and at
+//! 12×12 it asserts the ≥5× freq/readout speedup floor the roadmap
+//! commits to.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -19,18 +22,30 @@ use std::time::Instant;
 use serde::Serialize;
 use youtiao_chip::distance::equivalent_matrix;
 use youtiao_chip::surface::SurfaceCode;
-use youtiao_chip::{topology, Chip, DeviceId};
+use youtiao_chip::{topology, Chip, DeviceId, QubitId};
+use youtiao_core::freq::naive::allocate_frequencies_naive;
 use youtiao_core::kernels::PairKernels;
 use youtiao_core::plan::crosstalk_matrix;
 use youtiao_core::refine::naive::refine_tdm_groups_naive;
 use youtiao_core::refine::{refine_tdm_groups_kernels, RefineConfig};
 use youtiao_core::tdm::naive::group_tdm_with_activity_naive;
 use youtiao_core::tdm::{brickwork_activity, group_tdm_kernels, TdmConfig};
-use youtiao_core::{PlanContext, PlannerConfig, YoutiaoPlanner};
+use youtiao_core::{
+    allocate_frequencies_kernels, group_fdm, FdmLine, FreqKernels, PlanContext, PlannerConfig,
+    YoutiaoPlanner,
+};
 
 /// Schema tag written into the report so downstream tooling can detect
-/// format changes.
-pub const SCHEMA: &str = "youtiao-bench-plan/v1";
+/// format changes. v2 adds the frequency-allocation stages
+/// (`freq_kernels_build`, `freq_alloc_*`, `readout_*`), the
+/// `speedup_freq` / `speedup_readout` ratios, and the
+/// `freq_kernel_builds_during_plans` probe.
+pub const SCHEMA: &str = "youtiao-bench-plan/v2";
+
+/// Minimum acceptable naive/kernelized median ratio for frequency
+/// allocation (both bands) at 12×12 — asserted whenever a `grid:12`
+/// layout is benchmarked.
+pub const FREQ_SPEEDUP_FLOOR: f64 = 5.0;
 
 /// A benchmark chip layout: the square grids the harness has always
 /// timed, plus the paper's error-corrected fabrics.
@@ -169,19 +184,30 @@ pub struct SizeReport {
     pub iterations: usize,
     /// Per-stage order statistics, keyed by stage name
     /// (`kernels_build`, `grouping_kernels`, `grouping_naive`,
-    /// `refine_kernels`, `refine_naive`, `plan_total`, and the
-    /// planner's hook sub-stages prefixed `plan.`).
+    /// `refine_kernels`, `refine_naive`, `freq_kernels_build`,
+    /// `freq_alloc_kernels`, `freq_alloc_naive`, `readout_kernels`,
+    /// `readout_naive`, `plan_total`, and the planner's hook sub-stages
+    /// prefixed `plan.`).
     pub stages: BTreeMap<String, StageStats>,
     /// `PairKernels` builds observed while the timed plans ran; must be
     /// 0 — every plan reuses the shared context's kernels.
     pub kernel_builds_during_plans: u64,
+    /// `FreqKernels` builds observed while the timed plans ran; must be
+    /// 0 — every plan reuses the shared context's freq kernels.
+    pub freq_kernel_builds_during_plans: u64,
     /// Naive / kernelized median ratio for TDM grouping.
     pub speedup_grouping: f64,
     /// Naive / kernelized median ratio for refinement.
     pub speedup_refine: f64,
     /// Naive / kernelized median ratio for grouping + refinement
-    /// combined (the acceptance metric).
+    /// combined (a PR 4 acceptance metric).
     pub speedup_grouping_refine: f64,
+    /// Naive / kernelized median ratio for qubit-band frequency
+    /// allocation (≥ [`FREQ_SPEEDUP_FLOOR`] at 12×12).
+    pub speedup_freq: f64,
+    /// Naive / kernelized median ratio for readout-band frequency
+    /// allocation (≥ [`FREQ_SPEEDUP_FLOOR`] at 12×12).
+    pub speedup_readout: f64,
 }
 
 /// The full harness report (`BENCH_plan.json`).
@@ -209,27 +235,31 @@ impl PerfReport {
             self.iterations, self.contexts_built, self.kernels_built
         ));
         s.push_str(&format!(
-            "{:<8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}\n",
+            "{:<8} {:>8} {:>12} {:>12} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9}\n",
             "chip",
             "devices",
             "group-k µs",
-            "group-n µs",
             "refine-k µs",
-            "refine-n µs",
             "speedup",
+            "freq-k µs",
+            "freq-n µs",
+            "spd-f",
+            "spd-ro",
             "plan µs"
         ));
         for size in &self.sizes {
             let med = |k: &str| size.stages.get(k).map_or(f64::NAN, |s| s.median_us);
             s.push_str(&format!(
-                "{:<8} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x {:>9.1}\n",
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>8.2}x {:>11.1} {:>11.1} {:>8.2}x {:>8.2}x {:>9.1}\n",
                 size.label,
                 size.devices,
                 med("grouping_kernels"),
-                med("grouping_naive"),
                 med("refine_kernels"),
-                med("refine_naive"),
                 size.speedup_grouping_refine,
+                med("freq_alloc_kernels"),
+                med("freq_alloc_naive"),
+                size.speedup_freq,
+                size.speedup_readout,
                 med("plan_total"),
             ));
         }
@@ -260,9 +290,10 @@ pub(crate) fn timed<T>(iterations: usize, mut f: impl FnMut() -> T) -> (StageSta
 /// # Panics
 ///
 /// Panics if `config.sizes` and `config.layouts` are both empty,
-/// `config.iterations` is 0, or the kernelized grouping/refinement
-/// diverges from the naive reference (which would make the timings
-/// meaningless).
+/// `config.iterations` is 0, the kernelized grouping/refinement/
+/// frequency-allocation output diverges from the naive reference
+/// (which would make the timings meaningless), or a `grid:12` layout
+/// misses the [`FREQ_SPEEDUP_FLOOR`].
 pub fn run(config: &PerfConfig) -> PerfReport {
     let layouts: Vec<Layout> = config
         .sizes
@@ -311,6 +342,61 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         stages.insert("refine_naive".to_string(), stats);
         assert_eq!(refined, naive_refined, "{label}: refinement diverged");
 
+        // Frequency allocation, kernelized vs naive, on the same lines
+        // and bands the planner allocates: FDM lines in the qubit band,
+        // capacity-chunked feedlines in the readout band.
+        let plan_defaults = PlannerConfig::default();
+        let fdm_lines = group_fdm(&chip, &eq, plan_defaults.fdm_capacity);
+        let qubits: Vec<QubitId> = chip.qubit_ids().collect();
+        let ro_lines: Vec<FdmLine> = qubits
+            .chunks(plan_defaults.readout_capacity)
+            .map(|c| FdmLine::new(c.to_vec()))
+            .collect();
+
+        let (stats, freq_kernels) = timed(iters, || FreqKernels::build(&xtalk));
+        stages.insert("freq_kernels_build".to_string(), stats);
+
+        let (stats, freq_fast) = timed(iters, || {
+            allocate_frequencies_kernels(
+                &chip,
+                &fdm_lines,
+                &freq_kernels,
+                &xtalk,
+                &plan_defaults.freq,
+                &mut |_, _| {},
+            )
+            .expect("benchmark freq alloc must succeed")
+        });
+        stages.insert("freq_alloc_kernels".to_string(), stats);
+        let (stats, freq_slow) = timed(iters, || {
+            allocate_frequencies_naive(&chip, &fdm_lines, &xtalk, &plan_defaults.freq)
+                .expect("benchmark freq alloc must succeed")
+        });
+        stages.insert("freq_alloc_naive".to_string(), stats);
+        assert_eq!(
+            freq_fast, freq_slow,
+            "{label}: frequency allocation diverged"
+        );
+
+        let (stats, ro_fast) = timed(iters, || {
+            allocate_frequencies_kernels(
+                &chip,
+                &ro_lines,
+                &freq_kernels,
+                &xtalk,
+                &plan_defaults.readout_freq,
+                &mut |_, _| {},
+            )
+            .expect("benchmark readout alloc must succeed")
+        });
+        stages.insert("readout_kernels".to_string(), stats);
+        let (stats, ro_slow) = timed(iters, || {
+            allocate_frequencies_naive(&chip, &ro_lines, &xtalk, &plan_defaults.readout_freq)
+                .expect("benchmark readout alloc must succeed")
+        });
+        stages.insert("readout_naive".to_string(), stats);
+        assert_eq!(ro_fast, ro_slow, "{label}: readout allocation diverged");
+
         // Full plan against a shared context, collecting the planner's
         // own sub-stage timings. The kernels probe must not move: every
         // plan reuses the context's tables.
@@ -320,6 +406,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             ..Default::default()
         };
         let plan_kernels_before = PairKernels::build_count();
+        let plan_freq_kernels_before = FreqKernels::build_count();
         let mut sub: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
         let (stats, _) = timed(iters, || {
             YoutiaoPlanner::new(&chip)
@@ -337,19 +424,37 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             stages.insert(format!("plan.{name}"), StageStats::from_samples(samples));
         }
         let kernel_builds_during_plans = PairKernels::build_count() - plan_kernels_before;
+        let freq_kernel_builds_during_plans = FreqKernels::build_count() - plan_freq_kernels_before;
 
         let med = |k: &str| stages.get(k).map_or(f64::NAN, |s| s.median_us);
         let speedup = |naive: &str, fast: &str| med(naive) / med(fast);
+        let speedup_freq = speedup("freq_alloc_naive", "freq_alloc_kernels");
+        let speedup_readout = speedup("readout_naive", "readout_kernels");
+        // The roadmap's acceptance floor: at 12×12 the kernelized
+        // allocator must hold a ≥5× median speedup on both bands.
+        if *layout == Layout::Grid(12) {
+            assert!(
+                speedup_freq >= FREQ_SPEEDUP_FLOOR,
+                "{label}: freq_alloc speedup {speedup_freq:.2}x below the {FREQ_SPEEDUP_FLOOR}x floor"
+            );
+            assert!(
+                speedup_readout >= FREQ_SPEEDUP_FLOOR,
+                "{label}: readout speedup {speedup_readout:.2}x below the {FREQ_SPEEDUP_FLOOR}x floor"
+            );
+        }
         sizes.push(SizeReport {
             label,
             qubits: chip.num_qubits(),
             devices: devices.len(),
             iterations: iters,
             kernel_builds_during_plans,
+            freq_kernel_builds_during_plans,
             speedup_grouping: speedup("grouping_naive", "grouping_kernels"),
             speedup_refine: speedup("refine_naive", "refine_kernels"),
             speedup_grouping_refine: (med("grouping_naive") + med("refine_naive"))
                 / (med("grouping_kernels") + med("refine_kernels")),
+            speedup_freq,
+            speedup_readout,
             stages,
         });
     }
@@ -383,16 +488,32 @@ mod tests {
                 "grouping_naive",
                 "refine_kernels",
                 "refine_naive",
+                "freq_kernels_build",
+                "freq_alloc_kernels",
+                "freq_alloc_naive",
+                "readout_kernels",
+                "readout_naive",
                 "plan_total",
                 "plan.tdm_grouping",
                 "plan.refine",
+                "plan.freq.place",
+                "plan.freq.swap",
+                "plan.freq_alloc",
+                "plan.readout.place",
+                "plan.readout.swap",
+                "plan.readout",
             ] {
                 let s = &size.stages[stage];
                 assert!(s.median_us >= 0.0);
                 assert!(s.p10_us <= s.p90_us, "{stage}: {s:?}");
             }
             assert_eq!(size.kernel_builds_during_plans, 0);
+            assert_eq!(size.freq_kernel_builds_during_plans, 0);
             assert!(size.speedup_grouping.is_finite());
+            assert!(size.speedup_freq.is_finite());
+            assert!(size.speedup_readout.is_finite());
+            // Context-backed plans reuse the context's freq kernels.
+            assert!(!size.stages.contains_key("plan.freq.kernels"));
         }
         // One context per size; no kernels built inside the plan loops
         // (the probe deltas include the timed standalone builds).

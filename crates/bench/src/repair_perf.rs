@@ -19,17 +19,18 @@ use serde::Serialize;
 use youtiao_chip::spec::ChipSpec;
 use youtiao_chip::{topology, QubitId};
 use youtiao_core::tdm::brickwork_activity;
-use youtiao_core::{PlanContext, PlannerConfig, RefineConfig, YoutiaoPlanner};
+use youtiao_core::{FdmLine, PlanContext, PlannerConfig, RefineConfig, YoutiaoPlanner};
 use youtiao_repair::{
-    diff_inputs, repair_plan, replan_from_snapshot, PlanInputs, QualityReport, RepairConfig,
-    RepairOutcome,
+    diff_inputs, patch_frequencies, repair_plan, replan_from_snapshot, PlanInputs, QualityReport,
+    RepairConfig, RepairOutcome,
 };
 
 use crate::perf::{timed, StageStats};
 
 /// Schema tag written into the report so downstream tooling can detect
-/// format changes.
-pub const SCHEMA: &str = "youtiao-bench-repair/v1";
+/// format changes. v2 adds `freq_patch_share` — the fraction of the
+/// repair median the two `patch_frequencies` calls account for.
+pub const SCHEMA: &str = "youtiao-bench-repair/v2";
 
 /// Relative tolerance for the quality-equal tie-break check.
 pub const QUALITY_TOLERANCE: f64 = 0.05;
@@ -75,6 +76,11 @@ pub struct ScenarioReport {
     /// Replan median / repair median — the acceptance metric on the
     /// drift scenario, ≈ 1 on the fallback scenario.
     pub speedup: f64,
+    /// Fraction of the repair median the two `patch_frequencies` calls
+    /// (XY + readout bands) account for, timed standalone against a
+    /// delta-patched context. `0.0` on the fallback scenario, which
+    /// replans instead of patching.
+    pub freq_patch_share: f64,
 }
 
 /// Per-chip-size results.
@@ -112,19 +118,27 @@ impl RepairPerfReport {
             self.iterations
         ));
         s.push_str(&format!(
-            "{:<8} {:<14} {:<12} {:>12} {:>12} {:>9} {:>8}\n",
-            "chip", "scenario", "outcome", "repair µs", "replan µs", "speedup", "quality"
+            "{:<8} {:<14} {:<12} {:>12} {:>12} {:>9} {:>9} {:>8}\n",
+            "chip",
+            "scenario",
+            "outcome",
+            "repair µs",
+            "replan µs",
+            "speedup",
+            "freq-pct",
+            "quality"
         ));
         for size in &self.sizes {
             for sc in &size.scenarios {
                 s.push_str(&format!(
-                    "{:<8} {:<14} {:<12} {:>12.1} {:>12.1} {:>8.2}x {:>8}\n",
+                    "{:<8} {:<14} {:<12} {:>12.1} {:>12.1} {:>8.2}x {:>8.1}% {:>8}\n",
                     size.label,
                     sc.scenario,
                     sc.outcome,
                     sc.repair.median_us,
                     sc.replan.median_us,
                     sc.speedup,
+                    sc.freq_patch_share * 100.0,
                     if sc.quality_equal { "equal" } else { "WORSE" },
                 ));
             }
@@ -210,6 +224,39 @@ pub fn run(config: &RepairBenchConfig) -> RepairPerfReport {
             "{label}: drift repair missed the tie-break contract\n{}",
             quality.render()
         );
+        // Freq-patch share: time the two band patches standalone against
+        // a context that already took the crosstalk delta, so the share
+        // isolates the `patch_frequencies` cost inside the repair median.
+        let dirty = changes.dirty_qubits();
+        let mut patched_ctx = ctx.clone();
+        patched_ctx
+            .apply_crosstalk_delta(&chip, drifted.clone(), &dirty)
+            .expect("drift delta must apply");
+        let xy_lines: Vec<&[QubitId]> = base.fdm_lines().iter().map(FdmLine::qubits).collect();
+        let ro_lines: Vec<&[QubitId]> = base.readout_lines().iter().map(Vec::as_slice).collect();
+        let (patch_stats, _) = timed(iters, || {
+            let xy = patch_frequencies(
+                &chip,
+                &xy_lines,
+                base.frequency_plan(),
+                patched_ctx.freq_kernels(),
+                &drifted,
+                &planner.freq,
+                &dirty,
+            )
+            .expect("xy freq patch must succeed");
+            let ro = patch_frequencies(
+                &chip,
+                &ro_lines,
+                base.readout_frequency_plan(),
+                patched_ctx.freq_kernels(),
+                &drifted,
+                &planner.readout_freq,
+                &dirty,
+            )
+            .expect("readout freq patch must succeed");
+            (xy, ro)
+        });
         scenarios.push(ScenarioReport {
             scenario: "drift-single".to_string(),
             outcome: report.outcome.as_str().to_string(),
@@ -218,6 +265,7 @@ pub fn run(config: &RepairBenchConfig) -> RepairPerfReport {
             invalidated_rows: report.invalidated_rows,
             dirty_groups: report.dirty_groups,
             speedup: replan_stats.median_us / repair_stats.median_us,
+            freq_patch_share: patch_stats.median_us / repair_stats.median_us,
             repair: repair_stats,
             replan: replan_stats,
         });
@@ -257,6 +305,7 @@ pub fn run(config: &RepairBenchConfig) -> RepairPerfReport {
             invalidated_rows: report.invalidated_rows,
             dirty_groups: report.dirty_groups,
             speedup: replan_stats.median_us / repair_stats.median_us,
+            freq_patch_share: 0.0,
             repair: repair_stats,
             replan: replan_stats,
         });
@@ -298,11 +347,16 @@ mod tests {
             assert!(drift.dirty_qubits >= 2);
             assert!(drift.invalidated_rows >= 2);
             assert!(drift.speedup.is_finite() && drift.speedup > 0.0);
+            assert!(
+                drift.freq_patch_share.is_finite() && drift.freq_patch_share > 0.0,
+                "drift scenario must measure a positive freq-patch share"
+            );
             let dead = &size.scenarios[1];
             assert_eq!(dead.scenario, "dead-coupler");
             assert_eq!(dead.outcome, "full_replan");
             assert!(dead.quality_equal);
             assert_eq!(dead.invalidated_rows, 0);
+            assert_eq!(dead.freq_patch_share, 0.0);
         }
         assert!(report.headline_speedup().unwrap() > 0.0);
         let rendered = report.render();
@@ -321,5 +375,6 @@ mod tests {
         assert!(json.contains("\"schema\""));
         assert!(json.contains("drift-single"));
         assert!(json.contains("speedup"));
+        assert!(json.contains("freq_patch_share"));
     }
 }

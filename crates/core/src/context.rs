@@ -39,6 +39,7 @@ use youtiao_chip::{Chip, QubitId};
 use youtiao_noise::CrosstalkModel;
 
 use crate::error::PlanError;
+use crate::freq_kernels::FreqKernels;
 use crate::kernels::PairKernels;
 use crate::plan::crosstalk_matrix;
 
@@ -84,6 +85,7 @@ pub struct PlanContext {
     crosstalk: DistanceMatrix,
     zz_crosstalk: Option<DistanceMatrix>,
     kernels: PairKernels,
+    freq_kernels: FreqKernels,
 }
 
 impl PlanContext {
@@ -97,6 +99,7 @@ impl PlanContext {
         let equivalent = equivalent_matrix(chip, weights);
         let crosstalk = crosstalk_matrix(chip, &equivalent, model);
         let kernels = PairKernels::build(chip, &crosstalk);
+        let freq_kernels = FreqKernels::build(&crosstalk);
         BUILDS.fetch_add(1, Ordering::Relaxed);
         PlanContext {
             num_qubits: chip.num_qubits(),
@@ -106,6 +109,7 @@ impl PlanContext {
             crosstalk,
             zz_crosstalk: None,
             kernels,
+            freq_kernels,
         }
     }
 
@@ -125,6 +129,7 @@ impl PlanContext {
         );
         let equivalent = equivalent_matrix(chip, weights);
         let kernels = PairKernels::build(chip, &crosstalk);
+        let freq_kernels = FreqKernels::build(&crosstalk);
         BUILDS.fetch_add(1, Ordering::Relaxed);
         PlanContext {
             num_qubits: chip.num_qubits(),
@@ -134,6 +139,7 @@ impl PlanContext {
             crosstalk,
             zz_crosstalk: None,
             kernels,
+            freq_kernels,
         }
     }
 
@@ -153,7 +159,9 @@ impl PlanContext {
         let eq = equivalent_matrix(chip, model.weights());
         let zz = crosstalk_matrix(chip, &eq, Some(model));
         // The kernels' noise table must track the matrix TDM grouping
-        // will actually score with — the ZZ matrix from here on.
+        // will actually score with — the ZZ matrix from here on. The
+        // freq kernels stay on the XY matrix: frequency allocation
+        // always scores XY crosstalk regardless of the TDM noise model.
         self.kernels = PairKernels::build(chip, &zz);
         self.zz_crosstalk = Some(zz);
         self
@@ -189,6 +197,13 @@ impl PlanContext {
     /// [`Self::with_zz_model`], the XY matrix otherwise).
     pub fn kernels(&self) -> &PairKernels {
         &self.kernels
+    }
+
+    /// The frequency-allocation kernels, always built on the XY
+    /// crosstalk matrix (the matrix both the qubit-band and the
+    /// readout-band allocations score with).
+    pub fn freq_kernels(&self) -> &FreqKernels {
+        &self.freq_kernels
     }
 
     /// Whether the context is stale for `chip`: the chip's structure
@@ -240,6 +255,10 @@ impl PlanContext {
             ));
         }
         let rows = self.kernels.apply_delta(chip, &crosstalk, dirty);
+        // Freq kernels are plain sparse rows over the matrix — a
+        // rebuild from the new matrix is already row-cheap and is
+        // trivially bit-identical to a fresh context's build.
+        self.freq_kernels = FreqKernels::build(&crosstalk);
         self.crosstalk = crosstalk;
         Ok(rows)
     }
@@ -347,6 +366,7 @@ mod tests {
         assert!(!names.contains(&"matrices"), "{names:?}");
         // The context's kernels are reused too — no local rebuild.
         assert!(!names.contains(&"kernels"), "{names:?}");
+        assert!(!names.contains(&"freq.kernels"), "{names:?}");
         assert!(names.contains(&"fdm_grouping"));
     }
 

@@ -8,6 +8,18 @@
 //! placed qubits; when a zone's cells are exhausted (frequency crowding),
 //! a cell is *reused* by the pair with the least mutual crosstalk. A
 //! final in-group swap pass lowers the global objective further.
+//!
+//! The production path is kernelized over [`FreqKernels`]: cell scoring
+//! iterates only the placed positive-crosstalk neighbors of the qubit
+//! being placed, spectral-proximity factors come from the lazily-filled
+//! [`ScalingTable`] over the cell lattice, and each candidate swap is
+//! judged by an exact O(deg(a)+deg(b)) objective delta instead of two
+//! full O(n²) [`FrequencyPlan::objective`] sweeps. The [`naive`] module
+//! retains the direct implementation (same semantics, no tables) and
+//! the differential suite below pins the two byte-identical across
+//! layouts, configs, and bands.
+
+use std::time::Instant;
 
 use youtiao_chip::distance::DistanceMatrix;
 use youtiao_chip::{Chip, QubitId};
@@ -15,6 +27,7 @@ use youtiao_noise::model::frequency_scaling;
 
 use crate::error::PlanError;
 use crate::fdm::FdmLine;
+use crate::freq_kernels::{BandLattice, FreqKernels, ScalingTable};
 
 /// Configuration of the frequency allocator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,9 +148,51 @@ impl FrequencyPlan {
     }
 }
 
+/// The number of zones a band is split into for `lines`: the longest
+/// line (so every line's members fit in distinct zones), at least one.
+fn zones_for(lines: &[FdmLine]) -> usize {
+    lines.iter().map(FdmLine::len).max().unwrap_or(0).max(1)
+}
+
+/// Zone of the `k`-th member of a line: design-time allocation spreads
+/// line members across zones; post-fabrication retuning must stay in
+/// the zone the base frequency already sits in.
+fn zone_for(config: &FreqConfig, lattice: &BandLattice, base: f64, k: usize) -> usize {
+    match config.tuning_range_ghz {
+        None => k % lattice.zones(),
+        Some(_) => (((base - lattice.lo()) / lattice.zone_width()).floor() as isize)
+            .clamp(0, lattice.zones() as isize - 1) as usize,
+    }
+}
+
+/// The allocator's cell-selection policy: prefer empty cells over
+/// reuse, letting a reused cell win only when it is *strictly cheaper*
+/// than the best empty cell. Shared by the kernelized allocator, the
+/// [`naive`] reference, and `repair::patch_frequencies` so the three
+/// cannot drift.
+#[inline]
+pub fn cell_better(best: &Option<(usize, f64, bool)>, cost: f64, reuse: bool) -> bool {
+    match *best {
+        None => true,
+        Some((_, best_cost, best_reuse)) => match (reuse, best_reuse) {
+            // An empty cell displaces a reused incumbent unless the
+            // incumbent is strictly cheaper.
+            (false, true) => cost <= best_cost,
+            // A reused cell displaces an empty incumbent only when
+            // strictly cheaper; like-for-like keeps the earlier cell
+            // on ties.
+            _ => cost < best_cost,
+        },
+    }
+}
+
 /// Allocates frequencies for all qubits of `chip` grouped into `lines`,
 /// minimizing crosstalk predicted by the symmetric `xtalk` matrix
 /// (`xtalk[a][b]` = model-predicted crosstalk between qubits `a`, `b`).
+///
+/// Convenience wrapper that builds [`FreqKernels`] locally; sweep and
+/// repair paths should pass a context's prebuilt kernels to
+/// [`allocate_frequencies_kernels`] instead.
 ///
 /// # Errors
 ///
@@ -153,53 +208,88 @@ pub fn allocate_frequencies(
     xtalk: &DistanceMatrix,
     config: &FreqConfig,
 ) -> Result<FrequencyPlan, PlanError> {
+    let kernels = FreqKernels::build(xtalk);
+    allocate_frequencies_kernels(chip, lines, &kernels, xtalk, config, &mut |_, _| {})
+}
+
+/// Kernelized frequency allocation (the production path).
+///
+/// `kernels` must be built from `xtalk` (the raw matrix is still needed
+/// for the reuse penalty, which scores direct crosstalk with cell
+/// occupants regardless of sign). `hook` receives the `"place"` and
+/// `"swap"` sub-stage durations.
+///
+/// # Errors
+///
+/// * [`PlanError::InvalidConfig`] — degenerate band or cell size.
+/// * [`PlanError::FrequencyCrowded`] — a qubit has no feasible cell in
+///   its zone (only possible with a tuning-range constraint).
+///
+/// # Panics
+///
+/// Panics if `lines` does not cover every chip qubit exactly once or if
+/// `xtalk`/`kernels` have the wrong dimension.
+pub fn allocate_frequencies_kernels(
+    chip: &Chip,
+    lines: &[FdmLine],
+    kernels: &FreqKernels,
+    xtalk: &DistanceMatrix,
+    config: &FreqConfig,
+    hook: &mut dyn FnMut(&'static str, std::time::Duration),
+) -> Result<FrequencyPlan, PlanError> {
     let n = chip.num_qubits();
     assert_eq!(xtalk.len(), n, "crosstalk matrix size mismatch");
+    assert_eq!(kernels.num_qubits(), n, "freq kernels size mismatch");
     let covered: usize = lines.iter().map(FdmLine::len).sum();
     assert_eq!(covered, n, "lines must cover every qubit exactly once");
 
-    let (lo, hi) = config.band_ghz;
-    if hi <= lo || config.cell_mhz <= 0.0 {
-        return Err(PlanError::InvalidConfig("frequency band or cell size"));
-    }
-    let zones = lines.iter().map(FdmLine::len).max().unwrap_or(0).max(1);
-    let zone_width = (hi - lo) / zones as f64;
-    let cells_per_zone = ((zone_width * 1000.0) / config.cell_mhz).floor() as usize;
-    if cells_per_zone == 0 {
-        return Err(PlanError::InvalidConfig("cell size exceeds zone width"));
-    }
-    let cell_freq = |zone: usize, cell: usize| -> f64 {
-        lo + zone as f64 * zone_width + (cell as f64 + 0.5) * config.cell_mhz / 1000.0
-    };
+    let lattice = BandLattice::new(config, zones_for(lines))?;
+    let zones = lattice.zones();
+    let cells_per_zone = lattice.cells_per_zone();
 
+    let started = Instant::now();
+    let mut table = ScalingTable::new(&lattice);
     let mut freqs = vec![f64::NAN; n];
     let mut zone_of = vec![0usize; n];
+    let mut slot_of = vec![usize::MAX; n];
     let mut occupancy: Vec<Vec<Vec<QubitId>>> = vec![vec![Vec::new(); cells_per_zone]; zones];
-    let mut placed: Vec<QubitId> = Vec::new();
+    // Per-qubit list of already-placed positive-crosstalk neighbors in
+    // placement order — the exact term sequence the naive path sums, so
+    // costs stay bit-identical.
+    let mut placed_neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut assigned = vec![false; n];
     let mut reused_cells = 0usize;
 
+    let mut scores = vec![0.0f64; cells_per_zone];
     for line in lines {
         for (k, &q) in line.qubits().iter().enumerate() {
             let base = chip
                 .qubit(q)
                 .expect("qubit id in range")
                 .base_frequency_ghz();
-            // Design-time allocation spreads line members across zones;
-            // post-fabrication retuning must stay in the zone the base
-            // frequency already sits in.
-            let zone = match config.tuning_range_ghz {
-                None => k % zones,
-                Some(_) => (((base - lo) / zone_width).floor() as isize)
-                    .clamp(0, zones as isize - 1) as usize,
-            };
+            let zone = zone_for(config, &lattice, base, k);
             zone_of[q.index()] = zone;
-            // Score every cell: empty cells score crosstalk vs placed
-            // qubits; occupied cells additionally carry a reuse penalty
-            // equal to the direct crosstalk with their occupants.
+            // Score every cell against the placed qubits, transposed:
+            // each placed neighbor's scaling row is walked once over the
+            // zone's contiguous slot range, accumulating into per-cell
+            // scores. Per cell the terms still land in placement order,
+            // so every sum stays bit-identical to a per-cell sweep.
+            let zone_base = table.slot(zone, 0);
+            scores.fill(0.0);
+            for &(p, x) in &placed_neighbors[q.index()] {
+                let row = &table.row(slot_of[p as usize])[zone_base..zone_base + cells_per_zone];
+                for (s, r) in scores.iter_mut().zip(row) {
+                    *s += x * r;
+                }
+            }
+            // Empty cells score crosstalk vs placed qubits; occupied
+            // cells additionally carry a reuse penalty equal to the
+            // direct crosstalk with their occupants.
             let mut best: Option<(usize, f64, bool)> = None;
             #[allow(clippy::needless_range_loop)] // occupancy[zone] is borrowed per cell
             for cell in 0..cells_per_zone {
-                let f = cell_freq(zone, cell);
+                let slot = table.slot(zone, cell);
+                let f = table.freq(slot);
                 if let Some(range) = config.tuning_range_ghz {
                     if (f - base).abs() > range {
                         continue;
@@ -207,13 +297,7 @@ pub fn allocate_frequencies(
                 }
                 let occupants = &occupancy[zone][cell];
                 let reuse = !occupants.is_empty();
-                let mut cost = 0.0;
-                for &p in &placed {
-                    let x = xtalk.get(q, p);
-                    if x > 0.0 {
-                        cost += x * frequency_scaling(f - freqs[p.index()]);
-                    }
-                }
+                let mut cost = scores[cell];
                 // Frequency reuse (same cell) is only tolerable between
                 // minimally-interacting pairs; weight it heavily.
                 if reuse {
@@ -221,14 +305,7 @@ pub fn allocate_frequencies(
                         cost += 100.0 * xtalk.get(q, p);
                     }
                 }
-                let better = match best {
-                    None => true,
-                    Some((_, bc, breuse)) => {
-                        // Prefer empty cells over reuse unless strictly cheaper.
-                        (reuse == breuse && cost < bc) || (!reuse && breuse)
-                    }
-                };
-                if better {
+                if cell_better(&best, cost, reuse) {
                     best = Some((cell, cost, reuse));
                 }
             }
@@ -236,22 +313,27 @@ pub fn allocate_frequencies(
             if reuse {
                 reused_cells += 1;
             }
-            freqs[q.index()] = cell_freq(zone, cell);
+            let slot = table.slot(zone, cell);
+            freqs[q.index()] = table.freq(slot);
+            slot_of[q.index()] = slot;
+            table.ensure_row(slot);
             occupancy[zone][cell].push(q);
-            placed.push(q);
+            assigned[q.index()] = true;
+            for &(p, x) in kernels.neighbors(q) {
+                if !assigned[p as usize] {
+                    placed_neighbors[p as usize].push((q.index() as u32, x));
+                }
+            }
         }
     }
+    hook("place", started.elapsed());
 
-    let mut plan = FrequencyPlan {
-        freqs_ghz: freqs,
-        zones,
-        zone_of,
-        reused_cells,
-    };
-
-    // In-group swap pass (§4.2 constraint 3): swapping two members of the
-    // same line exchanges their zones/cells; keep a swap when it lowers
-    // the global objective.
+    // In-group swap pass (§4.2 constraint 3): swapping two members of
+    // the same line exchanges their zones/cells; keep a swap exactly
+    // when its local objective delta is negative (the (a, b) pair term
+    // is invariant under the swap, so the delta over the two neighbor
+    // lists is the entire objective change).
+    let started = Instant::now();
     for _ in 0..config.swap_passes {
         let mut improved = false;
         for line in lines {
@@ -264,20 +346,17 @@ pub fn allocate_frequencies(
                         // tuning windows.
                         let base_a = chip.qubit(a).expect("in range").base_frequency_ghz();
                         let base_b = chip.qubit(b).expect("in range").base_frequency_ghz();
-                        let fa = plan.freqs_ghz[a.index()];
-                        let fb = plan.freqs_ghz[b.index()];
+                        let fa = freqs[a.index()];
+                        let fb = freqs[b.index()];
                         if (fb - base_a).abs() > range || (fa - base_b).abs() > range {
                             continue;
                         }
                     }
-                    let before = plan.objective(xtalk);
-                    plan.freqs_ghz.swap(a.index(), b.index());
-                    plan.zone_of.swap(a.index(), b.index());
-                    if plan.objective(xtalk) + 1e-15 < before {
+                    if table.swap_delta(kernels, &slot_of, a, b) < 0.0 {
+                        freqs.swap(a.index(), b.index());
+                        zone_of.swap(a.index(), b.index());
+                        slot_of.swap(a.index(), b.index());
                         improved = true;
-                    } else {
-                        plan.freqs_ghz.swap(a.index(), b.index());
-                        plan.zone_of.swap(a.index(), b.index());
                     }
                 }
             }
@@ -286,18 +365,33 @@ pub fn allocate_frequencies(
             break;
         }
     }
+    hook("swap", started.elapsed());
 
-    Ok(plan)
+    Ok(FrequencyPlan {
+        freqs_ghz: freqs,
+        zones,
+        zone_of,
+        reused_cells,
+    })
 }
 
 /// Baseline allocation used for comparison (George et al. and the naive
 /// baseline): in-line spacing only. Each line spreads its qubits evenly
 /// across the band in member order, every line using the *same* pattern —
 /// maximizing in-line separation but ignoring cross-line collisions.
+///
+/// # Panics
+///
+/// Panics if `lines` does not cover every chip qubit exactly once —
+/// the same coverage contract as [`allocate_frequencies`]; a partial
+/// cover would leave `NaN` frequencies that poison
+/// [`FrequencyPlan::objective`] comparisons downstream.
 pub fn allocate_in_line_only(chip: &Chip, lines: &[FdmLine], config: &FreqConfig) -> FrequencyPlan {
     let n = chip.num_qubits();
+    let covered: usize = lines.iter().map(FdmLine::len).sum();
+    assert_eq!(covered, n, "lines must cover every qubit exactly once");
     let (lo, hi) = config.band_ghz;
-    let zones = lines.iter().map(FdmLine::len).max().unwrap_or(0).max(1);
+    let zones = zones_for(lines);
     let zone_width = (hi - lo) / zones as f64;
     let mut freqs = vec![f64::NAN; n];
     let mut zone_of = vec![0usize; n];
@@ -313,6 +407,203 @@ pub fn allocate_in_line_only(chip: &Chip, lines: &[FdmLine], config: &FreqConfig
         zones,
         zone_of,
         reused_cells: 0,
+    }
+}
+
+/// The direct (table-free) reference implementation of the allocator.
+///
+/// Semantically identical to [`allocate_frequencies_kernels`] — same
+/// lattice, same cell-selection policy, same exact swap criterion — but
+/// every crosstalk and `frequency_scaling` term is computed on the
+/// spot. The differential suite pins the two byte-identical; the bench
+/// harness times the gap.
+#[cfg(any(test, feature = "naive"))]
+pub mod naive {
+    use super::*;
+
+    /// Objective change from swapping the frequencies of `a` and `b`,
+    /// computed the way the original allocator paid for it: a full
+    /// sweep over every qubit pair — the cost of the two
+    /// `objective()` recomputes the pre-kernel swap pass ran per
+    /// candidate. The sweep accumulates per-pair term *differences*
+    /// instead of two global sums, so unchanged pairs contribute an
+    /// exact `+0.0` and the comparison needs no `1e-15` noise margin.
+    /// The `(a, b)` pair term is invariant (`frequency_scaling` is
+    /// even), so it lands on `+0.0` too.
+    ///
+    /// The kernelized [`ScalingTable::swap_delta`] emits the identical
+    /// term sequence (lexicographic pair order) while touching only the
+    /// O(deg(a)+deg(b)) pairs that actually move.
+    ///
+    /// [`ScalingTable::swap_delta`]: crate::freq_kernels::ScalingTable::swap_delta
+    pub fn swap_delta(xtalk: &DistanceMatrix, freqs: &[f64], a: QubitId, b: QubitId) -> f64 {
+        let (ai, bi) = (a.index(), b.index());
+        let after = |i: usize| {
+            if i == ai {
+                freqs[bi]
+            } else if i == bi {
+                freqs[ai]
+            } else {
+                freqs[i]
+            }
+        };
+        let mut delta = 0.0;
+        for (p, q, x) in xtalk.iter_pairs() {
+            if x > 0.0 {
+                let was = frequency_scaling(freqs[p.index()] - freqs[q.index()]);
+                let now = frequency_scaling(after(p.index()) - after(q.index()));
+                delta += x * (now - was);
+            }
+        }
+        delta
+    }
+
+    /// Reference allocator: identical semantics to the kernelized path,
+    /// no precomputed tables.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`allocate_frequencies_kernels`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`allocate_frequencies_kernels`].
+    pub fn allocate_frequencies_naive(
+        chip: &Chip,
+        lines: &[FdmLine],
+        xtalk: &DistanceMatrix,
+        config: &FreqConfig,
+    ) -> Result<FrequencyPlan, PlanError> {
+        allocate_with_policy(chip, lines, xtalk, config, false)
+    }
+
+    /// The pre-fix cell-selection predicate — `(reuse == breuse && cost
+    /// < bc) || (!reuse && breuse)` — which could flip reuse→empty but
+    /// never let a strictly cheaper reused cell win. Kept only so the
+    /// quality test can show the corrected policy never worsens the
+    /// objective.
+    #[cfg(test)]
+    pub(crate) fn allocate_frequencies_legacy_reuse(
+        chip: &Chip,
+        lines: &[FdmLine],
+        xtalk: &DistanceMatrix,
+        config: &FreqConfig,
+    ) -> Result<FrequencyPlan, PlanError> {
+        allocate_with_policy(chip, lines, xtalk, config, true)
+    }
+
+    fn allocate_with_policy(
+        chip: &Chip,
+        lines: &[FdmLine],
+        xtalk: &DistanceMatrix,
+        config: &FreqConfig,
+        legacy_reuse: bool,
+    ) -> Result<FrequencyPlan, PlanError> {
+        let n = chip.num_qubits();
+        assert_eq!(xtalk.len(), n, "crosstalk matrix size mismatch");
+        let covered: usize = lines.iter().map(FdmLine::len).sum();
+        assert_eq!(covered, n, "lines must cover every qubit exactly once");
+
+        let lattice = BandLattice::new(config, zones_for(lines))?;
+        let zones = lattice.zones();
+        let cells_per_zone = lattice.cells_per_zone();
+
+        let mut freqs = vec![f64::NAN; n];
+        let mut zone_of = vec![0usize; n];
+        let mut occupancy: Vec<Vec<Vec<QubitId>>> = vec![vec![Vec::new(); cells_per_zone]; zones];
+        let mut placed: Vec<QubitId> = Vec::new();
+        let mut reused_cells = 0usize;
+
+        for line in lines {
+            for (k, &q) in line.qubits().iter().enumerate() {
+                let base = chip
+                    .qubit(q)
+                    .expect("qubit id in range")
+                    .base_frequency_ghz();
+                let zone = zone_for(config, &lattice, base, k);
+                zone_of[q.index()] = zone;
+                let mut best: Option<(usize, f64, bool)> = None;
+                #[allow(clippy::needless_range_loop)] // occupancy[zone] is borrowed per cell
+                for cell in 0..cells_per_zone {
+                    let f = lattice.cell_freq(zone, cell);
+                    if let Some(range) = config.tuning_range_ghz {
+                        if (f - base).abs() > range {
+                            continue;
+                        }
+                    }
+                    let occupants = &occupancy[zone][cell];
+                    let reuse = !occupants.is_empty();
+                    let mut cost = 0.0;
+                    for &p in &placed {
+                        let x = xtalk.get(q, p);
+                        if x > 0.0 {
+                            cost += x * frequency_scaling(f - freqs[p.index()]);
+                        }
+                    }
+                    if reuse {
+                        for &p in occupants {
+                            cost += 100.0 * xtalk.get(q, p);
+                        }
+                    }
+                    let better = if legacy_reuse {
+                        match best {
+                            None => true,
+                            Some((_, bc, breuse)) => {
+                                (reuse == breuse && cost < bc) || (!reuse && breuse)
+                            }
+                        }
+                    } else {
+                        cell_better(&best, cost, reuse)
+                    };
+                    if better {
+                        best = Some((cell, cost, reuse));
+                    }
+                }
+                let (cell, _, reuse) = best.ok_or(PlanError::FrequencyCrowded { qubit: q })?;
+                if reuse {
+                    reused_cells += 1;
+                }
+                freqs[q.index()] = lattice.cell_freq(zone, cell);
+                occupancy[zone][cell].push(q);
+                placed.push(q);
+            }
+        }
+
+        for _ in 0..config.swap_passes {
+            let mut improved = false;
+            for line in lines {
+                let members = line.qubits();
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        let (a, b) = (members[i], members[j]);
+                        if let Some(range) = config.tuning_range_ghz {
+                            let base_a = chip.qubit(a).expect("in range").base_frequency_ghz();
+                            let base_b = chip.qubit(b).expect("in range").base_frequency_ghz();
+                            let fa = freqs[a.index()];
+                            let fb = freqs[b.index()];
+                            if (fb - base_a).abs() > range || (fa - base_b).abs() > range {
+                                continue;
+                            }
+                        }
+                        if swap_delta(xtalk, &freqs, a, b) < 0.0 {
+                            freqs.swap(a.index(), b.index());
+                            zone_of.swap(a.index(), b.index());
+                            improved = true;
+                        }
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        Ok(FrequencyPlan {
+            freqs_ghz: freqs,
+            zones,
+            zone_of,
+            reused_cells,
+        })
     }
 }
 
@@ -462,6 +753,18 @@ mod tests {
         assert_eq!(f0, f3);
     }
 
+    /// Satellite regression: a partial cover used to silently produce
+    /// `NaN` frequencies that poison `objective()` comparisons — now it
+    /// panics like `allocate_frequencies` does.
+    #[test]
+    #[should_panic(expected = "lines must cover every qubit exactly once")]
+    fn in_line_only_rejects_partial_coverage() {
+        let chip = topology::square_grid(3, 3);
+        let mut lines = group_fdm_local(&chip, 3);
+        lines.pop();
+        let _ = allocate_in_line_only(&chip, &lines, &FreqConfig::default());
+    }
+
     #[test]
     fn retuning_mode_stays_within_tuning_window() {
         let (chip, lines, x) = setup(5, 5);
@@ -516,5 +819,159 @@ mod tests {
         )
         .unwrap();
         assert!(some.objective(&x) <= none.objective(&x) + 1e-12);
+    }
+
+    /// Satellite regression: each kept swap now requires an exactly
+    /// negative delta, so once a pass finds no improving swap, more
+    /// passes change nothing — the plan is a fixed point, not a
+    /// tolerance-dependent orbit.
+    #[test]
+    fn swap_passes_reach_a_deterministic_fixed_point() {
+        let (chip, lines, x) = setup(5, 4);
+        let at = |passes: usize| {
+            allocate_frequencies(
+                &chip,
+                &lines,
+                &x,
+                &FreqConfig {
+                    swap_passes: passes,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let converged = at(8);
+        assert_eq!(converged, at(9));
+        assert_eq!(converged, at(32));
+        // And the allocator is deterministic run-to-run.
+        assert_eq!(converged, at(8));
+    }
+
+    /// Satellite quality test: letting a strictly cheaper reused cell
+    /// win (the documented policy) never worsens the objective relative
+    /// to the legacy predicate that could only flip reuse→empty.
+    #[test]
+    fn corrected_reuse_policy_never_worsens_the_objective() {
+        for (n, cap, cell_mhz) in [(3, 2, 600.0), (4, 3, 400.0), (5, 4, 300.0), (4, 2, 700.0)] {
+            let (chip, lines, x) = setup(n, cap);
+            let cfg = FreqConfig {
+                cell_mhz,
+                ..Default::default()
+            };
+            let corrected = naive::allocate_frequencies_naive(&chip, &lines, &x, &cfg).unwrap();
+            let legacy = naive::allocate_frequencies_legacy_reuse(&chip, &lines, &x, &cfg).unwrap();
+            assert!(
+                corrected.objective(&x) <= legacy.objective(&x) + 1e-12,
+                "{n}x{n} cap {cap} cell {cell_mhz}: corrected {} vs legacy {}",
+                corrected.objective(&x),
+                legacy.objective(&x)
+            );
+        }
+    }
+
+    /// Differential suite: the kernelized allocator must be
+    /// byte-identical to the naive reference across layouts (grid,
+    /// surface code, heavy hex), configs (design-time and retuning),
+    /// and bands (qubit XY and readout) — including error cases.
+    mod differential {
+        use super::*;
+        use youtiao_chip::surface::SurfaceCode;
+
+        fn readout_band() -> FreqConfig {
+            // Mirrors PlannerConfig::default().readout_freq.
+            FreqConfig {
+                band_ghz: (7.0, 8.0),
+                cell_mhz: 30.0,
+                swap_passes: 1,
+                tuning_range_ghz: None,
+            }
+        }
+
+        fn check(chip: &Chip, lines: &[FdmLine], x: &DistanceMatrix, cfg: &FreqConfig) {
+            let kernels = FreqKernels::build(x);
+            let fast = allocate_frequencies_kernels(chip, lines, &kernels, x, cfg, &mut |_, _| {});
+            let slow = naive::allocate_frequencies_naive(chip, lines, x, cfg);
+            match (&fast, &slow) {
+                (Ok(f), Ok(s)) => {
+                    assert_eq!(f, s, "plans diverged");
+                    for (a, b) in f.frequencies().iter().zip(s.frequencies()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "frequency bits diverged");
+                    }
+                }
+                _ => assert_eq!(fast, slow, "error outcomes diverged"),
+            }
+        }
+
+        fn suite(chip: Chip, cap: usize) {
+            let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+            let lines = group_fdm(&chip, &eq, cap);
+            let x = xtalk_matrix(&chip);
+            for cfg in [
+                FreqConfig::default(),
+                FreqConfig::retuning(),
+                readout_band(),
+                FreqConfig {
+                    swap_passes: 4,
+                    ..Default::default()
+                },
+            ] {
+                check(&chip, &lines, &x, &cfg);
+            }
+        }
+
+        #[test]
+        fn grid_matches() {
+            suite(topology::square_grid(5, 5), 5);
+            suite(topology::square_grid(6, 6), 4);
+        }
+
+        #[test]
+        fn surface_code_matches() {
+            suite(SurfaceCode::rotated(3).into_chip(), 5);
+            suite(SurfaceCode::rotated(5).into_chip(), 5);
+        }
+
+        #[test]
+        fn heavy_hex_matches() {
+            suite(topology::heavy_hexagon(2, 2), 5);
+            suite(topology::heavy_hexagon(3, 2), 4);
+        }
+
+        #[test]
+        fn crowded_reuse_matches() {
+            // Crowded zones exercise the reuse penalty and the
+            // corrected reuse-vs-empty policy on both paths.
+            for (n, cap, cell_mhz) in [(3, 2, 600.0), (4, 3, 500.0), (5, 3, 400.0)] {
+                let (chip, lines, x) = setup(n, cap);
+                let cfg = FreqConfig {
+                    cell_mhz,
+                    ..Default::default()
+                };
+                let plan = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+                assert!(plan.reused_cells() > 0, "{n}x{n} not crowded");
+                check(&chip, &lines, &x, &cfg);
+            }
+        }
+
+        #[test]
+        fn infeasible_configs_error_identically() {
+            let (chip, lines, x) = setup(3, 5);
+            for bad in [
+                FreqConfig {
+                    band_ghz: (7.0, 4.0),
+                    ..Default::default()
+                },
+                FreqConfig {
+                    cell_mhz: 0.0,
+                    ..Default::default()
+                },
+                FreqConfig {
+                    cell_mhz: 5000.0,
+                    ..Default::default()
+                },
+            ] {
+                check(&chip, &lines, &x, &bad);
+            }
+        }
     }
 }

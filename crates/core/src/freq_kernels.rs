@@ -1,0 +1,540 @@
+//! Precomputed kernels for frequency allocation (§4.2 hot loops).
+//!
+//! The two-level allocator's inner loops are dominated by two O(n)
+//! scans per candidate cell: crosstalk lookups against *every* placed
+//! qubit (most of which have zero crosstalk with the candidate) and
+//! [`frequency_scaling`] evaluations at spectral offsets that always
+//! lie on the `cell_mhz` lattice. Both are tabulable once per
+//! (matrix, band) pair:
+//!
+//! * [`FreqKernels`] — sparse per-qubit neighbor lists over the
+//!   crosstalk matrix: only pairs with strictly positive crosstalk
+//!   contribute to the objective, and on physical chips that set is
+//!   O(deg) per qubit, not O(n).
+//! * [`BandLattice`] — the zone/cell grid of a band: every candidate
+//!   frequency is `cell_freq(zone, cell)`, so the lattice is the single
+//!   source of truth for the cell geometry shared by the allocator, the
+//!   `freq::naive` reference, and `repair::patch_frequencies`.
+//! * [`ScalingTable`] — `frequency_scaling` evaluated between lattice
+//!   slots, filled lazily one row per *occupied* slot (at most
+//!   `min(n, slots)` rows) so small problems never pay for the full
+//!   slots² table.
+//!
+//! # Determinism contract
+//!
+//! Kernelized paths must produce plans *byte-identical* to the naive
+//! reference. Table entries are therefore computed by the exact
+//! expression the naive path evaluates — `frequency_scaling(f_row -
+//! f_col)` on frequencies from the shared [`BandLattice::cell_freq`]
+//! formula — and consumers rely on `frequency_scaling` being an even
+//! function whose IEEE evaluation is sign-symmetric
+//! (`frequency_scaling(-d)` is bit-equal to `frequency_scaling(d)`:
+//! the quotient `d / γ` only flips sign and `x * x` discards it). The
+//! `scaling_table_matches_frequency_scaling` test and the gated
+//! proptests in `tests/properties.rs` pin both facts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use youtiao_chip::distance::DistanceMatrix;
+use youtiao_chip::QubitId;
+use youtiao_noise::model::frequency_scaling;
+
+use crate::error::PlanError;
+use crate::freq::FreqConfig;
+
+/// Global count of [`FreqKernels::build`] calls — a probe for tests
+/// asserting that sweeps and repairs reuse a context's kernels instead
+/// of rebuilding O(n·deg) state per plan. Deliberately separate from
+/// [`crate::kernels::PairKernels::build_count`] so existing probes keep
+/// counting only grouping-kernel builds.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Sparse crosstalk-neighbor lists: for each qubit, the (neighbor id,
+/// crosstalk) pairs with strictly positive crosstalk, sorted ascending
+/// by neighbor id. The crosstalk values are read straight from the
+/// symmetric [`DistanceMatrix`], so `neighbors(a)` listing `(b, x)`
+/// implies `neighbors(b)` lists `(a, x)` with the bit-identical `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqKernels {
+    neighbors: Vec<Vec<(u32, f64)>>,
+}
+
+impl FreqKernels {
+    /// Extracts the sparse neighbor lists from a crosstalk matrix.
+    pub fn build(xtalk: &DistanceMatrix) -> Self {
+        let n = xtalk.len();
+        let mut neighbors = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = QubitId::new(i as u32);
+            let mut row = Vec::new();
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let x = xtalk.get(a, QubitId::new(j as u32));
+                if x > 0.0 {
+                    row.push((j as u32, x));
+                }
+            }
+            neighbors.push(row);
+        }
+        BUILDS.fetch_add(1, Ordering::Relaxed);
+        FreqKernels { neighbors }
+    }
+
+    /// Number of qubits the kernels were built for.
+    pub fn num_qubits(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The positive-crosstalk neighbors of `q`, ascending by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn neighbors(&self, q: QubitId) -> &[(u32, f64)] {
+        &self.neighbors[q.index()]
+    }
+
+    /// Cumulative number of kernel builds in this process (test probe).
+    pub fn build_count() -> u64 {
+        BUILDS.load(Ordering::Relaxed)
+    }
+}
+
+/// The zone/cell lattice of a frequency band: `zones` equal-width zones
+/// over `band_ghz`, each split into `cell_mhz`-wide cells. Candidate
+/// frequencies are cell centers; [`Self::cell_freq`] reproduces the
+/// allocator's historical formula bit-for-bit so plans cannot move when
+/// callers migrate to the shared lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandLattice {
+    lo: f64,
+    zone_width: f64,
+    cell_mhz: f64,
+    zones: usize,
+    cells_per_zone: usize,
+}
+
+/// Tolerance on the fractional cell count. `(zone_width * 1000) /
+/// cell_mhz` is exact in real arithmetic for exact-division configs
+/// (e.g. a 0.6 GHz zone at 600 MHz cells) but can float-round to
+/// 0.99999…, losing a cell or spuriously reporting `InvalidConfig`.
+/// The tolerance is far below any meaningful fractional cell.
+const CELL_COUNT_EPS: f64 = 1e-9;
+
+impl BandLattice {
+    /// Builds the lattice for `config` with the given zone count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::InvalidConfig`] — degenerate band or cell size, or
+    /// a cell wider than a zone.
+    pub fn new(config: &FreqConfig, zones: usize) -> Result<Self, PlanError> {
+        let (lo, hi) = config.band_ghz;
+        if hi <= lo || config.cell_mhz <= 0.0 {
+            return Err(PlanError::InvalidConfig("frequency band or cell size"));
+        }
+        let zones = zones.max(1);
+        let zone_width = (hi - lo) / zones as f64;
+        let cells_per_zone =
+            ((zone_width * 1000.0) / config.cell_mhz + CELL_COUNT_EPS).floor() as usize;
+        if cells_per_zone == 0 {
+            return Err(PlanError::InvalidConfig("cell size exceeds zone width"));
+        }
+        Ok(BandLattice {
+            lo,
+            zone_width,
+            cell_mhz: config.cell_mhz,
+            zones,
+            cells_per_zone,
+        })
+    }
+
+    /// Low edge of the band, GHz.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Width of one zone, GHz.
+    pub fn zone_width(&self) -> f64 {
+        self.zone_width
+    }
+
+    /// Number of zones.
+    pub fn zones(&self) -> usize {
+        self.zones
+    }
+
+    /// Number of cells per zone.
+    pub fn cells_per_zone(&self) -> usize {
+        self.cells_per_zone
+    }
+
+    /// Total number of lattice slots (`zones * cells_per_zone`).
+    pub fn slots(&self) -> usize {
+        self.zones * self.cells_per_zone
+    }
+
+    /// Flat slot index of `(zone, cell)`.
+    pub fn slot(&self, zone: usize, cell: usize) -> usize {
+        debug_assert!(zone < self.zones && cell < self.cells_per_zone);
+        zone * self.cells_per_zone + cell
+    }
+
+    /// Center frequency of `(zone, cell)`, GHz.
+    pub fn cell_freq(&self, zone: usize, cell: usize) -> f64 {
+        self.lo + zone as f64 * self.zone_width + (cell as f64 + 0.5) * self.cell_mhz / 1000.0
+    }
+
+    /// Recovers the cell index of a frequency known to lie in `zone`
+    /// (rounding to the nearest cell center, clamped into range).
+    pub fn cell_of(&self, zone: usize, f: f64) -> usize {
+        let step = self.cell_mhz / 1000.0;
+        let raw = ((f - self.lo - zone as f64 * self.zone_width) / step - 0.5).round();
+        (raw as isize).clamp(0, self.cells_per_zone as isize - 1) as usize
+    }
+}
+
+/// Lazily-filled table of `frequency_scaling` between lattice slots.
+///
+/// `row(s)[t]` is `frequency_scaling(freq(s) - freq(t))`. Rows are
+/// computed on demand — the allocator ensures a row only when its slot
+/// first becomes occupied — so at most `min(n, slots)` of the `slots`
+/// rows are ever materialized.
+#[derive(Debug, Clone)]
+pub struct ScalingTable {
+    freqs: Vec<f64>,
+    cells_per_zone: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+impl ScalingTable {
+    /// Prepares an empty table over `lattice` (slot frequencies only;
+    /// no scaling rows yet).
+    pub fn new(lattice: &BandLattice) -> Self {
+        let mut freqs = Vec::with_capacity(lattice.slots());
+        for zone in 0..lattice.zones() {
+            for cell in 0..lattice.cells_per_zone() {
+                freqs.push(lattice.cell_freq(zone, cell));
+            }
+        }
+        ScalingTable {
+            freqs,
+            cells_per_zone: lattice.cells_per_zone(),
+            rows: vec![Vec::new(); lattice.slots()],
+        }
+    }
+
+    /// Total number of lattice slots.
+    pub fn slots(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Flat slot index of `(zone, cell)`.
+    pub fn slot(&self, zone: usize, cell: usize) -> usize {
+        zone * self.cells_per_zone + cell
+    }
+
+    /// Center frequency of a slot, GHz.
+    pub fn freq(&self, slot: usize) -> f64 {
+        self.freqs[slot]
+    }
+
+    /// Materializes the scaling row of `slot` if not yet computed.
+    pub fn ensure_row(&mut self, slot: usize) {
+        if self.rows[slot].is_empty() {
+            let f = self.freqs[slot];
+            self.rows[slot] = self
+                .freqs
+                .iter()
+                .map(|&g| frequency_scaling(f - g))
+                .collect();
+        }
+    }
+
+    /// The scaling row of `slot`: `row(s)[t] = frequency_scaling(freq(s)
+    /// - freq(t))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the row was never materialized via
+    /// [`Self::ensure_row`].
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[f64] {
+        debug_assert!(
+            !self.rows[slot].is_empty() || self.freqs.is_empty(),
+            "scaling row {slot} used before ensure_row"
+        );
+        &self.rows[slot]
+    }
+
+    /// Exact objective change from swapping the slot assignments of `a`
+    /// and `b` — the kernelized counterpart of the naive full-pair
+    /// sweep in `freq::naive::swap_delta`, touching only the
+    /// O(deg(a)+deg(b)) pairs whose terms actually move.
+    ///
+    /// Bit-identity contract: the naive sweep walks `iter_pairs` in
+    /// lexicographic `(p, q)` order, and every pair not involving the
+    /// endpoints (plus the invariant `(a, b)` pair itself) contributes
+    /// an exact `+0.0` — so this function emits the moving terms in the
+    /// same lexicographic order, with identical `x * (after - before)`
+    /// arithmetic, and the sums agree bit-for-bit. With `lo < hi` the
+    /// endpoint ids, that order is: pairs `(p, lo)` then `(p, hi)` for
+    /// each `p < lo`; then `(lo, q)` for `q > lo`; then `(p, hi)` /
+    /// `(hi, q)` for partners above `lo`.
+    ///
+    /// `slot_of[q]` must hold the current slot of every assigned qubit,
+    /// and the rows of both `slot_of[a]` and `slot_of[b]` must be
+    /// materialized (they are, once occupied).
+    pub fn swap_delta(
+        &self,
+        kernels: &FreqKernels,
+        slot_of: &[usize],
+        a: QubitId,
+        b: QubitId,
+    ) -> f64 {
+        let (lo, hi) = if a.index() <= b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let (li, hi_i) = (lo.index(), hi.index());
+        // `rl[s]` is the scaling between lo's current slot and slot `s`;
+        // a term of a pair `(p, lo)` moves from `rl[sp]` to `rh[sp]`
+        // when lo takes hi's slot (and vice versa) — `frequency_scaling`
+        // is even, so orientation never changes the bits.
+        let rl = self.row(slot_of[li]);
+        let rh = self.row(slot_of[hi_i]);
+        let nl = kernels.neighbors(lo);
+        let nh = kernels.neighbors(hi);
+        let n = kernels.num_qubits();
+        let mut delta = 0.0;
+        // Dense fast path: when every other qubit is a positive-cross-
+        // talk neighbor of both endpoints (the common case for model-
+        // derived matrices, which decay but never reach zero), the
+        // sorted lists are the full id range minus self and the phases
+        // reduce to direct indexed sweeps.
+        if nl.len() == n - 1 && nh.len() == n - 1 {
+            for (p, &sp) in slot_of.iter().enumerate().take(li) {
+                delta += nl[p].1 * (rh[sp] - rl[sp]);
+                delta += nh[p].1 * (rl[sp] - rh[sp]);
+            }
+            for (q, &sq) in slot_of.iter().enumerate().take(n).skip(li + 1) {
+                if q != hi_i {
+                    delta += nl[q - 1].1 * (rh[sq] - rl[sq]);
+                }
+            }
+            for (p, &sp) in slot_of.iter().enumerate().take(n).skip(li + 1) {
+                if p != hi_i {
+                    delta += nh[p - usize::from(p > hi_i)].1 * (rl[sp] - rh[sp]);
+                }
+            }
+            return delta;
+        }
+        // Phase 1 — pairs with both ids below lo, merged so `(p, lo)`
+        // precedes `(p, hi)` for each p.
+        let below = |list: &[(u32, f64)], k: usize| {
+            list.get(k).map_or(
+                u32::MAX,
+                |e| if (e.0 as usize) < li { e.0 } else { u32::MAX },
+            )
+        };
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let pl = below(nl, i);
+            let ph = below(nh, j);
+            if pl == u32::MAX && ph == u32::MAX {
+                break;
+            }
+            if pl <= ph {
+                let sp = slot_of[pl as usize];
+                delta += nl[i].1 * (rh[sp] - rl[sp]);
+                i += 1;
+                if pl == ph {
+                    delta += nh[j].1 * (rl[sp] - rh[sp]);
+                    j += 1;
+                }
+            } else {
+                let sp = slot_of[ph as usize];
+                delta += nh[j].1 * (rl[sp] - rh[sp]);
+                j += 1;
+            }
+        }
+        // Phase 2 — lo's remaining pairs `(lo, q)`, q ascending; the
+        // invariant `(lo, hi)` pair is skipped.
+        for &(q, x) in &nl[i..] {
+            if q as usize != hi_i {
+                let sq = slot_of[q as usize];
+                delta += x * (rh[sq] - rl[sq]);
+            }
+        }
+        // Phase 3 — hi's remaining pairs, partner ascending; `(lo, hi)`
+        // appears here from hi's side and is skipped.
+        for &(p, x) in &nh[j..] {
+            if p as usize != li {
+                let sp = slot_of[p as usize];
+                delta += x * (rl[sp] - rh[sp]);
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtiao_chip::distance::{equivalent_matrix, EquivalentWeights};
+    use youtiao_chip::topology;
+
+    fn xtalk(n: usize) -> DistanceMatrix {
+        let chip = topology::square_grid(n, n);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        crate::plan::crosstalk_matrix(&chip, &eq, None)
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_sparse_and_symmetric() {
+        let x = xtalk(4);
+        let k = FreqKernels::build(&x);
+        assert_eq!(k.num_qubits(), 16);
+        for i in 0..16 {
+            let a = QubitId::new(i as u32);
+            let row = k.neighbors(a);
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "unsorted row {i}");
+            for &(j, v) in row {
+                assert!(v > 0.0);
+                assert_eq!(v.to_bits(), x.get(a, QubitId::new(j)).to_bits());
+                let back = k.neighbors(QubitId::new(j));
+                let mirrored = back.iter().find(|e| e.0 == i as u32).expect("symmetric");
+                assert_eq!(mirrored.1.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn build_count_probe_advances() {
+        let x = xtalk(2);
+        let before = FreqKernels::build_count();
+        let _k = FreqKernels::build(&x);
+        assert!(FreqKernels::build_count() > before);
+    }
+
+    #[test]
+    fn lattice_matches_the_allocator_formula() {
+        let cfg = FreqConfig::default();
+        let lat = BandLattice::new(&cfg, 5).unwrap();
+        assert_eq!(lat.zones(), 5);
+        let (lo, hi) = cfg.band_ghz;
+        let zone_width = (hi - lo) / 5.0;
+        assert_eq!(lat.cells_per_zone(), 60);
+        for zone in 0..5 {
+            for cell in 0..lat.cells_per_zone() {
+                let expected =
+                    lo + zone as f64 * zone_width + (cell as f64 + 0.5) * cfg.cell_mhz / 1000.0;
+                assert_eq!(lat.cell_freq(zone, cell).to_bits(), expected.to_bits());
+                assert_eq!(lat.cell_of(zone, lat.cell_freq(zone, cell)), cell);
+            }
+        }
+    }
+
+    /// Satellite regression: exact-division configs must not lose a cell
+    /// (or spuriously report `InvalidConfig`) to a float-rounded-down
+    /// quotient. A 0.6 GHz zone at 600 MHz cells is exactly one cell;
+    /// the raw-floor code computed zero for band widths where
+    /// `(hi - lo) / zones * 1000 / cell_mhz` rounds below the integer.
+    #[test]
+    fn exact_division_boundaries_keep_all_cells_in_the_qubit_band() {
+        // 3 GHz band over 5 zones = 0.6 GHz zones at 600 MHz cells.
+        let cfg = FreqConfig {
+            cell_mhz: 600.0,
+            ..Default::default()
+        };
+        let lat = BandLattice::new(&cfg, 5).unwrap();
+        assert_eq!(lat.cells_per_zone(), 1);
+        // 4.0–6.1 GHz over 3 zones = 0.7 GHz zones at 700 MHz cells:
+        // the raw quotient floats below 1.0 and the unfixed floor
+        // rejected the config outright.
+        let raw = ((6.1 - 4.0) / 3.0 * 1000.0) / 700.0;
+        assert!(raw < 1.0, "regression input no longer exercises the bug");
+        let cfg = FreqConfig {
+            band_ghz: (4.0, 6.1),
+            cell_mhz: 700.0,
+            ..Default::default()
+        };
+        let lat = BandLattice::new(&cfg, 3).unwrap();
+        assert_eq!(lat.cells_per_zone(), 1);
+    }
+
+    /// Same boundary regression for the readout band.
+    #[test]
+    fn exact_division_boundaries_keep_all_cells_in_the_readout_band() {
+        // 7.0–8.2 GHz over 8 zones = 0.15 GHz zones; at 30 MHz cells the
+        // quotient floats just below 5.0 and the raw floor dropped the
+        // fifth cell.
+        let raw = ((8.2 - 7.0) / 8.0 * 1000.0) / 30.0;
+        assert!(raw < 5.0, "regression input no longer exercises the bug");
+        let cfg = FreqConfig {
+            band_ghz: (7.0, 8.2),
+            cell_mhz: 30.0,
+            ..Default::default()
+        };
+        let lat = BandLattice::new(&cfg, 8).unwrap();
+        assert_eq!(lat.cells_per_zone(), 5);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let bad = FreqConfig {
+            band_ghz: (7.0, 4.0),
+            ..Default::default()
+        };
+        assert!(BandLattice::new(&bad, 3).is_err());
+        let bad = FreqConfig {
+            cell_mhz: 0.0,
+            ..Default::default()
+        };
+        assert!(BandLattice::new(&bad, 3).is_err());
+        let bad = FreqConfig {
+            cell_mhz: 5000.0,
+            ..Default::default()
+        };
+        assert!(BandLattice::new(&bad, 3).is_err());
+    }
+
+    /// The table must reproduce `frequency_scaling` bit-for-bit at every
+    /// slot pair — including the transposed orientation, which relies on
+    /// the scaling being an even function with sign-symmetric IEEE
+    /// evaluation.
+    #[test]
+    fn scaling_table_matches_frequency_scaling() {
+        let cfg = FreqConfig {
+            cell_mhz: 250.0,
+            ..Default::default()
+        };
+        let lat = BandLattice::new(&cfg, 3).unwrap();
+        let mut table = ScalingTable::new(&lat);
+        for s in 0..table.slots() {
+            table.ensure_row(s);
+        }
+        for s in 0..table.slots() {
+            for t in 0..table.slots() {
+                let direct = frequency_scaling(table.freq(s) - table.freq(t));
+                assert_eq!(table.row(s)[t].to_bits(), direct.to_bits(), "({s},{t})");
+                let transposed = frequency_scaling(table.freq(t) - table.freq(s));
+                assert_eq!(direct.to_bits(), transposed.to_bits(), "evenness ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_lazy() {
+        let lat = BandLattice::new(&FreqConfig::default(), 5).unwrap();
+        let mut table = ScalingTable::new(&lat);
+        assert!(table.rows.iter().all(Vec::is_empty));
+        table.ensure_row(7);
+        assert_eq!(table.rows.iter().filter(|r| !r.is_empty()).count(), 1);
+        table.ensure_row(7);
+        assert_eq!(table.rows.iter().filter(|r| !r.is_empty()).count(), 1);
+    }
+}

@@ -39,6 +39,7 @@ pub mod context;
 pub mod error;
 pub mod fdm;
 pub mod freq;
+pub mod freq_kernels;
 pub mod kernels;
 pub mod partition;
 pub mod plan;
@@ -51,7 +52,10 @@ pub use crate::baselines::{AcharyaTdm, GeorgeFdm, GoogleBaseline};
 pub use crate::context::{chip_fingerprint, PlanContext};
 pub use crate::error::PlanError;
 pub use crate::fdm::{group_fdm, FdmLine};
-pub use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};
+pub use crate::freq::{
+    allocate_frequencies, allocate_frequencies_kernels, FreqConfig, FrequencyPlan,
+};
+pub use crate::freq_kernels::{BandLattice, FreqKernels, ScalingTable};
 pub use crate::kernels::{DeviceIndex, PairKernels};
 pub use crate::partition::{partition_chip, Partition, PartitionConfig};
 pub use crate::plan::{PlannerConfig, WiringPlan, YoutiaoPlanner};

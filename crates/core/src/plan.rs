@@ -10,7 +10,8 @@ use youtiao_noise::CrosstalkModel;
 use crate::context::PlanContext;
 use crate::error::PlanError;
 use crate::fdm::{group_fdm_subset, FdmLine};
-use crate::freq::{allocate_frequencies, FreqConfig, FrequencyPlan};
+use crate::freq::{allocate_frequencies_kernels, FreqConfig, FrequencyPlan};
+use crate::freq_kernels::FreqKernels;
 use crate::kernels::PairKernels;
 use crate::partition::{partition_chip, Partition, PartitionConfig};
 use crate::tdm::{TdmConfig, TdmGroup};
@@ -421,8 +422,37 @@ impl<'a> YoutiaoPlanner<'a> {
             hook("refine", started.elapsed());
         }
 
+        // Freq kernels always follow the XY matrix (both bands score XY
+        // crosstalk), so a context's kernels are reusable even when a
+        // planner-local ZZ model overrides the grouping kernels.
+        let freq_kernels_local;
+        let freq_kernels: &FreqKernels = match self.context {
+            Some(ctx) => ctx.freq_kernels(),
+            None => {
+                let started = Instant::now();
+                freq_kernels_local = FreqKernels::build(xtalk);
+                hook("freq.kernels", started.elapsed());
+                &freq_kernels_local
+            }
+        };
+
         let started = Instant::now();
-        let frequency_plan = allocate_frequencies(chip, &fdm_lines, xtalk, &self.config.freq)?;
+        let frequency_plan = allocate_frequencies_kernels(
+            chip,
+            &fdm_lines,
+            freq_kernels,
+            xtalk,
+            &self.config.freq,
+            &mut |stage, elapsed| {
+                hook(
+                    match stage {
+                        "place" => "freq.place",
+                        _ => "freq.swap",
+                    },
+                    elapsed,
+                )
+            },
+        )?;
         hook("freq_alloc", started.elapsed());
 
         let started = Instant::now();
@@ -435,8 +465,22 @@ impl<'a> YoutiaoPlanner<'a> {
         // line in the readout band.
         let readout_as_fdm: Vec<FdmLine> =
             readout_lines.iter().cloned().map(FdmLine::new).collect();
-        let readout_frequency_plan =
-            allocate_frequencies(chip, &readout_as_fdm, xtalk, &self.config.readout_freq)?;
+        let readout_frequency_plan = allocate_frequencies_kernels(
+            chip,
+            &readout_as_fdm,
+            freq_kernels,
+            xtalk,
+            &self.config.readout_freq,
+            &mut |stage, elapsed| {
+                hook(
+                    match stage {
+                        "place" => "readout.place",
+                        _ => "readout.swap",
+                    },
+                    elapsed,
+                )
+            },
+        )?;
         hook("readout", started.elapsed());
 
         Ok(WiringPlan::from_parts(
@@ -710,7 +754,12 @@ mod tests {
                 "fdm_grouping",
                 "tdm_grouping",
                 "refine",
+                "freq.kernels",
+                "freq.place",
+                "freq.swap",
                 "freq_alloc",
+                "readout.place",
+                "readout.swap",
                 "readout"
             ]
         );

@@ -15,6 +15,8 @@ use youtiao_core::tdm::{
     ActivityProfile, TdmConfig,
 };
 use youtiao_core::YoutiaoPlanner;
+use youtiao_core::{BandLattice, FreqKernels, ScalingTable};
+use youtiao_noise::model::frequency_scaling;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -161,5 +163,108 @@ proptest! {
         prop_assert_eq!(fdm_total, chip.num_qubits());
         let tdm_total: usize = plan.tdm_groups().iter().map(|g| g.len()).sum();
         prop_assert_eq!(tdm_total, chip.num_z_devices());
+    }
+
+    /// The lazily-tabulated scaling lookup is bit-equal to a direct
+    /// `frequency_scaling` evaluation at every lattice offset, in both
+    /// orientations (evenness carries the transposed reads).
+    #[test]
+    fn scaling_table_matches_model_at_every_offset(
+        lo in 4.0f64..8.0,
+        width in 0.5f64..3.0,
+        zones in 1usize..6,
+        cell_mhz in 20.0f64..90.0,
+    ) {
+        let cfg = FreqConfig {
+            band_ghz: (lo, lo + width),
+            cell_mhz,
+            ..Default::default()
+        };
+        let lattice = BandLattice::new(&cfg, zones).unwrap();
+        let mut table = ScalingTable::new(&lattice);
+        for s in 0..lattice.slots() {
+            table.ensure_row(s);
+        }
+        for s in 0..lattice.slots() {
+            for t in 0..lattice.slots() {
+                let expected = frequency_scaling(table.freq(s) - table.freq(t));
+                prop_assert_eq!(table.row(s)[t].to_bits(), expected.to_bits());
+                prop_assert_eq!(table.row(t)[s].to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    /// The kernelized swap delta is the exact objective change: for any
+    /// placement and any in-line pair, swapping the two assignments
+    /// moves a from-scratch objective recompute by precisely the
+    /// reported delta.
+    #[test]
+    fn swap_delta_matches_full_objective_recompute(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        cap in 2usize..6,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let chip = topology::square_grid(rows, cols);
+        let eq = equivalent_matrix(&chip, EquivalentWeights::balanced());
+        let xtalk = crosstalk_matrix(&chip, &eq, None);
+        let lines = group_fdm(&chip, &eq, cap);
+        let cfg = FreqConfig { swap_passes: 0, ..Default::default() };
+        let plan = allocate_frequencies(&chip, &lines, &xtalk, &cfg).unwrap();
+
+        let mut pairs = Vec::new();
+        for line in &lines {
+            let qs = line.qubits();
+            for i in 0..qs.len() {
+                for j in (i + 1)..qs.len() {
+                    pairs.push((qs[i], qs[j]));
+                }
+            }
+        }
+        prop_assume!(!pairs.is_empty());
+        let (a, b) = pairs[pick.index(pairs.len())];
+
+        // Recover every qubit's lattice slot from its assigned
+        // frequency, exactly as the repair patcher does.
+        let lattice = BandLattice::new(&cfg, plan.zones()).unwrap();
+        let mut table = ScalingTable::new(&lattice);
+        let n = chip.num_qubits();
+        let slot_of: Vec<usize> = (0..n)
+            .map(|i| {
+                let q = QubitId::new(i as u32);
+                let zone = plan.zone_of(q);
+                lattice.slot(zone, lattice.cell_of(zone, plan.frequency_ghz(q)))
+            })
+            .collect();
+        for &s in &slot_of {
+            table.ensure_row(s);
+        }
+        let kernels = FreqKernels::build(&xtalk);
+        let delta = table.swap_delta(&kernels, &slot_of, a, b);
+
+        // A from-scratch objective over an arbitrary assignment,
+        // pinned to FrequencyPlan::objective on the unswapped freqs.
+        let full = |freqs: &[f64]| {
+            let mut total = 0.0;
+            for (p, q, x) in xtalk.iter_pairs() {
+                if x > 0.0 {
+                    total += x * frequency_scaling(freqs[p.index()] - freqs[q.index()]);
+                }
+            }
+            total
+        };
+        let before = full(plan.frequencies());
+        prop_assert_eq!(before.to_bits(), plan.objective(&xtalk).to_bits());
+        let mut swapped = plan.frequencies().to_vec();
+        swapped.swap(a.index(), b.index());
+        let after = full(&swapped);
+
+        let scale = before.abs().max(after.abs()).max(1.0);
+        prop_assert!(
+            (delta - (after - before)).abs() <= 1e-9 * scale,
+            "delta {} vs recompute {}",
+            delta,
+            after - before
+        );
     }
 }

@@ -6,11 +6,14 @@
 //! few crosstalk entries drifted, the patcher instead keeps every
 //! clean qubit's assignment fixed and re-places only the dirty qubits,
 //! cell-scored against *all* other qubits (not just earlier ones) with
-//! the allocator's exact cost model: crosstalk scaled by spectral
-//! proximity, a `100 × xtalk` penalty for cell reuse, and
-//! prefer-empty-over-reuse tie-breaking. A final swap pass over the
+//! the allocator's exact kernelized cost model: sparse
+//! positive-crosstalk neighbor lists ([`FreqKernels`]), spectral
+//! proximity from the shared [`ScalingTable`] over the cell lattice, a
+//! `100 × xtalk` penalty for cell reuse, and the allocator's
+//! [`cell_better`] empty-vs-reuse policy. A final swap pass over the
 //! lines containing dirty qubits mirrors the allocator's in-group swap
-//! stage with an O(n) incremental objective delta.
+//! stage via the same exact O(deg(a)+deg(b)) objective delta — repair
+//! and replan share one cost model and cannot drift.
 //!
 //! The patched plan keeps each line's zone multiset (and hence the
 //! in-line spacing guarantee) identical to the base plan; only dirty
@@ -19,31 +22,8 @@
 
 use youtiao_chip::distance::DistanceMatrix;
 use youtiao_chip::{Chip, QubitId};
-use youtiao_core::{FreqConfig, FrequencyPlan, PlanError};
-use youtiao_noise::model::frequency_scaling;
-
-/// Objective change from swapping the frequencies of `a` and `b`
-/// (in-line swap): only terms involving `a` or `b` move, and the
-/// `(a, b)` pair term is invariant (`|f_a' - f_b'| = |f_b - f_a|`).
-fn swap_delta(xtalk: &DistanceMatrix, freqs: &[f64], a: QubitId, b: QubitId) -> f64 {
-    let (fa, fb) = (freqs[a.index()], freqs[b.index()]);
-    let mut delta = 0.0;
-    for (p, &fp) in freqs.iter().enumerate() {
-        if p == a.index() || p == b.index() {
-            continue;
-        }
-        let q = QubitId::new(p as u32);
-        let xa = xtalk.get(a, q);
-        if xa > 0.0 {
-            delta += xa * (frequency_scaling(fb - fp) - frequency_scaling(fa - fp));
-        }
-        let xb = xtalk.get(b, q);
-        if xb > 0.0 {
-            delta += xb * (frequency_scaling(fa - fp) - frequency_scaling(fb - fp));
-        }
-    }
-    delta
-}
+use youtiao_core::freq::cell_better;
+use youtiao_core::{BandLattice, FreqConfig, FreqKernels, FrequencyPlan, PlanError, ScalingTable};
 
 /// Re-places the `dirty` qubits of a base frequency plan against the
 /// new `xtalk` matrix, holding every other qubit's assignment fixed.
@@ -53,6 +33,9 @@ fn swap_delta(xtalk: &DistanceMatrix, freqs: &[f64], a: QubitId, b: QubitId) -> 
 /// readout band), as plain qubit slices; they must cover every chip
 /// qubit exactly once. Zones are inherited from the base plan, so the
 /// in-line zone-distinctness invariant is preserved by construction.
+/// `kernels` must be built from `xtalk` — a context that took the
+/// matching [`youtiao_core::PlanContext::apply_crosstalk_delta`]
+/// provides exactly that via `freq_kernels()`.
 ///
 /// Returns a plan whose reused-cell count is recounted from the final
 /// cell occupancy.
@@ -65,12 +48,13 @@ fn swap_delta(xtalk: &DistanceMatrix, freqs: &[f64], a: QubitId, b: QubitId) -> 
 ///
 /// # Panics
 ///
-/// Panics if the base plan, matrix, or lines disagree with the chip's
-/// qubit count.
+/// Panics if the base plan, matrix, kernels, or lines disagree with
+/// the chip's qubit count.
 pub fn patch_frequencies(
     chip: &Chip,
     lines: &[&[QubitId]],
     base: &FrequencyPlan,
+    kernels: &FreqKernels,
     xtalk: &DistanceMatrix,
     config: &FreqConfig,
     dirty: &[QubitId],
@@ -78,27 +62,14 @@ pub fn patch_frequencies(
     let n = chip.num_qubits();
     assert_eq!(base.frequencies().len(), n, "base plan size mismatch");
     assert_eq!(xtalk.len(), n, "crosstalk matrix size mismatch");
+    assert_eq!(kernels.num_qubits(), n, "freq kernels size mismatch");
     let covered: usize = lines.iter().map(|l| l.len()).sum();
     assert_eq!(covered, n, "lines must cover every qubit exactly once");
 
-    let (lo, hi) = config.band_ghz;
-    if hi <= lo || config.cell_mhz <= 0.0 {
-        return Err(PlanError::InvalidConfig("frequency band or cell size"));
-    }
-    let zones = base.zones();
-    let zone_width = (hi - lo) / zones as f64;
-    let cells_per_zone = ((zone_width * 1000.0) / config.cell_mhz).floor() as usize;
-    if cells_per_zone == 0 {
-        return Err(PlanError::InvalidConfig("cell size exceeds zone width"));
-    }
-    let cell_step = config.cell_mhz / 1000.0;
-    let cell_freq = |zone: usize, cell: usize| -> f64 {
-        lo + zone as f64 * zone_width + (cell as f64 + 0.5) * cell_step
-    };
-    let cell_of = |zone: usize, f: f64| -> usize {
-        let raw = ((f - lo - zone as f64 * zone_width) / cell_step - 0.5).round();
-        (raw as isize).clamp(0, cells_per_zone as isize - 1) as usize
-    };
+    let lattice = BandLattice::new(config, base.zones())?;
+    let zones = lattice.zones();
+    let cells_per_zone = lattice.cells_per_zone();
+    let mut table = ScalingTable::new(&lattice);
 
     let mut freqs: Vec<f64> = base.frequencies().to_vec();
     let mut zone_of: Vec<usize> = (0..n)
@@ -113,13 +84,19 @@ pub fn patch_frequencies(
 
     // Cell occupancy of the clean qubits, filled in line order to
     // mirror the allocator; dirty qubits join as they are re-placed.
+    // Every assigned qubit's lattice slot backs the table lookups.
     let mut occupancy: Vec<Vec<Vec<QubitId>>> = vec![vec![Vec::new(); cells_per_zone]; zones];
     let mut assigned = vec![false; n];
+    let mut slot_of = vec![usize::MAX; n];
     for line in lines {
         for &q in *line {
             if !dirty_mask[q.index()] {
                 let zone = zone_of[q.index()];
-                occupancy[zone][cell_of(zone, freqs[q.index()])].push(q);
+                let cell = lattice.cell_of(zone, freqs[q.index()]);
+                let slot = table.slot(zone, cell);
+                occupancy[zone][cell].push(q);
+                slot_of[q.index()] = slot;
+                table.ensure_row(slot);
                 assigned[q.index()] = true;
             }
         }
@@ -127,6 +104,7 @@ pub fn patch_frequencies(
 
     // Re-place dirty qubits in line order, scored against every
     // already-assigned qubit with the allocator's exact cost model.
+    let mut scores = vec![0.0f64; cells_per_zone];
     for line in lines {
         for &q in *line {
             if !dirty_mask[q.index()] {
@@ -137,10 +115,26 @@ pub fn patch_frequencies(
                 .qubit(q)
                 .expect("qubit id in range")
                 .base_frequency_ghz();
+            // Transposed scoring, as in the allocator: walk each
+            // assigned neighbor's scaling row once over the zone's
+            // contiguous slot range. Per cell the terms accumulate in
+            // the same ascending-id order as a per-cell sweep.
+            let zone_base = table.slot(zone, 0);
+            scores.fill(0.0);
+            for &(p, x) in kernels.neighbors(q) {
+                if assigned[p as usize] {
+                    let row =
+                        &table.row(slot_of[p as usize])[zone_base..zone_base + cells_per_zone];
+                    for (s, r) in scores.iter_mut().zip(row) {
+                        *s += x * r;
+                    }
+                }
+            }
             let mut best: Option<(usize, f64, bool)> = None;
             #[allow(clippy::needless_range_loop)] // occupancy[zone] is borrowed per cell
             for cell in 0..cells_per_zone {
-                let f = cell_freq(zone, cell);
+                let slot = table.slot(zone, cell);
+                let f = table.freq(slot);
                 if let Some(range) = config.tuning_range_ghz {
                     if (f - qbase).abs() > range {
                         continue;
@@ -148,31 +142,21 @@ pub fn patch_frequencies(
                 }
                 let occupants = &occupancy[zone][cell];
                 let reuse = !occupants.is_empty();
-                let mut cost = 0.0;
-                for p in 0..n {
-                    if !assigned[p] || p == q.index() {
-                        continue;
-                    }
-                    let x = xtalk.get(q, QubitId::new(p as u32));
-                    if x > 0.0 {
-                        cost += x * frequency_scaling(f - freqs[p]);
-                    }
-                }
+                let mut cost = scores[cell];
                 if reuse {
                     for &p in occupants {
                         cost += 100.0 * xtalk.get(q, p);
                     }
                 }
-                let better = match best {
-                    None => true,
-                    Some((_, bc, breuse)) => (reuse == breuse && cost < bc) || (!reuse && breuse),
-                };
-                if better {
+                if cell_better(&best, cost, reuse) {
                     best = Some((cell, cost, reuse));
                 }
             }
             let (cell, _, _) = best.ok_or(PlanError::FrequencyCrowded { qubit: q })?;
-            freqs[q.index()] = cell_freq(zone, cell);
+            let slot = table.slot(zone, cell);
+            freqs[q.index()] = table.freq(slot);
+            slot_of[q.index()] = slot;
+            table.ensure_row(slot);
             occupancy[zone][cell].push(q);
             assigned[q.index()] = true;
         }
@@ -189,7 +173,8 @@ pub fn patch_frequencies(
         .sum();
 
     // In-group swap pass over the lines that contain a dirty qubit,
-    // mirroring the allocator's swap stage via the O(n) delta.
+    // mirroring the allocator's swap stage: keep a swap exactly when
+    // its kernelized objective delta is negative.
     let dirty_lines: Vec<&[QubitId]> = lines
         .iter()
         .copied()
@@ -209,9 +194,10 @@ pub fn patch_frequencies(
                             continue;
                         }
                     }
-                    if swap_delta(xtalk, &freqs, a, b) < -1e-15 {
+                    if table.swap_delta(kernels, &slot_of, a, b) < 0.0 {
                         freqs.swap(a.index(), b.index());
                         zone_of.swap(a.index(), b.index());
+                        slot_of.swap(a.index(), b.index());
                         improved = true;
                     }
                 }
@@ -245,6 +231,18 @@ mod tests {
         lines.iter().map(|l| l.qubits()).collect()
     }
 
+    fn patch(
+        chip: &Chip,
+        lines: &[&[QubitId]],
+        base: &FrequencyPlan,
+        xtalk: &DistanceMatrix,
+        cfg: &FreqConfig,
+        dirty: &[QubitId],
+    ) -> Result<FrequencyPlan, PlanError> {
+        let kernels = FreqKernels::build(xtalk);
+        patch_frequencies(chip, lines, base, &kernels, xtalk, cfg, dirty)
+    }
+
     use youtiao_chip::Chip;
 
     #[test]
@@ -252,7 +250,7 @@ mod tests {
         let (chip, lines, x) = setup(4);
         let cfg = FreqConfig::default();
         let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
-        let patched = patch_frequencies(&chip, &slices(&lines), &base, &x, &cfg, &[]).unwrap();
+        let patched = patch(&chip, &slices(&lines), &base, &x, &cfg, &[]).unwrap();
         assert_eq!(patched, base);
     }
 
@@ -264,8 +262,7 @@ mod tests {
         let (a, b) = (QubitId::new(2), QubitId::new(17));
         let mut drifted = x.clone();
         drifted.set(a, b, drifted.get(a, b) * 4.0 + 2e-3);
-        let patched =
-            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        let patched = patch(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
         for q in chip.qubit_ids() {
             let f = patched.frequency_ghz(q);
             assert!((4.0..=7.0).contains(&f), "{q} at {f}");
@@ -282,8 +279,7 @@ mod tests {
         }
         // Clean qubits keep their frequencies up to in-line swaps; at
         // minimum the plan is deterministic.
-        let again =
-            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        let again = patch(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
         assert_eq!(patched, again);
     }
 
@@ -295,8 +291,7 @@ mod tests {
         let (a, b) = (QubitId::new(3), QubitId::new(11));
         let mut drifted = x.clone();
         drifted.set(a, b, drifted.get(a, b) * 10.0 + 5e-3);
-        let patched =
-            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        let patched = patch(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
         assert!(
             patched.objective(&drifted) <= base.objective(&drifted) + 1e-12,
             "patched {} vs stale {}",
@@ -317,7 +312,7 @@ mod tests {
         };
         let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
         assert!(base.reused_cells() > 0);
-        let patched = patch_frequencies(&chip, &slices(&lines), &base, &x, &cfg, &[]).unwrap();
+        let patched = patch(&chip, &slices(&lines), &base, &x, &cfg, &[]).unwrap();
         assert_eq!(patched.reused_cells(), base.reused_cells());
     }
 
@@ -329,13 +324,37 @@ mod tests {
         let (a, b) = (QubitId::new(1), QubitId::new(9));
         let mut drifted = x.clone();
         drifted.set(a, b, drifted.get(a, b) * 3.0 + 1e-3);
-        let patched =
-            patch_frequencies(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
+        let patched = patch(&chip, &slices(&lines), &base, &drifted, &cfg, &[a, b]).unwrap();
         for q in chip.qubit_ids() {
             let qbase = chip.qubit(q).unwrap().base_frequency_ghz();
             assert!(
                 (patched.frequency_ghz(q) - qbase).abs() <= 0.05 + 1e-12,
                 "{q} outside tuning window"
+            );
+        }
+    }
+
+    /// The patcher and the allocator share one cost model: patching
+    /// with an *empty* dirty set after a drift must leave the plan
+    /// alone, and patching all qubits of a line must stay inside the
+    /// allocator's lattice.
+    #[test]
+    fn patched_frequencies_lie_on_the_allocator_lattice() {
+        let (chip, lines, x) = setup(4);
+        let cfg = FreqConfig::default();
+        let base = allocate_frequencies(&chip, &lines, &x, &cfg).unwrap();
+        let dirty: Vec<QubitId> = lines[0].qubits().to_vec();
+        let mut drifted = x.clone();
+        drifted.set(dirty[0], dirty[1], 5e-3);
+        let patched = patch(&chip, &slices(&lines), &base, &drifted, &cfg, &dirty).unwrap();
+        let lattice = BandLattice::new(&cfg, base.zones()).unwrap();
+        for q in chip.qubit_ids() {
+            let zone = patched.zone_of(q);
+            let cell = lattice.cell_of(zone, patched.frequency_ghz(q));
+            assert_eq!(
+                lattice.cell_freq(zone, cell).to_bits(),
+                patched.frequency_ghz(q).to_bits(),
+                "{q} off-lattice"
             );
         }
     }

@@ -274,10 +274,14 @@ pub fn repair_plan(
     } else {
         let xy_lines: Vec<&[QubitId]> = base.fdm_lines().iter().map(FdmLine::qubits).collect();
         let ro_lines: Vec<&[QubitId]> = base.readout_lines().iter().map(Vec::as_slice).collect();
+        // The context took the crosstalk delta above, so its freq
+        // kernels match `new.xtalk` — both bands patch with the
+        // allocator's exact kernelized cost model.
         let xy = patch_frequencies(
             new.chip,
             &xy_lines,
             base.frequency_plan(),
+            ctx.freq_kernels(),
             new.xtalk,
             &planner.freq,
             &dirty_qubits,
@@ -286,6 +290,7 @@ pub fn repair_plan(
             new.chip,
             &ro_lines,
             base.readout_frequency_plan(),
+            ctx.freq_kernels(),
             new.xtalk,
             &planner.readout_freq,
             &dirty_qubits,

@@ -96,29 +96,37 @@ print(f"  sweep smoke OK: {len(records)} records, "
       f"{len(summary['pareto'])} Pareto points, deterministic across threads")
 PY
 
-echo "==> smoke: youtiao bench-plan (tiny sizes, schema + kernels-built-once probe)"
+echo "==> smoke: youtiao bench-plan (schema, kernels-built-once, freq speedup floor)"
 cargo run -q --release --offline --bin youtiao -- bench-plan \
-  --sizes 4,5 --iters 2 --out "$smoke_dir/bench.json" 2> /dev/null
+  --sizes 4,12 --iters 2 --out "$smoke_dir/bench.json" 2> /dev/null
 python3 - "$smoke_dir/bench.json" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema"] == "youtiao-bench-plan/v1", report["schema"]
+assert report["schema"] == "youtiao-bench-plan/v2", report["schema"]
 assert report["sizes"], "bench report has no sizes"
 assert report["kernels_built"] > 0
 for size in report["sizes"]:
     for key in ("label", "qubits", "devices", "iterations", "stages",
-                "kernel_builds_during_plans", "speedup_grouping",
-                "speedup_refine", "speedup_grouping_refine"):
+                "kernel_builds_during_plans", "freq_kernel_builds_during_plans",
+                "speedup_grouping", "speedup_refine", "speedup_grouping_refine",
+                "speedup_freq", "speedup_readout"):
         assert key in size, f"{size.get('label')}: missing `{key}`"
     # Context-backed plans must hit the prebuilt kernels, not rebuild.
     assert size["kernel_builds_during_plans"] == 0, size["label"]
+    assert size["freq_kernel_builds_during_plans"] == 0, size["label"]
     for stage, stats in size["stages"].items():
         for q in ("median_us", "p10_us", "p90_us"):
             assert stats[q] >= 0, f"{size['label']}/{stage}: bad {q}"
         assert stats["p10_us"] <= stats["p90_us"], f"{size['label']}/{stage}"
+# The kernelized freq_alloc + readout must clear the acceptance floor
+# at 12x12 (the harness also asserts this internally).
+at12 = next(s for s in report["sizes"] if s["label"] == "12x12")
+assert at12["speedup_freq"] >= 5.0, at12["speedup_freq"]
+assert at12["speedup_readout"] >= 5.0, at12["speedup_readout"]
 labels = [s["label"] for s in report["sizes"]]
-print(f"  bench smoke OK: {labels}, kernels built once per context")
+print(f"  bench smoke OK: {labels}, kernels built once per context, "
+      f"freq {at12['speedup_freq']:.1f}x / readout {at12['speedup_readout']:.1f}x at 12x12")
 PY
 
 echo "==> smoke: youtiao repair (pinned change set, repair path + fallback pin)"
@@ -147,7 +155,7 @@ assert drift["changes"] == 1 and not drift["structural"], drift
 assert drift["dirty_qubits"] == 2, drift["dirty_qubits"]
 assert drift["invalidated_rows"] > 0, drift["invalidated_rows"]
 assert drift["validation_clean"] is True, drift["validation_clean"]
-assert drift["plan_hash"] == "1ccea9e851cfaafb", drift["plan_hash"]
+assert drift["plan_hash"] == "6b6f6ecab31b7f75", drift["plan_hash"]
 with open(sys.argv[2]) as f:
     dead = json.load(f)
 # A dead coupler is structural: the pass must fall back to a full
@@ -165,7 +173,7 @@ python3 - "$smoke_dir/bench_repair.json" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema"] == "youtiao-bench-repair/v1", report["schema"]
+assert report["schema"] == "youtiao-bench-repair/v2", report["schema"]
 assert report["sizes"], "bench-repair report has no sizes"
 for size in report["sizes"]:
     by_name = {sc["scenario"]: sc for sc in size["scenarios"]}
@@ -174,8 +182,10 @@ for size in report["sizes"]:
     # serialized outcome and that both paths produced real timings.
     assert drift["outcome"] == "repaired", drift
     assert drift["quality_equal"] is True, drift
+    assert drift["freq_patch_share"] > 0, drift["freq_patch_share"]
     dead = by_name["dead-coupler"]
     assert dead["outcome"] == "full_replan", dead
+    assert dead["freq_patch_share"] == 0, dead["freq_patch_share"]
     for sc in size["scenarios"]:
         assert sc["repair"]["median_us"] > 0 and sc["replan"]["median_us"] > 0, sc
         assert sc["speedup"] > 0, sc

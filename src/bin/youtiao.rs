@@ -90,15 +90,17 @@ usage:
                   tie-break verdict; prints the repaired plan's content hash)
   youtiao bench-plan [--sizes N,N,...] [--layouts grid:N,surface:D,heavy-hex:RxC]
                  [--iters N] [--out FILE.json] [--json] [--repair]
-                 (times the planner's kernelized vs naive grouping/refine hot
-                  loops across square-grid chip sizes, default 6,8,10,12,16 at 9
-                  iterations; writes the BENCH_plan.json perf trajectory to
-                  --out; a summary table goes to stderr, or the full report to
-                  stdout with --json; --layouts appends rotated-surface-code and
-                  heavy-hex fabrics, replacing the default grid list unless
-                  --sizes is also given; --repair runs the repair-vs-replan
-                  harness instead — default sizes 8,12 at 15 iterations — and
-                  writes the BENCH_repair.json trajectory)
+                 (times the planner's kernelized vs naive grouping/refine and
+                  freq_alloc/readout hot loops across square-grid chip sizes,
+                  default 6,8,10,12,16 at 9 iterations; writes the
+                  BENCH_plan.json perf trajectory to --out; a summary table
+                  goes to stderr, or the full report to stdout with --json;
+                  --layouts appends rotated-surface-code and heavy-hex fabrics,
+                  replacing the default grid list unless --sizes is also given;
+                  --repair runs the repair-vs-replan harness instead — default
+                  sizes 8,12 at 15 iterations, reporting the freq-patch share
+                  of the repair median — and writes the BENCH_repair.json
+                  trajectory)
 
 chip args (one of):
   --topology square|heavy-square|hexagon|heavy-hexagon|low-density|sycamore|linear|ring

@@ -520,11 +520,17 @@ mod tests {
 
         // The planner's sub-stages are children of the plan span.
         let plan_span = trace.find("plan").unwrap();
+        // No "freq.kernels" here: the context supplies the freq kernels,
+        // so the planner never opens that sub-span on this path.
         for sub in [
             "matrices",
             "fdm_grouping",
             "tdm_grouping",
+            "freq.place",
+            "freq.swap",
             "freq_alloc",
+            "readout.place",
+            "readout.swap",
             "readout",
         ] {
             assert!(plan_span.find(sub).is_some(), "missing sub-stage {sub}");
