@@ -1,0 +1,271 @@
+//! Admission control for the long-lived daemon: bounded intake with
+//! deadline-aware load shedding and per-client in-flight caps.
+//!
+//! The daemon distinguishes two overload responses, because they have
+//! different determinism consequences:
+//!
+//! - **Backpressure** slows the *intake* side: when the bounded queue
+//!   is full, or a client is over its in-flight cap, the daemon stops
+//!   reading new frames and drains completed work first. Backpressure
+//!   never changes what a request computes — only *when* — so it is
+//!   invisible in canonical responses and surfaces only as the
+//!   `backpressure_waits` counter.
+//! - **Shedding** rejects a request outright with a structured `Shed`
+//!   error: a request carrying a deadline that cannot be met at the
+//!   current queue depth is cheaper to refuse immediately than to
+//!   compute and time out. The shed decision is a pure function of
+//!   (queue depth, worker count, estimated cost, deadline), so a
+//!   pinned fault schedule makes shed/accept outcomes reproducible.
+//!
+//! The feasibility rule is a conservative latency bound: a new request
+//! waits behind `in_flight` queued jobs spread over `workers` lanes,
+//! so its completion estimate is `(in_flight + 1) * est_ms / workers`.
+//! If that exceeds the request's deadline it is shed. With `est_ms`
+//! unset (0) nothing is ever shed; requests without deadlines are
+//! never shed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Tuning knobs for [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum jobs queued or running before intake blocks (min 1).
+    pub max_queue: usize,
+    /// Per-client in-flight cap; `0` means uncapped.
+    pub client_inflight: usize,
+    /// Estimated per-job cost in milliseconds used for deadline
+    /// feasibility; `0.0` disables shedding entirely.
+    pub est_ms: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queue: 1024,
+            client_inflight: 0,
+            est_ms: 0.0,
+        }
+    }
+}
+
+/// Counters exported into `ServeMetrics` at session end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Requests admitted to the pool.
+    pub admitted: u64,
+    /// Requests rejected because their deadline was infeasible.
+    pub shed: u64,
+    /// Times intake blocked on a full queue or a client cap.
+    pub backpressure_waits: u64,
+    /// High-water mark of concurrently admitted jobs.
+    pub max_in_flight: u64,
+}
+
+impl AdmissionStats {
+    /// Total admission decisions that were made (admitted or shed).
+    pub fn decisions(&self) -> u64 {
+        self.admitted + self.shed
+    }
+}
+
+struct AdmissionState {
+    in_flight: usize,
+    per_client: HashMap<String, usize>,
+    stats: AdmissionStats,
+}
+
+/// Gatekeeper between the protocol reader and the worker pool.
+///
+/// Not a semaphore: callers are single-threaded on the intake side
+/// (the daemon loop), so blocking is implemented by the caller
+/// draining completions and retrying [`AdmissionController::would_block`],
+/// not by parking inside this type.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    workers: usize,
+    state: Mutex<AdmissionState>,
+}
+
+impl AdmissionController {
+    /// A controller for a pool of `workers` lanes (min 1).
+    pub fn new(config: AdmissionConfig, workers: usize) -> Self {
+        AdmissionController {
+            config: AdmissionConfig {
+                max_queue: config.max_queue.max(1),
+                ..config
+            },
+            workers: workers.max(1),
+            state: Mutex::new(AdmissionState {
+                in_flight: 0,
+                per_client: HashMap::new(),
+                stats: AdmissionStats::default(),
+            }),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Jobs currently admitted and not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().in_flight
+    }
+
+    /// Would admitting one more job for `client` exceed the queue bound
+    /// or the client's in-flight cap? When `true`, the caller should
+    /// drain a completion (counting a backpressure wait via
+    /// [`AdmissionController::note_backpressure`]) and retry — this
+    /// check alone does not mutate any counter.
+    pub fn would_block(&self, client: &str) -> bool {
+        let state = self.state.lock().unwrap();
+        if state.in_flight >= self.config.max_queue {
+            return true;
+        }
+        if self.config.client_inflight > 0 {
+            let held = state.per_client.get(client).copied().unwrap_or(0);
+            if held >= self.config.client_inflight {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records one intake stall (queue full or client cap reached).
+    pub fn note_backpressure(&self) {
+        self.state.lock().unwrap().stats.backpressure_waits += 1;
+    }
+
+    /// Should a request with this deadline be shed? `phantom_load` is
+    /// extra synthetic queue depth injected by an overload-burst fault;
+    /// real depth and phantom depth shed identically, which is what
+    /// makes pinned overload schedules deterministic. Returns the
+    /// estimated completion time when the deadline is infeasible.
+    pub fn should_shed(&self, deadline_ms: Option<u64>, phantom_load: usize) -> Option<f64> {
+        let deadline_ms = deadline_ms?;
+        if self.config.est_ms <= 0.0 {
+            return None;
+        }
+        let depth = self.state.lock().unwrap().in_flight + phantom_load;
+        let estimate = (depth as f64 + 1.0) * self.config.est_ms / self.workers as f64;
+        (estimate > deadline_ms as f64).then_some(estimate)
+    }
+
+    /// Records a shed decision.
+    pub fn note_shed(&self) {
+        self.state.lock().unwrap().stats.shed += 1;
+    }
+
+    /// Admits one job for `client`, bumping in-flight accounting.
+    pub fn begin(&self, client: &str) {
+        let mut state = self.state.lock().unwrap();
+        state.in_flight += 1;
+        *state.per_client.entry(client.to_string()).or_insert(0) += 1;
+        state.stats.admitted += 1;
+        state.stats.max_in_flight = state.stats.max_in_flight.max(state.in_flight as u64);
+    }
+
+    /// Releases one job held by `client` (call once per completion).
+    pub fn finish(&self, client: &str) {
+        let mut state = self.state.lock().unwrap();
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if let Some(held) = state.per_client.get_mut(client) {
+            *held = held.saturating_sub(1);
+            if *held == 0 {
+                state.per_client.remove(client);
+            }
+        }
+    }
+
+    /// Snapshot of the session's admission counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.state.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(
+        max_queue: usize,
+        client_inflight: usize,
+        est_ms: f64,
+        workers: usize,
+    ) -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig {
+                max_queue,
+                client_inflight,
+                est_ms,
+            },
+            workers,
+        )
+    }
+
+    #[test]
+    fn queue_bound_blocks_and_releases() {
+        let ctl = controller(2, 0, 0.0, 1);
+        assert!(!ctl.would_block("a"));
+        ctl.begin("a");
+        ctl.begin("a");
+        assert!(ctl.would_block("a"), "queue full");
+        ctl.finish("a");
+        assert!(!ctl.would_block("a"));
+        assert_eq!(ctl.stats().admitted, 2);
+        assert_eq!(ctl.stats().max_in_flight, 2);
+    }
+
+    #[test]
+    fn client_cap_is_per_client() {
+        let ctl = controller(100, 1, 0.0, 1);
+        ctl.begin("alice");
+        assert!(ctl.would_block("alice"), "alice at her cap");
+        assert!(!ctl.would_block("bob"), "bob unaffected");
+        ctl.finish("alice");
+        assert!(!ctl.would_block("alice"));
+    }
+
+    #[test]
+    fn shed_is_a_pure_function_of_depth_cost_and_deadline() {
+        // 4 in flight, est 10ms, 2 workers: next job lands at
+        // (4+1)*10/2 = 25ms. A 20ms deadline sheds; 30ms does not.
+        let ctl = controller(100, 0, 10.0, 2);
+        for _ in 0..4 {
+            ctl.begin("c");
+        }
+        assert_eq!(ctl.should_shed(Some(20), 0), Some(25.0));
+        assert_eq!(ctl.should_shed(Some(30), 0), None);
+        // No deadline or no cost estimate -> never shed.
+        assert_eq!(ctl.should_shed(None, 0), None);
+        let lax = controller(100, 0, 0.0, 2);
+        assert_eq!(lax.should_shed(Some(1), 1_000_000), None);
+    }
+
+    #[test]
+    fn phantom_load_sheds_like_real_load() {
+        let ctl = controller(100, 0, 10.0, 2);
+        // Empty queue, but a burst fault injects 4 phantom jobs: the
+        // estimate matches the real-depth case above exactly.
+        assert_eq!(ctl.should_shed(Some(20), 4), Some(25.0));
+        assert_eq!(ctl.should_shed(Some(20), 0), None);
+    }
+
+    #[test]
+    fn counters_track_decisions_and_stalls() {
+        let ctl = controller(1, 0, 5.0, 1);
+        ctl.begin("a");
+        ctl.note_backpressure();
+        ctl.note_shed();
+        ctl.finish("a");
+        let stats = ctl.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.backpressure_waits, 1);
+        assert_eq!(stats.decisions(), 2);
+        assert_eq!(ctl.in_flight(), 0);
+    }
+}

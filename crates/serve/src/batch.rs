@@ -12,19 +12,22 @@
 //! `youtiao` facade instantiates it with the design-flow report summary
 //! (`youtiao::serve::run_design_batch`).
 
-use std::io::Write;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::PlanCache;
+use crate::cache::{CacheStats, PlanCache};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::job::{ErrorKind, ErrorRecord, JobRecord};
 use crate::metrics::ServeMetrics;
 use crate::pool::{Executor, PoolOptions, WorkerPool};
+use crate::proto::FramedReader;
 use crate::request::{synthetic_drift, DesignRequest};
+use crate::shard::ShardedCache;
 
 /// Batch-run configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +61,11 @@ pub struct BatchOptions {
     /// Start from an empty cache instead of failing the batch when the
     /// persisted cache file is torn or corrupted.
     pub cache_salvage: bool,
+    /// Plan-cache shard count (min 1). With `shards > 1` the batch runs
+    /// over a [`ShardedCache`] whose persistence is one file per shard,
+    /// so a torn or lost shard costs only that shard's entries; 1 keeps
+    /// the flat single-file [`PlanCache`].
+    pub shards: usize,
 }
 
 impl Default for BatchOptions {
@@ -73,6 +81,7 @@ impl Default for BatchOptions {
             faults: None,
             canonical: false,
             cache_salvage: false,
+            shards: 1,
         }
     }
 }
@@ -140,6 +149,60 @@ pub fn parse_requests(text: &str) -> Result<Vec<DesignRequest>, BatchError> {
     Ok(requests)
 }
 
+/// Either cache shape behind the batch core: the flat [`PlanCache`] or
+/// the [`ShardedCache`], with shard tagging a no-op on the flat side.
+enum CacheRef<'a, R> {
+    Flat(&'a PlanCache<R>),
+    Sharded(&'a ShardedCache<R>),
+}
+
+impl<R> Clone for CacheRef<'_, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<R> Copy for CacheRef<'_, R> {}
+
+impl<R: Clone> CacheRef<'_, R> {
+    fn get(&self, key: u64) -> Option<R> {
+        match self {
+            CacheRef::Flat(cache) => cache.get(key),
+            CacheRef::Sharded(cache) => cache.get(key),
+        }
+    }
+
+    fn insert(&self, key: u64, value: R) {
+        match self {
+            CacheRef::Flat(cache) => cache.insert(key, value),
+            CacheRef::Sharded(cache) => cache.insert(key, value),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            CacheRef::Flat(cache) => cache.stats(),
+            CacheRef::Sharded(cache) => cache.stats(),
+        }
+    }
+
+    /// Which shard `key` maps to — `None` on the flat cache and on a
+    /// degenerate single-shard cache, so flat output stays unchanged.
+    fn shard_tag(&self, key: u64) -> Option<usize> {
+        match self {
+            CacheRef::Sharded(cache) if cache.shard_count() > 1 => Some(cache.shard_of(key)),
+            _ => None,
+        }
+    }
+
+    fn shard_stats(&self) -> Option<Vec<CacheStats>> {
+        match self {
+            CacheRef::Sharded(cache) if cache.shard_count() > 1 => Some(cache.shard_stats()),
+            _ => None,
+        }
+    }
+}
+
 /// Runs `requests` through `executor` on a worker pool with a plan
 /// cache, streaming one JSON record line per job into `out`.
 ///
@@ -156,8 +219,40 @@ where
     R: Clone + Send + Serialize + 'static,
     W: Write,
 {
+    run_batch_core(requests, executor, options, CacheRef::Flat(cache), out)
+}
+
+/// [`run_batch_with_cache`] over a caller-owned [`ShardedCache`]:
+/// records are tagged with their key's shard and the metrics carry
+/// per-shard aggregates.
+pub fn run_batch_sharded<R, W>(
+    requests: &[DesignRequest],
+    executor: Executor<DesignRequest, R>,
+    options: &BatchOptions,
+    cache: &ShardedCache<R>,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    W: Write,
+{
+    run_batch_core(requests, executor, options, CacheRef::Sharded(cache), out)
+}
+
+fn run_batch_core<R, W>(
+    requests: &[DesignRequest],
+    executor: Executor<DesignRequest, R>,
+    options: &BatchOptions,
+    cache: CacheRef<'_, R>,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    W: Write,
+{
     let start = Instant::now();
     let stats_before = cache.stats();
+    let shards_before = cache.shard_stats();
     // Chaos runs interpose the fault schedule between pool and real
     // executor; the pool itself is unaware faults are being injected.
     // Drift faults mutate the request with a schedule-derived synthetic
@@ -219,7 +314,9 @@ where
             Ok(key) => {
                 keys[index] = Some(key);
                 if let Some(result) = cache.get(key) {
-                    let record = JobRecord::ok(index, id, result, 0, 0.0).from_cache();
+                    let record = JobRecord::ok(index, id, result, 0, 0.0)
+                        .from_cache()
+                        .with_shard(cache.shard_tag(key));
                     records.push(emit(record, out)?);
                 } else {
                     let deadline = request.deadline_ms.map(Duration::from_millis);
@@ -249,7 +346,8 @@ where
                 cache.insert(key, result.clone());
             }
         }
-        records.push(emit(record, out)?);
+        let tag = keys[record.index].and_then(|k| cache.shard_tag(k));
+        records.push(emit(record.with_shard(tag), out)?);
         // The batch-level abort fault: kill the pool mid-run. Remaining
         // jobs still complete — as `Cancelled` records.
         if abort_after == Some(received + 1) {
@@ -263,11 +361,19 @@ where
         std::fs::write(path, render_trace_file(&records))?;
     }
 
-    let metrics = ServeMetrics::from_records(
+    let mut metrics = ServeMetrics::from_records(
         &records,
         start.elapsed(),
         Some(cache.stats().since(&stats_before)),
     );
+    if let (Some(after), Some(before)) = (cache.shard_stats(), shards_before) {
+        let deltas: Vec<CacheStats> = after
+            .iter()
+            .zip(before.iter())
+            .map(|(a, b)| a.since(b))
+            .collect();
+        metrics = metrics.with_shards(&records, &deltas);
+    }
     Ok(match &injector {
         Some(injector) => metrics.with_faults(injector.counters()),
         None => metrics,
@@ -293,7 +399,8 @@ fn render_trace_file<R>(records: &[JobRecord<R>]) -> String {
 
 /// [`run_batch_with_cache`] plus cache persistence: loads
 /// `options.cache_path` when it exists, runs the batch, saves the cache
-/// back.
+/// back. With `options.shards > 1` the cache is a [`ShardedCache`]
+/// persisted as one file per shard ([`crate::shard::shard_file`]).
 pub fn run_batch<R, W>(
     requests: &[DesignRequest],
     executor: Executor<DesignRequest, R>,
@@ -304,6 +411,14 @@ where
     R: Clone + Send + Serialize + Deserialize + 'static,
     W: Write,
 {
+    if options.shards > 1 {
+        let cache = load_sharded_cache(options)?;
+        let metrics = run_batch_sharded(requests, executor, options, &cache, out)?;
+        if let Some(path) = &options.cache_path {
+            cache.save_atomic(path)?;
+        }
+        return Ok(metrics);
+    }
     let cache = match &options.cache_path {
         Some(path) if path.exists() => {
             let text = std::fs::read_to_string(path)?;
@@ -318,6 +433,309 @@ where
         _ => PlanCache::new(options.cache_capacity),
     };
     let metrics = run_batch_with_cache(requests, executor, options, &cache, out)?;
+    if let Some(path) = &options.cache_path {
+        cache.save_atomic(path)?;
+    }
+    Ok(metrics)
+}
+
+/// Loads the [`ShardedCache`] named by `options` (missing shard files
+/// start cold; torn shards salvage when opted in, fail loudly
+/// otherwise).
+fn load_sharded_cache<R>(options: &BatchOptions) -> Result<ShardedCache<R>, BatchError>
+where
+    R: Clone + Deserialize,
+{
+    let shards = options.shards.max(1);
+    Ok(match &options.cache_path {
+        Some(path) => {
+            ShardedCache::load(path, shards, options.cache_capacity, options.cache_salvage)
+                .map_err(|e| BatchError::Cache(e.to_string()))?
+                .0
+        }
+        None => ShardedCache::new(shards, options.cache_capacity),
+    })
+}
+
+/// In-flight bookkeeping for the streaming front-end.
+struct StreamState<R> {
+    records: Vec<JobRecord<R>>,
+    /// Content key per input index, for memoizing completed results.
+    keys: HashMap<usize, u64>,
+    /// Requests read from the input so far (also the next job index).
+    submitted: usize,
+    dispatched: usize,
+    received: usize,
+}
+
+fn emit_record<R, W>(
+    record: JobRecord<R>,
+    canonical: bool,
+    out: &mut W,
+) -> Result<JobRecord<R>, BatchError>
+where
+    R: Clone + Serialize,
+    W: Write,
+{
+    let line = if canonical {
+        serde_json::to_string(&record.clone().canonical())
+    } else {
+        serde_json::to_string(&record)
+    }
+    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(out, "{line}")?;
+    Ok(record)
+}
+
+/// Memoizes and emits one completed pool record (streaming path).
+fn absorb_completion<R, W>(
+    record: JobRecord<R>,
+    state: &mut StreamState<R>,
+    options: &BatchOptions,
+    cache: &ShardedCache<R>,
+    out: &mut W,
+) -> Result<(), BatchError>
+where
+    R: Clone + Serialize,
+    W: Write,
+{
+    state.received += 1;
+    let key = state.keys.get(&record.index).copied();
+    if let (Some(result), Some(key)) = (&record.result, key) {
+        // Same cache-poisoning guard as the eager path: a drift fault
+        // answered different inputs than the request describes.
+        let drifted = options.faults.as_ref().is_some_and(|plan| {
+            (0..record.attempts).any(|a| plan.fault_at(record.index, a) == Some(FaultKind::Drift))
+        });
+        if !drifted {
+            cache.insert(key, result.clone());
+        }
+    }
+    let record =
+        record.with_shard(key.and_then(|k| (cache.shard_count() > 1).then(|| cache.shard_of(k))));
+    state
+        .records
+        .push(emit_record(record, options.canonical, out)?);
+    Ok(())
+}
+
+/// The streaming dispatch loop: one framed input line at a time,
+/// interleaved with opportunistic result draining so output flows and
+/// in-flight memory stays bounded by the pool, not the input size.
+fn stream_dispatch<R, In, W>(
+    input: In,
+    options: &BatchOptions,
+    cache: &ShardedCache<R>,
+    pool: &mut WorkerPool<DesignRequest, R>,
+    state: &mut StreamState<R>,
+    abort_after: Option<usize>,
+    out: &mut W,
+) -> Result<(), BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    In: BufRead,
+    W: Write,
+{
+    for frame in FramedReader::new(input) {
+        let frame = frame?;
+        let request: DesignRequest =
+            serde_json::from_str(&frame.text).map_err(|e| BatchError::Parse {
+                line: frame.line,
+                message: e.to_string(),
+            })?;
+        let index = state.submitted;
+        state.submitted += 1;
+        let id = request.display_id(index);
+        match request.cache_key() {
+            Err(e) => {
+                let record = JobRecord::error(
+                    index,
+                    id,
+                    ErrorRecord {
+                        kind: ErrorKind::InvalidRequest,
+                        message: e.to_string(),
+                    },
+                    0,
+                    0.0,
+                );
+                state
+                    .records
+                    .push(emit_record(record, options.canonical, out)?);
+            }
+            Ok(key) => {
+                state.keys.insert(index, key);
+                if let Some(result) = cache.get(key) {
+                    let record = JobRecord::ok(index, id, result, 0, 0.0)
+                        .from_cache()
+                        .with_shard((cache.shard_count() > 1).then(|| cache.shard_of(key)));
+                    state
+                        .records
+                        .push(emit_record(record, options.canonical, out)?);
+                } else {
+                    let deadline = request.deadline_ms.map(Duration::from_millis);
+                    if pool.submit(index, id.clone(), request, deadline) {
+                        state.dispatched += 1;
+                    } else {
+                        // The abort fault already fired: the tail of the
+                        // stream completes as cancelled records, exactly
+                        // like the eager path's undispatched remainder.
+                        let record = JobRecord::error(
+                            index,
+                            id,
+                            ErrorRecord {
+                                kind: ErrorKind::Cancelled,
+                                message: "job cancelled between stages".into(),
+                            },
+                            0,
+                            0.0,
+                        );
+                        state
+                            .records
+                            .push(emit_record(record, options.canonical, out)?);
+                    }
+                }
+            }
+        }
+        while let Ok(record) = pool.results().try_recv() {
+            absorb_completion(record, state, options, cache, out)?;
+            if abort_after == Some(state.received) {
+                pool.abort();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The streaming batch front-end behind `youtiao batch`: reads framed
+/// JSONL requests from `input` one line at a time (never materializing
+/// the whole jobs file), dispatches through a [`ShardedCache`]-backed
+/// pool, and streams records as jobs complete. A parse error aborts the
+/// batch after draining in-flight work, matching [`run_batch`]'s
+/// contract that bad input fails loudly.
+///
+/// Unlike the eager path — which resolves every cache key before any
+/// job completes — the streaming path can answer a later duplicate of
+/// an earlier request from the cache if the first instance has already
+/// finished, so hit/miss counts for duplicate keys depend on timing.
+pub fn run_batch_stream_with_cache<R, In, W>(
+    input: In,
+    executor: Executor<DesignRequest, R>,
+    options: &BatchOptions,
+    cache: &ShardedCache<R>,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    In: BufRead,
+    W: Write,
+{
+    let start = Instant::now();
+    let stats_before = cache.stats();
+    let shards_before = cache.shard_stats();
+    let injector = options.faults.clone().map(FaultInjector::new);
+    let executor = match &injector {
+        Some(injector) => injector.wrap_with(
+            executor,
+            Arc::new(|request: &DesignRequest, seed: u64| synthetic_drift(request, seed)),
+        ),
+        None => executor,
+    };
+    let mut pool = WorkerPool::new(
+        executor,
+        PoolOptions {
+            workers: options.jobs,
+            max_retries: options.max_retries,
+            deadline: options.deadline_ms.map(Duration::from_millis),
+            trace: options.trace_json.is_some(),
+        },
+    );
+    let mut state = StreamState {
+        records: Vec::new(),
+        keys: HashMap::new(),
+        submitted: 0,
+        dispatched: 0,
+        received: 0,
+    };
+    let abort_after = options.faults.as_ref().and_then(|plan| plan.abort_after);
+
+    let mut outcome = stream_dispatch(
+        input,
+        options,
+        cache,
+        &mut pool,
+        &mut state,
+        abort_after,
+        out,
+    );
+    if outcome.is_err() {
+        pool.abort();
+    }
+    // Drain the in-flight tail. On the error path completions are
+    // swallowed — the batch already failed; the pool just needs to
+    // wind down cleanly.
+    while state.received < state.dispatched {
+        let Ok(record) = pool.results().recv() else {
+            break;
+        };
+        if outcome.is_ok() {
+            match absorb_completion(record, &mut state, options, cache, out) {
+                Ok(()) => {
+                    if abort_after == Some(state.received) {
+                        pool.abort();
+                    }
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    pool.abort();
+                }
+            }
+        } else {
+            state.received += 1;
+        }
+    }
+    pool.join();
+    outcome?;
+    out.flush()?;
+
+    if let Some(path) = &options.trace_json {
+        std::fs::write(path, render_trace_file(&state.records))?;
+    }
+    let mut metrics = ServeMetrics::from_records(
+        &state.records,
+        start.elapsed(),
+        Some(cache.stats().since(&stats_before)),
+    );
+    if cache.shard_count() > 1 {
+        let deltas: Vec<CacheStats> = cache
+            .shard_stats()
+            .iter()
+            .zip(shards_before.iter())
+            .map(|(a, b)| a.since(b))
+            .collect();
+        metrics = metrics.with_shards(&state.records, &deltas);
+    }
+    Ok(match &injector {
+        Some(injector) => metrics.with_faults(injector.counters()),
+        None => metrics,
+    })
+}
+
+/// [`run_batch_stream_with_cache`] plus cache persistence: loads the
+/// (sharded) cache named by `options.cache_path`, streams the batch,
+/// saves every shard back.
+pub fn run_batch_stream<R, In, W>(
+    input: In,
+    executor: Executor<DesignRequest, R>,
+    options: &BatchOptions,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    R: Clone + Send + Serialize + Deserialize + 'static,
+    In: BufRead,
+    W: Write,
+{
+    let cache = load_sharded_cache(options)?;
+    let metrics = run_batch_stream_with_cache(input, executor, options, &cache, out)?;
     if let Some(path) = &options.cache_path {
         cache.save_atomic(path)?;
     }
@@ -593,5 +1011,90 @@ mod tests {
         let warm = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
         assert_eq!(warm.cache_hits, 4, "all jobs answered from the cache file");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_front_end_matches_eager_results() {
+        let text = "\n# a sweep\n{\"chip\":{\"topology\":\"square\",\"rows\":2,\"cols\":3},\"id\":\"a\"}\n{\"chip\":{\"topology\":\"square\",\"rows\":3,\"cols\":3},\"id\":\"b\"}\n{\"chip\":{\"topology\":\"klein-bottle\"},\"id\":\"c\"}\n";
+        let mut out = Vec::new();
+        let metrics = run_batch_stream(
+            std::io::Cursor::new(text),
+            counting_executor(),
+            &BatchOptions::default(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(metrics.jobs, 3);
+        assert_eq!(metrics.ok, 2);
+        assert_eq!(metrics.errors, 1);
+        let mut lines: Vec<Value> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        lines.sort_by_key(|v| v["index"].as_u64());
+        assert_eq!(lines[0]["id"], "a");
+        assert_eq!(lines[0]["result"], 6);
+        assert_eq!(lines[1]["result"], 9);
+        assert_eq!(lines[2]["error"]["kind"], "InvalidRequest");
+
+        // A mid-stream parse error aborts loudly with its line number.
+        let bad = "{\"chip\":{\"topology\":\"square\"}}\n{\"chip\":}\n";
+        let mut out = Vec::new();
+        let err = run_batch_stream(
+            std::io::Cursor::new(bad),
+            counting_executor(),
+            &BatchOptions::default(),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BatchError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn sharded_batch_tags_records_and_persists_per_shard() {
+        let path = std::env::temp_dir().join(format!(
+            "youtiao-serve-test-{}.sharded-cache.json",
+            std::process::id()
+        ));
+        let shards = 4usize;
+        for index in 0..shards {
+            let _ = std::fs::remove_file(crate::shard::shard_file(&path, index, shards));
+        }
+        let options = BatchOptions {
+            cache_path: Some(path.clone()),
+            shards,
+            ..Default::default()
+        };
+        let reqs = requests(6); // 3 distinct chips, each twice
+        let mut out = Vec::new();
+        let cold = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
+        assert_eq!(cold.cache_hits, 0, "eager path resolves keys up front");
+        assert!(!cold.shards.is_empty(), "sharded metrics attach");
+        let jobs: usize = cold.shards.iter().map(|s| s.jobs).sum();
+        assert_eq!(jobs, 6, "every keyed record lands in a shard bucket");
+        for line in std::str::from_utf8(&out).unwrap().lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            let shard = v["shard"].as_u64().expect("sharded records are tagged");
+            assert!((shard as usize) < shards);
+        }
+
+        // Warm pass reads the per-shard files back.
+        let mut out = Vec::new();
+        let warm = run_batch(&reqs, counting_executor(), &options, &mut out).unwrap();
+        assert_eq!(warm.cache_hits, 6);
+
+        // Flat single-shard runs keep their compact untagged lines.
+        let flat = BatchOptions::default();
+        let cache = PlanCache::new(64);
+        let mut out = Vec::new();
+        run_batch_with_cache(&reqs, counting_executor(), &flat, &cache, &mut out).unwrap();
+        for line in std::str::from_utf8(&out).unwrap().lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("shard").is_none());
+        }
+        for index in 0..shards {
+            let _ = std::fs::remove_file(crate::shard::shard_file(&path, index, shards));
+        }
     }
 }

@@ -1,0 +1,889 @@
+//! The long-lived `youtiao serve` daemon session.
+//!
+//! [`run_daemon`] turns the batch machinery into an always-on service:
+//! it reads newline-framed JSONL request frames ([`proto`](crate::proto))
+//! from any [`BufRead`] — stdin or an accepted unix-socket connection —
+//! dispatches design requests through the worker pool behind a
+//! [`ShardedCache`], applies [`AdmissionController`] policy (bounded
+//! queue, per-client caps, deadline-aware shedding), and writes one
+//! JSON response line per frame. An in-band control plane (`ping`,
+//! `stats`, `shutdown`) rides the same framing.
+//!
+//! # Determinism contract
+//!
+//! Responses are emitted in **request order** (a `BTreeMap` keyed by
+//! arrival sequence buffers completions until their turn), and
+//! duplicate in-flight content keys are **coalesced** — a design
+//! request whose key is already being computed waits for that job and
+//! is served from the cache, instead of racing it on another worker.
+//! Together with canonical responses (run-dependent fields stripped,
+//! see [`proto::design_response`](crate::proto::design_response)) this
+//! makes an equal-seed session's output a pure function of its input:
+//! byte-identical across worker counts and shard counts. Admission
+//! *backpressure* only stalls intake, never alters bytes; *shedding*
+//! is deterministic whenever the decision margin is pinned — an
+//! [`OverloadBurst`](crate::fault::OverloadBurst)'s phantom depth
+//! dwarfs real queue depth, or `est_ms` is 0 (shedding off).
+//!
+//! The batch-level `abort_after` fault does not apply to daemon
+//! sessions (there is no batch to abort); the daemon-level faults are
+//! `overload_burst`, `slow_client_ms`/`slow_client_every`, and
+//! `shard_loss`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::batch::BatchError;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+use crate::job::{ErrorKind, ErrorRecord, JobRecord, JobStatus};
+use crate::metrics::ServeMetrics;
+use crate::pool::{Executor, PoolOptions, WorkerPool};
+use crate::proto::{
+    design_response, error_response, ping_response, shutdown_response, stats_response,
+    DaemonRequest, FramedReader, OpKind,
+};
+use crate::request::{synthetic_drift, DesignRequest};
+use crate::shard::{shard_file, ShardedCache};
+
+/// Daemon session configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Retries after the first attempt of transiently failing jobs.
+    pub max_retries: u32,
+    /// Default per-job deadline in milliseconds (`deadline_ms` on a
+    /// request overrides it).
+    pub deadline_ms: Option<u64>,
+    /// Total plan-cache entry budget, split across shards.
+    pub cache_capacity: usize,
+    /// Cache shard count (min 1; 1 is the flat cache).
+    pub shards: usize,
+    /// Cache persistence root: shard `i` lives at
+    /// [`shard_file`]`(path, i, shards)`.
+    pub cache_path: Option<PathBuf>,
+    /// Restart torn shards cold instead of failing the session.
+    pub cache_salvage: bool,
+    /// Emit canonical responses (run-dependent fields stripped), the
+    /// byte-comparable mode. Default on.
+    pub canonical: bool,
+    /// Record a span trace per pooled job (feeds per-stage latency
+    /// percentiles in the session metrics).
+    pub trace: bool,
+    /// Ask the executor to check plan invariants (honored by executors
+    /// that consult it, like the facade's design executor).
+    pub validate: bool,
+    /// Seeded fault schedule (chaos sessions), including the
+    /// daemon-level `overload_burst`, `slow_client_*` and `shard_loss`
+    /// faults.
+    pub faults: Option<FaultPlan>,
+    /// Admission-control policy.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            workers: 0,
+            max_retries: 2,
+            deadline_ms: None,
+            cache_capacity: 1024,
+            shards: 1,
+            cache_path: None,
+            cache_salvage: false,
+            canonical: true,
+            trace: false,
+            validate: false,
+            faults: None,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// What one daemon session did.
+#[derive(Debug, Clone)]
+pub struct DaemonReport {
+    /// Aggregates over the session's design jobs, including per-shard
+    /// and admission counters.
+    pub metrics: ServeMetrics,
+    /// Frames accepted (all ops, including malformed frames answered
+    /// with an error response).
+    pub requests: u64,
+    /// Response lines written.
+    pub responses: u64,
+    /// Whether the session ended on an in-band `shutdown` (vs. EOF).
+    pub shutdown: bool,
+    /// Cache shards restarted cold by salvage at session start.
+    pub salvaged_shards: usize,
+}
+
+/// A design job in flight: where its response goes once it completes.
+struct PendingJob {
+    seq: u64,
+    rid: Option<String>,
+    client: String,
+    key: Option<u64>,
+}
+
+struct Session<'a, R> {
+    options: &'a DaemonOptions,
+    plan: FaultPlan,
+    cache: &'a ShardedCache<R>,
+    admission: AdmissionController,
+    /// In-flight design jobs by pool index.
+    meta: HashMap<usize, PendingJob>,
+    /// Content keys currently being computed, for coalescing.
+    in_flight_keys: HashMap<u64, usize>,
+    /// Ready responses awaiting their turn, by arrival sequence.
+    ready: BTreeMap<u64, String>,
+    next_seq: u64,
+    next_emit: u64,
+    written: u64,
+    design_index: usize,
+    requests: u64,
+    records: Vec<JobRecord<R>>,
+    shutdown: bool,
+}
+
+impl<R: Clone + Serialize> Session<'_, R> {
+    fn shard_tag(&self, key: u64) -> Option<usize> {
+        (self.cache.shard_count() > 1).then(|| self.cache.shard_of(key))
+    }
+
+    /// Takes a completed pool record: releases admission, memoizes the
+    /// result (unless a drift fault answered different inputs), and
+    /// queues the response at the job's arrival sequence.
+    fn absorb(&mut self, record: JobRecord<R>) {
+        let Some(job) = self.meta.remove(&record.index) else {
+            return;
+        };
+        self.admission.finish(&job.client);
+        if let Some(key) = job.key {
+            if self.in_flight_keys.get(&key) == Some(&record.index) {
+                self.in_flight_keys.remove(&key);
+            }
+            if record.status == JobStatus::Ok {
+                let drifted = (0..record.attempts)
+                    .any(|a| self.plan.fault_at(record.index, a) == Some(FaultKind::Drift));
+                if !drifted {
+                    if let Some(result) = &record.result {
+                        self.cache.insert(key, result.clone());
+                    }
+                }
+            }
+        }
+        let record = record.with_shard(job.key.and_then(|k| self.shard_tag(k)));
+        self.finish_design(record, job.seq, job.rid.as_ref());
+    }
+
+    /// Queues a design record's response and keeps the full record for
+    /// metrics.
+    fn finish_design(&mut self, record: JobRecord<R>, seq: u64, rid: Option<&String>) {
+        let response = if self.options.canonical {
+            design_response(&record.clone().canonical(), rid, true)
+        } else {
+            design_response(&record, rid, false)
+        };
+        self.records.push(record);
+        self.ready.insert(seq, response);
+    }
+
+    /// Writes every response whose turn has come, applying the
+    /// slow-client stall fault to the write side only.
+    fn emit<W: Write>(&mut self, out: &mut W) -> std::io::Result<()> {
+        let mut wrote = false;
+        while let Some(line) = self.ready.remove(&self.next_emit) {
+            if let Some(stall) = self.plan.slow_client_stall(self.written as usize) {
+                std::thread::sleep(stall);
+            }
+            writeln!(out, "{line}")?;
+            self.next_emit += 1;
+            self.written += 1;
+            wrote = true;
+        }
+        if wrote {
+            out.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one daemon session over a caller-owned sharded cache: frames
+/// in, responses out, until an in-band `shutdown` or input EOF. All
+/// in-flight work is drained and answered before the function returns;
+/// the `shutdown` acknowledgement is always the session's last line.
+pub fn run_daemon_session<R, In, Out>(
+    executor: Executor<DesignRequest, R>,
+    options: &DaemonOptions,
+    cache: &ShardedCache<R>,
+    input: In,
+    output: &mut Out,
+) -> Result<DaemonReport, BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    In: BufRead + Send + 'static,
+    Out: Write,
+{
+    let started = Instant::now();
+    let plan = options.faults.clone().unwrap_or_default();
+    let injector = FaultInjector::new(plan.clone());
+    let chaos = injector.wrap_with(
+        executor,
+        Arc::new(|request: &DesignRequest, seed: u64| synthetic_drift(request, seed)),
+    );
+    let pool_options = PoolOptions {
+        workers: options.workers,
+        max_retries: options.max_retries,
+        deadline: options.deadline_ms.map(Duration::from_millis),
+        trace: options.trace,
+    };
+    let workers = pool_options.effective_workers();
+    let mut pool: WorkerPool<DesignRequest, R> = WorkerPool::new(chaos, pool_options);
+
+    // A reader thread turns the (possibly blocking) input into a
+    // channel, so the session loop can interleave frame intake with
+    // result draining — required for in-order emission to half-duplex
+    // clients that write their whole session before reading.
+    let (frame_tx, frame_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for frame in FramedReader::new(input) {
+            let stop = frame.is_err();
+            if frame_tx.send(frame).is_err() || stop {
+                break;
+            }
+        }
+    });
+
+    let mut session = Session {
+        options,
+        plan,
+        cache,
+        admission: AdmissionController::new(options.admission, workers),
+        meta: HashMap::new(),
+        in_flight_keys: HashMap::new(),
+        ready: BTreeMap::new(),
+        next_seq: 0,
+        next_emit: 0,
+        written: 0,
+        design_index: 0,
+        requests: 0,
+        records: Vec::new(),
+        shutdown: false,
+    };
+    let mut input_done = false;
+
+    let outcome: Result<(), BatchError> = loop {
+        while let Ok(record) = pool.results().try_recv() {
+            session.absorb(record);
+        }
+        if let Err(e) = session.emit(output) {
+            break Err(BatchError::Io(e));
+        }
+        if session.shutdown || input_done {
+            if session.meta.is_empty() {
+                break Ok(());
+            }
+            match pool.results().recv_timeout(Duration::from_millis(50)) {
+                Ok(record) => session.absorb(record),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break Ok(()),
+            }
+            continue;
+        }
+        match frame_rx.recv_timeout(Duration::from_millis(1)) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => input_done = true,
+            Ok(Err(e)) => break Err(BatchError::Io(e)),
+            Ok(Ok(frame)) => {
+                session.requests += 1;
+                let seq = session.next_seq;
+                session.next_seq += 1;
+                if let Err(e) = handle_frame(&mut session, &mut pool, seq, &frame, output) {
+                    break Err(e);
+                }
+            }
+        }
+    };
+
+    if outcome.is_err() {
+        pool.abort();
+    }
+    for record in pool.join() {
+        session.absorb(record);
+    }
+    outcome?;
+    session.emit(output).map_err(BatchError::Io)?;
+
+    let shard_stats = cache.shard_stats();
+    let mut metrics =
+        ServeMetrics::from_records(&session.records, started.elapsed(), Some(cache.stats()))
+            .with_admission(session.admission.stats())
+            .with_faults(injector.counters());
+    if cache.shard_count() > 1 {
+        metrics = metrics.with_shards(&session.records, &shard_stats);
+    }
+    Ok(DaemonReport {
+        metrics,
+        requests: session.requests,
+        responses: session.written,
+        shutdown: session.shutdown,
+        salvaged_shards: 0,
+    })
+}
+
+/// Dispatches one accepted frame.
+fn handle_frame<R, Out>(
+    session: &mut Session<'_, R>,
+    pool: &mut WorkerPool<DesignRequest, R>,
+    seq: u64,
+    frame: &crate::proto::Frame,
+    output: &mut Out,
+) -> Result<(), BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    Out: Write,
+{
+    let request: DaemonRequest = match serde_json::from_str(&frame.text) {
+        Ok(request) => request,
+        Err(e) => {
+            session.ready.insert(
+                seq,
+                error_response(None, frame.line, &format!("bad frame: {e}")),
+            );
+            return Ok(());
+        }
+    };
+    let rid = request.rid.clone();
+    match request.op_kind() {
+        Err(message) => {
+            session
+                .ready
+                .insert(seq, error_response(rid.as_ref(), frame.line, &message));
+        }
+        Ok(OpKind::Ping) => {
+            session.ready.insert(seq, ping_response(rid.as_ref()));
+        }
+        Ok(OpKind::Stats) => {
+            let response = stats_response(
+                rid.as_ref(),
+                session.requests,
+                &session.admission.stats(),
+                &session.cache.stats(),
+                session.admission.in_flight(),
+                session.options.canonical,
+            );
+            session.ready.insert(seq, response);
+        }
+        Ok(OpKind::Shutdown) => {
+            // The ack sits at the highest sequence so far; in-order
+            // emission makes it the session's last line after every
+            // in-flight design drains.
+            session.shutdown = true;
+            session.ready.insert(seq, shutdown_response(rid.as_ref()));
+        }
+        Ok(OpKind::Design) => {
+            handle_design(session, pool, seq, frame, &request, output)?;
+        }
+    }
+    Ok(())
+}
+
+/// Admits, coalesces, sheds, or answers one design frame.
+fn handle_design<R, Out>(
+    session: &mut Session<'_, R>,
+    pool: &mut WorkerPool<DesignRequest, R>,
+    seq: u64,
+    frame: &crate::proto::Frame,
+    request: &DaemonRequest,
+    output: &mut Out,
+) -> Result<(), BatchError>
+where
+    R: Clone + Send + Serialize + 'static,
+    Out: Write,
+{
+    let rid = request.rid.clone();
+    let Some(payload) = &request.request else {
+        session.ready.insert(
+            seq,
+            error_response(rid.as_ref(), frame.line, "design frame missing `request`"),
+        );
+        return Ok(());
+    };
+    let design: DesignRequest = match serde_json::from_value(payload) {
+        Ok(design) => design,
+        Err(e) => {
+            session.ready.insert(
+                seq,
+                error_response(rid.as_ref(), frame.line, &format!("bad request: {e}")),
+            );
+            return Ok(());
+        }
+    };
+
+    let index = session.design_index;
+    session.design_index += 1;
+    let id = design.display_id(index);
+    let key = match design.cache_key() {
+        Ok(key) => key,
+        Err(e) => {
+            // The chip half does not resolve: answer without occupying
+            // a worker, exactly like the batch front-end.
+            let record = JobRecord::error(
+                index,
+                id,
+                ErrorRecord {
+                    kind: ErrorKind::InvalidRequest,
+                    message: e.to_string(),
+                },
+                0,
+                0.0,
+            );
+            session.finish_design(record, seq, rid.as_ref());
+            return Ok(());
+        }
+    };
+
+    // Coalesce: if this key is already being computed, wait for that
+    // job instead of racing a duplicate on another worker. This is
+    // what keeps cache behaviour — and therefore canonical output —
+    // independent of the worker count.
+    loop {
+        if let Some(result) = session.cache.get(key) {
+            let record = JobRecord::ok(index, id, result, 0, 0.0)
+                .from_cache()
+                .with_shard(session.shard_tag(key));
+            session.finish_design(record, seq, rid.as_ref());
+            return Ok(());
+        }
+        if !session.in_flight_keys.contains_key(&key) || session.meta.is_empty() {
+            break;
+        }
+        if let Ok(record) = pool.results().recv_timeout(Duration::from_millis(50)) {
+            session.absorb(record);
+        }
+        session.emit(output).map_err(BatchError::Io)?;
+    }
+
+    // Deadline-aware shedding: refuse work whose deadline cannot be
+    // met at the current (real + phantom) queue depth. The message
+    // carries no depth estimate — that would leak real timing into
+    // canonical output.
+    let deadline_ms = design.deadline_ms.or(session.options.deadline_ms);
+    let phantom = session.plan.overload_phantom(index);
+    if session
+        .admission
+        .should_shed(deadline_ms, phantom)
+        .is_some()
+    {
+        session.admission.note_shed();
+        let record = JobRecord::error(
+            index,
+            id,
+            ErrorRecord {
+                kind: ErrorKind::Shed,
+                message: format!(
+                    "deadline of {} ms infeasible at current queue depth",
+                    deadline_ms.unwrap_or(0)
+                ),
+            },
+            0,
+            0.0,
+        );
+        session.finish_design(record, seq, rid.as_ref());
+        return Ok(());
+    }
+
+    // Backpressure: a full queue or a client over its in-flight cap
+    // stalls intake until completions free a slot. Never changes what
+    // the request computes — only when.
+    let client = request.client_name().to_string();
+    while session.admission.would_block(&client) && !session.meta.is_empty() {
+        session.admission.note_backpressure();
+        if let Ok(record) = pool.results().recv_timeout(Duration::from_millis(50)) {
+            session.absorb(record);
+        }
+        session.emit(output).map_err(BatchError::Io)?;
+    }
+
+    session.admission.begin(&client);
+    session.in_flight_keys.insert(key, index);
+    session.meta.insert(
+        index,
+        PendingJob {
+            seq,
+            rid,
+            client,
+            key: Some(key),
+        },
+    );
+    let deadline = design.deadline_ms.map(Duration::from_millis);
+    pool.submit(index, id, design, deadline);
+    Ok(())
+}
+
+/// [`run_daemon_session`] plus cache lifecycle: applies the
+/// `shard_loss` fault, loads the sharded cache from
+/// `options.cache_path` (salvaging torn shards when opted in), runs
+/// the session, and persists every shard back.
+pub fn run_daemon<R, In, Out>(
+    executor: Executor<DesignRequest, R>,
+    options: &DaemonOptions,
+    input: In,
+    output: &mut Out,
+) -> Result<DaemonReport, BatchError>
+where
+    R: Clone + Send + Serialize + Deserialize + 'static,
+    In: BufRead + Send + 'static,
+    Out: Write,
+{
+    let shards = options.shards.max(1);
+    let (cache, salvaged) = match &options.cache_path {
+        Some(path) => {
+            if let Some(lost) = options.faults.as_ref().and_then(|plan| plan.shard_loss) {
+                let _ = std::fs::remove_file(shard_file(path, lost, shards));
+            }
+            ShardedCache::load(path, shards, options.cache_capacity, options.cache_salvage)
+                .map_err(|e| BatchError::Cache(e.to_string()))?
+        }
+        None => (ShardedCache::new(shards, options.cache_capacity), 0),
+    };
+    let mut report = run_daemon_session(executor, options, &cache, input, output)?;
+    report.salvaged_shards = salvaged;
+    if let Some(path) = &options.cache_path {
+        cache.save_atomic(path)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ExecError;
+    use crate::request::ChipRequest;
+    use serde::Value;
+    use std::io::Cursor;
+
+    /// The batch tests' cheap executor: "result" is the qubit count.
+    fn counting_executor() -> Executor<DesignRequest, u64> {
+        Arc::new(|request: &DesignRequest, ctx| {
+            ctx.cancel
+                .checkpoint()
+                .map_err(|_| ExecError::cancelled())?;
+            let chip = request
+                .chip
+                .build()
+                .map_err(|e| ExecError::permanent(ErrorKind::InvalidRequest, e.to_string()))?;
+            Ok(chip.num_qubits() as u64)
+        })
+    }
+
+    fn design_line(rows: usize, rid: &str) -> String {
+        format!(
+            r#"{{"op":"design","rid":"{rid}","request":{{"chip":{{"topology":"square","rows":{rows},"cols":3}}}}}}"#
+        )
+    }
+
+    fn run_session(input: &str, options: &DaemonOptions) -> (Vec<String>, DaemonReport) {
+        let cache = ShardedCache::new(options.shards, options.cache_capacity);
+        let mut out = Vec::new();
+        let report = run_daemon_session(
+            counting_executor(),
+            options,
+            &cache,
+            Cursor::new(input.to_string()),
+            &mut out,
+        )
+        .unwrap();
+        let lines = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        (lines, report)
+    }
+
+    #[test]
+    fn session_answers_in_request_order_and_acks_shutdown_last() {
+        let input = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            r#"{"op":"ping","rid":"p1"}"#,
+            design_line(2, "d1"),
+            design_line(3, "d2"),
+            r#"{"op":"stats","rid":"s1"}"#,
+            r#"{"op":"shutdown","rid":"bye"}"#,
+        );
+        let (lines, report) = run_session(&input, &DaemonOptions::default());
+        assert_eq!(lines.len(), 5);
+        let ops: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                serde_json::from_str::<Value>(l).unwrap()["op"]
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(ops, ["ping", "design", "design", "stats", "shutdown"]);
+        let d1: Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(d1["rid"], "d1");
+        assert_eq!(d1["result"], 6);
+        let stats: Value = serde_json::from_str(&lines[3]).unwrap();
+        assert_eq!(stats["requests"], 4, "stats counts frames seen so far");
+        assert!(report.shutdown);
+        assert_eq!(report.requests, 5);
+        assert_eq!(report.responses, 5);
+        assert_eq!(report.metrics.jobs, 2);
+        assert_eq!(report.metrics.admission.admitted, 2);
+    }
+
+    #[test]
+    fn eof_ends_the_session_after_draining() {
+        let input = format!("{}\n{}\n", design_line(2, "a"), design_line(2, "b"));
+        let (lines, report) = run_session(&input, &DaemonOptions::default());
+        assert_eq!(lines.len(), 2);
+        assert!(!report.shutdown, "EOF is not an in-band shutdown");
+        // The duplicate was coalesced or served from cache; either way
+        // both carry the same result.
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["result"], 6);
+        }
+        assert_eq!(report.metrics.ok, 2);
+    }
+
+    #[test]
+    fn bad_frames_and_bad_requests_get_error_responses_in_order() {
+        let input = format!(
+            "not json\n{}\n{}\n{}\n",
+            r#"{"op":"reboot","rid":"r"}"#,
+            r#"{"op":"design","rid":"x"}"#,
+            r#"{"op":"design","rid":"k","request":{"chip":{"topology":"klein-bottle"}}}"#,
+        );
+        let (lines, report) = run_session(&input, &DaemonOptions::default());
+        assert_eq!(lines.len(), 4);
+        let v: Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(v["op"], "error");
+        assert_eq!(v["line"], 1);
+        let v: Value = serde_json::from_str(&lines[1]).unwrap();
+        assert!(v["error"].as_str().unwrap().contains("reboot"));
+        assert_eq!(v["rid"], "r");
+        let v: Value = serde_json::from_str(&lines[2]).unwrap();
+        assert!(v["error"].as_str().unwrap().contains("missing `request`"));
+        // An unresolvable chip is a design *record*, not a protocol error.
+        let v: Value = serde_json::from_str(&lines[3]).unwrap();
+        assert_eq!(v["op"], "design");
+        assert_eq!(v["status"], "Error");
+        assert_eq!(v["error"]["kind"], "InvalidRequest");
+        assert_eq!(report.metrics.jobs, 1);
+        assert_eq!(report.metrics.errors, 1);
+    }
+
+    #[test]
+    fn equal_seed_sessions_are_byte_identical_across_workers_and_shards() {
+        // 12 designs over 3 distinct chips (duplicates exercise the
+        // coalescing path) plus interleaved control frames.
+        let mut input = String::new();
+        for i in 0..12 {
+            input.push_str(&design_line(2 + i % 3, &format!("d{i}")));
+            input.push('\n');
+            if i == 5 {
+                input.push_str("{\"op\":\"stats\",\"rid\":\"mid\"}\n");
+            }
+        }
+        input.push_str("{\"op\":\"shutdown\"}\n");
+
+        let mut outputs = Vec::new();
+        for (workers, shards) in [(1usize, 1usize), (4, 1), (1, 8), (4, 8), (2, 3)] {
+            let options = DaemonOptions {
+                workers,
+                shards,
+                faults: Some(FaultPlan::smoke(2)),
+                ..DaemonOptions::default()
+            };
+            let (lines, _) = run_session(&input, &options);
+            outputs.push((workers, shards, lines.join("\n")));
+        }
+        let (_, _, reference) = &outputs[0];
+        for (workers, shards, output) in &outputs[1..] {
+            assert_eq!(
+                output, reference,
+                "canonical session diverged at workers={workers} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_canonical_responses_carry_run_fields_and_shard_tags() {
+        let input = format!("{}\n{}\n", design_line(2, "a"), design_line(2, "b"));
+        let options = DaemonOptions {
+            canonical: false,
+            shards: 4,
+            workers: 1,
+            ..DaemonOptions::default()
+        };
+        let (lines, report) = run_session(&input, &options);
+        let first: Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(first["cache_hit"], false);
+        assert_eq!(first["attempts"], 1);
+        assert!(first.get("shard").is_some(), "sharded runs tag the shard");
+        let second: Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(second["cache_hit"], true, "duplicate served from cache");
+        assert_eq!(second["attempts"], 0);
+        assert_eq!(second["shard"], first["shard"]);
+        assert_eq!(report.metrics.shards.len(), 4);
+        let jobs: usize = report.metrics.shards.iter().map(|s| s.jobs).sum();
+        assert_eq!(jobs, 2);
+    }
+
+    #[test]
+    fn overload_burst_sheds_deterministically() {
+        // est 10ms over 2 workers with 60s deadlines: nothing sheds on
+        // real depth, but the burst's million phantom jobs shed indices
+        // 3..7 regardless of scheduling. Chips are all distinct — a
+        // duplicate is served from cache before the shed check, which
+        // is always deadline-feasible.
+        let mut input = String::new();
+        for i in 0..12 {
+            input.push_str(&format!(
+                r#"{{"op":"design","rid":"d{i}","request":{{"chip":{{"topology":"square","rows":{},"cols":3}},"deadline_ms":60000}}}}"#,
+                2 + i
+            ));
+            input.push('\n');
+        }
+        let options = DaemonOptions {
+            workers: 2,
+            admission: AdmissionConfig {
+                max_queue: 64,
+                client_inflight: 0,
+                est_ms: 10.0,
+            },
+            faults: Some(FaultPlan {
+                overload_burst: Some(crate::fault::OverloadBurst {
+                    start: Some(3),
+                    count: Some(4),
+                    extra: Some(1_000_000),
+                }),
+                ..FaultPlan::default()
+            }),
+            ..DaemonOptions::default()
+        };
+        let (lines, report) = run_session(&input, &options);
+        let (lines_again, _) = run_session(&input, &options);
+        assert_eq!(lines, lines_again, "pinned overload is reproducible");
+        assert_eq!(report.metrics.admission.shed, 4);
+        for (i, line) in lines.iter().enumerate() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            if (3..7).contains(&i) {
+                assert_eq!(v["error"]["kind"], "Shed", "index {i}");
+                assert!(v["error"]["message"]
+                    .as_str()
+                    .unwrap()
+                    .contains("infeasible"));
+            } else {
+                assert_eq!(v["status"], "Ok", "index {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn client_inflight_cap_backpressures_without_changing_output() {
+        let mut input = String::new();
+        for i in 0..8 {
+            input.push_str(&design_line(2 + i % 3, &format!("d{i}")));
+            input.push('\n');
+        }
+        let capped = DaemonOptions {
+            workers: 4,
+            admission: AdmissionConfig {
+                max_queue: 64,
+                client_inflight: 1,
+                est_ms: 0.0,
+            },
+            ..DaemonOptions::default()
+        };
+        let (capped_lines, capped_report) = run_session(&input, &capped);
+        let (free_lines, free_report) = run_session(&input, &DaemonOptions::default());
+        assert_eq!(capped_lines, free_lines, "backpressure never alters bytes");
+        assert!(
+            capped_report.metrics.admission.backpressure_waits > 0,
+            "the cap actually stalled intake"
+        );
+        assert_eq!(free_report.metrics.admission.backpressure_waits, 0);
+        assert!(capped_report.metrics.admission.max_in_flight <= 1);
+    }
+
+    #[test]
+    fn daemon_cache_persists_and_survives_single_shard_loss() {
+        let path = std::env::temp_dir().join(format!(
+            "youtiao-daemon-test-{}.cache.json",
+            std::process::id()
+        ));
+        let shards = 4usize;
+        for index in 0..shards {
+            let _ = std::fs::remove_file(shard_file(&path, index, shards));
+        }
+        let mut input = String::new();
+        for i in 0..6 {
+            input.push_str(&design_line(2 + i, &format!("d{i}")));
+            input.push('\n');
+        }
+        let options = DaemonOptions {
+            shards,
+            cache_path: Some(path.clone()),
+            canonical: false,
+            ..DaemonOptions::default()
+        };
+        let run = |options: &DaemonOptions| {
+            let mut out = Vec::new();
+            let report = run_daemon(
+                counting_executor(),
+                options,
+                Cursor::new(input.clone()),
+                &mut out,
+            )
+            .unwrap();
+            (String::from_utf8(out).unwrap(), report)
+        };
+
+        let (_, cold) = run(&options);
+        assert_eq!(cold.metrics.cache_hits, 0);
+        let (_, warm) = run(&options);
+        assert_eq!(warm.metrics.cache_hits, 6, "all six keys persisted");
+
+        // Lose one shard via the fault plan: only its keys recompute.
+        let keys: Vec<u64> = (0..6)
+            .map(|i| {
+                let mut r = DesignRequest::new(ChipRequest::grid("square", 2 + i, 3));
+                r.id = Some(format!("d{i}"));
+                r.cache_key().unwrap()
+            })
+            .collect();
+        let lost_shard = crate::shard::shard_of_key(keys[0], shards);
+        let lost = keys
+            .iter()
+            .filter(|k| crate::shard::shard_of_key(**k, shards) == lost_shard)
+            .count() as u64;
+        assert!(lost > 0, "the lost shard holds at least the first key");
+        let lossy = DaemonOptions {
+            faults: Some(FaultPlan {
+                shard_loss: Some(lost_shard),
+                ..FaultPlan::default()
+            }),
+            ..options.clone()
+        };
+        let (_, after_loss) = run(&lossy);
+        assert_eq!(after_loss.metrics.cache_hits, 6 - lost);
+        assert_eq!(after_loss.metrics.cache_misses, lost);
+
+        for index in 0..shards {
+            let _ = std::fs::remove_file(shard_file(&path, index, shards));
+        }
+    }
+}

@@ -8,6 +8,17 @@
 //! file. A [`FaultInjector`] wraps any [`Executor`] with the plan and
 //! counts what it injected in [`FaultCounters`].
 //!
+//! The daemon tier adds three more session-level faults, following the
+//! `abort_after`/`cache_fault` field precedent rather than the
+//! per-attempt schedule (they perturb the *service*, not an attempt):
+//! an [`overload_burst`](FaultPlan) that injects phantom queue depth
+//! into admission control over a fixed request range (so shed/accept
+//! outcomes are pure functions of the plan, independent of real
+//! timing), a [`slow_client_ms`](FaultPlan) stall before response
+//! writes (exercising backpressure without touching computed bytes),
+//! and a [`shard_loss`](FaultPlan) that deletes one cache shard's
+//! persistence file before the session loads.
+//!
 //! # Determinism contract
 //!
 //! Whether attempt `a` of job `i` faults — and how — is the pure
@@ -77,6 +88,36 @@ impl FaultKind {
     }
 }
 
+/// A deterministic overload wave for the daemon's admission control:
+/// design requests whose session index falls in `[start, start+count)`
+/// see `extra` phantom jobs ahead of them in the queue. Phantom depth
+/// sheds exactly like real depth, so a plan with an extreme `extra`
+/// pins shed/accept outcomes regardless of real scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OverloadBurst {
+    /// First design-request index hit by the burst. Default 0.
+    pub start: Option<usize>,
+    /// How many consecutive design requests the burst covers. Default 0
+    /// (off).
+    pub count: Option<usize>,
+    /// Phantom jobs injected ahead of each covered request. Default 0.
+    pub extra: Option<usize>,
+}
+
+impl OverloadBurst {
+    /// Phantom queue depth this burst injects for design request
+    /// `index` (0 outside the burst window).
+    pub fn phantom(&self, index: usize) -> usize {
+        let start = self.start.unwrap_or(0);
+        let count = self.count.unwrap_or(0);
+        if index >= start && index < start.saturating_add(count) {
+            self.extra.unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
 /// Corruption applied to a persisted cache file (torn-write simulation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CacheFault {
@@ -125,6 +166,17 @@ pub struct FaultPlan {
     pub abort_after: Option<usize>,
     /// Mangle the persisted cache file before loading it.
     pub cache_fault: Option<CacheFault>,
+    /// Inject phantom queue depth into daemon admission control over a
+    /// fixed design-request range.
+    pub overload_burst: Option<OverloadBurst>,
+    /// Stall this many milliseconds before daemon response writes — a
+    /// client that reads slowly. Default 0 (off).
+    pub slow_client_ms: Option<u64>,
+    /// Apply the slow-client stall to every Nth response (1 = all).
+    pub slow_client_every: Option<usize>,
+    /// Delete this cache shard's persistence file before the daemon
+    /// session loads its cache (shard-loss simulation).
+    pub shard_loss: Option<usize>,
 }
 
 impl FaultPlan {
@@ -185,6 +237,26 @@ impl FaultPlan {
     /// Request-drift rate (default 0).
     pub fn drift_rate(&self) -> f64 {
         self.drift_rate.unwrap_or(0.0)
+    }
+
+    /// Phantom queue depth the overload burst injects for design
+    /// request `index` (0 with no burst configured).
+    pub fn overload_phantom(&self, index: usize) -> usize {
+        self.overload_burst
+            .as_ref()
+            .map_or(0, |burst| burst.phantom(index))
+    }
+
+    /// The slow-client stall to apply before writing response number
+    /// `seq` (0-based), or `None` when this response writes at speed.
+    pub fn slow_client_stall(&self, seq: usize) -> Option<Duration> {
+        let stall = self.slow_client_ms.unwrap_or(0);
+        if stall == 0 {
+            return None;
+        }
+        let every = self.slow_client_every.unwrap_or(1).max(1);
+        seq.is_multiple_of(every)
+            .then(|| Duration::from_millis(stall))
     }
 
     /// Checks every rate is a probability and the rates sum to at most
@@ -706,6 +778,36 @@ mod tests {
                 assert_ne!(legacy.fault_at(index, attempt), Some(FaultKind::Drift));
             }
         }
+    }
+
+    #[test]
+    fn session_faults_are_pure_field_accessors() {
+        // Overload burst: phantom depth only inside [start, start+count).
+        let plan: FaultPlan = serde_json::from_str(
+            r#"{"overload_burst": {"start": 3, "count": 4, "extra": 1000000},
+                "slow_client_ms": 5, "slow_client_every": 2, "shard_loss": 1}"#,
+        )
+        .unwrap();
+        plan.validate().unwrap();
+        assert_eq!(plan.overload_phantom(2), 0);
+        assert_eq!(plan.overload_phantom(3), 1_000_000);
+        assert_eq!(plan.overload_phantom(6), 1_000_000);
+        assert_eq!(plan.overload_phantom(7), 0);
+        assert_eq!(plan.shard_loss, Some(1));
+
+        // Slow client: every 2nd response (0-based) stalls 5ms.
+        assert_eq!(plan.slow_client_stall(0), Some(Duration::from_millis(5)));
+        assert_eq!(plan.slow_client_stall(1), None);
+        assert_eq!(plan.slow_client_stall(2), Some(Duration::from_millis(5)));
+
+        // Defaults: everything off, and none of it enters fault_at.
+        let off = FaultPlan::none();
+        assert_eq!(off.overload_phantom(0), 0);
+        assert_eq!(off.slow_client_stall(0), None);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan, "session faults roundtrip");
+        assert_eq!(back.fault_at(0, 0), None, "no per-attempt faults scheduled");
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum ErrorKind {
     Cancelled,
     /// The finished plan violated a wiring invariant (`--validate`).
     Validation,
+    /// Admission control rejected the job before it ran: its deadline
+    /// was infeasible at the current queue depth.
+    Shed,
     /// Anything else the executor raised.
     Internal,
 }
@@ -39,6 +42,7 @@ impl ErrorKind {
             ErrorKind::Timeout => "Timeout",
             ErrorKind::Cancelled => "Cancelled",
             ErrorKind::Validation => "Validation",
+            ErrorKind::Shed => "Shed",
             ErrorKind::Internal => "Internal",
         }
     }
@@ -130,6 +134,10 @@ pub struct JobRecord<R> {
     pub latency_ms: f64,
     /// Whether the result came from the plan cache.
     pub cache_hit: bool,
+    /// Cache shard the job's key maps to, when served by a sharded
+    /// front-end. Shard membership depends on the shard count, so
+    /// [`JobRecord::canonical`] strips it.
+    pub shard: Option<usize>,
     /// The job's span trace, when the pool ran with tracing enabled.
     pub trace: Option<youtiao_obs::Trace>,
 }
@@ -146,6 +154,7 @@ impl<R> JobRecord<R> {
             attempts,
             latency_ms,
             cache_hit: false,
+            shard: None,
             trace: None,
         }
     }
@@ -167,6 +176,7 @@ impl<R> JobRecord<R> {
             attempts,
             latency_ms,
             cache_hit: false,
+            shard: None,
             trace: None,
         }
     }
@@ -174,6 +184,12 @@ impl<R> JobRecord<R> {
     /// Marks the record as served from cache.
     pub fn from_cache(mut self) -> Self {
         self.cache_hit = true;
+        self
+    }
+
+    /// Tags the record with the cache shard its key maps to.
+    pub fn with_shard(mut self, shard: Option<usize>) -> Self {
+        self.shard = shard;
         self
     }
 
@@ -189,12 +205,14 @@ impl<R> JobRecord<R> {
         self.attempts.saturating_sub(1)
     }
 
-    /// The record with run-dependent noise removed: latency zeroed and
-    /// the trace dropped. Chaos runs emit canonical records so two
-    /// equal-seed runs compare byte-identical after an index sort.
+    /// The record with run-dependent noise removed: latency zeroed,
+    /// the trace dropped, and the shard tag dropped (it varies with
+    /// the shard count). Chaos runs and daemon sessions emit canonical
+    /// records so two equal-seed runs compare byte-identical.
     pub fn canonical(mut self) -> Self {
         self.latency_ms = 0.0;
         self.trace = None;
+        self.shard = None;
         self
     }
 }
@@ -210,6 +228,10 @@ impl<R: Serialize> Serialize for JobRecord<R> {
         map.insert("attempts".into(), self.attempts.to_value());
         map.insert("latency_ms".into(), self.latency_ms.to_value());
         map.insert("cache_hit".into(), self.cache_hit.to_value());
+        // Emitted only when present: flat front-ends keep compact lines.
+        if let Some(shard) = self.shard {
+            map.insert("shard".into(), shard.to_value());
+        }
         // Emitted only when present: untraced runs keep compact lines.
         if let Some(trace) = &self.trace {
             map.insert("trace".into(), trace.to_value());
@@ -263,13 +285,18 @@ mod tests {
     }
 
     #[test]
-    fn canonical_strips_latency_and_trace() {
+    fn canonical_strips_latency_trace_and_shard() {
         let tracer = youtiao_obs::Tracer::new("c");
         drop(tracer.span("plan"));
-        let record = JobRecord::ok(0, "c".into(), 5u32, 2, 17.3).with_trace(tracer.try_finish());
+        let record = JobRecord::ok(0, "c".into(), 5u32, 2, 17.3)
+            .with_trace(tracer.try_finish())
+            .with_shard(Some(3));
+        assert_eq!(record.to_value()["shard"], 3);
         let canonical = record.canonical();
         assert_eq!(canonical.latency_ms, 0.0);
         assert!(canonical.trace.is_none());
+        assert!(canonical.shard.is_none(), "shard varies with shard count");
+        assert!(canonical.to_value().get("shard").is_none());
         assert_eq!(canonical.result, Some(5));
         assert_eq!(canonical.attempts, 2, "outcome fields survive");
     }

@@ -21,7 +21,15 @@
 //!   executor, reproducible from a seed;
 //! * [`run_batch`] — the JSONL front-end behind `youtiao batch`,
 //!   streaming one result line per job and summarizing throughput,
-//!   latency percentiles, and cache behavior in [`ServeMetrics`].
+//!   latency percentiles, and cache behavior in [`ServeMetrics`];
+//! * [`ShardedCache`] — N content-addressed [`PlanCache`] shards, each
+//!   with its own lock, LRU budget and persistence file, so shard loss
+//!   or corruption is isolated and salvageable per shard;
+//! * [`run_daemon`] — the long-lived `youtiao serve` session: a
+//!   newline-framed JSONL protocol ([`proto`]) with request ids and an
+//!   in-band `ping`/`stats`/`shutdown` control plane, deterministic
+//!   canonical responses, and [`AdmissionController`] policy (bounded
+//!   queue, per-client in-flight caps, deadline-aware shedding).
 //!
 //! The crate is pipeline-agnostic: jobs produce any `R: Clone + Send +
 //! Serialize + Deserialize`, and the executor closure supplies the
@@ -29,27 +37,38 @@
 //! `flow::design_chip` (see `youtiao::serve`), keeping the dependency
 //! graph acyclic.
 
+pub mod admission;
 pub mod batch;
 pub mod cache;
 pub mod cancel;
+pub mod daemon;
 pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod pool;
+pub mod proto;
 pub mod request;
+pub mod shard;
 
-pub use batch::{parse_requests, run_batch, run_batch_with_cache, BatchError, BatchOptions};
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats};
+pub use batch::{
+    parse_requests, run_batch, run_batch_sharded, run_batch_stream, run_batch_stream_with_cache,
+    run_batch_with_cache, BatchError, BatchOptions,
+};
 pub use cache::{content_key, CacheLoadError, CacheStats, PlanCache};
 pub use cancel::{CancelToken, Cancelled};
+pub use daemon::{run_daemon, run_daemon_session, DaemonOptions, DaemonReport};
 pub use fault::{
     apply_cache_fault, CacheFault, FaultCounters, FaultInjector, FaultKind, FaultPlan,
-    RequestMutator,
+    OverloadBurst, RequestMutator,
 };
 pub use job::{ErrorKind, ErrorRecord, ExecError, JobRecord, JobStatus};
-pub use metrics::{RepairStats, ServeMetrics, StageStat};
+pub use metrics::{RepairStats, ServeMetrics, ShardStat, StageStat};
 pub use pool::{AttemptCtx, Executor, PoolOptions, WorkerPool};
+pub use proto::{DaemonRequest, Frame, FramedReader, OpKind};
 pub use request::{
     synthetic_drift, ActivityOverride, ChipRequest, DeltaSpec, DesignRequest, DriftEntry,
     RequestError, DEFAULT_SEED,
 };
+pub use shard::{shard_file, shard_of_key, ShardedCache};
 pub use youtiao_obs::{Trace, TraceSpan, Tracer};

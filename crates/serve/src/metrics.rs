@@ -6,6 +6,7 @@
 
 use std::time::Duration;
 
+use crate::admission::AdmissionStats;
 use crate::cache::CacheStats;
 use crate::fault::FaultCounters;
 use crate::job::{ErrorKind, JobRecord, JobStatus};
@@ -48,6 +49,11 @@ pub struct ServeMetrics {
     /// Per-stage latency aggregates over every traced job, sorted by
     /// stage name (empty when the run was untraced).
     pub stages: Vec<StageStat>,
+    /// Per-shard cache and latency aggregates, indexed by shard (empty
+    /// when the run used a flat, unsharded cache).
+    pub shards: Vec<ShardStat>,
+    /// Admission-control counters (all zero outside daemon sessions).
+    pub admission: AdmissionStats,
     /// Faults injected during the run, by kind (all zero outside chaos
     /// runs).
     pub faults: FaultCounters,
@@ -90,31 +96,65 @@ pub struct StageStat {
     pub total_ms: f64,
     /// Mean wall time per span, milliseconds.
     pub mean_ms: f64,
+    /// Median span wall time, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile span wall time, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile span wall time, milliseconds.
+    pub p99_ms: f64,
     /// Slowest span, milliseconds.
     pub max_ms: f64,
 }
 
+/// Per-shard slice of a sharded run: that shard's cache counters plus
+/// latency percentiles over the jobs whose keys mapped to it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Jobs whose content key mapped to this shard.
+    pub jobs: usize,
+    /// Resident cache entries at end of run.
+    pub entries: usize,
+    /// Cache hits served by this shard.
+    pub hits: u64,
+    /// Cache misses charged to this shard.
+    pub misses: u64,
+    /// LRU evictions within this shard's budget.
+    pub evictions: u64,
+    /// Median latency of this shard's jobs, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency of this shard's jobs, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency of this shard's jobs, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// Aggregates every span of every traced record by name.
 fn stage_stats<R>(records: &[JobRecord<R>]) -> Vec<StageStat> {
-    let mut by_name: std::collections::BTreeMap<&str, (u64, f64, f64)> =
-        std::collections::BTreeMap::new();
+    let mut by_name: std::collections::BTreeMap<&str, Vec<f64>> = std::collections::BTreeMap::new();
     for record in records {
         let Some(trace) = &record.trace else { continue };
         for (name, ms) in trace.flatten() {
-            let entry = by_name.entry(name).or_insert((0, 0.0, 0.0));
-            entry.0 += 1;
-            entry.1 += ms;
-            entry.2 = entry.2.max(ms);
+            by_name.entry(name).or_default().push(ms);
         }
     }
     by_name
         .into_iter()
-        .map(|(name, (count, total_ms, max_ms))| StageStat {
-            name: name.to_string(),
-            count,
-            total_ms,
-            mean_ms: total_ms / count as f64,
-            max_ms,
+        .map(|(name, mut samples)| {
+            samples.sort_by(f64::total_cmp);
+            let count = samples.len() as u64;
+            let total_ms: f64 = samples.iter().sum();
+            StageStat {
+                name: name.to_string(),
+                count,
+                total_ms,
+                mean_ms: total_ms / count as f64,
+                p50_ms: percentile(&samples, 50.0),
+                p95_ms: percentile(&samples, 95.0),
+                p99_ms: percentile(&samples, 99.0),
+                max_ms: samples.last().copied().unwrap_or(0.0),
+            }
         })
         .collect()
 }
@@ -175,9 +215,47 @@ impl ServeMetrics {
             p99_ms: percentile(&latencies, 99.0),
             max_ms: latencies.last().copied().unwrap_or(0.0),
             stages: stage_stats(records),
+            shards: Vec::new(),
+            admission: AdmissionStats::default(),
             faults: FaultCounters::default(),
             repair: RepairStats::default(),
         }
+    }
+
+    /// Attaches per-shard aggregates: `shard_stats[i]` is shard `i`'s
+    /// cache counters; latency percentiles come from the records whose
+    /// `shard` tag is `i`.
+    pub fn with_shards<R>(mut self, records: &[JobRecord<R>], shard_stats: &[CacheStats]) -> Self {
+        self.shards = shard_stats
+            .iter()
+            .enumerate()
+            .map(|(shard, cache)| {
+                let mut latencies: Vec<f64> = records
+                    .iter()
+                    .filter(|r| r.shard == Some(shard))
+                    .map(|r| r.latency_ms)
+                    .collect();
+                latencies.sort_by(f64::total_cmp);
+                ShardStat {
+                    shard,
+                    jobs: latencies.len(),
+                    entries: cache.entries,
+                    hits: cache.hits,
+                    misses: cache.misses,
+                    evictions: cache.evictions,
+                    p50_ms: percentile(&latencies, 50.0),
+                    p95_ms: percentile(&latencies, 95.0),
+                    p99_ms: percentile(&latencies, 99.0),
+                }
+            })
+            .collect();
+        self
+    }
+
+    /// Attaches a daemon session's admission-control counters.
+    pub fn with_admission(mut self, admission: AdmissionStats) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// Attaches a chaos run's injected-fault counters.
@@ -237,11 +315,43 @@ impl ServeMetrics {
                 self.repair.fallbacks,
             ));
         }
+        if self.admission.decisions() > 0 || self.admission.backpressure_waits > 0 {
+            out.push_str(&format!(
+                "\nadmission: {} admitted, {} shed, {} backpressure waits, max {} in flight",
+                self.admission.admitted,
+                self.admission.shed,
+                self.admission.backpressure_waits,
+                self.admission.max_in_flight,
+            ));
+        }
         for stage in &self.stages {
             out.push_str(&format!(
-                "\nstage {}: {} spans, mean {:.1} ms, max {:.1} ms, total {:.0} ms",
-                stage.name, stage.count, stage.mean_ms, stage.max_ms, stage.total_ms
+                "\nstage {}: {} spans, mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, max {:.1} ms, total {:.0} ms",
+                stage.name,
+                stage.count,
+                stage.mean_ms,
+                stage.p50_ms,
+                stage.p95_ms,
+                stage.p99_ms,
+                stage.max_ms,
+                stage.total_ms
             ));
+        }
+        if self.shards.len() > 1 {
+            for shard in &self.shards {
+                out.push_str(&format!(
+                    "\nshard {}: {} jobs, {} entries, {} hits, {} misses, {} evictions, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+                    shard.shard,
+                    shard.jobs,
+                    shard.entries,
+                    shard.hits,
+                    shard.misses,
+                    shard.evictions,
+                    shard.p50_ms,
+                    shard.p95_ms,
+                    shard.p99_ms
+                ));
+            }
         }
         out
     }
@@ -318,7 +428,13 @@ mod tests {
         assert!((plan.mean_ms - 15.0).abs() < 1e-9);
         assert!((plan.max_ms - 20.0).abs() < 1e-9);
         assert_eq!(m.stages[1].name, "route");
+        // Percentiles over the two plan samples (10, 20): nearest rank
+        // puts p50 on the first, p95/p99 on the last.
+        assert!((plan.p50_ms - 10.0).abs() < 1e-9);
+        assert!((plan.p95_ms - 20.0).abs() < 1e-9);
+        assert!((plan.p99_ms - 20.0).abs() < 1e-9);
         assert!(m.render().contains("stage plan: 2 spans"));
+        assert!(m.render().contains("p95"), "{}", m.render());
 
         let untraced_run = ServeMetrics::from_records(&[ok(0, 1.0)], Duration::from_secs(1), None);
         assert!(untraced_run.stages.is_empty());
@@ -356,6 +472,59 @@ mod tests {
         assert!(rendered.contains("repair: 7 delta jobs"), "{rendered}");
         assert!(rendered.contains("4 base hits"), "{rendered}");
         assert!(rendered.contains("2 replan fallbacks"), "{rendered}");
+    }
+
+    #[test]
+    fn shard_and_admission_aggregates_attach_and_render() {
+        let records: Vec<JobRecord<u32>> = (0..8)
+            .map(|i| ok(i, (i + 1) as f64).with_shard(Some(i % 2)))
+            .collect();
+        let shard_stats = [
+            CacheStats {
+                entries: 3,
+                capacity: 8,
+                hits: 2,
+                misses: 2,
+                evictions: 0,
+            },
+            CacheStats {
+                entries: 1,
+                capacity: 8,
+                hits: 0,
+                misses: 4,
+                evictions: 1,
+            },
+        ];
+        let m = ServeMetrics::from_records(&records, Duration::from_secs(1), None)
+            .with_shards(&records, &shard_stats)
+            .with_admission(AdmissionStats {
+                admitted: 8,
+                shed: 2,
+                backpressure_waits: 1,
+                max_in_flight: 4,
+            });
+        assert_eq!(m.shards.len(), 2);
+        // Shard 0 saw latencies 1,3,5,7; shard 1 saw 2,4,6,8.
+        assert_eq!(m.shards[0].jobs, 4);
+        assert!((m.shards[0].p50_ms - 3.0).abs() < 1e-9);
+        assert!((m.shards[0].p99_ms - 7.0).abs() < 1e-9);
+        assert!((m.shards[1].p99_ms - 8.0).abs() < 1e-9);
+        assert_eq!(m.shards[1].evictions, 1);
+        let rendered = m.render();
+        assert!(
+            rendered.contains("admission: 8 admitted, 2 shed"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("shard 0: 4 jobs"), "{rendered}");
+        assert!(rendered.contains("shard 1: 4 jobs"), "{rendered}");
+
+        // A flat (single-shard) run renders no shard lines, and a
+        // batch run with no admission decisions no admission line.
+        let flat = ServeMetrics::from_records(&records, Duration::from_secs(1), None)
+            .with_shards(&records, &shard_stats[..1]);
+        assert_eq!(flat.shards.len(), 1);
+        assert!(!flat.render().contains("\nshard 0:"));
+        assert!(!flat.render().contains("admission:"));
     }
 
     #[test]

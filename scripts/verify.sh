@@ -4,7 +4,9 @@
 # front, thread-count determinism), repair smoke runs (pinned drift
 # change set -> pinned repaired-plan hash, structural fallback pin,
 # bench-repair schema), a chaos smoke run (seeded fault injection,
-# record-count and determinism checks), then figure ports and style
+# record-count and determinism checks), a daemon smoke (stdin + socket
+# round trips, byte-identical canonical transcripts across shard and
+# worker counts, torn-shard salvage), then figure ports and style
 # gates.
 #
 # Usage: scripts/verify.sh [--tier1-only|--smoke-only]
@@ -230,6 +232,108 @@ assert faults["cancels"] == 1 and faults["panics"] == 2, faults
 assert metrics["ok"] == 3 and metrics["errors"] == 3, metrics
 print(f"  chaos smoke OK: {len(records)} records, {total} faults injected, "
       "deterministic across runs")
+PY
+
+echo "==> smoke: youtiao serve (daemon round trips, shard/worker determinism, shard loss)"
+# stdin/stdout round trip against the checked-in canonical transcript
+cargo run -q --release --offline --bin youtiao -- serve \
+  < examples/daemon/session.jsonl > "$smoke_dir/daemon_stdin.jsonl" 2> /dev/null
+if ! cmp -s "$smoke_dir/daemon_stdin.jsonl" examples/daemon/transcript.jsonl; then
+  echo "verify: FAILED — daemon stdin session diverged from examples/daemon/transcript.jsonl" >&2
+  diff "$smoke_dir/daemon_stdin.jsonl" examples/daemon/transcript.jsonl >&2 || true
+  exit 1
+fi
+# socket round trips: canonical responses must be byte-identical across
+# shard and worker counts (the in-band shutdown ends each daemon)
+daemon_socket="$smoke_dir/youtiao.sock"
+for config in "1 1" "8 4" "1 2"; do
+  read -r shards jobs <<< "$config"
+  cargo run -q --release --offline --bin youtiao -- serve \
+    --socket "$daemon_socket" --shards "$shards" --jobs "$jobs" 2> /dev/null &
+  daemon_pid=$!
+  python3 - "$daemon_socket" examples/daemon/session.jsonl \
+    > "$smoke_dir/daemon_s${shards}_j${jobs}.jsonl" <<'PY'
+import socket, sys, time
+path, session = sys.argv[1], sys.argv[2]
+deadline = time.time() + 60
+while True:
+    try:
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        client.connect(path)
+        break
+    except OSError:
+        client.close()
+        if time.time() > deadline:
+            raise SystemExit(f"daemon socket {path} never came up")
+        time.sleep(0.1)
+with open(session, "rb") as f:
+    client.sendall(f.read())
+client.shutdown(socket.SHUT_WR)
+chunks = []
+while True:
+    chunk = client.recv(65536)
+    if not chunk:
+        break
+    chunks.append(chunk)
+sys.stdout.buffer.write(b"".join(chunks))
+PY
+  wait "$daemon_pid"
+done
+for out in "$smoke_dir/daemon_s8_j4.jsonl" "$smoke_dir/daemon_s1_j2.jsonl"; do
+  if ! cmp -s "$smoke_dir/daemon_s1_j1.jsonl" "$out"; then
+    echo "verify: FAILED — daemon socket responses differ across shard/worker counts ($out)" >&2
+    diff "$smoke_dir/daemon_s1_j1.jsonl" "$out" >&2 || true
+    exit 1
+  fi
+done
+if ! cmp -s "$smoke_dir/daemon_s1_j1.jsonl" examples/daemon/transcript.jsonl; then
+  echo "verify: FAILED — socket transcript diverged from the stdin transcript" >&2
+  exit 1
+fi
+# shard-loss isolation: persist six distinct designs across four shard
+# files, tear exactly one, and require that only its entries recompute
+daemon_cache="$smoke_dir/daemon_cache.json"
+for rows in 2 3 4 5 6 7; do
+  printf '{"op":"design","rid":"d%s","request":{"chip":{"topology":"square","rows":%s,"cols":3}}}\n' \
+    "$rows" "$rows"
+done > "$smoke_dir/daemon_jobs.jsonl"
+daemon_cache_run() {
+  cargo run -q --release --offline --bin youtiao -- serve \
+    --cache "$daemon_cache" --shards 4 --metrics-json "$@" \
+    < "$smoke_dir/daemon_jobs.jsonl" 2> "$smoke_dir/daemon_metrics.json"
+}
+daemon_cache_run > "$smoke_dir/daemon_cold.jsonl"
+daemon_cache_run > /dev/null
+warm_hits=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['cache_hits'])" \
+  "$smoke_dir/daemon_metrics.json")
+if [[ "$warm_hits" -ne 6 ]]; then
+  echo "verify: FAILED — warm daemon run hit $warm_hits/6 cached plans" >&2
+  exit 1
+fi
+# tear the fullest shard file (guaranteed non-empty; 6 keys, 4 shards)
+torn_file=$(ls -S "$daemon_cache".shard*-of-4 | head -1)
+lost=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['count'])" "$torn_file")
+head -c 20 "$torn_file" > "$torn_file.torn" && mv "$torn_file.torn" "$torn_file"
+if daemon_cache_run > /dev/null; then
+  echo "verify: FAILED — daemon loaded a torn shard file without --salvage" >&2
+  exit 1
+fi
+daemon_cache_run --salvage > "$smoke_dir/daemon_salvaged.jsonl"
+if ! cmp -s "$smoke_dir/daemon_salvaged.jsonl" "$smoke_dir/daemon_cold.jsonl"; then
+  echo "verify: FAILED — salvage changed daemon response bytes" >&2
+  exit 1
+fi
+python3 - "$smoke_dir/daemon_metrics.json" "$lost" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+lost = int(sys.argv[2])
+assert lost > 0, "the torn shard held no entries"
+hits, misses = metrics["cache_hits"], metrics["cache_misses"]
+assert hits == 6 - lost, f"expected {6 - lost} hits after losing {lost} entries, got {hits}"
+assert misses == lost, f"expected {lost} misses, got {misses}"
+print(f"  daemon smoke OK: transcripts byte-identical across shard/worker counts, "
+      f"salvage recomputed only the torn shard's {lost} entries")
 PY
 
 if [[ "${1:-}" == "--smoke-only" ]]; then

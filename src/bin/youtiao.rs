@@ -9,6 +9,7 @@
 //! youtiao export-chip --topology surface --distance 5 --out chip.json
 //! youtiao batch --in jobs.jsonl --out results.jsonl --jobs 8 --deadline-ms 5000
 //! youtiao chaos --in jobs.jsonl --faults faults.json --seed 7 --out records.jsonl
+//! youtiao serve --socket /tmp/youtiao.sock --shards 8 --cache plans.json
 //! youtiao sweep --spec sweep.json --out records.jsonl --threads 8 --pareto cost,fidelity
 //! youtiao bench-plan --sizes 6,8,10,12,16 --iters 9 --out BENCH_plan.json
 //! youtiao bench-plan --repair --sizes 8,12 --out BENCH_repair.json
@@ -31,8 +32,9 @@ use youtiao::repair::{
     diff_inputs, repair_plan, replan_from_snapshot, PlanInputs, QualityReport, RepairConfig,
 };
 use youtiao::serve::{
-    apply_cache_fault, content_key, parse_requests, run_design_batch, BatchOptions, DesignRequest,
-    FaultPlan,
+    apply_cache_fault, content_key, parse_requests, run_design_batch, run_design_batch_stream,
+    run_design_daemon, shard_file, AdmissionConfig, BatchOptions, DaemonOptions, DaemonReport,
+    DesignRequest, FaultPlan,
 };
 use youtiao::xplore::{parse_objectives, run_sweep, write_csv, SweepOptions, SweepSpec};
 
@@ -56,13 +58,32 @@ usage:
   youtiao cost   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
   youtiao export-chip <chip args> --out FILE
   youtiao batch  --in FILE.jsonl [--out FILE.jsonl] [--jobs N] [--deadline-ms T]
-                 [--retries R] [--cache FILE] [--cache-capacity N] [--metrics-json]
-                 [--trace-json FILE] [--validate]
-                 (--in - reads stdin; --out defaults to stdout; metrics go to stderr;
+                 [--retries R] [--cache FILE] [--cache-capacity N] [--shards N]
+                 [--metrics-json] [--trace-json FILE] [--validate]
+                 (--in - reads stdin; input streams through the framed reader one
+                  line at a time, so the jobs file never loads whole; --out
+                  defaults to stdout; metrics go to stderr;
                   --jobs/--workers/--threads are synonyms: worker threads, 0 = one
-                  per core (the default); --trace-json writes per-job stage-span
-                  traces; --validate fails a job when its finished plan breaks a
-                  wiring invariant)
+                  per core (the default); --shards splits the plan cache into N
+                  independently locked + persisted shards; --trace-json writes
+                  per-job stage-span traces; --validate fails a job when its
+                  finished plan breaks a wiring invariant)
+  youtiao serve  [--socket PATH] [--shards N] [--cache FILE] [--cache-capacity N]
+                 [--workers N] [--retries R] [--deadline-ms T] [--max-queue N]
+                 [--client-inflight N] [--est-ms MS] [--no-canonical] [--salvage]
+                 [--validate] [--faults FILE.json] [--seed N] [--metrics-json]
+                 (long-lived daemon speaking newline-framed JSONL request frames
+                  {\"op\":\"design\"|\"ping\"|\"stats\"|\"shutdown\",\"rid\":ID,\"request\":{...}}
+                  over stdin/stdout, or one session per connection on a unix
+                  socket with --socket; an in-band shutdown frame stops the
+                  daemon after draining. Responses are canonical — latency
+                  zeroed, traces and shard tags stripped — so equal-seed
+                  sessions are byte-identical across --shards and --workers.
+                  The plan cache shards into N files, each lost or salvaged
+                  (--salvage) independently; --max-queue and --client-inflight
+                  bound intake (backpressure), --est-ms enables deadline-aware
+                  load shedding (structured Shed errors); per-session metrics
+                  go to stderr)
   youtiao chaos  --in FILE.jsonl [--faults FILE.json] [--seed N] [+ batch flags]
                  (batch run under a deterministic fault-injection schedule: the
                   FaultPlan JSON sets per-attempt rates for transient/permanent
@@ -216,6 +237,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "batch" => run_batch_command(&flags),
         "chaos" => run_chaos_command(&flags),
+        "serve" => run_serve_command(&flags),
         "sweep" => run_sweep_command(&flags),
         "repair" => run_repair_command(&flags),
         "bench-plan" => run_bench_plan_command(&flags),
@@ -224,11 +246,27 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// The `batch` subcommand: JSONL requests in, JSONL records out,
-/// metrics summary on stderr.
+/// metrics summary on stderr. Input streams through the framed reader
+/// one line at a time — the jobs file is never materialized in memory.
 fn run_batch_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
-    let requests = read_requests(flags)?;
     let options = batch_options(flags)?;
-    run_and_report(&requests, &options, flags)
+    let input = flags
+        .get("in")
+        .and_then(|v| v.clone())
+        .ok_or("requires --in FILE (JSONL; `-` reads stdin)")?;
+    let metrics = if input == "-" {
+        with_output(flags, |mut out| {
+            run_design_batch_stream(std::io::stdin().lock(), &options, &mut out)
+        })?
+    } else {
+        let file = std::fs::File::open(&input).map_err(|e| format!("{input}: {e}"))?;
+        let reader = std::io::BufReader::new(file);
+        with_output(flags, move |mut out| {
+            run_design_batch_stream(reader, &options, &mut out)
+        })?
+    };
+    report_metrics(&metrics, flags);
+    Ok(())
 }
 
 /// The `chaos` subcommand: a batch run under a deterministic seeded
@@ -252,10 +290,24 @@ fn run_chaos_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
     plan.validate().map_err(|e| format!("fault plan: {e}"))?;
 
     let mut options = batch_options(flags)?;
+    // Sharded caches persist one file per shard: the torn-write fault
+    // mangles shard 0's file, and the shard-loss fault deletes the
+    // named shard's file — both leave the other shards intact.
     if let (Some(fault), Some(path)) = (plan.cache_fault, &options.cache_path) {
-        if path.exists() {
-            apply_cache_fault(path, fault).map_err(|e| format!("{}: {e}", path.display()))?;
-            eprintln!("chaos: applied cache fault {fault:?} to {}", path.display());
+        let target = shard_file(path, 0, options.shards.max(1));
+        if target.exists() {
+            apply_cache_fault(&target, fault).map_err(|e| format!("{}: {e}", target.display()))?;
+            eprintln!(
+                "chaos: applied cache fault {fault:?} to {}",
+                target.display()
+            );
+        }
+    }
+    if let (Some(lost), Some(path)) = (plan.shard_loss, &options.cache_path) {
+        let target = shard_file(path, lost, options.shards.max(1));
+        if target.exists() {
+            std::fs::remove_file(&target).map_err(|e| format!("{}: {e}", target.display()))?;
+            eprintln!("chaos: applied shard-loss fault to {}", target.display());
         }
     }
     options.faults = Some(plan);
@@ -333,8 +385,43 @@ fn batch_options(flags: &HashMap<String, Option<String>>) -> Result<BatchOptions
             Some(None) => return Err("--trace-json expects a file path".into()),
         },
         validate: flags.contains_key("validate"),
+        shards: get_usize(flags, "shards", 1)?.max(1),
         ..BatchOptions::default()
     })
+}
+
+/// Runs `run` against `--out` (default stdout), buffering file output.
+fn with_output<T>(
+    flags: &HashMap<String, Option<String>>,
+    run: impl FnOnce(&mut dyn std::io::Write) -> Result<T, youtiao::serve::BatchError>,
+) -> Result<T, String> {
+    let out = flags
+        .get("out")
+        .and_then(|v| v.clone())
+        .filter(|v| v != "-");
+    match out {
+        Some(path) => {
+            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            run(&mut writer).map_err(|e| e.to_string())
+        }
+        None => {
+            let stdout = std::io::stdout();
+            run(&mut stdout.lock()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Prints the metrics summary to stderr (JSON with `--metrics-json`).
+fn report_metrics(metrics: &youtiao::serve::ServeMetrics, flags: &HashMap<String, Option<String>>) {
+    if flags.contains_key("metrics-json") {
+        match serde_json::to_string_pretty(metrics) {
+            Ok(json) => eprintln!("{json}"),
+            Err(e) => eprintln!("metrics: {e}"),
+        }
+    } else {
+        eprintln!("{}", metrics.render());
+    }
 }
 
 /// Runs the batch to `--out` (default stdout) and prints the metrics
@@ -344,30 +431,154 @@ fn run_and_report(
     options: &BatchOptions,
     flags: &HashMap<String, Option<String>>,
 ) -> Result<(), String> {
-    let out = flags
-        .get("out")
-        .and_then(|v| v.clone())
-        .filter(|v| v != "-");
-    let metrics = match out {
-        Some(path) => {
-            let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-            let mut writer = std::io::BufWriter::new(file);
-            run_design_batch(requests, options, &mut writer)
-        }
-        None => {
-            let stdout = std::io::stdout();
-            run_design_batch(requests, options, &mut stdout.lock())
-        }
-    }
-    .map_err(|e| e.to_string())?;
-
-    if flags.contains_key("metrics-json") {
-        let json = serde_json::to_string_pretty(&metrics).map_err(|e| e.to_string())?;
-        eprintln!("{json}");
-    } else {
-        eprintln!("{}", metrics.render());
-    }
+    let metrics = with_output(flags, |mut out| {
+        run_design_batch(requests, options, &mut out)
+    })?;
+    report_metrics(&metrics, flags);
     Ok(())
+}
+
+/// The serve flags: daemon session + admission policy configuration.
+fn daemon_options(flags: &HashMap<String, Option<String>>) -> Result<DaemonOptions, String> {
+    let deadline_ms = match flags.get("deadline-ms") {
+        None => None,
+        Some(Some(v)) => Some(
+            v.parse()
+                .map_err(|_| "--deadline-ms expects milliseconds")?,
+        ),
+        Some(None) => return Err("--deadline-ms expects a value".into()),
+    };
+    let workers = ["jobs", "workers", "threads"]
+        .iter()
+        .find(|key| flags.contains_key(**key))
+        .map(|key| get_usize(flags, key, 0))
+        .transpose()?
+        .unwrap_or(0);
+    let est_ms = match flags.get("est-ms") {
+        None => 0.0,
+        Some(Some(v)) => v
+            .parse::<f64>()
+            .map_err(|_| "--est-ms expects milliseconds")?,
+        Some(None) => return Err("--est-ms expects a value".into()),
+    };
+    let mut faults = match flags.get("faults") {
+        None => None,
+        Some(Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(serde_json::from_str::<FaultPlan>(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        Some(None) => return Err("--faults expects a file path".into()),
+    };
+    if let Some(Some(seed)) = flags.get("seed") {
+        let seed = seed.parse().map_err(|_| "--seed expects an integer")?;
+        faults.get_or_insert_with(FaultPlan::default).seed = Some(seed);
+    }
+    if let Some(plan) = &faults {
+        plan.validate().map_err(|e| format!("fault plan: {e}"))?;
+    }
+    Ok(DaemonOptions {
+        workers,
+        max_retries: get_usize(flags, "retries", 2)? as u32,
+        deadline_ms,
+        cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
+        shards: get_usize(flags, "shards", 1)?.max(1),
+        cache_path: flags
+            .get("cache")
+            .and_then(|v| v.clone())
+            .map(std::path::PathBuf::from),
+        cache_salvage: flags.contains_key("salvage"),
+        canonical: !flags.contains_key("no-canonical"),
+        trace: false,
+        validate: flags.contains_key("validate"),
+        faults,
+        admission: AdmissionConfig {
+            max_queue: get_usize(flags, "max-queue", 1024)?.max(1),
+            client_inflight: get_usize(flags, "client-inflight", 0)?,
+            est_ms,
+        },
+    })
+}
+
+/// Prints one daemon session's summary + metrics to stderr.
+fn report_daemon(report: &DaemonReport, flags: &HashMap<String, Option<String>>) {
+    if flags.contains_key("metrics-json") {
+        match serde_json::to_string_pretty(&report.metrics) {
+            Ok(json) => eprintln!("{json}"),
+            Err(e) => eprintln!("metrics: {e}"),
+        }
+        return;
+    }
+    let mut line = format!(
+        "session: {} requests, {} responses",
+        report.requests, report.responses
+    );
+    if report.salvaged_shards > 0 {
+        line.push_str(&format!(", {} shards salvaged", report.salvaged_shards));
+    }
+    if report.shutdown {
+        line.push_str(", shutdown");
+    }
+    eprintln!("{line}");
+    eprintln!("{}", report.metrics.render());
+}
+
+/// The `serve` subcommand: a long-lived daemon session over
+/// stdin/stdout, or an accept loop on a unix socket with `--socket`
+/// (one session per connection; an in-band shutdown stops the daemon).
+fn run_serve_command(flags: &HashMap<String, Option<String>>) -> Result<(), String> {
+    let options = daemon_options(flags)?;
+    match flags.get("socket") {
+        None => {
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout();
+            let report = run_design_daemon(&options, reader, &mut stdout.lock())
+                .map_err(|e| e.to_string())?;
+            report_daemon(&report, flags);
+            Ok(())
+        }
+        Some(Some(path)) => serve_socket(path, &options, flags),
+        Some(None) => Err("--socket expects a path".into()),
+    }
+}
+
+/// The unix-socket accept loop: sessions run one at a time (requests
+/// within a session already fan out across the worker pool); the
+/// socket file is created fresh and removed on shutdown.
+fn serve_socket(
+    path: &str,
+    options: &DaemonOptions,
+    flags: &HashMap<String, Option<String>>,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("youtiao serve: listening on {path}");
+    let outcome = loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => break Err(format!("{path}: accept: {e}")),
+        };
+        let reader = match stream.try_clone() {
+            Ok(clone) => std::io::BufReader::new(clone),
+            Err(e) => break Err(format!("{path}: {e}")),
+        };
+        let mut writer = std::io::BufWriter::new(stream);
+        let report = match run_design_daemon(options, reader, &mut writer) {
+            Ok(report) => report,
+            Err(e) => break Err(e.to_string()),
+        };
+        if let Err(e) = writer.flush() {
+            break Err(e.to_string());
+        }
+        report_daemon(&report, flags);
+        if report.shutdown {
+            break Ok(());
+        }
+    };
+    let _ = std::fs::remove_file(path);
+    outcome
 }
 
 /// The `sweep` subcommand: a JSON `SweepSpec` in, JSONL records out

@@ -175,6 +175,13 @@ pub enum DesignError {
     /// The finished plan violated a wiring invariant (only produced
     /// when [`DesignOptions::validate`] is set).
     Validation(ValidationReport),
+    /// Admission control refused the request before it ran: its
+    /// deadline was infeasible at the serving layer's queue depth
+    /// (daemon sessions under load shedding).
+    Shed {
+        /// Why admission refused the request.
+        reason: String,
+    },
 }
 
 impl DesignError {
@@ -198,6 +205,9 @@ impl std::fmt::Display for DesignError {
             DesignError::Cancelled { stage } => write!(f, "cancelled before the {stage} stage"),
             DesignError::Validation(report) => {
                 write!(f, "plan validation failed: {}", report.render())
+            }
+            DesignError::Shed { reason } => {
+                write!(f, "request shed by admission control: {reason}")
             }
         }
     }

@@ -63,6 +63,11 @@ fn classify(error: DesignError) -> ExecError {
         DesignError::Route(_) => ErrorKind::Route,
         DesignError::Validation(_) => ErrorKind::Validation,
         DesignError::Cancelled { .. } => return ExecError::cancelled(),
+        // Retrying a shed request would hit the same admission verdict;
+        // the client should back off or relax the deadline.
+        DesignError::Shed { .. } => {
+            return ExecError::permanent(ErrorKind::Shed, error.to_string())
+        }
     };
     if error.is_transient() {
         ExecError::transient(kind, error.to_string())
@@ -70,6 +75,9 @@ fn classify(error: DesignError) -> ExecError {
         ExecError::permanent(kind, error.to_string())
     }
 }
+
+/// One independently locked slice of a [`RepairStore`].
+type StoreShard = Mutex<HashMap<u64, Arc<DesignReport>>>;
 
 /// Resident base plans for the warm repair path, keyed by
 /// [`DesignRequest::base_key`]. Delta-carrying requests look their base
@@ -84,11 +92,17 @@ fn classify(error: DesignError) -> ExecError {
 /// hit/miss/fallback counters, so the executor (moved into pool
 /// threads) and the batch front-end observe the same state.
 ///
+/// Like the plan cache, the store shards by
+/// [`shard_of_key`](youtiao_serve::shard_of_key): each shard has its
+/// own lock (lookups on different shards never contend) and its own
+/// slice of the capacity budget. [`RepairStore::new`] is the
+/// single-shard (flat) store.
+///
 /// [`PlanContext`]: youtiao_core::PlanContext
 #[derive(Clone)]
 pub struct RepairStore {
-    entries: Arc<Mutex<HashMap<u64, Arc<DesignReport>>>>,
-    capacity: usize,
+    shards: Arc<Vec<StoreShard>>,
+    per_shard: usize,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
     fallbacks: Arc<AtomicU64>,
@@ -101,20 +115,41 @@ impl Default for RepairStore {
 }
 
 impl RepairStore {
-    /// A store retaining at most `capacity` base plans.
+    /// A flat (single-shard) store retaining at most `capacity` base
+    /// plans.
     pub fn new(capacity: usize) -> Self {
+        RepairStore::sharded(capacity, 1)
+    }
+
+    /// A store of `shards` independently locked shards (min 1) splitting
+    /// a total budget of `capacity` base plans.
+    pub fn sharded(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
         RepairStore {
-            entries: Arc::new(Mutex::new(HashMap::new())),
-            capacity,
+            shards: Arc::new((0..shards).map(|_| Mutex::new(HashMap::new())).collect()),
+            per_shard,
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
             fallbacks: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Resident base plans.
+    /// Number of shards the store spreads its entries over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<DesignReport>>> {
+        &self.shards[shard_of_key(key, self.shards.len())]
+    }
+
+    /// Resident base plans, summed over shards.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("repair store lock").len()
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("repair store lock").len())
+            .sum()
     }
 
     /// Whether no base plan is resident.
@@ -135,21 +170,21 @@ impl RepairStore {
     }
 
     fn lookup(&self, key: u64) -> Option<Arc<DesignReport>> {
-        self.entries
+        self.shard(key)
             .lock()
             .expect("repair store lock")
             .get(&key)
             .cloned()
     }
 
-    /// Stores `report` under `key` unless the store is full; either way
+    /// Stores `report` under `key` unless its shard is full; either way
     /// the caller gets the entry to repair from. Concurrent misses on
     /// the same key store the same content-addressed value, so the race
     /// is benign.
     fn insert(&self, key: u64, report: DesignReport) -> Arc<DesignReport> {
         let report = Arc::new(report);
-        let mut entries = self.entries.lock().expect("repair store lock");
-        if entries.len() < self.capacity || entries.contains_key(&key) {
+        let mut entries = self.shard(key).lock().expect("repair store lock");
+        if entries.len() < self.per_shard || entries.contains_key(&key) {
             entries.insert(key, Arc::clone(&report));
         }
         report
@@ -414,6 +449,53 @@ pub fn run_design_batch_with_cache<W: Write>(
         out,
     )?;
     Ok(metrics.with_repair(store.stats()))
+}
+
+/// The streaming variant of [`run_design_batch`]: reads framed JSONL
+/// requests from `input` one line at a time instead of materializing
+/// the whole jobs file, dispatching through a sharded plan cache
+/// (`options.shards`, min 1).
+pub fn run_design_batch_stream<In, W>(
+    input: In,
+    options: &BatchOptions,
+    out: &mut W,
+) -> Result<ServeMetrics, BatchError>
+where
+    In: std::io::BufRead,
+    W: Write,
+{
+    let store = RepairStore::sharded(256, options.shards.max(1));
+    let metrics = run_batch_stream(
+        input,
+        repairing_design_executor(options.validate, store.clone()),
+        options,
+        out,
+    )?;
+    Ok(metrics.with_repair(store.stats()))
+}
+
+/// One `youtiao serve` daemon session over the real design flow:
+/// framed requests in, responses out, with the sharded plan cache,
+/// admission control, and warm repair path all wired in. See
+/// [`run_daemon`] for the protocol and determinism contract.
+pub fn run_design_daemon<In, Out>(
+    options: &DaemonOptions,
+    input: In,
+    output: &mut Out,
+) -> Result<DaemonReport, BatchError>
+where
+    In: std::io::BufRead + Send + 'static,
+    Out: Write,
+{
+    let store = RepairStore::sharded(256, options.shards.max(1));
+    let mut report = run_daemon(
+        repairing_design_executor(options.validate, store.clone()),
+        options,
+        input,
+        output,
+    )?;
+    report.metrics = report.metrics.with_repair(store.stats());
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -13,9 +13,10 @@ use std::thread;
 use std::time::Duration;
 
 use youtiao::serve::{
-    apply_cache_fault, run_design_batch, BatchOptions, CacheFault, ChipRequest, DesignRequest,
-    ErrorKind, ExecError, Executor, FaultInjector, FaultKind, FaultPlan, JobStatus, PoolOptions,
-    WorkerPool,
+    apply_cache_fault, run_design_batch, run_design_daemon, shard_file, shard_of_key,
+    AdmissionConfig, BatchOptions, CacheFault, ChipRequest, DaemonOptions, DesignRequest,
+    ErrorKind, ExecError, Executor, FaultInjector, FaultKind, FaultPlan, JobStatus, OverloadBurst,
+    PoolOptions, WorkerPool,
 };
 
 /// Injected panics are caught by the pool and turned into records; keep
@@ -302,6 +303,208 @@ fn drift_faults_exercise_the_repair_warm_path_deterministically() {
     // stay misses on a rerun within the same process only for the
     // drifted subset — here simply assert no spurious hits appeared.
     assert_eq!(metrics_a.cache_hits, 0);
+}
+
+/// A daemon session over the real design flow: `count` distinct chips
+/// (rows 2..2+count, cols 3), each line optionally carrying a deadline.
+fn daemon_session_input(count: usize, deadline_ms: Option<u64>) -> String {
+    let mut input = String::new();
+    for i in 0..count {
+        let deadline = deadline_ms
+            .map(|d| format!(r#","deadline_ms":{d}"#))
+            .unwrap_or_default();
+        input.push_str(&format!(
+            r#"{{"op":"design","rid":"d{i}","request":{{"chip":{{"topology":"square","rows":{},"cols":3}}{deadline}}}}}"#,
+            2 + i
+        ));
+        input.push('\n');
+    }
+    input
+}
+
+fn run_daemon_session_lines(
+    input: &str,
+    options: &DaemonOptions,
+) -> (Vec<String>, youtiao::serve::DaemonReport) {
+    let mut out = Vec::new();
+    let report =
+        run_design_daemon(options, std::io::Cursor::new(input.to_string()), &mut out).unwrap();
+    let lines = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    (lines, report)
+}
+
+#[test]
+fn daemon_overload_burst_sheds_deterministically_end_to_end() {
+    // The pinned burst parks a million phantom jobs on the queue for
+    // requests 3..7, so with est 10ms over 2 workers those four — and
+    // only those four — are infeasible against their 60s deadlines no
+    // matter how the scheduler interleaves the real jobs. Every chip is
+    // distinct: a duplicate would be served from the plan cache before
+    // the shed check (cache hits are free and always feasible) and the
+    // shed count would drop.
+    let input = daemon_session_input(10, Some(60_000));
+    let options = DaemonOptions {
+        workers: 2,
+        admission: AdmissionConfig {
+            max_queue: 64,
+            client_inflight: 0,
+            est_ms: 10.0,
+        },
+        faults: Some(FaultPlan {
+            overload_burst: Some(OverloadBurst {
+                start: Some(3),
+                count: Some(4),
+                extra: Some(1_000_000),
+            }),
+            ..FaultPlan::default()
+        }),
+        ..DaemonOptions::default()
+    };
+    let (lines, report) = run_daemon_session_lines(&input, &options);
+    let (again, report_again) = run_daemon_session_lines(&input, &options);
+    assert_eq!(lines, again, "pinned overload must be reproducible");
+    assert_eq!(report.metrics.admission.shed, 4);
+    assert_eq!(
+        report.metrics.admission.shed,
+        report_again.metrics.admission.shed
+    );
+    assert_eq!(report.metrics.ok, 6, "the six unshed designs complete");
+    for (i, line) in lines.iter().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        if (3..7).contains(&i) {
+            assert_eq!(v["error"]["kind"], "Shed", "index {i}");
+            assert!(
+                v["error"]["message"]
+                    .as_str()
+                    .unwrap()
+                    .contains("infeasible"),
+                "index {i}: {v}"
+            );
+        } else {
+            assert_eq!(v["status"], "Ok", "index {i}");
+        }
+    }
+}
+
+#[test]
+fn daemon_slow_client_backpressure_never_changes_bytes() {
+    // A client that stalls between reads (slow_client_ms) combined with
+    // a one-in-flight admission cap throttles the session's intake, but
+    // the canonical response stream must be byte-for-byte the bytes an
+    // unconstrained session produces — backpressure shapes *when*
+    // responses move, never *what* they say.
+    let input = daemon_session_input(6, None);
+    let constrained = DaemonOptions {
+        workers: 4,
+        admission: AdmissionConfig {
+            max_queue: 64,
+            client_inflight: 1,
+            est_ms: 0.0,
+        },
+        faults: Some(FaultPlan {
+            slow_client_ms: Some(2),
+            slow_client_every: Some(2),
+            ..FaultPlan::default()
+        }),
+        ..DaemonOptions::default()
+    };
+    let (slow_lines, slow_report) = run_daemon_session_lines(&input, &constrained);
+    let free = DaemonOptions {
+        workers: 4,
+        ..DaemonOptions::default()
+    };
+    let (free_lines, free_report) = run_daemon_session_lines(&input, &free);
+    assert_eq!(
+        slow_lines, free_lines,
+        "backpressure altered response bytes"
+    );
+    assert!(
+        slow_report.metrics.admission.backpressure_waits > 0,
+        "the in-flight cap never stalled intake"
+    );
+    assert_eq!(free_report.metrics.admission.backpressure_waits, 0);
+    assert_eq!(slow_report.responses, free_report.responses);
+    assert!(slow_report.metrics.admission.max_in_flight <= 1);
+}
+
+#[test]
+fn daemon_shard_loss_salvages_only_the_torn_shard() {
+    let path = std::env::temp_dir().join(format!(
+        "youtiao-chaos-daemon-cache-{}.json",
+        std::process::id()
+    ));
+    const SHARDS: usize = 4;
+    const DESIGNS: usize = 6;
+    for index in 0..SHARDS {
+        let _ = std::fs::remove_file(shard_file(&path, index, SHARDS));
+    }
+    let input = daemon_session_input(DESIGNS, None);
+    let options = DaemonOptions {
+        shards: SHARDS,
+        cache_path: Some(path.clone()),
+        ..DaemonOptions::default()
+    };
+
+    let (cold_lines, cold) = run_daemon_session_lines(&input, &options);
+    assert_eq!(cold.metrics.cache_hits, 0);
+    let (warm_lines, warm) = run_daemon_session_lines(&input, &options);
+    assert_eq!(
+        warm.metrics.cache_hits, DESIGNS as u64,
+        "all keys persisted"
+    );
+    assert_eq!(warm_lines, cold_lines, "cache hits must not change bytes");
+
+    // Tear exactly one shard's snapshot the way `youtiao chaos` does.
+    // The keys are content addresses, so which shard each design lives
+    // in is computable outside the daemon; tear the shard holding the
+    // first design's key so at least one entry is actually lost.
+    let keys: Vec<u64> = (0..DESIGNS)
+        .map(|i| {
+            DesignRequest::new(ChipRequest::grid("square", 2 + i, 3))
+                .cache_key()
+                .unwrap()
+        })
+        .collect();
+    let torn = shard_of_key(keys[0], SHARDS);
+    let lost = keys
+        .iter()
+        .filter(|k| shard_of_key(**k, SHARDS) == torn)
+        .count() as u64;
+    apply_cache_fault(&shard_file(&path, torn, SHARDS), CacheFault::Truncate).unwrap();
+
+    // Without salvage the torn shard fails the whole load, loudly.
+    let strict_err = run_design_daemon(
+        &options,
+        std::io::Cursor::new(input.clone()),
+        &mut Vec::new(),
+    )
+    .err()
+    .unwrap();
+    assert!(strict_err.to_string().contains("cache"), "{strict_err}");
+
+    // With salvage, only the torn shard restarts cold: its entries
+    // recompute, every other shard still hits, and the response bytes
+    // are identical to the cold session's.
+    let salvage = DaemonOptions {
+        cache_salvage: true,
+        ..options.clone()
+    };
+    let (salvage_lines, salvaged) = run_daemon_session_lines(&input, &salvage);
+    assert_eq!(salvaged.salvaged_shards, 1, "exactly one shard was torn");
+    assert_eq!(salvaged.metrics.cache_hits, DESIGNS as u64 - lost);
+    assert_eq!(salvaged.metrics.cache_misses, lost);
+    assert_eq!(salvage_lines, cold_lines, "salvage must not change bytes");
+
+    // The salvage run rewrote a healthy snapshot for the torn shard.
+    let (_, healed) = run_daemon_session_lines(&input, &options);
+    assert_eq!(healed.metrics.cache_hits, DESIGNS as u64);
+    for index in 0..SHARDS {
+        let _ = std::fs::remove_file(shard_file(&path, index, SHARDS));
+    }
 }
 
 #[test]
