@@ -12,11 +12,15 @@
 //!
 //! The harness doubles as a coarse differential check: for every size
 //! it asserts the kernelized grouping/refinement/allocation output
-//! equals the naive reference before trusting the timings, and at
-//! 12×12 it asserts the ≥5× freq/readout speedup floor the roadmap
-//! commits to.
+//! equals the naive reference before trusting the timings, that the
+//! parallel partitioned plan is byte-identical to its serial twin, and
+//! that a warmed-up plan loop performs zero fresh scratch allocations.
+//! At 12×12 it asserts the ≥5× freq/readout speedup floor, and at
+//! 16×16 (with ≥8 plan threads on a host that has the cores) the ≥3×
+//! parallel-planning floor.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -28,24 +32,45 @@ use youtiao_core::kernels::PairKernels;
 use youtiao_core::plan::crosstalk_matrix;
 use youtiao_core::refine::naive::refine_tdm_groups_naive;
 use youtiao_core::refine::{refine_tdm_groups_kernels, RefineConfig};
+use youtiao_core::scratch;
 use youtiao_core::tdm::naive::group_tdm_with_activity_naive;
 use youtiao_core::tdm::{brickwork_activity, group_tdm_kernels, TdmConfig};
 use youtiao_core::{
-    allocate_frequencies_kernels, group_fdm, FdmLine, FreqKernels, PlanContext, PlannerConfig,
-    YoutiaoPlanner,
+    allocate_frequencies_kernels, group_fdm, FdmLine, FreqKernels, PartitionConfig, PlanContext,
+    PlannerConfig, YoutiaoPlanner,
 };
 
 /// Schema tag written into the report so downstream tooling can detect
-/// format changes. v2 adds the frequency-allocation stages
+/// format changes. v2 added the frequency-allocation stages
 /// (`freq_kernels_build`, `freq_alloc_*`, `readout_*`), the
 /// `speedup_freq` / `speedup_readout` ratios, and the
-/// `freq_kernel_builds_during_plans` probe.
-pub const SCHEMA: &str = "youtiao-bench-plan/v2";
+/// `freq_kernel_builds_during_plans` probe. v3 adds the planner's own
+/// `plan.total` hook stage, the partitioned serial-vs-parallel plan
+/// rows (`plan_partitioned_serial`, `plan_partitioned_parallel`), the
+/// per-size `threads` / `speedup_parallel` fields, the scratch-arena
+/// reuse probes (`scratch_fresh`, `scratch_reused`), and a 24×24 grid
+/// in the default size list.
+pub const SCHEMA: &str = "youtiao-bench-plan/v3";
 
 /// Minimum acceptable naive/kernelized median ratio for frequency
 /// allocation (both bands) at 12×12 — asserted whenever a `grid:12`
 /// layout is benchmarked.
 pub const FREQ_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Minimum acceptable serial/parallel `plan.total` median ratio for the
+/// partitioned plan at 16×16 — asserted whenever a `grid:16` layout is
+/// benchmarked with ≥8 plan threads *and* the host actually has that
+/// many cores (a 1-core container can execute the parallel levers but
+/// cannot express a speedup, so the floor is skipped there rather than
+/// reporting a meaningless failure).
+pub const PARALLEL_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// `run` mutates process-global probes (kernel build counts, scratch
+/// fresh/reuse counters) and asserts on their deltas, so concurrent
+/// harness runs in one process (parallel `cargo test` threads) would
+/// read each other's allocations. One run at a time keeps every probe
+/// delta attributable.
+static RUN_LOCK: Mutex<()> = Mutex::new(());
 
 /// A benchmark chip layout: the square grids the harness has always
 /// timed, plus the paper's error-corrected fabrics.
@@ -132,14 +157,18 @@ pub struct PerfConfig {
     pub layouts: Vec<Layout>,
     /// Timed iterations per stage per size.
     pub iterations: usize,
+    /// Intra-plan threads for the partitioned parallel plan row
+    /// (`plan_partitioned_parallel`); the serial row always runs with 1.
+    pub plan_threads: usize,
 }
 
 impl Default for PerfConfig {
     fn default() -> Self {
         PerfConfig {
-            sizes: vec![6, 8, 10, 12, 16],
+            sizes: vec![6, 8, 10, 12, 16, 24],
             layouts: Vec::new(),
             iterations: 9,
+            plan_threads: 8,
         }
     }
 }
@@ -195,6 +224,22 @@ pub struct SizeReport {
     /// `FreqKernels` builds observed while the timed plans ran; must be
     /// 0 — every plan reuses the shared context's freq kernels.
     pub freq_kernel_builds_during_plans: u64,
+    /// Fresh scratch-buffer allocations observed during the timed plan
+    /// loop (after one warmup plan); must be 0 — every hot-loop buffer
+    /// comes back out of the context's arenas.
+    pub scratch_fresh: u64,
+    /// Scratch buffers recycled from the arenas during the timed plan
+    /// loop — the positive counterpart of [`scratch_fresh`], proving
+    /// the arenas are actually in the loop.
+    ///
+    /// [`scratch_fresh`]: SizeReport::scratch_fresh
+    pub scratch_reused: u64,
+    /// Intra-plan threads behind `plan_partitioned_parallel`.
+    pub threads: usize,
+    /// Serial / parallel median ratio for the partitioned plan
+    /// (≥ [`PARALLEL_SPEEDUP_FLOOR`] at 16×16 when the host has the
+    /// cores; ≈1.0 on a 1-core host).
+    pub speedup_parallel: f64,
     /// Naive / kernelized median ratio for TDM grouping.
     pub speedup_grouping: f64,
     /// Naive / kernelized median ratio for refinement.
@@ -235,7 +280,7 @@ impl PerfReport {
             self.iterations, self.contexts_built, self.kernels_built
         ));
         s.push_str(&format!(
-            "{:<8} {:>8} {:>12} {:>12} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9}\n",
+            "{:<8} {:>8} {:>12} {:>12} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9}\n",
             "chip",
             "devices",
             "group-k µs",
@@ -245,12 +290,13 @@ impl PerfReport {
             "freq-n µs",
             "spd-f",
             "spd-ro",
-            "plan µs"
+            "plan µs",
+            "spd-par"
         ));
         for size in &self.sizes {
             let med = |k: &str| size.stages.get(k).map_or(f64::NAN, |s| s.median_us);
             s.push_str(&format!(
-                "{:<8} {:>8} {:>12.1} {:>12.1} {:>8.2}x {:>11.1} {:>11.1} {:>8.2}x {:>8.2}x {:>9.1}\n",
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>8.2}x {:>11.1} {:>11.1} {:>8.2}x {:>8.2}x {:>9.1} {:>8.2}x\n",
                 size.label,
                 size.devices,
                 med("grouping_kernels"),
@@ -261,6 +307,7 @@ impl PerfReport {
                 size.speedup_freq,
                 size.speedup_readout,
                 med("plan_total"),
+                size.speedup_parallel,
             ));
         }
         s
@@ -292,9 +339,13 @@ pub(crate) fn timed<T>(iterations: usize, mut f: impl FnMut() -> T) -> (StageSta
 /// Panics if `config.sizes` and `config.layouts` are both empty,
 /// `config.iterations` is 0, the kernelized grouping/refinement/
 /// frequency-allocation output diverges from the naive reference
-/// (which would make the timings meaningless), or a `grid:12` layout
-/// misses the [`FREQ_SPEEDUP_FLOOR`].
+/// (which would make the timings meaningless), a parallel partitioned
+/// plan differs from its serial twin, a context-backed plan allocates
+/// a fresh scratch buffer after warmup, a `grid:12` layout misses the
+/// [`FREQ_SPEEDUP_FLOOR`], or a `grid:16` layout misses the
+/// [`PARALLEL_SPEEDUP_FLOOR`] on a host with the cores for it.
 pub fn run(config: &PerfConfig) -> PerfReport {
+    let _probes = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let layouts: Vec<Layout> = config
         .sizes
         .iter()
@@ -407,6 +458,16 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         };
         let plan_kernels_before = PairKernels::build_count();
         let plan_freq_kernels_before = FreqKernels::build_count();
+        // One warmup plan populates the context's scratch arenas; the
+        // timed loop after it must then run allocation-free (the
+        // build-probe pattern, applied to buffers instead of matrices).
+        YoutiaoPlanner::new(&chip)
+            .with_config(plan_cfg.clone())
+            .with_context(&ctx)
+            .plan()
+            .expect("benchmark warmup plan must succeed");
+        let scratch_fresh_before = scratch::fresh_count();
+        let scratch_reused_before = scratch::reuse_count();
         let mut sub: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
         let (stats, _) = timed(iters, || {
             YoutiaoPlanner::new(&chip)
@@ -423,13 +484,59 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         for (name, samples) in sub {
             stages.insert(format!("plan.{name}"), StageStats::from_samples(samples));
         }
+        let scratch_fresh = scratch::fresh_count() - scratch_fresh_before;
+        let scratch_reused = scratch::reuse_count() - scratch_reused_before;
+        assert_eq!(
+            scratch_fresh, 0,
+            "{label}: the warmed plan loop allocated fresh scratch buffers"
+        );
+        assert!(
+            scratch_reused > 0,
+            "{label}: the plan loop never drew from the scratch arenas"
+        );
         let kernel_builds_during_plans = PairKernels::build_count() - plan_kernels_before;
         let freq_kernel_builds_during_plans = FreqKernels::build_count() - plan_freq_kernels_before;
+
+        // Partitioned plan, serial vs parallel: same context, same
+        // config apart from `plan_threads`, so the differential check
+        // doubles as the in-bench byte-identity proof for the region/
+        // band parallel merge paths.
+        let par_cfg = PlannerConfig {
+            refine: Some(refine),
+            partition: Some(PartitionConfig::for_target_size(&chip, 64)),
+            plan_threads: 1,
+            ..Default::default()
+        };
+        let (stats, serial_plan) = timed(iters, || {
+            YoutiaoPlanner::new(&chip)
+                .with_config(par_cfg.clone())
+                .with_context(&ctx)
+                .plan()
+                .expect("benchmark partitioned plan must succeed")
+        });
+        stages.insert("plan_partitioned_serial".to_string(), stats);
+        let threads = config.plan_threads.max(1);
+        let (stats, parallel_plan) = timed(iters, || {
+            YoutiaoPlanner::new(&chip)
+                .with_config(PlannerConfig {
+                    plan_threads: threads,
+                    ..par_cfg.clone()
+                })
+                .with_context(&ctx)
+                .plan()
+                .expect("benchmark parallel plan must succeed")
+        });
+        stages.insert("plan_partitioned_parallel".to_string(), stats);
+        assert_eq!(
+            parallel_plan, serial_plan,
+            "{label}: parallel plan diverged from its serial twin"
+        );
 
         let med = |k: &str| stages.get(k).map_or(f64::NAN, |s| s.median_us);
         let speedup = |naive: &str, fast: &str| med(naive) / med(fast);
         let speedup_freq = speedup("freq_alloc_naive", "freq_alloc_kernels");
         let speedup_readout = speedup("readout_naive", "readout_kernels");
+        let speedup_parallel = speedup("plan_partitioned_serial", "plan_partitioned_parallel");
         // The roadmap's acceptance floor: at 12×12 the kernelized
         // allocator must hold a ≥5× median speedup on both bands.
         if *layout == Layout::Grid(12) {
@@ -442,6 +549,19 @@ pub fn run(config: &PerfConfig) -> PerfReport {
                 "{label}: readout speedup {speedup_readout:.2}x below the {FREQ_SPEEDUP_FLOOR}x floor"
             );
         }
+        // The parallel-planning floor: at 16×16 with ≥8 plan threads,
+        // the partitioned plan must hold a ≥3× median speedup — but
+        // only on a host that can actually run those threads at once.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if *layout == Layout::Grid(16) && threads >= 8 && cores >= threads {
+            assert!(
+                speedup_parallel >= PARALLEL_SPEEDUP_FLOOR,
+                "{label}: parallel plan speedup {speedup_parallel:.2}x below the \
+                 {PARALLEL_SPEEDUP_FLOOR}x floor on a {cores}-core host"
+            );
+        }
         sizes.push(SizeReport {
             label,
             qubits: chip.num_qubits(),
@@ -449,6 +569,10 @@ pub fn run(config: &PerfConfig) -> PerfReport {
             iterations: iters,
             kernel_builds_during_plans,
             freq_kernel_builds_during_plans,
+            scratch_fresh,
+            scratch_reused,
+            threads,
+            speedup_parallel,
             speedup_grouping: speedup("grouping_naive", "grouping_kernels"),
             speedup_refine: speedup("refine_naive", "refine_kernels"),
             speedup_grouping_refine: (med("grouping_naive") + med("refine_naive"))
@@ -478,6 +602,7 @@ mod tests {
             sizes: vec![3, 4],
             layouts: Vec::new(),
             iterations: 2,
+            plan_threads: 2,
         });
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.sizes.len(), 2);
@@ -494,6 +619,9 @@ mod tests {
                 "readout_kernels",
                 "readout_naive",
                 "plan_total",
+                "plan_partitioned_serial",
+                "plan_partitioned_parallel",
+                "plan.total",
                 "plan.tdm_grouping",
                 "plan.refine",
                 "plan.freq.place",
@@ -509,6 +637,11 @@ mod tests {
             }
             assert_eq!(size.kernel_builds_during_plans, 0);
             assert_eq!(size.freq_kernel_builds_during_plans, 0);
+            // The arena probes: nothing fresh after warmup, reuse live.
+            assert_eq!(size.scratch_fresh, 0);
+            assert!(size.scratch_reused > 0);
+            assert_eq!(size.threads, 2);
+            assert!(size.speedup_parallel.is_finite());
             assert!(size.speedup_grouping.is_finite());
             assert!(size.speedup_freq.is_finite());
             assert!(size.speedup_readout.is_finite());
@@ -563,6 +696,7 @@ mod tests {
             sizes: vec![3],
             layouts: vec![Layout::Surface(3), Layout::HeavyHex(1, 2)],
             iterations: 1,
+            plan_threads: 2,
         });
         let labels: Vec<&str> = report.sizes.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, ["3x3", "surface-d3", "heavy-hex-1x2"]);
@@ -578,9 +712,12 @@ mod tests {
             sizes: vec![3],
             layouts: Vec::new(),
             iterations: 1,
+            plan_threads: 1,
         });
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"schema\""));
         assert!(json.contains("grouping_kernels"));
+        assert!(json.contains("\"speedup_parallel\""));
+        assert!(json.contains("\"scratch_reused\""));
     }
 }

@@ -42,6 +42,7 @@ use crate::error::PlanError;
 use crate::freq_kernels::FreqKernels;
 use crate::kernels::PairKernels;
 use crate::plan::crosstalk_matrix;
+use crate::scratch::ScratchPool;
 
 /// Global count of [`PlanContext::build`] calls — a probe for tests
 /// asserting that a sweep builds its matrices once per chip axis value
@@ -86,6 +87,10 @@ pub struct PlanContext {
     zz_crosstalk: Option<DistanceMatrix>,
     kernels: PairKernels,
     freq_kernels: FreqKernels,
+    // Warm buffer capacity, not planning state: compares equal to every
+    // other pool and clones to an empty one, so it never perturbs the
+    // staleness/equality semantics above.
+    scratch: ScratchPool,
 }
 
 impl PlanContext {
@@ -110,6 +115,7 @@ impl PlanContext {
             zz_crosstalk: None,
             kernels,
             freq_kernels,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -140,6 +146,7 @@ impl PlanContext {
             zz_crosstalk: None,
             kernels,
             freq_kernels,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -162,7 +169,15 @@ impl PlanContext {
         // will actually score with — the ZZ matrix from here on. The
         // freq kernels stay on the XY matrix: frequency allocation
         // always scores XY crosstalk regardless of the TDM noise model.
-        self.kernels = PairKernels::build(chip, &zz);
+        // The superseded XY-noise tables retire into the context's
+        // arena pool so the rebuild reuses their capacity.
+        let mut arena = self.scratch.checkout();
+        let old = std::mem::replace(
+            &mut self.kernels,
+            PairKernels::build_in(chip, &zz, &mut arena),
+        );
+        old.retire_into(&mut arena);
+        drop(arena);
         self.zz_crosstalk = Some(zz);
         self
     }
@@ -204,6 +219,15 @@ impl PlanContext {
     /// readout-band allocations score with).
     pub fn freq_kernels(&self) -> &FreqKernels {
         &self.freq_kernels
+    }
+
+    /// The context's scratch-arena pool. Each planning stage checks an
+    /// arena out for the duration of its work (concurrent plans — or
+    /// concurrent stages within one plan — each get their own), so the
+    /// per-call hot-loop buffers PR 4/PR 7 still allocated are served
+    /// from warm capacity on every plan after the first.
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
     }
 
     /// Whether the context is stale for `chip`: the chip's structure

@@ -1,0 +1,202 @@
+//! Deterministic intra-plan parallel execution.
+//!
+//! [`ParallelExec`] is the planner's small scoped-thread fan-out
+//! primitive, reusing the sweep engine's index-ordered-merge pattern:
+//! workers pull item indices from an atomic counter, send `(index,
+//! result)` pairs back over a channel, and the caller slots results
+//! into an index-ordered vector. Because the merge order is the *item*
+//! order — never the completion order — every consumer observes
+//! results exactly as a serial loop would produce them, so plans stay
+//! **byte-identical across any thread count** (the PR 4 / PR 7
+//! determinism contract, extended from "kernelized = naive" to
+//! "parallel = serial").
+//!
+//! Rules the planner's parallel stages follow (DESIGN.md §4j):
+//!
+//! 1. **Index-ordered merge** — concurrent per-item outputs are always
+//!    reassembled in item-index order before anything downstream reads
+//!    them; completion order is unobservable.
+//! 2. **Fixed-order reduction** — when per-thread partial buffers must
+//!    be combined (zone-chunked cell scoring), the reduction walks the
+//!    chunks in fixed ascending order, and no floating-point sum is
+//!    ever split across threads (IEEE addition is not associative).
+//! 3. **Serial fast path** — one thread or one item short-circuits to
+//!    a plain loop with zero thread overhead, and that loop is the
+//!    semantic definition the parallel path must reproduce.
+//!
+//! Worker panics propagate to the caller when the scope joins, so a
+//! poisoned stage cannot silently return partial results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A deterministic scoped-thread executor for the planner's
+/// embarrassingly-parallel stages (per-region grouping/refinement,
+/// frequency-band allocation, scaling-row fills, kernel table builds).
+///
+/// Cheap to construct — it owns no threads; each [`Self::run`] spawns
+/// short-lived scoped workers. The thread count is resolved once at
+/// construction: `0` means one per available core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExec {
+    threads: usize,
+}
+
+impl ParallelExec {
+    /// Creates an executor with `threads` workers; `0` resolves to one
+    /// per available core (as reported by the OS, min 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ParallelExec { threads }
+    }
+
+    /// A serial executor (the planner default).
+    pub fn serial() -> Self {
+        ParallelExec { threads: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether [`Self::run`] would actually fan out for `items` items.
+    pub fn is_parallel_for(&self, items: usize) -> bool {
+        self.threads > 1 && items > 1
+    }
+
+    /// Maps `f` over `0..items`, returning the results in index order.
+    ///
+    /// With one thread (or fewer than two items) this is a plain serial
+    /// loop. Otherwise workers pull indices from an atomic counter and
+    /// the results are merged strictly in index order, so the returned
+    /// vector is identical to the serial loop's no matter how the
+    /// workers raced.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any worker panic when the scope joins.
+    pub fn run<R, F>(&self, items: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if !self.is_parallel_for(items) {
+            return (0..items).map(f).collect();
+        }
+        let workers = self.threads.min(items);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items);
+        slots.resize_with(items, || None);
+        std::thread::scope(|s| {
+            let next = &next;
+            let f = &f;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= items {
+                        break;
+                    }
+                    if tx.send((index, f(index))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (index, result) in rx {
+                slots[index] = Some(result);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index produced a result"))
+            .collect()
+    }
+
+    /// Runs two independent closures, concurrently when this executor
+    /// has more than one thread, and returns `(a(), b())`.
+    ///
+    /// The pair order is fixed regardless of which closure finished
+    /// first, so downstream consumers see the same tuple a serial
+    /// `(a(), b())` evaluation produces.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any closure panic when the scope joins.
+    pub fn join<RA, RB, FA, FB>(&self, a: FA, b: FB) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        FA: FnOnce() -> RA + Send,
+        FB: FnOnce() -> RB + Send,
+    {
+        if self.threads <= 1 {
+            return (a(), b());
+        }
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            (ra, rb)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_resolves_to_available_cores() {
+        assert!(ParallelExec::new(0).threads() >= 1);
+        assert_eq!(ParallelExec::new(3).threads(), 3);
+        assert_eq!(ParallelExec::serial().threads(), 1);
+    }
+
+    #[test]
+    fn run_merges_in_index_order_across_thread_counts() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 8] {
+            let exec = ParallelExec::new(threads);
+            assert_eq!(exec.run(37, |i| i * i), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_handles_empty_and_singleton_inputs() {
+        let exec = ParallelExec::new(4);
+        assert_eq!(exec.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(exec.run(1, |i| i + 10), vec![10]);
+        assert!(!exec.is_parallel_for(1));
+        assert!(exec.is_parallel_for(2));
+    }
+
+    #[test]
+    fn join_returns_results_in_closure_order() {
+        for threads in [1, 4] {
+            let exec = ParallelExec::new(threads);
+            let (a, b) = exec.join(|| "first", || 2u32);
+            assert_eq!((a, b), ("first", 2));
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let exec = ParallelExec::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.run(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+}

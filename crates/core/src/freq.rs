@@ -26,8 +26,17 @@ use youtiao_chip::{Chip, QubitId};
 use youtiao_noise::model::frequency_scaling;
 
 use crate::error::PlanError;
+use crate::exec::ParallelExec;
 use crate::fdm::FdmLine;
 use crate::freq_kernels::{BandLattice, FreqKernels, ScalingTable};
+use crate::scratch::Scratch;
+
+/// Cells per zone-chunk when cell scoring fans out across threads. Zones
+/// of the default configs are far smaller (60 XY / 4 readout cells), so
+/// the parallel path only engages at chiplet-scale bands where a zone
+/// holds thousands of cells; below that the chunked sweep is pure
+/// overhead.
+const PAR_SCORE_CHUNK: usize = 1024;
 
 /// Configuration of the frequency allocator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -237,6 +246,45 @@ pub fn allocate_frequencies_kernels(
     config: &FreqConfig,
     hook: &mut dyn FnMut(&'static str, std::time::Duration),
 ) -> Result<FrequencyPlan, PlanError> {
+    allocate_frequencies_kernels_in(
+        chip,
+        lines,
+        kernels,
+        xtalk,
+        config,
+        hook,
+        &mut Scratch::default(),
+        &ParallelExec::serial(),
+    )
+}
+
+/// [`allocate_frequencies_kernels`] with explicit scratch and executor:
+/// working buffers (scaling table, slot map, cell scores, placed-
+/// neighbor lists) come from the arena and go back when the allocation
+/// finishes, and `exec` drives the deterministic parallel levers —
+/// up-front scaling-row materialization and fixed-order zone-chunked
+/// cell scoring. Output is byte-identical to the serial path for any
+/// thread count (per-cell sums keep their placement-order term
+/// sequence; chunks partition the zone and merge in ascending order).
+///
+/// # Errors
+///
+/// As [`allocate_frequencies_kernels`].
+///
+/// # Panics
+///
+/// As [`allocate_frequencies_kernels`].
+#[allow(clippy::too_many_arguments)] // the planner's internal entry point
+pub fn allocate_frequencies_kernels_in(
+    chip: &Chip,
+    lines: &[FdmLine],
+    kernels: &FreqKernels,
+    xtalk: &DistanceMatrix,
+    config: &FreqConfig,
+    hook: &mut dyn FnMut(&'static str, std::time::Duration),
+    scratch: &mut Scratch,
+    exec: &ParallelExec,
+) -> Result<FrequencyPlan, PlanError> {
     let n = chip.num_qubits();
     assert_eq!(xtalk.len(), n, "crosstalk matrix size mismatch");
     assert_eq!(kernels.num_qubits(), n, "freq kernels size mismatch");
@@ -248,19 +296,27 @@ pub fn allocate_frequencies_kernels(
     let cells_per_zone = lattice.cells_per_zone();
 
     let started = Instant::now();
-    let mut table = ScalingTable::new(&lattice);
+    let mut table = ScalingTable::new_in(&lattice, scratch);
+    if exec.is_parallel_for(table.slots()) {
+        // Pre-materialize every scaling row concurrently (bit-identical
+        // to the lazy fills) so the serial placement loop below never
+        // stalls on a row fill.
+        table.materialize_rows(exec);
+    }
+    // `freqs` and `zone_of` escape into the returned plan, so they are
+    // plain allocations, not arena checkouts.
     let mut freqs = vec![f64::NAN; n];
     let mut zone_of = vec![0usize; n];
-    let mut slot_of = vec![usize::MAX; n];
+    let mut slot_of = scratch.take_usize(n, usize::MAX);
     let mut occupancy: Vec<Vec<Vec<QubitId>>> = vec![vec![Vec::new(); cells_per_zone]; zones];
     // Per-qubit list of already-placed positive-crosstalk neighbors in
     // placement order — the exact term sequence the naive path sums, so
     // costs stay bit-identical.
-    let mut placed_neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-    let mut assigned = vec![false; n];
+    let mut placed_neighbors = scratch.take_pair_lists(n);
+    let mut assigned = scratch.take_bool(n, false);
     let mut reused_cells = 0usize;
 
-    let mut scores = vec![0.0f64; cells_per_zone];
+    let mut scores = scratch.take_f64(cells_per_zone, 0.0);
     for line in lines {
         for (k, &q) in line.qubits().iter().enumerate() {
             let base = chip
@@ -275,11 +331,41 @@ pub fn allocate_frequencies_kernels(
             // scores. Per cell the terms still land in placement order,
             // so every sum stays bit-identical to a per-cell sweep.
             let zone_base = table.slot(zone, 0);
-            scores.fill(0.0);
-            for &(p, x) in &placed_neighbors[q.index()] {
-                let row = &table.row(slot_of[p as usize])[zone_base..zone_base + cells_per_zone];
-                for (s, r) in scores.iter_mut().zip(row) {
-                    *s += x * r;
+            let neighbors = &placed_neighbors[q.index()];
+            let chunk_count = cells_per_zone.div_ceil(PAR_SCORE_CHUNK.max(1));
+            if exec.is_parallel_for(chunk_count) && !neighbors.is_empty() {
+                // Zone-chunked scoring: each worker owns a disjoint
+                // contiguous cell range and sums *all* neighbor terms
+                // for its cells, so no floating-point sum is split
+                // across threads; partials land back in ascending chunk
+                // order (fixed-order reduction, DESIGN.md §4j).
+                let (table, slot_of) = (&table, &slot_of);
+                let partials = exec.run(chunk_count, |c| {
+                    let start = c * PAR_SCORE_CHUNK;
+                    let end = cells_per_zone.min(start + PAR_SCORE_CHUNK);
+                    let mut part = vec![0.0f64; end - start];
+                    for &(p, x) in neighbors {
+                        let row =
+                            &table.row(slot_of[p as usize])[zone_base + start..zone_base + end];
+                        for (s, r) in part.iter_mut().zip(row) {
+                            *s += x * r;
+                        }
+                    }
+                    part
+                });
+                let mut base = 0;
+                for part in partials {
+                    scores[base..base + part.len()].copy_from_slice(&part);
+                    base += part.len();
+                }
+            } else {
+                scores.fill(0.0);
+                for &(p, x) in neighbors {
+                    let row =
+                        &table.row(slot_of[p as usize])[zone_base..zone_base + cells_per_zone];
+                    for (s, r) in scores.iter_mut().zip(row) {
+                        *s += x * r;
+                    }
                 }
             }
             // Empty cells score crosstalk vs placed qubits; occupied
@@ -366,6 +452,12 @@ pub fn allocate_frequencies_kernels(
         }
     }
     hook("swap", started.elapsed());
+
+    table.retire_into(scratch);
+    scratch.retire_usize(slot_of);
+    scratch.retire_pair_lists(placed_neighbors);
+    scratch.retire_bool(assigned);
+    scratch.retire_f64(scores);
 
     Ok(FrequencyPlan {
         freqs_ghz: freqs,

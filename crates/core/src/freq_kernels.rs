@@ -40,7 +40,9 @@ use youtiao_chip::QubitId;
 use youtiao_noise::model::frequency_scaling;
 
 use crate::error::PlanError;
+use crate::exec::ParallelExec;
 use crate::freq::FreqConfig;
+use crate::scratch::Scratch;
 
 /// Global count of [`FreqKernels::build`] calls — a probe for tests
 /// asserting that sweeps and repairs reuse a context's kernels instead
@@ -213,17 +215,36 @@ impl ScalingTable {
     /// Prepares an empty table over `lattice` (slot frequencies only;
     /// no scaling rows yet).
     pub fn new(lattice: &BandLattice) -> Self {
-        let mut freqs = Vec::with_capacity(lattice.slots());
+        Self::new_in(lattice, &mut Scratch::default())
+    }
+
+    /// [`Self::new`] drawing the slot-frequency and row-table storage
+    /// from a scratch arena; pair with [`Self::retire_into`] so the next
+    /// allocation over the same band reuses the capacity — including the
+    /// materialized rows' inner capacity, the table's dominant cost.
+    pub fn new_in(lattice: &BandLattice, scratch: &mut Scratch) -> Self {
+        let mut freqs = scratch.take_f64(lattice.slots(), 0.0);
+        let mut slot = 0;
         for zone in 0..lattice.zones() {
             for cell in 0..lattice.cells_per_zone() {
-                freqs.push(lattice.cell_freq(zone, cell));
+                freqs[slot] = lattice.cell_freq(zone, cell);
+                slot += 1;
             }
         }
         ScalingTable {
             freqs,
             cells_per_zone: lattice.cells_per_zone(),
-            rows: vec![Vec::new(); lattice.slots()],
+            // Cleared inner vectors: an empty row is exactly the "not
+            // yet materialized" marker `ensure_row` keys on.
+            rows: scratch.take_rows(lattice.slots()),
         }
+    }
+
+    /// Consumes the table, retiring its storage into a scratch arena
+    /// for the next [`Self::new_in`] over a similar band.
+    pub fn retire_into(self, scratch: &mut Scratch) {
+        scratch.retire_f64(self.freqs);
+        scratch.retire_rows(self.rows);
     }
 
     /// Total number of lattice slots.
@@ -245,11 +266,35 @@ impl ScalingTable {
     pub fn ensure_row(&mut self, slot: usize) {
         if self.rows[slot].is_empty() {
             let f = self.freqs[slot];
-            self.rows[slot] = self
-                .freqs
+            // Fill in place (not a fresh collect) so arena-recycled row
+            // capacity survives re-materialization.
+            let freqs = &self.freqs;
+            self.rows[slot].extend(freqs.iter().map(|&g| frequency_scaling(f - g)));
+        }
+    }
+
+    /// Materializes every scaling row up front, fanning the per-row
+    /// `frequency_scaling` fills across `exec`'s workers.
+    ///
+    /// Each row is an independent function of the slot frequencies and
+    /// results merge in slot-index order, so the table is bit-identical
+    /// to lazily filling rows via [`Self::ensure_row`] — the parallel
+    /// allocator pre-materializes instead of racing lazy fills.
+    pub fn materialize_rows(&mut self, exec: &ParallelExec) {
+        let freqs = &self.freqs;
+        let computed = exec.run(self.rows.len(), |s| {
+            let f = freqs[s];
+            freqs
                 .iter()
                 .map(|&g| frequency_scaling(f - g))
-                .collect();
+                .collect::<Vec<f64>>()
+        });
+        for (row, new) in self.rows.iter_mut().zip(computed) {
+            if row.is_empty() {
+                // Copy into the retained buffer so recycled capacity
+                // survives parallel materialization.
+                row.extend_from_slice(&new);
+            }
         }
     }
 
@@ -525,6 +570,38 @@ mod tests {
                 assert_eq!(direct.to_bits(), transposed.to_bits(), "evenness ({s},{t})");
             }
         }
+    }
+
+    #[test]
+    fn materialized_rows_match_lazy_fills_bit_for_bit() {
+        let lat = BandLattice::new(&FreqConfig::default(), 5).unwrap();
+        let mut lazy = ScalingTable::new(&lat);
+        for s in 0..lazy.slots() {
+            lazy.ensure_row(s);
+        }
+        for threads in [1, 4] {
+            let mut par = ScalingTable::new(&lat);
+            par.materialize_rows(&ParallelExec::new(threads));
+            for s in 0..par.slots() {
+                assert_eq!(par.row(s).len(), lazy.row(s).len(), "slot {s}");
+                for t in 0..par.slots() {
+                    assert_eq!(par.row(s)[t].to_bits(), lazy.row(s)[t].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retired_tables_recycle_row_capacity() {
+        let lat = BandLattice::new(&FreqConfig::default(), 5).unwrap();
+        let mut scratch = Scratch::default();
+        let mut table = ScalingTable::new_in(&lat, &mut scratch);
+        table.ensure_row(3);
+        table.retire_into(&mut scratch);
+        let before = crate::scratch::reuse_count();
+        let again = ScalingTable::new_in(&lat, &mut scratch);
+        assert!(crate::scratch::reuse_count() >= before + 2, "freqs + rows");
+        assert!(again.rows.iter().all(Vec::is_empty), "rows come back lazy");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use youtiao_chip::distance::DistanceMatrix;
 use youtiao_chip::{Chip, CouplerId, DeviceId, QubitId};
 
+use crate::scratch::Scratch;
 use crate::tdm::ActivityProfile;
 
 /// Global count of [`PairKernels::build`] calls — a probe for tests and
@@ -138,6 +139,18 @@ impl PairKernels {
     ///
     /// Panics if the matrix dimension mismatches the chip.
     pub fn build(chip: &Chip, xtalk: &DistanceMatrix) -> Self {
+        Self::build_in(chip, xtalk, &mut Scratch::default())
+    }
+
+    /// [`Self::build`] drawing the dense table storage from a scratch
+    /// arena instead of allocating — pair with [`Self::retire_into`] to
+    /// recycle a superseded table's buffers (e.g. when a context's ZZ
+    /// model refit replaces its kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension mismatches the chip.
+    pub fn build_in(chip: &Chip, xtalk: &DistanceMatrix, scratch: &mut Scratch) -> Self {
         assert_eq!(
             xtalk.len(),
             chip.num_qubits(),
@@ -167,7 +180,7 @@ impl PairKernels {
             .collect();
 
         // Parallelism indices from the cached adjacency.
-        let mut parallelism = vec![0.0f64; n];
+        let mut parallelism = scratch.take_f64(n, 0.0);
         for (i, slot) in parallelism.iter_mut().enumerate() {
             *slot = match index.device(i) {
                 DeviceId::Coupler(c) => adjacency[c.index()].len() as f64,
@@ -185,9 +198,9 @@ impl PairKernels {
 
         // Dense pairwise tables. Every entry is produced by the exact
         // function the naive path calls, so lookups are bit-identical.
-        let mut legal = vec![0u64; n * words];
-        let mut topo = vec![0.0f64; n * n];
-        let mut noise = vec![0.0f64; n * n];
+        let mut legal = scratch.take_u64(n * words, 0);
+        let mut topo = scratch.take_f64(n * n, 0.0);
+        let mut noise = scratch.take_f64(n * n, 0.0);
         for i in 0..n {
             let a = index.device(i);
             for j in 0..n {
@@ -285,7 +298,18 @@ impl PairKernels {
     /// vector indexed by [`DeviceIndex::dense`] (devices absent from the
     /// profile get mask 0, i.e. never busy).
     pub fn densify_activity(&self, activity: &ActivityProfile) -> Vec<u32> {
-        let mut masks = vec![0u32; self.index.len()];
+        self.densify_activity_in(activity, &mut Scratch::default())
+    }
+
+    /// [`Self::densify_activity`] drawing the mask vector from a
+    /// scratch arena; the caller retires it with `Scratch::retire_u32`
+    /// once the grouping or refinement pass is done with it.
+    pub fn densify_activity_in(
+        &self,
+        activity: &ActivityProfile,
+        scratch: &mut Scratch,
+    ) -> Vec<u32> {
+        let mut masks = scratch.take_u32(self.index.len(), 0);
         for (&d, &mask) in activity {
             // Profiles for a different chip may mention out-of-range
             // devices; the naive path treats lookups by map `get`, so
@@ -363,6 +387,18 @@ impl PairKernels {
 
         INVALIDATIONS.fetch_add(1, Ordering::Relaxed);
         rows.len()
+    }
+
+    /// Consumes the kernels, retiring their dense table storage into a
+    /// scratch arena so the next [`Self::build_in`] on a similar chip
+    /// reuses the capacity instead of reallocating. The adjacency lists
+    /// are nested per-coupler allocations built once per chip and are
+    /// simply dropped.
+    pub fn retire_into(self, scratch: &mut Scratch) {
+        scratch.retire_f64(self.parallelism);
+        scratch.retire_u64(self.legal);
+        scratch.retire_f64(self.topo);
+        scratch.retire_f64(self.noise);
     }
 
     /// Cumulative number of kernel tables built in this process (probe

@@ -37,6 +37,7 @@
 pub mod baselines;
 pub mod context;
 pub mod error;
+pub mod exec;
 pub mod fdm;
 pub mod freq;
 pub mod freq_kernels;
@@ -44,6 +45,7 @@ pub mod kernels;
 pub mod partition;
 pub mod plan;
 pub mod refine;
+pub mod scratch;
 pub mod summary;
 pub mod tdm;
 pub mod viz;
@@ -51,6 +53,7 @@ pub mod viz;
 pub use crate::baselines::{AcharyaTdm, GeorgeFdm, GoogleBaseline};
 pub use crate::context::{chip_fingerprint, PlanContext};
 pub use crate::error::PlanError;
+pub use crate::exec::ParallelExec;
 pub use crate::fdm::{group_fdm, FdmLine};
 pub use crate::freq::{
     allocate_frequencies, allocate_frequencies_kernels, FreqConfig, FrequencyPlan,
@@ -60,6 +63,7 @@ pub use crate::kernels::{DeviceIndex, PairKernels};
 pub use crate::partition::{partition_chip, Partition, PartitionConfig};
 pub use crate::plan::{PlannerConfig, WiringPlan, YoutiaoPlanner};
 pub use crate::refine::{refine_tdm_groups, RefineConfig};
+pub use crate::scratch::{Scratch, ScratchPool};
 pub use crate::summary::PlanSummary;
 pub use crate::tdm::{
     group_tdm, group_tdm_kernels, parallelism_index, DemuxLevel, TdmConfig, TdmGroup,

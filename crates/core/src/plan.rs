@@ -9,11 +9,13 @@ use youtiao_noise::CrosstalkModel;
 
 use crate::context::PlanContext;
 use crate::error::PlanError;
+use crate::exec::ParallelExec;
 use crate::fdm::{group_fdm_subset, FdmLine};
-use crate::freq::{allocate_frequencies_kernels, FreqConfig, FrequencyPlan};
+use crate::freq::{allocate_frequencies_kernels_in, FreqConfig, FrequencyPlan};
 use crate::freq_kernels::FreqKernels;
 use crate::kernels::PairKernels;
 use crate::partition::{partition_chip, Partition, PartitionConfig};
+use crate::scratch::ScratchPool;
 use crate::tdm::{TdmConfig, TdmGroup};
 
 /// Default FDM XY-line capacity (§5.3 evaluates with 5 qubits per line).
@@ -45,8 +47,19 @@ pub struct PlannerConfig {
     /// region (fine below ~100 qubits).
     pub partition: Option<PartitionConfig>,
     /// Optional local-search refinement of the TDM grouping
-    /// ([`crate::refine`]); `None` keeps the pure greedy result.
+    /// ([`crate::refine`]); `None` keeps the pure greedy result. With a
+    /// partition configured, refinement runs within each region — a
+    /// DEMUX group never spans partition regions, matching the per-die
+    /// containment the chiplet roadmap requires.
     pub refine: Option<crate::refine::RefineConfig>,
+    /// Worker threads for the intra-plan parallel stages (per-region
+    /// grouping/refinement, concurrent band allocation, scaling-row
+    /// fills): `1` (the default) plans serially, `0` resolves to one
+    /// thread per available core. Plans are **byte-identical across
+    /// every value** — parallel stages merge in fixed index order
+    /// (DESIGN.md §4j) — so the knob is pure wall-clock policy and is
+    /// deliberately excluded from plan cache keys.
+    pub plan_threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -65,6 +78,7 @@ impl Default for PlannerConfig {
             weights: EquivalentWeights::balanced(),
             partition: None,
             refine: None,
+            plan_threads: 1,
         }
     }
 }
@@ -277,9 +291,15 @@ impl<'a> YoutiaoPlanner<'a> {
 
     /// Runs [`plan`](Self::plan) while reporting each sub-stage's wall
     /// time to `hook` (stage name, elapsed). Stages that are not
-    /// configured (partition, refine) are not reported. The flow layer
-    /// uses this to attach tracer child spans without this crate
-    /// depending on the observability machinery.
+    /// configured (partition, refine) are not reported. A final
+    /// `"total"` event carries the whole call's wall time, after every
+    /// sub-stage. The flow layer uses this to attach tracer child spans
+    /// without this crate depending on the observability machinery.
+    ///
+    /// With `plan_threads > 1` stages overlap in wall time, so
+    /// sub-stage durations may sum past `"total"`; at the default
+    /// serial setting the disjoint top-level stages always sum to at
+    /// most `"total"`.
     ///
     /// # Errors
     ///
@@ -290,6 +310,7 @@ impl<'a> YoutiaoPlanner<'a> {
     ) -> Result<WiringPlan, PlanError> {
         use std::time::Instant;
 
+        let total_started = Instant::now();
         let chip = self.chip;
         if chip.num_qubits() == 0 {
             return Err(PlanError::EmptyChip);
@@ -380,14 +401,36 @@ impl<'a> YoutiaoPlanner<'a> {
                 None => (None, vec![chip.qubit_ids().collect()]),
             };
 
-        let mut fdm_elapsed = std::time::Duration::ZERO;
-        let mut tdm_elapsed = std::time::Duration::ZERO;
-        let mut fdm_lines = Vec::new();
-        let mut tdm_groups = Vec::new();
-        for region in &regions {
+        // The parallel executor and the scratch-arena pool serving
+        // every stage below. A context's pool persists across plans so
+        // buffer capacity warms up; a context-free plan gets a local
+        // (cold) pool with identical semantics.
+        let exec = ParallelExec::new(self.config.plan_threads);
+        let local_pool;
+        let pool: &ScratchPool = match self.context {
+            Some(ctx) => ctx.scratch(),
+            None => {
+                local_pool = ScratchPool::new();
+                &local_pool
+            }
+        };
+
+        // Regions are planned concurrently — each worker checks out its
+        // own arena — and results merge in region-index order, so the
+        // concatenated lines/groups are exactly the serial loop's.
+        // Refinement runs inside the region task: a group never spans
+        // regions, so refining per region keeps the parallel stage
+        // self-contained (and with no partition the single region makes
+        // it the global refinement).
+        let tdm_config = &self.config.tdm;
+        let fdm_capacity = self.config.fdm_capacity;
+        let refine_config = self.config.refine;
+        let region_results = exec.run(regions.len(), |r| {
+            let region = &regions[r];
+            let mut arena = pool.checkout();
             let started = Instant::now();
-            fdm_lines.extend(group_fdm_subset(chip, eq, self.config.fdm_capacity, region));
-            fdm_elapsed += started.elapsed();
+            let lines = group_fdm_subset(chip, eq, fdm_capacity, region);
+            let fdm_elapsed = started.elapsed();
             // A coupler belongs to the region of its lower endpoint.
             let started = Instant::now();
             let devices: Vec<DeviceId> = region
@@ -398,28 +441,38 @@ impl<'a> YoutiaoPlanner<'a> {
                     region.contains(&a).then_some(DeviceId::Coupler(c.id()))
                 }))
                 .collect();
-            tdm_groups.extend(crate::tdm::group_tdm_kernels(
-                kernels,
-                &self.config.tdm,
-                &devices,
-                activity,
-            ));
-            tdm_elapsed += started.elapsed();
+            let mut groups = crate::tdm::group_tdm_kernels_in(
+                kernels, tdm_config, &devices, activity, &mut arena,
+            );
+            let tdm_elapsed = started.elapsed();
+            let mut refine_elapsed = std::time::Duration::ZERO;
+            if let Some(refine) = &refine_config {
+                let started = Instant::now();
+                let (refined, _removed) = crate::refine::refine_tdm_groups_kernels_in(
+                    kernels, activity, tdm_config, groups, refine, &mut arena,
+                );
+                groups = refined;
+                refine_elapsed = started.elapsed();
+            }
+            (lines, groups, fdm_elapsed, tdm_elapsed, refine_elapsed)
+        });
+
+        let mut fdm_elapsed = std::time::Duration::ZERO;
+        let mut tdm_elapsed = std::time::Duration::ZERO;
+        let mut refine_elapsed = std::time::Duration::ZERO;
+        let mut fdm_lines = Vec::new();
+        let mut tdm_groups = Vec::new();
+        for (lines, groups, fdm_e, tdm_e, refine_e) in region_results {
+            fdm_lines.extend(lines);
+            tdm_groups.extend(groups);
+            fdm_elapsed += fdm_e;
+            tdm_elapsed += tdm_e;
+            refine_elapsed += refine_e;
         }
         hook("fdm_grouping", fdm_elapsed);
         hook("tdm_grouping", tdm_elapsed);
-
-        if let Some(refine) = &self.config.refine {
-            let started = Instant::now();
-            let (refined, _removed) = crate::refine::refine_tdm_groups_kernels(
-                kernels,
-                activity,
-                &self.config.tdm,
-                tdm_groups,
-                refine,
-            );
-            tdm_groups = refined;
-            hook("refine", started.elapsed());
+        if refine_config.is_some() {
+            hook("refine", refine_elapsed);
         }
 
         // Freq kernels always follow the XY matrix (both bands score XY
@@ -436,61 +489,100 @@ impl<'a> YoutiaoPlanner<'a> {
             }
         };
 
-        let started = Instant::now();
-        let frequency_plan = allocate_frequencies_kernels(
-            chip,
-            &fdm_lines,
-            freq_kernels,
-            xtalk,
-            &self.config.freq,
-            &mut |stage, elapsed| {
-                hook(
-                    match stage {
-                        "place" => "freq.place",
-                        _ => "freq.swap",
+        // The two bands are independent allocations, so they run
+        // concurrently. Hook events are buffered per band and replayed
+        // in the fixed serial order (freq.* then readout.*) after the
+        // join — the hook stream is indistinguishable from a serial
+        // run, and so are the plans (each band's allocation is already
+        // deterministic for any executor).
+        let freq_config = &self.config.freq;
+        let readout_config = &self.config.readout_freq;
+        let readout_capacity = self.config.readout_capacity;
+        let fdm_lines_ref = &fdm_lines;
+        let (freq_out, readout_out) = exec.join(
+            || {
+                let mut events: Vec<(&'static str, std::time::Duration)> = Vec::new();
+                let started = Instant::now();
+                let mut arena = pool.checkout();
+                let result = allocate_frequencies_kernels_in(
+                    chip,
+                    fdm_lines_ref,
+                    freq_kernels,
+                    xtalk,
+                    freq_config,
+                    &mut |stage, elapsed| {
+                        events.push((
+                            match stage {
+                                "place" => "freq.place",
+                                _ => "freq.swap",
+                            },
+                            elapsed,
+                        ))
                     },
-                    elapsed,
-                )
+                    &mut arena,
+                    &exec,
+                );
+                (result, events, started.elapsed())
             },
-        )?;
-        hook("freq_alloc", started.elapsed());
-
-        let started = Instant::now();
-        let qubits: Vec<QubitId> = chip.qubit_ids().collect();
-        let readout_lines: Vec<Vec<QubitId>> = qubits
-            .chunks(self.config.readout_capacity)
-            .map(<[QubitId]>::to_vec)
-            .collect();
-        // Resonator frequencies share the allocator: a feedline is an FDM
-        // line in the readout band.
-        let readout_as_fdm: Vec<FdmLine> =
-            readout_lines.iter().cloned().map(FdmLine::new).collect();
-        let readout_frequency_plan = allocate_frequencies_kernels(
-            chip,
-            &readout_as_fdm,
-            freq_kernels,
-            xtalk,
-            &self.config.readout_freq,
-            &mut |stage, elapsed| {
-                hook(
-                    match stage {
-                        "place" => "readout.place",
-                        _ => "readout.swap",
+            || {
+                let mut events: Vec<(&'static str, std::time::Duration)> = Vec::new();
+                let started = Instant::now();
+                let mut arena = pool.checkout();
+                let qubits: Vec<QubitId> = chip.qubit_ids().collect();
+                let readout_lines: Vec<Vec<QubitId>> = qubits
+                    .chunks(readout_capacity)
+                    .map(<[QubitId]>::to_vec)
+                    .collect();
+                // Resonator frequencies share the allocator: a feedline
+                // is an FDM line in the readout band.
+                let readout_as_fdm: Vec<FdmLine> =
+                    readout_lines.iter().cloned().map(FdmLine::new).collect();
+                let result = allocate_frequencies_kernels_in(
+                    chip,
+                    &readout_as_fdm,
+                    freq_kernels,
+                    xtalk,
+                    readout_config,
+                    &mut |stage, elapsed| {
+                        events.push((
+                            match stage {
+                                "place" => "readout.place",
+                                _ => "readout.swap",
+                            },
+                            elapsed,
+                        ))
                     },
-                    elapsed,
-                )
+                    &mut arena,
+                    &exec,
+                );
+                (result, readout_lines, events, started.elapsed())
             },
-        )?;
-        hook("readout", started.elapsed());
+        );
 
-        Ok(WiringPlan::from_parts(
+        let (freq_result, freq_events, freq_wall) = freq_out;
+        for (name, elapsed) in freq_events {
+            hook(name, elapsed);
+        }
+        let frequency_plan = freq_result?;
+        hook("freq_alloc", freq_wall);
+
+        let (readout_result, readout_lines, readout_events, readout_wall) = readout_out;
+        for (name, elapsed) in readout_events {
+            hook(name, elapsed);
+        }
+        let readout_frequency_plan = readout_result?;
+        hook("readout", readout_wall);
+
+        let plan = WiringPlan::from_parts(
             fdm_lines,
             frequency_plan,
             tdm_groups,
             readout_lines,
             readout_frequency_plan,
             partition,
-        ))
+        );
+        hook("total", total_started.elapsed());
+        Ok(plan)
     }
 }
 
@@ -760,11 +852,32 @@ mod tests {
                 "freq_alloc",
                 "readout.place",
                 "readout.swap",
-                "readout"
+                "readout",
+                "total"
             ]
         );
         // The hook must observe the same plan the caller gets.
         assert!(plan.num_z_lines() > 0);
+
+        // At the default serial thread count the disjoint top-level
+        // stages partition a subset of the total wall time, so their
+        // durations must sum to at most "total" (freq.place/swap nest
+        // inside freq_alloc and readout.place/swap inside readout, so
+        // they are excluded from the sum).
+        let total = stages
+            .iter()
+            .find(|(n, _)| *n == "total")
+            .map(|(_, e)| *e)
+            .unwrap();
+        let top_level: std::time::Duration = stages
+            .iter()
+            .filter(|(n, _)| !n.contains('.') && *n != "total")
+            .map(|(_, e)| *e)
+            .sum();
+        assert!(
+            top_level <= total,
+            "stage sum {top_level:?} exceeds total {total:?}"
+        );
 
         // Unconfigured stages are not reported.
         let mut names = Vec::new();
@@ -773,6 +886,7 @@ mod tests {
             .unwrap();
         assert!(!names.contains(&"partition"));
         assert!(!names.contains(&"refine"));
+        assert_eq!(names.last(), Some(&"total"));
     }
 
     #[test]
@@ -780,7 +894,8 @@ mod tests {
         // End-to-end differential: the planner's kernelized TDM
         // grouping + refinement must be byte-identical to running the
         // retained naive implementations over the same region
-        // decomposition.
+        // decomposition (grouping and refinement both per region — a
+        // group never spans partition regions).
         let chip = topology::square_grid(5, 5);
         let cfg = PlannerConfig {
             partition: Some(PartitionConfig::default()),
@@ -796,7 +911,7 @@ mod tests {
         let xtalk = crosstalk_matrix(&chip, &eq, None);
         let activity = crate::tdm::brickwork_activity(&chip);
         let partition = partition_chip(&chip, &eq, cfg.partition.as_ref().unwrap());
-        let mut naive_groups = Vec::new();
+        let mut naive_refined = Vec::new();
         for region in partition.regions() {
             let devices: Vec<DeviceId> = region
                 .iter()
@@ -806,19 +921,108 @@ mod tests {
                     region.contains(&a).then_some(DeviceId::Coupler(c.id()))
                 }))
                 .collect();
-            naive_groups.extend(crate::tdm::naive::group_tdm_with_activity_naive(
+            let grouped = crate::tdm::naive::group_tdm_with_activity_naive(
                 &chip, &xtalk, &cfg.tdm, &devices, &activity,
-            ));
+            );
+            let (refined, _) = crate::refine::naive::refine_tdm_groups_naive(
+                &chip,
+                &xtalk,
+                &activity,
+                &cfg.tdm,
+                grouped,
+                cfg.refine.as_ref().unwrap(),
+            );
+            naive_refined.extend(refined);
         }
-        let (naive_refined, _) = crate::refine::naive::refine_tdm_groups_naive(
-            &chip,
-            &xtalk,
-            &activity,
-            &cfg.tdm,
-            naive_groups,
-            cfg.refine.as_ref().unwrap(),
-        );
         assert_eq!(plan.tdm_groups(), naive_refined.as_slice());
+    }
+
+    #[test]
+    fn plans_are_byte_identical_across_thread_counts() {
+        // The PR 4 / PR 7 byte-identity story extended to parallelism:
+        // for every layout family × partitioning choice, plans at
+        // plan_threads ∈ {2, 4, 8} must equal the serial reference —
+        // including the XY and readout frequency bands bit-for-bit.
+        use youtiao_chip::surface::SurfaceCode;
+        let chips = [
+            topology::square_grid(5, 5),
+            SurfaceCode::rotated(3).into_chip(),
+            topology::heavy_hexagon(2, 3),
+        ];
+        for chip in &chips {
+            for partition in [None, Some(PartitionConfig::default())] {
+                let base = PlannerConfig {
+                    partition,
+                    refine: Some(crate::refine::RefineConfig::default()),
+                    ..Default::default()
+                };
+                let reference = YoutiaoPlanner::new(chip)
+                    .with_config(base.clone())
+                    .plan()
+                    .unwrap();
+                for threads in [2usize, 4, 8] {
+                    let cfg = PlannerConfig {
+                        plan_threads: threads,
+                        ..base.clone()
+                    };
+                    let plan = YoutiaoPlanner::new(chip).with_config(cfg).plan().unwrap();
+                    assert_eq!(
+                        plan,
+                        reference,
+                        "{} qubits, partitioned={}, {threads} threads",
+                        chip.num_qubits(),
+                        partition.is_some()
+                    );
+                    for q in chip.qubit_ids() {
+                        assert_eq!(
+                            plan.frequency_plan().frequency_ghz(q).to_bits(),
+                            reference.frequency_plan().frequency_ghz(q).to_bits(),
+                            "XY band {q} moved at {threads} threads"
+                        );
+                        assert_eq!(
+                            plan.readout_frequency_plan().frequency_ghz(q).to_bits(),
+                            reference
+                                .readout_frequency_plan()
+                                .frequency_ghz(q)
+                                .to_bits(),
+                            "readout band {q} moved at {threads} threads"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_plans_are_thread_count_invariant_too() {
+        // Same byte-identity through the shared-context path: the
+        // context's scratch pool serves concurrent checkouts and a warm
+        // pool must not change any plan.
+        let chip = topology::square_grid(5, 5);
+        let ctx = PlanContext::build(&chip, None, EquivalentWeights::balanced());
+        let cfg = PlannerConfig {
+            partition: Some(PartitionConfig::default()),
+            refine: Some(crate::refine::RefineConfig::default()),
+            ..Default::default()
+        };
+        let reference = YoutiaoPlanner::new(&chip)
+            .with_config(cfg.clone())
+            .with_context(&ctx)
+            .plan()
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            for _warm in 0..2 {
+                let plan = YoutiaoPlanner::new(&chip)
+                    .with_config(PlannerConfig {
+                        plan_threads: threads,
+                        ..cfg.clone()
+                    })
+                    .with_context(&ctx)
+                    .plan()
+                    .unwrap();
+                assert_eq!(plan, reference, "{threads} threads");
+            }
+        }
     }
 
     #[test]

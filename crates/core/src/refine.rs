@@ -25,6 +25,7 @@ use youtiao_chip::distance::DistanceMatrix;
 use youtiao_chip::{Chip, DeviceId};
 
 use crate::kernels::PairKernels;
+use crate::scratch::Scratch;
 use crate::tdm::{ActivityProfile, TdmConfig, TdmGroup};
 
 /// Configuration of [`refine_tdm_groups`].
@@ -75,10 +76,32 @@ pub fn refine_tdm_groups_kernels(
     kernels: &PairKernels,
     activity: &ActivityProfile,
     config: &TdmConfig,
-    mut groups: Vec<TdmGroup>,
+    groups: Vec<TdmGroup>,
     refine: &RefineConfig,
 ) -> (Vec<TdmGroup>, usize) {
-    let masks = kernels.densify_activity(activity);
+    refine_tdm_groups_kernels_in(
+        kernels,
+        activity,
+        config,
+        groups,
+        refine,
+        &mut Scratch::default(),
+    )
+}
+
+/// [`refine_tdm_groups_kernels`] drawing its densified activity masks
+/// from a scratch arena so repeated plans reuse capacity instead of
+/// reallocating. Output is identical — the arena only changes where the
+/// buffer lives.
+pub fn refine_tdm_groups_kernels_in(
+    kernels: &PairKernels,
+    activity: &ActivityProfile,
+    config: &TdmConfig,
+    mut groups: Vec<TdmGroup>,
+    refine: &RefineConfig,
+    scratch: &mut Scratch,
+) -> (Vec<TdmGroup>, usize) {
+    let masks = kernels.densify_activity_in(activity, scratch);
     let mask_of = |d: DeviceId| masks[kernels.dense(d)];
     let mut states: Vec<GroupState> = groups
         .iter()
@@ -159,6 +182,7 @@ pub fn refine_tdm_groups_kernels(
             break;
         }
     }
+    scratch.retire_u32(masks);
     (groups, removed)
 }
 

@@ -29,6 +29,7 @@ use youtiao_chip::distance::DistanceMatrix;
 use youtiao_chip::{Chip, CouplerId, DeviceId, QubitId};
 
 use crate::kernels::PairKernels;
+use crate::scratch::Scratch;
 
 /// Cryo-DEMUX fan-out level for one TDM group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -441,7 +442,22 @@ pub fn group_tdm_kernels(
     devices: &[DeviceId],
     activity: &ActivityProfile,
 ) -> Vec<TdmGroup> {
-    let masks = kernels.densify_activity(activity);
+    group_tdm_kernels_in(kernels, config, devices, activity, &mut Scratch::default())
+}
+
+/// [`group_tdm_kernels`] drawing its per-call working buffers (activity
+/// masks, alive bitmap, per-candidate aggregates) from a scratch arena
+/// so repeated plans reuse capacity instead of reallocating. Output is
+/// identical to [`group_tdm_kernels`] — the arena only changes where
+/// the buffers live.
+pub fn group_tdm_kernels_in(
+    kernels: &PairKernels,
+    config: &TdmConfig,
+    devices: &[DeviceId],
+    activity: &ActivityProfile,
+    scratch: &mut Scratch,
+) -> Vec<TdmGroup> {
+    let masks = kernels.densify_activity_in(activity, scratch);
 
     // Rank devices by parallelism index and split at θ.
     let mut indexed: Vec<(DeviceId, f64)> = devices
@@ -467,8 +483,11 @@ pub fn group_tdm_kernels(
     };
     let mut groups = Vec::new();
     for (level, pool) in [(low_level, low), (DemuxLevel::OneToTwo, high)] {
-        groups.extend(group_level_kernels(kernels, level, &pool, &masks, config));
+        groups.extend(group_level_kernels(
+            kernels, level, &pool, &masks, config, scratch,
+        ));
     }
+    scratch.retire_u32(masks);
     groups
 }
 
@@ -494,17 +513,21 @@ fn group_level_kernels(
     pool: &[(DeviceId, f64)],
     masks: &[u32],
     config: &TdmConfig,
+    scratch: &mut Scratch,
 ) -> Vec<TdmGroup> {
     let capacity = level.channel_capacity();
     let n = pool.len();
-    let pmask: Vec<u32> = pool.iter().map(|&(d, _)| masks[kernels.dense(d)]).collect();
-    let mut alive = vec![true; n];
+    let mut pmask = scratch.take_u32(n, 0);
+    for (slot, &(d, _)) in pmask.iter_mut().zip(pool) {
+        *slot = masks[kernels.dense(d)];
+    }
+    let mut alive = scratch.take_bool(n, true);
     // Per-candidate running aggregates for the group currently being
     // filled; re-seeded at each new group, updated per accepted member.
-    let mut agg_legal = vec![false; n];
-    let mut agg_topo = vec![0.0f64; n];
-    let mut agg_noise = vec![0.0f64; n];
-    let mut agg_balance = vec![0.0f64; n];
+    let mut agg_legal = scratch.take_bool(n, false);
+    let mut agg_topo = scratch.take_f64(n, 0.0);
+    let mut agg_noise = scratch.take_f64(n, 0.0);
+    let mut agg_balance = scratch.take_f64(n, 0.0);
 
     let mut groups = Vec::new();
     let mut first = 0usize;
@@ -578,6 +601,12 @@ fn group_level_kernels(
         }
         groups.push(TdmGroup::new(level, members));
     }
+    scratch.retire_u32(pmask);
+    scratch.retire_bool(alive);
+    scratch.retire_bool(agg_legal);
+    scratch.retire_f64(agg_topo);
+    scratch.retire_f64(agg_noise);
+    scratch.retire_f64(agg_balance);
     groups
 }
 

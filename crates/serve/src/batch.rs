@@ -34,6 +34,13 @@ use crate::shard::ShardedCache;
 pub struct BatchOptions {
     /// Worker threads; 0 means one per available core.
     pub jobs: usize,
+    /// Intra-plan worker threads per job; 0 (the default) applies the
+    /// oversubscription policy of
+    /// [`effective_plan_threads`](crate::pool::effective_plan_threads):
+    /// serial plans when the pool has more than one worker, one thread
+    /// per core when it has exactly one. Explicit values override the
+    /// policy. Plans are byte-identical across all values.
+    pub plan_threads: usize,
     /// Default per-job deadline in milliseconds (`deadline_ms` on a
     /// request overrides it).
     pub deadline_ms: Option<u64>,
@@ -72,6 +79,7 @@ impl Default for BatchOptions {
     fn default() -> Self {
         BatchOptions {
             jobs: 0,
+            plan_threads: 0,
             deadline_ms: None,
             max_retries: 2,
             cache_capacity: 1024,

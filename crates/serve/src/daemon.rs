@@ -57,6 +57,14 @@ use crate::shard::{shard_file, ShardedCache};
 pub struct DaemonOptions {
     /// Worker threads; 0 means one per available core.
     pub workers: usize,
+    /// Intra-plan worker threads per job; 0 (the default) applies the
+    /// oversubscription policy of
+    /// [`effective_plan_threads`](crate::pool::effective_plan_threads):
+    /// serial plans when the pool has more than one worker, one thread
+    /// per core when it has exactly one. Explicit values override the
+    /// policy. Plans — and therefore canonical transcripts — are
+    /// byte-identical across all values.
+    pub plan_threads: usize,
     /// Retries after the first attempt of transiently failing jobs.
     pub max_retries: u32,
     /// Default per-job deadline in milliseconds (`deadline_ms` on a
@@ -92,6 +100,7 @@ impl Default for DaemonOptions {
     fn default() -> Self {
         DaemonOptions {
             workers: 0,
+            plan_threads: 0,
             max_retries: 2,
             deadline_ms: None,
             cache_capacity: 1024,

@@ -64,7 +64,7 @@ pub use fault::{
 };
 pub use job::{ErrorKind, ErrorRecord, ExecError, JobRecord, JobStatus};
 pub use metrics::{RepairStats, ServeMetrics, ShardStat, StageStat};
-pub use pool::{AttemptCtx, Executor, PoolOptions, WorkerPool};
+pub use pool::{effective_plan_threads, AttemptCtx, Executor, PoolOptions, WorkerPool};
 pub use proto::{DaemonRequest, Frame, FramedReader, OpKind};
 pub use request::{
     synthetic_drift, ActivityOverride, ChipRequest, DeltaSpec, DesignRequest, DriftEntry,

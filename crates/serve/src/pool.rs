@@ -115,6 +115,32 @@ impl PoolOptions {
     }
 }
 
+/// The `--plan-threads` × `--jobs` oversubscription policy: resolves
+/// the intra-plan thread count a serve front-end should hand the
+/// planner, given the pool's effective worker count.
+///
+/// * An explicit request (`requested > 0`) always wins — the operator
+///   opted into `workers × requested` threads knowingly.
+/// * Auto (`requested == 0`) with more than one pool worker resolves to
+///   **1**: the pool already saturates the cores with independent jobs,
+///   and nesting per-plan fan-out on top would oversubscribe every one
+///   of them.
+/// * Auto with a single worker resolves to **0** (one thread per core
+///   at the planner level): tail latency of the lone in-flight plan is
+///   all that matters, so the plan gets the whole machine.
+///
+/// Plans are byte-identical across any resolved value, so this policy
+/// is pure scheduling — it can never change a served plan.
+pub fn effective_plan_threads(requested: usize, workers: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else if workers > 1 {
+        1
+    } else {
+        0
+    }
+}
+
 struct Task<J> {
     index: usize,
     id: String,
@@ -704,5 +730,18 @@ mod tests {
         let mut pool = pool;
         assert!(!pool.submit(0, "late".into(), 1, None));
         assert!(pool.join().is_empty());
+    }
+
+    #[test]
+    fn plan_thread_policy_resolves_oversubscription() {
+        // Explicit requests always win, whatever the pool looks like.
+        assert_eq!(effective_plan_threads(4, 1), 4);
+        assert_eq!(effective_plan_threads(4, 8), 4);
+        assert_eq!(effective_plan_threads(1, 8), 1);
+        // Auto: a multi-worker pool keeps plans serial; a lone worker
+        // hands the plan one thread per core (planner-level 0).
+        assert_eq!(effective_plan_threads(0, 2), 1);
+        assert_eq!(effective_plan_threads(0, 16), 1);
+        assert_eq!(effective_plan_threads(0, 1), 0);
     }
 }

@@ -51,6 +51,14 @@ use crate::spec::{SpecError, SweepMode, SweepSpec};
 pub struct SweepOptions {
     /// Worker threads; `0` spawns one per available core.
     pub threads: usize,
+    /// Intra-plan threads injected into every point's planner config
+    /// (`0` = one per core, resolved against the worker count by
+    /// [`effective_plan_threads`]). Plans are byte-identical across any
+    /// value, so sweep records and the plan cache are unaffected — the
+    /// knob is excluded from point cache keys.
+    ///
+    /// [`effective_plan_threads`]: youtiao_serve::effective_plan_threads
+    pub plan_threads: usize,
     /// Pareto objectives (conventional directions).
     pub objectives: Vec<Objective>,
     /// Record per-point latency and per-stage timings. Timings are
@@ -67,6 +75,7 @@ impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
             threads: 0,
+            plan_threads: 0,
             objectives: vec![
                 Objective::conventional(ObjectiveKind::Cost),
                 Objective::conventional(ObjectiveKind::Fidelity),
@@ -359,6 +368,11 @@ pub fn run_sweep_with_cache<W: Write>(
     }
     .clamp(1, total);
 
+    // Intra-plan threads compose with the point-level pool: the same
+    // oversubscription policy as `youtiao serve` (auto = serial plans
+    // when points already fan out across workers).
+    let plan_threads = youtiao_serve::effective_plan_threads(options.plan_threads, threads);
+
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, SweepRecord)>();
     let mut records: Vec<SweepRecord> = Vec::with_capacity(total);
@@ -378,7 +392,7 @@ pub fn run_sweep_with_cache<W: Write>(
                     let point = grid.point(index);
                     let seed_key = if spec.uses_model() { point.seed } else { 0 };
                     let ctx = &contexts[&(point.chip_idx, seed_key)];
-                    let record = run_point(&point, ctx, spec, options, cache);
+                    let record = run_point(&point, ctx, spec, options, plan_threads, cache);
                     if tx.send((index, record)).is_err() {
                         break;
                     }
@@ -438,6 +452,7 @@ fn run_point(
     ctx: &ChipCtx,
     spec: &SweepSpec,
     options: &SweepOptions,
+    plan_threads: usize,
     cache: &PlanCache<PointResult>,
 ) -> SweepRecord {
     let started = Instant::now();
@@ -447,7 +462,7 @@ fn run_point(
         skeleton.with_result(&hit)
     } else {
         match catch_unwind(AssertUnwindSafe(|| {
-            compute_point(point, ctx, spec, options.timings)
+            compute_point(point, ctx, spec, options.timings, plan_threads)
         })) {
             Ok(Ok((result, stages))) => {
                 cache.insert(key, result.clone());
@@ -519,6 +534,7 @@ fn compute_point(
     ctx: &ChipCtx,
     spec: &SweepSpec,
     timings: bool,
+    plan_threads: usize,
 ) -> Result<(PointResult, Vec<StageMs>), String> {
     let chip = &ctx.chip;
     let mut stages = Vec::new();
@@ -575,6 +591,9 @@ fn compute_point(
             config.tdm.allow_one_to_eight = point.one_to_eight;
             config.fdm_capacity = point.fdm_capacity;
             config.readout_capacity = point.readout_capacity;
+            // Intra-plan parallelism: byte-identical plans at any
+            // count, so this never enters `point_key`.
+            config.plan_threads = plan_threads;
             if let Some(target) = spec.partition_target {
                 config.partition = Some(PartitionConfig::for_target_size(chip, target));
             }

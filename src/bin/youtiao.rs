@@ -54,22 +54,31 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   youtiao topologies
-  youtiao plan   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight] [--json] [--viz]
+  youtiao plan   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
+                 [--plan-threads N] [--json] [--viz]
   youtiao cost   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
   youtiao export-chip <chip args> --out FILE
-  youtiao batch  --in FILE.jsonl [--out FILE.jsonl] [--jobs N] [--deadline-ms T]
-                 [--retries R] [--cache FILE] [--cache-capacity N] [--shards N]
-                 [--metrics-json] [--trace-json FILE] [--validate]
+  youtiao batch  --in FILE.jsonl [--out FILE.jsonl] [--jobs N] [--plan-threads N]
+                 [--deadline-ms T] [--retries R] [--cache FILE]
+                 [--cache-capacity N] [--shards N]
+                 [--metrics-json] [--trace-json FILE] [--validate] [--canonical]
                  (--in - reads stdin; input streams through the framed reader one
                   line at a time, so the jobs file never loads whole; --out
                   defaults to stdout; metrics go to stderr;
                   --jobs/--workers/--threads are synonyms: worker threads, 0 = one
-                  per core (the default); --shards splits the plan cache into N
+                  per core (the default); --plan-threads parallelizes inside each
+                  plan — plans are byte-identical at any value; left at 0 it
+                  resolves to serial plans whenever the pool has >1 worker, and
+                  to one thread per core when the pool is single-worker;
+                  --canonical zeroes latency and strips traces from records so
+                  equal-seed runs are byte-comparable;
+                  --shards splits the plan cache into N
                   independently locked + persisted shards; --trace-json writes
                   per-job stage-span traces; --validate fails a job when its
                   finished plan breaks a wiring invariant)
   youtiao serve  [--socket PATH] [--shards N] [--cache FILE] [--cache-capacity N]
-                 [--workers N] [--retries R] [--deadline-ms T] [--max-queue N]
+                 [--workers N] [--plan-threads N] [--retries R] [--deadline-ms T]
+                 [--max-queue N]
                  [--client-inflight N] [--est-ms MS] [--no-canonical] [--salvage]
                  [--validate] [--faults FILE.json] [--seed N] [--metrics-json]
                  (long-lived daemon speaking newline-framed JSONL request frames
@@ -78,7 +87,8 @@ usage:
                   socket with --socket; an in-band shutdown frame stops the
                   daemon after draining. Responses are canonical — latency
                   zeroed, traces and shard tags stripped — so equal-seed
-                  sessions are byte-identical across --shards and --workers.
+                  sessions are byte-identical across --shards, --workers and
+                  --plan-threads (same policy as batch).
                   The plan cache shards into N files, each lost or salvaged
                   (--salvage) independently; --max-queue and --client-inflight
                   bound intake (backpressure), --est-ms enables deadline-aware
@@ -93,14 +103,18 @@ usage:
                   records are emitted canonical — zero latency, no trace — so
                   equal seeds give byte-identical streams after an index sort)
   youtiao sweep  --spec FILE.json [--out FILE.jsonl] [--csv FILE.csv] [--threads N]
-                 [--pareto cost,coax,fidelity,latency] [--cache FILE]
+                 [--plan-threads N] [--pareto cost,coax,fidelity,latency]
+                 [--cache FILE]
                  [--cache-capacity N] [--timings] [--summary-json]
                  (--spec is a SweepSpec: axes over chips/theta/capacities/modes/seeds;
                   records stream as JSONL to --out (default stdout) in grid order,
-                  byte-identical for any --threads (0 = one per core); the Pareto
+                  byte-identical for any --threads and --plan-threads (0 = one
+                  per core; auto plan-threads stay serial while points fan out);
+                  the Pareto
                   front and per-axis marginals go to stderr, or as JSON with
                   --summary-json; --timings adds per-point latency/stage wall times)
   youtiao repair <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
+                 [--plan-threads N]
                  [--drift A:B:X,...] [--dead-couplers A-B,...]
                  [--activity qN:MASK,cN:MASK,...] [--compare-replan] [--json]
                  (plans a base snapshot, applies the delta flags as a new
@@ -110,10 +124,13 @@ usage:
                   --compare-replan adds the repair-vs-replan quality table and
                   tie-break verdict; prints the repaired plan's content hash)
   youtiao bench-plan [--sizes N,N,...] [--layouts grid:N,surface:D,heavy-hex:RxC]
-                 [--iters N] [--out FILE.json] [--json] [--repair]
+                 [--iters N] [--plan-threads N] [--out FILE.json] [--json]
+                 [--repair]
                  (times the planner's kernelized vs naive grouping/refine and
                   freq_alloc/readout hot loops across square-grid chip sizes,
-                  default 6,8,10,12,16 at 9 iterations; writes the
+                  default 6,8,10,12,16,24 at 9 iterations, plus a partitioned
+                  serial-vs-parallel plan row at --plan-threads (default 8)
+                  with scratch-arena reuse probes; writes the
                   BENCH_plan.json perf trajectory to --out; a summary table
                   goes to stderr, or the full report to stdout with --json;
                   --layouts appends rotated-surface-code and heavy-hex fabrics,
@@ -372,6 +389,7 @@ fn batch_options(flags: &HashMap<String, Option<String>>) -> Result<BatchOptions
         .unwrap_or(0);
     Ok(BatchOptions {
         jobs,
+        plan_threads: get_usize(flags, "plan-threads", 0)?,
         deadline_ms,
         max_retries: get_usize(flags, "retries", 2)? as u32,
         cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
@@ -385,6 +403,7 @@ fn batch_options(flags: &HashMap<String, Option<String>>) -> Result<BatchOptions
             Some(None) => return Err("--trace-json expects a file path".into()),
         },
         validate: flags.contains_key("validate"),
+        canonical: flags.contains_key("canonical"),
         shards: get_usize(flags, "shards", 1)?.max(1),
         ..BatchOptions::default()
     })
@@ -478,6 +497,7 @@ fn daemon_options(flags: &HashMap<String, Option<String>>) -> Result<DaemonOptio
     }
     Ok(DaemonOptions {
         workers,
+        plan_threads: get_usize(flags, "plan-threads", 0)?,
         max_retries: get_usize(flags, "retries", 2)? as u32,
         deadline_ms,
         cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
@@ -593,6 +613,7 @@ fn run_sweep_command(flags: &HashMap<String, Option<String>>) -> Result<(), Stri
 
     let mut options = SweepOptions {
         threads: get_usize(flags, "threads", 0)?,
+        plan_threads: get_usize(flags, "plan-threads", 0)?,
         timings: flags.contains_key("timings"),
         cache_capacity: get_usize(flags, "cache-capacity", 1024)?,
         cache_path: flags
@@ -918,6 +939,7 @@ fn run_bench_plan_command(flags: &HashMap<String, Option<String>>) -> Result<(),
     if config.iterations == 0 {
         return Err("--iters must be positive".into());
     }
+    config.plan_threads = get_usize(flags, "plan-threads", config.plan_threads)?.max(1);
 
     let report = youtiao::bench::perf::run(&config);
     write_bench_report(flags, &report, || report.render())
@@ -1017,6 +1039,9 @@ fn planner_config(flags: &HashMap<String, Option<String>>) -> Result<PlannerConf
     }
     config.fdm_capacity = get_usize(flags, "fdm-capacity", config.fdm_capacity)?;
     config.tdm.allow_one_to_eight = flags.contains_key("one-to-eight");
+    // Plans are byte-identical at any thread count, so this is purely
+    // a latency knob (0 = one thread per core).
+    config.plan_threads = get_usize(flags, "plan-threads", config.plan_threads)?;
     Ok(config)
 }
 

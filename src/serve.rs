@@ -231,13 +231,33 @@ pub fn repairing_design_executor(
     validate: bool,
     store: RepairStore,
 ) -> Executor<DesignRequest, ReportSummary> {
+    repairing_design_executor_threads(validate, store, 1)
+}
+
+/// [`repairing_design_executor`] with an explicit intra-plan thread
+/// count injected into every request's [`PlannerConfig`] (`0` = one
+/// thread per core). Front-ends resolve the count from their
+/// `plan_threads` option and pool width via
+/// [`effective_plan_threads`]; plans are byte-identical across any
+/// value, so the knob never enters the plan cache or repair-store keys.
+///
+/// [`PlannerConfig`]: youtiao_core::PlannerConfig
+pub fn repairing_design_executor_threads(
+    validate: bool,
+    store: RepairStore,
+    plan_threads: usize,
+) -> Executor<DesignRequest, ReportSummary> {
     Arc::new(move |request, ctx| {
         let chip = request
             .chip
             .build()
             .map_err(|e| ExecError::permanent(ErrorKind::InvalidRequest, e.to_string()))?;
         let options = DesignOptions {
-            planner: request.planner_config(),
+            planner: {
+                let mut planner = request.planner_config();
+                planner.plan_threads = plan_threads;
+                planner
+            },
             seed: perturbed_seed(request.seed(), ctx.attempt),
             routing: if request.wants_routing() {
                 DesignOptions::default().routing
@@ -423,9 +443,10 @@ pub fn run_design_batch<W: Write>(
     out: &mut W,
 ) -> Result<ServeMetrics, BatchError> {
     let store = RepairStore::default();
+    let threads = batch_plan_threads(options);
     let metrics = run_batch(
         requests,
-        repairing_design_executor(options.validate, store.clone()),
+        repairing_design_executor_threads(options.validate, store.clone(), threads),
         options,
         out,
     )?;
@@ -441,9 +462,10 @@ pub fn run_design_batch_with_cache<W: Write>(
     out: &mut W,
 ) -> Result<ServeMetrics, BatchError> {
     let store = RepairStore::default();
+    let threads = batch_plan_threads(options);
     let metrics = run_batch_with_cache(
         requests,
-        repairing_design_executor(options.validate, store.clone()),
+        repairing_design_executor_threads(options.validate, store.clone(), threads),
         options,
         cache,
         out,
@@ -465,9 +487,10 @@ where
     W: Write,
 {
     let store = RepairStore::sharded(256, options.shards.max(1));
+    let threads = batch_plan_threads(options);
     let metrics = run_batch_stream(
         input,
-        repairing_design_executor(options.validate, store.clone()),
+        repairing_design_executor_threads(options.validate, store.clone(), threads),
         options,
         out,
     )?;
@@ -488,14 +511,32 @@ where
     Out: Write,
 {
     let store = RepairStore::sharded(256, options.shards.max(1));
+    let workers = PoolOptions {
+        workers: options.workers,
+        ..Default::default()
+    }
+    .effective_workers();
+    let threads = effective_plan_threads(options.plan_threads, workers);
     let mut report = run_daemon(
-        repairing_design_executor(options.validate, store.clone()),
+        repairing_design_executor_threads(options.validate, store.clone(), threads),
         options,
         input,
         output,
     )?;
     report.metrics = report.metrics.with_repair(store.stats());
     Ok(report)
+}
+
+/// Resolve a batch run's intra-plan thread count: the pool width comes
+/// from `jobs` (0 = per-core), then [`effective_plan_threads`] applies
+/// the oversubscription policy against `plan_threads`.
+fn batch_plan_threads(options: &BatchOptions) -> usize {
+    let workers = PoolOptions {
+        workers: options.jobs,
+        ..Default::default()
+    }
+    .effective_workers();
+    effective_plan_threads(options.plan_threads, workers)
 }
 
 #[cfg(test)]

@@ -508,6 +508,40 @@ fn daemon_shard_loss_salvages_only_the_torn_shard() {
 }
 
 #[test]
+fn daemon_transcripts_are_byte_identical_across_plan_threads() {
+    // The intra-plan parallelism knob must be invisible in the response
+    // stream: a session planned serially is the reference, and sessions
+    // at every other `--plan-threads` value (including auto and values
+    // far above the core count) must emit byte-for-byte the same
+    // canonical transcript — the daemon-level mirror of the planner's
+    // cross-thread-count byte-identity suite. Partitioned chips included
+    // via a rows span big enough to cross region boundaries.
+    let input = daemon_session_input(5, None);
+    let reference = DaemonOptions {
+        workers: 1,
+        plan_threads: 1,
+        ..DaemonOptions::default()
+    };
+    let (reference_lines, _) = run_daemon_session_lines(&input, &reference);
+    for workers in [1usize, 4] {
+        for plan_threads in [0usize, 1, 2, 8] {
+            let options = DaemonOptions {
+                workers,
+                plan_threads,
+                ..DaemonOptions::default()
+            };
+            let (lines, report) = run_daemon_session_lines(&input, &options);
+            assert_eq!(
+                lines, reference_lines,
+                "workers={workers} plan_threads={plan_threads}: \
+                 transcript diverged from the serial reference"
+            );
+            assert_eq!(report.metrics.ok, 5);
+        }
+    }
+}
+
+#[test]
 fn equal_seed_soak_runs_are_byte_identical() {
     silence_injected_panics();
     let run = |seed: u64| {
