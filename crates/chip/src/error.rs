@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::id::{CouplerId, QubitId};
+use crate::multi::DieId;
 
 /// Errors produced while building or querying a [`Chip`](crate::Chip).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +20,12 @@ pub enum ChipError {
     SelfCoupling(QubitId),
     /// The chip has no qubits.
     Empty,
+    /// A spec used a role string that is not a known qubit role.
+    UnknownRole(String),
+    /// An inter-die link referenced a die that does not exist.
+    UnknownDie(DieId),
+    /// An inter-die link connected a die to itself.
+    IntraDieLink(DieId),
 }
 
 impl fmt::Display for ChipError {
@@ -31,6 +38,12 @@ impl fmt::Display for ChipError {
             }
             ChipError::SelfCoupling(q) => write!(f, "coupler connects {q} to itself"),
             ChipError::Empty => write!(f, "chip has no qubits"),
+            ChipError::UnknownRole(role) => write!(
+                f,
+                "unknown qubit role `{role}` (expected generic, data, ancilla_x or ancilla_z)"
+            ),
+            ChipError::UnknownDie(d) => write!(f, "unknown die {d}"),
+            ChipError::IntraDieLink(d) => write!(f, "inter-die link connects die {d} to itself"),
         }
     }
 }
@@ -49,6 +62,9 @@ mod tests {
             ChipError::DuplicateCoupler(QubitId::new(0), QubitId::new(1)).to_string(),
             ChipError::SelfCoupling(QubitId::new(2)).to_string(),
             ChipError::Empty.to_string(),
+            ChipError::UnknownRole("mystery".into()).to_string(),
+            ChipError::UnknownDie(DieId::new(3)).to_string(),
+            ChipError::IntraDieLink(DieId::new(0)).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

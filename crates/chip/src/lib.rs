@@ -18,6 +18,9 @@
 //!   *equivalent* distances (§4.1 of the paper).
 //! * [`surface`] — rotated surface-code layouts for the fault-tolerant chip
 //!   case study (§5.2, Table 1).
+//! * [`multi`] — multi-die chiplet arrays: per-die layouts plus typed
+//!   inter-chiplet links, tiled from any single-die topology (the
+//!   Figure 17 (c) scale-out scenario).
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod distance;
 pub mod error;
 pub mod geometry;
 pub mod id;
+pub mod multi;
 pub mod spec;
 pub mod surface;
 pub mod topology;
@@ -49,5 +53,6 @@ pub use crate::distance::{DistanceMatrix, EquivalentWeights, TopologicalDistance
 pub use crate::error::ChipError;
 pub use crate::geometry::Position;
 pub use crate::id::{CouplerId, DeviceId, QubitId};
+pub use crate::multi::{DieId, InterDieLink, LinkTopology, MultiDieChip};
 pub use crate::spec::ChipSpec;
 pub use crate::topology::TopologyKind;

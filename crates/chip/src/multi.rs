@@ -1,0 +1,627 @@
+//! Multi-die chiplet chips (§6 scale-out scenario, Figure 17 (c)).
+//!
+//! A [`MultiDieChip`] models a cryostat holding several chiplet dies: a
+//! [`DieId`]-indexed vector of per-die [`Chip`] layouts plus typed
+//! [`InterDieLink`]s with their own crosstalk and latency parameters
+//! (inter-chiplet couplers are bump-bonded or cable-connected, so their
+//! physics differs from on-die couplers). [`MultiDieChip::tile`] turns
+//! any single-die layout into an R×C chiplet array, deriving links from
+//! facing die edges under a [`LinkTopology`].
+//!
+//! Dies are stored in **template-local coordinates** — tiling clones the
+//! template verbatim and records a per-die origin offset separately
+//! ([`MultiDieChip::origin`]). This keeps every per-die planning input
+//! bit-identical to the monolithic chip's, which is what makes a 1×1
+//! array plan byte-identical to the single-chip plan (the multi-die
+//! determinism contract pinned by `tests/multi_die.rs`).
+
+use std::fmt;
+
+use crate::chip::Chip;
+use crate::error::ChipError;
+use crate::geometry::Position;
+use crate::id::QubitId;
+
+/// Geometry tolerance when classifying boundary qubits, millimetres.
+const EDGE_EPS_MM: f64 = 1e-9;
+
+/// Spacing between neighbouring dies in cryostat coordinates, mm.
+pub const DIE_GAP_MM: f64 = 2.0;
+
+/// Default inter-chiplet link crosstalk coefficient (dimensionless,
+/// same scale as the fitted on-die XY crosstalk).
+pub const DEFAULT_LINK_XTALK: f64 = 0.05;
+
+/// Default inter-chiplet link latency in nanoseconds (bump-bond plus
+/// interposer trace; an order of magnitude above on-die couplers).
+pub const DEFAULT_LINK_LATENCY_NS: f64 = 8.0;
+
+/// Default number of inter-chiplet links per facing die edge.
+pub const DEFAULT_LINKS_PER_EDGE: usize = 2;
+
+/// Index of one die within a [`MultiDieChip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DieId(u32);
+
+impl DieId {
+    /// Creates a die id from its raw index.
+    pub const fn new(value: u32) -> Self {
+        DieId(value)
+    }
+
+    /// The raw index value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The index as a `usize`, for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for DieId {
+    fn from(value: u32) -> Self {
+        DieId(value)
+    }
+}
+
+impl fmt::Display for DieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// How the dies of a chiplet array are interconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkTopology {
+    /// Links between dies adjacent in the R×C array (the IBM chiplet
+    /// scale-out shape).
+    #[default]
+    Grid,
+    /// [`Grid`](Self::Grid) plus wrap-around links along any dimension
+    /// longer than two dies.
+    Torus,
+    /// No inter-die links: dies share only the cryostat I/O budget.
+    Isolated,
+}
+
+impl LinkTopology {
+    /// The topology's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkTopology::Grid => "grid",
+            LinkTopology::Torus => "torus",
+            LinkTopology::Isolated => "isolated",
+        }
+    }
+
+    /// Parses a canonical name (`"grid"`, `"torus"`, `"isolated"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "grid" => Some(LinkTopology::Grid),
+            "torus" => Some(LinkTopology::Torus),
+            "isolated" => Some(LinkTopology::Isolated),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LinkTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed inter-chiplet link between two qubits on different dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterDieLink {
+    /// One endpoint: `(die, qubit-on-that-die)`.
+    pub a: (DieId, QubitId),
+    /// The other endpoint, on a different die.
+    pub b: (DieId, QubitId),
+    /// Link crosstalk coefficient (same scale as on-die XY crosstalk).
+    pub xtalk: f64,
+    /// Signal latency across the link, nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl InterDieLink {
+    /// A link with the default crosstalk/latency parameters.
+    pub fn new(a: (DieId, QubitId), b: (DieId, QubitId)) -> Self {
+        InterDieLink {
+            a,
+            b,
+            xtalk: DEFAULT_LINK_XTALK,
+            latency_ns: DEFAULT_LINK_LATENCY_NS,
+        }
+    }
+
+    /// Returns `true` when either endpoint lies on `die`.
+    pub fn touches(&self, die: DieId) -> bool {
+        self.a.0 == die || self.b.0 == die
+    }
+}
+
+/// A multi-die chiplet chip: per-die layouts plus inter-chiplet links.
+///
+/// # Example
+///
+/// ```
+/// use youtiao_chip::multi::{LinkTopology, MultiDieChip};
+/// use youtiao_chip::topology;
+///
+/// let die = topology::square_grid(3, 3);
+/// let array = MultiDieChip::tile(&die, 2, 2, LinkTopology::Grid).unwrap();
+/// assert_eq!(array.num_dies(), 4);
+/// assert_eq!(array.total_qubits(), 36);
+/// assert!(!array.links().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDieChip {
+    name: String,
+    dies: Vec<Chip>,
+    origins: Vec<Position>,
+    rows: usize,
+    cols: usize,
+    links: Vec<InterDieLink>,
+    link_topology: LinkTopology,
+}
+
+impl MultiDieChip {
+    /// Assembles a multi-die chip from explicit dies and links (a 1×N
+    /// row arrangement; use [`tile`](Self::tile) for arrays).
+    ///
+    /// # Errors
+    ///
+    /// * [`ChipError::Empty`] — no dies.
+    /// * [`ChipError::UnknownDie`] — a link references a missing die.
+    /// * [`ChipError::UnknownQubit`] — a link endpoint is out of range
+    ///   on its die.
+    /// * [`ChipError::IntraDieLink`] — both link endpoints share a die.
+    pub fn from_dies(
+        name: impl Into<String>,
+        dies: Vec<Chip>,
+        links: Vec<InterDieLink>,
+    ) -> Result<Self, ChipError> {
+        if dies.is_empty() {
+            return Err(ChipError::Empty);
+        }
+        let cols = dies.len();
+        let mut origins = Vec::with_capacity(cols);
+        let mut x = 0.0;
+        for die in &dies {
+            let bb = die.bounding_box();
+            origins.push(Position::new(x, 0.0));
+            x += bb.width() + DIE_GAP_MM;
+        }
+        let mdc = MultiDieChip {
+            name: name.into(),
+            dies,
+            origins,
+            rows: 1,
+            cols,
+            links,
+            link_topology: LinkTopology::Grid,
+        };
+        mdc.validate_links()?;
+        Ok(mdc)
+    }
+
+    /// Tiles `template` into an R×C chiplet array with the default link
+    /// parameters ([`DEFAULT_LINKS_PER_EDGE`] links per facing edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::Empty`] for a zero-die array.
+    pub fn tile(
+        template: &Chip,
+        rows: usize,
+        cols: usize,
+        link_topology: LinkTopology,
+    ) -> Result<Self, ChipError> {
+        Self::tile_with(template, rows, cols, link_topology, DEFAULT_LINKS_PER_EDGE)
+    }
+
+    /// [`tile`](Self::tile) with an explicit per-edge link count.
+    ///
+    /// Dies are clones of `template` in template-local coordinates; die
+    /// `(r, c)` sits at index `r * cols + c` with its origin offset by
+    /// the die footprint plus [`DIE_GAP_MM`]. Facing edges are linked by
+    /// pairing the template's boundary qubits (right edge ↔ left edge,
+    /// bottom ↔ top), spread evenly along the edge, up to
+    /// `links_per_edge` pairs. A [`LinkTopology::Torus`] additionally
+    /// wraps any dimension longer than two dies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::Empty`] for a zero-die array.
+    pub fn tile_with(
+        template: &Chip,
+        rows: usize,
+        cols: usize,
+        link_topology: LinkTopology,
+        links_per_edge: usize,
+    ) -> Result<Self, ChipError> {
+        if rows == 0 || cols == 0 {
+            return Err(ChipError::Empty);
+        }
+        let bb = template.bounding_box();
+        let (w, h) = (bb.width() + DIE_GAP_MM, bb.height() + DIE_GAP_MM);
+        let mut dies = Vec::with_capacity(rows * cols);
+        let mut origins = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                dies.push(template.clone());
+                origins.push(Position::new(c as f64 * w, r as f64 * h));
+            }
+        }
+
+        let mut links = Vec::new();
+        if link_topology != LinkTopology::Isolated {
+            let right = edge_qubits(template, Edge::Right);
+            let left = edge_qubits(template, Edge::Left);
+            let bottom = edge_qubits(template, Edge::Bottom);
+            let top = edge_qubits(template, Edge::Top);
+            let die = |r: usize, c: usize| DieId::new((r * cols + c) as u32);
+            let mut connect = |a: DieId, b: DieId, ea: &[QubitId], eb: &[QubitId]| {
+                let n = ea.len().min(eb.len());
+                for i in spread_indices(n, links_per_edge) {
+                    links.push(InterDieLink::new((a, ea[i]), (b, eb[i])));
+                }
+            };
+            for r in 0..rows {
+                for c in 0..cols {
+                    if c + 1 < cols {
+                        connect(die(r, c), die(r, c + 1), &right, &left);
+                    }
+                    if r + 1 < rows {
+                        connect(die(r, c), die(r + 1, c), &bottom, &top);
+                    }
+                }
+            }
+            if link_topology == LinkTopology::Torus {
+                if cols > 2 {
+                    for r in 0..rows {
+                        connect(die(r, cols - 1), die(r, 0), &right, &left);
+                    }
+                }
+                if rows > 2 {
+                    for c in 0..cols {
+                        connect(die(rows - 1, c), die(0, c), &bottom, &top);
+                    }
+                }
+            }
+        }
+
+        let mdc = MultiDieChip {
+            name: format!("{}-{rows}x{cols}", template.name()),
+            dies,
+            origins,
+            rows,
+            cols,
+            links,
+            link_topology,
+        };
+        mdc.validate_links()?;
+        Ok(mdc)
+    }
+
+    fn validate_links(&self) -> Result<(), ChipError> {
+        for link in &self.links {
+            for &(die, q) in [&link.a, &link.b] {
+                let chip = self
+                    .dies
+                    .get(die.index())
+                    .ok_or(ChipError::UnknownDie(die))?;
+                if q.index() >= chip.num_qubits() {
+                    return Err(ChipError::UnknownQubit(q));
+                }
+            }
+            if link.a.0 == link.b.0 {
+                return Err(ChipError::IntraDieLink(link.a.0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable array name (e.g. `"heavy-hexagon-4x5-2x2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dies in the array.
+    pub fn num_dies(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// Array rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The per-die layouts, in [`DieId`] order (template-local
+    /// coordinates).
+    pub fn dies(&self) -> &[Chip] {
+        &self.dies
+    }
+
+    /// Looks up one die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownDie`] when the id is out of range.
+    pub fn die(&self, id: DieId) -> Result<&Chip, ChipError> {
+        self.dies.get(id.index()).ok_or(ChipError::UnknownDie(id))
+    }
+
+    /// Iterates over all die ids in order.
+    pub fn die_ids(&self) -> impl ExactSizeIterator<Item = DieId> {
+        (0..self.dies.len() as u32).map(DieId::new)
+    }
+
+    /// Cryostat-frame origin of a die (where its local `(0, 0)` sits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn origin(&self, id: DieId) -> Position {
+        self.origins[id.index()]
+    }
+
+    /// All inter-chiplet links.
+    pub fn links(&self) -> &[InterDieLink] {
+        &self.links
+    }
+
+    /// Links with at least one endpoint on `die`.
+    pub fn links_of_die(&self, die: DieId) -> impl Iterator<Item = &InterDieLink> {
+        self.links.iter().filter(move |l| l.touches(die))
+    }
+
+    /// The array's link topology.
+    pub fn link_topology(&self) -> LinkTopology {
+        self.link_topology
+    }
+
+    /// Total qubits across all dies.
+    pub fn total_qubits(&self) -> usize {
+        self.dies.iter().map(Chip::num_qubits).sum()
+    }
+
+    /// Total Z-controlled devices across all dies.
+    pub fn total_z_devices(&self) -> usize {
+        self.dies.iter().map(Chip::num_z_devices).sum()
+    }
+
+    /// First qubit index of each die in a flattened global numbering
+    /// (die qubits concatenated in die order), plus the total as a final
+    /// sentinel entry.
+    pub fn qubit_bases(&self) -> Vec<usize> {
+        let mut bases = Vec::with_capacity(self.dies.len() + 1);
+        let mut base = 0;
+        for die in &self.dies {
+            bases.push(base);
+            base += die.num_qubits();
+        }
+        bases.push(base);
+        bases
+    }
+}
+
+impl fmt::Display for MultiDieChip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}x{} dies, {} qubits, {} links, {})",
+            self.name,
+            self.rows,
+            self.cols,
+            self.total_qubits(),
+            self.links.len(),
+            self.link_topology
+        )
+    }
+}
+
+enum Edge {
+    Left,
+    Right,
+    Top,
+    Bottom,
+}
+
+/// Boundary qubits of `chip` along one edge, sorted by the coordinate
+/// running along the edge (ties broken by qubit id, which is already
+/// the iteration order).
+fn edge_qubits(chip: &Chip, edge: Edge) -> Vec<QubitId> {
+    let bb = chip.bounding_box();
+    let mut qubits: Vec<(f64, QubitId)> = chip
+        .qubits()
+        .filter_map(|q| {
+            let p = q.position();
+            let (on_edge, along) = match edge {
+                Edge::Left => ((p.x - bb.min.x).abs() < EDGE_EPS_MM, p.y),
+                Edge::Right => ((p.x - bb.max.x).abs() < EDGE_EPS_MM, p.y),
+                Edge::Top => ((p.y - bb.min.y).abs() < EDGE_EPS_MM, p.x),
+                Edge::Bottom => ((p.y - bb.max.y).abs() < EDGE_EPS_MM, p.x),
+            };
+            on_edge.then_some((along, q.id()))
+        })
+        .collect();
+    qubits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    qubits.into_iter().map(|(_, q)| q).collect()
+}
+
+/// Up to `k` indices spread evenly across `0..n`, deduplicated and
+/// ascending (the deterministic link-placement policy).
+fn spread_indices(n: usize, k: usize) -> Vec<usize> {
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n).collect();
+    }
+    if k == 1 {
+        return vec![n / 2];
+    }
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let idx = i * (n - 1) / (k - 1);
+        if out.last() != Some(&idx) {
+            out.push(idx);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn tile_clones_template_per_die() {
+        let die = topology::square_grid(3, 3);
+        let array = MultiDieChip::tile(&die, 2, 3, LinkTopology::Grid).unwrap();
+        assert_eq!(array.num_dies(), 6);
+        assert_eq!(array.total_qubits(), 54);
+        assert_eq!(array.total_z_devices(), 6 * die.num_z_devices());
+        for d in array.dies() {
+            // Template-local coordinates: every die is the template.
+            assert_eq!(d, &die);
+        }
+        assert_eq!(array.qubit_bases(), vec![0, 9, 18, 27, 36, 45, 54]);
+    }
+
+    #[test]
+    fn origins_tile_without_overlap() {
+        let die = topology::square_grid(3, 3);
+        let array = MultiDieChip::tile(&die, 2, 2, LinkTopology::Grid).unwrap();
+        let w = die.bounding_box().width() + DIE_GAP_MM;
+        let h = die.bounding_box().height() + DIE_GAP_MM;
+        assert_eq!(array.origin(DieId::new(0)), Position::new(0.0, 0.0));
+        assert_eq!(array.origin(DieId::new(1)), Position::new(w, 0.0));
+        assert_eq!(array.origin(DieId::new(2)), Position::new(0.0, h));
+        assert_eq!(array.origin(DieId::new(3)), Position::new(w, h));
+    }
+
+    #[test]
+    fn grid_links_connect_facing_edges_only() {
+        let die = topology::square_grid(3, 3);
+        let array = MultiDieChip::tile(&die, 2, 2, LinkTopology::Grid).unwrap();
+        // 4 internal edges × DEFAULT_LINKS_PER_EDGE.
+        assert_eq!(array.links().len(), 4 * DEFAULT_LINKS_PER_EDGE);
+        for link in array.links() {
+            assert_ne!(link.a.0, link.b.0);
+            assert!((link.xtalk - DEFAULT_LINK_XTALK).abs() < 1e-12);
+            assert!((link.latency_ns - DEFAULT_LINK_LATENCY_NS).abs() < 1e-12);
+        }
+        // Every die touches at least one link.
+        for d in array.die_ids() {
+            assert!(array.links_of_die(d).count() > 0, "die {d} isolated");
+        }
+    }
+
+    #[test]
+    fn isolated_topology_has_no_links() {
+        let die = topology::square_grid(2, 2);
+        let array = MultiDieChip::tile(&die, 2, 2, LinkTopology::Isolated).unwrap();
+        assert!(array.links().is_empty());
+    }
+
+    #[test]
+    fn torus_wraps_only_dimensions_longer_than_two() {
+        let die = topology::square_grid(3, 3);
+        let small = MultiDieChip::tile(&die, 1, 2, LinkTopology::Torus).unwrap();
+        let grid = MultiDieChip::tile(&die, 1, 2, LinkTopology::Grid).unwrap();
+        assert_eq!(small.links().len(), grid.links().len());
+        let ring = MultiDieChip::tile(&die, 1, 3, LinkTopology::Torus).unwrap();
+        let open = MultiDieChip::tile(&die, 1, 3, LinkTopology::Grid).unwrap();
+        assert_eq!(
+            ring.links().len(),
+            open.links().len() + DEFAULT_LINKS_PER_EDGE
+        );
+    }
+
+    #[test]
+    fn single_die_array_has_no_links() {
+        let die = topology::heavy_hexagon(1, 2);
+        let array = MultiDieChip::tile(&die, 1, 1, LinkTopology::Grid).unwrap();
+        assert_eq!(array.num_dies(), 1);
+        assert!(array.links().is_empty());
+        assert_eq!(array.dies()[0], die);
+    }
+
+    #[test]
+    fn bad_links_rejected() {
+        let die = topology::square_grid(2, 2);
+        let self_link = MultiDieChip::from_dies(
+            "bad",
+            vec![die.clone(), die.clone()],
+            vec![InterDieLink::new(
+                (DieId::new(0), 0u32.into()),
+                (DieId::new(0), 1u32.into()),
+            )],
+        );
+        assert!(matches!(self_link, Err(ChipError::IntraDieLink(_))));
+        let dangling_die = MultiDieChip::from_dies(
+            "bad",
+            vec![die.clone()],
+            vec![InterDieLink::new(
+                (DieId::new(0), 0u32.into()),
+                (DieId::new(7), 1u32.into()),
+            )],
+        );
+        assert!(matches!(dangling_die, Err(ChipError::UnknownDie(_))));
+        let dangling_qubit = MultiDieChip::from_dies(
+            "bad",
+            vec![die.clone(), die],
+            vec![InterDieLink::new(
+                (DieId::new(0), 99u32.into()),
+                (DieId::new(1), 0u32.into()),
+            )],
+        );
+        assert!(matches!(dangling_qubit, Err(ChipError::UnknownQubit(_))));
+        assert!(matches!(
+            MultiDieChip::from_dies("e", vec![], vec![]),
+            Err(ChipError::Empty)
+        ));
+    }
+
+    #[test]
+    fn link_topology_names_roundtrip() {
+        for t in [
+            LinkTopology::Grid,
+            LinkTopology::Torus,
+            LinkTopology::Isolated,
+        ] {
+            assert_eq!(LinkTopology::parse(t.name()), Some(t));
+        }
+        assert_eq!(LinkTopology::parse("mesh"), None);
+    }
+
+    #[test]
+    fn spread_indices_are_even_and_deduped() {
+        assert_eq!(spread_indices(5, 2), vec![0, 4]);
+        assert_eq!(spread_indices(5, 3), vec![0, 2, 4]);
+        assert_eq!(spread_indices(3, 8), vec![0, 1, 2]);
+        assert_eq!(spread_indices(4, 1), vec![2]);
+        assert_eq!(spread_indices(1, 3), vec![0]);
+        assert!(spread_indices(0, 2).is_empty());
+        assert!(spread_indices(4, 0).is_empty());
+    }
+
+    #[test]
+    fn heavy_hex_edges_are_nonempty() {
+        let die = topology::heavy_hexagon(4, 5);
+        for edge in [Edge::Left, Edge::Right, Edge::Top, Edge::Bottom] {
+            assert!(!edge_qubits(&die, edge).is_empty());
+        }
+    }
+}

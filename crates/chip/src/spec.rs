@@ -77,17 +77,40 @@ impl ChipSpec {
 
     /// Builds a validated [`Chip`] from the spec.
     ///
-    /// Unrecognized role strings fall back to
-    /// [`QubitRole::Generic`].
+    /// Role strings are parsed **strictly**: an unrecognized role is a
+    /// [`ChipError::UnknownRole`], so a typo in a hand-written (e.g.
+    /// multi-die) spec surfaces instead of silently planning the qubit
+    /// as [`QubitRole::Generic`]. The documented lenient fallback lives
+    /// behind [`to_chip_lenient`](Self::to_chip_lenient).
     ///
     /// # Errors
     ///
     /// Propagates [`ChipError`] for empty specs, dangling coupler
-    /// indices, self-couplings or duplicate couplers.
+    /// indices, self-couplings, duplicate couplers or unknown roles.
     pub fn to_chip(&self) -> Result<Chip, ChipError> {
+        self.build_chip(false)
+    }
+
+    /// [`to_chip`](Self::to_chip) with the legacy lenient role
+    /// handling: unrecognized role strings fall back to
+    /// [`QubitRole::Generic`] instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`ChipError`] except `UnknownRole`.
+    pub fn to_chip_lenient(&self) -> Result<Chip, ChipError> {
+        self.build_chip(true)
+    }
+
+    fn build_chip(&self, lenient: bool) -> Result<Chip, ChipError> {
         let mut b = ChipBuilder::new(self.name.clone(), TopologyKind::Custom);
         for q in &self.qubits {
-            b = b.qubit_with_role(Position::new(q.x, q.y), parse_role(&q.role));
+            let role = match parse_role(&q.role) {
+                Some(role) => role,
+                None if lenient => QubitRole::Generic,
+                None => return Err(ChipError::UnknownRole(q.role.clone())),
+            };
+            b = b.qubit_with_role(Position::new(q.x, q.y), role);
         }
         for &(a, z) in &self.couplers {
             b = b.coupler(a.into(), z.into());
@@ -105,12 +128,13 @@ fn role_name(role: QubitRole) -> &'static str {
     }
 }
 
-fn parse_role(s: &str) -> QubitRole {
+fn parse_role(s: &str) -> Option<QubitRole> {
     match s {
-        "data" => QubitRole::Data,
-        "ancilla_x" => QubitRole::AncillaX,
-        "ancilla_z" => QubitRole::AncillaZ,
-        _ => QubitRole::Generic,
+        "generic" => Some(QubitRole::Generic),
+        "data" => Some(QubitRole::Data),
+        "ancilla_x" => Some(QubitRole::AncillaX),
+        "ancilla_z" => Some(QubitRole::AncillaZ),
+        _ => None,
     }
 }
 
@@ -178,7 +202,14 @@ mod tests {
             }],
             couplers: vec![],
         };
-        let chip = spec.to_chip().unwrap();
+        // Strict mode (the default): a typo'd role is a structured error
+        // naming the offending string.
+        match spec.to_chip() {
+            Err(ChipError::UnknownRole(role)) => assert_eq!(role, "mystery"),
+            other => panic!("expected UnknownRole, got {other:?}"),
+        }
+        // The documented fallback only applies in explicit lenient mode.
+        let chip = spec.to_chip_lenient().unwrap();
         assert_eq!(chip.qubit(0u32.into()).unwrap().role(), QubitRole::Generic);
     }
 

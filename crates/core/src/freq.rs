@@ -143,6 +143,22 @@ impl FrequencyPlan {
         &self.freqs_ghz
     }
 
+    /// Swaps the complete assignments (frequency **and** zone) of two
+    /// qubits.
+    ///
+    /// Swapping within one FDM line preserves every in-line invariant —
+    /// the line's multiset of (frequency, zone) assignments is unchanged
+    /// — which is what the multi-die link reconciliation relies on to
+    /// fix cross-die collisions without replanning a die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn swap_assignments(&mut self, a: QubitId, b: QubitId) {
+        self.freqs_ghz.swap(a.index(), b.index());
+        self.zone_of.swap(a.index(), b.index());
+    }
+
     /// The global crosstalk objective: the sum over qubit pairs of
     /// predicted crosstalk scaled by spectral proximity.
     pub fn objective(&self, xtalk: &DistanceMatrix) -> f64 {

@@ -42,6 +42,7 @@ pub mod fdm;
 pub mod freq;
 pub mod freq_kernels;
 pub mod kernels;
+pub mod multi;
 pub mod partition;
 pub mod plan;
 pub mod refine;
@@ -60,6 +61,10 @@ pub use crate::freq::{
 };
 pub use crate::freq_kernels::{BandLattice, FreqKernels, ScalingTable};
 pub use crate::kernels::{DeviceIndex, PairKernels};
+pub use crate::multi::{
+    die_seed, plan_multi, BudgetPartition, CryostatBudget, DiePlan, MultiPlanConfig,
+    MultiPlanOutcome, ReconcileStats,
+};
 pub use crate::partition::{partition_chip, Partition, PartitionConfig};
 pub use crate::plan::{PlannerConfig, WiringPlan, YoutiaoPlanner};
 pub use crate::refine::{refine_tdm_groups, RefineConfig};

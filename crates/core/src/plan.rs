@@ -155,6 +155,19 @@ impl WiringPlan {
         &self.readout_frequency_plan
     }
 
+    /// Mutable access to the XY frequency assignment, for post-plan
+    /// adjustments that preserve the per-line invariants (the multi-die
+    /// link reconciliation swaps assignments within one FDM line).
+    pub fn frequency_plan_mut(&mut self) -> &mut FrequencyPlan {
+        &mut self.frequency_plan
+    }
+
+    /// Mutable access to the readout frequency assignment; see
+    /// [`frequency_plan_mut`](Self::frequency_plan_mut).
+    pub fn readout_frequency_plan_mut(&mut self) -> &mut FrequencyPlan {
+        &mut self.readout_frequency_plan
+    }
+
     /// The chip partition used, if any.
     pub fn partition(&self) -> Option<&Partition> {
         self.partition.as_ref()

@@ -66,6 +66,28 @@ impl WiringTally {
         }
     }
 
+    /// Field-wise sum over tallies — wiring resources are additive
+    /// across the dies of one cryostat, so a chiplet array's tally is
+    /// the sum of its per-die tallies.
+    pub fn sum(tallies: impl IntoIterator<Item = WiringTally>) -> Self {
+        tallies.into_iter().fold(
+            WiringTally {
+                xy_lines: 0,
+                z_lines: 0,
+                readout_feedlines: 0,
+                readout_dacs: 0,
+                demux_select_lines: 0,
+            },
+            |a, t| WiringTally {
+                xy_lines: a.xy_lines + t.xy_lines,
+                z_lines: a.z_lines + t.z_lines,
+                readout_feedlines: a.readout_feedlines + t.readout_feedlines,
+                readout_dacs: a.readout_dacs + t.readout_dacs,
+                demux_select_lines: a.demux_select_lines + t.demux_select_lines,
+            },
+        )
+    }
+
     /// Total coaxial cryostat lines (XY + Z + readout feedlines) — the
     /// paper's "coaxial wiring" figure.
     pub fn coax_lines(&self) -> usize {

@@ -25,6 +25,6 @@ pub mod validate;
 
 pub use trace::{Span, Trace, TraceSpan, Tracer};
 pub use validate::{
-    check_frequencies, check_plan, check_plan_with_activity, check_routing, check_tdm_groups,
-    ValidationReport, Violation,
+    check_frequencies, check_multi_plan, check_plan, check_plan_with_activity, check_routing,
+    check_tdm_groups, ValidationReport, Violation,
 };

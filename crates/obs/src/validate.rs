@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use youtiao_chip::multi::MultiDieChip;
 use youtiao_chip::{Chip, DeviceId, QubitId};
 use youtiao_core::fdm::FdmLine;
 use youtiao_core::freq::{FreqConfig, FrequencyPlan};
@@ -147,6 +148,123 @@ pub fn check_plan_with_activity(
         &config.readout_freq,
         "readout",
     ));
+    report
+}
+
+/// Validates a multi-die chiplet plan: every per-die plan passes
+/// [`check_plan`] (violations prefixed `die {i}:`), plus the cross-die
+/// invariants the stitched cryostat plan adds:
+///
+/// * **link-zone** — inter-chiplet link endpoints must not share a
+///   frequency zone (the zoned band-pass filtering that suppresses
+///   same-line crosstalk also governs linked qubits on facing dies);
+/// * **link-spacing** — link endpoints keep at least one cell of
+///   spectral spacing, like same-line neighbours;
+/// * **die-budget** — when a [`BudgetPartition`] allowance split is
+///   supplied, each die's coax requirement fits its allowance.
+///
+/// Link checks mirror [`check_frequencies`] semantics per band: a band
+/// under a tuning-range constraint (post-fabrication retune) skips
+/// them, and zones are only comparable when both dies use the same zone
+/// count.
+///
+/// [`BudgetPartition`]: youtiao_core::BudgetPartition
+pub fn check_multi_plan(
+    mdc: &MultiDieChip,
+    plans: &[&WiringPlan],
+    config: &PlannerConfig,
+    allowances: Option<&[usize]>,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    if plans.len() != mdc.num_dies() {
+        report.push(
+            "die-coverage",
+            format!(
+                "{} die plan(s) supplied for a {}-die array",
+                plans.len(),
+                mdc.num_dies()
+            ),
+        );
+        return report;
+    }
+
+    for (i, (chip, plan)) in mdc.dies().iter().zip(plans).enumerate() {
+        let die_report = check_plan(chip, plan, config);
+        for v in die_report.violations {
+            report.push(&v.rule, format!("die {i}: {}", v.message));
+        }
+    }
+
+    for (label, freq, get) in [
+        (
+            "xy",
+            &config.freq,
+            (|p: &WiringPlan| p.frequency_plan()) as fn(&WiringPlan) -> &FrequencyPlan,
+        ),
+        (
+            "readout",
+            &config.readout_freq,
+            (|p: &WiringPlan| p.readout_frequency_plan()) as fn(&WiringPlan) -> &FrequencyPlan,
+        ),
+    ] {
+        if freq.tuning_range_ghz.is_some() {
+            continue;
+        }
+        let min_spacing = freq.cell_mhz / 1000.0 - EPS_GHZ;
+        for link in mdc.links() {
+            let (pa, pb) = (get(plans[link.a.0.index()]), get(plans[link.b.0.index()]));
+            let (qa, qb) = (link.a.1, link.b.1);
+            if pa.zones() == pb.zones() && pa.zone_of(qa) == pb.zone_of(qb) {
+                report.push(
+                    "link-zone",
+                    format!(
+                        "{label}: link {}:{qa} -> {}:{qb} endpoints share zone {}",
+                        link.a.0,
+                        link.b.0,
+                        pa.zone_of(qa)
+                    ),
+                );
+            }
+            let df = (pa.frequency_ghz(qa) - pb.frequency_ghz(qb)).abs();
+            if df < min_spacing {
+                report.push(
+                    "link-spacing",
+                    format!(
+                        "{label}: link {}:{qa} -> {}:{qb} endpoints are {:.1} MHz apart (< {} MHz cell)",
+                        link.a.0,
+                        link.b.0,
+                        df * 1000.0,
+                        freq.cell_mhz
+                    ),
+                );
+            }
+        }
+    }
+
+    if let Some(allowances) = allowances {
+        if allowances.len() != plans.len() {
+            report.push(
+                "die-budget",
+                format!(
+                    "{} allowance(s) supplied for {} die(s)",
+                    allowances.len(),
+                    plans.len()
+                ),
+            );
+        }
+        for (i, (plan, &allowance)) in plans.iter().zip(allowances).enumerate() {
+            let required = plan.num_xy_lines() + plan.num_z_lines() + plan.num_readout_lines();
+            if required > allowance {
+                report.push(
+                    "die-budget",
+                    format!(
+                        "die {i} requires {required} coax lines but its cryostat allowance is {allowance}"
+                    ),
+                );
+            }
+        }
+    }
+
     report
 }
 
@@ -571,6 +689,111 @@ mod tests {
         let plan = FrequencyPlan::from_frequencies(vec![4.105, 4.106], 2, vec![0, 0]);
         let report = check_frequencies(&chip, &plan, &lines, &FreqConfig::retuning(), "xy");
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn reconciled_multi_plan_is_clean() {
+        use youtiao_chip::multi::LinkTopology;
+        use youtiao_core::{plan_multi, MultiPlanConfig, ParallelExec};
+
+        let die = topology::square_grid(4, 4);
+        let mdc = MultiDieChip::tile(&die, 2, 2, LinkTopology::Grid).unwrap();
+        let config = MultiPlanConfig::default();
+        let outcome = plan_multi(&mdc, &config, &ParallelExec::serial()).unwrap();
+        let report = check_multi_plan(&mdc, &outcome.plans(), &config.planner, None);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn unreconciled_identical_dies_flag_link_collisions() {
+        use youtiao_chip::multi::DieId;
+        use youtiao_chip::multi::InterDieLink;
+
+        let die = topology::square_grid(4, 4);
+        // A link between the *same* qubit id on two identical dies: with
+        // identical plans both endpoints carry identical assignments, so
+        // the link violates both zone and spacing rules.
+        let mdc = MultiDieChip::from_dies(
+            "collide",
+            vec![die.clone(), die.clone()],
+            vec![InterDieLink::new(
+                (DieId::new(0), 0u32.into()),
+                (DieId::new(1), 0u32.into()),
+            )],
+        )
+        .unwrap();
+        let config = PlannerConfig::default();
+        let plan = YoutiaoPlanner::new(&die)
+            .with_config(config.clone())
+            .plan()
+            .unwrap();
+        let report = check_multi_plan(&mdc, &[&plan, &plan], &config, None);
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"link-zone"), "{}", report.render());
+        assert!(rules.contains(&"link-spacing"), "{}", report.render());
+    }
+
+    #[test]
+    fn die_budget_overrun_flagged() {
+        use youtiao_chip::multi::LinkTopology;
+        use youtiao_core::{plan_multi, MultiPlanConfig, ParallelExec};
+
+        let die = topology::square_grid(3, 3);
+        let mdc = MultiDieChip::tile(&die, 1, 2, LinkTopology::Isolated).unwrap();
+        let config = MultiPlanConfig::default();
+        let outcome = plan_multi(&mdc, &config, &ParallelExec::serial()).unwrap();
+        let plans = outcome.plans();
+        // A 1-line allowance per die cannot cover XY + Z + readout.
+        let report = check_multi_plan(&mdc, &plans, &config.planner, Some(&[1, 1]));
+        assert!(
+            report.violations.iter().all(|v| v.rule == "die-budget"),
+            "{}",
+            report.render()
+        );
+        assert_eq!(report.len(), 2, "{}", report.render());
+        // A generous allowance is clean.
+        let report = check_multi_plan(&mdc, &plans, &config.planner, Some(&[100, 100]));
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn die_count_mismatch_flagged() {
+        use youtiao_chip::multi::LinkTopology;
+
+        let die = topology::square_grid(3, 3);
+        let mdc = MultiDieChip::tile(&die, 1, 2, LinkTopology::Grid).unwrap();
+        let plan = YoutiaoPlanner::new(&die).plan().unwrap();
+        let report = check_multi_plan(&mdc, &[&plan], &PlannerConfig::default(), None);
+        assert_eq!(report.violations[0].rule, "die-coverage");
+    }
+
+    #[test]
+    fn per_die_violations_are_prefixed() {
+        use youtiao_chip::multi::LinkTopology;
+
+        let die = topology::square_grid(3, 3);
+        let mdc = MultiDieChip::tile(&die, 1, 2, LinkTopology::Isolated).unwrap();
+        // Die 1's plan was built with a looser FDM capacity, so under
+        // the default config only its violations appear — and they must
+        // name die 1.
+        let good = YoutiaoPlanner::new(&die).plan().unwrap();
+        let bad = YoutiaoPlanner::new(&die)
+            .with_config(PlannerConfig {
+                fdm_capacity: 9,
+                ..Default::default()
+            })
+            .plan()
+            .unwrap();
+        let report = check_multi_plan(&mdc, &[&good, &bad], &PlannerConfig::default(), None);
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|v| v.message.starts_with("die 1:")),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

@@ -115,6 +115,16 @@ impl AdmissionController {
         self.state.lock().unwrap().in_flight
     }
 
+    /// Clients currently holding in-flight jobs — the size of the
+    /// per-client accounting map. Bounded by *live* clients, not by
+    /// clients ever seen: [`AdmissionController::finish`] prunes a
+    /// client's entry when its last job completes, so a long-lived
+    /// daemon session does not accumulate an entry per client that
+    /// ever connected.
+    pub fn tracked_clients(&self) -> usize {
+        self.state.lock().unwrap().per_client.len()
+    }
+
     /// Would admitting one more job for `client` exceed the queue bound
     /// or the client's in-flight cap? When `true`, the caller should
     /// drain a completion (counting a backpressure wait via
@@ -252,6 +262,58 @@ mod tests {
         // estimate matches the real-depth case above exactly.
         assert_eq!(ctl.should_shed(Some(20), 4), Some(25.0));
         assert_eq!(ctl.should_shed(Some(20), 0), None);
+    }
+
+    #[test]
+    fn per_client_map_stays_bounded_under_client_churn() {
+        // Soak regression guard for a daemon memory leak: 1k distinct
+        // clients come and go over one session; the per-client map must
+        // track only the live set, never grow with the population ever
+        // seen.
+        let ctl = controller(8, 4, 0.0, 2);
+        let mut peak = 0;
+        for wave in 0..250 {
+            let names: Vec<String> = (0..4).map(|i| format!("client-{}", wave * 4 + i)).collect();
+            for name in &names {
+                ctl.begin(name);
+                ctl.begin(name);
+            }
+            peak = peak.max(ctl.tracked_clients());
+            for name in &names {
+                ctl.finish(name);
+                ctl.finish(name);
+            }
+            assert_eq!(
+                ctl.tracked_clients(),
+                0,
+                "wave {wave} leaked client entries"
+            );
+        }
+        assert!(
+            peak <= 4,
+            "peak tracked clients {peak} exceeds the live set"
+        );
+        assert_eq!(ctl.stats().admitted, 2000);
+        assert_eq!(ctl.in_flight(), 0);
+    }
+
+    #[test]
+    fn cost_estimate_boundary_is_pinned_at_zero() {
+        // `est_ms` at or below zero disables shedding entirely; the
+        // smallest positive value enables it. The CLI rejects negative
+        // `--est-ms` at parse time, so a negative here can only come
+        // from direct construction — and must still fail safe (never
+        // shed) rather than produce nonsense negative estimates.
+        for est in [0.0, -0.0, -1.0, f64::NEG_INFINITY] {
+            let ctl = controller(100, 0, est, 1);
+            ctl.begin("c");
+            assert_eq!(ctl.should_shed(Some(0), 0), None, "est_ms {est}");
+        }
+        let ctl = controller(100, 0, f64::MIN_POSITIVE, 1);
+        assert!(
+            ctl.should_shed(Some(0), 0).is_some(),
+            "any positive estimate beats a 0 ms deadline"
+        );
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub use metrics::{RepairStats, ServeMetrics, ShardStat, StageStat};
 pub use pool::{effective_plan_threads, AttemptCtx, Executor, PoolOptions, WorkerPool};
 pub use proto::{DaemonRequest, Frame, FramedReader, OpKind};
 pub use request::{
-    synthetic_drift, ActivityOverride, ChipRequest, DeltaSpec, DesignRequest, DriftEntry,
-    RequestError, DEFAULT_SEED,
+    near_square, synthetic_drift, ActivityOverride, ChipRequest, DeltaSpec, DesignRequest,
+    DriftEntry, RequestError, DEFAULT_SEED,
 };
 pub use shard::{shard_file, shard_of_key, ShardedCache};
 pub use youtiao_obs::{Trace, TraceSpan, Tracer};

@@ -8,6 +8,7 @@
 //! PlannerConfig, seed)` itself so the worker pool and cache stay
 //! independent of the facade crate.
 
+use youtiao_chip::multi::{LinkTopology, MultiDieChip};
 use youtiao_chip::spec::ChipSpec;
 use youtiao_chip::surface::SurfaceCode;
 use youtiao_chip::{topology, Chip, ChipError};
@@ -80,6 +81,13 @@ pub struct ChipRequest {
     pub distance: Option<usize>,
     /// Inline chip description; overrides `topology`.
     pub spec: Option<ChipSpec>,
+    /// Number of chiplet dies: the single-die chip this request
+    /// otherwise describes becomes the per-die template, tiled into a
+    /// near-square array. Absent or `1` plans monolithically.
+    pub chiplets: Option<usize>,
+    /// Inter-chiplet link topology (`"grid"`, `"torus"`, `"isolated"`);
+    /// default `grid`. Only meaningful with `chiplets` > 1.
+    pub link_topology: Option<String>,
 }
 
 impl ChipRequest {
@@ -92,6 +100,8 @@ impl ChipRequest {
             size: None,
             distance: None,
             spec: None,
+            chiplets: None,
+            link_topology: None,
         }
     }
 
@@ -144,6 +154,56 @@ impl ChipRequest {
         };
         Ok(chip)
     }
+
+    /// Whether this request describes a multi-die chiplet array.
+    pub fn is_multi(&self) -> bool {
+        self.chiplets.unwrap_or(1) > 1
+    }
+
+    /// The effective link-topology name (default `"grid"`).
+    pub fn link_topology_name(&self) -> &str {
+        self.link_topology.as_deref().unwrap_or("grid")
+    }
+
+    /// Builds the chiplet array this request describes: the single-die
+    /// chip ([`build`](Self::build)) as the template, tiled into the
+    /// near-square `chiplets`-die array (rows = the largest divisor ≤
+    /// √n, so 4 → 2×2, 6 → 2×3, 5 → 1×5).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`build`](Self::build) returns, plus
+    /// [`RequestError::BadParameter`] for `chiplets` = 0 or an unknown
+    /// link-topology name.
+    pub fn build_multi(&self) -> Result<MultiDieChip, RequestError> {
+        let template = self.build()?;
+        let n = self.chiplets.unwrap_or(1);
+        if n == 0 {
+            return Err(RequestError::BadParameter("chiplets must be positive"));
+        }
+        let link_topology = LinkTopology::parse(self.link_topology_name()).ok_or(
+            RequestError::BadParameter("link_topology must be grid, torus or isolated"),
+        )?;
+        let (rows, cols) = near_square(n);
+        Ok(MultiDieChip::tile(&template, rows, cols, link_topology)?)
+    }
+}
+
+/// The near-square R×C factorization of `n`: rows is the largest
+/// divisor of `n` that is ≤ √n (4 → 2×2, 6 → 2×3, 5 → 1×5). This is
+/// the tiling shape used everywhere a bare die count becomes a chiplet
+/// array — requests, sweeps and the CLI agree on it.
+pub fn near_square(n: usize) -> (usize, usize) {
+    let mut rows = 1;
+    for r in 2..=n {
+        if r * r > n {
+            break;
+        }
+        if n.is_multiple_of(r) {
+            rows = r;
+        }
+    }
+    (rows, n / rows)
 }
 
 /// One synthetic crosstalk-drift entry in a [`DeltaSpec`]: the
@@ -231,6 +291,10 @@ pub struct DesignRequest {
     pub routing: Option<bool>,
     /// Per-job deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Shared cryostat coax budget to partition across dies (multi-die
+    /// requests only; validation flags dies whose requirement exceeds
+    /// their allowance).
+    pub coax_budget: Option<usize>,
     /// Expected base content-address (the hex form of
     /// [`base_key`](Self::base_key)). Optional guard for delta
     /// requests: when set and it disagrees with the server's computed
@@ -256,6 +320,7 @@ impl DesignRequest {
             refine: None,
             routing: None,
             deadline_ms: None,
+            coax_budget: None,
             base: None,
             delta: None,
         }
@@ -328,7 +393,19 @@ impl DesignRequest {
             ),
             self.refine.unwrap_or(false),
         );
-        Ok(content_key(&(spec, knobs)))
+        let key = content_key(&(spec, knobs));
+        // Multi-die parameters fold in only when the request is actually
+        // multi-die, so every pre-chiplet request keeps its historical
+        // content-address (warm caches and pinned hashes stay valid).
+        if self.chip.is_multi() {
+            let multi = (
+                self.chip.chiplets.unwrap_or(1) as u64,
+                self.chip.link_topology_name().to_string(),
+                self.coax_budget.map(|b| b as u64),
+            );
+            return Ok(content_key(&(key, multi)));
+        }
+        Ok(key)
     }
 
     /// The content-address of this request's computation: a stable hash
@@ -407,11 +484,7 @@ mod tests {
     fn bad_requests_are_classified() {
         let missing = ChipRequest {
             topology: None,
-            rows: None,
-            cols: None,
-            size: None,
-            distance: None,
-            spec: None,
+            ..ChipRequest::named("")
         };
         assert_eq!(missing.build().unwrap_err(), RequestError::MissingChip);
         assert!(matches!(
@@ -565,6 +638,76 @@ mod tests {
         // Unresolvable chips pass through untouched.
         let bad = DesignRequest::new(ChipRequest::named("klein-bottle"));
         assert_eq!(synthetic_drift(&bad, 7), bad);
+    }
+
+    #[test]
+    fn chiplet_requests_tile_near_square() {
+        assert_eq!(near_square(1), (1, 1));
+        assert_eq!(near_square(4), (2, 2));
+        assert_eq!(near_square(5), (1, 5));
+        assert_eq!(near_square(6), (2, 3));
+        assert_eq!(near_square(10), (2, 5));
+        assert_eq!(near_square(25), (5, 5));
+
+        let mut request = ChipRequest::grid("heavy-hexagon", 2, 2);
+        assert!(!request.is_multi());
+        request.chiplets = Some(4);
+        assert!(request.is_multi());
+        let mdc = request.build_multi().unwrap();
+        assert_eq!(mdc.num_dies(), 4);
+        assert_eq!((mdc.rows(), mdc.cols()), (2, 2));
+        assert_eq!(
+            mdc.total_qubits(),
+            4 * request.build().unwrap().num_qubits()
+        );
+
+        request.link_topology = Some("isolated".into());
+        assert!(request.build_multi().unwrap().links().is_empty());
+        request.link_topology = Some("mesh".into());
+        assert!(matches!(
+            request.build_multi().unwrap_err(),
+            RequestError::BadParameter(_)
+        ));
+        request.link_topology = None;
+        request.chiplets = Some(0);
+        assert!(matches!(
+            request.build_multi().unwrap_err(),
+            RequestError::BadParameter(_)
+        ));
+    }
+
+    #[test]
+    fn chiplet_knobs_fold_into_the_key_only_when_multi() {
+        let mono = DesignRequest::new(ChipRequest::grid("square", 3, 3));
+        // chiplets = 1 (explicit or absent) is the monolithic request:
+        // identical content-address.
+        let mut one = mono.clone();
+        one.chip.chiplets = Some(1);
+        one.chip.link_topology = Some("grid".into());
+        assert_eq!(mono.base_key().unwrap(), one.base_key().unwrap());
+
+        let mut four = mono.clone();
+        four.chip.chiplets = Some(4);
+        assert_ne!(mono.base_key().unwrap(), four.base_key().unwrap());
+
+        let mut torus = four.clone();
+        torus.chip.link_topology = Some("torus".into());
+        assert_ne!(four.base_key().unwrap(), torus.base_key().unwrap());
+
+        let mut budgeted = four.clone();
+        budgeted.coax_budget = Some(120);
+        assert_ne!(four.base_key().unwrap(), budgeted.base_key().unwrap());
+        // The budget is a multi-die knob: it does not disturb monolithic
+        // keys.
+        let mut mono_budget = mono.clone();
+        mono_budget.coax_budget = Some(120);
+        assert_eq!(mono.base_key().unwrap(), mono_budget.base_key().unwrap());
+
+        // Old request lines without the new fields still parse.
+        let old: DesignRequest =
+            serde_json::from_str(r#"{"chip":{"topology":"square"},"theta":5.0}"#).unwrap();
+        assert!(!old.chip.is_multi());
+        assert!(old.coax_budget.is_none());
     }
 
     #[test]

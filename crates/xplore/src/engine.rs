@@ -34,11 +34,14 @@ use youtiao_chip::{Chip, ChipSpec, QubitId};
 use youtiao_core::fdm::FdmLine;
 use youtiao_core::freq::{allocate_frequencies, FreqConfig};
 use youtiao_core::tdm::DemuxLevel;
-use youtiao_core::{PairKernels, PartitionConfig, PlanContext, PlannerConfig, YoutiaoPlanner};
+use youtiao_core::{
+    die_seed, plan_multi, MultiPlanConfig, PairKernels, ParallelExec, PartitionConfig, PlanContext,
+    PlannerConfig, YoutiaoPlanner,
+};
 use youtiao_cost::WiringTally;
 use youtiao_noise::CrosstalkModel;
 use youtiao_serve::cache::content_key;
-use youtiao_serve::PlanCache;
+use youtiao_serve::{ChipRequest, PlanCache};
 
 use crate::eval::{characterize_xy, default_simulator, per_qubit_gate_error, FdmScenario};
 use crate::grid::{GridPoint, SweepGrid};
@@ -251,6 +254,7 @@ pub struct SweepOutcome {
 struct ChipCtx {
     label: String,
     chip: Chip,
+    request: ChipRequest,
     spec_key: u64,
     model: Option<CrosstalkModel>,
     plan_ctx: PlanContext,
@@ -314,6 +318,14 @@ pub fn run_sweep_with_cache<W: Write>(
     let kernels_before = PairKernels::build_count();
     let mut chips = Vec::with_capacity(grid.chips.len());
     for (index, request) in grid.chips.iter().enumerate() {
+        if request.is_multi() {
+            return Err(SweepError::Spec(SpecError::Chip {
+                index,
+                message: "per-chip `chiplets` is not a sweep input; use the top-level \
+                          `chiplets`/`link_topologies` axes"
+                    .into(),
+            }));
+        }
         let chip = request.build().map_err(|e| {
             SweepError::Spec(SpecError::Chip {
                 index,
@@ -345,6 +357,7 @@ pub fn run_sweep_with_cache<W: Write>(
                 ChipCtx {
                     label: chip.name().to_string(),
                     chip: chip.clone(),
+                    request: grid.chips[chip_idx].clone(),
                     spec_key: *spec_key,
                     model,
                     plan_ctx,
@@ -456,7 +469,7 @@ fn run_point(
     cache: &PlanCache<PointResult>,
 ) -> SweepRecord {
     let started = Instant::now();
-    let skeleton = SweepRecord::skeleton(point, &ctx.label, ctx.chip.num_qubits());
+    let skeleton = SweepRecord::skeleton(point, &ctx.label, ctx.chip.num_qubits() * point.chiplets);
     let key = point_key(point, ctx, spec);
     let mut record = if let Some(hit) = cache.get(key) {
         skeleton.with_result(&hit)
@@ -486,7 +499,7 @@ fn run_point(
 /// that can change the [`PointResult`]. (Nested ≤3-tuples — the
 /// vendored serde's tuple arity limit.)
 fn point_key(point: &GridPoint, ctx: &ChipCtx, spec: &SweepSpec) -> u64 {
-    content_key(&(
+    let key = content_key(&(
         ("xplore-v1", ctx.spec_key, point.mode.to_string()),
         (
             (
@@ -505,7 +518,19 @@ fn point_key(point: &GridPoint, ctx: &ChipCtx, spec: &SweepSpec) -> u64 {
             spec.wants_fidelity(),
             spec.partition_target.unwrap_or(0) as u64,
         ),
-    ))
+    ));
+    // Chiplet knobs fold in only for multi-die points, so every
+    // monolithic key (and any cache persisted before the chiplet axes
+    // existed) stays stable.
+    if point.chiplets > 1 {
+        content_key(&(
+            key,
+            point.chiplets as u64,
+            point.link_topology.name().to_string(),
+        ))
+    } else {
+        key
+    }
 }
 
 /// Per-qubit error evaluation shared by both modes: all-driven
@@ -536,6 +561,9 @@ fn compute_point(
     timings: bool,
     plan_threads: usize,
 ) -> Result<(PointResult, Vec<StageMs>), String> {
+    if point.chiplets > 1 {
+        return compute_multi_point(point, ctx, spec, timings, plan_threads);
+    }
     let chip = &ctx.chip;
     let mut stages = Vec::new();
     let dedicated = WiringTally::google(chip);
@@ -657,6 +685,174 @@ fn compute_point(
     }
 }
 
+/// Folds per-qubit gate errors into the all-driven processor fidelity
+/// and the mean gate fidelity.
+fn fold_errors(errs: &[f64]) -> (Option<f64>, Option<f64>) {
+    let fidelity: f64 = errs.iter().map(|e| 1.0 - e).product();
+    let mean = 1.0 - errs.iter().sum::<f64>() / errs.len() as f64;
+    (Some(fidelity), Some(mean))
+}
+
+/// The actual work at a multi-die grid point: tile the chip into a
+/// chiplet array, plan every die (per-die characterization seeds, link
+/// reconciliation), and report cryostat-level totals. Fidelity is the
+/// product over dies of the per-die all-driven fidelity — each die
+/// evaluated against its own characterization.
+fn compute_multi_point(
+    point: &GridPoint,
+    ctx: &ChipCtx,
+    spec: &SweepSpec,
+    timings: bool,
+    plan_threads: usize,
+) -> Result<(PointResult, Vec<StageMs>), String> {
+    let mut stages = Vec::new();
+    let mut chip_request = ctx.request.clone();
+    chip_request.chiplets = Some(point.chiplets);
+    chip_request.link_topology = Some(point.link_topology.name().to_string());
+    let mdc = chip_request.build_multi().map_err(|e| e.to_string())?;
+    let dedicated = WiringTally::sum(mdc.dies().iter().map(WiringTally::google));
+    let seed = if spec.uses_model() { point.seed } else { 0 };
+
+    match point.mode {
+        SweepMode::Dedicated => {
+            let (fidelity, mean) = if spec.wants_fidelity() {
+                let started = Instant::now();
+                // Dedicated wiring: one XY line per qubit, identical on
+                // every die; only the per-die characterization differs.
+                let lines: Vec<FdmLine> = (0..ctx.chip.num_qubits())
+                    .map(|i| FdmLine::new(vec![QubitId::from(i)]))
+                    .collect();
+                let freqs = allocate_frequencies(
+                    &ctx.chip,
+                    &lines,
+                    ctx.plan_ctx.crosstalk(),
+                    &FreqConfig::default(),
+                )
+                .map_err(|e| e.to_string())?;
+                let mut errs = Vec::with_capacity(mdc.total_qubits());
+                for die in 0..mdc.num_dies() {
+                    let model = characterize_xy(&ctx.chip, die_seed(seed, die));
+                    let scenario = FdmScenario {
+                        chip: &ctx.chip,
+                        lines: &lines,
+                        freqs: &freqs,
+                        model: &model,
+                    };
+                    errs.extend(per_qubit_gate_error(&scenario, &default_simulator()));
+                }
+                if timings {
+                    stages.push(StageMs {
+                        name: "fidelity".into(),
+                        ms: started.elapsed().as_secs_f64() * 1e3,
+                    });
+                }
+                fold_errors(&errs)
+            } else {
+                (None, None)
+            };
+            Ok((
+                PointResult {
+                    qubits: mdc.total_qubits(),
+                    xy_lines: dedicated.xy_lines,
+                    z_lines: dedicated.z_lines,
+                    readout_feedlines: dedicated.readout_feedlines,
+                    coax_lines: dedicated.coax_lines(),
+                    cost_kusd: dedicated.cost_kusd(),
+                    dedicated_coax: dedicated.coax_lines(),
+                    dedicated_cost_kusd: dedicated.cost_kusd(),
+                    demux_deep: 0,
+                    demux_one_to_two: 0,
+                    demux_direct: mdc.total_z_devices(),
+                    fidelity,
+                    mean_gate_fidelity: mean,
+                },
+                stages,
+            ))
+        }
+        SweepMode::Youtiao => {
+            let mut config = PlannerConfig::default();
+            config.tdm.theta = point.theta;
+            config.tdm.max_shared_slots = point.max_shared_slots;
+            config.tdm.allow_one_to_eight = point.one_to_eight;
+            config.fdm_capacity = point.fdm_capacity;
+            config.readout_capacity = point.readout_capacity;
+            config.plan_threads = plan_threads;
+            if let Some(target) = spec.partition_target {
+                config.partition = Some(PartitionConfig::for_target_size(&ctx.chip, target));
+            }
+            let multi_config = MultiPlanConfig {
+                planner: config,
+                use_model: spec.uses_model(),
+                seed,
+                budget: None,
+            };
+            let exec = ParallelExec::new(plan_threads);
+            let started = Instant::now();
+            let outcome = plan_multi(&mdc, &multi_config, &exec).map_err(|e| e.to_string())?;
+            if timings {
+                stages.push(StageMs {
+                    name: "plan_multi".into(),
+                    ms: started.elapsed().as_secs_f64() * 1e3,
+                });
+            }
+
+            let tally =
+                WiringTally::sum(outcome.dies.iter().map(|d| WiringTally::youtiao(&d.plan)));
+            let (mut deep, mut one_to_two, mut direct) = (0, 0, 0);
+            for die in &outcome.dies {
+                for group in die.plan.tdm_groups() {
+                    match group.level() {
+                        DemuxLevel::OneToEight | DemuxLevel::OneToFour => deep += group.len(),
+                        DemuxLevel::OneToTwo => one_to_two += group.len(),
+                        _ => direct += group.len(),
+                    }
+                }
+            }
+            let (fidelity, mean) = if spec.wants_fidelity() {
+                let started = Instant::now();
+                let mut errs = Vec::with_capacity(mdc.total_qubits());
+                for (chip, die) in mdc.dies().iter().zip(&outcome.dies) {
+                    let model = die.model.as_ref().expect("fidelity implies a model");
+                    let scenario = FdmScenario {
+                        chip,
+                        lines: die.plan.fdm_lines(),
+                        freqs: die.plan.frequency_plan(),
+                        model,
+                    };
+                    errs.extend(per_qubit_gate_error(&scenario, &default_simulator()));
+                }
+                if timings {
+                    stages.push(StageMs {
+                        name: "fidelity".into(),
+                        ms: started.elapsed().as_secs_f64() * 1e3,
+                    });
+                }
+                fold_errors(&errs)
+            } else {
+                (None, None)
+            };
+            Ok((
+                PointResult {
+                    qubits: mdc.total_qubits(),
+                    xy_lines: tally.xy_lines,
+                    z_lines: tally.z_lines,
+                    readout_feedlines: tally.readout_feedlines,
+                    coax_lines: tally.coax_lines(),
+                    cost_kusd: tally.cost_kusd(),
+                    dedicated_coax: dedicated.coax_lines(),
+                    dedicated_cost_kusd: dedicated.cost_kusd(),
+                    demux_deep: deep,
+                    demux_one_to_two: one_to_two,
+                    demux_direct: direct,
+                    fidelity,
+                    mean_gate_fidelity: mean,
+                },
+                stages,
+            ))
+        }
+    }
+}
+
 /// Per-axis marginal means of the effective objectives, for every axis
 /// the spec actually sweeps (more than one value).
 fn axis_marginals(
@@ -665,7 +861,7 @@ fn axis_marginals(
     objectives: &[Objective],
 ) -> Vec<AxisMarginal> {
     type Extract = fn(&SweepRecord) -> String;
-    let axes: [(&str, usize, Extract); 8] = [
+    let axes: [(&str, usize, Extract); 10] = [
         ("chip", grid.chips.len(), |r| r.chip.clone()),
         ("mode", grid.modes.len(), |r| r.mode.to_string()),
         ("theta", grid.thetas.len(), |r| r.theta.to_string()),
@@ -680,6 +876,10 @@ fn axis_marginals(
         }),
         ("one_to_eight", grid.one_to_eight.len(), |r| {
             r.one_to_eight.to_string()
+        }),
+        ("chiplets", grid.chiplets.len(), |r| r.chiplets.to_string()),
+        ("link_topology", grid.link_topologies.len(), |r| {
+            r.link_topology.clone()
         }),
         ("seed", grid.seeds.len(), |r| r.seed.to_string()),
     ];

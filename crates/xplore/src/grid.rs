@@ -5,6 +5,7 @@
 //! keyed by grid index and the output stream is deterministic no matter
 //! how many worker threads raced to produce it.
 
+use youtiao_chip::multi::LinkTopology;
 use youtiao_core::plan::{DEFAULT_FDM_CAPACITY, DEFAULT_READOUT_CAPACITY};
 use youtiao_serve::{ChipRequest, DesignRequest, DEFAULT_SEED};
 
@@ -14,7 +15,7 @@ use crate::spec::{SpecError, SweepMode, SweepSpec, DEFAULT_MAX_POINTS};
 ///
 /// Axis order (outermost → innermost): chips, modes, thetas,
 /// max_shared_slots, fdm_capacities, readout_capacities, one_to_eight,
-/// seeds.
+/// chiplets, link_topologies, seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepGrid {
     /// Chip axis.
@@ -31,6 +32,10 @@ pub struct SweepGrid {
     pub readout_capacities: Vec<usize>,
     /// 1:8 DEMUX permission axis.
     pub one_to_eight: Vec<bool>,
+    /// Chiplet-count axis.
+    pub chiplets: Vec<usize>,
+    /// Inter-die link topology axis.
+    pub link_topologies: Vec<LinkTopology>,
     /// Seed axis.
     pub seeds: Vec<u64>,
 }
@@ -54,6 +59,10 @@ pub struct GridPoint {
     pub readout_capacity: usize,
     /// Whether 1:8 cryo-DEMUXes are allowed.
     pub one_to_eight: bool,
+    /// Chiplet count (`1` = monolithic).
+    pub chiplets: usize,
+    /// Inter-die link topology (only meaningful when `chiplets > 1`).
+    pub link_topology: LinkTopology,
     /// Characterization seed.
     pub seed: u64,
 }
@@ -62,9 +71,15 @@ impl GridPoint {
     /// The equivalent serving-layer [`DesignRequest`] for this point —
     /// interop with `youtiao batch` and its cache. `max_shared_slots`
     /// and partitioning have no request field and are dropped; routing
-    /// is off (sweeps compare plans, not layouts).
+    /// is off (sweeps compare plans, not layouts). Multi-die points
+    /// carry their chiplet knobs on the request's chip.
     pub fn to_design_request(&self, chip: &ChipRequest) -> DesignRequest {
-        let mut request = DesignRequest::new(chip.clone());
+        let mut chip = chip.clone();
+        if self.chiplets > 1 {
+            chip.chiplets = Some(self.chiplets);
+            chip.link_topology = Some(self.link_topology.name().to_string());
+        }
+        let mut request = DesignRequest::new(chip);
         request.seed = Some(self.seed);
         request.theta = Some(self.theta);
         request.fdm_capacity = Some(self.fdm_capacity);
@@ -85,6 +100,25 @@ fn axis<T: Clone>(
         Some(values) => Ok(values.clone()),
         None => Ok(vec![default]),
     }
+}
+
+/// Resolves the link-topology axis, parsing names into
+/// [`LinkTopology`] values.
+fn link_axis(given: &Option<Vec<String>>) -> Result<Vec<LinkTopology>, SpecError> {
+    let names = axis(
+        given,
+        LinkTopology::Grid.name().to_string(),
+        "link_topologies",
+    )?;
+    names
+        .iter()
+        .map(|name| {
+            LinkTopology::parse(name).ok_or_else(|| SpecError::BadAxisValue {
+                axis: "link_topologies",
+                message: format!("unknown link topology `{name}` (grid, torus or isolated)"),
+            })
+        })
+        .collect()
 }
 
 impl SweepGrid {
@@ -115,8 +149,16 @@ impl SweepGrid {
                 "readout_capacities",
             )?,
             one_to_eight: axis(&spec.one_to_eight, false, "one_to_eight")?,
+            chiplets: axis(&spec.chiplets, 1, "chiplets")?,
+            link_topologies: link_axis(&spec.link_topologies)?,
             seeds: axis(&spec.seeds, DEFAULT_SEED, "seeds")?,
         };
+        if grid.chiplets.contains(&0) {
+            return Err(SpecError::BadAxisValue {
+                axis: "chiplets",
+                message: "chiplet counts must be at least 1".into(),
+            });
+        }
         let limit = spec.max_points.unwrap_or(DEFAULT_MAX_POINTS);
         match grid.checked_len() {
             Some(points) if points <= limit => Ok(grid),
@@ -128,7 +170,7 @@ impl SweepGrid {
         }
     }
 
-    fn radices(&self) -> [usize; 8] {
+    fn radices(&self) -> [usize; 10] {
         [
             self.chips.len(),
             self.modes.len(),
@@ -137,6 +179,8 @@ impl SweepGrid {
             self.fdm_capacities.len(),
             self.readout_capacities.len(),
             self.one_to_eight.len(),
+            self.chiplets.len(),
+            self.link_topologies.len(),
             self.seeds.len(),
         ]
     }
@@ -167,9 +211,9 @@ impl SweepGrid {
     pub fn point(&self, index: usize) -> GridPoint {
         assert!(index < self.len(), "grid index {index} out of range");
         let radices = self.radices();
-        let mut digits = [0usize; 8];
+        let mut digits = [0usize; 10];
         let mut rest = index;
-        for axis in (0..8).rev() {
+        for axis in (0..10).rev() {
             digits[axis] = rest % radices[axis];
             rest /= radices[axis];
         }
@@ -182,7 +226,9 @@ impl SweepGrid {
             fdm_capacity: self.fdm_capacities[digits[4]],
             readout_capacity: self.readout_capacities[digits[5]],
             one_to_eight: self.one_to_eight[digits[6]],
-            seed: self.seeds[digits[7]],
+            chiplets: self.chiplets[digits[7]],
+            link_topology: self.link_topologies[digits[8]],
+            seed: self.seeds[digits[9]],
         }
     }
 }
@@ -287,6 +333,66 @@ mod tests {
             SweepGrid::resolve(&spec).unwrap_err(),
             SpecError::FidelityNeedsModel
         );
+    }
+
+    #[test]
+    fn chiplet_axes_resolve_and_decode() {
+        let mut spec = base_spec();
+        spec.chiplets = Some(vec![1, 4]);
+        spec.link_topologies = Some(vec!["grid".into(), "torus".into()]);
+        let grid = SweepGrid::resolve(&spec).unwrap();
+        assert_eq!(grid.len(), 8);
+        // Chiplets vary slower than link topologies, which vary slower
+        // than seeds (the innermost axis).
+        let p = grid.point(3);
+        assert_eq!(p.chip_idx, 0);
+        assert_eq!(p.chiplets, 4);
+        assert_eq!(p.link_topology, LinkTopology::Torus);
+        // Defaults: one monolithic grid-linked point per chip.
+        let grid = SweepGrid::resolve(&base_spec()).unwrap();
+        let p = grid.point(0);
+        assert_eq!(p.chiplets, 1);
+        assert_eq!(p.link_topology, LinkTopology::Grid);
+    }
+
+    #[test]
+    fn bad_chiplet_axis_values_are_rejected() {
+        let mut spec = base_spec();
+        spec.chiplets = Some(vec![2, 0]);
+        assert!(matches!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::BadAxisValue {
+                axis: "chiplets",
+                ..
+            }
+        ));
+        let mut spec = base_spec();
+        spec.link_topologies = Some(vec!["ring".into()]);
+        assert!(matches!(
+            SweepGrid::resolve(&spec).unwrap_err(),
+            SpecError::BadAxisValue {
+                axis: "link_topologies",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn multi_points_carry_chiplet_knobs_into_requests() {
+        let mut spec = base_spec();
+        spec.chiplets = Some(vec![4]);
+        spec.link_topologies = Some(vec!["torus".into()]);
+        let grid = SweepGrid::resolve(&spec).unwrap();
+        let p = grid.point(0);
+        let request = p.to_design_request(&grid.chips[p.chip_idx]);
+        assert_eq!(request.chip.chiplets, Some(4));
+        assert_eq!(request.chip.link_topology.as_deref(), Some("torus"));
+        // Monolithic points leave the chip request untouched.
+        let grid = SweepGrid::resolve(&base_spec()).unwrap();
+        let p = grid.point(0);
+        let request = p.to_design_request(&grid.chips[p.chip_idx]);
+        assert_eq!(request.chip.chiplets, None);
+        assert_eq!(request.chip.link_topology, None);
     }
 
     #[test]

@@ -199,6 +199,8 @@ mod tests {
             fdm_capacity: 5,
             readout_capacity: 8,
             one_to_eight: false,
+            chiplets: 1,
+            link_topology: youtiao_chip::multi::LinkTopology::Grid,
             seed: 0,
         };
         let result = PointResult {
@@ -303,6 +305,8 @@ mod tests {
                 fdm_capacity: 5,
                 readout_capacity: 8,
                 one_to_eight: false,
+                chiplets: 1,
+                link_topology: youtiao_chip::multi::LinkTopology::Grid,
                 seed: 0,
             },
             "square-3x3",

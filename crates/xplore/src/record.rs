@@ -93,6 +93,10 @@ pub struct SweepRecord {
     pub readout_capacity: usize,
     /// Whether 1:8 cryo-DEMUXes were allowed.
     pub one_to_eight: bool,
+    /// Chiplet count (`1` = monolithic).
+    pub chiplets: usize,
+    /// Inter-die link topology name (`grid` for monolithic points).
+    pub link_topology: String,
     /// Characterization seed.
     pub seed: u64,
     /// Point outcome.
@@ -143,16 +147,22 @@ impl SweepRecord {
             fdm_capacity,
             readout_capacity,
             one_to_eight,
+            chiplets,
+            link_topology,
             seed,
             ..
         } = *point;
+        let mut id = format!(
+            "{chip_name}/{mode}/theta{theta}/mss{max_shared_slots}/fdm{fdm_capacity}\
+             /ro{readout_capacity}/o2e{}/seed{seed}",
+            u8::from(one_to_eight)
+        );
+        if chiplets > 1 {
+            id.push_str(&format!("/x{chiplets}-{}", link_topology.name()));
+        }
         SweepRecord {
             index,
-            id: format!(
-                "{chip_name}/{mode}/theta{theta}/mss{max_shared_slots}/fdm{fdm_capacity}\
-                 /ro{readout_capacity}/o2e{}/seed{seed}",
-                u8::from(one_to_eight)
-            ),
+            id,
             chip: chip_name.to_string(),
             qubits,
             mode,
@@ -161,6 +171,8 @@ impl SweepRecord {
             fdm_capacity,
             readout_capacity,
             one_to_eight,
+            chiplets,
+            link_topology: link_topology.name().to_string(),
             seed,
             status: SweepStatus::Error,
             error: None,
@@ -228,6 +240,8 @@ pub const CSV_COLUMNS: &[&str] = &[
     "fdm_capacity",
     "readout_capacity",
     "one_to_eight",
+    "chiplets",
+    "link_topology",
     "seed",
     "status",
     "error",
@@ -279,6 +293,8 @@ pub fn write_csv<W: Write>(records: &[SweepRecord], out: &mut W) -> std::io::Res
             r.fdm_capacity.to_string(),
             r.readout_capacity.to_string(),
             r.one_to_eight.to_string(),
+            r.chiplets.to_string(),
+            csv_escape(&r.link_topology),
             r.seed.to_string(),
             format!("{:?}", r.status),
             csv_escape(r.error.as_deref().unwrap_or("")),
@@ -306,6 +322,7 @@ pub fn write_csv<W: Write>(records: &[SweepRecord], out: &mut W) -> std::io::Res
 mod tests {
     use super::*;
     use crate::spec::SweepMode;
+    use youtiao_chip::multi::LinkTopology;
 
     fn sample_point() -> GridPoint {
         GridPoint {
@@ -317,6 +334,8 @@ mod tests {
             fdm_capacity: 5,
             readout_capacity: 8,
             one_to_eight: false,
+            chiplets: 1,
+            link_topology: LinkTopology::Grid,
             seed: 7,
         }
     }
@@ -354,6 +373,20 @@ mod tests {
         let back: SweepRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, failed);
         assert!(!back.is_ok());
+    }
+
+    #[test]
+    fn multi_die_points_suffix_the_id() {
+        let mut point = sample_point();
+        point.chiplets = 4;
+        point.link_topology = LinkTopology::Torus;
+        let record = SweepRecord::skeleton(&point, "square-3x3", 36);
+        assert!(record.id.ends_with("/x4-torus"), "{}", record.id);
+        assert_eq!(record.chiplets, 4);
+        assert_eq!(record.link_topology, "torus");
+        // Monolithic ids keep the historical shape.
+        let record = SweepRecord::skeleton(&sample_point(), "square-3x3", 9);
+        assert!(record.id.ends_with("/seed7"), "{}", record.id);
     }
 
     #[test]

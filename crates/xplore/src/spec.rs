@@ -2,7 +2,8 @@
 //!
 //! A [`SweepSpec`] is the JSON input of `youtiao sweep`: a set of axes
 //! (chips, θ, `max_shared_slots`, FDM/readout capacity, DEMUX fan-out,
-//! wiring mode, characterization seeds) whose cartesian product is the
+//! wiring mode, chiplet counts and link topologies, characterization
+//! seeds) whose cartesian product is the
 //! design-space grid the engine plans. Every axis except `chips` is
 //! optional and defaults to a single paper-default value, so the grid
 //! size is the product of only the axes a spec actually varies.
@@ -66,6 +67,14 @@ pub struct SweepSpec {
     pub readout_capacities: Option<Vec<usize>>,
     /// 1:8 cryo-DEMUX permission axis (default `[false]`).
     pub one_to_eight: Option<Vec<bool>>,
+    /// Chiplet-count axis: tile each chip into a near-square array of
+    /// this many dies (default `[1]` — monolithic). Values `> 1` plan
+    /// the multi-die flow (per-die plans, link reconciliation) and
+    /// report cryostat-level totals.
+    pub chiplets: Option<Vec<usize>>,
+    /// Inter-die link topology axis (`grid`, `torus` or `isolated`;
+    /// default `[grid]`). Only meaningful at chiplet counts `> 1`.
+    pub link_topologies: Option<Vec<String>>,
     /// Characterization seed axis (default `[0x594F_5554]`).
     pub seeds: Option<Vec<u64>>,
     /// Fit a crosstalk model per (chip, seed) and plan noise-aware
@@ -93,6 +102,8 @@ impl SweepSpec {
             fdm_capacities: None,
             readout_capacities: None,
             one_to_eight: None,
+            chiplets: None,
+            link_topologies: None,
             seeds: None,
             use_model: None,
             fidelity: None,
@@ -118,6 +129,13 @@ impl SweepSpec {
 pub enum SpecError {
     /// An axis was given explicitly empty (axis name attached).
     EmptyAxis(&'static str),
+    /// An axis value does not parse or is out of range.
+    BadAxisValue {
+        /// The offending axis.
+        axis: &'static str,
+        /// What was wrong with the value.
+        message: String,
+    },
     /// The cartesian product exceeds the guard (or overflows `usize`).
     GridTooLarge {
         /// The requested number of grid points (`usize::MAX` on overflow).
@@ -140,6 +158,9 @@ impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SpecError::EmptyAxis(axis) => write!(f, "sweep axis `{axis}` is empty"),
+            SpecError::BadAxisValue { axis, message } => {
+                write!(f, "sweep axis `{axis}`: {message}")
+            }
             SpecError::GridTooLarge { points, limit } => write!(
                 f,
                 "sweep grid has {points} points, exceeding the limit of {limit} \
@@ -172,6 +193,8 @@ mod tests {
         spec.thetas = Some(vec![2.0, 8.0]);
         spec.max_shared_slots = Some(vec![0, 2]);
         spec.seeds = Some(vec![1, 2]);
+        spec.chiplets = Some(vec![1, 4]);
+        spec.link_topologies = Some(vec!["grid".into(), "torus".into()]);
         spec.use_model = Some(false);
         spec.partition_target = Some(40);
         let json = serde_json::to_string(&spec).unwrap();
@@ -208,5 +231,11 @@ mod tests {
         assert!(SpecError::FidelityNeedsModel
             .to_string()
             .contains("use_model"));
+        let e = SpecError::BadAxisValue {
+            axis: "link_topologies",
+            message: "unknown link topology `ring`".into(),
+        };
+        assert!(e.to_string().contains("link_topologies"));
+        assert!(e.to_string().contains("ring"));
     }
 }

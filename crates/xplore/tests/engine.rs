@@ -152,6 +152,70 @@ fn shared_cache_answers_repeat_sweeps() {
 }
 
 #[test]
+fn chiplet_axis_scales_monolithic_points() {
+    let mut spec = SweepSpec::new(vec![ChipRequest::grid("square", 3, 3)]);
+    spec.use_model = Some(false);
+    spec.chiplets = Some(vec![1, 4]);
+    let (_, outcome) = sweep_jsonl(&spec, &SweepOptions::default());
+    assert_eq!(outcome.records.len(), 2);
+    let mono = &outcome.records[0];
+    let multi = &outcome.records[1];
+    assert!(mono.is_ok() && multi.is_ok(), "{:?}", multi.error);
+    assert_eq!((mono.chiplets, multi.chiplets), (1, 4));
+    assert_eq!(multi.qubits, 4 * mono.qubits);
+    // Identical dies and additive cryostat resources: the array's
+    // totals are the monolithic tallies times the die count (link
+    // reconciliation only swaps frequencies, never lines).
+    assert_eq!(multi.coax_lines, mono.coax_lines.map(|c| 4 * c));
+    assert_eq!(multi.dedicated_coax, mono.dedicated_coax.map(|c| 4 * c));
+    assert_eq!(multi.z_lines, mono.z_lines.map(|z| 4 * z));
+    // Multi-die points are visibly labeled; monolithic ids are stable.
+    assert!(multi.id.ends_with("/x4-grid"), "{}", multi.id);
+    assert!(
+        mono.id.ends_with(&format!("/seed{}", mono.seed)),
+        "{}",
+        mono.id
+    );
+    assert!(outcome
+        .summary
+        .marginals
+        .iter()
+        .any(|m| m.axis == "chiplets"));
+}
+
+#[test]
+fn chiplet_sweeps_are_deterministic_across_threads() {
+    let mut spec = SweepSpec::new(vec![ChipRequest::grid("square", 3, 3)]);
+    spec.chiplets = Some(vec![2]);
+    spec.link_topologies = Some(vec!["torus".into()]);
+    let mut options = SweepOptions {
+        threads: 1,
+        plan_threads: 1,
+        ..SweepOptions::default()
+    };
+    let (serial, outcome) = sweep_jsonl(&spec, &options);
+    assert!(outcome.records.iter().all(|r| r.is_ok()));
+    assert_eq!(outcome.records[0].link_topology, "torus");
+    options.threads = 4;
+    options.plan_threads = 4;
+    let (parallel, _) = sweep_jsonl(&spec, &options);
+    assert_eq!(
+        serial, parallel,
+        "multi-die sweep JSONL must not depend on thread counts"
+    );
+}
+
+#[test]
+fn per_chip_chiplet_knobs_are_rejected() {
+    let mut chip = ChipRequest::grid("square", 3, 3);
+    chip.chiplets = Some(4);
+    let spec = SweepSpec::new(vec![chip]);
+    let err = run_sweep(&spec, &SweepOptions::default(), &mut Vec::new()).unwrap_err();
+    assert!(matches!(err, SweepError::Spec(_)), "{err}");
+    assert!(err.to_string().contains("chiplets"), "{err}");
+}
+
+#[test]
 fn grid_points_match_single_planner_runs() {
     use youtiao_core::{PlannerConfig, TdmConfig, YoutiaoPlanner};
     use youtiao_cost::WiringTally;

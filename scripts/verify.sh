@@ -118,6 +118,66 @@ print(f"  sweep smoke OK: {len(records)} records, "
       f"{len(summary['pareto'])} Pareto points, deterministic across threads")
 PY
 
+echo "==> smoke: youtiao plan --chiplets (2x2 heavy-hex array, --validate, plan-threads cmp)"
+# A 2x2 chiplet array must plan end-to-end under full per-die +
+# cross-die validation, and the combined summary must be byte-identical
+# at any --plan-threads (per-die planning reuses the deterministic
+# ParallelExec fan-out).
+for pt in 1 4; do
+  cargo run -q --release --offline --bin youtiao -- plan \
+    --topology heavy-hexagon --rows 1 --cols 2 --chiplets 4 --validate \
+    --plan-threads "$pt" --json > "$smoke_dir/multi_pt$pt.json" 2> /dev/null
+done
+if ! cmp -s "$smoke_dir/multi_pt1.json" "$smoke_dir/multi_pt4.json"; then
+  echo "verify: FAILED — multi-die plan differs between --plan-threads 1 and 4" >&2
+  diff "$smoke_dir/multi_pt1.json" "$smoke_dir/multi_pt4.json" >&2 || true
+  exit 1
+fi
+python3 - "$smoke_dir/multi_pt1.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+plan = summary["plan"]
+assert plan["total_qubits"] == 84, plan["total_qubits"]
+qubits = sorted(q for line in plan["xy_lines"] for q in line["qubits"])
+assert qubits == list(range(84)), "XY lines must cover the cryostat-global id space"
+assert summary["coax_reduction"] > 2.0, summary["coax_reduction"]
+print(f"  multi-die plan OK: 2x2 heavy-hex array validated, "
+      f"{summary['coax_reduction']:.2f}x coax reduction, deterministic across plan threads")
+PY
+
+echo "==> smoke: youtiao sweep (chiplets + link_topologies axes)"
+cargo run -q --release --offline --bin youtiao -- sweep \
+  --spec examples/sweeps/chiplets.json --out "$smoke_dir/chiplets1.jsonl" \
+  --threads 1 --plan-threads 1 2> /dev/null
+cargo run -q --release --offline --bin youtiao -- sweep \
+  --spec examples/sweeps/chiplets.json --out "$smoke_dir/chiplets4.jsonl" \
+  --threads 4 --plan-threads 4 2> /dev/null
+if ! cmp -s "$smoke_dir/chiplets1.jsonl" "$smoke_dir/chiplets4.jsonl"; then
+  echo "verify: FAILED — chiplet sweep differs across thread counts" >&2
+  diff "$smoke_dir/chiplets1.jsonl" "$smoke_dir/chiplets4.jsonl" >&2 || true
+  exit 1
+fi
+python3 - "$smoke_dir/chiplets1.jsonl" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+assert len(records) == 4, len(records)
+assert all(r["status"] == "Ok" for r in records), records
+by = {(r["chiplets"], r["link_topology"]): r for r in records}
+assert set(by) == {(1, "grid"), (1, "torus"), (4, "grid"), (4, "torus")}, set(by)
+mono = by[(1, "grid")]
+for topo in ("grid", "torus"):
+    multi = by[(4, topo)]
+    # Identical dies, additive cryostat resources: array totals are the
+    # monolithic tallies times the die count.
+    assert multi["qubits"] == 4 * mono["qubits"], multi["qubits"]
+    assert multi["coax_lines"] == 4 * mono["coax_lines"], multi["coax_lines"]
+    assert multi["id"].endswith(f"/x4-{topo}"), multi["id"]
+print("  chiplet sweep OK: 4 points, multi-die totals scale the monolithic plan, "
+      "deterministic across threads")
+PY
+
 echo "==> smoke: youtiao bench-plan (v3 schema, kernels-built-once, freq speedup floor)"
 cargo run -q --release --offline --bin youtiao -- bench-plan \
   --sizes 4,12 --iters 2 --plan-threads 2 --out "$smoke_dir/bench.json" 2> /dev/null

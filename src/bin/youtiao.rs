@@ -22,19 +22,21 @@ use std::process::ExitCode;
 
 use youtiao::bench::perf::{Layout, PerfConfig};
 use youtiao::bench::repair_perf::RepairBenchConfig;
+use youtiao::chip::multi::{LinkTopology, MultiDieChip};
 use youtiao::chip::spec::ChipSpec;
 use youtiao::chip::surface::SurfaceCode;
 use youtiao::chip::{topology, Chip, CouplerId, DeviceId, QubitId};
 use youtiao::core::tdm::brickwork_activity;
-use youtiao::core::{PlanContext, PlanSummary, PlannerConfig, YoutiaoPlanner};
+use youtiao::core::{CryostatBudget, PlanContext, PlanSummary, PlannerConfig, YoutiaoPlanner};
 use youtiao::cost::WiringTally;
+use youtiao::multi::{design_multi_chip, MultiDesignOptions};
 use youtiao::repair::{
     diff_inputs, repair_plan, replan_from_snapshot, PlanInputs, QualityReport, RepairConfig,
 };
 use youtiao::serve::{
-    apply_cache_fault, content_key, parse_requests, run_design_batch, run_design_batch_stream,
-    run_design_daemon, shard_file, AdmissionConfig, BatchOptions, DaemonOptions, DaemonReport,
-    DesignRequest, FaultPlan,
+    apply_cache_fault, content_key, near_square, parse_requests, run_design_batch,
+    run_design_batch_stream, run_design_daemon, shard_file, AdmissionConfig, BatchOptions,
+    DaemonOptions, DaemonReport, DesignRequest, FaultPlan,
 };
 use youtiao::xplore::{parse_objectives, run_sweep, write_csv, SweepOptions, SweepSpec};
 
@@ -55,7 +57,17 @@ const USAGE: &str = "\
 usage:
   youtiao topologies
   youtiao plan   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
-                 [--plan-threads N] [--json] [--viz]
+                 [--plan-threads N] [--chiplets N]
+                 [--link-topology grid|torus|isolated] [--coax-budget N]
+                 [--validate] [--json] [--viz]
+                 (--chiplets tiles the chip into a near-square multi-die array:
+                  each die planned independently — byte-identical at any
+                  --plan-threads — cross-die links reconciled by in-line
+                  frequency swaps, an optional shared --coax-budget
+                  partitioned across dies, and per-die + cross-die wiring
+                  invariants checked under --validate; --validate without
+                  --chiplets validates the chip as a 1x1 array, whose plan
+                  is exactly the monolithic one; --viz is single-die only)
   youtiao cost   <chip args> [--theta T] [--fdm-capacity K] [--one-to-eight]
   youtiao export-chip <chip args> --out FILE
   youtiao batch  --in FILE.jsonl [--out FILE.jsonl] [--jobs N] [--plan-threads N]
@@ -91,9 +103,9 @@ usage:
                   --plan-threads (same policy as batch).
                   The plan cache shards into N files, each lost or salvaged
                   (--salvage) independently; --max-queue and --client-inflight
-                  bound intake (backpressure), --est-ms enables deadline-aware
-                  load shedding (structured Shed errors); per-session metrics
-                  go to stderr)
+                  bound intake (backpressure), --est-ms (non-negative) enables
+                  deadline-aware load shedding (structured Shed errors);
+                  per-session metrics go to stderr)
   youtiao chaos  --in FILE.jsonl [--faults FILE.json] [--seed N] [+ batch flags]
                  (batch run under a deterministic fault-injection schedule: the
                   FaultPlan JSON sets per-attempt rates for transient/permanent
@@ -180,6 +192,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "plan" => {
             let chip = load_chip(&flags)?;
             let config = planner_config(&flags)?;
+            if flags.contains_key("chiplets")
+                || flags.contains_key("link-topology")
+                || flags.contains_key("coax-budget")
+                || flags.contains_key("validate")
+            {
+                return run_plan_multi(&chip, config, &flags);
+            }
             let plan = YoutiaoPlanner::new(&chip)
                 .with_config(config)
                 .plan()
@@ -475,9 +494,18 @@ fn daemon_options(flags: &HashMap<String, Option<String>>) -> Result<DaemonOptio
         .unwrap_or(0);
     let est_ms = match flags.get("est-ms") {
         None => 0.0,
-        Some(Some(v)) => v
-            .parse::<f64>()
-            .map_err(|_| "--est-ms expects milliseconds")?,
+        Some(Some(v)) => {
+            let est: f64 = v.parse().map_err(|_| "--est-ms expects milliseconds")?;
+            // A negative estimate would silently disable shedding (the
+            // controller treats est_ms <= 0 as "off"); reject it here so
+            // the operator learns at startup, not from missing sheds.
+            if !est.is_finite() || est < 0.0 {
+                return Err(format!(
+                    "--est-ms expects a non-negative number of milliseconds, got `{v}`"
+                ));
+            }
+            est
+        }
         Some(None) => return Err("--est-ms expects a value".into()),
     };
     let mut faults = match flags.get("faults") {
@@ -1045,8 +1073,88 @@ fn planner_config(flags: &HashMap<String, Option<String>>) -> Result<PlannerConf
     Ok(config)
 }
 
+/// The `plan --chiplets N` path: tiles the loaded chip into the
+/// near-square multi-die array, plans every die, reconciles cross-die
+/// links, optionally partitions a shared coax budget, and prints the
+/// combined cryostat-level summary (pretty JSON with `--json` — the
+/// byte-comparable form used to check plan-thread determinism).
+fn run_plan_multi(
+    template: &Chip,
+    config: PlannerConfig,
+    flags: &HashMap<String, Option<String>>,
+) -> Result<(), String> {
+    let chiplets = get_usize(flags, "chiplets", 1)?;
+    if chiplets == 0 {
+        return Err("--chiplets must be positive".into());
+    }
+    let name = match flags.get("link-topology") {
+        None => "grid",
+        Some(Some(v)) => v.as_str(),
+        Some(None) => return Err("--link-topology expects a value".into()),
+    };
+    let link = LinkTopology::parse(name)
+        .ok_or_else(|| format!("unknown link topology `{name}` (grid, torus or isolated)"))?;
+    let budget = match flags.get("coax-budget") {
+        None => None,
+        Some(Some(v)) => Some(CryostatBudget {
+            coax_lines: v.parse().map_err(|_| "--coax-budget expects an integer")?,
+        }),
+        Some(None) => return Err("--coax-budget expects a value".into()),
+    };
+    let (rows, cols) = near_square(chiplets);
+    let mdc = MultiDieChip::tile(template, rows, cols, link).map_err(|e| e.to_string())?;
+    let options = MultiDesignOptions {
+        planner: config,
+        use_model: false,
+        budget,
+        validate: flags.contains_key("validate"),
+        ..Default::default()
+    };
+    let report = design_multi_chip(&mdc, &options).map_err(|e| e.to_string())?;
+    let summary = report.summary(&mdc);
+    if flags.contains_key("json") {
+        let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    println!("{mdc}");
+    let reconcile = &report.outcome.reconcile;
+    println!(
+        "cross-die links: {} band pairs checked, {} frequency swaps, {} unresolved",
+        reconcile.checked, reconcile.swapped, reconcile.unresolved
+    );
+    if let Some(partition) = &report.outcome.partition {
+        let per_die: Vec<String> = partition
+            .required
+            .iter()
+            .zip(&partition.allowances)
+            .map(|(used, allowed)| format!("{used}/{allowed}"))
+            .collect();
+        println!(
+            "coax budget {} split across dies (used/allowed): {}",
+            partition.total,
+            per_die.join(" ")
+        );
+    }
+    print_plan_lines(&summary.plan);
+    println!(
+        "\ncoax total: dedicated {} vs YOUTIAO {} ({:.2}x)",
+        report.dedicated.coax_lines(),
+        report.multiplexed.coax_lines(),
+        report.coax_reduction()
+    );
+    Ok(())
+}
+
 fn print_plan(chip: &Chip, summary: &PlanSummary) {
     println!("{chip}");
+    print_plan_lines(summary);
+}
+
+/// The XY/Z/readout/DEMUX sections shared by the single-die and
+/// multi-die `plan` renderings (multi-die summaries arrive already
+/// renumbered into the cryostat-global id space).
+fn print_plan_lines(summary: &PlanSummary) {
     println!("\nXY lines ({}):", summary.xy_lines.len());
     for (i, line) in summary.xy_lines.iter().enumerate() {
         let cells: Vec<String> = line

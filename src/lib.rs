@@ -26,6 +26,7 @@
 //! | [`xplore`] | `youtiao-xplore` | parallel design-space sweeps, shared planning contexts, Pareto fronts |
 //! | [`bench`] | `youtiao-bench` | experiment harnesses, incl. the `bench-plan` perf trajectory |
 //! | [`flow`] | (this crate) | one-call characterize → plan → route → cost pipeline |
+//! | [`multi`] | (this crate) | multi-die chiplet design flow: per-die plans, budget split, link reconciliation |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod flow;
+pub mod multi;
 pub mod serve;
 
 pub use youtiao_bench as bench;

@@ -47,6 +47,7 @@ use crate::flow::{
     complete_plan_traced, design_chip_traced, DesignError, DesignOptions, DesignReport,
     ReportSummary,
 };
+use crate::multi::{design_multi_chip, MultiDesignOptions};
 
 /// Derives the characterization seed for a retry attempt: attempt 0
 /// keeps the requested seed (so results are reproducible), later
@@ -248,6 +249,9 @@ pub fn repairing_design_executor_threads(
     plan_threads: usize,
 ) -> Executor<DesignRequest, ReportSummary> {
     Arc::new(move |request, ctx| {
+        if request.chip.is_multi() {
+            return multi_request(request, ctx, validate, plan_threads);
+        }
         let chip = request
             .chip
             .build()
@@ -277,6 +281,49 @@ pub fn repairing_design_executor_threads(
 
 fn invalid(message: impl Into<String>) -> ExecError {
     ExecError::permanent(ErrorKind::InvalidRequest, message.into())
+}
+
+/// The multi-die path of the design executor: tile the chiplet array,
+/// plan every die ([`design_multi_chip`]), and answer with the combined
+/// cryostat-level summary. The warm repair path is per-die state the
+/// multi flow does not thread yet, so delta requests are rejected as
+/// invalid rather than silently replanned.
+fn multi_request(
+    request: &DesignRequest,
+    ctx: &AttemptCtx,
+    validate: bool,
+    plan_threads: usize,
+) -> Result<ReportSummary, ExecError> {
+    if request.effective_delta().is_some() {
+        return Err(invalid(
+            "delta repair is not supported for multi-die requests",
+        ));
+    }
+    let mdc = request
+        .chip
+        .build_multi()
+        .map_err(|e| invalid(e.to_string()))?;
+    let options = MultiDesignOptions {
+        planner: {
+            let mut planner = request.planner_config();
+            planner.plan_threads = plan_threads;
+            planner
+        },
+        seed: perturbed_seed(request.seed(), ctx.attempt),
+        use_model: true,
+        budget: request
+            .coax_budget
+            .map(|coax_lines| youtiao_core::CryostatBudget { coax_lines }),
+        validate,
+    };
+    ctx.cancel
+        .checkpoint()
+        .map_err(|_| ExecError::cancelled())?;
+    let span = ctx.tracer.span("multi");
+    let report = design_multi_chip(&mdc, &options).map_err(classify)?;
+    span.annotate("dies", report.outcome.dies.len() as u64);
+    span.annotate("link_swaps", report.outcome.reconcile.swapped as u64);
+    Ok(report.summary(&mdc))
 }
 
 /// The delta path of [`repairing_design_executor`]: resolve the base,
@@ -719,6 +766,49 @@ mod tests {
         });
         let err = executor(&ghost, &ctx).unwrap_err();
         assert_eq!(err.kind, ErrorKind::InvalidRequest);
+    }
+
+    #[test]
+    fn multi_die_requests_plan_through_the_executor() {
+        let executor = design_executor_with(true);
+        let ctx = AttemptCtx::new(0, CancelToken::new());
+
+        let mut request = DesignRequest::new(ChipRequest::grid("square", 4, 4));
+        request.chip.chiplets = Some(4);
+        let multi = executor(&request, &ctx).unwrap();
+        assert_eq!(multi.plan.total_qubits, 64);
+        assert!(multi.routing.is_none(), "multi-die requests do not route");
+
+        // A 1×1 chiplet request is byte-identical to the monolithic one.
+        let mut one = DesignRequest::new(ChipRequest::grid("square", 4, 4));
+        one.routing = Some(false);
+        let mono = executor(&one, &ctx).unwrap();
+        one.chip.chiplets = Some(1);
+        let single = executor(&one, &ctx).unwrap();
+        assert_eq!(
+            serde_json::to_string(&single).unwrap(),
+            serde_json::to_string(&mono).unwrap()
+        );
+
+        // Delta repair is rejected on the multi path.
+        let mut drifted = request.clone();
+        drifted.delta = Some(DeltaSpec {
+            drift: Some(vec![DriftEntry {
+                a: 0,
+                b: 4,
+                xtalk: 2e-3,
+            }]),
+            ..DeltaSpec::default()
+        });
+        let err = executor(&drifted, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidRequest);
+
+        // An infeasible cryostat budget is a structured validation
+        // failure, not a panic.
+        let mut broke = request.clone();
+        broke.coax_budget = Some(2);
+        let err = executor(&broke, &ctx).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Validation);
     }
 
     #[test]

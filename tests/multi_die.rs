@@ -1,0 +1,134 @@
+//! Multi-die differential tests: a 1×1 chiplet array is the monolithic
+//! flow (same plans, same bands, same tallies), multi-die plans are
+//! byte-identical at any `plan_threads`, and the 2×2 heavy-hex array —
+//! the smallest array with links on both axes — plans end-to-end under
+//! full validation.
+
+use youtiao::chip::multi::{LinkTopology, MultiDieChip};
+use youtiao::chip::{topology, Chip};
+use youtiao::core::{PlanSummary, PlannerConfig, YoutiaoPlanner};
+use youtiao::flow::{design_chip, DesignOptions};
+use youtiao::multi::{design_multi_chip, MultiDesignOptions};
+
+/// The paper's two main fabrics, small enough for model-backed runs.
+fn fabrics() -> Vec<Chip> {
+    vec![topology::square_grid(4, 4), topology::heavy_hexagon(1, 2)]
+}
+
+#[test]
+fn one_by_one_array_is_the_monolithic_flow() {
+    // Dies are verbatim template clones planned in template-local
+    // coordinates, so a 1×1 array must reproduce the monolithic plan
+    // bit for bit — structure-only and model-backed alike.
+    for chip in fabrics() {
+        let mdc = MultiDieChip::tile(&chip, 1, 1, LinkTopology::Grid).unwrap();
+
+        // Model-backed, versus the monolithic design flow (both sides
+        // characterize from the same default seed).
+        let mono = design_chip(
+            &chip,
+            &DesignOptions {
+                routing: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let multi = design_multi_chip(
+            &mdc,
+            &MultiDesignOptions {
+                validate: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ctx = chip.name();
+        assert_eq!(multi.outcome.dies.len(), 1, "{ctx}");
+        assert_eq!(multi.outcome.dies[0].plan, mono.plan, "{ctx}");
+        assert_eq!(multi.dedicated, mono.dedicated, "{ctx}");
+        assert_eq!(multi.multiplexed, mono.multiplexed, "{ctx}");
+
+        // Spell out the per-band agreement the plan equality implies:
+        // XY FDM lines and readout feedlines carry the same qubits at
+        // the same frequencies.
+        let m = PlanSummary::from_plan(&mono.plan);
+        let s = multi.summary(&mdc).plan;
+        assert_eq!(s.xy_lines, m.xy_lines, "{ctx}: XY band");
+        assert_eq!(s.readout_lines, m.readout_lines, "{ctx}: readout band");
+        assert_eq!(s.z_lines, m.z_lines, "{ctx}: Z groups");
+
+        // Structure-only, versus a bare planner run.
+        let plan = YoutiaoPlanner::new(&chip)
+            .with_config(PlannerConfig::default())
+            .plan()
+            .unwrap();
+        let multi = design_multi_chip(
+            &mdc,
+            &MultiDesignOptions {
+                use_model: false,
+                validate: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(multi.outcome.dies[0].plan, plan, "{ctx}: structure-only");
+    }
+}
+
+#[test]
+fn multi_plans_are_byte_identical_across_plan_threads() {
+    let die = topology::heavy_hexagon(1, 2);
+    let mdc = MultiDieChip::tile(&die, 2, 2, LinkTopology::Grid).unwrap();
+    let run = |plan_threads: usize| {
+        let report = design_multi_chip(
+            &mdc,
+            &MultiDesignOptions {
+                planner: PlannerConfig {
+                    plan_threads,
+                    ..Default::default()
+                },
+                validate: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report.summary(&mdc)).unwrap();
+        (report.outcome, json)
+    };
+    let (serial, serial_json) = run(1);
+    let (parallel, parallel_json) = run(4);
+    assert_eq!(serial, parallel, "outcomes must not depend on plan_threads");
+    assert_eq!(
+        serial_json, parallel_json,
+        "summaries must serialize identically"
+    );
+}
+
+#[test]
+fn two_by_two_heavy_hex_validates_end_to_end() {
+    let die = topology::heavy_hexagon(1, 2);
+    let mdc = MultiDieChip::tile(&die, 2, 2, LinkTopology::Grid).unwrap();
+    let report = design_multi_chip(
+        &mdc,
+        &MultiDesignOptions {
+            validate: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.outcome.dies.len(), 4);
+    assert_eq!(report.outcome.reconcile.unresolved, 0);
+    assert!(report.coax_reduction() > 2.0, "{}", report.coax_reduction());
+
+    // The combined summary renumbers every die into the cryostat-global
+    // id space: each qubit appears on exactly one XY line.
+    let summary = report.summary(&mdc);
+    assert_eq!(summary.plan.total_qubits, 4 * die.num_qubits());
+    let mut seen: Vec<u32> = summary
+        .plan
+        .xy_lines
+        .iter()
+        .flat_map(|l| l.qubits.iter().copied())
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..4 * die.num_qubits() as u32).collect::<Vec<u32>>());
+}
